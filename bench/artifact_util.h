@@ -1,0 +1,77 @@
+#ifndef RECUR_BENCH_ARTIFACT_UTIL_H_
+#define RECUR_BENCH_ARTIFACT_UTIL_H_
+
+// Shared helpers for the figure/table reproduction binaries in bench/.
+
+#include <iostream>
+#include <string>
+
+#include "catalog/paper_examples.h"
+#include "classify/classifier.h"
+#include "datalog/parser.h"
+#include "graph/render.h"
+#include "graph/resolution_graph.h"
+#include "util/symbol_table.h"
+
+namespace recur::bench {
+
+inline void Banner(const std::string& title) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "==============================================================\n";
+}
+
+/// Parses a catalog example and prints its I-graph (ASCII + DOT).
+inline int ShowIGraph(const char* id, bool dot = false) {
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample(id);
+  if (example == nullptr) {
+    std::cerr << "unknown example " << id << "\n";
+    return 1;
+  }
+  auto formula = catalog::ParseExample(*example, &symbols);
+  if (!formula.ok()) {
+    std::cerr << formula.status() << "\n";
+    return 1;
+  }
+  auto ig = graph::IGraph::Build(*formula);
+  if (!ig.ok()) {
+    std::cerr << ig.status() << "\n";
+    return 1;
+  }
+  std::cout << "(" << id << ")  " << formula->rule().ToString(symbols)
+            << "\n"
+            << graph::ToAscii(ig->graph(), symbols);
+  if (dot) {
+    std::cout << graph::ToDot(ig->graph(), symbols, id);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+/// Prints the k-th resolution graph of a catalog example.
+inline int ShowResolutionGraph(const char* id, int k) {
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample(id);
+  if (example == nullptr) {
+    std::cerr << "unknown example " << id << "\n";
+    return 1;
+  }
+  auto formula = catalog::ParseExample(*example, &symbols);
+  if (!formula.ok()) {
+    std::cerr << formula.status() << "\n";
+    return 1;
+  }
+  auto rg = graph::ResolutionGraph::Build(*formula, k);
+  if (!rg.ok()) {
+    std::cerr << rg.status() << "\n";
+    return 1;
+  }
+  std::cout << "resolution graph G_" << k << " of (" << id << "):\n"
+            << graph::ToAscii(rg->graph(), symbols) << "\n";
+  return 0;
+}
+
+}  // namespace recur::bench
+
+#endif  // RECUR_BENCH_ARTIFACT_UTIL_H_

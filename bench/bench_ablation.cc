@@ -1,0 +1,115 @@
+// ABL1 — ablations of the compiled evaluator's design choices (DESIGN.md
+// §5):
+//   1. Horner backward fold vs the paper's level-wise chain powers
+//      (O(K) vs O(K^2) column joins) on the two-chain formula (s2a).
+//   2. Exact dedup modes (forward BFS) vs forced synchronized iteration
+//      on the one-chain formula (s1a).
+
+#include <benchmark/benchmark.h>
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+/// (s2a) over two long chains with exit pairs at every depth, so the
+/// number of levels K scales with the data and the Horner/level-wise gap
+/// shows.
+std::unique_ptr<Workbench> MakeDeep(int64_t depth) {
+  auto w = MakeWorkbench("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).",
+                              "P(X, Y) :- E(X, Y).");
+  workload::Generator gen(701);
+  int d = static_cast<int>(depth);
+  w->Rel("A", 2)->InsertAll(gen.Chain(d, 0));
+  w->Rel("B", 2)->InsertAll(gen.Chain(d, 1000000));
+  // A fat exit: every level's join produces a batch of rows, so the
+  // level-wise plan pays its k chain re-applications on real data.
+  ra::Relation* e = w->Rel("E", 2);
+  for (int i = 0; i <= d; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      e->Insert({i, 1000000 + (i >= j ? i - j : 0)});
+    }
+  }
+  return w;
+}
+
+void BM_Ablation_Horner(benchmark::State& state) {
+  auto w = MakeDeep(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  eval::CompiledEvalOptions options;
+  options.free_mode = eval::FreeMode::kHorner;
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb, options);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("O(K) backward fold");
+}
+BENCHMARK(BM_Ablation_Horner)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Ablation_Levelwise(benchmark::State& state) {
+  auto w = MakeDeep(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  eval::CompiledEvalOptions options;
+  options.free_mode = eval::FreeMode::kLevelwise;
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb, options);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("O(K^2) paper-literal chain powers");
+}
+BENCHMARK(BM_Ablation_Levelwise)->Arg(32)->Arg(128)->Arg(512);
+
+/// (s1a) over a DAG with layer-skipping edges: nodes are reachable at many
+/// different depths, so the forced synchronized mode re-derives them level
+/// after level while the BFS visits each once.
+std::unique_ptr<Workbench> MakeWide(int64_t n) {
+  auto w = MakeWorkbench("P(X, Y) :- A(X, Z), P(Z, Y).",
+                              "P(X, Y) :- E(X, Y).");
+  workload::Generator gen(702);
+  int width = 16;
+  int layers = static_cast<int>(n) / width;
+  ra::Relation* a = w->Rel("A", 2);
+  a->InsertAll(gen.LayeredDag(layers, width, 3));
+  for (int layer = 0; layer + 2 < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      a->Insert({static_cast<int64_t>(layer) * width + i,
+                 static_cast<int64_t>(layer + 2) * width +
+                     (i * 7 + 3) % width});
+    }
+  }
+  w->Rel("E", 2)->InsertAll(gen.LayeredDag(layers, width, 3));
+  return w;
+}
+
+void BM_Ablation_DedupBfs(benchmark::State& state) {
+  auto w = MakeWide(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("forward BFS with visited set");
+}
+BENCHMARK(BM_Ablation_DedupBfs)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Ablation_DedupOff(benchmark::State& state) {
+  auto w = MakeWide(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  eval::CompiledEvalOptions options;
+  options.allow_dedup = false;
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb, options);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("forced synchronized frontiers");
+}
+BENCHMARK(BM_Ablation_DedupOff)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// PERF5 — dependent (E) and mixed (F) classes: the resolution-graph plans
+// for (s11) and (s12) vs semi-naive evaluation. The plans restrict the
+// pair walk to the query constant's forward cone, so they win on
+// selective queries.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/special_plans.h"
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+std::unique_ptr<Workbench> MakeS11(int64_t n) {
+  auto w = MakeWorkbench(
+      "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).",
+      "P(X, Y) :- E(X, Y).");
+  workload::Generator gen(501);
+  int domain = static_cast<int>(n);
+  w->Rel("A", 2)->InsertAll(gen.RandomGraph(domain, 2 * domain));
+  w->Rel("B", 2)->InsertAll(gen.RandomGraph(domain, 2 * domain));
+  w->Rel("C", 2)->InsertAll(gen.RandomGraph(domain, 4 * domain));
+  w->Rel("E", 2)->InsertAll(gen.RandomGraph(domain, domain));
+  return w;
+}
+
+void BM_Dependent_S11_Plan(benchmark::State& state) {
+  auto w = MakeS11(state.range(0));
+  for (auto _ : state) {
+    auto answers = eval::S11Plan(w->edb, w->symbols, 1);
+    if (!answers.ok()) state.SkipWithError("plan failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("σA-C-B pair walk + reach-E");
+}
+BENCHMARK(BM_Dependent_S11_Plan)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Dependent_S11_SemiNaive(benchmark::State& state) {
+  auto w = MakeS11(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{1}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("fixpoint + select");
+}
+BENCHMARK(BM_Dependent_S11_SemiNaive)->Arg(64)->Arg(256);
+
+std::unique_ptr<Workbench> MakeS12(int64_t n) {
+  auto w = MakeWorkbench(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).",
+      "P(X, Y, Z) :- E(X, Y, Z).");
+  workload::Generator gen(502);
+  int width = 8;
+  int layers = static_cast<int>(n) / width;
+  w->Rel("A", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("B", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  int domain = static_cast<int>(n);
+  w->Rel("C", 2)->InsertAll(gen.RandomGraph(domain, 4 * domain));
+  w->Rel("D", 2)->InsertAll(gen.RandomGraph(domain, 2 * domain));
+  w->Rel("E", 3)->InsertAll(gen.RandomRows(3, domain, 2 * domain));
+  return w;
+}
+
+void BM_Mixed_S12_Plan(benchmark::State& state) {
+  auto w = MakeS12(state.range(0));
+  int cap = static_cast<int>(w->edb.ActiveDomainSize()) + 1;
+  for (auto _ : state) {
+    auto answers = eval::S12Plan(w->edb, w->symbols, 1, cap);
+    if (!answers.ok()) state.SkipWithError("plan failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("pair walk + E + D^(k+1)");
+}
+BENCHMARK(BM_Mixed_S12_Plan)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Mixed_S12_SemiNaive(benchmark::State& state) {
+  auto w = MakeS12(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{1}, std::nullopt, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("fixpoint + select");
+}
+BENCHMARK(BM_Mixed_S12_SemiNaive)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

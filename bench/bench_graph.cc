@@ -1,0 +1,127 @@
+// PERF6 — graph-machinery micro-benchmarks: I-graph construction,
+// condensation + cycle enumeration, full classification, resolution-graph
+// growth in k, and the hash-join vs nested-loop join choice inside the RA
+// substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/paper_examples.h"
+#include "classify/classifier.h"
+#include "graph/cycles.h"
+#include "graph/resolution_graph.h"
+#include "ra/operators.h"
+#include "workload/generator.h"
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+const catalog::PaperExample& Example(const char* id) {
+  const catalog::PaperExample* e = catalog::FindExample(id);
+  if (e == nullptr) std::abort();
+  return *e;
+}
+
+void BM_Graph_IGraphBuild(benchmark::State& state, const char* id) {
+  SymbolTable symbols;
+  auto formula = catalog::ParseExample(Example(id), &symbols);
+  if (!formula.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto g = graph::IGraph::Build(*formula);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK_CAPTURE(BM_Graph_IGraphBuild, s1a, "s1a");
+BENCHMARK_CAPTURE(BM_Graph_IGraphBuild, s7, "s7");
+BENCHMARK_CAPTURE(BM_Graph_IGraphBuild, s12, "s12");
+
+void BM_Graph_CycleEnumeration(benchmark::State& state, const char* id) {
+  SymbolTable symbols;
+  auto formula = catalog::ParseExample(Example(id), &symbols);
+  auto ig = graph::IGraph::Build(*formula);
+  graph::CondensedGraph condensed =
+      graph::CondensedGraph::Build(ig->graph());
+  for (auto _ : state) {
+    auto cycles = graph::EnumerateCycles(condensed);
+    benchmark::DoNotOptimize(cycles);
+  }
+}
+BENCHMARK_CAPTURE(BM_Graph_CycleEnumeration, s7, "s7");
+BENCHMARK_CAPTURE(BM_Graph_CycleEnumeration, s11, "s11");
+
+void BM_Graph_Classify(benchmark::State& state, const char* id) {
+  SymbolTable symbols;
+  auto formula = catalog::ParseExample(Example(id), &symbols);
+  for (auto _ : state) {
+    auto cls = classify::Classify(*formula);
+    benchmark::DoNotOptimize(cls);
+  }
+}
+BENCHMARK_CAPTURE(BM_Graph_Classify, s1a, "s1a");
+BENCHMARK_CAPTURE(BM_Graph_Classify, s7, "s7");
+BENCHMARK_CAPTURE(BM_Graph_Classify, s12, "s12");
+
+void BM_Graph_ResolutionGraph(benchmark::State& state) {
+  SymbolTable symbols;
+  auto formula = catalog::ParseExample(Example("s2a"), &symbols);
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = graph::ResolutionGraph::Build(*formula, k);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_Graph_ResolutionGraph)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Complexity();
+
+void BM_Ra_HashJoin(benchmark::State& state) {
+  workload::Generator gen(601);
+  int n = static_cast<int>(state.range(0));
+  ra::Relation l = gen.RandomGraph(n, 4 * n);
+  ra::Relation r = gen.RandomGraph(n, 4 * n);
+  for (auto _ : state) {
+    auto j = ra::Join(l, r, {{1, 0}});
+    benchmark::DoNotOptimize(j);
+  }
+}
+BENCHMARK(BM_Ra_HashJoin)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Ra_NestedLoopJoin(benchmark::State& state) {
+  workload::Generator gen(601);
+  int n = static_cast<int>(state.range(0));
+  ra::Relation l = gen.RandomGraph(n, 4 * n);
+  ra::Relation r = gen.RandomGraph(n, 4 * n);
+  for (auto _ : state) {
+    auto j = ra::JoinNestedLoop(l, r, {{1, 0}});
+    benchmark::DoNotOptimize(j);
+  }
+}
+BENCHMARK(BM_Ra_NestedLoopJoin)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PlanGeneration(benchmark::State& state, const char* id) {
+  SymbolTable symbols;
+  const catalog::PaperExample& e = Example(id);
+  auto formula = catalog::ParseExample(e, &symbols);
+  auto exit = datalog::ParseRule(e.exit_rule, &symbols);
+  eval::PlanGenerator generator(&symbols);
+  for (auto _ : state) {
+    auto plan = generator.Plan(*formula, *exit);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK_CAPTURE(BM_PlanGeneration, s1a_stable, "s1a");
+BENCHMARK_CAPTURE(BM_PlanGeneration, s7_transform6, "s7");
+BENCHMARK_CAPTURE(BM_PlanGeneration, s8_bounded, "s8");
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

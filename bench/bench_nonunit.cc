@@ -1,0 +1,117 @@
+// PERF2 — non-unit one-directional formulas (classes A3/A5): one-time
+// transformation cost (Theorem 2 unfolding) and compiled evaluation of
+// the transformed form vs semi-naive evaluation of the original, on (s4a)
+// (weight-3 rotation) and (s7) (four cycles, LCM 6).
+
+#include <benchmark/benchmark.h>
+
+#include "transform/stable_form.h"
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+constexpr const char* kS4aRule =
+    "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).";
+constexpr const char* kS4aExit = "P(X1, X2, X3) :- E(X1, X2, X3).";
+
+std::unique_ptr<Workbench> MakeS4a(int64_t n) {
+  auto w = MakeWorkbench(kS4aRule, kS4aExit);
+  workload::Generator gen(201);
+  int width = 8;
+  int layers = static_cast<int>(n) / width;
+  w->Rel("A", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("B", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("C", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("E", 3)->InsertAll(
+      gen.RandomRows(3, static_cast<int>(n), 2 * static_cast<int>(n)));
+  return w;
+}
+
+void BM_NonUnit_TransformCost(benchmark::State& state) {
+  auto w = MakeWorkbench(kS4aRule, kS4aExit);
+  for (auto _ : state) {
+    auto sf = transform::ToStableForm(w->formula, w->exit, &w->symbols);
+    if (!sf.ok()) state.SkipWithError("transform failed");
+    benchmark::DoNotOptimize(sf);
+  }
+  state.SetLabel("Theorem 2 unfolding, one-time");
+}
+BENCHMARK(BM_NonUnit_TransformCost);
+
+void BM_NonUnit_S4a_Compiled(benchmark::State& state) {
+  auto w = MakeS4a(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{0}, ra::Value{1}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("transformed + compiled");
+}
+BENCHMARK(BM_NonUnit_S4a_Compiled)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_NonUnit_S4a_SemiNaive(benchmark::State& state) {
+  auto w = MakeS4a(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{0}, ra::Value{1}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("original recursion, full fixpoint");
+}
+BENCHMARK(BM_NonUnit_S4a_SemiNaive)->Arg(64)->Arg(128);
+
+constexpr const char* kS7Rule =
+    "P(X, Y, Z, U, W, S, V) :- A(X, T), P(T, Z, Y, W, S, R, V), B(U, R).";
+constexpr const char* kS7Exit =
+    "P(X, Y, Z, U, W, S, V) :- E(X, Y, Z, U, W, S, V).";
+
+std::unique_ptr<Workbench> MakeS7(int64_t n) {
+  auto w = MakeWorkbench(kS7Rule, kS7Exit);
+  workload::Generator gen(202);
+  int width = 8;
+  int layers = static_cast<int>(n) / width;
+  w->Rel("A", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("B", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("E", 7)->InsertAll(
+      gen.RandomRows(7, static_cast<int>(n), 2 * static_cast<int>(n)));
+  return w;
+}
+
+void BM_NonUnit_S7_Compiled(benchmark::State& state) {
+  auto w = MakeS7(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt, std::nullopt,
+                               std::nullopt, std::nullopt, std::nullopt,
+                               std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("LCM-6 transformed + compiled");
+}
+BENCHMARK(BM_NonUnit_S7_Compiled)->Arg(128)->Arg(512);
+
+void BM_NonUnit_S7_SemiNaive(benchmark::State& state) {
+  auto w = MakeS7(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt, std::nullopt,
+                               std::nullopt, std::nullopt, std::nullopt,
+                               std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("original recursion, full fixpoint");
+}
+BENCHMARK(BM_NonUnit_S7_SemiNaive)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// PERF1 — compiled evaluation vs semi-naive vs naive for stable formulas
+// (classes A1/A2): the transitive-closure shape (s1a) and the 3-D stable
+// formula (s3), varying EDB size. The paper's claim to validate: compiled
+// plans answer selective queries without materializing the full fixpoint,
+// so they win by a growing factor as the database grows; on unselective
+// (all-free) queries the gap closes.
+
+#include <benchmark/benchmark.h>
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+std::unique_ptr<Workbench> MakeS1a(int64_t n) {
+  auto w = MakeWorkbench("P(X, Y) :- A(X, Z), P(Z, Y).",
+                              "P(X, Y) :- E(X, Y).");
+  workload::Generator gen(101);
+  // A layered DAG: selective queries touch one source's cone only.
+  int width = 16;
+  int layers = static_cast<int>(n) / width;
+  w->Rel("A", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  w->Rel("E", 2)->InsertAll(gen.LayeredDag(layers, width, 2));
+  return w;
+}
+
+void BM_Stable_S1a_Compiled_Selective(benchmark::State& state) {
+  auto w = MakeS1a(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(0,Y) forward BFS");
+}
+BENCHMARK(BM_Stable_S1a_Compiled_Selective)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Stable_S1a_SemiNaive_Selective(benchmark::State& state) {
+  auto w = MakeS1a(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(0,Y) full fixpoint + select");
+}
+BENCHMARK(BM_Stable_S1a_SemiNaive_Selective)->Arg(256)->Arg(1024);
+
+void BM_Stable_S1a_Naive_Selective(benchmark::State& state) {
+  auto w = MakeS1a(state.range(0));
+  eval::Query q = w->MakeQuery({ra::Value{0}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::NaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("naive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(0,Y) naive fixpoint + select");
+}
+BENCHMARK(BM_Stable_S1a_Naive_Selective)->Arg(256);
+
+void BM_Stable_S1a_Compiled_AllFree(benchmark::State& state) {
+  auto w = MakeS1a(state.range(0));
+  eval::Query q = w->MakeQuery({std::nullopt, std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(X,Y) unselective");
+}
+BENCHMARK(BM_Stable_S1a_Compiled_AllFree)->Arg(256)->Arg(1024);
+
+void BM_Stable_S1a_SemiNaive_AllFree(benchmark::State& state) {
+  auto w = MakeS1a(state.range(0));
+  eval::Query q = w->MakeQuery({std::nullopt, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(X,Y) unselective");
+}
+BENCHMARK(BM_Stable_S1a_SemiNaive_AllFree)->Arg(256)->Arg(1024);
+
+std::unique_ptr<Workbench> MakeS3(int64_t n) {
+  auto w = MakeWorkbench(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), P(U, V, W), C(W, Z).",
+      "P(X, Y, Z) :- E(X, Y, Z).");
+  workload::Generator gen(102);
+  int width = 8;
+  int layers = static_cast<int>(n) / width;
+  w->Rel("A", 2)->InsertAll(gen.LayeredDag(layers, width, 2, 0));
+  w->Rel("B", 2)->InsertAll(gen.LayeredDag(layers, width, 2, 100000));
+  w->Rel("C", 2)->InsertAll(gen.LayeredDag(layers, width, 2, 200000));
+  ra::Relation* e = w->Rel("E", 3);
+  workload::Generator gen2(103);
+  ra::Relation raw =
+      gen2.RandomRows(3, static_cast<int>(n), 2 * static_cast<int>(n));
+  for (const ra::Tuple& t : raw.rows()) {
+    e->Insert({t[0], 100000 + t[1], 200000 + t[2]});
+  }
+  return w;
+}
+
+void BM_Stable_S3_Compiled(benchmark::State& state) {
+  auto w = MakeS3(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{0}, ra::Value{100000}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = w->plan.Execute(q, w->edb);
+    if (!answers.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(a,b,Z) synchronized chains");
+}
+BENCHMARK(BM_Stable_S3_Compiled)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_Stable_S3_SemiNaive(benchmark::State& state) {
+  auto w = MakeS3(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{0}, ra::Value{100000}, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("P(a,b,Z) full fixpoint + select");
+}
+BENCHMARK(BM_Stable_S3_SemiNaive)->Arg(128);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// PERF4 — unbounded class C: the paper's resolution-graph-derived plans
+// for (s9) (Cartesian product plan for P(d,v,v), existence-check plan for
+// P(v,v,d)) vs semi-naive evaluation. The existence plan should win big:
+// it short-circuits at the first witness depth.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/special_plans.h"
+
+#include "perf_util.h"
+
+namespace recur::bench {
+namespace {
+
+std::unique_ptr<Workbench> MakeS9(int64_t n) {
+  auto w =
+      MakeWorkbench("P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).",
+                    "P(X, Y, Z) :- E(X, Y, Z).");
+  workload::Generator gen(401);
+  int domain = static_cast<int>(n);
+  w->Rel("A", 2)->InsertAll(gen.RandomGraph(domain, 3 * domain));
+  w->Rel("B", 2)->InsertAll(gen.RandomGraph(domain, 3 * domain));
+  w->Rel("E", 3)->InsertAll(gen.RandomRows(3, domain, 2 * domain));
+  return w;
+}
+
+void BM_Unbounded_S9_PlanBoundFirst(benchmark::State& state) {
+  auto w = MakeS9(state.range(0));
+  for (auto _ : state) {
+    auto answers = eval::S9PlanBoundFirst(w->edb, w->symbols, 1);
+    if (!answers.ok()) state.SkipWithError("plan failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("σE, (σA) × ∪_k[(E⋈B)(BA)^k]");
+}
+BENCHMARK(BM_Unbounded_S9_PlanBoundFirst)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Unbounded_S9_PlanBoundThird(benchmark::State& state) {
+  auto w = MakeS9(state.range(0));
+  for (auto _ : state) {
+    auto answers = eval::S9PlanBoundThird(w->edb, w->symbols, 1);
+    if (!answers.ok()) state.SkipWithError("plan failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("σE, (∃ ∪_k[(AB)^k(E⋈B)]) A");
+}
+BENCHMARK(BM_Unbounded_S9_PlanBoundThird)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Unbounded_S9_SemiNaive_BoundFirst(benchmark::State& state) {
+  auto w = MakeS9(state.range(0));
+  eval::Query q =
+      w->MakeQuery({ra::Value{1}, std::nullopt, std::nullopt});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("fixpoint + select (P(d,v,v))");
+}
+BENCHMARK(BM_Unbounded_S9_SemiNaive_BoundFirst)->Arg(64)->Arg(256);
+
+void BM_Unbounded_S9_SemiNaive_BoundThird(benchmark::State& state) {
+  auto w = MakeS9(state.range(0));
+  eval::Query q =
+      w->MakeQuery({std::nullopt, std::nullopt, ra::Value{1}});
+  for (auto _ : state) {
+    auto answers = eval::SemiNaiveAnswer(w->program, w->edb, q);
+    if (!answers.ok()) state.SkipWithError("seminaive failed");
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("fixpoint + select (P(v,v,d))");
+}
+BENCHMARK(BM_Unbounded_S9_SemiNaive_BoundThird)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+// Reproduces Figure 1 of the paper: the I-graphs of (s1a) and (s1b).
+//
+// Paper: Figure 1(a) shows vertices x, y, z with the undirected edge x-z
+// labeled A, the directed edge x->z and the self directed loop on y;
+// Figure 1(b) shows the 5-vertex graph of the 3-D formula.
+
+#include "artifact_util.h"
+
+int main() {
+  recur::bench::Banner("Figure 1 — I-graphs of (s1a) and (s1b)");
+  int status = 0;
+  status |= recur::bench::ShowIGraph("s1a", /*dot=*/true);
+  status |= recur::bench::ShowIGraph("s1b", /*dot=*/true);
+  return status;
+}

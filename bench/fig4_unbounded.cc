@@ -1,0 +1,41 @@
+// Reproduces Figure 4: the 1st and 2nd resolution graphs of the unbounded
+// formula (s9), plus the two compiled plans of Example 9:
+//   P(d,v,v):  σE, (σA) × (∪_k [(E ⋈ B)(BA)^k])
+//   P(v,v,d):  σE, (∃ ∪_k [(AB)^k (E ⋈ B)]) A
+
+#include "artifact_util.h"
+#include "transform/compiled_expr.h"
+
+using namespace recur;
+using transform::CompiledExpr;
+
+int main() {
+  bench::Banner("Figure 4 — resolution graphs of (s9), class C plans");
+  bench::ShowIGraph("s9");
+  bench::ShowResolutionGraph("s9", 1);
+  bench::ShowResolutionGraph("s9", 2);
+
+  CompiledExpr plan1 = CompiledExpr::Sequence(
+      {CompiledExpr::Select(CompiledExpr::Relation("E")),
+       CompiledExpr::Product(
+           CompiledExpr::Select(CompiledExpr::Relation("A")),
+           CompiledExpr::UnionK(CompiledExpr::JoinChain(
+               {CompiledExpr::JoinChain({CompiledExpr::Relation("E"),
+                                         CompiledExpr::Relation("B")}),
+                CompiledExpr::Power(CompiledExpr::Relation("BA"))})))});
+  CompiledExpr plan2 = CompiledExpr::Sequence(
+      {CompiledExpr::Select(CompiledExpr::Relation("E")),
+       CompiledExpr::JoinChain(
+           {CompiledExpr::Exists(CompiledExpr::UnionK(
+                CompiledExpr::JoinChain(
+                    {CompiledExpr::Power(CompiledExpr::Relation("AB")),
+                     CompiledExpr::JoinChain(
+                         {CompiledExpr::Relation("E"),
+                          CompiledExpr::Relation("B")})}))),
+            CompiledExpr::Relation("A")})});
+  std::cout << "plan for P(d,v,v): " << plan1.ToString() << "\n";
+  std::cout << "plan for P(v,v,d): " << plan2.ToString() << "\n";
+  std::cout << "(executed by eval::S9PlanBoundFirst / S9PlanBoundThird; "
+               "see bench_unbounded for measurements)\n";
+  return 0;
+}

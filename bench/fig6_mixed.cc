@@ -1,0 +1,46 @@
+// Reproduces Figure 6: the 1st and 2nd resolution graphs of the mixed
+// formula (s12) and the §10 plan for P(d, v, v):
+//   ∪_k σA-C-B-[{A ∥ B}-C]^k-E-D^(k+1)
+//
+// Note: the paper's text calls (s12) a combination of classes (D) and
+// (A1); the {x,u,y,v} component is in fact the dependent pattern of (s11)
+// (two unit cycles joined by C), so our classifier reports E ⊕ A1 = F.
+// See EXPERIMENTS.md.
+
+#include "artifact_util.h"
+#include "classify/stability.h"
+#include "transform/compiled_expr.h"
+
+using namespace recur;
+using transform::CompiledExpr;
+
+int main() {
+  bench::Banner("Figure 6 — resolution graphs of (s12), mixed plan");
+  bench::ShowIGraph("s12");
+  bench::ShowResolutionGraph("s12", 1);
+  bench::ShowResolutionGraph("s12", 2);
+
+  // The paper's adornment table: P(d,v,v) -> P(d,d,v) -> P(d,d,v) ...
+  SymbolTable symbols;
+  auto formula =
+      catalog::ParseExample(*catalog::FindExample("s12"), &symbols);
+  auto cls = classify::Classify(*formula);
+  if (cls.ok()) {
+    std::cout << classify::AdornmentTable(*cls, 0b001, 3)
+              << "(paper: first expansion P(d,d,v), then P(d,d,v) for "
+                 "all following expansions; cycle period 1)\n\n";
+  }
+
+  CompiledExpr plan = CompiledExpr::UnionK(CompiledExpr::JoinChain(
+      {CompiledExpr::Relation("σA"), CompiledExpr::Relation("C"),
+       CompiledExpr::Relation("B"),
+       CompiledExpr::Power(CompiledExpr::JoinChain(
+           {CompiledExpr::Parallel({CompiledExpr::Relation("A"),
+                                    CompiledExpr::Relation("B")}),
+            CompiledExpr::Relation("C")})),
+       CompiledExpr::Relation("E"),
+       CompiledExpr::Power(CompiledExpr::Relation("D"), 1)}));
+  std::cout << "plan for P(d,v,v): " << plan.ToString() << "\n";
+  std::cout << "(executed by eval::S12Plan; see bench_dependent_mixed)\n";
+  return 0;
+}

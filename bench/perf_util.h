@@ -1,0 +1,86 @@
+#ifndef RECUR_BENCH_PERF_UTIL_H_
+#define RECUR_BENCH_PERF_UTIL_H_
+
+// Shared setup helpers for the google-benchmark binaries.
+
+#include <cstdlib>
+#include <memory>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "datalog/parser.h"
+#include "eval/naive.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "ra/database.h"
+#include "workload/generator.h"
+
+namespace recur::bench {
+
+/// Everything a perf benchmark needs for one formula: symbols, EDB,
+/// program (recursive + exit), and the generated plan. Not movable: the
+/// plan's compiled evaluator keeps a pointer to `symbols`, so Workbench
+/// lives behind a unique_ptr.
+struct Workbench {
+  Workbench() = default;
+  Workbench(const Workbench&) = delete;
+  Workbench& operator=(const Workbench&) = delete;
+
+  SymbolTable symbols;
+  ra::Database edb;
+  datalog::LinearRecursiveRule formula;
+  datalog::Rule exit;
+  datalog::Program program;
+  eval::QueryPlan plan;
+
+  ra::Relation* Rel(const char* name, int arity) {
+    auto r = edb.GetOrCreate(symbols.Intern(name), arity);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      std::abort();
+    }
+    return *r;
+  }
+
+  eval::Query MakeQuery(std::vector<std::optional<ra::Value>> bindings) {
+    eval::Query q;
+    q.pred = formula.recursive_predicate();
+    q.bindings = std::move(bindings);
+    return q;
+  }
+};
+
+/// Parses the rules and generates the plan; aborts on error (benchmarks
+/// have no error channel worth using).
+inline std::unique_ptr<Workbench> MakeWorkbench(const char* rule_text,
+                                                const char* exit_text) {
+  auto w = std::make_unique<Workbench>();
+  auto rule = datalog::ParseRule(rule_text, &w->symbols);
+  auto exit = datalog::ParseRule(exit_text, &w->symbols);
+  if (!rule.ok() || !exit.ok()) {
+    std::cerr << "parse error in benchmark setup\n";
+    std::abort();
+  }
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  if (!formula.ok()) {
+    std::cerr << formula.status() << "\n";
+    std::abort();
+  }
+  w->formula = *formula;
+  w->exit = *exit;
+  w->program.AddRule(w->formula.rule());
+  w->program.AddRule(w->exit);
+  eval::PlanGenerator generator(&w->symbols);
+  auto plan = generator.Plan(w->formula, w->exit);
+  if (!plan.ok()) {
+    std::cerr << plan.status() << "\n";
+    std::abort();
+  }
+  w->plan = *plan;
+  return w;
+}
+
+}  // namespace recur::bench
+
+#endif  // RECUR_BENCH_PERF_UTIL_H_

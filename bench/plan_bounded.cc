@@ -1,0 +1,84 @@
+// Reproduces §5 Example 8 and §7 Example 10: bounded ("pseudo
+// recursive") formulas (s8) and (s10) expanded into equivalent finite
+// non-recursive rule sets, evaluated with query constants pushed down,
+// and cross-checked against semi-naive evaluation of the recursive form.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+namespace {
+
+int RunBounded(const char* id, std::vector<std::optional<ra::Value>> q) {
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample(id);
+  auto formula = catalog::ParseExample(*example, &symbols);
+  auto exit = datalog::ParseRule(example->exit_rule, &symbols);
+  if (!formula.ok() || !exit.ok()) return 1;
+
+  auto cls = classify::Classify(*formula);
+  std::cout << "(" << id << ") " << formula->rule().ToString(symbols)
+            << "\n"
+            << cls->Summary(symbols);
+
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, *exit);
+  if (!plan.ok()) return 1;
+  std::cout << "plan: " << plan->ToString() << "\n";
+
+  ra::Database edb;
+  workload::Generator gen(31);
+  for (const datalog::Atom& atom : formula->rule().body()) {
+    if (atom.predicate() == formula->recursive_predicate()) continue;
+    auto r = edb.GetOrCreate(atom.predicate(), atom.arity());
+    if (r.ok() && (*r)->empty()) {
+      (*r)->InsertAll(atom.arity() == 2 ? gen.RandomGraph(20, 50)
+                                        : gen.RandomRows(atom.arity(), 20,
+                                                         30));
+    }
+  }
+  (*edb.GetOrCreate(symbols.Intern("E"), formula->dimension()))
+      ->InsertAll(gen.RandomRows(formula->dimension(), 20, 50));
+
+  eval::Query query;
+  query.pred = formula->recursive_predicate();
+  query.bindings = std::move(q);
+  eval::CompiledEvalStats stats;
+  auto answers = plan->Execute(query, edb, {}, &stats);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return 1;
+  }
+  std::cout << "query " << query.AdornmentString() << ": "
+            << answers->size() << " answers in " << stats.levels
+            << " bounded depths (no fixpoint iteration!)\n";
+
+  datalog::Program program;
+  program.AddRule(formula->rule());
+  program.AddRule(*exit);
+  auto reference = eval::SemiNaiveAnswer(program, edb, query);
+  std::cout << "semi-naive agrees: "
+            << (reference.ok() &&
+                        reference->ToString() == answers->ToString()
+                    ? "yes"
+                    : "NO")
+            << "\n\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Examples 8 & 10 — bounded formulas as finite expansions");
+  int status = 0;
+  status |= RunBounded(
+      "s8", {ra::Value{1}, std::nullopt, std::nullopt, std::nullopt});
+  status |= RunBounded("s10", {ra::Value{1}, std::nullopt});
+  return status;
+}

@@ -1,0 +1,58 @@
+// Reproduces §9 Example 11: executes the plan for the dependent formula
+// (s11), query P(d, v), and cross-checks semi-naive evaluation.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner("Example 11 — executing the (s11) dependent-cycle plan");
+
+  SymbolTable symbols;
+  ra::Database edb;
+  workload::Generator gen(78);
+  (*edb.GetOrCreate(symbols.Intern("A"), 2))
+      ->InsertAll(gen.RandomGraph(20, 50));
+  (*edb.GetOrCreate(symbols.Intern("B"), 2))
+      ->InsertAll(gen.RandomGraph(20, 50));
+  (*edb.GetOrCreate(symbols.Intern("C"), 2))
+      ->InsertAll(gen.RandomGraph(20, 80));
+  (*edb.GetOrCreate(symbols.Intern("E"), 2))
+      ->InsertAll(gen.RandomGraph(20, 30));
+
+  auto program = datalog::ParseProgram(
+      "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).\n"
+      "P(X, Y) :- E(X, Y).\n",
+      &symbols);
+  if (!program.ok()) return 1;
+
+  bool all_agree = true;
+  for (ra::Value d : {0, 1, 5, 9}) {
+    eval::EvalStats stats;
+    auto answers = eval::S11Plan(edb, symbols, d, &stats);
+    if (!answers.ok()) {
+      std::cerr << answers.status() << "\n";
+      return 1;
+    }
+    eval::Query q;
+    q.pred = symbols.Lookup("P");
+    q.bindings = {d, std::nullopt};
+    auto reference = eval::SemiNaiveAnswer(*program, edb, q);
+    bool agree =
+        reference.ok() && reference->ToString() == answers->ToString();
+    all_agree = all_agree && agree;
+    std::cout << "P(" << d << ",v): " << answers->size() << " answers ("
+              << stats.iterations
+              << " pair-walk rounds); semi-naive agrees: "
+              << (agree ? "yes" : "NO") << "\n";
+  }
+  std::cout << "(the dependent pair (x_i, y_i) walks through {A ∥ B}-C in "
+               "lock step, exactly as the resolution graph prescribes)\n";
+  return all_agree ? 0 : 1;
+}

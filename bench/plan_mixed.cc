@@ -1,0 +1,63 @@
+// Reproduces §10 Example 14: executes the plan for the mixed formula
+// (s12), query P(d, v, v) — the dependent pair walk plus the D^(k+1)
+// chain — and cross-checks semi-naive evaluation.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner("Example 14 — executing the (s12) mixed-class plan");
+
+  SymbolTable symbols;
+  ra::Database edb;
+  workload::Generator gen(79);
+  (*edb.GetOrCreate(symbols.Intern("A"), 2))
+      ->InsertAll(gen.LayeredDag(6, 3, 2));
+  (*edb.GetOrCreate(symbols.Intern("B"), 2))
+      ->InsertAll(gen.LayeredDag(6, 3, 2));
+  (*edb.GetOrCreate(symbols.Intern("C"), 2))
+      ->InsertAll(gen.RandomGraph(18, 80));
+  (*edb.GetOrCreate(symbols.Intern("D"), 2))
+      ->InsertAll(gen.RandomGraph(18, 40));
+  (*edb.GetOrCreate(symbols.Intern("E"), 3))
+      ->InsertAll(gen.RandomRows(3, 18, 60));
+
+  auto program = datalog::ParseProgram(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).\n"
+      "P(X, Y, Z) :- E(X, Y, Z).\n",
+      &symbols);
+  if (!program.ok()) return 1;
+
+  bool all_agree = true;
+  for (ra::Value d : {0, 1, 2}) {
+    eval::EvalStats stats;
+    auto answers = eval::S12Plan(edb, symbols, d, /*max_levels=*/64, &stats);
+    if (!answers.ok()) {
+      std::cerr << answers.status() << "\n";
+      return 1;
+    }
+    eval::Query q;
+    q.pred = symbols.Lookup("P");
+    q.bindings = {d, std::nullopt, std::nullopt};
+    auto reference = eval::SemiNaiveAnswer(*program, edb, q);
+    bool agree =
+        reference.ok() && reference->ToString() == answers->ToString();
+    all_agree = all_agree && agree;
+    std::cout << "P(" << d << ",v,v): " << answers->size() << " answers ("
+              << stats.iterations
+              << " levels); semi-naive agrees: " << (agree ? "yes" : "NO")
+              << "\n";
+  }
+  std::cout << "(per level k the plan folds the answer z through D k+1 "
+               "times while the dependent (u,v) pair advances — the "
+               "formula behaves like a stable one from the second "
+               "expansion on, as §10 observes)\n";
+  return all_agree ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Reproduces §4.3 Example 4: the transformation of the non-unit
+// rotational formula (s4a) into an equivalent stable formula with
+// multiple exits — (s4b), (s4a'), (s4c') — and the compiled plan for
+// P(a, b, Z); then runs it and cross-checks semi-naive evaluation.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "transform/stable_form.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner("Example 4 — transforming (s4a) and planning P(a,b,Z)");
+  bench::ShowIGraph("s4a");
+
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample("s4a");
+  auto formula = catalog::ParseExample(*example, &symbols);
+  auto exit = datalog::ParseRule(example->exit_rule, &symbols);
+  if (!formula.ok() || !exit.ok()) return 1;
+
+  auto sf = transform::ToStableForm(*formula, *exit, &symbols);
+  if (!sf.ok()) {
+    std::cerr << sf.status() << "\n";
+    return 1;
+  }
+  std::cout << "unfold count (cycle weight): " << sf->unfold_count << "\n";
+  std::cout << "new recursive rule (3rd expansion, cf. s4d):\n  "
+            << sf->recursive.rule().ToString(symbols) << "\n";
+  std::cout << "exit rules (cf. s4b, s4a', s4c'):\n";
+  for (const datalog::Rule& e : sf->exits) {
+    std::cout << "  " << e.ToString(symbols) << "\n";
+  }
+
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, *exit);
+  if (!plan.ok()) return 1;
+  std::cout << "\ncompiled plan: " << plan->ToString() << "\n\n";
+
+  ra::Database edb;
+  workload::Generator gen(9);
+  (*edb.GetOrCreate(symbols.Intern("A"), 2))
+      ->InsertAll(gen.LayeredDag(6, 4, 2));
+  (*edb.GetOrCreate(symbols.Intern("B"), 2))
+      ->InsertAll(gen.LayeredDag(6, 4, 2));
+  (*edb.GetOrCreate(symbols.Intern("C"), 2))
+      ->InsertAll(gen.LayeredDag(6, 4, 2));
+  (*edb.GetOrCreate(symbols.Intern("E"), 3))
+      ->InsertAll(gen.RandomRows(3, 24, 80));
+
+  eval::Query query;
+  query.pred = symbols.Lookup("P");
+  query.bindings = {ra::Value{0}, ra::Value{1}, std::nullopt};
+  auto answers = plan->Execute(query, edb);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return 1;
+  }
+  std::cout << "P(0, 1, Z) = " << answers->ToString() << "\n";
+
+  datalog::Program program;
+  program.AddRule(formula->rule());
+  program.AddRule(*exit);
+  auto reference = eval::SemiNaiveAnswer(program, edb, query);
+  std::cout << "semi-naive agrees: "
+            << (reference.ok() &&
+                        reference->ToString() == answers->ToString()
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces §4.1 Example 3: the compiled formula and query evaluation
+// plan for the stable formula (s3) and the query P(a, b, Z), then runs the
+// plan on a small database and cross-checks semi-naive evaluation.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner("Example 3 — compiled formula and plan for (s3), P(a,b,Z)");
+  bench::ShowIGraph("s3");
+
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample("s3");
+  auto formula = catalog::ParseExample(*example, &symbols);
+  auto exit = datalog::ParseRule(example->exit_rule, &symbols);
+  if (!formula.ok() || !exit.ok()) return 1;
+
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, *exit);
+  if (!plan.ok()) {
+    std::cerr << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << "compiled formula / plan: " << plan->ToString() << "\n";
+  std::cout << "(each position's chain iterates independently in lock "
+               "step and the frontiers join the exit relation — the σA^k "
+               "/ σB^k branches of the paper's plan)\n\n";
+
+  // Demo database: three layered DAGs and an exit relation spanning them.
+  ra::Database edb;
+  workload::Generator gen(5);
+  (*edb.GetOrCreate(symbols.Intern("A"), 2))
+      ->InsertAll(gen.LayeredDag(5, 4, 2, 0));
+  (*edb.GetOrCreate(symbols.Intern("B"), 2))
+      ->InsertAll(gen.LayeredDag(5, 4, 2, 1000));
+  (*edb.GetOrCreate(symbols.Intern("C"), 2))
+      ->InsertAll(gen.LayeredDag(5, 4, 2, 2000));
+  ra::Relation* e = *edb.GetOrCreate(symbols.Intern("E"), 3);
+  workload::Generator gen2(6);
+  ra::Relation raw = gen2.RandomRows(3, 20, 60);
+  for (const ra::Tuple& t : raw.rows()) {
+    e->Insert({t[0], 1000 + t[1], 2000 + t[2]});
+  }
+
+  eval::Query query;
+  query.pred = symbols.Lookup("P");
+  query.bindings = {ra::Value{0}, ra::Value{1000}, std::nullopt};
+  eval::CompiledEvalStats stats;
+  auto answers = plan->Execute(query, edb, {}, &stats);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return 1;
+  }
+  std::cout << "P(0, 1000, Z) = " << answers->ToString() << "\n"
+            << "levels: " << stats.levels
+            << ", mode: synchronized chains\n";
+
+  datalog::Program program;
+  program.AddRule(formula->rule());
+  program.AddRule(*exit);
+  auto reference = eval::SemiNaiveAnswer(program, edb, query);
+  std::cout << "semi-naive agrees: "
+            << (reference.ok() &&
+                        reference->ToString() == answers->ToString()
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces §6 Example 9: executes the paper's two plans for the
+// unbounded formula (s9) — the Cartesian-product plan for P(d,v,v) and
+// the existence-checking plan for P(v,v,d) — and cross-checks both
+// against semi-naive evaluation.
+
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner("Example 9 — executing the (s9) plans");
+
+  SymbolTable symbols;
+  ra::Database edb;
+  workload::Generator gen(77);
+  (*edb.GetOrCreate(symbols.Intern("A"), 2))
+      ->InsertAll(gen.RandomGraph(25, 60));
+  (*edb.GetOrCreate(symbols.Intern("B"), 2))
+      ->InsertAll(gen.RandomGraph(25, 60));
+  (*edb.GetOrCreate(symbols.Intern("E"), 3))
+      ->InsertAll(gen.RandomRows(3, 25, 80));
+
+  datalog::Program program;
+  {
+    auto parsed = datalog::ParseProgram(
+        "P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).\n"
+        "P(X, Y, Z) :- E(X, Y, Z).\n",
+        &symbols);
+    if (!parsed.ok()) return 1;
+    program = *parsed;
+  }
+
+  // P(d, v, v): σE, (σA) × (∪_k [(E ⋈ B)(BA)^k]).
+  ra::Value d = 3;
+  eval::EvalStats stats1;
+  auto a1 = eval::S9PlanBoundFirst(edb, symbols, d, &stats1);
+  if (!a1.ok()) {
+    std::cerr << a1.status() << "\n";
+    return 1;
+  }
+  eval::Query q1;
+  q1.pred = symbols.Lookup("P");
+  q1.bindings = {d, std::nullopt, std::nullopt};
+  auto r1 = eval::SemiNaiveAnswer(program, edb, q1);
+  std::cout << "P(" << d << ",v,v): " << a1->size() << " answers, "
+            << stats1.iterations << " chain iterations; semi-naive agrees: "
+            << (r1.ok() && r1->ToString() == a1->ToString() ? "yes" : "NO")
+            << "\n";
+
+  // P(v, v, d): σE, (∃ ∪_k [(AB)^k (E ⋈ B)]) A.
+  eval::EvalStats stats2;
+  auto a2 = eval::S9PlanBoundThird(edb, symbols, d, &stats2);
+  if (!a2.ok()) {
+    std::cerr << a2.status() << "\n";
+    return 1;
+  }
+  eval::Query q2;
+  q2.pred = symbols.Lookup("P");
+  q2.bindings = {std::nullopt, std::nullopt, d};
+  auto r2 = eval::SemiNaiveAnswer(program, edb, q2);
+  std::cout << "P(v,v," << d << "): " << a2->size() << " answers, "
+            << stats2.iterations
+            << " existence-check rounds; semi-naive agrees: "
+            << (r2.ok() && r2->ToString() == a2->ToString() ? "yes" : "NO")
+            << "\n";
+  std::cout << "(the existence check short-circuits: once a witness "
+               "depth is found, every tuple of A answers the query)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces the paper's de-facto results table: the §3 classification
+// applied to every running example (s1a)-(s12), including the properties
+// the paper states per example — strong stability (Theorem 1),
+// transformability and unfold count (Theorems 2/4, Examples 4-7),
+// boundedness and rank bounds (Ioannidis's theorem, Theorems 10/11,
+// Examples 5, 6, 8, 10) — plus the execution strategy our plan generator
+// picks per class.
+
+#include <cstdio>
+#include <iostream>
+
+#include "artifact_util.h"
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+
+using namespace recur;
+
+int main() {
+  bench::Banner(
+      "Classification of the paper's examples (paper expectation in "
+      "brackets)");
+  std::printf("%-5s %-6s %-7s %-12s %-10s %-22s\n", "id", "class",
+              "stable", "transform(L)", "bounded", "strategy");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  bool all_match = true;
+  for (const catalog::PaperExample& e : catalog::PaperExamples()) {
+    SymbolTable symbols;
+    auto formula = catalog::ParseExample(e, &symbols);
+    if (!formula.ok()) {
+      std::cerr << e.id << ": " << formula.status() << "\n";
+      return 1;
+    }
+    auto cls = classify::Classify(*formula);
+    if (!cls.ok()) {
+      std::cerr << e.id << ": " << cls.status() << "\n";
+      return 1;
+    }
+    auto exit = datalog::ParseRule(e.exit_rule, &symbols);
+    eval::PlanGenerator generator(&symbols);
+    auto plan = generator.Plan(*formula, *exit);
+
+    char transform[32];
+    if (cls->transformable_to_stable) {
+      std::snprintf(transform, sizeof(transform), "yes (L=%d)",
+                    cls->unfold_count);
+    } else {
+      std::snprintf(transform, sizeof(transform), "no");
+    }
+    char bounded[32];
+    if (cls->bounded) {
+      std::snprintf(bounded, sizeof(bounded), "rank<=%d", cls->rank_bound);
+    } else {
+      std::snprintf(bounded, sizeof(bounded), "no");
+    }
+    bool match = cls->formula_class == e.expected_class &&
+                 cls->strongly_stable == e.strongly_stable &&
+                 cls->transformable_to_stable == e.transformable &&
+                 cls->bounded == e.bounded &&
+                 (!e.transformable || cls->unfold_count == e.unfold_count) &&
+                 (!e.bounded || cls->rank_bound == e.rank_bound);
+    all_match = all_match && match;
+    std::printf("%-5s %-6s %-7s %-12s %-10s %-22s [%s]%s\n", e.id,
+                ToString(cls->formula_class),
+                cls->strongly_stable ? "yes" : "no", transform, bounded,
+                plan.ok() ? ToString(plan->strategy()) : "-",
+                ToString(e.expected_class), match ? "" : "  << MISMATCH");
+  }
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::cout << (all_match ? "all examples match the paper's classification"
+                          : "MISMATCHES FOUND")
+            << "\n\nper-example notes:\n";
+  for (const catalog::PaperExample& e : catalog::PaperExamples()) {
+    std::cout << "  " << e.id << ": " << e.notes << "\n";
+  }
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// classify_tool: command-line classifier for linear recursive formulas.
+//
+// Usage:
+//   classify_tool 'P(X, Y) :- A(X, Z), P(Z, Y).'
+//   classify_tool --dot 'P(X, Y) :- A(X, Z), P(Z, Y).'
+//   classify_tool --resolution 3 'P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).'
+//   classify_tool            # reads one rule per line from stdin
+//
+// Prints the I-graph, the classification (class, stability,
+// transformability, boundedness and rank bound), and the compiled plan
+// that the plan generator would use (with a generic exit P :- E).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "graph/render.h"
+#include "graph/resolution_graph.h"
+
+using namespace recur;
+
+namespace {
+
+/// Builds the generic exit rule "P(X1..Xn) :- E(X1..Xn)." for a formula.
+datalog::Rule GenericExit(const datalog::LinearRecursiveRule& formula,
+                          SymbolTable* symbols) {
+  std::vector<datalog::Term> args;
+  for (const datalog::Term& t : formula.head().args()) args.push_back(t);
+  datalog::Atom head(formula.recursive_predicate(), args);
+  datalog::Atom body(symbols->Intern("E"), args);
+  return datalog::Rule(std::move(head), {std::move(body)});
+}
+
+int ProcessRule(const std::string& text, bool dot, int resolution_k) {
+  SymbolTable symbols;
+  auto rule = datalog::ParseRule(text, &symbols);
+  if (!rule.ok()) {
+    std::cerr << rule.status() << "\n";
+    return 1;
+  }
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  if (!formula.ok()) {
+    std::cerr << formula.status() << "\n";
+    return 1;
+  }
+  auto cls = classify::Classify(*formula);
+  if (!cls.ok()) {
+    std::cerr << cls.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "formula: " << formula->rule().ToString(symbols) << "\n\n";
+  if (dot) {
+    std::cout << graph::ToDot(cls->igraph.graph(), symbols, "igraph");
+  } else {
+    std::cout << "I-graph:\n"
+              << graph::ToAscii(cls->igraph.graph(), symbols);
+  }
+  std::cout << "\n" << cls->Summary(symbols);
+
+  if (resolution_k > 1) {
+    auto rg = graph::ResolutionGraph::Build(*formula, resolution_k);
+    if (rg.ok()) {
+      std::cout << "\nresolution graph G_" << resolution_k << ":\n";
+      if (dot) {
+        std::cout << graph::ToDot(rg->graph(), symbols, "resolution");
+      } else {
+        std::cout << graph::ToAscii(rg->graph(), symbols);
+      }
+    }
+  }
+
+  datalog::Rule exit = GenericExit(*formula, &symbols);
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, exit);
+  if (plan.ok()) {
+    std::cout << "\nquery plan (exit P :- E): " << plan->ToString()
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dot = false;
+  int resolution_k = 1;
+  std::string inline_rule;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else if (std::strcmp(argv[i], "--resolution") == 0 && i + 1 < argc) {
+      resolution_k = std::atoi(argv[++i]);
+    } else {
+      inline_rule = argv[i];
+    }
+  }
+  if (!inline_rule.empty()) {
+    return ProcessRule(inline_rule, dot, resolution_k);
+  }
+  std::string line;
+  int status = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    status |= ProcessRule(line, dot, resolution_k);
+    std::cout << "----------------------------------------\n";
+  }
+  return status;
+}

@@ -1,0 +1,112 @@
+// Flight-route planning over a deductive database. Demonstrates the
+// non-unit one-directional case (classes A3/A5): a round-trip view whose
+// I-graph cycle has weight 2, which the library unfolds into an
+// equivalent stable formula with two exits (Theorem 2) before compiling.
+//
+//   Leg(X, Y)        — EDB: a direct flight from X to Y
+//   Back(X, Y)       — EDB: a direct return flight
+//   Trip(O, D)       — base round trips (exit relation)
+//   RoundTrip(O, D)  — O and D such that extending the trip by one
+//                      outbound leg and one return leg (in alternating
+//                      positions) still closes: the weight-2 rotation
+//
+// Run: ./build/examples/flight_routes
+
+#include <iostream>
+
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "ra/database.h"
+#include "transform/stable_form.h"
+#include "workload/generator.h"
+
+using namespace recur;
+
+int main() {
+  SymbolTable symbols;
+  ra::Database edb;
+
+  // A small route network: hubs 0..4 in a cycle of outbound legs, return
+  // legs shifted by one (so alternating out/back walks close).
+  ra::Relation* leg = *edb.GetOrCreate(symbols.Intern("Leg"), 2);
+  ra::Relation* back = *edb.GetOrCreate(symbols.Intern("Back"), 2);
+  const int kHubs = 6;
+  for (int i = 0; i < kHubs; ++i) {
+    leg->Insert({i, (i + 1) % kHubs});
+    back->Insert({(i + 1) % kHubs, i});
+    leg->Insert({i, (i + 2) % kHubs});
+    back->Insert({(i + 2) % kHubs, (i + 1) % kHubs});
+  }
+  ra::Relation* trip = *edb.GetOrCreate(symbols.Intern("Trip"), 2);
+  trip->Insert({0, 3});
+  trip->Insert({2, 5});
+
+  // The weight-2 rotation: positions swap through Leg/Back each step.
+  auto rule = datalog::ParseRule(
+      "RoundTrip(O, D) :- Leg(O, D1), Back(D, O1), RoundTrip(O1, D1).",
+      &symbols);
+  auto exit =
+      datalog::ParseRule("RoundTrip(O, D) :- Trip(O, D).", &symbols);
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  if (!formula.ok()) {
+    std::cerr << formula.status() << "\n";
+    return 1;
+  }
+
+  auto cls = classify::Classify(*formula);
+  std::cout << "classification:\n" << cls->Summary(symbols) << "\n";
+
+  // Show the Theorem-2 transformation explicitly.
+  auto sf = transform::ToStableForm(*formula, *exit, &symbols);
+  if (!sf.ok()) {
+    std::cerr << sf.status() << "\n";
+    return 1;
+  }
+  std::cout << "stable form after " << sf->unfold_count
+            << " unfoldings:\n  recursive: "
+            << sf->recursive.rule().ToString(symbols) << "\n";
+  for (const datalog::Rule& e : sf->exits) {
+    std::cout << "  exit:      " << e.ToString(symbols) << "\n";
+  }
+  std::cout << "\n";
+
+  // Compile and query: all destinations D with a derivable round trip
+  // from hub 0.
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, *exit);
+  if (!plan.ok()) {
+    std::cerr << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << "plan: " << plan->ToString() << "\n\n";
+
+  eval::Query query;
+  query.pred = symbols.Lookup("RoundTrip");
+  query.bindings = {ra::Value{0}, std::nullopt};
+  eval::CompiledEvalStats stats;
+  auto answers = plan->Execute(query, edb, {}, &stats);
+  if (!answers.ok()) {
+    std::cerr << answers.status() << "\n";
+    return 1;
+  }
+  std::cout << "RoundTrip(0, D) = " << answers->ToString() << "\n";
+  if (stats.fell_back) {
+    std::cout << "(the route network is cyclic; the evaluator detected "
+                 "non-convergence of the synchronized frontier and fell "
+                 "back to semi-naive — same answers, safe plan)\n";
+  }
+
+  // Cross-check against semi-naive.
+  datalog::Program program;
+  program.AddRule(formula->rule());
+  program.AddRule(*exit);
+  auto reference = eval::SemiNaiveAnswer(program, edb, query);
+  std::cout << "semi-naive agrees: "
+            << (reference.ok() &&
+                        reference->ToString() == answers->ToString()
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

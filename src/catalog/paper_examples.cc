@@ -1,0 +1,94 @@
+#include "catalog/paper_examples.h"
+
+#include <cstring>
+
+#include "datalog/parser.h"
+
+namespace recur::catalog {
+
+using classify::FormulaClass;
+
+const std::vector<PaperExample>& PaperExamples() {
+  // Notes on classes: the paper's lettering assigns a formula to A1..A4
+  // only when *all* components share that class; disjoint combinations of
+  // different Ai's are A5 and combinations across letters are F. The
+  // trailing "same-variable" positions (like y in s1a) are unit
+  // permutational (A2) components, so the classic transitive-closure rule
+  // s1a is formally A5 = {A1, A2}; it is strongly stable either way, which
+  // is the property §4.1 actually uses.
+  static const std::vector<PaperExample>* examples =
+      new std::vector<PaperExample>{
+          {"s1a", "P(X, Y) :- A(X, Z), P(Z, Y).", "P(X, Y) :- E(X, Y).",
+           FormulaClass::kA5, true, true, 1, false, 0,
+           "transitive-closure shape; disjoint unit cycles {A1, A2}"},
+          {"s1b", "P(X, Y, Z) :- A(X, Y), P(U, Z, V), B(U, V).",
+           "P(X, Y, Z) :- E(X, Y, Z).", FormulaClass::kC, false, false, 1,
+           false, 0, "independent multi-directional cycle of weight 1"},
+          {"s2a", "P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).",
+           "P(X, Y) :- E(X, Y).", FormulaClass::kA1, true, true, 1, false, 0,
+           "two disjoint unit rotational cycles"},
+          {"s3", "P(X, Y, Z) :- A(X, U), B(Y, V), P(U, V, W), C(W, Z).",
+           "P(X, Y, Z) :- E(X, Y, Z).", FormulaClass::kA1, true, true, 1,
+           false, 0, "three disjoint unit rotational cycles (Example 3)"},
+          {"s4a", "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), "
+                  "P(Y1, Y2, Y3).",
+           "P(X1, X2, X3) :- E(X1, X2, X3).", FormulaClass::kA3, false, true,
+           3, false, 0,
+           "independent one-directional cycle of weight 3 (Example 4)"},
+          {"s5", "P(X, Y, Z) :- P(Y, Z, X).", "P(X, Y, Z) :- E(X, Y, Z).",
+           FormulaClass::kA4, false, true, 3, true, 2,
+           "permutational cycle of weight 3; bounded (Example 5)"},
+          {"s6", "P(X, Y, Z, U, V, W) :- P(Z, Y, U, X, W, V).",
+           "P(X, Y, Z, U, V, W) :- E(X, Y, Z, U, V, W).", FormulaClass::kA5,
+           false, true, 6, true, 5,
+           "permutational cycles of weights 3, 1, 2; stable after 6 "
+           "expansions (Example 6); bound LCM-1 = 5 by Theorem 10"},
+          {"s7", "P(X, Y, Z, U, W, S, V) :- A(X, T), "
+                 "P(T, Z, Y, W, S, R, V), B(U, R).",
+           "P(X, Y, Z, U, W, S, V) :- E(X, Y, Z, U, W, S, V).",
+           FormulaClass::kA5, false, true, 6, false, 0,
+           "disjoint one-directional cycles of weights 1, 2, 3, 1; stable "
+           "after LCM = 6 expansions (Example 7)"},
+          {"s8", "P(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), "
+                 "P(Z, Y1, Z1, U1).",
+           "P(X, Y, Z, U) :- E(X, Y, Z, U).", FormulaClass::kB, false, false,
+           1, true, 2,
+           "bounded cycle of weight 0; Ioannidis bound 2 (Example 8)"},
+          {"s9", "P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).",
+           "P(X, Y, Z) :- E(X, Y, Z).", FormulaClass::kC, false, false, 1,
+           false, 0,
+           "independent multi-directional cycle of non-zero weight "
+           "(Example 9)"},
+          {"s10", "P(X, Y) :- B(Y), C(X, Y1), P(X1, Y1).",
+           "P(X, Y) :- E(X, Y).", FormulaClass::kD, false, false, 1, true, 2,
+           "no non-trivial cycles; upper bound 2 (Example 10)"},
+          {"s11", "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).",
+           "P(X, Y) :- E(X, Y).", FormulaClass::kE, false, false, 1, false,
+           0, "dependent unit cycles joined by C (Example 11)"},
+          {"s12", "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), "
+                  "P(U, V, W).",
+           "P(X, Y, Z) :- E(X, Y, Z).", FormulaClass::kF, false, false, 1,
+           false, 0,
+           "mixed: dependent pair {x,u|y,v} plus unit rotational {w,z} "
+           "(Example 14; the paper's text says classes (D) and (A1), but "
+           "the {x,u,y,v} component is the dependent pattern of s11 — see "
+           "EXPERIMENTS.md)"},
+      };
+  return *examples;
+}
+
+const PaperExample* FindExample(const char* id) {
+  for (const PaperExample& e : PaperExamples()) {
+    if (std::strcmp(e.id, id) == 0) return &e;
+  }
+  return nullptr;
+}
+
+Result<datalog::LinearRecursiveRule> ParseExample(const PaperExample& example,
+                                                  SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(datalog::Rule rule,
+                         datalog::ParseRule(example.rule, symbols));
+  return datalog::LinearRecursiveRule::Create(std::move(rule));
+}
+
+}  // namespace recur::catalog

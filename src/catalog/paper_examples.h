@@ -1,0 +1,42 @@
+#ifndef RECUR_CATALOG_PAPER_EXAMPLES_H_
+#define RECUR_CATALOG_PAPER_EXAMPLES_H_
+
+#include <vector>
+
+#include "classify/taxonomy.h"
+#include "datalog/linear_rule.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::catalog {
+
+/// One running example from the paper, with the properties the paper states
+/// (or that follow directly from its theorems). Variables are upper-cased
+/// relative to the paper's figures (the parser's Prolog convention); the
+/// renderers lower-case them again for figure output.
+struct PaperExample {
+  const char* id;         // e.g. "s1a"
+  const char* rule;       // the recursive rule, parser syntax
+  const char* exit_rule;  // generic exit rule P :- E
+  classify::FormulaClass expected_class;
+  bool strongly_stable;
+  bool transformable;
+  int unfold_count;  // meaningful when transformable
+  bool bounded;
+  int rank_bound;  // meaningful when bounded
+  const char* notes;
+};
+
+/// All examples (s1a)-(s12) of the paper.
+const std::vector<PaperExample>& PaperExamples();
+
+/// Looks up an example by id; nullptr if unknown.
+const PaperExample* FindExample(const char* id);
+
+/// Parses an example's recursive rule into a validated formula.
+Result<datalog::LinearRecursiveRule> ParseExample(const PaperExample& example,
+                                                  SymbolTable* symbols);
+
+}  // namespace recur::catalog
+
+#endif  // RECUR_CATALOG_PAPER_EXAMPLES_H_

@@ -1,0 +1,57 @@
+#include "classify/boundedness.h"
+
+#include "graph/paths.h"
+
+namespace recur::classify {
+
+Result<BoundednessInfo> IoannidisBound(
+    const datalog::LinearRecursiveRule& formula) {
+  RECUR_ASSIGN_OR_RETURN(graph::IGraph igraph, graph::IGraph::Build(formula));
+  graph::CondensedGraph condensed =
+      graph::CondensedGraph::Build(igraph.graph());
+  RECUR_ASSIGN_OR_RETURN(std::vector<graph::Cycle> cycles,
+                         graph::EnumerateCycles(condensed));
+  for (const graph::Cycle& cycle : cycles) {
+    if (cycle.one_directional && !cycle.rotational) {
+      return Status::InvalidArgument(
+          "Ioannidis's theorem requires no permutational patterns");
+    }
+  }
+  BoundednessInfo info;
+  info.source = BoundednessSource::kIoannidis;
+  for (const graph::Cycle& cycle : cycles) {
+    if (cycle.weight != 0) {
+      info.bounded = false;
+      return info;
+    }
+  }
+  info.bounded = true;
+  info.rank_bound = graph::MaxPathWeight(condensed);
+  return info;
+}
+
+BoundednessInfo ComputeBoundedness(const Classification& cls) {
+  BoundednessInfo info;
+  info.bounded = cls.bounded;
+  info.rank_bound = cls.rank_bound;
+  bool has_permutational = false;
+  bool has_other = false;
+  for (const ComponentInfo& c : cls.components) {
+    if (c.component_class == ComponentClass::kTrivial) continue;
+    if (IsPermutationalClass(c.component_class)) {
+      has_permutational = true;
+    } else {
+      has_other = true;
+    }
+  }
+  if (has_permutational && has_other) {
+    info.source = BoundednessSource::kCombined;
+  } else if (has_permutational) {
+    info.source = BoundednessSource::kPermutational;
+  } else {
+    info.source = BoundednessSource::kIoannidis;
+  }
+  return info;
+}
+
+}  // namespace recur::classify

@@ -1,0 +1,41 @@
+#ifndef RECUR_CLASSIFY_BOUNDEDNESS_H_
+#define RECUR_CLASSIFY_BOUNDEDNESS_H_
+
+#include "classify/classifier.h"
+
+namespace recur::classify {
+
+/// How a formula's boundedness was established.
+enum class BoundednessSource {
+  /// Ioannidis's theorem: no permutational patterns, no non-zero-weight
+  /// cycle; bound = max path weight in the I-graph.
+  kIoannidis,
+  /// Theorem 10: disjoint combination of permutational cycles (A2/A4);
+  /// bound = LCM(cycle weights) - 1.
+  kPermutational,
+  /// Theorem 11 / combined: disjoint combination of bounded components of
+  /// both kinds; bound = ioannidis part + LCM - 1.
+  kCombined,
+};
+
+struct BoundednessInfo {
+  bool bounded = false;
+  int rank_bound = 0;
+  BoundednessSource source = BoundednessSource::kIoannidis;
+};
+
+/// Direct application of Ioannidis's theorem to `formula` (independent of
+/// the full classifier — used to cross-check the classifier in tests).
+/// Fails with InvalidArgument if the formula has a permutational pattern,
+/// or reports bounded=false if some cycle has non-zero weight.
+Result<BoundednessInfo> IoannidisBound(
+    const datalog::LinearRecursiveRule& formula);
+
+/// Boundedness of a classified formula (Theorems 10, 11 and the Ioannidis
+/// bound combined, matching Classification::bounded / rank_bound but with
+/// the provenance made explicit).
+BoundednessInfo ComputeBoundedness(const Classification& cls);
+
+}  // namespace recur::classify
+
+#endif  // RECUR_CLASSIFY_BOUNDEDNESS_H_

@@ -1,0 +1,249 @@
+#include "classify/classifier.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/paths.h"
+
+namespace recur::classify {
+
+namespace {
+
+int64_t Lcm(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a / std::gcd(a, b) * b;
+}
+
+/// Assigns a ComponentClass given the component's arcs and cycles (§3).
+ComponentClass DetermineClass(const ComponentInfo& info) {
+  if (info.arcs.empty()) return ComponentClass::kTrivial;
+  if (info.cycles.empty()) return ComponentClass::kNoNontrivialCycle;
+  // "Independent": exactly one non-trivial cycle, and every directed edge
+  // of the component lies on it.
+  bool independent = info.cycles.size() == 1 &&
+                     info.cycles[0].steps.size() == info.arcs.size();
+  if (!independent) return ComponentClass::kDependent;
+  const graph::Cycle& cycle = info.cycles[0];
+  if (!cycle.one_directional) {
+    return cycle.weight == 0 ? ComponentClass::kBoundedCycle
+                             : ComponentClass::kUnboundedCycle;
+  }
+  if (cycle.weight == 1) {
+    return cycle.rotational ? ComponentClass::kUnitRotational
+                            : ComponentClass::kUnitPermutational;
+  }
+  return cycle.rotational ? ComponentClass::kNonUnitRotational
+                          : ComponentClass::kNonUnitPermutational;
+}
+
+/// Computes boundedness and rank bound for one component:
+///  - D and B: Ioannidis's theorem, rank = max path weight;
+///  - A2/A4 (permutational): Theorem 10, rank = weight - 1;
+///  - dependent with only zero-weight cycles: Ioannidis again;
+///  - A1/A3, C, and dependent components with a non-zero-weight cycle are
+///    not bounded (or not known bounded; we stay conservative).
+void DetermineBoundedness(const graph::CondensedGraph& condensed,
+                          const std::vector<int>& cluster_component,
+                          ComponentInfo* info) {
+  switch (info->component_class) {
+    case ComponentClass::kTrivial:
+      info->bounded = true;
+      info->rank_bound = 0;
+      return;
+    case ComponentClass::kNoNontrivialCycle:
+    case ComponentClass::kBoundedCycle:
+      info->bounded = true;
+      info->rank_bound = graph::MaxPathWeightInComponent(
+          condensed, cluster_component, info->component_id);
+      return;
+    case ComponentClass::kUnitPermutational:
+    case ComponentClass::kNonUnitPermutational:
+      info->bounded = true;
+      info->rank_bound = info->cycle_weight - 1;
+      return;
+    case ComponentClass::kDependent: {
+      bool all_zero = std::all_of(
+          info->cycles.begin(), info->cycles.end(),
+          [](const graph::Cycle& c) { return c.weight == 0; });
+      if (all_zero) {
+        info->bounded = true;
+        info->rank_bound = graph::MaxPathWeightInComponent(
+            condensed, cluster_component, info->component_id);
+      } else {
+        info->bounded = false;
+        info->rank_bound = 0;
+      }
+      return;
+    }
+    case ComponentClass::kUnitRotational:
+    case ComponentClass::kNonUnitRotational:
+    case ComponentClass::kUnboundedCycle:
+      info->bounded = false;
+      info->rank_bound = 0;
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Classification::Summary(const SymbolTable& symbols) const {
+  std::string out;
+  for (const ComponentInfo& info : components) {
+    out += "component " + std::to_string(info.component_id) + ": " +
+           ToString(info.component_class);
+    if (IsOneDirectionalClass(info.component_class) ||
+        info.component_class == ComponentClass::kBoundedCycle ||
+        info.component_class == ComponentClass::kUnboundedCycle) {
+      out += " (weight " + std::to_string(info.cycle_weight) + ")";
+    }
+    if (!info.positions.empty()) {
+      out += " positions {";
+      for (size_t i = 0; i < info.positions.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(info.positions[i] + 1);
+      }
+      out += "}";
+    }
+    if (info.bounded) {
+      out += " bounded(rank<=" + std::to_string(info.rank_bound) + ")";
+    }
+    out += "\n";
+  }
+  out += "formula class: " + std::string(ToString(formula_class)) + " — " +
+         Describe(formula_class) + "\n";
+  if (strongly_stable) out += "strongly stable\n";
+  if (transformable_to_stable && !strongly_stable) {
+    out += "transformable to stable by unfolding " +
+           std::to_string(unfold_count) + " times\n";
+  }
+  if (bounded) {
+    out += "bounded with rank <= " + std::to_string(rank_bound) + "\n";
+  }
+  (void)symbols;
+  return out;
+}
+
+Result<Classification> Classify(const datalog::LinearRecursiveRule& formula) {
+  Classification out;
+  RECUR_ASSIGN_OR_RETURN(out.igraph, graph::IGraph::Build(formula));
+  out.condensed = graph::CondensedGraph::Build(out.igraph.graph());
+
+  int num_components = 0;
+  std::vector<int> cluster_component =
+      out.condensed.WeakComponents(&num_components);
+  RECUR_ASSIGN_OR_RETURN(std::vector<graph::Cycle> cycles,
+                         graph::EnumerateCycles(out.condensed));
+
+  out.components.resize(num_components);
+  for (int i = 0; i < num_components; ++i) {
+    out.components[i].component_id = i;
+  }
+  for (int c = 0; c < out.condensed.num_clusters(); ++c) {
+    out.components[cluster_component[c]].clusters.push_back(c);
+  }
+  for (int a = 0; a < static_cast<int>(out.condensed.arcs().size()); ++a) {
+    const graph::CondensedArc& arc = out.condensed.arcs()[a];
+    ComponentInfo& info = out.components[cluster_component[arc.from_cluster]];
+    info.arcs.push_back(a);
+    info.positions.push_back(
+        out.igraph.graph().edge(arc.edge_index).position);
+  }
+  for (graph::Cycle& cycle : cycles) {
+    int component = cluster_component[cycle.clusters[0]];
+    out.components[component].cycles.push_back(std::move(cycle));
+  }
+
+  for (ComponentInfo& info : out.components) {
+    std::sort(info.positions.begin(), info.positions.end());
+    info.component_class = DetermineClass(info);
+    if (info.cycles.size() == 1) {
+      info.cycle_weight = info.cycles[0].weight;
+    }
+    DetermineBoundedness(out.condensed, cluster_component, &info);
+  }
+
+  // Formula-level aggregation over non-trivial components.
+  std::set<ComponentClass> classes;
+  bool all_bounded = true;
+  bool all_one_directional = true;
+  bool all_unit = true;
+  bool all_permutational = true;
+  int64_t lcm_weights = 1;
+  int64_t lcm_permutational = 1;
+  int max_nonpermutational_rank = 0;
+  for (const ComponentInfo& info : out.components) {
+    if (info.component_class == ComponentClass::kTrivial) continue;
+    classes.insert(info.component_class);
+    all_bounded = all_bounded && info.bounded;
+    if (IsOneDirectionalClass(info.component_class)) {
+      lcm_weights = Lcm(lcm_weights, info.cycle_weight);
+      if (info.cycle_weight != 1) all_unit = false;
+    } else {
+      all_one_directional = false;
+    }
+    if (IsPermutationalClass(info.component_class)) {
+      lcm_permutational = Lcm(lcm_permutational, info.cycle_weight);
+    } else {
+      all_permutational = false;
+      if (info.bounded) {
+        max_nonpermutational_rank =
+            std::max(max_nonpermutational_rank, info.rank_bound);
+      }
+    }
+  }
+
+  if (classes.empty()) {
+    return Status::Internal(
+        "formula with no non-trivial component (no directed edges?)");
+  }
+
+  out.strongly_stable = all_one_directional && all_unit;
+  out.transformable_to_stable = all_one_directional;
+  out.unfold_count =
+      all_one_directional ? static_cast<int>(lcm_weights) : 1;
+  out.permutational = all_permutational;
+  out.bounded = all_bounded;
+  out.rank_bound =
+      all_bounded ? max_nonpermutational_rank +
+                        static_cast<int>(lcm_permutational) - 1
+                  : 0;
+
+  if (classes.size() == 1) {
+    switch (*classes.begin()) {
+      case ComponentClass::kUnitRotational:
+        out.formula_class = FormulaClass::kA1;
+        break;
+      case ComponentClass::kUnitPermutational:
+        out.formula_class = FormulaClass::kA2;
+        break;
+      case ComponentClass::kNonUnitRotational:
+        out.formula_class = FormulaClass::kA3;
+        break;
+      case ComponentClass::kNonUnitPermutational:
+        out.formula_class = FormulaClass::kA4;
+        break;
+      case ComponentClass::kBoundedCycle:
+        out.formula_class = FormulaClass::kB;
+        break;
+      case ComponentClass::kUnboundedCycle:
+        out.formula_class = FormulaClass::kC;
+        break;
+      case ComponentClass::kNoNontrivialCycle:
+        out.formula_class = FormulaClass::kD;
+        break;
+      case ComponentClass::kDependent:
+        out.formula_class = FormulaClass::kE;
+        break;
+      case ComponentClass::kTrivial:
+        break;  // unreachable: trivial components are skipped above
+    }
+  } else if (all_one_directional) {
+    out.formula_class = FormulaClass::kA5;
+  } else {
+    out.formula_class = FormulaClass::kF;
+  }
+  return out;
+}
+
+}  // namespace recur::classify

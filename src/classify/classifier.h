@@ -1,0 +1,75 @@
+#ifndef RECUR_CLASSIFY_CLASSIFIER_H_
+#define RECUR_CLASSIFY_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/taxonomy.h"
+#include "datalog/linear_rule.h"
+#include "graph/components.h"
+#include "graph/cycles.h"
+#include "graph/igraph.h"
+#include "util/result.h"
+
+namespace recur::classify {
+
+/// Analysis of one weakly connected component of the condensed I-graph.
+struct ComponentInfo {
+  int component_id = -1;
+  /// Cluster indexes (in the condensation) belonging to this component.
+  std::vector<int> clusters;
+  /// Arc indexes (condensed directed edges) in this component.
+  std::vector<int> arcs;
+  /// Recursive-predicate argument positions whose directed edge lies here.
+  std::vector<int> positions;
+  /// Non-trivial cycles found in this component.
+  std::vector<graph::Cycle> cycles;
+  ComponentClass component_class = ComponentClass::kTrivial;
+  /// Weight of the single independent cycle (classes A1-A4, B, C); 0 else.
+  int cycle_weight = 0;
+  /// True if the component is bounded, with a sound rank bound.
+  bool bounded = false;
+  /// Valid when bounded: expansions beyond this produce nothing new from
+  /// this component (Ioannidis bound for B/D, weight-1 for A2/A4).
+  int rank_bound = 0;
+};
+
+/// Complete classification of a linear recursive formula.
+struct Classification {
+  graph::IGraph igraph;
+  graph::CondensedGraph condensed;
+  std::vector<ComponentInfo> components;
+
+  FormulaClass formula_class = FormulaClass::kF;
+
+  /// Theorem 1: disjoint unit cycles only <=> strongly stable.
+  bool strongly_stable = false;
+  /// Corollary 3: only one-directional cycles <=> transformable to an
+  /// equivalent unit-cycle (stable) formula.
+  bool transformable_to_stable = false;
+  /// Theorem 4: number of unfoldings after which the formula is stable
+  /// (LCM of all one-directional cycle weights). Valid when
+  /// transformable_to_stable.
+  int unfold_count = 1;
+
+  /// Theorem 3: all components permutational (A2/A4) — pure variable
+  /// permutation, no non-recursive predicates feed the recursion.
+  bool permutational = false;
+
+  /// Theorems 10/11 + Ioannidis: the formula produces no new tuples beyond
+  /// rank_bound expansions regardless of database contents.
+  bool bounded = false;
+  int rank_bound = 0;
+
+  /// One line per component, e.g. "component 0: A1 (weight 1)".
+  std::string Summary(const SymbolTable& symbols) const;
+};
+
+/// Runs the full classification pipeline of the paper on `formula`:
+/// I-graph -> condensation -> components -> cycles -> classes -> formula
+/// properties.
+Result<Classification> Classify(const datalog::LinearRecursiveRule& formula);
+
+}  // namespace recur::classify
+
+#endif  // RECUR_CLASSIFY_CLASSIFIER_H_

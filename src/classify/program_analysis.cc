@@ -1,0 +1,221 @@
+#include "classify/program_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace recur::classify {
+
+namespace {
+
+/// Iterative Tarjan SCC over the predicate dependency graph.
+class SccFinder {
+ public:
+  explicit SccFinder(
+      const std::unordered_map<SymbolId, std::vector<SymbolId>>& graph)
+      : graph_(graph) {}
+
+  std::vector<std::vector<SymbolId>> Run() {
+    for (const auto& [node, edges] : graph_) {
+      (void)edges;
+      if (index_.find(node) == index_.end()) Strongconnect(node);
+    }
+    return sccs_;
+  }
+
+ private:
+  void Strongconnect(SymbolId v) {
+    struct Frame {
+      SymbolId node;
+      size_t edge = 0;
+    };
+    std::vector<Frame> stack{{v}};
+    Begin(v);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::vector<SymbolId>& edges = graph_.at(frame.node);
+      if (frame.edge < edges.size()) {
+        SymbolId next = edges[frame.edge++];
+        if (graph_.find(next) == graph_.end()) continue;  // EDB target
+        auto it = index_.find(next);
+        if (it == index_.end()) {
+          Begin(next);
+          stack.push_back({next});
+        } else if (on_stack_.count(next) > 0) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], index_[next]);
+        }
+      } else {
+        SymbolId done = frame.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          lowlink_[stack.back().node] =
+              std::min(lowlink_[stack.back().node], lowlink_[done]);
+        }
+        if (lowlink_[done] == index_[done]) {
+          std::vector<SymbolId> scc;
+          for (;;) {
+            SymbolId w = scc_stack_.back();
+            scc_stack_.pop_back();
+            on_stack_.erase(w);
+            scc.push_back(w);
+            if (w == done) break;
+          }
+          sccs_.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+
+  void Begin(SymbolId v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    ++next_index_;
+    scc_stack_.push_back(v);
+    on_stack_.insert(v);
+  }
+
+  const std::unordered_map<SymbolId, std::vector<SymbolId>>& graph_;
+  std::unordered_map<SymbolId, int> index_;
+  std::unordered_map<SymbolId, int> lowlink_;
+  std::vector<SymbolId> scc_stack_;
+  std::unordered_set<SymbolId> on_stack_;
+  int next_index_ = 0;
+  std::vector<std::vector<SymbolId>> sccs_;
+};
+
+}  // namespace
+
+const char* ToString(RecursionKind kind) {
+  switch (kind) {
+    case RecursionKind::kNonRecursive:
+      return "non-recursive";
+    case RecursionKind::kSingleLinear:
+      return "single linear recursion";
+    case RecursionKind::kNonLinear:
+      return "non-linear recursion";
+    case RecursionKind::kMultipleRecursiveRules:
+      return "multiple recursive rules";
+    case RecursionKind::kMutual:
+      return "mutual recursion";
+    case RecursionKind::kRestricted:
+      return "violates a restriction";
+  }
+  return "?";
+}
+
+const PredicateReport* ProgramAnalysis::Find(SymbolId pred) const {
+  for (const PredicateReport& r : predicates) {
+    if (r.predicate == pred) return &r;
+  }
+  return nullptr;
+}
+
+std::string ProgramAnalysis::Summary(const SymbolTable& symbols) const {
+  std::string out;
+  for (const PredicateReport& r : predicates) {
+    out += symbols.NameOf(r.predicate);
+    out += ": ";
+    out += ToString(r.kind);
+    if (r.classification.has_value()) {
+      out += " — class ";
+      out += classify::ToString(r.classification->formula_class);
+    }
+    if (!r.diagnosis.empty()) {
+      out += " (" + r.diagnosis + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ProgramAnalysis> AnalyzeProgram(const datalog::Program& program) {
+  ProgramAnalysis out;
+
+  // Dependency graph over IDB predicates.
+  std::unordered_map<SymbolId, std::vector<SymbolId>> graph;
+  for (SymbolId pred : program.IdbPredicates()) {
+    graph.emplace(pred, std::vector<SymbolId>{});
+  }
+  for (const datalog::Rule& rule : program.rules()) {
+    if (rule.IsFact()) continue;
+    for (const datalog::Atom& atom : rule.body()) {
+      graph[rule.head().predicate()].push_back(atom.predicate());
+    }
+  }
+
+  // Mutual-recursion groups: SCCs of size > 1.
+  SccFinder finder(graph);
+  std::unordered_map<SymbolId, const std::vector<SymbolId>*> group_of;
+  std::vector<std::vector<SymbolId>> sccs = finder.Run();
+  for (const std::vector<SymbolId>& scc : sccs) {
+    if (scc.size() > 1) {
+      out.mutual_groups.push_back(scc);
+    }
+  }
+  for (const std::vector<SymbolId>& group : out.mutual_groups) {
+    for (SymbolId pred : group) {
+      group_of[pred] = &group;
+    }
+  }
+
+  for (SymbolId pred : program.IdbPredicates()) {
+    PredicateReport report;
+    report.predicate = pred;
+    std::vector<datalog::Rule> recursive_rules;
+    for (const datalog::Rule& rule : program.RulesFor(pred)) {
+      if (rule.IsFact()) continue;
+      if (rule.IsRecursive()) {
+        recursive_rules.push_back(rule);
+      } else {
+        report.exits.push_back(rule);
+      }
+    }
+
+    auto group = group_of.find(pred);
+    if (group != group_of.end()) {
+      report.kind = RecursionKind::kMutual;
+      std::string partners;
+      for (SymbolId p : *group->second) {
+        if (p == pred) continue;
+        if (!partners.empty()) partners += ", ";
+        partners += std::to_string(p);
+      }
+      report.diagnosis =
+          "participates in a recursion cycle with other predicates";
+    } else if (recursive_rules.empty()) {
+      report.kind = RecursionKind::kNonRecursive;
+    } else if (recursive_rules.size() > 1) {
+      report.kind = RecursionKind::kMultipleRecursiveRules;
+      report.diagnosis = std::to_string(recursive_rules.size()) +
+                         " recursive rules (the paper assumes single "
+                         "recursion)";
+    } else {
+      report.recursive_rule = recursive_rules[0];
+      auto formula =
+          datalog::LinearRecursiveRule::Create(recursive_rules[0]);
+      if (!formula.ok()) {
+        report.kind =
+            recursive_rules[0]
+                        .BodyIndexesOf(pred)
+                        .size() > 1
+                ? RecursionKind::kNonLinear
+                : RecursionKind::kRestricted;
+        report.diagnosis = formula.status().message();
+      } else {
+        auto cls = Classify(*formula);
+        if (!cls.ok()) {
+          report.kind = RecursionKind::kRestricted;
+          report.diagnosis = cls.status().message();
+        } else {
+          report.kind = RecursionKind::kSingleLinear;
+          report.classification = *std::move(cls);
+        }
+      }
+    }
+    out.predicates.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace recur::classify

@@ -1,0 +1,71 @@
+#ifndef RECUR_CLASSIFY_PROGRAM_ANALYSIS_H_
+#define RECUR_CLASSIFY_PROGRAM_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "datalog/program.h"
+
+namespace recur::classify {
+
+/// Why a predicate's recursion falls outside the paper's restricted
+/// language (§2), if it does.
+enum class RecursionKind {
+  /// Not recursive at all (defined only by non-recursive rules).
+  kNonRecursive,
+  /// Exactly one linear recursive rule + >= 1 exit rules: the paper's
+  /// setting; a Classification is attached.
+  kSingleLinear,
+  /// One recursive rule but the recursive predicate occurs several times
+  /// in its body.
+  kNonLinear,
+  /// More than one recursive rule for the predicate.
+  kMultipleRecursiveRules,
+  /// The predicate participates in a recursion cycle through *other*
+  /// predicates (mutual recursion).
+  kMutual,
+  /// A single linear recursive rule that violates another restriction
+  /// (constants under P, repeated variables, range restriction, ...).
+  kRestricted,
+};
+
+const char* ToString(RecursionKind kind);
+
+/// Per-predicate analysis result.
+struct PredicateReport {
+  SymbolId predicate = kInvalidSymbol;
+  RecursionKind kind = RecursionKind::kNonRecursive;
+  /// Human-readable explanation (e.g. which restriction failed, or which
+  /// SCC partners make it mutual).
+  std::string diagnosis;
+  /// Exit (non-recursive) rules for the predicate.
+  std::vector<datalog::Rule> exits;
+  /// The recursive rule, when there is exactly one.
+  std::optional<datalog::Rule> recursive_rule;
+  /// Present iff kind == kSingleLinear.
+  std::optional<Classification> classification;
+};
+
+/// Whole-program analysis.
+struct ProgramAnalysis {
+  std::vector<PredicateReport> predicates;  // one per IDB predicate
+  /// Strongly connected components of the predicate dependency graph that
+  /// contain more than one predicate (the mutual-recursion groups), as
+  /// lists of predicate symbols.
+  std::vector<std::vector<SymbolId>> mutual_groups;
+
+  const PredicateReport* Find(SymbolId pred) const;
+  std::string Summary(const SymbolTable& symbols) const;
+};
+
+/// Builds the predicate dependency graph of `program` (edges from head
+/// predicates to body predicates), finds its SCCs, and classifies every
+/// IDB predicate that fits the paper's single-linear-recursion setting.
+/// Facts are ignored; EDB predicates never appear in the report.
+Result<ProgramAnalysis> AnalyzeProgram(const datalog::Program& program);
+
+}  // namespace recur::classify
+
+#endif  // RECUR_CLASSIFY_PROGRAM_ANALYSIS_H_

@@ -1,0 +1,99 @@
+#include "classify/stability.h"
+
+namespace recur::classify {
+
+Adornment PropagateAdornment(const Classification& cls, Adornment adornment) {
+  const graph::IGraph& ig = cls.igraph;
+  const graph::CondensedGraph& condensed = cls.condensed;
+  int n = ig.dimension();
+
+  // Clusters determined by the bound consequent variables.
+  std::vector<bool> determined(condensed.num_clusters(), false);
+  for (int i = 0; i < n; ++i) {
+    if ((adornment >> i) & 1u) {
+      determined[condensed.cluster_of(ig.HeadVertex(i))] = true;
+    }
+  }
+  Adornment next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (determined[condensed.cluster_of(ig.BodyVertex(i))]) {
+      next |= (1u << i);
+    }
+  }
+  return next;
+}
+
+bool SemanticallyStronglyStable(const Classification& cls) {
+  int n = cls.igraph.dimension();
+  if (n > 20) return false;  // adornment space too large to enumerate
+  Adornment full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  for (Adornment a = 0; a <= full; ++a) {
+    if (PropagateAdornment(cls, a) != a) return false;
+  }
+  return true;
+}
+
+std::string AdornmentToQueryForm(Adornment adornment, int dimension) {
+  std::string out = "P(";
+  for (int i = 0; i < dimension; ++i) {
+    if (i > 0) out += ",";
+    out += ((adornment >> i) & 1u) ? "d" : "v";
+  }
+  out += ")";
+  return out;
+}
+
+std::string AdornmentTable(const Classification& cls, Adornment start,
+                           int steps) {
+  int n = cls.igraph.dimension();
+  std::string out =
+      "incoming query : " + AdornmentToQueryForm(start, n) + "\n";
+  std::vector<Adornment> seen{start};
+  Adornment a = start;
+  for (int k = 1; k <= steps; ++k) {
+    a = PropagateAdornment(cls, a);
+    out += "expansion " + std::to_string(k) + "    : " +
+           AdornmentToQueryForm(a, n) + "\n";
+    seen.push_back(a);
+  }
+  // Detect the eventual period of the adornment sequence.
+  for (int period = 1; period <= steps; ++period) {
+    bool periodic = true;
+    for (int k = static_cast<int>(seen.size()) - 1;
+         k - period >= 1; --k) {
+      if (seen[k] != seen[k - period]) {
+        periodic = false;
+        break;
+      }
+    }
+    if (periodic) {
+      out += "(cycle period " + std::to_string(period) + ")\n";
+      break;
+    }
+  }
+  return out;
+}
+
+int SemanticStabilityPeriod(const Classification& cls, int max_period) {
+  int n = cls.igraph.dimension();
+  if (n > 20) return 0;
+  Adornment full = (1u << n) - 1u;
+  // Track f^k applied to every singleton adornment; since f distributes
+  // over union (determination is monotone and pointwise per position),
+  // f^L == id on singletons implies f^L == id everywhere... except f does
+  // NOT distribute in general (a cluster may need two bound positions).
+  // Enumerate all adornments to stay exact.
+  std::vector<Adornment> state(full + 1);
+  for (Adornment a = 0; a <= full; ++a) state[a] = a;
+  for (int period = 1; period <= max_period; ++period) {
+    bool identity = true;
+    for (Adornment a = 0; a <= full; ++a) {
+      state[a] = PropagateAdornment(cls, state[a]);
+      if (state[a] != a) identity = false;
+    }
+    if (identity) return period;
+  }
+  return 0;
+}
+
+}  // namespace recur::classify

@@ -1,0 +1,49 @@
+#ifndef RECUR_CLASSIFY_STABILITY_H_
+#define RECUR_CLASSIFY_STABILITY_H_
+
+#include <cstdint>
+
+#include "classify/classifier.h"
+
+namespace recur::classify {
+
+/// An adornment: bit i set means argument position i of the recursive
+/// predicate is determined (bound) — by a query constant or derivable from
+/// one via selections/joins over non-recursive predicates ([Hens 84]).
+using Adornment = uint32_t;
+
+/// The determined-variable transition function f of the paper's semantic
+/// view: given that the consequent positions in `adornment` are determined,
+/// returns which antecedent positions become determined after one
+/// expansion. A determined variable determines every variable reachable
+/// from it through undirected edges (non-recursive predicates), i.e. its
+/// whole cluster in the condensation.
+Adornment PropagateAdornment(const Classification& cls, Adornment adornment);
+
+/// Semantic side of Theorem 1: the formula is strongly stable iff the
+/// determined positions in consequent and antecedent coincide *for every
+/// query form*, i.e. f(a) == a for all 2^n adornments.
+bool SemanticallyStronglyStable(const Classification& cls);
+
+/// Smallest L in [1, max_period] such that f^L is the identity on all
+/// adornments (the semantic counterpart of "becomes stable after each n
+/// expansions", Theorem 2); 0 if no such L exists. For class-A formulas
+/// this equals the LCM of the cycle weights (Theorem 4).
+int SemanticStabilityPeriod(const Classification& cls, int max_period = 4096);
+
+/// Renders an adornment as the paper's query-form notation, e.g. 0b001 at
+/// dimension 3 prints "P(d,v,v)" (d = determined, v = non-determined).
+std::string AdornmentToQueryForm(Adornment adornment, int dimension);
+
+/// The §10-style propagation table: starting from `start`, applies f for
+/// `steps` expansions and prints one line per step, e.g.
+///   incoming query : P(d,v,v)
+///   1st expansion  : P(d,d,v)
+///   2nd expansion  : P(d,d,v)
+/// Reports the detected cycle period of the adornment sequence at the end.
+std::string AdornmentTable(const Classification& cls, Adornment start,
+                           int steps);
+
+}  // namespace recur::classify
+
+#endif  // RECUR_CLASSIFY_STABILITY_H_

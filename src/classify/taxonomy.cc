@@ -1,0 +1,117 @@
+#include "classify/taxonomy.h"
+
+namespace recur::classify {
+
+const char* ToString(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::kTrivial:
+      return "trivial";
+    case ComponentClass::kUnitRotational:
+      return "A1";
+    case ComponentClass::kUnitPermutational:
+      return "A2";
+    case ComponentClass::kNonUnitRotational:
+      return "A3";
+    case ComponentClass::kNonUnitPermutational:
+      return "A4";
+    case ComponentClass::kBoundedCycle:
+      return "B";
+    case ComponentClass::kUnboundedCycle:
+      return "C";
+    case ComponentClass::kNoNontrivialCycle:
+      return "D";
+    case ComponentClass::kDependent:
+      return "E";
+  }
+  return "?";
+}
+
+const char* ToString(FormulaClass c) {
+  switch (c) {
+    case FormulaClass::kA1:
+      return "A1";
+    case FormulaClass::kA2:
+      return "A2";
+    case FormulaClass::kA3:
+      return "A3";
+    case FormulaClass::kA4:
+      return "A4";
+    case FormulaClass::kA5:
+      return "A5";
+    case FormulaClass::kB:
+      return "B";
+    case FormulaClass::kC:
+      return "C";
+    case FormulaClass::kD:
+      return "D";
+    case FormulaClass::kE:
+      return "E";
+    case FormulaClass::kF:
+      return "F";
+  }
+  return "?";
+}
+
+std::string Describe(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::kTrivial:
+      return "trivial component (no directed edge)";
+    case ComponentClass::kUnitRotational:
+      return "unit, rotational cycle";
+    case ComponentClass::kUnitPermutational:
+      return "unit, permutational cycle (self directed loop)";
+    case ComponentClass::kNonUnitRotational:
+      return "non-unit, rotational cycle";
+    case ComponentClass::kNonUnitPermutational:
+      return "non-unit, permutational cycle";
+    case ComponentClass::kBoundedCycle:
+      return "bounded cycle (multi-directional, weight 0)";
+    case ComponentClass::kUnboundedCycle:
+      return "unbounded cycle (multi-directional, non-zero weight)";
+    case ComponentClass::kNoNontrivialCycle:
+      return "non-trivial component with no non-trivial cycle";
+    case ComponentClass::kDependent:
+      return "dependent cycles";
+  }
+  return "?";
+}
+
+std::string Describe(FormulaClass c) {
+  switch (c) {
+    case FormulaClass::kA1:
+      return "unit, rotational cycles (strongly stable)";
+    case FormulaClass::kA2:
+      return "unit, permutational cycles (strongly stable)";
+    case FormulaClass::kA3:
+      return "non-unit, rotational cycles (transformable to stable)";
+    case FormulaClass::kA4:
+      return "non-unit, permutational cycles (transformable; bounded)";
+    case FormulaClass::kA5:
+      return "disjoint combination of different one-directional classes";
+    case FormulaClass::kB:
+      return "bounded cycles (pseudo recursion)";
+    case FormulaClass::kC:
+      return "unbounded cycles";
+    case FormulaClass::kD:
+      return "no non-trivial cycles (bounded)";
+    case FormulaClass::kE:
+      return "dependent cycles";
+    case FormulaClass::kF:
+      return "mixed: disjoint combination of different classes";
+  }
+  return "?";
+}
+
+bool IsOneDirectionalClass(ComponentClass c) {
+  return c == ComponentClass::kUnitRotational ||
+         c == ComponentClass::kUnitPermutational ||
+         c == ComponentClass::kNonUnitRotational ||
+         c == ComponentClass::kNonUnitPermutational;
+}
+
+bool IsPermutationalClass(ComponentClass c) {
+  return c == ComponentClass::kUnitPermutational ||
+         c == ComponentClass::kNonUnitPermutational;
+}
+
+}  // namespace recur::classify

@@ -1,0 +1,67 @@
+#ifndef RECUR_CLASSIFY_TAXONOMY_H_
+#define RECUR_CLASSIFY_TAXONOMY_H_
+
+#include <string>
+
+namespace recur::classify {
+
+/// Classification of one connected component of the I-graph (on its
+/// condensation). The letters follow §3 of the paper.
+enum class ComponentClass {
+  /// No directed edge at all (pure non-recursive structure).
+  kTrivial,
+  /// A1: independent one-directional unit cycle with an undirected edge.
+  kUnitRotational,
+  /// A2: independent unit cycle that is a self directed loop.
+  kUnitPermutational,
+  /// A3: independent one-directional cycle of weight >= 2 using at least
+  /// one undirected edge.
+  kNonUnitRotational,
+  /// A4: independent one-directional cycle of weight >= 2 made of directed
+  /// edges only (a variable permutation).
+  kNonUnitPermutational,
+  /// B: independent multi-directional cycle of weight 0 (bounded cycle).
+  kBoundedCycle,
+  /// C: independent multi-directional cycle of non-zero weight (unbounded).
+  kUnboundedCycle,
+  /// D: non-trivial component containing no non-trivial cycle.
+  kNoNontrivialCycle,
+  /// E: dependent cycles (several non-trivial cycles, or directed edges
+  /// hanging off a cycle, in one component).
+  kDependent,
+};
+
+/// Classification of the whole formula: classes A1-A5 (one-directional),
+/// B (bounded cycles), C (unbounded cycles), D (no non-trivial cycles),
+/// E (dependent cycles) and F (mixed: disjoint combination of different
+/// classes).
+enum class FormulaClass {
+  kA1,
+  kA2,
+  kA3,
+  kA4,
+  kA5,
+  kB,
+  kC,
+  kD,
+  kE,
+  kF,
+};
+
+/// Short names: "A1".."A4" / "B".."F".
+const char* ToString(ComponentClass c);
+const char* ToString(FormulaClass c);
+
+/// Human-readable description ("unit, rotational cycle", ...).
+std::string Describe(ComponentClass c);
+std::string Describe(FormulaClass c);
+
+/// True for A1..A4 component classes (one-directional independent cycles).
+bool IsOneDirectionalClass(ComponentClass c);
+
+/// True for the permutational component classes A2/A4.
+bool IsPermutationalClass(ComponentClass c);
+
+}  // namespace recur::classify
+
+#endif  // RECUR_CLASSIFY_TAXONOMY_H_

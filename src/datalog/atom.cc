@@ -1,0 +1,36 @@
+#include "datalog/atom.h"
+
+#include <algorithm>
+
+namespace recur::datalog {
+
+std::vector<SymbolId> Atom::Variables() const {
+  std::vector<SymbolId> vars;
+  for (const Term& t : args_) {
+    if (t.IsVariable() &&
+        std::find(vars.begin(), vars.end(), t.symbol()) == vars.end()) {
+      vars.push_back(t.symbol());
+    }
+  }
+  return vars;
+}
+
+bool Atom::ContainsVariable(SymbolId var) const {
+  for (const Term& t : args_) {
+    if (t.IsVariable() && t.symbol() == var) return true;
+  }
+  return false;
+}
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.NameOf(predicate_);
+  out += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString(symbols);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace recur::datalog

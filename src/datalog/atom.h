@@ -1,0 +1,45 @@
+#ifndef RECUR_DATALOG_ATOM_H_
+#define RECUR_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/term.h"
+#include "util/symbol_table.h"
+
+namespace recur::datalog {
+
+/// An atomic formula: predicate applied to terms, e.g. A(x, z).
+class Atom {
+ public:
+  Atom() : predicate_(kInvalidSymbol) {}
+  Atom(SymbolId predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
+
+  SymbolId predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>* mutable_args() { return &args_; }
+  int arity() const { return static_cast<int>(args_.size()); }
+
+  /// Collects the distinct variables of this atom in first-occurrence order.
+  std::vector<SymbolId> Variables() const;
+
+  /// True if any argument is the variable `var`.
+  bool ContainsVariable(SymbolId var) const;
+
+  /// Renders e.g. "A(x, z)".
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+
+ private:
+  SymbolId predicate_;
+  std::vector<Term> args_;
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_ATOM_H_

@@ -1,0 +1,97 @@
+#include "datalog/expansion.h"
+
+#include "datalog/substitution.h"
+#include "datalog/unify.h"
+
+namespace recur::datalog {
+
+Rule RenameVariables(const Rule& rule, int layer,
+                     std::unordered_set<SymbolId>* avoid,
+                     SymbolTable* symbols) {
+  Substitution renaming;
+  for (SymbolId var : rule.Variables()) {
+    std::string name = symbols->NameOf(var) + std::to_string(layer);
+    SymbolId fresh = symbols->Intern(name);
+    while (avoid->count(fresh) > 0) {
+      name += "'";
+      fresh = symbols->Intern(name);
+    }
+    avoid->insert(fresh);
+    renaming.Bind(var, Term::Variable(fresh));
+  }
+  return renaming.Apply(rule);
+}
+
+Result<Rule> UnfoldOnce(const Rule& rule, int body_index,
+                        const Rule& definition, int layer,
+                        SymbolTable* symbols) {
+  if (body_index < 0 ||
+      body_index >= static_cast<int>(rule.body().size())) {
+    return Status::OutOfRange("body_index out of range in UnfoldOnce");
+  }
+  std::unordered_set<SymbolId> avoid;
+  for (SymbolId v : rule.Variables()) avoid.insert(v);
+  Rule renamed = RenameVariables(definition, layer, &avoid, symbols);
+
+  // Bind the renamed head variables to the subgoal's terms (renamed-first
+  // order makes fresh head variables map onto the existing rule's terms).
+  RECUR_ASSIGN_OR_RETURN(
+      Substitution subst,
+      Unify(renamed.head(), rule.body()[body_index]));
+
+  std::vector<Atom> body;
+  body.reserve(rule.body().size() - 1 + renamed.body().size());
+  for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+    if (i == body_index) {
+      for (const Atom& a : renamed.body()) body.push_back(subst.Apply(a));
+    } else {
+      body.push_back(subst.Apply(rule.body()[i]));
+    }
+  }
+  return Rule(subst.Apply(rule.head()), std::move(body));
+}
+
+Result<Rule> Expand(const LinearRecursiveRule& formula, int k,
+                    SymbolTable* symbols) {
+  if (k < 1) {
+    return Status::OutOfRange("expansion index must be >= 1");
+  }
+  Rule current = formula.rule();
+  SymbolId pred = formula.recursive_predicate();
+  for (int layer = 1; layer < k; ++layer) {
+    std::vector<int> rec = current.BodyIndexesOf(pred);
+    if (rec.size() != 1) {
+      return Status::Internal("expansion lost the recursive subgoal");
+    }
+    RECUR_ASSIGN_OR_RETURN(
+        current,
+        UnfoldOnce(current, rec[0], formula.rule(), layer, symbols));
+  }
+  return current;
+}
+
+Result<Rule> ExpandWithExit(const LinearRecursiveRule& formula, int k,
+                            const Rule& exit_rule, SymbolTable* symbols) {
+  if (k < 0) {
+    return Status::OutOfRange("expansion index must be >= 0");
+  }
+  SymbolId pred = formula.recursive_predicate();
+  if (exit_rule.head().predicate() != pred ||
+      exit_rule.head().arity() != formula.dimension()) {
+    return Status::InvalidArgument(
+        "exit rule head does not match the recursive predicate");
+  }
+  if (k == 0) {
+    return exit_rule;
+  }
+  RECUR_ASSIGN_OR_RETURN(Rule expanded, Expand(formula, k, symbols));
+  std::vector<int> rec = expanded.BodyIndexesOf(pred);
+  if (rec.size() != 1) {
+    return Status::Internal("expansion lost the recursive subgoal");
+  }
+  // Use a layer index beyond the ones consumed by Expand so exit variables
+  // get distinct subscripts.
+  return UnfoldOnce(expanded, rec[0], exit_rule, k, symbols);
+}
+
+}  // namespace recur::datalog

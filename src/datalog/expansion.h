@@ -1,0 +1,45 @@
+#ifndef RECUR_DATALOG_EXPANSION_H_
+#define RECUR_DATALOG_EXPANSION_H_
+
+#include <unordered_set>
+
+#include "datalog/linear_rule.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::datalog {
+
+/// Renames every variable of `rule` by appending `layer` to its name
+/// (x -> x1 for layer 1), following the paper's renumbering convention.
+/// Names already present in `avoid` (or introduced by this call) get primes
+/// appended until unique. The produced variable ids are recorded into
+/// `avoid`.
+Rule RenameVariables(const Rule& rule, int layer,
+                     std::unordered_set<SymbolId>* avoid,
+                     SymbolTable* symbols);
+
+/// One resolution step: unifies `definition.head` (variables renamed with
+/// suffix `layer`) with `rule.body()[body_index]` and splices the renamed
+/// definition body in its place. This is the paper's "forming the k-th
+/// I-graph by renumbering variables and unifying with the (k-1)st
+/// expansion".
+Result<Rule> UnfoldOnce(const Rule& rule, int body_index,
+                        const Rule& definition, int layer,
+                        SymbolTable* symbols);
+
+/// The k-th expansion of `formula` (k >= 1). The 1st expansion is the
+/// original rule; the k-th unfolds the recursive predicate k-1 times, so it
+/// contains k copies of the non-recursive subgoals and one occurrence of P.
+Result<Rule> Expand(const LinearRecursiveRule& formula, int k,
+                    SymbolTable* symbols);
+
+/// The k-th expansion with the remaining recursive subgoal resolved against
+/// `exit_rule` (e.g. P(x..) :- E(x..)), yielding a non-recursive rule.
+/// k = 0 resolves the exit rule directly into the head (the "zeroth"
+/// expansion P :- E).
+Result<Rule> ExpandWithExit(const LinearRecursiveRule& formula, int k,
+                            const Rule& exit_rule, SymbolTable* symbols);
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_EXPANSION_H_

@@ -1,0 +1,144 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace recur::datalog {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kImplies:
+      return "':-'";
+    case TokenKind::kQuery:
+      return "'?-'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < input.size(); ++k) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) advance(1);
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        advance(1);
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      size_t start = i;
+      while (i < input.size() && input[i] != '"') advance(1);
+      if (i == input.size()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(tok.line));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::string(input.substr(start, i - start));
+      advance(1);  // closing quote
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '(') {
+      tok.kind = TokenKind::kLeftParen;
+      advance(1);
+    } else if (c == ')') {
+      tok.kind = TokenKind::kRightParen;
+      advance(1);
+    } else if (c == ',' || c == '&') {
+      tok.kind = TokenKind::kComma;
+      advance(1);
+    } else if (c == '.') {
+      tok.kind = TokenKind::kPeriod;
+      advance(1);
+    } else if (c == ':' && i + 1 < input.size() && input[i + 1] == '-') {
+      tok.kind = TokenKind::kImplies;
+      advance(2);
+    } else if (c == '<' && i + 1 < input.size() && input[i + 1] == '-') {
+      tok.kind = TokenKind::kImplies;
+      advance(2);
+    } else if (c == '?' && i + 1 < input.size() && input[i + 1] == '-') {
+      tok.kind = TokenKind::kQuery;
+      advance(2);
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at line " + std::to_string(line) +
+                                ", column " + std::to_string(column));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace recur::datalog

@@ -1,0 +1,43 @@
+#ifndef RECUR_DATALOG_LEXER_H_
+#define RECUR_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace recur::datalog {
+
+/// Token kinds of the Datalog surface syntax.
+enum class TokenKind {
+  kIdentifier,   // foo, Foo, x1
+  kNumber,       // 42
+  kString,       // "quoted constant"
+  kLeftParen,    // (
+  kRightParen,   // )
+  kComma,        // ,
+  kPeriod,       // .
+  kImplies,      // :- or <-
+  kQuery,        // ?-
+  kEnd,          // end of input
+};
+
+/// One lexed token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Returns a printable name for a token kind.
+const char* TokenKindToString(TokenKind kind);
+
+/// Lexes `input` into tokens. Comments run from '%' or '#' to end of line.
+/// The final token is always kEnd.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_LEXER_H_

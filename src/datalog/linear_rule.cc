@@ -1,0 +1,70 @@
+#include "datalog/linear_rule.h"
+
+#include <unordered_set>
+
+namespace recur::datalog {
+
+namespace {
+
+/// True if some variable occurs in more than one argument position.
+bool HasRepeatedVariable(const Atom& atom) {
+  std::unordered_set<SymbolId> seen;
+  for (const Term& t : atom.args()) {
+    if (!t.IsVariable()) continue;
+    if (!seen.insert(t.symbol()).second) return true;
+  }
+  return false;
+}
+
+bool HasConstant(const Atom& atom) {
+  for (const Term& t : atom.args()) {
+    if (t.IsConstant()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<LinearRecursiveRule> LinearRecursiveRule::Create(Rule rule) {
+  if (rule.IsFact()) {
+    return Status::InvalidArgument("a fact is not a recursive rule");
+  }
+  SymbolId pred = rule.head().predicate();
+  std::vector<int> rec = rule.BodyIndexesOf(pred);
+  if (rec.empty()) {
+    return Status::InvalidArgument(
+        "rule is not recursive: head predicate does not occur in the body");
+  }
+  if (rec.size() > 1) {
+    return Status::Unsupported(
+        "non-linear recursion: the recursive predicate occurs more than once "
+        "in the antecedent");
+  }
+  int rec_index = rec[0];
+  const Atom& rec_atom = rule.body()[rec_index];
+  if (rec_atom.arity() != rule.head().arity()) {
+    return Status::InvalidArgument(
+        "recursive predicate used with inconsistent arity");
+  }
+  if (HasConstant(rule.head()) || HasConstant(rec_atom)) {
+    return Status::Unsupported(
+        "constants are not allowed in the recursive statement");
+  }
+  for (const Atom& a : rule.body()) {
+    if (a.predicate() != pred && HasConstant(a)) {
+      return Status::Unsupported(
+          "constants are not allowed in the recursive statement");
+    }
+  }
+  if (HasRepeatedVariable(rule.head()) || HasRepeatedVariable(rec_atom)) {
+    return Status::Unsupported(
+        "a variable may not appear more than once under the recursive "
+        "predicate");
+  }
+  if (!rule.IsRangeRestricted()) {
+    return Status::InvalidArgument("rule is not range restricted");
+  }
+  return LinearRecursiveRule(std::move(rule), rec_index);
+}
+
+}  // namespace recur::datalog

@@ -1,0 +1,63 @@
+#ifndef RECUR_DATALOG_LINEAR_RULE_H_
+#define RECUR_DATALOG_LINEAR_RULE_H_
+
+#include <vector>
+
+#include "datalog/rule.h"
+#include "util/result.h"
+
+namespace recur::datalog {
+
+/// A validated linear recursive formula in the paper's restricted language
+/// (§2): a function-free Horn clause with
+///   - exactly one occurrence of the recursive predicate in the antecedent,
+///   - no constants anywhere in the rule,
+///   - no variable occurring more than once under the recursive predicate
+///     (in either the consequent or the antecedent occurrence),
+///   - range restriction (every consequent variable occurs in the
+///     antecedent).
+///
+/// Exit rules `P :- E` play a role only in compiled forms, so they are kept
+/// separately (see transform::StableForm); the graph analysis works on the
+/// recursive rule alone.
+class LinearRecursiveRule {
+ public:
+  /// Default-constructed objects are empty placeholders (dimension 0) so
+  /// that aggregates holding a formula can be built incrementally; every
+  /// meaningful instance comes from Create().
+  LinearRecursiveRule() = default;
+
+  /// Validates `rule` and wraps it. Returns InvalidArgument describing the
+  /// first violated restriction otherwise.
+  static Result<LinearRecursiveRule> Create(Rule rule);
+
+  const Rule& rule() const { return rule_; }
+  const Atom& head() const { return rule_.head(); }
+
+  /// The single occurrence of the recursive predicate in the body.
+  const Atom& recursive_atom() const {
+    return rule_.body()[recursive_index_];
+  }
+  int recursive_index() const { return recursive_index_; }
+
+  /// Body atoms other than the recursive one, in order.
+  std::vector<Atom> NonRecursiveAtoms() const {
+    return rule_.BodyAtomsExcept(recursive_predicate());
+  }
+
+  SymbolId recursive_predicate() const { return rule_.head().predicate(); }
+
+  /// The paper's "dimension": number of argument positions of P.
+  int dimension() const { return rule_.head().arity(); }
+
+ private:
+  LinearRecursiveRule(Rule rule, int recursive_index)
+      : rule_(std::move(rule)), recursive_index_(recursive_index) {}
+
+  Rule rule_;
+  int recursive_index_ = -1;
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_LINEAR_RULE_H_

@@ -1,0 +1,160 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+#include "datalog/lexer.h"
+
+namespace recur::datalog {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!Check(TokenKind::kEnd)) {
+      if (Check(TokenKind::kQuery)) {
+        Advance();
+        RECUR_ASSIGN_OR_RETURN(Atom query, ParseAtomInternal());
+        RECUR_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+        program.AddQuery(std::move(query));
+        continue;
+      }
+      RECUR_ASSIGN_OR_RETURN(Rule rule, ParseClause());
+      program.AddRule(std::move(rule));
+    }
+    return program;
+  }
+
+  Result<Rule> ParseClause() {
+    RECUR_ASSIGN_OR_RETURN(Atom head, ParseAtomInternal());
+    std::vector<Atom> body;
+    if (Check(TokenKind::kImplies)) {
+      Advance();
+      for (;;) {
+        RECUR_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+        body.push_back(std::move(atom));
+        if (Check(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    RECUR_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return Rule(std::move(head), std::move(body));
+  }
+
+  Result<Atom> ParseAtomInternal() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error("expected predicate identifier");
+    }
+    SymbolId pred = symbols_->Intern(Current().text);
+    Advance();
+    std::vector<Term> args;
+    if (Check(TokenKind::kLeftParen)) {
+      Advance();
+      if (!Check(TokenKind::kRightParen)) {
+        for (;;) {
+          RECUR_ASSIGN_OR_RETURN(Term term, ParseTerm());
+          args.push_back(term);
+          if (Check(TokenKind::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      RECUR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+    }
+    return Atom(pred, std::move(args));
+  }
+
+  bool AtEnd() const { return Check(TokenKind::kEnd); }
+
+ private:
+  Result<Term> ParseTerm() {
+    const Token& tok = Current();
+    switch (tok.kind) {
+      case TokenKind::kIdentifier: {
+        char first = tok.text[0];
+        Term term =
+            (std::isupper(static_cast<unsigned char>(first)) || first == '_')
+                ? Term::Variable(symbols_->Intern(tok.text))
+                : Term::Constant(symbols_->Intern(tok.text));
+        Advance();
+        return term;
+      }
+      case TokenKind::kNumber:
+      case TokenKind::kString: {
+        Term term = Term::Constant(symbols_->Intern(tok.text));
+        Advance();
+        return term;
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  const Token& Current() const { return tokens_[pos_]; }
+  bool Check(TokenKind kind) const { return Current().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Status::ParseError(
+          std::string("expected ") + TokenKindToString(kind) + " but found " +
+          TokenKindToString(Current().kind) + " at line " +
+          std::to_string(Current().line) + ", column " +
+          std::to_string(Current().column));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(std::string_view message) const {
+    return Status::ParseError(std::string(message) + " at line " +
+                              std::to_string(Current().line) + ", column " +
+                              std::to_string(Current().column));
+  }
+
+  std::vector<Token> tokens_;
+  SymbolTable* symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input, SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens), symbols);
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view input, SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens), symbols);
+  RECUR_ASSIGN_OR_RETURN(Rule rule, parser.ParseClause());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after clause");
+  }
+  return rule;
+}
+
+Result<Atom> ParseAtom(std::string_view input, SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens), symbols);
+  RECUR_ASSIGN_OR_RETURN(Atom atom, parser.ParseAtomInternal());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after atom");
+  }
+  return atom;
+}
+
+}  // namespace recur::datalog

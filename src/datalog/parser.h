@@ -1,0 +1,35 @@
+#ifndef RECUR_DATALOG_PARSER_H_
+#define RECUR_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/program.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::datalog {
+
+/// Parses a Datalog program.
+///
+/// Surface syntax (Prolog-flavoured):
+///   P(X, Y) :- A(X, Z), P(Z, Y).     % rule
+///   P(X, Y) :- E(X, Y).              % exit rule
+///   A(a, b).                         % fact (ground)
+///   ?- P(a, Y).                      % query
+///
+/// Identifiers starting with an upper-case letter or '_' in *argument*
+/// position are variables; lower-case identifiers, numbers and quoted
+/// strings are constants. Identifiers in predicate position are predicates
+/// regardless of case, so the paper's P, A, B... transcribe directly.
+/// ',' and '&' both separate body atoms; ':-' and '<-' both mean "if".
+Result<Program> ParseProgram(std::string_view input, SymbolTable* symbols);
+
+/// Parses a single clause (rule, fact, or query) terminated by '.'.
+Result<Rule> ParseRule(std::string_view input, SymbolTable* symbols);
+
+/// Parses a single atom such as "P(a, Y)" (no trailing '.').
+Result<Atom> ParseAtom(std::string_view input, SymbolTable* symbols);
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_PARSER_H_

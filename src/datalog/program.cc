@@ -1,0 +1,62 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+
+namespace recur::datalog {
+
+std::vector<SymbolId> Program::IdbPredicates() const {
+  std::vector<SymbolId> out;
+  for (const Rule& r : rules_) {
+    SymbolId p = r.head().predicate();
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SymbolId> Program::EdbPredicates() const {
+  std::vector<SymbolId> idb = IdbPredicates();
+  std::vector<SymbolId> out;
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body()) {
+      SymbolId p = a.predicate();
+      if (std::find(idb.begin(), idb.end(), p) == idb.end() &&
+          std::find(out.begin(), out.end(), p) == out.end()) {
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Rule> Program::RulesFor(SymbolId pred) const {
+  std::vector<Rule> out;
+  for (const Rule& r : rules_) {
+    if (r.head().predicate() == pred) out.push_back(r);
+  }
+  return out;
+}
+
+Status Program::Validate() const {
+  for (const Rule& r : rules_) {
+    if (!r.IsRangeRestricted()) {
+      return Status::InvalidArgument("rule is not range restricted");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += r.ToString(symbols);
+    out += "\n";
+  }
+  for (const Atom& q : queries_) {
+    out += "?- ";
+    out += q.ToString(symbols);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace recur::datalog

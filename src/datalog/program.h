@@ -1,0 +1,47 @@
+#ifndef RECUR_DATALOG_PROGRAM_H_
+#define RECUR_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "util/result.h"
+
+namespace recur::datalog {
+
+/// A Datalog program: a list of rules plus optional query atoms
+/// (clauses written `?- P(a, X).` in the surface syntax).
+class Program {
+ public:
+  Program() = default;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>* mutable_rules() { return &rules_; }
+  const std::vector<Atom>& queries() const { return queries_; }
+  std::vector<Atom>* mutable_queries() { return &queries_; }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void AddQuery(Atom query) { queries_.push_back(std::move(query)); }
+
+  /// Predicates defined by at least one rule head (IDB predicates).
+  std::vector<SymbolId> IdbPredicates() const;
+
+  /// Predicates used in bodies but never defined (EDB predicates).
+  std::vector<SymbolId> EdbPredicates() const;
+
+  /// Rules whose head predicate is `pred`.
+  std::vector<Rule> RulesFor(SymbolId pred) const;
+
+  /// Validates that every rule is range restricted.
+  Status Validate() const;
+
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::vector<Atom> queries_;
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_PROGRAM_H_

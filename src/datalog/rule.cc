@@ -1,0 +1,73 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+
+namespace recur::datalog {
+
+bool Rule::IsRecursive() const {
+  for (const Atom& a : body_) {
+    if (a.predicate() == head_.predicate()) return true;
+  }
+  return false;
+}
+
+std::vector<int> Rule::BodyIndexesOf(SymbolId pred) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (body_[i].predicate() == pred) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<Atom> Rule::BodyAtomsExcept(SymbolId pred) const {
+  std::vector<Atom> out;
+  for (const Atom& a : body_) {
+    if (a.predicate() != pred) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<SymbolId> Rule::Variables() const {
+  std::vector<SymbolId> vars;
+  auto add = [&vars](const Atom& atom) {
+    for (const Term& t : atom.args()) {
+      if (t.IsVariable() &&
+          std::find(vars.begin(), vars.end(), t.symbol()) == vars.end()) {
+        vars.push_back(t.symbol());
+      }
+    }
+  };
+  add(head_);
+  for (const Atom& a : body_) add(a);
+  return vars;
+}
+
+bool Rule::IsRangeRestricted() const {
+  for (const Term& t : head_.args()) {
+    if (!t.IsVariable()) continue;
+    bool found = false;
+    for (const Atom& a : body_) {
+      if (a.ContainsVariable(t.symbol())) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string Rule::ToString(const SymbolTable& symbols) const {
+  std::string out = head_.ToString(symbols);
+  if (!body_.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body_[i].ToString(symbols);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace recur::datalog

@@ -1,0 +1,57 @@
+#ifndef RECUR_DATALOG_RULE_H_
+#define RECUR_DATALOG_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/atom.h"
+
+namespace recur::datalog {
+
+/// A definite Horn clause: `head :- body_1, ..., body_n.`
+/// An empty body denotes a fact.
+class Rule {
+ public:
+  Rule() = default;
+  Rule(Atom head, std::vector<Atom> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  const Atom& head() const { return head_; }
+  Atom* mutable_head() { return &head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::vector<Atom>* mutable_body() { return &body_; }
+
+  bool IsFact() const { return body_.empty(); }
+
+  /// True if some body atom uses the head's predicate.
+  bool IsRecursive() const;
+
+  /// Indexes of body atoms whose predicate is `pred`.
+  std::vector<int> BodyIndexesOf(SymbolId pred) const;
+
+  /// Body atoms whose predicate differs from `pred`.
+  std::vector<Atom> BodyAtomsExcept(SymbolId pred) const;
+
+  /// Distinct variables of the whole rule in first-occurrence order
+  /// (head first, then body left to right).
+  std::vector<SymbolId> Variables() const;
+
+  /// True if every head variable also occurs in the body ("range
+  /// restricted" in [Gall 84]); facts must be ground.
+  bool IsRangeRestricted() const;
+
+  /// Renders e.g. "P(x, y) :- A(x, z), P(z, y)."
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.head_ == b.head_ && a.body_ == b.body_;
+  }
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_RULE_H_

@@ -1,0 +1,38 @@
+#include "datalog/substitution.h"
+
+namespace recur::datalog {
+
+Term Substitution::Apply(const Term& term) const {
+  if (!term.IsVariable()) return term;
+  Term walked = Walk(term);
+  return walked;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) args.push_back(Apply(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  std::vector<Atom> body;
+  body.reserve(rule.body().size());
+  for (const Atom& a : rule.body()) body.push_back(Apply(a));
+  return Rule(Apply(rule.head()), std::move(body));
+}
+
+Term Substitution::Walk(Term term) const {
+  // Cycle guard: a substitution produced by our unifier is idempotent, but
+  // user-constructed ones may chain; bound by map size.
+  size_t steps = 0;
+  while (term.IsVariable() && steps <= map_.size()) {
+    const Term* next = LookUp(term.symbol());
+    if (next == nullptr || *next == term) break;
+    term = *next;
+    ++steps;
+  }
+  return term;
+}
+
+}  // namespace recur::datalog

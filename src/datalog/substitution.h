@@ -1,0 +1,42 @@
+#ifndef RECUR_DATALOG_SUBSTITUTION_H_
+#define RECUR_DATALOG_SUBSTITUTION_H_
+
+#include <unordered_map>
+
+#include "datalog/rule.h"
+
+namespace recur::datalog {
+
+/// A mapping from variables to terms, applied simultaneously.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` to `term`, overwriting an existing binding.
+  void Bind(SymbolId var, Term term) { map_[var] = term; }
+
+  /// Returns the binding of `var`, or nullptr if unbound.
+  const Term* LookUp(SymbolId var) const {
+    auto it = map_.find(var);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  /// Applies the substitution; unbound variables are left unchanged.
+  Term Apply(const Term& term) const;
+  Atom Apply(const Atom& atom) const;
+  Rule Apply(const Rule& rule) const;
+
+  /// Follows variable-to-variable chains until a non-variable or unbound
+  /// variable is reached (used during unification).
+  Term Walk(Term term) const;
+
+ private:
+  std::unordered_map<SymbolId, Term> map_;
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_SUBSTITUTION_H_

@@ -1,0 +1,9 @@
+#include "datalog/term.h"
+
+namespace recur::datalog {
+
+std::string Term::ToString(const SymbolTable& symbols) const {
+  return symbols.NameOf(symbol_);
+}
+
+}  // namespace recur::datalog

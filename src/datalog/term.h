@@ -1,0 +1,55 @@
+#ifndef RECUR_DATALOG_TERM_H_
+#define RECUR_DATALOG_TERM_H_
+
+#include <functional>
+#include <string>
+
+#include "util/symbol_table.h"
+
+namespace recur::datalog {
+
+/// A first-order term. The paper's language is function-free, so a term is
+/// either a variable or a constant; both are interned symbols.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  Term() : kind_(Kind::kConstant), symbol_(kInvalidSymbol) {}
+
+  static Term Variable(SymbolId id) { return Term(Kind::kVariable, id); }
+  static Term Constant(SymbolId id) { return Term(Kind::kConstant, id); }
+
+  Kind kind() const { return kind_; }
+  SymbolId symbol() const { return symbol_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+
+  /// Renders the term using `symbols` for name lookup.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.symbol_ == b.symbol_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.symbol_ < b.symbol_;
+  }
+
+ private:
+  Term(Kind kind, SymbolId symbol) : kind_(kind), symbol_(symbol) {}
+
+  Kind kind_;
+  SymbolId symbol_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(t.kind()) << 32) |
+                                 t.symbol());
+  }
+};
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_TERM_H_

@@ -1,0 +1,33 @@
+#include "datalog/unify.h"
+
+namespace recur::datalog {
+
+Status UnifyInto(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate() != b.predicate()) {
+    return Status::InvalidArgument("cannot unify atoms of different predicates");
+  }
+  if (a.arity() != b.arity()) {
+    return Status::InvalidArgument("cannot unify atoms of different arities");
+  }
+  for (int i = 0; i < a.arity(); ++i) {
+    Term ta = subst->Walk(a.args()[i]);
+    Term tb = subst->Walk(b.args()[i]);
+    if (ta == tb) continue;
+    if (ta.IsVariable()) {
+      subst->Bind(ta.symbol(), tb);
+    } else if (tb.IsVariable()) {
+      subst->Bind(tb.symbol(), ta);
+    } else {
+      return Status::InvalidArgument("cannot unify distinct constants");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Substitution> Unify(const Atom& a, const Atom& b) {
+  Substitution subst;
+  RECUR_RETURN_IF_ERROR(UnifyInto(a, b, &subst));
+  return subst;
+}
+
+}  // namespace recur::datalog

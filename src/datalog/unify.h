@@ -1,0 +1,19 @@
+#ifndef RECUR_DATALOG_UNIFY_H_
+#define RECUR_DATALOG_UNIFY_H_
+
+#include "datalog/substitution.h"
+#include "util/result.h"
+
+namespace recur::datalog {
+
+/// Computes the most general unifier of two atoms (function-free, so this is
+/// plain variable binding). Fails if predicates or arities differ or if two
+/// distinct constants must be equated.
+Result<Substitution> Unify(const Atom& a, const Atom& b);
+
+/// Extends `subst` so that Apply(a) == Apply(b); fails as for Unify.
+Status UnifyInto(const Atom& a, const Atom& b, Substitution* subst);
+
+}  // namespace recur::datalog
+
+#endif  // RECUR_DATALOG_UNIFY_H_

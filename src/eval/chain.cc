@@ -1,0 +1,100 @@
+#include "eval/chain.h"
+
+#include <unordered_set>
+
+namespace recur::eval {
+
+Result<StableChains> ExtractChains(const datalog::LinearRecursiveRule& formula,
+                                   const classify::Classification& cls,
+                                   SymbolTable* symbols) {
+  if (!cls.strongly_stable) {
+    return Status::InvalidArgument(
+        "chains can only be extracted from a strongly stable formula; "
+        "transform classes A3-A5 to stable form first");
+  }
+  const graph::IGraph& ig = cls.igraph;
+  const graph::CondensedGraph& condensed = cls.condensed;
+
+  // Group the non-recursive atoms by the cluster their variables live in
+  // (all variables of one atom are pairwise connected, hence one cluster).
+  int num_clusters = condensed.num_clusters();
+  std::vector<std::vector<datalog::Atom>> cluster_atoms(num_clusters);
+  std::vector<datalog::Atom> no_variable_atoms;
+  for (const datalog::Atom& atom : formula.NonRecursiveAtoms()) {
+    std::vector<SymbolId> vars = atom.Variables();
+    if (vars.empty()) {
+      no_variable_atoms.push_back(atom);  // propositional guard
+      continue;
+    }
+    int vertex = ig.graph().FindVertex(vars[0], 0);
+    if (vertex < 0) {
+      return Status::Internal("atom variable missing from the I-graph");
+    }
+    cluster_atoms[condensed.cluster_of(vertex)].push_back(atom);
+  }
+
+  StableChains out;
+  std::unordered_set<int> position_clusters;
+  for (int i = 0; i < formula.dimension(); ++i) {
+    int head_vertex = ig.HeadVertex(i);
+    int body_vertex = ig.BodyVertex(i);
+    int cluster = condensed.cluster_of(head_vertex);
+    if (condensed.cluster_of(body_vertex) != cluster) {
+      return Status::Internal(
+          "stable formula with consequent/antecedent variables in "
+          "different clusters");
+    }
+    position_clusters.insert(cluster);
+
+    PositionChain chain;
+    chain.position = i;
+    SymbolId head_var = ig.graph().vertex(head_vertex).var;
+    SymbolId body_var = ig.graph().vertex(body_vertex).var;
+    if (head_vertex == body_vertex && cluster_atoms[cluster].empty()) {
+      chain.identity = true;
+    } else {
+      SymbolId step_pred =
+          symbols->Intern("__step_" + std::to_string(i));
+      datalog::Atom head(step_pred,
+                         {datalog::Term::Variable(head_var),
+                          datalog::Term::Variable(body_var)});
+      chain.step_rule =
+          datalog::Rule(std::move(head), cluster_atoms[cluster]);
+    }
+    out.chains.push_back(std::move(chain));
+  }
+
+  // Guard: atoms in clusters not owned by any position.
+  for (int c = 0; c < num_clusters; ++c) {
+    if (position_clusters.count(c) > 0) continue;
+    for (const datalog::Atom& atom : cluster_atoms[c]) {
+      out.guard_atoms.push_back(atom);
+    }
+  }
+  for (const datalog::Atom& atom : no_variable_atoms) {
+    out.guard_atoms.push_back(atom);
+  }
+  return out;
+}
+
+Result<ra::Relation> MaterializeStep(const PositionChain& chain,
+                                     const RelationLookup& lookup,
+                                     EvalStats* stats) {
+  if (chain.identity) {
+    return Status::InvalidArgument("identity chains have no step relation");
+  }
+  return EvaluateRule(chain.step_rule, lookup, {}, stats);
+}
+
+Result<bool> GuardHolds(const StableChains& chains,
+                        const RelationLookup& lookup, EvalStats* stats) {
+  if (chains.guard_atoms.empty()) return true;
+  SymbolTable scratch;
+  datalog::Atom head(scratch.Intern("__guard"), {});
+  datalog::Rule guard_rule(std::move(head), chains.guard_atoms);
+  RECUR_ASSIGN_OR_RETURN(ra::Relation result,
+                         EvaluateRule(guard_rule, lookup, {}, stats));
+  return !result.empty();
+}
+
+}  // namespace recur::eval

@@ -1,0 +1,60 @@
+#ifndef RECUR_EVAL_CHAIN_H_
+#define RECUR_EVAL_CHAIN_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "datalog/linear_rule.h"
+#include "eval/conjunctive.h"
+#include "util/result.h"
+
+namespace recur::eval {
+
+/// One recursive position's expansion step in a *stable* formula. Each
+/// position lives on its own unit cycle (Theorem 1); one expansion relates
+/// the consequent variable to the antecedent variable through the
+/// non-recursive atoms of the cycle's cluster:
+///
+///   __step_i(HeadVar_i, BodyVar_i) :- <cluster atoms>.
+///
+/// For a pure self directed loop with no atoms the step is the identity.
+struct PositionChain {
+  int position = -1;
+  /// True when head and body variable coincide and the cluster has no
+  /// atoms: values pass through unchanged.
+  bool identity = false;
+  /// The step rule (meaningful when !identity). Materializing it against a
+  /// database yields the binary step relation S_i(consequent, antecedent).
+  datalog::Rule step_rule;
+};
+
+/// All chains of a stable formula plus its guard: atoms sitting in clusters
+/// not owned by any position's cycle. One copy of the guard conjunction is
+/// added per expansion, so if the guard is unsatisfiable only depth 0
+/// contributes; if satisfiable it contributes nothing further.
+struct StableChains {
+  std::vector<PositionChain> chains;  // indexed by position
+  std::vector<datalog::Atom> guard_atoms;
+};
+
+/// Extracts per-position chains from a strongly stable formula. Fails with
+/// InvalidArgument if `cls` does not certify strong stability (transform
+/// first for classes A3-A5).
+Result<StableChains> ExtractChains(const datalog::LinearRecursiveRule& formula,
+                                   const classify::Classification& cls,
+                                   SymbolTable* symbols);
+
+/// Materializes the binary step relation S_i for a non-identity chain.
+Result<ra::Relation> MaterializeStep(const PositionChain& chain,
+                                     const RelationLookup& lookup,
+                                     EvalStats* stats = nullptr);
+
+/// True if the guard conjunction is satisfiable in the database (vacuously
+/// true when there are no guard atoms).
+Result<bool> GuardHolds(const StableChains& chains,
+                        const RelationLookup& lookup,
+                        EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_CHAIN_H_

@@ -1,0 +1,351 @@
+#include "eval/compiled_eval.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ra/operators.h"
+
+namespace recur::eval {
+
+namespace {
+
+/// Builds the per-level rule for one exit under a query adornment:
+///   __level(<free head vars>) :- <exit body>, __frontier_i(<head var i>)
+///                                 for every bound position i.
+/// Joining the frontier atoms realizes "selections before joins": the
+/// current frontier sets restrict the exit join at every level.
+datalog::Rule MakeLevelRule(const datalog::Rule& exit, const Query& query,
+                            const std::vector<SymbolId>& frontier_preds,
+                            SymbolId level_pred) {
+  std::vector<datalog::Term> head_args;
+  for (int i : query.FreePositions()) {
+    head_args.push_back(exit.head().args()[i]);
+  }
+  // Frontier atoms come first so the greedy atom ordering starts from the
+  // (small) frontier sets — selections before joins.
+  std::vector<datalog::Atom> body;
+  for (int i : query.BoundPositions()) {
+    body.emplace_back(frontier_preds[i],
+                      std::vector<datalog::Term>{exit.head().args()[i]});
+  }
+  body.insert(body.end(), exit.body().begin(), exit.body().end());
+  return datalog::Rule(datalog::Atom(level_pred, std::move(head_args)),
+                       std::move(body));
+}
+
+/// A free position that needs backward folding: its column in the level
+/// result and its materialized step relation S(consequent, antecedent).
+struct FoldColumn {
+  int column;
+  const ra::Relation* step;
+};
+
+/// One backward fold: replaces every foldable column value by its
+/// predecessors through the step relation (join on the antecedent side).
+ra::Relation FoldOnce(const ra::Relation& acc,
+                      const std::vector<FoldColumn>& folds) {
+  ra::Relation cur = acc;
+  for (const FoldColumn& f : folds) {
+    ra::Relation next(cur.arity());
+    for (const ra::Tuple& t : cur.rows()) {
+      for (int row : f.step->RowsWithValue(1, t[f.column])) {
+        ra::Tuple nt = t;
+        nt[f.column] = f.step->rows()[row][0];
+        next.Insert(std::move(nt));
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+/// Serializes the evolving frontier sets for cycle detection.
+std::string FrontierKey(const std::vector<std::optional<ra::ValueSet>>&
+                            frontiers) {
+  std::string key;
+  for (const auto& f : frontiers) {
+    if (!f.has_value()) continue;
+    std::vector<ra::Value> sorted(f->begin(), f->end());
+    std::sort(sorted.begin(), sorted.end());
+    for (ra::Value v : sorted) {
+      key += std::to_string(v);
+      key += ",";
+    }
+    key += ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<StableEvaluator> StableEvaluator::Create(
+    datalog::LinearRecursiveRule recursive, std::vector<datalog::Rule> exits,
+    SymbolTable* symbols) {
+  if (exits.empty()) {
+    return Status::InvalidArgument("at least one exit rule is required");
+  }
+  for (const datalog::Rule& exit : exits) {
+    if (exit.head().predicate() != recursive.recursive_predicate() ||
+        exit.head().arity() != recursive.dimension()) {
+      return Status::InvalidArgument(
+          "exit rule head does not match the recursive predicate");
+    }
+    if (exit.IsRecursive()) {
+      return Status::InvalidArgument("exit rules must be non-recursive");
+    }
+  }
+  RECUR_ASSIGN_OR_RETURN(classify::Classification cls,
+                         classify::Classify(recursive));
+  if (!cls.strongly_stable) {
+    return Status::InvalidArgument(
+        "recursive rule is not strongly stable; use CreateWithTransform");
+  }
+  StableEvaluator out;
+  RECUR_ASSIGN_OR_RETURN(out.chains_,
+                         ExtractChains(recursive, cls, symbols));
+  out.recursive_ = std::move(recursive);
+  out.exits_ = std::move(exits);
+  out.symbols_ = symbols;
+  for (int i = 0; i < out.recursive_.dimension(); ++i) {
+    out.frontier_preds_.push_back(
+        symbols->Intern("__frontier_" + std::to_string(i)));
+  }
+  return out;
+}
+
+Result<StableEvaluator> StableEvaluator::CreateWithTransform(
+    const datalog::LinearRecursiveRule& formula,
+    const datalog::Rule& exit_rule, SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(classify::Classification cls,
+                         classify::Classify(formula));
+  if (cls.strongly_stable) {
+    return Create(formula, {exit_rule}, symbols);
+  }
+  RECUR_ASSIGN_OR_RETURN(
+      transform::StableForm sf,
+      transform::ToStableForm(formula, cls, exit_rule, symbols));
+  return Create(std::move(sf.recursive), std::move(sf.exits), symbols);
+}
+
+datalog::Program StableEvaluator::EquivalentProgram() const {
+  datalog::Program program;
+  program.AddRule(recursive_.rule());
+  for (const datalog::Rule& exit : exits_) program.AddRule(exit);
+  return program;
+}
+
+Result<ra::Relation> StableEvaluator::Answer(
+    const Query& query, const ra::Database& edb,
+    const CompiledEvalOptions& options, CompiledEvalStats* stats) const {
+  int n = dimension();
+  if (query.pred != recursive_.recursive_predicate() ||
+      query.arity() != n) {
+    return Status::InvalidArgument(
+        "query does not match the recursive predicate");
+  }
+
+  // Local (per-call) relations shadowing the EDB: the frontier sets.
+  std::unordered_map<SymbolId, ra::Relation> locals;
+  RelationLookup lookup = [&locals,
+                           &edb](SymbolId pred) -> const ra::Relation* {
+    auto it = locals.find(pred);
+    if (it != locals.end()) return &it->second;
+    return edb.Find(pred);
+  };
+
+  // Materialize step relations for non-identity chains.
+  std::vector<std::optional<ra::Relation>> steps(n);
+  for (const PositionChain& chain : chains_.chains) {
+    if (chain.identity) continue;
+    RECUR_ASSIGN_OR_RETURN(steps[chain.position],
+                           MaterializeStep(chain, lookup, stats));
+  }
+  RECUR_ASSIGN_OR_RETURN(bool guard_ok,
+                         GuardHolds(chains_, lookup, stats));
+
+  std::vector<int> bound = query.BoundPositions();
+  std::vector<int> free = query.FreePositions();
+  int bound_nonid = 0;
+  int free_nonid = 0;
+  for (int i : bound) {
+    if (!chains_.chains[i].identity) ++bound_nonid;
+  }
+  for (int i : free) {
+    if (!chains_.chains[i].identity) ++free_nonid;
+  }
+
+  // Level rules, one per exit.
+  SymbolId level_pred = symbols_->Intern("__level");
+  std::vector<datalog::Rule> level_rules;
+  level_rules.reserve(exits_.size());
+  for (const datalog::Rule& exit : exits_) {
+    level_rules.push_back(
+        MakeLevelRule(exit, query, frontier_preds_, level_pred));
+  }
+
+  // Initialize bound frontiers with the query constants.
+  std::vector<std::optional<ra::ValueSet>> frontiers(n);
+  auto publish_frontier = [&](int i) {
+    locals[frontier_preds_[i]] = ra::FromValues(*frontiers[i]);
+  };
+  for (int i : bound) {
+    frontiers[i] = ra::ValueSet{*query.bindings[i]};
+    publish_frontier(i);
+  }
+
+  // Evaluates all exits at the current level.
+  auto eval_level = [&]() -> Result<ra::Relation> {
+    ra::Relation out(static_cast<int>(free.size()));
+    for (const datalog::Rule& rule : level_rules) {
+      RECUR_ASSIGN_OR_RETURN(ra::Relation r,
+                             EvaluateRule(rule, lookup, {}, stats));
+      out.InsertAll(r);
+    }
+    return out;
+  };
+
+  // Columns of the level result that need backward folding.
+  std::vector<FoldColumn> folds;
+  for (size_t c = 0; c < free.size(); ++c) {
+    int position = free[c];
+    if (!chains_.chains[position].identity) {
+      folds.push_back({static_cast<int>(c), &*steps[position]});
+    }
+  }
+
+  auto note_mode = [&](CompiledEvalStats::Mode m) {
+    if (stats != nullptr) stats->mode = m;
+  };
+  auto bump_level = [&]() {
+    if (stats != nullptr) ++stats->levels;
+  };
+
+  ra::Relation acc(static_cast<int>(free.size()));
+
+  if (options.allow_dedup && bound_nonid == 0) {
+    // Every bound frontier is constant, so the level input never changes:
+    // answers = ∪_k fold^k(R), a plain closure (joins distribute over
+    // union, so folding the accumulated set is exact).
+    note_mode(free_nonid == 0 ? CompiledEvalStats::Mode::kSingleLevel
+                              : CompiledEvalStats::Mode::kBackwardClosure);
+    RECUR_ASSIGN_OR_RETURN(acc, eval_level());
+    bump_level();
+    if (guard_ok && free_nonid > 0) {
+      ra::Relation delta = acc;
+      while (!delta.empty()) {
+        ra::Relation next = FoldOnce(delta, folds);
+        ra::Relation fresh(acc.arity());
+        for (const ra::Tuple& t : next.rows()) {
+          if (!acc.Contains(t)) fresh.Insert(t);
+        }
+        acc.InsertAll(fresh);
+        delta = std::move(fresh);
+        bump_level();
+      }
+    }
+  } else if (options.allow_dedup && bound_nonid == 1 && free_nonid == 0) {
+    // Classic reachability: one evolving frontier, identity free side, so
+    // only the union of frontiers matters — BFS with a visited set.
+    note_mode(CompiledEvalStats::Mode::kForwardBfs);
+    int p = -1;
+    for (int i : bound) {
+      if (!chains_.chains[i].identity) p = i;
+    }
+    ra::ValueSet visited = *frontiers[p];
+    for (;;) {
+      RECUR_ASSIGN_OR_RETURN(ra::Relation level, eval_level());
+      acc.InsertAll(level);
+      bump_level();
+      if (!guard_ok) break;
+      RECUR_ASSIGN_OR_RETURN(
+          ra::ValueSet next,
+          ra::Step(*steps[p], 0, 1, *frontiers[p]));
+      ra::ValueSet fresh;
+      for (ra::Value v : next) {
+        if (visited.insert(v).second) fresh.insert(v);
+      }
+      if (fresh.empty()) break;
+      frontiers[p] = std::move(fresh);
+      publish_frontier(p);
+    }
+  } else {
+    // Synchronized level iteration: chain powers on different positions
+    // share the level index k, exactly as the compiled formulas require.
+    note_mode(CompiledEvalStats::Mode::kSynchronized);
+    int cap = options.max_levels >= 0
+                  ? options.max_levels
+                  : static_cast<int>(edb.ActiveDomainSize()) + 1;
+    std::vector<ra::Relation> level_results;
+    std::set<std::string> seen_states;
+    bool converged = false;
+    for (int k = 0; k <= cap; ++k) {
+      RECUR_ASSIGN_OR_RETURN(ra::Relation level, eval_level());
+      level_results.push_back(std::move(level));
+      bump_level();
+      if (!guard_ok) {
+        converged = true;
+        break;
+      }
+      // Advance the evolving frontiers.
+      bool any_empty = false;
+      for (int i : bound) {
+        if (chains_.chains[i].identity) continue;
+        RECUR_ASSIGN_OR_RETURN(ra::ValueSet next,
+                               ra::Step(*steps[i], 0, 1, *frontiers[i]));
+        frontiers[i] = std::move(next);
+        publish_frontier(i);
+        if (frontiers[i]->empty()) any_empty = true;
+      }
+      if (any_empty) {
+        converged = true;
+        break;
+      }
+      if (!seen_states.insert(FrontierKey(frontiers)).second) {
+        break;  // frontier state cycled: no convergence on this data
+      }
+    }
+    if (!converged) {
+      if (stats != nullptr) stats->fell_back = true;
+      if (!options.fallback_to_seminaive) {
+        return Status::Unsupported(
+            "synchronized compiled evaluation did not converge (cyclic "
+            "data); enable fallback_to_seminaive");
+      }
+      return SemiNaiveAnswer(EquivalentProgram(), edb, query, {}, stats);
+    }
+    // Combine levels.
+    if (folds.empty()) {
+      for (const ra::Relation& r : level_results) acc.InsertAll(r);
+    } else if (options.free_mode == FreeMode::kHorner) {
+      acc = level_results.back();
+      for (int j = static_cast<int>(level_results.size()) - 2; j >= 0;
+           --j) {
+        ra::Relation folded = FoldOnce(acc, folds);
+        acc = std::move(folded);
+        acc.InsertAll(level_results[j]);
+      }
+    } else {
+      for (size_t j = 0; j < level_results.size(); ++j) {
+        ra::Relation r = level_results[j];
+        for (size_t step = 0; step < j; ++step) {
+          r = FoldOnce(r, folds);
+        }
+        acc.InsertAll(r);
+      }
+    }
+  }
+
+  // Assemble full-arity answers: bound columns carry the query constants.
+  ra::Relation out(n);
+  for (const ra::Tuple& t : acc.rows()) {
+    ra::Tuple full(n);
+    for (int i : bound) full[i] = *query.bindings[i];
+    for (size_t c = 0; c < free.size(); ++c) full[free[c]] = t[c];
+    out.Insert(std::move(full));
+  }
+  return out;
+}
+
+}  // namespace recur::eval

@@ -1,0 +1,51 @@
+#ifndef RECUR_EVAL_CONJUNCTIVE_H_
+#define RECUR_EVAL_CONJUNCTIVE_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "datalog/rule.h"
+#include "ra/relation.h"
+#include "util/result.h"
+
+namespace recur::eval {
+
+/// Resolves a predicate to its current relation. Returning nullptr means
+/// "empty relation of unknown arity" and yields no derivations.
+using RelationLookup = std::function<const ra::Relation*(SymbolId)>;
+
+/// Options for EvaluateRule.
+struct ConjunctiveOptions {
+  /// Pre-bound variables (e.g. query constants pushed into the rule);
+  /// implements the paper's "selections before joins" principle.
+  const std::unordered_map<SymbolId, ra::Value>* bindings = nullptr;
+  /// Greedily reorder body atoms so that atoms sharing variables with the
+  /// already-bound set run first (sideways information passing). With
+  /// false, atoms run left to right.
+  bool reorder_atoms = true;
+  /// Replace the relation of the body atom at this index (used by
+  /// semi-naive evaluation to substitute the delta); -1 for none.
+  int override_index = -1;
+  const ra::Relation* override_relation = nullptr;
+};
+
+/// Statistics accumulated across evaluator runs.
+struct EvalStats {
+  int iterations = 0;           // fixpoint rounds (or levels)
+  size_t tuples_considered = 0; // intermediate binding tuples materialized
+  size_t tuples_produced = 0;   // new head tuples
+};
+
+/// Evaluates the conjunctive body of `rule` against the relations provided
+/// by `lookup` and returns the derived head relation (head constants are
+/// emitted literally; repeated variables and constants inside body atoms
+/// act as equality/selection predicates). This is the workhorse shared by
+/// the naive/semi-naive fixpoints and by bounded-formula evaluation.
+Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
+                                  const RelationLookup& lookup,
+                                  const ConjunctiveOptions& options = {},
+                                  EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_CONJUNCTIVE_H_

@@ -1,0 +1,78 @@
+#include "eval/naive.h"
+
+#include <algorithm>
+
+namespace recur::eval {
+
+namespace {
+
+/// Initializes IDB relations: arity from rule heads, seeded with any facts
+/// the database already holds under an IDB predicate.
+Result<IdbRelations> InitializeIdb(const datalog::Program& program,
+                                   const ra::Database& edb) {
+  IdbRelations idb;
+  for (const datalog::Rule& rule : program.rules()) {
+    if (rule.IsFact()) continue;
+    SymbolId pred = rule.head().predicate();
+    int arity = rule.head().arity();
+    auto it = idb.find(pred);
+    if (it == idb.end()) {
+      idb.emplace(pred, ra::Relation(arity));
+      const ra::Relation* facts = edb.Find(pred);
+      if (facts != nullptr) {
+        if (facts->arity() != arity) {
+          return Status::InvalidArgument(
+              "facts and rules disagree on predicate arity");
+        }
+        idb[pred].InsertAll(*facts);
+      }
+    } else if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          "rules disagree on predicate arity");
+    }
+  }
+  return idb;
+}
+
+}  // namespace
+
+Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
+                                   const ra::Database& edb,
+                                   const FixpointOptions& options,
+                                   EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(IdbRelations idb, InitializeIdb(program, edb));
+  RelationLookup lookup = [&idb, &edb](SymbolId pred) -> const ra::Relation* {
+    auto it = idb.find(pred);
+    if (it != idb.end()) return &it->second;
+    return edb.Find(pred);
+  };
+  for (int round = 0; round < options.max_iterations; ++round) {
+    if (stats != nullptr) ++stats->iterations;
+    bool changed = false;
+    for (const datalog::Rule& rule : program.rules()) {
+      if (rule.IsFact()) continue;
+      RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                             EvaluateRule(rule, lookup, {}, stats));
+      if (idb[rule.head().predicate()].InsertAll(derived) > 0) {
+        changed = true;
+      }
+    }
+    if (!changed) return idb;
+  }
+  return Status::Internal("naive fixpoint exceeded max_iterations");
+}
+
+Result<ra::Relation> NaiveAnswer(const datalog::Program& program,
+                                 const ra::Database& edb, const Query& query,
+                                 const FixpointOptions& options,
+                                 EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(IdbRelations idb,
+                         NaiveEvaluate(program, edb, options, stats));
+  auto it = idb.find(query.pred);
+  if (it == idb.end()) {
+    return Status::NotFound("query predicate has no rules");
+  }
+  return query.Filter(it->second);
+}
+
+}  // namespace recur::eval

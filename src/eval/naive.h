@@ -1,0 +1,37 @@
+#ifndef RECUR_EVAL_NAIVE_H_
+#define RECUR_EVAL_NAIVE_H_
+
+#include <unordered_map>
+
+#include "datalog/program.h"
+#include "eval/conjunctive.h"
+#include "eval/query.h"
+#include "ra/database.h"
+
+namespace recur::eval {
+
+/// The computed intensional relations, one per IDB predicate.
+using IdbRelations = std::unordered_map<SymbolId, ra::Relation>;
+
+struct FixpointOptions {
+  /// Hard cap on fixpoint rounds (a safety valve; the fixpoint of a Datalog
+  /// program over a finite database always terminates well below this).
+  int max_iterations = 1 << 20;
+};
+
+/// Naive bottom-up fixpoint: re-derives from the full relations every round
+/// until nothing new appears. The baseline of baselines.
+Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
+                                   const ra::Database& edb,
+                                   const FixpointOptions& options = {},
+                                   EvalStats* stats = nullptr);
+
+/// Answers `query` by full naive materialization followed by selection.
+Result<ra::Relation> NaiveAnswer(const datalog::Program& program,
+                                 const ra::Database& edb, const Query& query,
+                                 const FixpointOptions& options = {},
+                                 EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_NAIVE_H_

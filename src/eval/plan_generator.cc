@@ -1,0 +1,189 @@
+#include "eval/plan_generator.h"
+
+#include "eval/seminaive.h"
+#include "transform/stable_form.h"
+
+namespace recur::eval {
+
+namespace {
+
+using transform::CompiledExpr;
+
+/// Display label of a chain: the concatenated predicate names of its step
+/// conjunction ("A", "ABC"), or "id" for identity chains.
+std::string ChainLabel(const PositionChain& chain,
+                       const SymbolTable& symbols) {
+  if (chain.identity) return "id";
+  std::string label;
+  for (const datalog::Atom& atom : chain.step_rule.body()) {
+    label += symbols.NameOf(atom.predicate());
+  }
+  return label.empty() ? "=" : label;
+}
+
+/// Symbolic compiled formula for a stable evaluator:
+///   σE_0, ..., ∪_k [{σC_1^k ∥ ... ∥ σC_n^k} - E].
+CompiledExpr StableSymbolic(const StableEvaluator& evaluator,
+                            const SymbolTable& symbols) {
+  std::vector<CompiledExpr> steps;
+  std::vector<CompiledExpr> chain_powers;
+  for (const PositionChain& chain : evaluator.chains().chains) {
+    chain_powers.push_back(CompiledExpr::Power(
+        CompiledExpr::Relation(ChainLabel(chain, symbols))));
+  }
+  std::vector<CompiledExpr> exit_names;
+  for (size_t i = 0; i < evaluator.exits().size(); ++i) {
+    std::string name = evaluator.exits().size() == 1
+                           ? "E"
+                           : "E_" + std::to_string(i);
+    exit_names.push_back(CompiledExpr::Relation(name));
+    steps.push_back(
+        CompiledExpr::Select(CompiledExpr::Relation(name)));
+  }
+  CompiledExpr body = CompiledExpr::JoinChain(
+      {CompiledExpr::Parallel(std::move(chain_powers)),
+       exit_names.size() == 1 ? exit_names[0]
+                              : CompiledExpr::Parallel(exit_names)});
+  steps.push_back(CompiledExpr::UnionK(std::move(body)));
+  return CompiledExpr::Sequence(std::move(steps));
+}
+
+/// Symbolic form for a bounded expansion: one σ(depth-i conjunction) per
+/// depth.
+CompiledExpr BoundedSymbolic(const std::vector<datalog::Rule>& rules,
+                             const SymbolTable& symbols) {
+  std::vector<CompiledExpr> steps;
+  for (const datalog::Rule& rule : rules) {
+    std::vector<CompiledExpr> atoms;
+    for (const datalog::Atom& atom : rule.body()) {
+      atoms.push_back(
+          CompiledExpr::Relation(symbols.NameOf(atom.predicate())));
+    }
+    steps.push_back(
+        CompiledExpr::Select(CompiledExpr::JoinChain(std::move(atoms))));
+  }
+  return CompiledExpr::Sequence(std::move(steps));
+}
+
+}  // namespace
+
+const char* ToString(Strategy s) {
+  switch (s) {
+    case Strategy::kStableCompiled:
+      return "stable-compiled";
+    case Strategy::kTransformedCompiled:
+      return "transformed-compiled";
+    case Strategy::kBoundedExpansion:
+      return "bounded-expansion";
+    case Strategy::kSemiNaive:
+      return "semi-naive";
+  }
+  return "?";
+}
+
+Result<ra::Relation> QueryPlan::Execute(const Query& query,
+                                        const ra::Database& edb,
+                                        const CompiledEvalOptions& options,
+                                        CompiledEvalStats* stats) const {
+  switch (strategy_) {
+    case Strategy::kStableCompiled:
+    case Strategy::kTransformedCompiled:
+      return stable_->Answer(query, edb, options, stats);
+    case Strategy::kBoundedExpansion: {
+      ra::Relation out(query.arity());
+      RelationLookup lookup = [&edb](SymbolId pred) {
+        return edb.Find(pred);
+      };
+      for (const datalog::Rule& rule : bounded_rules_) {
+        // Push the query constants into the rule head variables
+        // (selection before joins). A head variable bound to two
+        // different constants makes the rule unsatisfiable for this query.
+        std::unordered_map<SymbolId, ra::Value> bindings;
+        bool satisfiable = true;
+        for (int i = 0; i < query.arity() && satisfiable; ++i) {
+          if (!query.bindings[i].has_value()) continue;
+          const datalog::Term& arg = rule.head().args()[i];
+          if (arg.IsConstant()) {
+            satisfiable =
+                static_cast<ra::Value>(arg.symbol()) == *query.bindings[i];
+            continue;
+          }
+          auto [it, inserted] =
+              bindings.emplace(arg.symbol(), *query.bindings[i]);
+          if (!inserted && it->second != *query.bindings[i]) {
+            satisfiable = false;
+          }
+        }
+        if (!satisfiable) continue;
+        ConjunctiveOptions conj;
+        conj.bindings = &bindings;
+        RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                               EvaluateRule(rule, lookup, conj, stats));
+        RECUR_ASSIGN_OR_RETURN(ra::Relation filtered,
+                               query.Filter(derived));
+        out.InsertAll(filtered);
+      }
+      if (stats != nullptr) {
+        stats->levels = static_cast<int>(bounded_rules_.size());
+      }
+      return out;
+    }
+    case Strategy::kSemiNaive:
+      return SemiNaiveAnswer(program_, edb, query, {}, stats);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+std::string QueryPlan::ToString() const {
+  return std::string(eval::ToString(strategy_)) + ": " +
+         symbolic_.ToString();
+}
+
+Result<QueryPlan> PlanGenerator::Plan(
+    const datalog::LinearRecursiveRule& formula,
+    const datalog::Rule& exit_rule) const {
+  RECUR_ASSIGN_OR_RETURN(classify::Classification cls,
+                         classify::Classify(formula));
+  QueryPlan plan;
+  plan.cls_ = cls;
+  plan.program_.AddRule(formula.rule());
+  plan.program_.AddRule(exit_rule);
+
+  if (cls.strongly_stable) {
+    plan.strategy_ = Strategy::kStableCompiled;
+    RECUR_ASSIGN_OR_RETURN(
+        StableEvaluator evaluator,
+        StableEvaluator::Create(formula, {exit_rule}, symbols_));
+    plan.symbolic_ = StableSymbolic(evaluator, *symbols_);
+    plan.stable_ = std::move(evaluator);
+    return plan;
+  }
+  if (cls.transformable_to_stable) {
+    plan.strategy_ = Strategy::kTransformedCompiled;
+    RECUR_ASSIGN_OR_RETURN(
+        transform::StableForm sf,
+        transform::ToStableForm(formula, cls, exit_rule, symbols_));
+    RECUR_ASSIGN_OR_RETURN(
+        StableEvaluator evaluator,
+        StableEvaluator::Create(std::move(sf.recursive),
+                                std::move(sf.exits), symbols_));
+    plan.symbolic_ = StableSymbolic(evaluator, *symbols_);
+    plan.stable_ = std::move(evaluator);
+    return plan;
+  }
+  if (cls.bounded) {
+    plan.strategy_ = Strategy::kBoundedExpansion;
+    RECUR_ASSIGN_OR_RETURN(
+        transform::BoundedForm bf,
+        transform::ExpandBounded(formula, cls, exit_rule, symbols_));
+    plan.symbolic_ = BoundedSymbolic(bf.rules, *symbols_);
+    plan.bounded_rules_ = std::move(bf.rules);
+    return plan;
+  }
+  plan.strategy_ = Strategy::kSemiNaive;
+  plan.symbolic_ = transform::CompiledExpr::Relation(
+      "semi-naive fixpoint (no general compiled form for this class)");
+  return plan;
+}
+
+}  // namespace recur::eval

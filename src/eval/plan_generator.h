@@ -1,0 +1,82 @@
+#ifndef RECUR_EVAL_PLAN_GENERATOR_H_
+#define RECUR_EVAL_PLAN_GENERATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "eval/compiled_eval.h"
+#include "eval/query.h"
+#include "transform/bounded_expand.h"
+#include "transform/compiled_expr.h"
+
+namespace recur::eval {
+
+/// How a query over a classified formula will be executed.
+enum class Strategy {
+  /// Strongly stable (disjoint unit cycles): compiled chain evaluation.
+  kStableCompiled,
+  /// Classes A3-A5: unfold to stable form (multiple exits), then compiled
+  /// chain evaluation.
+  kTransformedCompiled,
+  /// Bounded (classes B, D, permutational combos): expand to the
+  /// equivalent finite non-recursive set, evaluate each with the query
+  /// constants pushed down.
+  kBoundedExpansion,
+  /// Classes C, E and unbounded mixes: the paper gives no general method;
+  /// we evaluate semi-naive (the per-example paper plans live in
+  /// special_plans.h).
+  kSemiNaive,
+};
+
+const char* ToString(Strategy s);
+
+/// A compiled query plan: the strategy, a printable compiled formula in the
+/// paper's notation, and the executable state.
+class QueryPlan {
+ public:
+  Strategy strategy() const { return strategy_; }
+  const classify::Classification& classification() const { return cls_; }
+  const transform::CompiledExpr& symbolic() const { return symbolic_; }
+
+  /// Runs the plan.
+  Result<ra::Relation> Execute(const Query& query, const ra::Database& edb,
+                               const CompiledEvalOptions& options = {},
+                               CompiledEvalStats* stats = nullptr) const;
+
+  /// Human-readable description: strategy + compiled formula.
+  std::string ToString() const;
+
+ private:
+  friend class PlanGenerator;
+
+  Strategy strategy_ = Strategy::kSemiNaive;
+  classify::Classification cls_;
+  transform::CompiledExpr symbolic_ =
+      transform::CompiledExpr::Relation("E");
+  std::optional<StableEvaluator> stable_;
+  std::vector<datalog::Rule> bounded_rules_;
+  datalog::Program program_;  // recursive rule + exits (semi-naive path)
+};
+
+/// Generates query plans from a recursive formula and its exit rule by
+/// classifying the formula and picking the per-class compilation the paper
+/// prescribes.
+class PlanGenerator {
+ public:
+  explicit PlanGenerator(SymbolTable* symbols) : symbols_(symbols) {}
+
+  /// Builds the plan for `formula` with `exit_rule`. The plan is
+  /// query-independent (the compiled evaluator specializes per adornment at
+  /// Execute time).
+  Result<QueryPlan> Plan(const datalog::LinearRecursiveRule& formula,
+                         const datalog::Rule& exit_rule) const;
+
+ private:
+  SymbolTable* symbols_;
+};
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_PLAN_GENERATOR_H_

@@ -1,0 +1,67 @@
+#include "eval/query.h"
+
+namespace recur::eval {
+
+uint32_t Query::adornment() const {
+  uint32_t a = 0;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i].has_value()) a |= (1u << i);
+  }
+  return a;
+}
+
+std::string Query::AdornmentString() const {
+  std::string s;
+  for (const auto& b : bindings) s += b.has_value() ? 'b' : 'f';
+  return s;
+}
+
+std::vector<int> Query::BoundPositions() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i].has_value()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Query::FreePositions() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (!bindings[i].has_value()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Query Query::FromAtom(const datalog::Atom& atom) {
+  Query q;
+  q.pred = atom.predicate();
+  q.bindings.reserve(atom.args().size());
+  for (const datalog::Term& t : atom.args()) {
+    if (t.IsConstant()) {
+      q.bindings.emplace_back(static_cast<ra::Value>(t.symbol()));
+    } else {
+      q.bindings.emplace_back(std::nullopt);
+    }
+  }
+  return q;
+}
+
+Result<ra::Relation> Query::Filter(const ra::Relation& full) const {
+  if (full.arity() != arity()) {
+    return Status::InvalidArgument("query arity does not match relation");
+  }
+  ra::Relation out(arity());
+  for (const ra::Tuple& t : full.rows()) {
+    bool match = true;
+    for (int i = 0; i < arity(); ++i) {
+      if (bindings[i].has_value() && t[i] != *bindings[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace recur::eval

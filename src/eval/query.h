@@ -1,0 +1,45 @@
+#ifndef RECUR_EVAL_QUERY_H_
+#define RECUR_EVAL_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "ra/relation.h"
+#include "util/result.h"
+
+namespace recur::eval {
+
+/// A query over the recursive predicate: P(a, Y) binds position 0 to the
+/// constant `a` and leaves position 1 free. The paper writes these as
+/// query forms like P(d, v, v).
+struct Query {
+  SymbolId pred = kInvalidSymbol;
+  std::vector<std::optional<ra::Value>> bindings;
+
+  int arity() const { return static_cast<int>(bindings.size()); }
+
+  /// Bitmask of bound positions (bit i set <=> position i bound) — the
+  /// adornment, e.g. "bf" == 0b01.
+  uint32_t adornment() const;
+
+  /// Adornment in the conventional string form, e.g. "bff".
+  std::string AdornmentString() const;
+
+  /// Positions that are bound / free, in order.
+  std::vector<int> BoundPositions() const;
+  std::vector<int> FreePositions() const;
+
+  /// Builds a query from an atom: constants bind, variables stay free.
+  static Query FromAtom(const datalog::Atom& atom);
+
+  /// Filters a fully materialized relation for `pred` down to the rows
+  /// matching the bound positions (the brute-force reference semantics of
+  /// a query: evaluate everything, then select).
+  Result<ra::Relation> Filter(const ra::Relation& full) const;
+};
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_QUERY_H_

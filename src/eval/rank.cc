@@ -1,0 +1,26 @@
+#include "eval/rank.h"
+
+#include "eval/conjunctive.h"
+
+namespace recur::eval {
+
+Result<int> EmpiricalRank(const datalog::LinearRecursiveRule& formula,
+                          const datalog::Rule& exit_rule,
+                          const ra::Database& edb, SymbolTable* symbols,
+                          int max_depth) {
+  RelationLookup lookup = [&edb](SymbolId pred) { return edb.Find(pred); };
+  ra::Relation accumulated(formula.dimension());
+  int rank = 0;
+  for (int k = 0; k <= max_depth; ++k) {
+    RECUR_ASSIGN_OR_RETURN(
+        datalog::Rule depth_rule,
+        datalog::ExpandWithExit(formula, k, exit_rule, symbols));
+    RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                           EvaluateRule(depth_rule, lookup));
+    size_t fresh = accumulated.InsertAll(derived);
+    if (fresh > 0) rank = k;
+  }
+  return rank;
+}
+
+}  // namespace recur::eval

@@ -1,0 +1,24 @@
+#ifndef RECUR_EVAL_RANK_H_
+#define RECUR_EVAL_RANK_H_
+
+#include "datalog/expansion.h"
+#include "ra/database.h"
+#include "util/result.h"
+
+namespace recur::eval {
+
+/// Empirically determines the rank of a recursive formula on a concrete
+/// database: evaluates the depth-k expansions (recursive predicate
+/// resolved against `exit_rule`) for k = 0..max_depth and reports the
+/// largest k whose expansion produced a tuple not derived by any earlier
+/// depth. The paper's rank is the supremum of this value over all
+/// databases; for a bounded formula the classifier's rank_bound must
+/// dominate it on every database (checked in the property tests).
+Result<int> EmpiricalRank(const datalog::LinearRecursiveRule& formula,
+                          const datalog::Rule& exit_rule,
+                          const ra::Database& edb, SymbolTable* symbols,
+                          int max_depth);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_RANK_H_

@@ -1,0 +1,119 @@
+#include "eval/seminaive.h"
+
+#include <algorithm>
+
+#include "ra/operators.h"
+
+namespace recur::eval {
+
+Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
+                                       const ra::Database& edb,
+                                       const FixpointOptions& options,
+                                       EvalStats* stats) {
+  // Full and delta relations per IDB predicate.
+  IdbRelations full;
+  IdbRelations delta;
+  for (const datalog::Rule& rule : program.rules()) {
+    if (rule.IsFact()) continue;
+    SymbolId pred = rule.head().predicate();
+    int arity = rule.head().arity();
+    auto it = full.find(pred);
+    if (it == full.end()) {
+      full.emplace(pred, ra::Relation(arity));
+      delta.emplace(pred, ra::Relation(arity));
+      const ra::Relation* facts = edb.Find(pred);
+      if (facts != nullptr) {
+        if (facts->arity() != arity) {
+          return Status::InvalidArgument(
+              "facts and rules disagree on predicate arity");
+        }
+        full[pred].InsertAll(*facts);
+        delta[pred].InsertAll(*facts);
+      }
+    } else if (it->second.arity() != arity) {
+      return Status::InvalidArgument("rules disagree on predicate arity");
+    }
+  }
+
+  RelationLookup lookup = [&full,
+                           &edb](SymbolId pred) -> const ra::Relation* {
+    auto it = full.find(pred);
+    if (it != full.end()) return &it->second;
+    return edb.Find(pred);
+  };
+  auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
+
+  // Round 0: rules with no IDB body atom fire once from the EDB alone.
+  for (const datalog::Rule& rule : program.rules()) {
+    if (rule.IsFact()) continue;
+    bool has_idb_atom = std::any_of(
+        rule.body().begin(), rule.body().end(),
+        [&](const datalog::Atom& a) { return is_idb(a.predicate()); });
+    if (has_idb_atom) continue;
+    RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                           EvaluateRule(rule, lookup, {}, stats));
+    for (const ra::Tuple& t : derived.rows()) {
+      if (full[rule.head().predicate()].Insert(t)) {
+        delta[rule.head().predicate()].Insert(t);
+      }
+    }
+  }
+
+  for (int round = 0; round < options.max_iterations; ++round) {
+    if (stats != nullptr) ++stats->iterations;
+    bool any_delta = false;
+    for (const auto& [pred, d] : delta) {
+      if (!d.empty()) {
+        any_delta = true;
+        break;
+      }
+    }
+    if (!any_delta) return full;
+
+    // New tuples derived this round, per head predicate.
+    IdbRelations fresh;
+    for (auto& [pred, rel] : full) {
+      fresh.emplace(pred, ra::Relation(rel.arity()));
+    }
+    for (const datalog::Rule& rule : program.rules()) {
+      if (rule.IsFact()) continue;
+      for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+        SymbolId body_pred = rule.body()[i].predicate();
+        if (!is_idb(body_pred)) continue;
+        const ra::Relation& d = delta[body_pred];
+        if (d.empty()) continue;
+        ConjunctiveOptions conj;
+        conj.override_index = i;
+        conj.override_relation = &d;
+        RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                               EvaluateRule(rule, lookup, conj, stats));
+        for (const ra::Tuple& t : derived.rows()) {
+          if (!full[rule.head().predicate()].Contains(t)) {
+            fresh[rule.head().predicate()].Insert(t);
+          }
+        }
+      }
+    }
+    for (auto& [pred, rel] : fresh) {
+      full[pred].InsertAll(rel);
+      delta[pred] = std::move(rel);
+    }
+  }
+  return Status::Internal("semi-naive fixpoint exceeded max_iterations");
+}
+
+Result<ra::Relation> SemiNaiveAnswer(const datalog::Program& program,
+                                     const ra::Database& edb,
+                                     const Query& query,
+                                     const FixpointOptions& options,
+                                     EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(IdbRelations idb,
+                         SemiNaiveEvaluate(program, edb, options, stats));
+  auto it = idb.find(query.pred);
+  if (it == idb.end()) {
+    return Status::NotFound("query predicate has no rules");
+  }
+  return query.Filter(it->second);
+}
+
+}  // namespace recur::eval

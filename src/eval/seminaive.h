@@ -1,0 +1,26 @@
+#ifndef RECUR_EVAL_SEMINAIVE_H_
+#define RECUR_EVAL_SEMINAIVE_H_
+
+#include "eval/naive.h"
+
+namespace recur::eval {
+
+/// Semi-naive bottom-up fixpoint: every round joins each rule once per IDB
+/// body atom with that atom restricted to the previous round's delta, so
+/// derivations are not endlessly recomputed. Produces the same relations
+/// as NaiveEvaluate.
+Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
+                                       const ra::Database& edb,
+                                       const FixpointOptions& options = {},
+                                       EvalStats* stats = nullptr);
+
+/// Answers `query` by semi-naive materialization followed by selection.
+Result<ra::Relation> SemiNaiveAnswer(const datalog::Program& program,
+                                     const ra::Database& edb,
+                                     const Query& query,
+                                     const FixpointOptions& options = {},
+                                     EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_SEMINAIVE_H_

@@ -1,0 +1,304 @@
+#include "eval/special_plans.h"
+
+#include "ra/operators.h"
+
+namespace recur::eval {
+
+namespace {
+
+Result<const ra::Relation*> Rel(const ra::Database& edb,
+                                const SymbolTable& symbols, const char* name,
+                                int arity) {
+  SymbolId id = symbols.Lookup(name);
+  const ra::Relation* rel = id == kInvalidSymbol ? nullptr : edb.Find(id);
+  if (rel == nullptr) {
+    return Status::NotFound(std::string("relation ") + name +
+                            " missing from the database");
+  }
+  if (rel->arity() != arity) {
+    return Status::InvalidArgument(std::string("relation ") + name +
+                                   " has unexpected arity");
+  }
+  return rel;
+}
+
+void BumpIteration(EvalStats* stats) {
+  if (stats != nullptr) ++stats->iterations;
+}
+
+/// A pair value for the dependent-plan frontiers.
+using Pair = std::pair<ra::Value, ra::Value>;
+struct PairHash {
+  size_t operator()(const Pair& p) const {
+    return std::hash<uint64_t>()(static_cast<uint64_t>(p.first) * 1000003u ^
+                                 static_cast<uint64_t>(p.second));
+  }
+};
+using PairSet = std::unordered_set<Pair, PairHash>;
+
+}  // namespace
+
+Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
+                                      const SymbolTable& symbols,
+                                      ra::Value d, EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
+
+  ra::Relation out(3);
+  // σE: the exit contributes the depth-0 answers directly.
+  for (int row : e->RowsWithValue(0, d)) {
+    out.Insert(e->rows()[row]);
+  }
+
+  // σA: the bound position feeds only the y column; the recursion is
+  // disconnected from it.
+  ra::ValueSet y_values;
+  for (int row : a->RowsWithValue(0, d)) {
+    y_values.insert(a->rows()[row][1]);
+  }
+  if (y_values.empty()) return out;
+
+  // Z_1 = π_z(E ⋈ B) (join on both u and v); Z_{k+1} = π_z(σ_{v∈Z_k}B · A).
+  ra::ValueSet z_all;
+  ra::ValueSet z_delta;
+  for (const ra::Tuple& t : e->rows()) {
+    if (b->Contains({t[0], t[2]})) z_delta.insert(t[1]);
+  }
+  BumpIteration(stats);
+  while (!z_delta.empty()) {
+    ra::ValueSet fresh;
+    for (ra::Value v : z_delta) z_all.insert(v);
+    // v ∈ Z_k, (u,v) ∈ B, A(u,z) -> z ∈ Z_{k+1}.
+    for (ra::Value v : z_delta) {
+      for (int brow : b->RowsWithValue(1, v)) {
+        ra::Value u = b->rows()[brow][0];
+        for (int arow : a->RowsWithValue(0, u)) {
+          ra::Value z = a->rows()[arow][1];
+          if (z_all.count(z) == 0) fresh.insert(z);
+        }
+      }
+    }
+    z_delta = std::move(fresh);
+    BumpIteration(stats);
+  }
+
+  // (σA) × (∪_k ...): Cartesian product of the two independent parts.
+  for (ra::Value y : y_values) {
+    for (ra::Value z : z_all) {
+      out.Insert(ra::Tuple{d, y, z});
+    }
+  }
+  return out;
+}
+
+Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
+                                      const SymbolTable& symbols,
+                                      ra::Value d, EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
+
+  ra::Relation out(3);
+  // σE: depth-0 answers.
+  for (int row : e->RowsWithValue(2, d)) {
+    out.Insert(e->rows()[row]);
+  }
+
+  // ∃ ∪_k [(AB)^k (E ⋈ B)]: M_1 = {d}; M_{k+1} = π_v(σ_{m∈M_k}(A) ⋈ B);
+  // witness at depth k iff ∃ (u,v) ∈ B, m ∈ M_k: E(u, m, v).
+  ra::ValueSet m_all;
+  ra::ValueSet m_delta{d};
+  bool witness = false;
+  while (!witness && !m_delta.empty()) {
+    BumpIteration(stats);
+    for (ra::Value m : m_delta) {
+      for (int erow : e->RowsWithValue(1, m)) {
+        const ra::Tuple& t = e->rows()[erow];
+        if (b->Contains({t[0], t[2]})) {
+          witness = true;
+          break;
+        }
+      }
+      if (witness) break;
+    }
+    if (witness) break;
+    ra::ValueSet fresh;
+    for (ra::Value m : m_delta) m_all.insert(m);
+    for (ra::Value m : m_delta) {
+      // A(u, m), B(u, v) -> v ∈ M_{k+1}.
+      for (int arow : a->RowsWithValue(1, m)) {
+        ra::Value u = a->rows()[arow][0];
+        for (int brow : b->RowsWithValue(0, u)) {
+          ra::Value v = b->rows()[brow][1];
+          if (m_all.count(v) == 0) fresh.insert(v);
+        }
+      }
+    }
+    m_delta = std::move(fresh);
+  }
+
+  // If the existence check succeeds, every tuple of A answers the query.
+  if (witness) {
+    for (const ra::Tuple& t : a->rows()) {
+      out.Insert(ra::Tuple{t[0], t[1], d});
+    }
+  }
+  return out;
+}
+
+Result<ra::Relation> S11Plan(const ra::Database& edb,
+                             const SymbolTable& symbols, ra::Value d,
+                             EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* c, Rel(edb, symbols, "C", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 2));
+
+  ra::Relation out(2);
+  // σE: depth-0 answers.
+  for (int row : e->RowsWithValue(0, d)) {
+    out.Insert(e->rows()[row]);
+  }
+
+  // First-layer pairs: σA-C — (x1, y1) with A(d, x1) ∧ C(x1, y1).
+  PairSet first_layer;
+  for (int arow : a->RowsWithValue(0, d)) {
+    ra::Value x1 = a->rows()[arow][1];
+    for (int crow : c->RowsWithValue(0, x1)) {
+      first_layer.insert({x1, c->rows()[crow][1]});
+    }
+  }
+
+  // Forward closure under the lock-step pair walk
+  // (x,y) -> (x',y') iff A(x,x') ∧ B(y,y') ∧ C(x',y').
+  PairSet forward = first_layer;
+  PairSet delta = first_layer;
+  while (!delta.empty()) {
+    BumpIteration(stats);
+    PairSet fresh;
+    for (const Pair& p : delta) {
+      for (int arow : a->RowsWithValue(0, p.first)) {
+        ra::Value x2 = a->rows()[arow][1];
+        for (int brow : b->RowsWithValue(0, p.second)) {
+          ra::Value y2 = b->rows()[brow][1];
+          if (c->Contains({x2, y2})) {
+            Pair q{x2, y2};
+            if (forward.insert(q).second) fresh.insert(q);
+          }
+        }
+      }
+    }
+    delta = std::move(fresh);
+  }
+
+  // Backward reach-E closure within the forward region.
+  PairSet reach;
+  PairSet rdelta;
+  for (const Pair& p : forward) {
+    if (e->Contains({p.first, p.second})) {
+      reach.insert(p);
+      rdelta.insert(p);
+    }
+  }
+  while (!rdelta.empty()) {
+    BumpIteration(stats);
+    PairSet fresh;
+    for (const Pair& q : rdelta) {
+      // Predecessors p with A(p.x, q.x) ∧ B(p.y, q.y), restricted to the
+      // forward region (which already enforces C).
+      for (int arow : a->RowsWithValue(1, q.first)) {
+        ra::Value x = a->rows()[arow][0];
+        for (int brow : b->RowsWithValue(1, q.second)) {
+          Pair p{x, b->rows()[brow][0]};
+          if (forward.count(p) > 0 && reach.insert(p).second) {
+            fresh.insert(p);
+          }
+        }
+      }
+    }
+    rdelta = std::move(fresh);
+  }
+
+  // Answers: B-preimages of first-layer pairs that reach E.
+  for (const Pair& p : first_layer) {
+    if (reach.count(p) == 0) continue;
+    for (int brow : b->RowsWithValue(1, p.second)) {
+      out.Insert(ra::Tuple{d, b->rows()[brow][0]});
+    }
+  }
+  return out;
+}
+
+Result<ra::Relation> S12Plan(const ra::Database& edb,
+                             const SymbolTable& symbols, ra::Value d,
+                             int max_levels, EvalStats* stats) {
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* c, Rel(edb, symbols, "C", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* dd, Rel(edb, symbols, "D", 2));
+  RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
+
+  ra::Relation out(3);
+  // Depth 0: σE.
+  for (int row : e->RowsWithValue(0, d)) {
+    out.Insert(e->rows()[row]);
+  }
+
+  // Level relation over (v1, u_k, v_k): the first-layer v (which links to
+  // the answer y through B) threaded along the dependent (u, v) walk.
+  ra::Relation level(3);
+  for (int arow : a->RowsWithValue(0, d)) {
+    ra::Value u1 = a->rows()[arow][1];
+    for (int crow : c->RowsWithValue(0, u1)) {
+      ra::Value v1 = c->rows()[crow][1];
+      level.Insert(ra::Tuple{v1, u1, v1});
+    }
+  }
+
+  for (int k = 1; k <= max_levels && !level.empty(); ++k) {
+    BumpIteration(stats);
+    // E join: (v1, w_k) for E(u_k, v_k, w_k).
+    ra::Relation vw(2);
+    for (const ra::Tuple& t : level.rows()) {
+      for (int erow : e->RowsWithValue(0, t[1])) {
+        const ra::Tuple& et = e->rows()[erow];
+        if (et[1] == t[2]) vw.Insert(ra::Tuple{t[0], et[2]});
+      }
+    }
+    // D^k: fold w back to z through k applications of D (level-wise, as
+    // the paper's plan is written).
+    for (int step = 0; step < k && !vw.empty(); ++step) {
+      ra::Relation next(2);
+      for (const ra::Tuple& t : vw.rows()) {
+        for (int drow : dd->RowsWithValue(0, t[1])) {
+          next.Insert(ra::Tuple{t[0], dd->rows()[drow][1]});
+        }
+      }
+      vw = std::move(next);
+    }
+    // B(y, v1) gives the answers.
+    for (const ra::Tuple& t : vw.rows()) {
+      for (int brow : b->RowsWithValue(1, t[0])) {
+        out.Insert(ra::Tuple{d, b->rows()[brow][0], t[1]});
+      }
+    }
+    // Advance the dependent pair walk.
+    ra::Relation next_level(3);
+    for (const ra::Tuple& t : level.rows()) {
+      for (int arow : a->RowsWithValue(0, t[1])) {
+        ra::Value u2 = a->rows()[arow][1];
+        for (int brow : b->RowsWithValue(0, t[2])) {
+          ra::Value v2 = b->rows()[brow][1];
+          if (c->Contains({u2, v2})) {
+            next_level.Insert(ra::Tuple{t[0], u2, v2});
+          }
+        }
+      }
+    }
+    level = std::move(next_level);
+  }
+  return out;
+}
+
+}  // namespace recur::eval

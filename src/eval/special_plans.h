@@ -1,0 +1,59 @@
+#ifndef RECUR_EVAL_SPECIAL_PLANS_H_
+#define RECUR_EVAL_SPECIAL_PLANS_H_
+
+#include "eval/conjunctive.h"
+#include "ra/database.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::eval {
+
+/// Hand-derived query evaluation plans for the paper's representative
+/// examples of the classes with *no known general method* (unbounded C,
+/// dependent E, mixed F). The paper derives these from the resolution
+/// graph (§7, §9, §10); we implement them with the RA substrate and verify
+/// them against semi-naive evaluation in tests.
+///
+/// All plans expect the example's EDB relations under their paper names
+/// ("A", "B", "C", "D", "E") in `edb`, looked up through `symbols`, and
+/// return full-arity answer relations.
+
+/// (s9) P(x,y,z) :- A(x,y) ∧ B(u,v) ∧ P(u,z,v), query P(d, v, v):
+///   σE,  (σA) × (∪_k [(E ⋈ B)(BA)^k])
+/// The recursion is disconnected from the bound position, so the answer is
+/// a Cartesian product of σA(d) with the union of the z-chains.
+Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
+                                      const SymbolTable& symbols,
+                                      ra::Value d,
+                                      EvalStats* stats = nullptr);
+
+/// (s9), query P(v, v, d):
+///   σE,  (∃ ∪_k [(AB)^k (E ⋈ B)]) A
+/// If any expansion depth has a witness, every tuple of A answers the
+/// query (existence checking).
+Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
+                                      const SymbolTable& symbols,
+                                      ra::Value d,
+                                      EvalStats* stats = nullptr);
+
+/// (s11) P(x,y) :- A(x,x1) ∧ B(y,y1) ∧ C(x1,y1) ∧ P(x1,y1), query P(d, v):
+///   σE,  σA-C-B-E,  ∪_k σA-C-B-[{A ∥ B}-C]^k-C-E
+/// The dependent pair (x_i, y_i) walks forward through A/B/C in lockstep;
+/// answers are the B-preimages of first-layer pairs that reach E.
+Result<ra::Relation> S11Plan(const ra::Database& edb,
+                             const SymbolTable& symbols, ra::Value d,
+                             EvalStats* stats = nullptr);
+
+/// (s12) P(x,y,z) :- A(x,u) ∧ B(y,v) ∧ C(u,v) ∧ D(w,z) ∧ P(u,v,w),
+/// query P(d, v, v):
+///   ∪_k σA-C-B-[{A ∥ B}-C]^k-E-D^(k+1)
+/// Like s11 for the dependent (u,v) pair, plus the unit-rotational D chain
+/// folding the z answers back; level-synchronized, so `max_levels` caps the
+/// iteration on cyclic data (use the active-domain size).
+Result<ra::Relation> S12Plan(const ra::Database& edb,
+                             const SymbolTable& symbols, ra::Value d,
+                             int max_levels, EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_SPECIAL_PLANS_H_

@@ -1,0 +1,72 @@
+#include "graph/components.h"
+
+#include <unordered_map>
+
+namespace recur::graph {
+
+CondensedGraph CondensedGraph::Build(const HybridGraph& g) {
+  CondensedGraph out;
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    if (e.kind == EdgeKind::kUndirected) uf.Union(e.from, e.to);
+  }
+  // Dense cluster ids in order of first appearance.
+  out.cluster_of_.assign(g.num_vertices(), -1);
+  std::unordered_map<int, int> root_to_cluster;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    int root = uf.Find(v);
+    auto it = root_to_cluster.find(root);
+    int cluster;
+    if (it == root_to_cluster.end()) {
+      cluster = static_cast<int>(out.members_.size());
+      root_to_cluster.emplace(root, cluster);
+      out.members_.emplace_back();
+    } else {
+      cluster = it->second;
+    }
+    out.cluster_of_[v] = cluster;
+    out.members_[cluster].push_back(v);
+  }
+  out.incident_.resize(out.members_.size());
+  for (int ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& e = g.edge(ei);
+    if (e.kind != EdgeKind::kDirected) continue;
+    CondensedArc arc;
+    arc.from_cluster = out.cluster_of_[e.from];
+    arc.to_cluster = out.cluster_of_[e.to];
+    arc.edge_index = ei;
+    arc.tail_vertex = e.from;
+    arc.head_vertex = e.to;
+    int arc_index = static_cast<int>(out.arcs_.size());
+    out.arcs_.push_back(arc);
+    out.incident_[arc.from_cluster].push_back(arc_index);
+    if (arc.to_cluster != arc.from_cluster) {
+      out.incident_[arc.to_cluster].push_back(arc_index);
+    }
+  }
+  return out;
+}
+
+std::vector<int> CondensedGraph::WeakComponents(int* num_components) const {
+  UnionFind uf(num_clusters());
+  for (const CondensedArc& arc : arcs_) {
+    uf.Union(arc.from_cluster, arc.to_cluster);
+  }
+  std::vector<int> component(num_clusters(), -1);
+  std::unordered_map<int, int> root_to_component;
+  int next = 0;
+  for (int c = 0; c < num_clusters(); ++c) {
+    int root = uf.Find(c);
+    auto it = root_to_component.find(root);
+    if (it == root_to_component.end()) {
+      root_to_component.emplace(root, next);
+      component[c] = next++;
+    } else {
+      component[c] = it->second;
+    }
+  }
+  if (num_components != nullptr) *num_components = next;
+  return component;
+}
+
+}  // namespace recur::graph

@@ -1,0 +1,82 @@
+#ifndef RECUR_GRAPH_COMPONENTS_H_
+#define RECUR_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/hybrid_graph.h"
+
+namespace recur::graph {
+
+/// An arc of the condensed multigraph: one original directed edge lifted to
+/// the clusters of its endpoints. Self-loops (from_cluster == to_cluster)
+/// and parallel arcs are common and meaningful.
+struct CondensedArc {
+  int from_cluster = -1;
+  int to_cluster = -1;
+  int edge_index = -1;   // index of the directed edge in the original graph
+  int tail_vertex = -1;  // original tail (consequent variable)
+  int head_vertex = -1;  // original head (antecedent variable)
+};
+
+/// The condensation of a hybrid graph: every connected component of the
+/// undirected-edge subgraph becomes one *cluster*; directed edges become
+/// arcs between clusters. This realizes the paper's "compression" remark
+/// (§4) — undirected structure matters only through connectivity, so cycle
+/// analysis on the condensation is exactly cycle analysis on the I-graph
+/// with trivial cycles and parallel undirected paths collapsed.
+class CondensedGraph {
+ public:
+  /// Builds the condensation of `g`.
+  static CondensedGraph Build(const HybridGraph& g);
+
+  int num_clusters() const { return static_cast<int>(members_.size()); }
+  int cluster_of(int vertex) const { return cluster_of_[vertex]; }
+  const std::vector<int>& members(int cluster) const {
+    return members_[cluster];
+  }
+  const std::vector<CondensedArc>& arcs() const { return arcs_; }
+
+  /// Arc indexes incident to `cluster` (self-loops appear once).
+  const std::vector<int>& IncidentArcs(int cluster) const {
+    return incident_[cluster];
+  }
+
+  /// True if the cluster contains at least one undirected edge (i.e. has
+  /// more than one member vertex).
+  bool ClusterHasUndirectedEdges(int cluster) const {
+    return members_[cluster].size() > 1;
+  }
+
+  /// Weakly connected components over clusters and arcs. Returns
+  /// component id per cluster; ids are dense starting at 0.
+  std::vector<int> WeakComponents(int* num_components) const;
+
+ private:
+  std::vector<int> cluster_of_;
+  std::vector<std::vector<int>> members_;
+  std::vector<CondensedArc> arcs_;
+  std::vector<std::vector<int>> incident_;
+};
+
+/// Plain union-find, used for cluster and component computation.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_COMPONENTS_H_

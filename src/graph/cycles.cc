@@ -1,0 +1,156 @@
+#include "graph/cycles.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace recur::graph {
+
+namespace {
+
+/// Finalizes a cycle from its traversal: computes weights, directionality
+/// and rotationality.
+Cycle MakeCycle(const CondensedGraph& g, std::vector<CycleStep> steps,
+                std::vector<int> clusters) {
+  Cycle c;
+  c.steps = std::move(steps);
+  c.clusters = std::move(clusters);
+  c.signed_weight = 0;
+  bool all_forward = true;
+  bool all_backward = true;
+  for (const CycleStep& s : c.steps) {
+    c.signed_weight += s.direction;
+    if (s.direction > 0) all_backward = false;
+    if (s.direction < 0) all_forward = false;
+  }
+  c.weight = c.signed_weight >= 0 ? c.signed_weight : -c.signed_weight;
+  c.one_directional = all_forward || all_backward;
+
+  // Rotational iff at some cluster the vertex we arrive at differs from the
+  // vertex the next step leaves from (then an undirected path inside the
+  // cluster is part of the cycle).
+  auto leave_vertex = [&g](const CycleStep& s) {
+    const CondensedArc& arc = g.arcs()[s.arc_index];
+    return s.direction > 0 ? arc.tail_vertex : arc.head_vertex;
+  };
+  auto arrive_vertex = [&g](const CycleStep& s) {
+    const CondensedArc& arc = g.arcs()[s.arc_index];
+    return s.direction > 0 ? arc.head_vertex : arc.tail_vertex;
+  };
+  c.rotational = false;
+  int n = static_cast<int>(c.steps.size());
+  for (int i = 0; i < n; ++i) {
+    if (arrive_vertex(c.steps[i]) != leave_vertex(c.steps[(i + 1) % n])) {
+      c.rotational = true;
+      break;
+    }
+  }
+  return c;
+}
+
+/// Canonical key of a cycle: the sorted set of arc indexes (a simple cycle
+/// is determined by its arc set, up to traversal direction and rotation).
+std::string CycleKey(const Cycle& c) {
+  std::vector<int> arcs;
+  arcs.reserve(c.steps.size());
+  for (const CycleStep& s : c.steps) arcs.push_back(s.arc_index);
+  std::sort(arcs.begin(), arcs.end());
+  std::string key;
+  for (int a : arcs) {
+    key += std::to_string(a);
+    key += ",";
+  }
+  return key;
+}
+
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const CondensedGraph& g, int max_cycles)
+      : g_(g), max_cycles_(max_cycles) {}
+
+  Result<std::vector<Cycle>> Run() {
+    // Self-loop arcs are length-1 cycles.
+    for (int a = 0; a < static_cast<int>(g_.arcs().size()); ++a) {
+      const CondensedArc& arc = g_.arcs()[a];
+      if (arc.from_cluster == arc.to_cluster) {
+        Emit(MakeCycle(g_, {CycleStep{a, +1}}, {arc.from_cluster}));
+      }
+    }
+    // Longer cycles: DFS from each start cluster, visiting only clusters
+    // with id >= start (so each cycle is found from its minimum cluster).
+    for (int start = 0; start < g_.num_clusters(); ++start) {
+      start_ = start;
+      on_path_.assign(g_.num_clusters(), false);
+      arc_used_.assign(g_.arcs().size(), false);
+      on_path_[start] = true;
+      RECUR_RETURN_IF_ERROR(Dfs(start));
+      on_path_[start] = false;
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  Status Dfs(int cluster) {
+    for (int a : g_.IncidentArcs(cluster)) {
+      const CondensedArc& arc = g_.arcs()[a];
+      if (arc_used_[a]) continue;
+      if (arc.from_cluster == arc.to_cluster) continue;  // handled above
+      int next;
+      int direction;
+      if (arc.from_cluster == cluster) {
+        next = arc.to_cluster;
+        direction = +1;
+      } else {
+        next = arc.from_cluster;
+        direction = -1;
+      }
+      if (next < start_) continue;
+      steps_.push_back(CycleStep{a, direction});
+      clusters_.push_back(cluster);
+      if (next == start_) {
+        if (steps_.size() >= 2) {
+          Emit(MakeCycle(g_, steps_, clusters_));
+          if (static_cast<int>(cycles_.size()) > max_cycles_) {
+            return Status::OutOfRange("cycle enumeration exceeded limit");
+          }
+        }
+      } else if (!on_path_[next]) {
+        on_path_[next] = true;
+        arc_used_[a] = true;
+        RECUR_RETURN_IF_ERROR(Dfs(next));
+        arc_used_[a] = false;
+        on_path_[next] = false;
+      }
+      steps_.pop_back();
+      clusters_.pop_back();
+    }
+    return Status::OK();
+  }
+
+  void Emit(Cycle cycle) {
+    std::string key = CycleKey(cycle);
+    if (seen_.insert(key).second) {
+      cycles_.push_back(std::move(cycle));
+    }
+  }
+
+  const CondensedGraph& g_;
+  int max_cycles_;
+  int start_ = 0;
+  std::vector<bool> on_path_;
+  std::vector<bool> arc_used_;
+  std::vector<CycleStep> steps_;
+  std::vector<int> clusters_;
+  std::set<std::string> seen_;
+  std::vector<Cycle> cycles_;
+};
+
+}  // namespace
+
+Result<std::vector<Cycle>> EnumerateCycles(const CondensedGraph& g,
+                                           int max_cycles) {
+  CycleEnumerator enumerator(g, max_cycles);
+  return enumerator.Run();
+}
+
+}  // namespace recur::graph

@@ -1,0 +1,49 @@
+#ifndef RECUR_GRAPH_CYCLES_H_
+#define RECUR_GRAPH_CYCLES_H_
+
+#include <vector>
+
+#include "graph/components.h"
+#include "util/result.h"
+
+namespace recur::graph {
+
+/// One traversal step of a cycle: an arc of the condensed graph plus the
+/// direction it is traversed in (+1 along the arrow, -1 against it; the
+/// implicit reverse edge of the paper).
+struct CycleStep {
+  int arc_index = -1;
+  int direction = +1;
+};
+
+/// A non-trivial cycle of the I-graph, expressed on the condensation: a
+/// closed cluster-simple walk whose steps are distinct directed arcs.
+/// Trivial (all-undirected) cycles never appear here — they live inside
+/// clusters and are compressed away, per the paper's remark.
+struct Cycle {
+  std::vector<CycleStep> steps;
+  /// Clusters in traversal order; clusters[i] is where steps[i] starts.
+  std::vector<int> clusters;
+  /// Sum of step directions for the recorded traversal.
+  int signed_weight = 0;
+  /// |signed_weight| — the paper's cycle weight (cycles can be traversed
+  /// either way; the sign is a traversal artifact).
+  int weight = 0;
+  /// True if every step has the same direction.
+  bool one_directional = false;
+  /// True if the cycle passes through at least one undirected edge (§4:
+  /// "rotational"); false means the cycle uses directed edges only
+  /// ("permutational" when also one-directional).
+  bool rotational = false;
+};
+
+/// Enumerates all distinct non-trivial simple cycles of the condensation.
+/// Two traversals of the same arc set are the same cycle. Fails with
+/// OutOfRange if more than `max_cycles` are found (a safety valve; real
+/// formulas have a handful).
+Result<std::vector<Cycle>> EnumerateCycles(const CondensedGraph& g,
+                                           int max_cycles = 100000);
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_CYCLES_H_

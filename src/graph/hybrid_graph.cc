@@ -1,0 +1,45 @@
+#include "graph/hybrid_graph.h"
+
+namespace recur::graph {
+
+int HybridGraph::AddVertex(Vertex v) {
+  vertices_.push_back(v);
+  incident_.emplace_back();
+  return static_cast<int>(vertices_.size()) - 1;
+}
+
+int HybridGraph::AddEdge(Edge e) {
+  if (e.kind == EdgeKind::kUndirected && e.from == e.to) {
+    return -1;
+  }
+  int index = static_cast<int>(edges_.size());
+  edges_.push_back(e);
+  incident_[e.from].push_back(index);
+  if (e.to != e.from) incident_[e.to].push_back(index);
+  return index;
+}
+
+int HybridGraph::FindVertex(SymbolId var, int layer) const {
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (vertices_[i].var == var && vertices_[i].layer == layer) return i;
+  }
+  return -1;
+}
+
+std::vector<int> HybridGraph::DirectedEdges() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i) {
+    if (edges_[i].kind == EdgeKind::kDirected) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> HybridGraph::UndirectedEdges() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i) {
+    if (edges_[i].kind == EdgeKind::kUndirected) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace recur::graph

@@ -1,0 +1,90 @@
+#ifndef RECUR_GRAPH_HYBRID_GRAPH_H_
+#define RECUR_GRAPH_HYBRID_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::graph {
+
+/// Kind of an I-graph edge.
+enum class EdgeKind {
+  /// Weight-0 edge between two variables co-occurring in a non-recursive
+  /// predicate.
+  kUndirected,
+  /// Weight +1 edge from a consequent variable of P to the antecedent
+  /// variable in the corresponding position (implicit reverse has weight -1).
+  kDirected,
+};
+
+/// A vertex of the (resolution) graph: a variable at an expansion layer.
+/// Layer 0 holds the original I-graph; appending the j-th renumbered I-graph
+/// creates layer-j vertices.
+struct Vertex {
+  SymbolId var = kInvalidSymbol;
+  int layer = 0;
+
+  friend bool operator==(const Vertex& a, const Vertex& b) {
+    return a.var == b.var && a.layer == b.layer;
+  }
+};
+
+/// An edge of the labeled weighted hybrid graph G = (V, Eu, Ed, W, L).
+struct Edge {
+  int from = -1;  // vertex index (tail for directed edges)
+  int to = -1;    // vertex index (head for directed edges)
+  EdgeKind kind = EdgeKind::kUndirected;
+  SymbolId label = kInvalidSymbol;  // predicate label
+  /// For directed edges: the argument position (0-based) of the recursive
+  /// predicate this edge came from; -1 for undirected edges.
+  int position = -1;
+
+  int weight() const { return kind == EdgeKind::kDirected ? 1 : 0; }
+};
+
+/// The labeled, weighted, hybrid graph underlying I-graphs and resolution
+/// graphs. Parallel edges and self-loops are allowed (self-loop directed
+/// edges model variables kept in place by the recursion; parallel arcs arise
+/// in resolution graphs).
+class HybridGraph {
+ public:
+  HybridGraph() = default;
+
+  /// Adds a vertex and returns its index.
+  int AddVertex(Vertex v);
+
+  /// Adds an edge between existing vertex indexes and returns its index.
+  /// Undirected self-loops are silently dropped (they carry no information);
+  /// returns -1 in that case.
+  int AddEdge(Edge e);
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Vertex& vertex(int i) const { return vertices_[i]; }
+  const Edge& edge(int i) const { return edges_[i]; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Indexes of edges incident to vertex `v` (self-loops appear once).
+  const std::vector<int>& IncidentEdges(int v) const {
+    return incident_[v];
+  }
+
+  /// Finds the vertex index for (var, layer), or -1.
+  int FindVertex(SymbolId var, int layer) const;
+
+  /// Edge indexes of all directed / undirected edges.
+  std::vector<int> DirectedEdges() const;
+  std::vector<int> UndirectedEdges() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;
+};
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_HYBRID_GRAPH_H_

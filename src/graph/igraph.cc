@@ -1,0 +1,56 @@
+#include "graph/igraph.h"
+
+namespace recur::graph {
+
+Result<IGraph> IGraph::Build(const datalog::LinearRecursiveRule& formula) {
+  IGraph out;
+  const datalog::Rule& rule = formula.rule();
+
+  // One vertex per distinct variable (layer 0).
+  for (SymbolId var : rule.Variables()) {
+    out.graph_.AddVertex(Vertex{var, 0});
+  }
+
+  // Undirected edges: all pairs of distinct variables within each
+  // non-recursive atom. (Connectivity is what matters; the classifier works
+  // on undirected clusters, so the all-pairs choice for predicates of arity
+  // > 2 does not perturb the classification.)
+  for (const datalog::Atom& atom : formula.NonRecursiveAtoms()) {
+    std::vector<SymbolId> vars = atom.Variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        Edge e;
+        e.from = out.graph_.FindVertex(vars[i], 0);
+        e.to = out.graph_.FindVertex(vars[j], 0);
+        e.kind = EdgeKind::kUndirected;
+        e.label = atom.predicate();
+        out.graph_.AddEdge(e);
+      }
+    }
+  }
+
+  // Directed edges: consequent position i -> antecedent position i.
+  const datalog::Atom& head = formula.head();
+  const datalog::Atom& rec = formula.recursive_atom();
+  for (int i = 0; i < formula.dimension(); ++i) {
+    if (!head.args()[i].IsVariable() || !rec.args()[i].IsVariable()) {
+      return Status::Internal(
+          "LinearRecursiveRule with constant under the recursive predicate");
+    }
+    int from = out.graph_.FindVertex(head.args()[i].symbol(), 0);
+    int to = out.graph_.FindVertex(rec.args()[i].symbol(), 0);
+    Edge e;
+    e.from = from;
+    e.to = to;
+    e.kind = EdgeKind::kDirected;
+    e.label = formula.recursive_predicate();
+    e.position = i;
+    int edge_index = out.graph_.AddEdge(e);
+    out.head_vertices_.push_back(from);
+    out.body_vertices_.push_back(to);
+    out.position_edges_.push_back(edge_index);
+  }
+  return out;
+}
+
+}  // namespace recur::graph

@@ -1,0 +1,45 @@
+#ifndef RECUR_GRAPH_IGRAPH_H_
+#define RECUR_GRAPH_IGRAPH_H_
+
+#include <vector>
+
+#include "datalog/linear_rule.h"
+#include "graph/hybrid_graph.h"
+#include "util/result.h"
+
+namespace recur::graph {
+
+/// The I-graph of a linear recursive formula (construction after
+/// [Ioan 85], §2 of the paper):
+///   - one vertex per distinct variable of the rule,
+///   - an undirected weight-0 edge labeled Q between every pair of distinct
+///     variables co-occurring in a non-recursive predicate Q,
+///   - a directed weight-+1 edge labeled P from the consequent variable in
+///     position i to the antecedent variable in position i, for every i
+///     (a self-loop when they are the same variable).
+class IGraph {
+ public:
+  /// Builds the I-graph of `formula`.
+  static Result<IGraph> Build(const datalog::LinearRecursiveRule& formula);
+
+  const HybridGraph& graph() const { return graph_; }
+
+  /// Vertex index of the consequent (head) variable at position i.
+  int HeadVertex(int position) const { return head_vertices_[position]; }
+  /// Vertex index of the antecedent (recursive-atom) variable at position i.
+  int BodyVertex(int position) const { return body_vertices_[position]; }
+  /// Edge index of the directed edge for position i.
+  int PositionEdge(int position) const { return position_edges_[position]; }
+
+  int dimension() const { return static_cast<int>(head_vertices_.size()); }
+
+ private:
+  HybridGraph graph_;
+  std::vector<int> head_vertices_;
+  std::vector<int> body_vertices_;
+  std::vector<int> position_edges_;
+};
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_IGRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/paths.h"
+
+#include <algorithm>
+
+namespace recur::graph {
+
+namespace {
+
+class PathSearcher {
+ public:
+  PathSearcher(const CondensedGraph& g, const std::vector<int>* component,
+               int target)
+      : g_(g), component_(component), target_(target) {
+    arc_used_.assign(g.arcs().size(), false);
+  }
+
+  int Run() {
+    for (int c = 0; c < g_.num_clusters(); ++c) {
+      if (!InScope(c)) continue;
+      Dfs(c, 0);
+    }
+    return best_;
+  }
+
+ private:
+  bool InScope(int cluster) const {
+    return component_ == nullptr || (*component_)[cluster] == target_;
+  }
+
+  void Dfs(int cluster, int weight) {
+    best_ = std::max(best_, weight);
+    for (int a : g_.IncidentArcs(cluster)) {
+      if (arc_used_[a]) continue;
+      const CondensedArc& arc = g_.arcs()[a];
+      int next;
+      int direction;
+      if (arc.from_cluster == cluster) {
+        next = arc.to_cluster;
+        direction = +1;
+      } else {
+        next = arc.from_cluster;
+        direction = -1;
+      }
+      // Self-loop arcs move weight without moving clusters; their backward
+      // traversal (-1) is dominated for a maximum and not explored.
+      arc_used_[a] = true;
+      Dfs(next, weight + direction);
+      arc_used_[a] = false;
+    }
+  }
+
+  const CondensedGraph& g_;
+  const std::vector<int>* component_;
+  int target_;
+  std::vector<bool> arc_used_;
+  int best_ = 0;
+};
+
+}  // namespace
+
+int MaxPathWeight(const CondensedGraph& g) {
+  PathSearcher searcher(g, nullptr, -1);
+  return searcher.Run();
+}
+
+int MaxPathWeightInComponent(const CondensedGraph& g,
+                             const std::vector<int>& component,
+                             int target_component) {
+  PathSearcher searcher(g, &component, target_component);
+  return searcher.Run();
+}
+
+}  // namespace recur::graph

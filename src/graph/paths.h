@@ -1,0 +1,23 @@
+#ifndef RECUR_GRAPH_PATHS_H_
+#define RECUR_GRAPH_PATHS_H_
+
+#include "graph/components.h"
+
+namespace recur::graph {
+
+/// Maximum weight of any path in the I-graph (on its condensation), where a
+/// path traverses each directed arc at most once, forward (+1) or backward
+/// (-1); undirected edges contribute 0 and are free to traverse inside
+/// clusters. This is the tight rank bound of Ioannidis's theorem for
+/// formulas with no cycle of non-zero weight. The empty path gives 0.
+int MaxPathWeight(const CondensedGraph& g);
+
+/// Same, restricted to clusters whose component id (per `component`)
+/// equals `target_component`.
+int MaxPathWeightInComponent(const CondensedGraph& g,
+                             const std::vector<int>& component,
+                             int target_component);
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_PATHS_H_

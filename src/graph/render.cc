@@ -1,0 +1,65 @@
+#include "graph/render.h"
+
+#include <cctype>
+
+namespace recur::graph {
+
+std::string VertexName(const Vertex& v, const SymbolTable& symbols,
+                       const RenderOptions& options) {
+  std::string name = symbols.NameOf(v.var);
+  if (options.paper_style) {
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+  }
+  if (v.layer > 0) {
+    name += std::to_string(v.layer);
+  }
+  return name;
+}
+
+std::string ToAscii(const HybridGraph& g, const SymbolTable& symbols,
+                    const RenderOptions& options) {
+  std::string out = "vertices:";
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += VertexName(g.vertex(i), symbols, options);
+  }
+  out += "\n";
+  for (int i = 0; i < g.num_edges(); ++i) {
+    const Edge& e = g.edge(i);
+    std::string from = VertexName(g.vertex(e.from), symbols, options);
+    std::string to = VertexName(g.vertex(e.to), symbols, options);
+    std::string label = symbols.NameOf(e.label);
+    if (e.kind == EdgeKind::kUndirected) {
+      out += "  " + from + " --" + label + "-- " + to + "\n";
+    } else {
+      out += "  " + from + " -->" + label + "--> " + to + "  [" +
+             std::to_string(e.position + 1) + "]\n";
+    }
+  }
+  return out;
+}
+
+std::string ToDot(const HybridGraph& g, const SymbolTable& symbols,
+                  const std::string& graph_name,
+                  const RenderOptions& options) {
+  std::string out = "digraph \"" + graph_name + "\" {\n";
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    out += "  v" + std::to_string(i) + " [label=\"" +
+           VertexName(g.vertex(i), symbols, options) + "\"];\n";
+  }
+  for (int i = 0; i < g.num_edges(); ++i) {
+    const Edge& e = g.edge(i);
+    std::string label = symbols.NameOf(e.label);
+    out += "  v" + std::to_string(e.from) + " -> v" + std::to_string(e.to);
+    if (e.kind == EdgeKind::kUndirected) {
+      out += " [dir=none, label=\"" + label + "\"];\n";
+    } else {
+      out += " [label=\"" + label + " (+1)\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace recur::graph

@@ -1,0 +1,36 @@
+#ifndef RECUR_GRAPH_RENDER_H_
+#define RECUR_GRAPH_RENDER_H_
+
+#include <string>
+
+#include "graph/hybrid_graph.h"
+#include "util/symbol_table.h"
+
+namespace recur::graph {
+
+/// Rendering options for figures.
+struct RenderOptions {
+  /// Lower-case variable names and append the layer as a subscript digit,
+  /// matching the paper's figures (X at layer 1 prints as "x1").
+  bool paper_style = true;
+};
+
+/// Printable name of a vertex ("x", "z1", ...).
+std::string VertexName(const Vertex& v, const SymbolTable& symbols,
+                       const RenderOptions& options = {});
+
+/// Text rendering of the graph, one line per edge:
+///   x --A-- z          (undirected, label A)
+///   x -->P--> z  [1]   (directed, position 1-based, weight +1)
+std::string ToAscii(const HybridGraph& g, const SymbolTable& symbols,
+                    const RenderOptions& options = {});
+
+/// Graphviz DOT rendering (directed edges as arrows, undirected as plain
+/// lines via dir=none).
+std::string ToDot(const HybridGraph& g, const SymbolTable& symbols,
+                  const std::string& graph_name,
+                  const RenderOptions& options = {});
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_RENDER_H_

@@ -1,0 +1,87 @@
+#include "graph/resolution_graph.h"
+
+#include <queue>
+#include <unordered_map>
+
+namespace recur::graph {
+
+Result<ResolutionGraph> ResolutionGraph::Build(
+    const datalog::LinearRecursiveRule& formula, int k) {
+  if (k < 1) {
+    return Status::OutOfRange("resolution graph index must be >= 1");
+  }
+  RECUR_ASSIGN_OR_RETURN(IGraph igraph, IGraph::Build(formula));
+  const HybridGraph& base = igraph.graph();
+
+  ResolutionGraph out;
+  out.k_ = k;
+  // Layer 0: copy of the I-graph.
+  for (const Vertex& v : base.vertices()) {
+    out.graph_.AddVertex(v);
+  }
+  for (const Edge& e : base.edges()) {
+    out.graph_.AddEdge(e);
+  }
+  for (int i = 0; i < igraph.dimension(); ++i) {
+    out.head_.push_back(igraph.HeadVertex(i));
+    out.frontier_.push_back(igraph.BodyVertex(i));
+  }
+
+  // Append layers 1..k-1.
+  for (int layer = 1; layer < k; ++layer) {
+    // Map from the I-graph's vertex index to the resolution graph's vertex
+    // index for this layer: consequent variables land on the frontier; all
+    // other variables become fresh layer-`layer` vertices.
+    std::unordered_map<int, int> vmap;
+    for (int i = 0; i < igraph.dimension(); ++i) {
+      vmap[igraph.HeadVertex(i)] = out.frontier_[i];
+    }
+    for (int v = 0; v < base.num_vertices(); ++v) {
+      if (vmap.find(v) == vmap.end()) {
+        vmap[v] = out.graph_.AddVertex(Vertex{base.vertex(v).var, layer});
+      }
+    }
+    for (const Edge& e : base.edges()) {
+      Edge mapped = e;
+      mapped.from = vmap[e.from];
+      mapped.to = vmap[e.to];
+      out.graph_.AddEdge(mapped);
+    }
+    std::vector<int> new_frontier(igraph.dimension());
+    for (int i = 0; i < igraph.dimension(); ++i) {
+      new_frontier[i] = vmap[igraph.BodyVertex(i)];
+    }
+    out.frontier_ = std::move(new_frontier);
+  }
+  return out;
+}
+
+int ResolutionGraph::DirectedPathWeight(int from, int to, bool* found) const {
+  // BFS over directed edges traversed forward only (weight accumulates +1
+  // per arc). Reverse traversal is not needed for the reported accumulated
+  // weights, which follow the arrows.
+  std::vector<int> dist(graph_.num_vertices(), -1);
+  std::queue<int> queue;
+  dist[from] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop();
+    for (int ei : graph_.IncidentEdges(v)) {
+      const Edge& e = graph_.edge(ei);
+      if (e.kind != EdgeKind::kDirected || e.from != v) continue;
+      if (dist[e.to] == -1) {
+        dist[e.to] = dist[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  if (dist[to] == -1) {
+    if (found != nullptr) *found = false;
+    return 0;
+  }
+  if (found != nullptr) *found = true;
+  return dist[to];
+}
+
+}  // namespace recur::graph

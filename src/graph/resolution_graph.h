@@ -1,0 +1,48 @@
+#ifndef RECUR_GRAPH_RESOLUTION_GRAPH_H_
+#define RECUR_GRAPH_RESOLUTION_GRAPH_H_
+
+#include <vector>
+
+#include "graph/igraph.h"
+
+namespace recur::graph {
+
+/// The k-th resolution graph G_k of a formula (§2): G_1 is the I-graph;
+/// G_k is obtained from G_{k-1} by appending a renumbered copy of the
+/// I-graph, identifying the copy's consequent variables with the variables
+/// currently at the recursive positions (the "frontier"). All arrows from
+/// earlier layers are retained, which is what gives accumulated weights
+/// (e.g. weight 2 from x to z1 in Figure 2(c)).
+class ResolutionGraph {
+ public:
+  /// Builds G_k for `formula` (k >= 1).
+  static Result<ResolutionGraph> Build(
+      const datalog::LinearRecursiveRule& formula, int k);
+
+  const HybridGraph& graph() const { return graph_; }
+  int k() const { return k_; }
+
+  /// Vertex currently at recursive position i after k expansions (the
+  /// variables of the innermost occurrence of P).
+  int FrontierVertex(int position) const { return frontier_[position]; }
+  /// Vertex at consequent position i (unchanged across expansions).
+  int HeadVertex(int position) const { return head_[position]; }
+
+  int dimension() const { return static_cast<int>(head_.size()); }
+
+  /// Sum of directed-edge weights along any directed path from `from` to
+  /// `to` using directed edges only (forward +1, reverse -1); returns 0 and
+  /// sets `found=false` if no such path exists. Used to report accumulated
+  /// weights like "weight 2 from x to z1".
+  int DirectedPathWeight(int from, int to, bool* found) const;
+
+ private:
+  HybridGraph graph_;
+  std::vector<int> head_;
+  std::vector<int> frontier_;
+  int k_ = 1;
+};
+
+}  // namespace recur::graph
+
+#endif  // RECUR_GRAPH_RESOLUTION_GRAPH_H_

@@ -1,0 +1,67 @@
+#include "ra/database.h"
+
+namespace recur::ra {
+
+Result<Relation*> Database::GetOrCreate(SymbolId pred, int arity) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_.emplace(pred, Relation(arity)).first;
+  } else if (it->second.arity() != arity) {
+    return Status::InvalidArgument(
+        "relation exists with different arity (" +
+        std::to_string(it->second.arity()) + " vs requested " +
+        std::to_string(arity) + ")");
+  }
+  return &it->second;
+}
+
+const Relation* Database::Find(SymbolId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(SymbolId pred) {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status Database::AddFact(SymbolId pred, Tuple t) {
+  RECUR_ASSIGN_OR_RETURN(Relation * rel,
+                         GetOrCreate(pred, static_cast<int>(t.size())));
+  rel->Insert(std::move(t));
+  return Status::OK();
+}
+
+Status Database::LoadFacts(const datalog::Program& program) {
+  for (const datalog::Rule& rule : program.rules()) {
+    if (!rule.IsFact()) continue;
+    Tuple t;
+    t.reserve(rule.head().args().size());
+    for (const datalog::Term& term : rule.head().args()) {
+      if (!term.IsConstant()) {
+        return Status::InvalidArgument("non-ground fact in program");
+      }
+      t.push_back(static_cast<Value>(term.symbol()));
+    }
+    RECUR_RETURN_IF_ERROR(AddFact(rule.head().predicate(), std::move(t)));
+  }
+  return Status::OK();
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.size();
+  return total;
+}
+
+size_t Database::ActiveDomainSize() const {
+  ValueSet domain;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.rows()) {
+      for (Value v : t) domain.insert(v);
+    }
+  }
+  return domain.size();
+}
+
+}  // namespace recur::ra

@@ -1,0 +1,48 @@
+#ifndef RECUR_RA_DATABASE_H_
+#define RECUR_RA_DATABASE_H_
+
+#include <unordered_map>
+
+#include "datalog/program.h"
+#include "ra/relation.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::ra {
+
+/// The extensional database: one Relation per predicate symbol.
+class Database {
+ public:
+  Database() = default;
+
+  /// Returns the relation for `pred`, creating an empty one of `arity` if
+  /// absent. Fails if it exists with a different arity.
+  Result<Relation*> GetOrCreate(SymbolId pred, int arity);
+
+  /// Returns the relation for `pred` or nullptr.
+  const Relation* Find(SymbolId pred) const;
+  Relation* FindMutable(SymbolId pred);
+
+  /// Inserts one fact.
+  Status AddFact(SymbolId pred, Tuple t);
+
+  /// Loads all ground facts of `program` (constants become their SymbolId
+  /// values). Non-ground facts are rejected.
+  Status LoadFacts(const datalog::Program& program);
+
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Total tuples across all relations.
+  size_t TotalTuples() const;
+
+  /// Distinct values across all relations (the active domain); useful as a
+  /// safe level cap for compiled evaluation on cyclic data.
+  size_t ActiveDomainSize() const;
+
+ private:
+  std::unordered_map<SymbolId, Relation> relations_;
+};
+
+}  // namespace recur::ra
+
+#endif  // RECUR_RA_DATABASE_H_

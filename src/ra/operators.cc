@@ -1,0 +1,212 @@
+#include "ra/operators.h"
+
+namespace recur::ra {
+
+namespace {
+
+Status CheckColumn(const Relation& r, int column, const char* what) {
+  if (column < 0 || column >= r.arity()) {
+    return Status::OutOfRange(std::string(what) + ": column " +
+                              std::to_string(column) +
+                              " out of range for arity " +
+                              std::to_string(r.arity()));
+  }
+  return Status::OK();
+}
+
+Status CheckJoinColumns(const Relation& left, const Relation& right,
+                        const std::vector<std::pair<int, int>>& on) {
+  if (on.empty()) {
+    return Status::InvalidArgument("join requires at least one column pair");
+  }
+  for (const auto& [lc, rc] : on) {
+    RECUR_RETURN_IF_ERROR(CheckColumn(left, lc, "join/left"));
+    RECUR_RETURN_IF_ERROR(CheckColumn(right, rc, "join/right"));
+  }
+  return Status::OK();
+}
+
+/// Output tuple for a join match: all left columns, then right columns that
+/// are not join columns.
+Tuple JoinOutput(const Tuple& l, const Tuple& r,
+                 const std::vector<bool>& right_is_join) {
+  Tuple out = l;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!right_is_join[i]) out.push_back(r[i]);
+  }
+  return out;
+}
+
+std::vector<bool> RightJoinMask(int right_arity,
+                                const std::vector<std::pair<int, int>>& on) {
+  std::vector<bool> mask(right_arity, false);
+  for (const auto& [lc, rc] : on) {
+    (void)lc;
+    mask[rc] = true;
+  }
+  return mask;
+}
+
+int JoinOutputArity(const Relation& left, const Relation& right,
+                    const std::vector<bool>& right_is_join) {
+  int arity = left.arity();
+  for (bool is_join : right_is_join) {
+    if (!is_join) ++arity;
+  }
+  return arity;
+}
+
+bool RowsMatch(const Tuple& l, const Tuple& r,
+               const std::vector<std::pair<int, int>>& on) {
+  for (const auto& [lc, rc] : on) {
+    if (l[lc] != r[rc]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> Select(const Relation& r, int column, Value v) {
+  RECUR_RETURN_IF_ERROR(CheckColumn(r, column, "select"));
+  Relation out(r.arity());
+  for (int row : r.RowsWithValue(column, v)) {
+    out.Insert(r.rows()[row]);
+  }
+  return out;
+}
+
+Result<Relation> SelectIn(const Relation& r, int column,
+                          const ValueSet& values) {
+  RECUR_RETURN_IF_ERROR(CheckColumn(r, column, "select-in"));
+  Relation out(r.arity());
+  // Probe whichever side is smaller: the index per value, or scan rows.
+  if (values.size() < r.size()) {
+    for (Value v : values) {
+      for (int row : r.RowsWithValue(column, v)) {
+        out.Insert(r.rows()[row]);
+      }
+    }
+  } else {
+    for (const Tuple& t : r.rows()) {
+      if (values.count(t[column]) > 0) out.Insert(t);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r, const std::vector<int>& columns) {
+  for (int c : columns) {
+    RECUR_RETURN_IF_ERROR(CheckColumn(r, c, "project"));
+  }
+  Relation out(static_cast<int>(columns.size()));
+  for (const Tuple& t : r.rows()) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (int c : columns) projected.push_back(t[c]);
+    out.Insert(std::move(projected));
+  }
+  return out;
+}
+
+Result<Relation> Join(const Relation& left, const Relation& right,
+                      const std::vector<std::pair<int, int>>& on) {
+  RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
+  std::vector<bool> right_is_join = RightJoinMask(right.arity(), on);
+  Relation out(JoinOutputArity(left, right, right_is_join));
+  const auto& [first_lc, first_rc] = on[0];
+  // Hash-probe the right side on the first join column.
+  for (const Tuple& l : left.rows()) {
+    for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
+      const Tuple& r = right.rows()[row];
+      if (RowsMatch(l, r, on)) {
+        out.Insert(JoinOutput(l, r, right_is_join));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> JoinNestedLoop(const Relation& left, const Relation& right,
+                                const std::vector<std::pair<int, int>>& on) {
+  RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
+  std::vector<bool> right_is_join = RightJoinMask(right.arity(), on);
+  Relation out(JoinOutputArity(left, right, right_is_join));
+  for (const Tuple& l : left.rows()) {
+    for (const Tuple& r : right.rows()) {
+      if (RowsMatch(l, r, on)) {
+        out.Insert(JoinOutput(l, r, right_is_join));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> SemiJoin(const Relation& left, const Relation& right,
+                          const std::vector<std::pair<int, int>>& on) {
+  RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
+  Relation out(left.arity());
+  const auto& [first_lc, first_rc] = on[0];
+  for (const Tuple& l : left.rows()) {
+    for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
+      if (RowsMatch(l, right.rows()[row], on)) {
+        out.Insert(l);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::InvalidArgument("union of relations of different arity");
+  }
+  Relation out = a;
+  out.InsertAll(b);
+  return out;
+}
+
+Result<Relation> Difference(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::InvalidArgument(
+        "difference of relations of different arity");
+  }
+  Relation out(a.arity());
+  for (const Tuple& t : a.rows()) {
+    if (!b.Contains(t)) out.Insert(t);
+  }
+  return out;
+}
+
+Relation Product(const Relation& a, const Relation& b) {
+  Relation out(a.arity() + b.arity());
+  for (const Tuple& ta : a.rows()) {
+    for (const Tuple& tb : b.rows()) {
+      Tuple t = ta;
+      t.insert(t.end(), tb.begin(), tb.end());
+      out.Insert(std::move(t));
+    }
+  }
+  return out;
+}
+
+Relation FromValues(const ValueSet& values) {
+  Relation out(1);
+  for (Value v : values) out.Insert(Tuple{v});
+  return out;
+}
+
+Result<ValueSet> Step(const Relation& r, int from_col, int to_col,
+                      const ValueSet& frontier) {
+  RECUR_RETURN_IF_ERROR(CheckColumn(r, from_col, "step/from"));
+  RECUR_RETURN_IF_ERROR(CheckColumn(r, to_col, "step/to"));
+  ValueSet out;
+  for (Value v : frontier) {
+    for (int row : r.RowsWithValue(from_col, v)) {
+      out.insert(r.rows()[row][to_col]);
+    }
+  }
+  return out;
+}
+
+}  // namespace recur::ra

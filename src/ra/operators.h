@@ -1,0 +1,61 @@
+#ifndef RECUR_RA_OPERATORS_H_
+#define RECUR_RA_OPERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "ra/relation.h"
+#include "util/result.h"
+
+namespace recur::ra {
+
+/// σ: rows of `r` whose `column` equals `v`.
+Result<Relation> Select(const Relation& r, int column, Value v);
+
+/// σ with a set predicate: rows whose `column` value is in `values`.
+Result<Relation> SelectIn(const Relation& r, int column,
+                          const ValueSet& values);
+
+/// π: keeps `columns` in the given order (duplicates removed).
+Result<Relation> Project(const Relation& r, const std::vector<int>& columns);
+
+/// ⋈: equi-join on (left column, right column) pairs. Output columns are
+/// all of `left` followed by the non-join columns of `right` (in order).
+/// Hash join on the first join pair, residual predicates checked per row.
+Result<Relation> Join(const Relation& left, const Relation& right,
+                      const std::vector<std::pair<int, int>>& on);
+
+/// Nested-loop variant of Join with identical semantics (ablation baseline).
+Result<Relation> JoinNestedLoop(const Relation& left, const Relation& right,
+                                const std::vector<std::pair<int, int>>& on);
+
+/// Semi-join: rows of `left` having at least one match in `right`.
+Result<Relation> SemiJoin(const Relation& left, const Relation& right,
+                          const std::vector<std::pair<int, int>>& on);
+
+/// ∪ (arities must match).
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// Set difference a - b (arities must match).
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// × : Cartesian product; output columns are a's then b's. The paper's
+/// plans use this when the bound and free parts of a query are not
+/// connected (§6, Example 9).
+Relation Product(const Relation& a, const Relation& b);
+
+/// ∃ : existence check — the paper's plans answer "all tuples of A" when a
+/// disconnected subquery is non-empty.
+inline bool Exists(const Relation& r) { return !r.empty(); }
+
+/// Builds a unary relation from a value set.
+Relation FromValues(const ValueSet& values);
+
+/// Applies one binary edge step: the set of `to_col` values of rows whose
+/// `from_col` is in `frontier`. The basic move of chain evaluation.
+Result<ValueSet> Step(const Relation& r, int from_col, int to_col,
+                      const ValueSet& frontier);
+
+}  // namespace recur::ra
+
+#endif  // RECUR_RA_OPERATORS_H_

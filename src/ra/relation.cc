@@ -1,0 +1,83 @@
+#include "ra/relation.h"
+
+#include <algorithm>
+
+namespace recur::ra {
+
+namespace {
+const std::vector<int> kEmptyRowList;
+}  // namespace
+
+bool Relation::Insert(const Tuple& t) {
+  Tuple copy = t;
+  return Insert(std::move(copy));
+}
+
+bool Relation::Insert(Tuple&& t) {
+  if (static_cast<int>(t.size()) != arity_) return false;
+  auto [it, inserted] = row_set_.insert(std::move(t));
+  if (!inserted) return false;
+  rows_.push_back(*it);
+  indexes_.clear();  // invalidate lazy indexes
+  return true;
+}
+
+size_t Relation::InsertAll(const Relation& other) {
+  size_t added = 0;
+  for (const Tuple& t : other.rows_) {
+    if (Insert(t)) ++added;
+  }
+  return added;
+}
+
+void Relation::EnsureIndex(int column) const {
+  if (indexes_.empty()) {
+    indexes_.resize(arity_);
+  }
+  ColumnIndex& index = indexes_[column];
+  if (index.built) return;
+  index.map.clear();
+  for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+    index.map[rows_[i][column]].push_back(i);
+  }
+  index.built = true;
+}
+
+const std::vector<int>& Relation::RowsWithValue(int column, Value v) const {
+  if (column < 0 || column >= arity_) return kEmptyRowList;
+  EnsureIndex(column);
+  auto it = indexes_[column].map.find(v);
+  return it == indexes_[column].map.end() ? kEmptyRowList : it->second;
+}
+
+ValueSet Relation::ColumnValues(int column) const {
+  ValueSet out;
+  if (column < 0 || column >= arity_) return out;
+  for (const Tuple& t : rows_) out.insert(t[column]);
+  return out;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  row_set_.clear();
+  indexes_.clear();
+}
+
+std::string Relation::ToString() const {
+  std::vector<Tuple> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    for (size_t j = 0; j < sorted[i].size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(sorted[i][j]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace recur::ra

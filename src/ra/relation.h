@@ -1,0 +1,104 @@
+#ifndef RECUR_RA_RELATION_H_
+#define RECUR_RA_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::ra {
+
+/// A database value. Symbolic constants are interned SymbolIds widened to
+/// 64 bits; synthetic workloads use plain integers. The engine never
+/// interprets values beyond equality.
+using Value = int64_t;
+
+/// A row: fixed-arity vector of values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    // FNV-1a over the 64-bit values.
+    uint64_t h = 1469598103934665603ull;
+    for (Value v : t) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A set of values (used for frontier sets in compiled evaluation).
+using ValueSet = std::unordered_set<Value>;
+
+/// An in-memory relation: a deduplicated bag of fixed-arity tuples with
+/// lazily built per-column hash indexes. Insertion invalidates indexes;
+/// reads rebuild them on demand. Copyable (copies drop the indexes).
+class Relation {
+ public:
+  Relation() : arity_(0) {}
+  explicit Relation(int arity) : arity_(arity) {}
+
+  Relation(const Relation& other)
+      : arity_(other.arity_), rows_(other.rows_), row_set_(other.row_set_) {}
+  Relation& operator=(const Relation& other) {
+    arity_ = other.arity_;
+    rows_ = other.rows_;
+    row_set_ = other.row_set_;
+    indexes_.clear();
+    return *this;
+  }
+  Relation(Relation&&) noexcept = default;
+  Relation& operator=(Relation&&) noexcept = default;
+
+  int arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Inserts a tuple; returns true if it was new. Tuples of wrong arity are
+  /// rejected with false (and never stored).
+  bool Insert(const Tuple& t);
+  bool Insert(Tuple&& t);
+
+  /// Inserts every tuple of `other` (arities must match; mismatched rows
+  /// are skipped). Returns the number of new tuples.
+  size_t InsertAll(const Relation& other);
+
+  bool Contains(const Tuple& t) const { return row_set_.count(t) > 0; }
+
+  /// Row indexes whose `column` equals `v` (hash index, built lazily).
+  const std::vector<int>& RowsWithValue(int column, Value v) const;
+
+  /// The set of distinct values appearing in `column`.
+  ValueSet ColumnValues(int column) const;
+
+  /// Removes all rows (keeps arity).
+  void Clear();
+
+  /// Sorted, printable form for tests and tools: "{(1,2), (3,4)}".
+  std::string ToString() const;
+
+ private:
+  struct ColumnIndex {
+    std::unordered_map<Value, std::vector<int>> map;
+    bool built = false;
+  };
+
+  void EnsureIndex(int column) const;
+
+  int arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> row_set_;
+  // Lazily built; mutable because building an index does not change the
+  // logical relation.
+  mutable std::vector<ColumnIndex> indexes_;
+};
+
+}  // namespace recur::ra
+
+#endif  // RECUR_RA_RELATION_H_

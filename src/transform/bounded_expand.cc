@@ -1,0 +1,35 @@
+#include "transform/bounded_expand.h"
+
+#include "datalog/expansion.h"
+
+namespace recur::transform {
+
+Result<BoundedForm> ExpandBounded(const datalog::LinearRecursiveRule& formula,
+                                  const datalog::Rule& exit_rule,
+                                  SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(classify::Classification cls,
+                         classify::Classify(formula));
+  return ExpandBounded(formula, cls, exit_rule, symbols);
+}
+
+Result<BoundedForm> ExpandBounded(const datalog::LinearRecursiveRule& formula,
+                                  const classify::Classification& cls,
+                                  const datalog::Rule& exit_rule,
+                                  SymbolTable* symbols) {
+  if (!cls.bounded) {
+    return Status::Unsupported(
+        "formula is not (known to be) bounded; cannot expand to a finite "
+        "non-recursive set");
+  }
+  BoundedForm out;
+  out.rank = cls.rank_bound;
+  for (int k = 0; k <= cls.rank_bound; ++k) {
+    RECUR_ASSIGN_OR_RETURN(
+        datalog::Rule rule,
+        datalog::ExpandWithExit(formula, k, exit_rule, symbols));
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace recur::transform

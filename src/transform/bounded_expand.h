@@ -1,0 +1,34 @@
+#ifndef RECUR_TRANSFORM_BOUNDED_EXPAND_H_
+#define RECUR_TRANSFORM_BOUNDED_EXPAND_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "datalog/linear_rule.h"
+#include "util/result.h"
+
+namespace recur::transform {
+
+/// A bounded ("pseudo recursive", §5) formula expanded into the equivalent
+/// finite set of non-recursive rules: depths 0..rank with the recursive
+/// predicate resolved against the exit rule, as in (s8a'), (s8b').
+struct BoundedForm {
+  std::vector<datalog::Rule> rules;
+  int rank = 0;
+};
+
+/// Expands a bounded formula. Fails with Unsupported if the classification
+/// does not establish boundedness.
+Result<BoundedForm> ExpandBounded(const datalog::LinearRecursiveRule& formula,
+                                  const datalog::Rule& exit_rule,
+                                  SymbolTable* symbols);
+
+/// Same, reusing an existing classification.
+Result<BoundedForm> ExpandBounded(const datalog::LinearRecursiveRule& formula,
+                                  const classify::Classification& cls,
+                                  const datalog::Rule& exit_rule,
+                                  SymbolTable* symbols);
+
+}  // namespace recur::transform
+
+#endif  // RECUR_TRANSFORM_BOUNDED_EXPAND_H_

@@ -1,0 +1,115 @@
+#include "transform/compiled_expr.h"
+
+namespace recur::transform {
+
+CompiledExpr CompiledExpr::Relation(std::string name) {
+  CompiledExpr e(Kind::kRelation);
+  e.name_ = std::move(name);
+  return e;
+}
+
+CompiledExpr CompiledExpr::Select(CompiledExpr child) {
+  CompiledExpr e(Kind::kSelect);
+  e.children_.push_back(std::move(child));
+  return e;
+}
+
+CompiledExpr CompiledExpr::JoinChain(std::vector<CompiledExpr> children) {
+  CompiledExpr e(Kind::kJoinChain);
+  e.children_ = std::move(children);
+  return e;
+}
+
+CompiledExpr CompiledExpr::Product(CompiledExpr a, CompiledExpr b) {
+  CompiledExpr e(Kind::kProduct);
+  e.children_.push_back(std::move(a));
+  e.children_.push_back(std::move(b));
+  return e;
+}
+
+CompiledExpr CompiledExpr::UnionK(CompiledExpr child) {
+  CompiledExpr e(Kind::kUnionK);
+  e.children_.push_back(std::move(child));
+  return e;
+}
+
+CompiledExpr CompiledExpr::Power(CompiledExpr child, int offset) {
+  CompiledExpr e(Kind::kPower);
+  e.children_.push_back(std::move(child));
+  e.power_offset_ = offset;
+  return e;
+}
+
+CompiledExpr CompiledExpr::Exists(CompiledExpr child) {
+  CompiledExpr e(Kind::kExists);
+  e.children_.push_back(std::move(child));
+  return e;
+}
+
+CompiledExpr CompiledExpr::Parallel(std::vector<CompiledExpr> children) {
+  CompiledExpr e(Kind::kParallel);
+  e.children_ = std::move(children);
+  return e;
+}
+
+CompiledExpr CompiledExpr::Sequence(std::vector<CompiledExpr> children) {
+  CompiledExpr e(Kind::kSequence);
+  e.children_ = std::move(children);
+  return e;
+}
+
+std::string CompiledExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kRelation:
+      return name_;
+    case Kind::kSelect:
+      return "σ" + children_[0].ToString();
+    case Kind::kJoinChain: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += "-";
+        bool paren = children_[i].kind_ == Kind::kSequence;
+        out += paren ? "(" + children_[i].ToString() + ")"
+                     : children_[i].ToString();
+      }
+      return out;
+    }
+    case Kind::kProduct:
+      return "(" + children_[0].ToString() + ") × (" +
+             children_[1].ToString() + ")";
+    case Kind::kUnionK:
+      return "∪_{k=0}^{∞} [" + children_[0].ToString() + "]";
+    case Kind::kPower: {
+      std::string base = children_[0].ToString();
+      bool paren = children_[0].kind_ != Kind::kRelation;
+      std::string exp =
+          power_offset_ == 0
+              ? "k"
+              : "k" + std::string(power_offset_ > 0 ? "+" : "") +
+                    std::to_string(power_offset_);
+      return (paren ? "[" + base + "]" : base) + "^" + exp;
+    }
+    case Kind::kExists:
+      return "∃(" + children_[0].ToString() + ")";
+    case Kind::kParallel: {
+      std::string out = "{";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " ∥ ";
+        out += children_[i].ToString();
+      }
+      out += "}";
+      return out;
+    }
+    case Kind::kSequence: {
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i].ToString();
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace recur::transform

@@ -1,0 +1,60 @@
+#ifndef RECUR_TRANSFORM_COMPILED_EXPR_H_
+#define RECUR_TRANSFORM_COMPILED_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace recur::transform {
+
+/// A symbolic compiled formula / query evaluation plan in the paper's
+/// notation. This IR exists to *print* compiled forms the way §4-§10 write
+/// them (σ for selection, '-' for join, × for Cartesian product, ∃ for
+/// existence checking, ∪_k with chain powers); execution is handled by the
+/// specialized evaluators in eval/.
+class CompiledExpr {
+ public:
+  enum class Kind {
+    kRelation,   // named relation: A, E, ...
+    kSelect,     // σ child
+    kJoinChain,  // child_0 - child_1 - ... (the paper's join dash)
+    kProduct,    // child_0 × child_1
+    kUnionK,     // ∪_{k=0}^{∞} child   (child may contain kPower)
+    kPower,      // child ^ k  (or ^ k+offset)
+    kExists,     // ∃ child
+    kParallel,   // {child_0 ∥ child_1} evaluated independently, then merged
+    kSequence,   // child_0, child_1, ...   (a plan's ordered steps)
+  };
+
+  /// Factory helpers.
+  static CompiledExpr Relation(std::string name);
+  static CompiledExpr Select(CompiledExpr child);
+  static CompiledExpr JoinChain(std::vector<CompiledExpr> children);
+  static CompiledExpr Product(CompiledExpr a, CompiledExpr b);
+  static CompiledExpr UnionK(CompiledExpr child);
+  static CompiledExpr Power(CompiledExpr child, int offset = 0);
+  static CompiledExpr Exists(CompiledExpr child);
+  static CompiledExpr Parallel(std::vector<CompiledExpr> children);
+  static CompiledExpr Sequence(std::vector<CompiledExpr> children);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const std::vector<CompiledExpr>& children() const { return children_; }
+  int power_offset() const { return power_offset_; }
+
+  /// Renders in the paper's notation, e.g.
+  ///   "σE, (σA) × (∪_k [(E ⋈ B)(BA)^k])".
+  std::string ToString() const;
+
+ private:
+  CompiledExpr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::vector<CompiledExpr> children_;
+  int power_offset_ = 0;
+};
+
+}  // namespace recur::transform
+
+#endif  // RECUR_TRANSFORM_COMPILED_EXPR_H_

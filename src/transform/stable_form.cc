@@ -1,0 +1,42 @@
+#include "transform/stable_form.h"
+
+namespace recur::transform {
+
+Result<StableForm> ToStableForm(const datalog::LinearRecursiveRule& formula,
+                                const datalog::Rule& exit_rule,
+                                SymbolTable* symbols) {
+  RECUR_ASSIGN_OR_RETURN(classify::Classification cls,
+                         classify::Classify(formula));
+  return ToStableForm(formula, cls, exit_rule, symbols);
+}
+
+Result<StableForm> ToStableForm(const datalog::LinearRecursiveRule& formula,
+                                const classify::Classification& cls,
+                                const datalog::Rule& exit_rule,
+                                SymbolTable* symbols) {
+  if (!cls.transformable_to_stable) {
+    return Status::Unsupported(
+        "formula is not transformable to a stable formula (it has a "
+        "multi-directional, dependent, or acyclic directed part)");
+  }
+  StableForm out;
+  out.unfold_count = cls.unfold_count;
+  int L = cls.unfold_count;
+
+  // New recursive rule: the L-th expansion.
+  RECUR_ASSIGN_OR_RETURN(datalog::Rule expanded,
+                         datalog::Expand(formula, L, symbols));
+  RECUR_ASSIGN_OR_RETURN(out.recursive,
+                         datalog::LinearRecursiveRule::Create(expanded));
+
+  // Exits: depths 0..L-1 resolved against the original exit rule.
+  for (int k = 0; k < L; ++k) {
+    RECUR_ASSIGN_OR_RETURN(
+        datalog::Rule exit_k,
+        datalog::ExpandWithExit(formula, k, exit_rule, symbols));
+    out.exits.push_back(std::move(exit_k));
+  }
+  return out;
+}
+
+}  // namespace recur::transform

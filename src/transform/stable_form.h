@@ -1,0 +1,41 @@
+#ifndef RECUR_TRANSFORM_STABLE_FORM_H_
+#define RECUR_TRANSFORM_STABLE_FORM_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "datalog/expansion.h"
+#include "datalog/linear_rule.h"
+#include "util/result.h"
+
+namespace recur::transform {
+
+/// The result of transforming a class-A formula into an equivalent stable
+/// formula with multiple exits (Theorems 2 and 4): the new recursive rule
+/// is the L-th expansion of the original, and there is one exit rule per
+/// unfolding depth 0..L-1 (the original exit resolved into the first L-1
+/// expansions). Logically equivalent to the original {recursive, exit}
+/// pair.
+struct StableForm {
+  datalog::LinearRecursiveRule recursive;
+  std::vector<datalog::Rule> exits;
+  int unfold_count = 1;
+};
+
+/// Transforms `formula` (with its exit rule) into an equivalent stable
+/// form. Fails with Unsupported if the formula is not transformable
+/// (Corollary 3: only one-directional cycles are). When the formula is
+/// already stable this returns it unchanged with the single exit.
+Result<StableForm> ToStableForm(const datalog::LinearRecursiveRule& formula,
+                                const datalog::Rule& exit_rule,
+                                SymbolTable* symbols);
+
+/// Same, reusing an existing classification (avoids re-classifying).
+Result<StableForm> ToStableForm(const datalog::LinearRecursiveRule& formula,
+                                const classify::Classification& cls,
+                                const datalog::Rule& exit_rule,
+                                SymbolTable* symbols);
+
+}  // namespace recur::transform
+
+#endif  // RECUR_TRANSFORM_STABLE_FORM_H_

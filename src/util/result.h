@@ -1,0 +1,77 @@
+#ifndef RECUR_UTIL_RESULT_H_
+#define RECUR_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace recur {
+
+/// Result<T> holds either a value of type T or an error Status (never both,
+/// never neither). This is the return type of every fallible function that
+/// produces a value; mirror of arrow::Result / rocksdb-style status+out-param
+/// without the out-param.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. Aborts if `status` is OK, because an OK
+  /// result must carry a value.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  /// Constructs a result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts if this result holds an error. Use only after
+  /// checking ok(), or in tests.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!status_.ok()) {
+      std::cerr << "Attempted to access value of errored Result: "
+                << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace recur
+
+#endif  // RECUR_UTIL_RESULT_H_

@@ -1,0 +1,102 @@
+#ifndef RECUR_UTIL_STATUS_H_
+#define RECUR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace recur {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kParseError = 3,
+  kUnsupported = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Status is the library-wide error type (no exceptions cross public API
+/// boundaries). A default-constructed Status is OK; error statuses carry a
+/// code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace recur
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define RECUR_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::recur::Status _recur_status = (expr);      \
+    if (!_recur_status.ok()) return _recur_status; \
+  } while (false)
+
+#define RECUR_CONCAT_IMPL(a, b) a##b
+#define RECUR_CONCAT(a, b) RECUR_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define RECUR_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  RECUR_ASSIGN_OR_RETURN_IMPL(                                   \
+      RECUR_CONCAT(_recur_result_, __LINE__), lhs, rexpr)
+
+#define RECUR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // RECUR_UTIL_STATUS_H_

@@ -1,0 +1,27 @@
+#ifndef RECUR_UTIL_STRING_UTIL_H_
+#define RECUR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recur {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` at every occurrence of `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Repeats `s` `n` times.
+std::string Repeat(std::string_view s, int n);
+
+}  // namespace recur
+
+#endif  // RECUR_UTIL_STRING_UTIL_H_

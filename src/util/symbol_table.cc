@@ -1,0 +1,43 @@
+#include "util/symbol_table.h"
+
+namespace recur {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+SymbolTable::SymbolTable() {
+  names_.push_back(kInvalidName);  // reserve id 0
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  if (id == kInvalidSymbol || id >= names_.size()) return names_[0];
+  return names_[id];
+}
+
+SymbolId SymbolTable::Fresh(std::string_view base) {
+  for (;;) {
+    std::string candidate(base);
+    candidate += "@";
+    candidate += std::to_string(fresh_counter_++);
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace recur

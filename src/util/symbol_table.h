@@ -1,0 +1,53 @@
+#ifndef RECUR_UTIL_SYMBOL_TABLE_H_
+#define RECUR_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace recur {
+
+/// Interned identifier. Ids are dense and stable for the lifetime of the
+/// owning SymbolTable; id 0 is reserved as "invalid".
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = 0;
+
+/// SymbolTable interns strings (predicate names, variable names, constant
+/// literals) into dense SymbolIds so the rest of the library can compare and
+/// hash identifiers as integers. Not thread-safe; each Program/Database owns
+/// (or shares) one table.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidSymbol if never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for `id`; "<invalid>" for kInvalidSymbol or unknown.
+  const std::string& NameOf(SymbolId id) const;
+
+  /// Number of interned symbols (excluding the reserved invalid slot).
+  size_t size() const { return names_.size() - 1; }
+
+  /// Produces a fresh symbol that does not collide with any interned name,
+  /// derived from `base` (e.g. "x" -> "x@3"). Used for variable renaming.
+  SymbolId Fresh(std::string_view base);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace recur
+
+#endif  // RECUR_UTIL_SYMBOL_TABLE_H_

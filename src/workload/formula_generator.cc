@@ -1,0 +1,122 @@
+#include "workload/formula_generator.h"
+
+#include <algorithm>
+
+namespace recur::workload {
+
+using datalog::Atom;
+using datalog::Rule;
+using datalog::Term;
+
+Result<FormulaGenerator::Generated> FormulaGenerator::Next(
+    SymbolTable* symbols) {
+  // A bounded number of attempts: construction below almost always yields
+  // a valid formula on the first try, but the validator has the final
+  // word.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    int n = RandInt(options_.min_dimension, options_.max_dimension);
+
+    // Head variables H0..H{n-1}.
+    std::vector<SymbolId> head_vars;
+    for (int i = 0; i < n; ++i) {
+      head_vars.push_back(symbols->Intern("V" + std::to_string(i)));
+    }
+
+    // Recursive-atom variables: per position, a self-loop, a permutation
+    // of another head variable, or a fresh variable — kept distinct.
+    std::vector<SymbolId> rec_vars(n, kInvalidSymbol);
+    std::vector<bool> head_used(n, false);
+    int fresh_count = 0;
+    for (int i = 0; i < n; ++i) {
+      int choice = RandInt(0, 9);
+      if (choice < 3 && !head_used[i]) {
+        rec_vars[i] = head_vars[i];  // self directed loop
+        head_used[i] = true;
+      } else if (choice < 6) {
+        int j = RandInt(0, n - 1);
+        if (!head_used[j]) {
+          rec_vars[i] = head_vars[j];  // permutation edge
+          head_used[j] = true;
+        }
+      }
+      if (rec_vars[i] == kInvalidSymbol) {
+        rec_vars[i] =
+            symbols->Intern("F" + std::to_string(fresh_count++));
+      }
+    }
+
+    // Variable pool for non-recursive atoms.
+    std::vector<SymbolId> pool = head_vars;
+    for (SymbolId v : rec_vars) {
+      if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+        pool.push_back(v);
+      }
+    }
+    int extra_vars = RandInt(0, options_.max_extra_vars);
+    for (int i = 0; i < extra_vars; ++i) {
+      pool.push_back(symbols->Intern("W" + std::to_string(i)));
+    }
+
+    std::vector<Atom> body;
+    int predicates = 0;
+    auto add_atom = [&](const std::vector<SymbolId>& vars) {
+      std::vector<Term> args;
+      for (SymbolId v : vars) args.push_back(Term::Variable(v));
+      body.emplace_back(
+          symbols->Intern("Q" + std::to_string(predicates++)),
+          std::move(args));
+    };
+
+    int extra_atoms = RandInt(0, options_.max_extra_atoms);
+    for (int a = 0; a < extra_atoms; ++a) {
+      int arity = RandInt(1, options_.max_atom_arity);
+      std::vector<SymbolId> vars;
+      for (int i = 0; i < arity; ++i) {
+        vars.push_back(pool[RandInt(0, static_cast<int>(pool.size()) - 1)]);
+      }
+      add_atom(vars);
+    }
+
+    // Range restriction: every head variable must occur in the body.
+    auto in_body = [&](SymbolId v) {
+      for (const Atom& atom : body) {
+        if (atom.ContainsVariable(v)) return true;
+      }
+      return std::find(rec_vars.begin(), rec_vars.end(), v) !=
+             rec_vars.end();
+    };
+    for (SymbolId h : head_vars) {
+      if (!in_body(h)) {
+        // Connect it to a random pool variable (or alone, unary).
+        if (RandInt(0, 1) == 0) {
+          add_atom({h});
+        } else {
+          add_atom({h, pool[RandInt(0, static_cast<int>(pool.size()) - 1)]});
+        }
+      }
+    }
+
+    // Assemble: head, the non-recursive atoms, and the recursive atom at
+    // a random position.
+    std::vector<Term> head_args;
+    for (SymbolId v : head_vars) head_args.push_back(Term::Variable(v));
+    std::vector<Term> rec_args;
+    for (SymbolId v : rec_vars) rec_args.push_back(Term::Variable(v));
+    SymbolId p = symbols->Intern("P");
+    Atom rec_atom(p, rec_args);
+    int rec_pos = RandInt(0, static_cast<int>(body.size()));
+    body.insert(body.begin() + rec_pos, std::move(rec_atom));
+
+    Rule rule(Atom(p, head_args), std::move(body));
+    auto formula = datalog::LinearRecursiveRule::Create(std::move(rule));
+    if (!formula.ok()) continue;  // retry (e.g. repeated var slipped in)
+
+    Atom exit_body(symbols->Intern("E"), head_args);
+    Rule exit(Atom(p, head_args), {std::move(exit_body)});
+    return Generated{*std::move(formula), std::move(exit)};
+  }
+  return Status::Internal(
+      "random formula generation failed to produce a valid formula");
+}
+
+}  // namespace recur::workload

@@ -1,0 +1,58 @@
+#ifndef RECUR_WORKLOAD_FORMULA_GENERATOR_H_
+#define RECUR_WORKLOAD_FORMULA_GENERATOR_H_
+
+#include <random>
+
+#include "datalog/linear_rule.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::workload {
+
+/// Options for random linear-recursive-formula generation.
+struct FormulaGeneratorOptions {
+  int min_dimension = 1;
+  int max_dimension = 4;
+  /// Non-recursive atoms added beyond those required for range
+  /// restriction.
+  int max_extra_atoms = 3;
+  /// Extra fresh variables available to the non-recursive atoms (these
+  /// produce trivial components and guards).
+  int max_extra_vars = 2;
+  /// Maximum arity of non-recursive atoms (>= 1).
+  int max_atom_arity = 3;
+};
+
+/// Generates random formulas in the paper's restricted language (valid
+/// LinearRecursiveRule instances) together with a generic exit rule
+/// P :- E. Used by the property tests to exercise the classifier and the
+/// evaluators far beyond the paper's examples. Deterministic per seed.
+class FormulaGenerator {
+ public:
+  explicit FormulaGenerator(uint64_t seed,
+                            FormulaGeneratorOptions options = {})
+      : rng_(seed), options_(options) {}
+
+  struct Generated {
+    datalog::LinearRecursiveRule formula;
+    datalog::Rule exit;
+  };
+
+  /// Produces the next random formula. All predicate and variable names
+  /// are interned into `symbols` (the recursive predicate is "P", the
+  /// exit relation "E", non-recursive predicates "Q0", "Q1", ...).
+  Result<Generated> Next(SymbolTable* symbols);
+
+ private:
+  int RandInt(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(rng_);
+  }
+
+  std::mt19937_64 rng_;
+  FormulaGeneratorOptions options_;
+};
+
+}  // namespace recur::workload
+
+#endif  // RECUR_WORKLOAD_FORMULA_GENERATOR_H_

@@ -1,0 +1,104 @@
+#include "workload/generator.h"
+
+namespace recur::workload {
+
+ra::Relation Generator::Chain(int n, ra::Value base) {
+  ra::Relation out(2);
+  for (int i = 0; i < n; ++i) {
+    out.Insert(ra::Tuple{base + i, base + i + 1});
+  }
+  return out;
+}
+
+ra::Relation Generator::Tree(int depth, int fanout, ra::Value base) {
+  ra::Relation out(2);
+  // Nodes are numbered breadth-first: node k's children are
+  // k*fanout+1 .. k*fanout+fanout (0-based heap layout).
+  int64_t level_start = 0;
+  int64_t level_size = 1;
+  for (int d = 0; d < depth; ++d) {
+    for (int64_t i = 0; i < level_size; ++i) {
+      int64_t parent = level_start + i;
+      for (int c = 1; c <= fanout; ++c) {
+        out.Insert(ra::Tuple{base + parent,
+                             base + parent * fanout + c});
+      }
+    }
+    level_start = level_start * fanout + 1;
+    level_size *= fanout;
+  }
+  return out;
+}
+
+ra::Relation Generator::LayeredDag(int layers, int width, int out_degree,
+                                   ra::Value base) {
+  ra::Relation out(2);
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      ra::Value from = base + static_cast<int64_t>(layer) * width + i;
+      for (int d = 0; d < out_degree; ++d) {
+        ra::Value to =
+            base + static_cast<int64_t>(layer + 1) * width + pick(rng_);
+        out.Insert(ra::Tuple{from, to});
+      }
+    }
+  }
+  return out;
+}
+
+ra::Relation Generator::RandomGraph(int n, int m, ra::Value base) {
+  ra::Relation out(2);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < m && attempts < 20 * m + 100) {
+    ++attempts;
+    int a = pick(rng_);
+    int b = pick(rng_);
+    if (a == b) continue;
+    out.Insert(ra::Tuple{base + a, base + b});
+  }
+  return out;
+}
+
+ra::Relation Generator::Grid(int w, int h, ra::Value base) {
+  ra::Relation out(2);
+  auto id = [&](int x, int y) {
+    return base + static_cast<int64_t>(y) * w + x;
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) out.Insert(ra::Tuple{id(x, y), id(x + 1, y)});
+      if (y + 1 < h) out.Insert(ra::Tuple{id(x, y), id(x, y + 1)});
+    }
+  }
+  return out;
+}
+
+ra::Relation Generator::RandomPairs(int an, int bn, int m, ra::Value abase,
+                                    ra::Value bbase) {
+  ra::Relation out(2);
+  std::uniform_int_distribution<int> pa(0, an - 1);
+  std::uniform_int_distribution<int> pb(0, bn - 1);
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < m && attempts < 20 * m + 100) {
+    ++attempts;
+    out.Insert(ra::Tuple{abase + pa(rng_), bbase + pb(rng_)});
+  }
+  return out;
+}
+
+ra::Relation Generator::RandomRows(int arity, int n, int m, ra::Value base) {
+  ra::Relation out(arity);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < m && attempts < 20 * m + 100) {
+    ++attempts;
+    ra::Tuple t(arity);
+    for (int i = 0; i < arity; ++i) t[i] = base + pick(rng_);
+    out.Insert(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace recur::workload

@@ -1,0 +1,51 @@
+#ifndef RECUR_WORKLOAD_GENERATOR_H_
+#define RECUR_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+
+#include "ra/relation.h"
+
+namespace recur::workload {
+
+/// Seeded generators for synthetic EDB relations. All generators are
+/// deterministic for a given seed, so benchmarks and tests are repeatable.
+/// Values are plain integers; node ids start at `base`.
+class Generator {
+ public:
+  explicit Generator(uint64_t seed) : rng_(seed) {}
+
+  /// A simple chain: (base+0 -> base+1 -> ... -> base+n). n edges. Acyclic.
+  ra::Relation Chain(int n, ra::Value base = 0);
+
+  /// A complete `fanout`-ary tree with `depth` levels below the root.
+  /// Edges point parent -> child. Acyclic.
+  ra::Relation Tree(int depth, int fanout, ra::Value base = 0);
+
+  /// A layered random DAG: `layers` layers of `width` nodes; each node has
+  /// `out_degree` random successors in the next layer. Acyclic.
+  ra::Relation LayeredDag(int layers, int width, int out_degree,
+                          ra::Value base = 0);
+
+  /// A random digraph over n nodes with m uniformly random edges
+  /// (self-loops excluded). Usually cyclic.
+  ra::Relation RandomGraph(int n, int m, ra::Value base = 0);
+
+  /// A w x h grid with edges right and down. Acyclic.
+  ra::Relation Grid(int w, int h, ra::Value base = 0);
+
+  /// A random binary relation pairing values from [abase, abase+an) with
+  /// values from [bbase, bbase+bn), m pairs.
+  ra::Relation RandomPairs(int an, int bn, int m, ra::Value abase,
+                           ra::Value bbase);
+
+  /// A random k-ary relation with `m` rows drawn from [base, base+n).
+  ra::Relation RandomRows(int arity, int n, int m, ra::Value base = 0);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace recur::workload
+
+#endif  // RECUR_WORKLOAD_GENERATOR_H_

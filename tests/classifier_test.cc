@@ -1,0 +1,310 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/paper_examples.h"
+#include "classify/boundedness.h"
+#include "classify/classifier.h"
+#include "classify/stability.h"
+#include "datalog/parser.h"
+
+namespace recur::classify {
+namespace {
+
+using catalog::PaperExample;
+using catalog::PaperExamples;
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  Classification MustClassify(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = datalog::LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    auto cls = Classify(*f);
+    EXPECT_TRUE(cls.ok()) << cls.status();
+    return *cls;
+  }
+  SymbolTable symbols_;
+};
+
+// ---- TAB1: the paper's examples classify exactly as stated. -------------
+
+class PaperExampleTest : public ::testing::TestWithParam<PaperExample> {};
+
+TEST_P(PaperExampleTest, MatchesPaper) {
+  const PaperExample& e = GetParam();
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(e, &symbols);
+  ASSERT_TRUE(f.ok()) << f.status();
+  auto cls = Classify(*f);
+  ASSERT_TRUE(cls.ok()) << cls.status();
+  EXPECT_EQ(cls->formula_class, e.expected_class)
+      << e.id << ": got " << ToString(cls->formula_class) << "\n"
+      << cls->Summary(symbols);
+  EXPECT_EQ(cls->strongly_stable, e.strongly_stable) << e.id;
+  EXPECT_EQ(cls->transformable_to_stable, e.transformable) << e.id;
+  if (e.transformable) {
+    EXPECT_EQ(cls->unfold_count, e.unfold_count) << e.id;
+  }
+  EXPECT_EQ(cls->bounded, e.bounded) << e.id;
+  if (e.bounded) {
+    EXPECT_EQ(cls->rank_bound, e.rank_bound) << e.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperExamples, PaperExampleTest,
+    ::testing::ValuesIn(PaperExamples()),
+    [](const ::testing::TestParamInfo<PaperExample>& info) {
+      return std::string(info.param.id);
+    });
+
+// ---- Component-level details. --------------------------------------------
+
+TEST_F(ClassifierTest, S3HasThreeUnitRotationalComponents) {
+  Classification cls = MustClassify(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), P(U, V, W), C(W, Z).");
+  int a1 = 0;
+  for (const ComponentInfo& c : cls.components) {
+    if (c.component_class == ComponentClass::kUnitRotational) ++a1;
+  }
+  EXPECT_EQ(a1, 3);
+  EXPECT_TRUE(cls.strongly_stable);
+}
+
+TEST_F(ClassifierTest, S6ComponentWeights) {
+  Classification cls = MustClassify(
+      "P(X, Y, Z, U, V, W) :- P(Z, Y, U, X, W, V).");
+  std::multiset<int> weights;
+  for (const ComponentInfo& c : cls.components) {
+    if (c.component_class != ComponentClass::kTrivial) {
+      weights.insert(c.cycle_weight);
+    }
+  }
+  EXPECT_EQ(weights, (std::multiset<int>{1, 2, 3}));
+  EXPECT_TRUE(cls.permutational);
+  EXPECT_EQ(cls.unfold_count, 6);
+  EXPECT_EQ(cls.rank_bound, 5);  // Theorem 10: LCM - 1
+}
+
+TEST_F(ClassifierTest, S7FourCycles) {
+  Classification cls = MustClassify(
+      "P(X, Y, Z, U, W, S, V) :- A(X, T), P(T, Z, Y, W, S, R, V), "
+      "B(U, R).");
+  std::multiset<int> weights;
+  for (const ComponentInfo& c : cls.components) {
+    if (c.component_class != ComponentClass::kTrivial) {
+      weights.insert(c.cycle_weight);
+    }
+  }
+  EXPECT_EQ(weights, (std::multiset<int>{1, 1, 2, 3}));
+  EXPECT_EQ(cls.unfold_count, 6);
+  EXPECT_FALSE(cls.bounded);
+  EXPECT_FALSE(cls.permutational);
+}
+
+TEST_F(ClassifierTest, S12MixedComponents) {
+  Classification cls = MustClassify(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).");
+  std::multiset<ComponentClass> classes;
+  for (const ComponentInfo& c : cls.components) {
+    if (c.component_class != ComponentClass::kTrivial) {
+      classes.insert(c.component_class);
+    }
+  }
+  EXPECT_EQ(classes, (std::multiset<ComponentClass>{
+                         ComponentClass::kUnitRotational,
+                         ComponentClass::kDependent}));
+}
+
+TEST_F(ClassifierTest, PositionsTrackComponents) {
+  Classification cls = MustClassify("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  // Two components, each owning one position.
+  ASSERT_EQ(cls.components.size(), 2u);
+  std::set<int> all_positions;
+  for (const ComponentInfo& c : cls.components) {
+    for (int p : c.positions) all_positions.insert(p);
+  }
+  EXPECT_EQ(all_positions, (std::set<int>{0, 1}));
+}
+
+TEST_F(ClassifierTest, DependentViaChord) {
+  // Theorem 8 CASE 3: an extra undirected edge across a one-directional
+  // cycle makes it dependent.
+  Classification cls = MustClassify(
+      "P(X1, X2) :- A(X1, Y2), B(X2, Y1), C(X1, Y1), P(Y1, Y2).");
+  EXPECT_EQ(cls.formula_class, FormulaClass::kE);
+  EXPECT_FALSE(cls.transformable_to_stable);
+}
+
+TEST_F(ClassifierTest, UndirectedEdgeBetweenTwoTails) {
+  // Theorem 8 CASE 1: undirected edge whose both nodes are tails of
+  // directed edges cannot be stable.
+  Classification cls = MustClassify("P(X, Y) :- A(X, Y), P(X1, Y1), "
+                                    "B(X1, X2), C(Y1, Y2), D(X2, Y2).");
+  EXPECT_FALSE(cls.strongly_stable);
+}
+
+TEST_F(ClassifierTest, PendantUndirectedEdgeKeepsIndependence) {
+  // A pendant non-recursive atom hanging off a permutational cycle leaves
+  // the cycle independent and one-directional (weight 2, still A4-shaped).
+  Classification cls =
+      MustClassify("P(X, Y) :- A(Y, W), P(Y, X).");
+  ASSERT_EQ(cls.components.size(), 1u);
+  EXPECT_EQ(cls.components[0].component_class,
+            ComponentClass::kNonUnitPermutational);
+  EXPECT_EQ(cls.components[0].cycle_weight, 2);
+}
+
+// ---- Theorem 1: syntactic vs semantic strong stability agree. ------------
+
+TEST_P(PaperExampleTest, Theorem1SemanticAgreement) {
+  const PaperExample& e = GetParam();
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(e, &symbols);
+  ASSERT_TRUE(f.ok());
+  auto cls = Classify(*f);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(SemanticallyStronglyStable(*cls), cls->strongly_stable) << e.id;
+}
+
+// ---- Theorems 2/4: the semantic stability period equals the LCM. ---------
+
+TEST_P(PaperExampleTest, Theorem4PeriodMatchesUnfoldCount) {
+  const PaperExample& e = GetParam();
+  if (!e.transformable) return;
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(e, &symbols);
+  ASSERT_TRUE(f.ok());
+  auto cls = Classify(*f);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(SemanticStabilityPeriod(*cls), cls->unfold_count) << e.id;
+}
+
+TEST_F(ClassifierTest, NonTransformableHasNoIdentityPeriod) {
+  // (s9) loses determinedness information; f^L is never the identity.
+  Classification cls =
+      MustClassify("P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).");
+  EXPECT_EQ(SemanticStabilityPeriod(cls, 64), 0);
+}
+
+TEST_F(ClassifierTest, AdornmentPropagationS4a) {
+  // Positions rotate 1 -> 3 -> 2 -> 1 in (s4a).
+  Classification cls = MustClassify(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  EXPECT_EQ(PropagateAdornment(cls, 0b001), 0b100u);
+  EXPECT_EQ(PropagateAdornment(cls, 0b100), 0b010u);
+  EXPECT_EQ(PropagateAdornment(cls, 0b010), 0b001u);
+  EXPECT_EQ(PropagateAdornment(cls, 0b111), 0b111u);
+  EXPECT_EQ(PropagateAdornment(cls, 0), 0u);
+}
+
+TEST_F(ClassifierTest, AdornmentPropagationDependent) {
+  // (s11): binding x determines both recursive positions after one step.
+  Classification cls = MustClassify(
+      "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).");
+  EXPECT_EQ(PropagateAdornment(cls, 0b01), 0b11u);
+}
+
+// ---- Boundedness. ---------------------------------------------------------
+
+TEST_F(ClassifierTest, IoannidisBoundMatchesClassifier) {
+  SymbolTable symbols;
+  const PaperExample* s8 = catalog::FindExample("s8");
+  ASSERT_NE(s8, nullptr);
+  auto f = catalog::ParseExample(*s8, &symbols);
+  ASSERT_TRUE(f.ok());
+  auto info = IoannidisBound(*f);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_TRUE(info->bounded);
+  EXPECT_EQ(info->rank_bound, 2);
+}
+
+TEST_F(ClassifierTest, IoannidisRejectsPermutational) {
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(*catalog::FindExample("s5"), &symbols);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(IoannidisBound(*f).ok());
+}
+
+TEST_F(ClassifierTest, IoannidisUnboundedForNonZeroCycle) {
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(*catalog::FindExample("s9"), &symbols);
+  ASSERT_TRUE(f.ok());
+  auto info = IoannidisBound(*f);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->bounded);
+}
+
+TEST_F(ClassifierTest, BoundednessSourceReporting) {
+  SymbolTable symbols;
+  auto s5 = catalog::ParseExample(*catalog::FindExample("s5"), &symbols);
+  auto cls5 = Classify(*s5);
+  ASSERT_TRUE(cls5.ok());
+  EXPECT_EQ(ComputeBoundedness(*cls5).source,
+            BoundednessSource::kPermutational);
+
+  SymbolTable symbols8;
+  auto s8 = catalog::ParseExample(*catalog::FindExample("s8"), &symbols8);
+  auto cls8 = Classify(*s8);
+  ASSERT_TRUE(cls8.ok());
+  EXPECT_EQ(ComputeBoundedness(*cls8).source, BoundednessSource::kIoannidis);
+}
+
+TEST_F(ClassifierTest, CombinedBoundedness) {
+  // A2 self-loop (Y) + class-D part: bounded via the combined bound
+  // r + LCM - 1 (Theorem 11 gives boundedness; our bound composes the two
+  // parts).
+  Classification cls = MustClassify(
+      "P(X, Y, Z) :- C(X, Z1), B(Y), P(X1, Z1, Z).");
+  // Directed: X->X1, Y->Z1, Z->Z; undirected: X~Z1. The {Y}->{X,Z1}->{X1}
+  // chain is a class-D component with max path weight 2; Z->Z is a unit
+  // permutational (A2) component.
+  EXPECT_TRUE(cls.bounded);
+  EXPECT_EQ(cls.rank_bound, 2);  // r=2, LCM=1 -> 2 + 1 - 1
+  EXPECT_EQ(ComputeBoundedness(cls).source, BoundednessSource::kCombined);
+}
+
+TEST_F(ClassifierTest, AdornmentQueryFormNotation) {
+  EXPECT_EQ(AdornmentToQueryForm(0b001, 3), "P(d,v,v)");
+  EXPECT_EQ(AdornmentToQueryForm(0b110, 3), "P(v,d,d)");
+  EXPECT_EQ(AdornmentToQueryForm(0, 2), "P(v,v)");
+}
+
+TEST_F(ClassifierTest, AdornmentTableS12MatchesPaper) {
+  // §10: "incoming query: P(d,v,v); first expansion: P(d,d,v); second
+  // expansion: P(d,d,v)" with cycle period 1.
+  Classification cls = MustClassify(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).");
+  std::string table = AdornmentTable(cls, 0b001, 3);
+  EXPECT_NE(table.find("incoming query : P(d,v,v)"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("expansion 1    : P(d,d,v)"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("expansion 2    : P(d,d,v)"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("cycle period 1"), std::string::npos) << table;
+}
+
+TEST_F(ClassifierTest, AdornmentTableS4aPeriodThree) {
+  Classification cls = MustClassify(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  std::string table = AdornmentTable(cls, 0b001, 6);
+  EXPECT_NE(table.find("cycle period 3"), std::string::npos) << table;
+}
+
+TEST_F(ClassifierTest, SummaryMentionsClassAndBound) {
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(*catalog::FindExample("s8"), &symbols);
+  auto cls = Classify(*f);
+  ASSERT_TRUE(cls.ok());
+  std::string summary = cls->Summary(symbols);
+  EXPECT_NE(summary.find("formula class: B"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("bounded with rank <= 2"), std::string::npos)
+      << summary;
+}
+
+}  // namespace
+}  // namespace recur::classify

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/compiled_eval.h"
+#include "eval/naive.h"
+#include "eval/seminaive.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+/// Fixture that builds a formula + exit, an EDB, and compares the compiled
+/// evaluator against semi-naive for given queries.
+class CompiledEvalTest : public ::testing::Test {
+ protected:
+  datalog::LinearRecursiveRule MustFormula(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = datalog::LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+  datalog::Rule MustRule(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    return *rule;
+  }
+  void Load(const char* name, const ra::Relation& rel) {
+    auto r = edb_.GetOrCreate(symbols_.Intern(name), rel.arity());
+    ASSERT_TRUE(r.ok()) << r.status();
+    (*r)->InsertAll(rel);
+  }
+
+  /// Reference answers by semi-naive materialization + selection.
+  ra::Relation Reference(const datalog::LinearRecursiveRule& f,
+                         const datalog::Rule& exit, const Query& q) {
+    datalog::Program program;
+    program.AddRule(f.rule());
+    program.AddRule(exit);
+    auto answers = SemiNaiveAnswer(program, edb_, q);
+    EXPECT_TRUE(answers.ok()) << answers.status();
+    return answers.ok() ? *answers : ra::Relation(q.arity());
+  }
+
+  Query MakeQuery(const char* pred,
+                  std::vector<std::optional<ra::Value>> bindings) {
+    Query q;
+    q.pred = symbols_.Lookup(pred);
+    q.bindings = std::move(bindings);
+    return q;
+  }
+
+  SymbolTable symbols_;
+  ra::Database edb_;
+};
+
+TEST_F(CompiledEvalTest, S1aForwardBfsOnChain) {
+  workload::Generator gen(21);
+  Load("A", gen.Chain(40));
+  Load("E", gen.Chain(40));  // E == A: P is "one A step then reachability"
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+
+  Query q = MakeQuery("P", {ra::Value{0}, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kForwardBfs);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+  EXPECT_EQ(answers->size(), 40u);  // 0 -> 1..40
+}
+
+TEST_F(CompiledEvalTest, S1aBackwardClosure) {
+  workload::Generator gen(22);
+  Load("A", gen.Tree(4, 2));
+  Load("E", gen.Tree(4, 2));
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  // Free first position (the chained one), bound second (identity):
+  // backward closure mode.
+  Query q = MakeQuery("P", {std::nullopt, ra::Value{14}});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kBackwardClosure);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, S1aFullyBoundAndFullyFree) {
+  workload::Generator gen(23);
+  Load("A", gen.LayeredDag(5, 4, 2));
+  Load("E", gen.LayeredDag(5, 4, 2));
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  // Fully free: backward-closure mode (no bound non-identity position).
+  Query all = MakeQuery("P", {std::nullopt, std::nullopt});
+  auto a1 = ev->Answer(all, edb_);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->ToString(), Reference(f, exit, all).ToString());
+
+  // Fully bound: pick one known answer and one non-answer.
+  ASSERT_FALSE(a1->empty());
+  ra::Tuple yes = a1->rows()[0];
+  Query qyes = MakeQuery("P", {yes[0], yes[1]});
+  auto a2 = ev->Answer(qyes, edb_);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->size(), 1u);
+
+  Query qno = MakeQuery("P", {ra::Value{999}, ra::Value{998}});
+  auto a3 = ev->Answer(qno, edb_);
+  ASSERT_TRUE(a3.ok());
+  EXPECT_TRUE(a3->empty());
+}
+
+TEST_F(CompiledEvalTest, S2aSynchronizedOnAcyclicData) {
+  // (s2a) needs level synchronization for P(a, Y): A^k forward, B^k
+  // backward with the same k.
+  workload::Generator gen(24);
+  Load("A", gen.Chain(30, 0));
+  Load("B", gen.Chain(30, 1000));
+  Load("E", gen.RandomPairs(31, 31, 60, 0, 1000));
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  Query q = MakeQuery("P", {ra::Value{0}, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kSynchronized);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, HornerMatchesLevelwise) {
+  workload::Generator gen(25);
+  Load("A", gen.LayeredDag(6, 3, 2, 0));
+  Load("B", gen.LayeredDag(6, 3, 2, 1000));
+  Load("E", gen.RandomPairs(18, 18, 40, 0, 1000));
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  Query q = MakeQuery("P", {ra::Value{0}, std::nullopt});
+  CompiledEvalOptions horner;
+  horner.free_mode = FreeMode::kHorner;
+  CompiledEvalOptions levelwise;
+  levelwise.free_mode = FreeMode::kLevelwise;
+  auto a1 = ev->Answer(q, edb_, horner);
+  auto a2 = ev->Answer(q, edb_, levelwise);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1->ToString(), a2->ToString());
+  EXPECT_EQ(a1->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, DedupOffStillCorrectOnAcyclicData) {
+  workload::Generator gen(26);
+  Load("A", gen.Tree(5, 2));
+  Load("E", gen.Tree(5, 2));
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  Query q = MakeQuery("P", {ra::Value{0}, std::nullopt});
+  CompiledEvalOptions no_dedup;
+  no_dedup.allow_dedup = false;
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, no_dedup, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kSynchronized);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, CyclicDataFallsBackAndStaysCorrect) {
+  // A 3-cycle in A: the synchronized frontier never empties, the state
+  // cycles, and the evaluator falls back to semi-naive.
+  ra::Relation a(2);
+  a.Insert({1, 2});
+  a.Insert({2, 3});
+  a.Insert({3, 1});
+  Load("A", a);
+  ra::Relation b(2);
+  b.Insert({10, 11});
+  b.Insert({11, 12});
+  b.Insert({12, 10});
+  Load("B", b);
+  ra::Relation e(2);
+  e.Insert({1, 10});
+  e.Insert({2, 11});
+  Load("E", e);
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  Query q = MakeQuery("P", {ra::Value{1}, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_TRUE(stats.fell_back);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+
+  CompiledEvalOptions strict;
+  strict.fallback_to_seminaive = false;
+  EXPECT_TRUE(ev->Answer(q, edb_, strict).status().IsUnsupported());
+}
+
+TEST_F(CompiledEvalTest, CyclicDataForwardBfsIsExactWithoutFallback) {
+  // For the BFS-able adornment the visited set makes cyclic data fine.
+  ra::Relation a(2);
+  a.Insert({1, 2});
+  a.Insert({2, 3});
+  a.Insert({3, 1});
+  Load("A", a);
+  ra::Relation e(2);
+  e.Insert({2, 50});
+  e.Insert({3, 60});
+  Load("E", e);
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  Query q = MakeQuery("P", {ra::Value{1}, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kForwardBfs);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, S3ThreePositionQuery) {
+  // Example 3 with query P(a, b, Z).
+  workload::Generator gen(27);
+  Load("A", gen.LayeredDag(4, 3, 2, 0));
+  Load("B", gen.LayeredDag(4, 3, 2, 1000));
+  Load("C", gen.LayeredDag(4, 3, 2, 2000));
+  Load("E", gen.RandomRows(3, 12, 40, 0));
+  // Make E span the three node ranges so joins can succeed.
+  ra::Relation* e = edb_.FindMutable(symbols_.Lookup("E"));
+  workload::Generator gen2(28);
+  ra::Relation extra = gen2.RandomRows(3, 12, 40, 0);
+  for (const ra::Tuple& t : extra.rows()) {
+    e->Insert({t[0], 1000 + t[1], 2000 + t[2]});
+  }
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), P(U, V, W), C(W, Z).");
+  datalog::Rule exit = MustRule("P(X, Y, Z) :- E(X, Y, Z).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+
+  Query q = MakeQuery("P", {ra::Value{0}, ra::Value{1000}, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kSynchronized);
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, TransformedNonUnitFormula) {
+  // (s4a) via CreateWithTransform: unfolds 3x, then compiled evaluation.
+  workload::Generator gen(29);
+  Load("A", gen.LayeredDag(4, 3, 2, 0));
+  Load("B", gen.LayeredDag(4, 3, 2, 0));
+  Load("C", gen.LayeredDag(4, 3, 2, 0));
+  Load("E", gen.RandomRows(3, 12, 50, 0));
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  datalog::Rule exit = MustRule("P(X1, X2, X3) :- E(X1, X2, X3).");
+  auto ev = StableEvaluator::CreateWithTransform(f, exit, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+  EXPECT_EQ(ev->exits().size(), 3u);
+
+  for (auto& q :
+       {MakeQuery("P", {ra::Value{0}, std::nullopt, std::nullopt}),
+        MakeQuery("P", {std::nullopt, std::nullopt, std::nullopt})}) {
+    auto answers = ev->Answer(q, edb_);
+    ASSERT_TRUE(answers.ok()) << answers.status();
+    EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString())
+        << q.AdornmentString();
+  }
+}
+
+TEST_F(CompiledEvalTest, PermutationalViaTransform) {
+  // (s5) P(X,Y,Z) :- P(Y,Z,X): the stable form's recursive rule is the
+  // identity; answers are the three rotations of E.
+  ra::Relation e(3);
+  e.Insert({1, 2, 3});
+  e.Insert({4, 5, 6});
+  Load("E", e);
+  datalog::LinearRecursiveRule f = MustFormula("P(X, Y, Z) :- P(Y, Z, X).");
+  datalog::Rule exit = MustRule("P(X, Y, Z) :- E(X, Y, Z).");
+  auto ev = StableEvaluator::CreateWithTransform(f, exit, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+
+  Query q = MakeQuery("P", {std::nullopt, std::nullopt, std::nullopt});
+  CompiledEvalStats stats;
+  auto answers = ev->Answer(q, edb_, {}, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(stats.mode, CompiledEvalStats::Mode::kSingleLevel);
+  EXPECT_EQ(answers->size(), 6u);
+  EXPECT_TRUE(answers->Contains({1, 2, 3}));
+  EXPECT_TRUE(answers->Contains({2, 3, 1}));
+  EXPECT_TRUE(answers->Contains({3, 1, 2}));
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, GuardAtomKillsDeeperLevels) {
+  // A non-recursive atom disconnected from every position guards the
+  // recursion: with W empty, only the exit level contributes.
+  workload::Generator gen(30);
+  Load("A", gen.Chain(10));
+  Load("E", gen.Chain(10));
+  Load("W", ra::Relation(1));  // empty guard relation
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), W(V), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+  ASSERT_FALSE(ev->chains().guard_atoms.empty());
+
+  Query q = MakeQuery("P", {ra::Value{0}, std::nullopt});
+  auto answers = ev->Answer(q, edb_);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);  // only E(0,1)
+  EXPECT_EQ(answers->ToString(), Reference(f, exit, q).ToString());
+
+  // With a non-empty guard, deeper levels flow again.
+  ra::Relation w(1);
+  w.Insert({7});
+  Load("W", w);
+  auto answers2 = ev->Answer(q, edb_);
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_EQ(answers2->size(), 10u);
+  EXPECT_EQ(answers2->ToString(), Reference(f, exit, q).ToString());
+}
+
+TEST_F(CompiledEvalTest, CreateRejectsBadInputs) {
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  // No exits.
+  EXPECT_FALSE(StableEvaluator::Create(f, {}, &symbols_).ok());
+  // Exit for the wrong predicate.
+  datalog::Rule bad_exit = MustRule("Q(X, Y) :- E(X, Y).");
+  EXPECT_FALSE(StableEvaluator::Create(f, {bad_exit}, &symbols_).ok());
+  // Recursive "exit".
+  datalog::Rule rec_exit = MustRule("P(X, Y) :- P(X, Y).");
+  EXPECT_FALSE(StableEvaluator::Create(f, {rec_exit}, &symbols_).ok());
+  // Unstable rule via Create.
+  datalog::LinearRecursiveRule s9 =
+      MustFormula("P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).");
+  datalog::Rule exit3 = MustRule("P(X, Y, Z) :- E(X, Y, Z).");
+  EXPECT_FALSE(StableEvaluator::Create(s9, {exit3}, &symbols_).ok());
+  // Untransformable via CreateWithTransform.
+  EXPECT_FALSE(StableEvaluator::CreateWithTransform(s9, exit3, &symbols_)
+                   .ok());
+  // Query mismatch.
+  auto ev = StableEvaluator::Create(f, {exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+  Query q;
+  q.pred = symbols_.Lookup("P");
+  q.bindings = {std::nullopt};  // wrong arity
+  EXPECT_FALSE(ev->Answer(q, edb_).ok());
+}
+
+}  // namespace
+}  // namespace recur::eval

@@ -1,0 +1,213 @@
+// Coverage for API surfaces not exercised elsewhere: enum printers,
+// hybrid-graph primitives, compiled-eval corner conditions, alternative
+// surface syntax.
+
+#include <gtest/gtest.h>
+
+#include "classify/taxonomy.h"
+#include "datalog/parser.h"
+#include "eval/compiled_eval.h"
+#include "eval/plan_generator.h"
+#include "graph/hybrid_graph.h"
+#include "graph/paths.h"
+#include "ra/database.h"
+#include "workload/generator.h"
+
+namespace recur {
+namespace {
+
+TEST(TaxonomyTest, AllComponentClassesPrint) {
+  using classify::ComponentClass;
+  const ComponentClass all[] = {
+      ComponentClass::kTrivial,          ComponentClass::kUnitRotational,
+      ComponentClass::kUnitPermutational, ComponentClass::kNonUnitRotational,
+      ComponentClass::kNonUnitPermutational, ComponentClass::kBoundedCycle,
+      ComponentClass::kUnboundedCycle,   ComponentClass::kNoNontrivialCycle,
+      ComponentClass::kDependent,
+  };
+  for (ComponentClass c : all) {
+    EXPECT_STRNE(ToString(c), "?");
+    EXPECT_FALSE(Describe(c).empty());
+  }
+  EXPECT_STREQ(ToString(ComponentClass::kUnitRotational), "A1");
+  EXPECT_TRUE(IsOneDirectionalClass(ComponentClass::kNonUnitPermutational));
+  EXPECT_FALSE(IsOneDirectionalClass(ComponentClass::kBoundedCycle));
+  EXPECT_TRUE(IsPermutationalClass(ComponentClass::kUnitPermutational));
+  EXPECT_FALSE(IsPermutationalClass(ComponentClass::kUnitRotational));
+}
+
+TEST(TaxonomyTest, AllFormulaClassesPrint) {
+  using classify::FormulaClass;
+  const FormulaClass all[] = {
+      FormulaClass::kA1, FormulaClass::kA2, FormulaClass::kA3,
+      FormulaClass::kA4, FormulaClass::kA5, FormulaClass::kB,
+      FormulaClass::kC,  FormulaClass::kD,  FormulaClass::kE,
+      FormulaClass::kF,
+  };
+  for (FormulaClass c : all) {
+    EXPECT_STRNE(ToString(c), "?");
+    EXPECT_FALSE(Describe(c).empty());
+  }
+}
+
+TEST(TaxonomyTest, StrategyNames) {
+  EXPECT_STREQ(ToString(eval::Strategy::kStableCompiled),
+               "stable-compiled");
+  EXPECT_STREQ(ToString(eval::Strategy::kTransformedCompiled),
+               "transformed-compiled");
+  EXPECT_STREQ(ToString(eval::Strategy::kBoundedExpansion),
+               "bounded-expansion");
+  EXPECT_STREQ(ToString(eval::Strategy::kSemiNaive), "semi-naive");
+}
+
+TEST(HybridGraphTest, Primitives) {
+  graph::HybridGraph g;
+  int a = g.AddVertex({1, 0});
+  int b = g.AddVertex({2, 0});
+  EXPECT_EQ(g.num_vertices(), 2);
+  // Undirected self-loop dropped.
+  EXPECT_EQ(g.AddEdge({a, a, graph::EdgeKind::kUndirected, 3, -1}), -1);
+  // Directed self-loop kept; appears once in the incidence list.
+  int loop = g.AddEdge({a, a, graph::EdgeKind::kDirected, 3, 0});
+  EXPECT_GE(loop, 0);
+  EXPECT_EQ(g.IncidentEdges(a).size(), 1u);
+  int e = g.AddEdge({a, b, graph::EdgeKind::kUndirected, 4, -1});
+  EXPECT_EQ(g.edge(e).weight(), 0);
+  EXPECT_EQ(g.edge(loop).weight(), 1);
+  EXPECT_EQ(g.IncidentEdges(b).size(), 1u);
+  EXPECT_EQ(g.FindVertex(1, 0), a);
+  EXPECT_EQ(g.FindVertex(1, 7), -1);
+  EXPECT_EQ(g.DirectedEdges().size(), 1u);
+  EXPECT_EQ(g.UndirectedEdges().size(), 1u);
+}
+
+TEST(PathsTest, ComponentRestriction) {
+  // Two disjoint components: a weight-2 chain and a weight-1 arc.
+  graph::HybridGraph g;
+  int v0 = g.AddVertex({1, 0});
+  int v1 = g.AddVertex({2, 0});
+  int v2 = g.AddVertex({3, 0});
+  int w0 = g.AddVertex({4, 0});
+  int w1 = g.AddVertex({5, 0});
+  g.AddEdge({v0, v1, graph::EdgeKind::kDirected, 9, 0});
+  g.AddEdge({v1, v2, graph::EdgeKind::kDirected, 9, 1});
+  g.AddEdge({w0, w1, graph::EdgeKind::kDirected, 9, 2});
+  graph::CondensedGraph c = graph::CondensedGraph::Build(g);
+  int n = 0;
+  std::vector<int> comp = c.WeakComponents(&n);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(graph::MaxPathWeight(c), 2);
+  int chain_component = comp[c.cluster_of(v0)];
+  int arc_component = comp[c.cluster_of(w0)];
+  EXPECT_EQ(
+      graph::MaxPathWeightInComponent(c, comp, chain_component), 2);
+  EXPECT_EQ(graph::MaxPathWeightInComponent(c, comp, arc_component), 1);
+}
+
+class CompiledCornerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto rule =
+        datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols_);
+    auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &symbols_);
+    ASSERT_TRUE(rule.ok());
+    ASSERT_TRUE(exit.ok());
+    auto formula = datalog::LinearRecursiveRule::Create(*rule);
+    ASSERT_TRUE(formula.ok());
+    auto ev =
+        eval::StableEvaluator::Create(*formula, {*exit}, &symbols_);
+    ASSERT_TRUE(ev.ok());
+    evaluator_.emplace(*std::move(ev));
+  }
+  eval::Query MakeQuery(std::vector<std::optional<ra::Value>> b) {
+    eval::Query q;
+    q.pred = symbols_.Lookup("P");
+    q.bindings = std::move(b);
+    return q;
+  }
+  SymbolTable symbols_;
+  std::optional<eval::StableEvaluator> evaluator_;
+};
+
+TEST_F(CompiledCornerTest, EmptyDatabaseYieldsEmpty) {
+  ra::Database empty;
+  auto answers =
+      evaluator_->Answer(MakeQuery({ra::Value{1}, std::nullopt}), empty);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST_F(CompiledCornerTest, MissingStepRelationYieldsExitOnly) {
+  // E present, A missing: only depth 0 can contribute.
+  ra::Database edb;
+  auto e = edb.GetOrCreate(symbols_.Lookup("E"), 2);
+  ASSERT_TRUE(e.ok());
+  (*e)->Insert({1, 9});
+  (*e)->Insert({2, 8});
+  auto answers =
+      evaluator_->Answer(MakeQuery({ra::Value{1}, std::nullopt}), edb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->ToString(), "{(1,9)}");
+}
+
+TEST_F(CompiledCornerTest, BoundValueAbsentFromDomain) {
+  ra::Database edb;
+  workload::Generator gen(61);
+  auto a = edb.GetOrCreate(symbols_.Lookup("A"), 2);
+  auto e = edb.GetOrCreate(symbols_.Lookup("E"), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(e.ok());
+  (*a)->InsertAll(gen.Chain(5));
+  (*e)->InsertAll(gen.Chain(5));
+  auto answers = evaluator_->Answer(
+      MakeQuery({ra::Value{777}, std::nullopt}), edb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST_F(CompiledCornerTest, StatsReportModeAndLevels) {
+  ra::Database edb;
+  workload::Generator gen(62);
+  (*edb.GetOrCreate(symbols_.Lookup("A"), 2))->InsertAll(gen.Chain(5));
+  (*edb.GetOrCreate(symbols_.Lookup("E"), 2))->InsertAll(gen.Chain(5));
+  eval::CompiledEvalStats stats;
+  auto answers = evaluator_->Answer(
+      MakeQuery({ra::Value{0}, std::nullopt}), edb, {}, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(stats.mode, eval::CompiledEvalStats::Mode::kForwardBfs);
+  EXPECT_GE(stats.levels, 5);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_GT(stats.tuples_considered, 0u);
+}
+
+TEST(SyntaxTest, AmpersandAndArrowForms) {
+  SymbolTable symbols;
+  auto r1 = datalog::ParseRule("P(X, Y) <- A(X, Z) & P(Z, Y).", &symbols);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  auto r2 = datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(SyntaxTest, PrimedVariableNames) {
+  SymbolTable symbols;
+  auto rule = datalog::ParseRule("P(X, X') :- A(X, X'), P(X', X).",
+                                 &symbols);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->Variables().size(), 2u);
+}
+
+TEST(PlanGeneratorCoverageTest, QueryPlanToStringMentionsStrategy) {
+  SymbolTable symbols;
+  auto rule =
+      datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols);
+  auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &symbols);
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  eval::PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*formula, *exit);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->ToString().find("stable-compiled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recur

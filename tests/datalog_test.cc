@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "datalog/linear_rule.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "datalog/substitution.h"
+#include "datalog/unify.h"
+
+namespace recur::datalog {
+namespace {
+
+class DatalogTest : public ::testing::Test {
+ protected:
+  Rule MustParseRule(const char* text) {
+    auto r = ParseRule(text, &symbols_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+  Atom MustParseAtom(const char* text) {
+    auto r = ParseAtom(text, &symbols_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(DatalogTest, TermKinds) {
+  SymbolId x = symbols_.Intern("X");
+  Term var = Term::Variable(x);
+  Term con = Term::Constant(x);
+  EXPECT_TRUE(var.IsVariable());
+  EXPECT_TRUE(con.IsConstant());
+  EXPECT_NE(var, con);
+  EXPECT_EQ(var, Term::Variable(x));
+}
+
+TEST_F(DatalogTest, AtomVariables) {
+  Atom a = MustParseAtom("A(X, b, Y, X)");
+  EXPECT_EQ(a.arity(), 4);
+  EXPECT_EQ(a.Variables().size(), 2u);  // X, Y (deduplicated)
+  EXPECT_TRUE(a.ContainsVariable(symbols_.Lookup("X")));
+  EXPECT_FALSE(a.ContainsVariable(symbols_.Lookup("b")));
+}
+
+TEST_F(DatalogTest, RuleRecursive) {
+  Rule tc = MustParseRule("P(X, Y) :- A(X, Z), P(Z, Y).");
+  EXPECT_TRUE(tc.IsRecursive());
+  Rule exit = MustParseRule("P(X, Y) :- E(X, Y).");
+  EXPECT_FALSE(exit.IsRecursive());
+  EXPECT_EQ(tc.BodyIndexesOf(symbols_.Lookup("P")),
+            (std::vector<int>{1}));
+  EXPECT_EQ(tc.BodyAtomsExcept(symbols_.Lookup("P")).size(), 1u);
+}
+
+TEST_F(DatalogTest, RuleVariablesInOrder) {
+  Rule r = MustParseRule("P(X, Y) :- A(X, Z), P(Z, Y).");
+  std::vector<SymbolId> vars = r.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(symbols_.NameOf(vars[0]), "X");
+  EXPECT_EQ(symbols_.NameOf(vars[1]), "Y");
+  EXPECT_EQ(symbols_.NameOf(vars[2]), "Z");
+}
+
+TEST_F(DatalogTest, RangeRestriction) {
+  EXPECT_TRUE(MustParseRule("P(X) :- A(X, Y).").IsRangeRestricted());
+  EXPECT_FALSE(MustParseRule("P(X, W) :- A(X, Y).").IsRangeRestricted());
+  EXPECT_TRUE(MustParseRule("A(a, b).").IsRangeRestricted());  // ground fact
+}
+
+TEST_F(DatalogTest, RoundTripPrinting) {
+  const char* text = "P(X, Y) :- A(X, Z), P(Z, Y).";
+  Rule r = MustParseRule(text);
+  EXPECT_EQ(r.ToString(symbols_), text);
+}
+
+TEST_F(DatalogTest, ProgramPredicateSets) {
+  auto program = ParseProgram(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n"
+      "?- P(a, Y).\n",
+      &symbols_);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 2u);
+  EXPECT_EQ(program->queries().size(), 1u);
+  EXPECT_EQ(program->IdbPredicates(),
+            (std::vector<SymbolId>{symbols_.Lookup("P")}));
+  std::vector<SymbolId> edb = program->EdbPredicates();
+  EXPECT_EQ(edb.size(), 2u);  // E, A
+  EXPECT_EQ(program->RulesFor(symbols_.Lookup("P")).size(), 2u);
+  EXPECT_TRUE(program->Validate().ok());
+}
+
+TEST_F(DatalogTest, ProgramValidateRejectsUnrestrictedRule) {
+  auto program = ParseProgram("P(X, W) :- A(X, Y).", &symbols_);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program->Validate().ok());
+}
+
+TEST_F(DatalogTest, SubstitutionApplies) {
+  Substitution s;
+  SymbolId x = symbols_.Intern("X");
+  s.Bind(x, Term::Constant(symbols_.Intern("a")));
+  Atom atom = MustParseAtom("A(X, Y)");
+  Atom applied = s.Apply(atom);
+  EXPECT_TRUE(applied.args()[0].IsConstant());
+  EXPECT_TRUE(applied.args()[1].IsVariable());
+}
+
+TEST_F(DatalogTest, SubstitutionWalksChains) {
+  Substitution s;
+  SymbolId x = symbols_.Intern("X");
+  SymbolId y = symbols_.Intern("Y");
+  s.Bind(x, Term::Variable(y));
+  s.Bind(y, Term::Constant(symbols_.Intern("c")));
+  EXPECT_TRUE(s.Apply(Term::Variable(x)).IsConstant());
+}
+
+TEST_F(DatalogTest, UnifySuccess) {
+  Atom a = MustParseAtom("A(X, b)");
+  Atom b = MustParseAtom("A(a, Y)");
+  auto subst = Unify(a, b);
+  ASSERT_TRUE(subst.ok());
+  EXPECT_EQ(subst->Apply(a).ToString(symbols_), "A(a, b)");
+  EXPECT_EQ(subst->Apply(b).ToString(symbols_), "A(a, b)");
+}
+
+TEST_F(DatalogTest, UnifyFailures) {
+  EXPECT_FALSE(Unify(MustParseAtom("A(a)"), MustParseAtom("A(b)")).ok());
+  EXPECT_FALSE(Unify(MustParseAtom("A(a)"), MustParseAtom("B(a)")).ok());
+  EXPECT_FALSE(Unify(MustParseAtom("A(a)"), MustParseAtom("A(a, b)")).ok());
+}
+
+TEST_F(DatalogTest, UnifyVariableToVariable) {
+  Atom a = MustParseAtom("A(X, X)");
+  Atom b = MustParseAtom("A(Y, c)");
+  auto subst = Unify(a, b);
+  ASSERT_TRUE(subst.ok());
+  EXPECT_EQ(subst->Apply(a).ToString(symbols_), "A(c, c)");
+}
+
+TEST_F(DatalogTest, LinearRuleAcceptsValidFormula) {
+  auto f = LinearRecursiveRule::Create(
+      MustParseRule("P(X, Y) :- A(X, Z), P(Z, Y)."));
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->dimension(), 2);
+  EXPECT_EQ(f->recursive_index(), 1);
+  EXPECT_EQ(f->NonRecursiveAtoms().size(), 1u);
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsFact) {
+  EXPECT_FALSE(LinearRecursiveRule::Create(MustParseRule("A(a, b).")).ok());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsNonRecursive) {
+  auto f = LinearRecursiveRule::Create(
+      MustParseRule("P(X, Y) :- E(X, Y)."));
+  EXPECT_TRUE(f.status().IsInvalidArgument());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsNonLinear) {
+  auto f = LinearRecursiveRule::Create(
+      MustParseRule("P(X, Y) :- P(X, Z), P(Z, Y)."));
+  EXPECT_TRUE(f.status().IsUnsupported());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsConstants) {
+  EXPECT_FALSE(LinearRecursiveRule::Create(
+                   MustParseRule("P(X, Y) :- A(X, a), P(X, Y)."))
+                   .ok());
+  EXPECT_FALSE(LinearRecursiveRule::Create(
+                   MustParseRule("P(X, a) :- A(X, Z), P(Z, a)."))
+                   .ok());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsRepeatedVariableUnderP) {
+  auto head_repeat = LinearRecursiveRule::Create(
+      MustParseRule("P(X, X) :- A(X, Z), P(Z, X)."));
+  EXPECT_TRUE(head_repeat.status().IsUnsupported());
+  auto body_repeat = LinearRecursiveRule::Create(
+      MustParseRule("P(X, Y) :- A(X, Z), P(Z, Z)."));
+  EXPECT_TRUE(body_repeat.status().IsUnsupported());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsArityMismatch) {
+  EXPECT_FALSE(LinearRecursiveRule::Create(
+                   MustParseRule("P(X, Y) :- A(X, Z), P(Z)."))
+                   .ok());
+}
+
+TEST_F(DatalogTest, LinearRuleRejectsUnrestrictedHead) {
+  auto f = LinearRecursiveRule::Create(
+      MustParseRule("P(X, Y, W) :- A(X, Z), P(Z, Y, U)."));
+  // W never occurs in the body.
+  EXPECT_TRUE(f.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace recur::datalog

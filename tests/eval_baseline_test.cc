@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/conjunctive.h"
+#include "eval/naive.h"
+#include "eval/seminaive.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  datalog::Program MustProgram(const char* text) {
+    auto p = datalog::ParseProgram(text, &symbols_);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return *p;
+  }
+
+  // Loads a named binary relation directly.
+  void Load(const char* name, const ra::Relation& rel) {
+    auto r = edb_.GetOrCreate(symbols_.Intern(name), rel.arity());
+    ASSERT_TRUE(r.ok());
+    (*r)->InsertAll(rel);
+  }
+
+  SymbolTable symbols_;
+  ra::Database edb_;
+};
+
+TEST_F(BaselineTest, ConjunctiveSimpleJoin) {
+  Load("A", [] {
+    ra::Relation r(2);
+    r.Insert({1, 2});
+    r.Insert({2, 3});
+    return r;
+  }());
+  auto rule = datalog::ParseRule("P(X, Z) :- A(X, Y), A(Y, Z).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  RelationLookup lookup = [this](SymbolId p) { return edb_.Find(p); };
+  auto result = EvaluateRule(*rule, lookup);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ToString(), "{(1,3)}");
+}
+
+TEST_F(BaselineTest, ConjunctiveConstantsAndRepeatedVars) {
+  // Use values far above the interned-symbol id range so the constant c's
+  // id cannot collide with plain integer data.
+  ra::Relation a(3);
+  a.Insert({100, 100, 5});
+  a.Insert({100, 200, 6});
+  a.Insert({static_cast<ra::Value>(symbols_.Intern("c")), 7, 7});
+  Load("A", a);
+  // Repeated variable X,X filters to rows with equal first columns.
+  auto rule1 = datalog::ParseRule("P(Z) :- A(X, X, Z).", &symbols_);
+  ASSERT_TRUE(rule1.ok());
+  RelationLookup lookup = [this](SymbolId p) { return edb_.Find(p); };
+  auto r1 = EvaluateRule(*rule1, lookup);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->ToString(), "{(5)}");
+  // Constant in the atom selects.
+  auto rule2 = datalog::ParseRule("P(Y, Z) :- A(c, Y, Z).", &symbols_);
+  ASSERT_TRUE(rule2.ok());
+  auto r2 = EvaluateRule(*rule2, lookup);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->ToString(), "{(7,7)}");
+}
+
+TEST_F(BaselineTest, ConjunctiveWithBindings) {
+  workload::Generator gen(7);
+  Load("A", gen.Chain(50));
+  auto rule = datalog::ParseRule("P(X, Z) :- A(X, Y), A(Y, Z).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  RelationLookup lookup = [this](SymbolId p) { return edb_.Find(p); };
+  std::unordered_map<SymbolId, ra::Value> bindings{
+      {symbols_.Lookup("X"), 5}};
+  ConjunctiveOptions options;
+  options.bindings = &bindings;
+  EvalStats stats;
+  auto result = EvaluateRule(*rule, lookup, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "{(5,7)}");
+  // Selection-first: far fewer intermediate tuples than the full join.
+  EXPECT_LT(stats.tuples_considered, 10u);
+}
+
+TEST_F(BaselineTest, ConjunctiveHeadConstant) {
+  Load("A", [] {
+    ra::Relation r(1);
+    r.Insert({4});
+    return r;
+  }());
+  auto rule = datalog::ParseRule("P(k, X) :- A(X).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  RelationLookup lookup = [this](SymbolId p) { return edb_.Find(p); };
+  auto result = EvaluateRule(*rule, lookup);
+  ASSERT_TRUE(result.ok());
+  ra::Value k = static_cast<ra::Value>(symbols_.Lookup("k"));
+  EXPECT_TRUE(result->Contains({k, 4}));
+}
+
+TEST_F(BaselineTest, ConjunctiveUnknownRelationYieldsEmpty) {
+  auto rule = datalog::ParseRule("P(X) :- Missing(X).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  RelationLookup lookup = [this](SymbolId p) { return edb_.Find(p); };
+  auto result = EvaluateRule(*rule, lookup);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(BaselineTest, NaiveTransitiveClosureChain) {
+  workload::Generator gen(1);
+  Load("A", gen.Chain(20));
+  datalog::Program program = MustProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  auto idb = NaiveEvaluate(program, edb_);
+  ASSERT_TRUE(idb.ok()) << idb.status();
+  const ra::Relation& p = idb->at(symbols_.Lookup("P"));
+  EXPECT_EQ(p.size(), 20u * 21u / 2u);  // all ordered pairs i<j
+  EXPECT_TRUE(p.Contains({0, 20}));
+  EXPECT_FALSE(p.Contains({20, 0}));
+}
+
+TEST_F(BaselineTest, SemiNaiveMatchesNaive) {
+  workload::Generator gen(2);
+  Load("A", gen.RandomGraph(30, 60));
+  datalog::Program program = MustProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  auto naive = NaiveEvaluate(program, edb_);
+  auto semi = SemiNaiveEvaluate(program, edb_);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(naive->at(symbols_.Lookup("P")).ToString(),
+            semi->at(symbols_.Lookup("P")).ToString());
+}
+
+TEST_F(BaselineTest, SemiNaiveDoesLessWork) {
+  workload::Generator gen(3);
+  Load("A", gen.Chain(60));
+  datalog::Program program = MustProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  EvalStats naive_stats;
+  EvalStats semi_stats;
+  ASSERT_TRUE(NaiveEvaluate(program, edb_, {}, &naive_stats).ok());
+  ASSERT_TRUE(SemiNaiveEvaluate(program, edb_, {}, &semi_stats).ok());
+  EXPECT_LT(semi_stats.tuples_considered, naive_stats.tuples_considered);
+}
+
+TEST_F(BaselineTest, SameGenerationProgram) {
+  // Classic same-generation over a small tree: flat(=sibling) pairs come
+  // from shared parents.
+  workload::Generator gen(4);
+  Load("Par", gen.Tree(3, 2));
+  datalog::Program program = MustProgram(
+      "Sg(X, Y) :- Par(P, X), Par(P, Y).\n"
+      "Sg(X, Y) :- Par(P, X), Sg(P, Q), Par(Q, Y).\n");
+  auto idb = SemiNaiveEvaluate(program, edb_);
+  ASSERT_TRUE(idb.ok()) << idb.status();
+  const ra::Relation& sg = idb->at(symbols_.Lookup("Sg"));
+  // Nodes 1 and 2 are both children of 0: same generation. Node 3 (child
+  // of 1) and node 6 (child of 2) are same generation via recursion.
+  EXPECT_TRUE(sg.Contains({1, 2}));
+  EXPECT_TRUE(sg.Contains({3, 6}));
+  EXPECT_FALSE(sg.Contains({1, 3}));
+}
+
+TEST_F(BaselineTest, MutualRecursionTwoPredicates) {
+  Load("A", [] {
+    ra::Relation r(2);
+    r.Insert({1, 2});
+    r.Insert({2, 3});
+    r.Insert({3, 4});
+    return r;
+  }());
+  // Even/odd distance pairs via mutual recursion.
+  datalog::Program program = MustProgram(
+      "Odd(X, Y) :- A(X, Y).\n"
+      "Odd(X, Y) :- A(X, Z), Even(Z, Y).\n"
+      "Even(X, Y) :- A(X, Z), Odd(Z, Y).\n");
+  auto idb = SemiNaiveEvaluate(program, edb_);
+  ASSERT_TRUE(idb.ok());
+  EXPECT_TRUE(idb->at(symbols_.Lookup("Odd")).Contains({1, 2}));
+  EXPECT_TRUE(idb->at(symbols_.Lookup("Even")).Contains({1, 3}));
+  EXPECT_TRUE(idb->at(symbols_.Lookup("Odd")).Contains({1, 4}));
+  EXPECT_FALSE(idb->at(symbols_.Lookup("Even")).Contains({1, 2}));
+}
+
+TEST_F(BaselineTest, QueryHelpers) {
+  SymbolTable symbols;
+  auto atom = datalog::ParseAtom("P(a, Y, b)", &symbols);
+  ASSERT_TRUE(atom.ok());
+  Query q = Query::FromAtom(*atom);
+  EXPECT_EQ(q.arity(), 3);
+  EXPECT_EQ(q.AdornmentString(), "bfb");
+  EXPECT_EQ(q.adornment(), 0b101u);
+  EXPECT_EQ(q.BoundPositions(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(q.FreePositions(), (std::vector<int>{1}));
+
+  ra::Relation full(3);
+  ra::Value a = static_cast<ra::Value>(symbols.Lookup("a"));
+  ra::Value b = static_cast<ra::Value>(symbols.Lookup("b"));
+  full.Insert({a, 1, b});
+  full.Insert({a, 2, 99});
+  auto filtered = q.Filter(full);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->size(), 1u);
+  EXPECT_TRUE(filtered->Contains({a, 1, b}));
+}
+
+TEST_F(BaselineTest, NaiveAnswerFiltersByQuery) {
+  workload::Generator gen(5);
+  Load("A", gen.Chain(10));
+  datalog::Program program = MustProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  Query q;
+  q.pred = symbols_.Lookup("P");
+  q.bindings = {ra::Value{0}, std::nullopt};
+  auto answers = NaiveAnswer(program, edb_, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 10u);  // 0 reaches 1..10
+}
+
+}  // namespace
+}  // namespace recur::eval

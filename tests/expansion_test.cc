@@ -1,0 +1,154 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datalog/expansion.h"
+#include "datalog/parser.h"
+
+namespace recur::datalog {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  LinearRecursiveRule MustFormula(const char* text) {
+    auto rule = ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+
+  // Counts body atoms with the given predicate name.
+  static int CountPred(const Rule& rule, const SymbolTable& symbols,
+                       const char* name) {
+    int count = 0;
+    for (const Atom& a : rule.body()) {
+      if (symbols.NameOf(a.predicate()) == name) ++count;
+    }
+    return count;
+  }
+
+  SymbolTable symbols_;
+};
+
+TEST_F(ExpansionTest, FirstExpansionIsOriginal) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  auto e1 = Expand(f, 1, &symbols_);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, f.rule());
+}
+
+TEST_F(ExpansionTest, RejectsZero) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  EXPECT_FALSE(Expand(f, 0, &symbols_).ok());
+}
+
+TEST_F(ExpansionTest, KthExpansionHasKCopies) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  for (int k = 1; k <= 5; ++k) {
+    auto ek = Expand(f, k, &symbols_);
+    ASSERT_TRUE(ek.ok());
+    EXPECT_EQ(CountPred(*ek, symbols_, "A"), k);
+    EXPECT_EQ(CountPred(*ek, symbols_, "P"), 1);
+    EXPECT_EQ(ek->head(), f.rule().head());
+  }
+}
+
+TEST_F(ExpansionTest, PaperSecondExpansionOfS2a) {
+  // (s2a) P(x,y) :- A(x,z) ∧ P(z,u) ∧ B(u,y); the paper's 2nd expansion is
+  // (s2c) P(x,y) :- A(x,z) ∧ A(z,z1) ∧ P(z1,u1) ∧ B(u1,u) ∧ B(u,y).
+  LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  auto e2 = Expand(f, 2, &symbols_);
+  ASSERT_TRUE(e2.ok()) << e2.status();
+  EXPECT_EQ(e2->ToString(symbols_),
+            "P(X, Y) :- A(X, Z), A(Z, Z1), P(Z1, U1), B(U1, U), B(U, Y).");
+}
+
+TEST_F(ExpansionTest, ThirdExpansionChainsCorrectly) {
+  LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  auto e3 = Expand(f, 3, &symbols_);
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(
+      e3->ToString(symbols_),
+      "P(X, Y) :- A(X, Z), A(Z, Z1), A(Z1, Z2), P(Z2, U2), B(U2, U1), "
+      "B(U1, U), B(U, Y).");
+}
+
+TEST_F(ExpansionTest, PermutationalExpansionReturnsToOriginal) {
+  // (s5) P(x,y,z) :- P(y,z,x): after 3 unfolds the recursive atom has
+  // cycled through P(z,x,y) and P(x,y,z) back to P(y,z,x) — the 4th
+  // expansion is literally the original rule ("stable after 3 expansions",
+  // Example 5).
+  LinearRecursiveRule f = MustFormula("P(X, Y, Z) :- P(Y, Z, X).");
+  auto e3 = Expand(f, 3, &symbols_);
+  ASSERT_TRUE(e3.ok());
+  ASSERT_EQ(e3->body().size(), 1u);
+  EXPECT_EQ(e3->body()[0], f.head());  // identity permutation reached
+  auto e4 = Expand(f, 4, &symbols_);
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(*e4, f.rule());
+}
+
+TEST_F(ExpansionTest, ExpandWithExitZeroGivesExitRule) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  auto exit = ParseRule("P(X, Y) :- E(X, Y).", &symbols_);
+  ASSERT_TRUE(exit.ok());
+  auto e0 = ExpandWithExit(f, 0, *exit, &symbols_);
+  ASSERT_TRUE(e0.ok());
+  EXPECT_EQ(*e0, *exit);
+}
+
+TEST_F(ExpansionTest, ExpandWithExitIsNonRecursive) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  auto exit = ParseRule("P(X, Y) :- E(X, Y).", &symbols_);
+  ASSERT_TRUE(exit.ok());
+  for (int k = 1; k <= 4; ++k) {
+    auto ek = ExpandWithExit(f, k, *exit, &symbols_);
+    ASSERT_TRUE(ek.ok());
+    EXPECT_FALSE(ek->IsRecursive());
+    EXPECT_EQ(CountPred(*ek, symbols_, "A"), k);
+    EXPECT_EQ(CountPred(*ek, symbols_, "E"), 1);
+  }
+}
+
+TEST_F(ExpansionTest, ExpandWithExitRejectsMismatchedExit) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  auto exit = ParseRule("Q(X, Y) :- E(X, Y).", &symbols_);
+  ASSERT_TRUE(exit.ok());
+  EXPECT_FALSE(ExpandWithExit(f, 1, *exit, &symbols_).ok());
+}
+
+TEST_F(ExpansionTest, RenameAvoidsCapture) {
+  // A rule that already uses the name Z1: renaming Z at layer 1 must not
+  // capture it.
+  auto rule = ParseRule("P(X, Y) :- A(X, Z), B(Z, Z1), P(Z1, Y).",
+                        &symbols_);
+  ASSERT_TRUE(rule.ok());
+  auto f = LinearRecursiveRule::Create(*rule);
+  ASSERT_TRUE(f.ok());
+  auto e2 = Expand(*f, 2, &symbols_);
+  ASSERT_TRUE(e2.ok());
+  // All variables distinct across the A/B chain: A,B,A,B plus P = 5 atoms.
+  EXPECT_EQ(e2->body().size(), 5u);
+  // The chain must stay connected: count distinct variables = 2 (head) +
+  // chain interior. A(X,Z) B(Z,Z1) A(Z1,?) B(?,?') P(?',Y).
+  EXPECT_EQ(e2->Variables().size(), 6u);
+}
+
+TEST_F(ExpansionTest, UnfoldOnceOutOfRange) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  EXPECT_FALSE(UnfoldOnce(f.rule(), 5, f.rule(), 1, &symbols_).ok());
+  EXPECT_FALSE(UnfoldOnce(f.rule(), -1, f.rule(), 1, &symbols_).ok());
+}
+
+TEST_F(ExpansionTest, UnfoldOnceWithNonMatchingDefinition) {
+  LinearRecursiveRule f = MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  auto def = ParseRule("Q(X) :- R(X).", &symbols_);
+  ASSERT_TRUE(def.ok());
+  EXPECT_FALSE(UnfoldOnce(f.rule(), 1, *def, 1, &symbols_).ok());
+}
+
+}  // namespace
+}  // namespace recur::datalog

@@ -1,0 +1,273 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "catalog/paper_examples.h"
+#include "datalog/parser.h"
+#include "graph/components.h"
+#include "graph/cycles.h"
+#include "graph/igraph.h"
+#include "graph/paths.h"
+#include "graph/render.h"
+#include "graph/resolution_graph.h"
+
+namespace recur::graph {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  datalog::LinearRecursiveRule MustFormula(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = datalog::LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+
+  IGraph MustIGraph(const char* text) {
+    auto g = IGraph::Build(MustFormula(text));
+    EXPECT_TRUE(g.ok()) << g.status();
+    return *g;
+  }
+
+  SymbolTable symbols_;
+};
+
+TEST_F(GraphTest, S1aIGraphShape) {
+  // Figure 1(a): vertices x, y, z; undirected x-z labeled A; directed
+  // x->z and self-loop y->y labeled P.
+  IGraph ig = MustIGraph("P(X, Y) :- A(X, Z), P(Z, Y).");
+  const HybridGraph& g = ig.graph();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.UndirectedEdges().size(), 1u);
+  EXPECT_EQ(g.DirectedEdges().size(), 2u);
+  // Position 0: x -> z.
+  const Edge& e0 = g.edge(ig.PositionEdge(0));
+  EXPECT_EQ(symbols_.NameOf(g.vertex(e0.from).var), "X");
+  EXPECT_EQ(symbols_.NameOf(g.vertex(e0.to).var), "Z");
+  EXPECT_EQ(e0.weight(), 1);
+  // Position 1: y -> y (self-loop).
+  const Edge& e1 = g.edge(ig.PositionEdge(1));
+  EXPECT_EQ(e1.from, e1.to);
+}
+
+TEST_F(GraphTest, S1bIGraphShape) {
+  // Figure 1(b): P(x,y,z) :- A(x,y) ∧ P(u,z,v) ∧ B(u,v).
+  IGraph ig = MustIGraph("P(X, Y, Z) :- A(X, Y), P(U, Z, V), B(U, V).");
+  EXPECT_EQ(ig.graph().num_vertices(), 5);  // x y z u v
+  EXPECT_EQ(ig.graph().UndirectedEdges().size(), 2u);
+  EXPECT_EQ(ig.graph().DirectedEdges().size(), 3u);
+}
+
+TEST_F(GraphTest, UndirectedSelfLoopDropped) {
+  // A(Z, Z) would create an undirected self-loop; it must be dropped.
+  IGraph ig = MustIGraph("P(X, Y) :- A(Y, Y), P(X, Y).");
+  EXPECT_EQ(ig.graph().UndirectedEdges().size(), 0u);
+}
+
+TEST_F(GraphTest, TernaryAtomConnectsAllPairs) {
+  IGraph ig = MustIGraph("P(X, Y) :- A(X, Y, Z), P(Z, Y).");
+  EXPECT_EQ(ig.graph().UndirectedEdges().size(), 3u);  // XY XZ YZ
+}
+
+TEST_F(GraphTest, ResolutionGraphGrowsByLayer) {
+  // (s2a): 4 vertices in G_1; each further layer adds 2 fresh variables
+  // (z_i, u_i) and 4 edges.
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  for (int k = 1; k <= 4; ++k) {
+    auto g = ResolutionGraph::Build(f, k);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->graph().num_vertices(), 4 + 2 * (k - 1));
+    EXPECT_EQ(g->graph().num_edges(), 4 * k);
+    EXPECT_EQ(g->k(), k);
+  }
+}
+
+TEST_F(GraphTest, ResolutionGraphAccumulatedWeight) {
+  // Figure 2(c): in G_2 of (s2a) the weight from x to z1 is two.
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  auto g2 = ResolutionGraph::Build(f, 2);
+  ASSERT_TRUE(g2.ok());
+  int x = g2->graph().FindVertex(symbols_.Lookup("X"), 0);
+  int z1 = g2->FrontierVertex(0);
+  ASSERT_NE(x, -1);
+  EXPECT_EQ(g2->graph().vertex(z1).layer, 1);
+  bool found = false;
+  EXPECT_EQ(g2->DirectedPathWeight(x, z1, &found), 2);
+  EXPECT_TRUE(found);
+  // y is not reachable from x by arrows.
+  int y = g2->graph().FindVertex(symbols_.Lookup("Y"), 0);
+  g2->DirectedPathWeight(x, y, &found);
+  EXPECT_FALSE(found);
+}
+
+TEST_F(GraphTest, ResolutionGraphFrontierPermutes) {
+  // (s5) P(x,y,z):-P(y,z,x): no new vertices are ever created; the
+  // frontier cycles with period 3.
+  datalog::LinearRecursiveRule f = MustFormula("P(X, Y, Z) :- P(Y, Z, X).");
+  auto g1 = ResolutionGraph::Build(f, 1);
+  auto g4 = ResolutionGraph::Build(f, 4);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g4.ok());
+  EXPECT_EQ(g4->graph().num_vertices(), 3);
+  EXPECT_EQ(g4->graph().num_edges(), 12);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(g4->FrontierVertex(i), g1->FrontierVertex(i));
+  }
+}
+
+TEST_F(GraphTest, CondensationClustersBySharedAtoms) {
+  IGraph ig = MustIGraph(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), P(U, V, W), C(W, Z).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  EXPECT_EQ(c.num_clusters(), 3);  // {x,u} {y,v} {w,z}
+  EXPECT_EQ(c.arcs().size(), 3u);
+  for (const CondensedArc& arc : c.arcs()) {
+    EXPECT_EQ(arc.from_cluster, arc.to_cluster);  // all unit self-loops
+  }
+}
+
+TEST_F(GraphTest, CondensationWeakComponents) {
+  IGraph ig = MustIGraph(
+      "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  int n = 0;
+  std::vector<int> comp = c.WeakComponents(&n);
+  EXPECT_EQ(n, 2);  // {x,u,y,v} and {w,z}
+}
+
+TEST_F(GraphTest, CycleEnumerationUnitSelfLoop) {
+  IGraph ig = MustIGraph("P(X, Y) :- A(X, Z), P(Z, Y).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  ASSERT_EQ(cycles->size(), 2u);
+  for (const Cycle& cycle : *cycles) {
+    EXPECT_EQ(cycle.weight, 1);
+    EXPECT_TRUE(cycle.one_directional);
+    EXPECT_EQ(cycle.steps.size(), 1u);
+  }
+  // One rotational (x->z via A), one permutational (y self-loop).
+  int rotational = 0;
+  for (const Cycle& cycle : *cycles) rotational += cycle.rotational ? 1 : 0;
+  EXPECT_EQ(rotational, 1);
+}
+
+TEST_F(GraphTest, CycleEnumerationWeightThree) {
+  IGraph ig = MustIGraph(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  ASSERT_EQ(cycles->size(), 1u);
+  EXPECT_EQ((*cycles)[0].weight, 3);
+  EXPECT_TRUE((*cycles)[0].one_directional);
+  EXPECT_TRUE((*cycles)[0].rotational);
+}
+
+TEST_F(GraphTest, CycleEnumerationMultiDirectional) {
+  // (s9): one cycle, weight 1, multi-directional.
+  IGraph ig = MustIGraph("P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  ASSERT_EQ(cycles->size(), 1u);
+  EXPECT_FALSE((*cycles)[0].one_directional);
+  EXPECT_EQ((*cycles)[0].weight, 1);
+}
+
+TEST_F(GraphTest, CycleEnumerationZeroWeight) {
+  // (s8): one cycle of weight 0.
+  IGraph ig = MustIGraph(
+      "P(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), P(Z, Y1, Z1, U1).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  ASSERT_EQ(cycles->size(), 1u);
+  EXPECT_EQ((*cycles)[0].weight, 0);
+  EXPECT_FALSE((*cycles)[0].one_directional);
+}
+
+TEST_F(GraphTest, CycleEnumerationDependent) {
+  // (s11): two unit self-loops on one merged cluster.
+  IGraph ig = MustIGraph(
+      "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  EXPECT_EQ(c.num_clusters(), 1);
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(cycles->size(), 2u);
+}
+
+TEST_F(GraphTest, CycleEnumerationNoCycle) {
+  // (s10): no non-trivial cycle.
+  IGraph ig = MustIGraph("P(X, Y) :- B(Y), C(X, Y1), P(X1, Y1).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  auto cycles = EnumerateCycles(c);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_TRUE(cycles->empty());
+}
+
+TEST_F(GraphTest, MaxPathWeightS10) {
+  IGraph ig = MustIGraph("P(X, Y) :- B(Y), C(X, Y1), P(X1, Y1).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  EXPECT_EQ(MaxPathWeight(c), 2);
+}
+
+TEST_F(GraphTest, MaxPathWeightS8) {
+  IGraph ig = MustIGraph(
+      "P(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), P(Z, Y1, Z1, U1).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  EXPECT_EQ(MaxPathWeight(c), 2);  // Figure 3: tight bound 2
+}
+
+TEST_F(GraphTest, MaxPathWeightSelfLoopChain) {
+  // Unit self-loop only: the max path is the single forward traversal.
+  IGraph ig = MustIGraph("P(X) :- A(X, Y), P(Y).");
+  CondensedGraph c = CondensedGraph::Build(ig.graph());
+  EXPECT_EQ(MaxPathWeight(c), 1);
+}
+
+TEST_F(GraphTest, RenderAscii) {
+  IGraph ig = MustIGraph("P(X, Y) :- A(X, Z), P(Z, Y).");
+  std::string ascii = ToAscii(ig.graph(), symbols_);
+  EXPECT_NE(ascii.find("x --A-- z"), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find("x -->P--> z"), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find("y -->P--> y"), std::string::npos) << ascii;
+}
+
+TEST_F(GraphTest, RenderAsciiLayers) {
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).");
+  auto g2 = ResolutionGraph::Build(f, 2);
+  ASSERT_TRUE(g2.ok());
+  std::string ascii = ToAscii(g2->graph(), symbols_);
+  EXPECT_NE(ascii.find("z1"), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find("u1"), std::string::npos) << ascii;
+}
+
+TEST_F(GraphTest, RenderDot) {
+  IGraph ig = MustIGraph("P(X, Y) :- A(X, Z), P(Z, Y).");
+  std::string dot = ToDot(ig.graph(), symbols_, "s1a");
+  EXPECT_NE(dot.find("digraph \"s1a\""), std::string::npos);
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+}
+
+TEST_F(GraphTest, AllCatalogExamplesBuildGraphs) {
+  for (const catalog::PaperExample& e : catalog::PaperExamples()) {
+    SymbolTable symbols;
+    auto f = catalog::ParseExample(e, &symbols);
+    ASSERT_TRUE(f.ok()) << e.id << ": " << f.status();
+    auto g = IGraph::Build(*f);
+    ASSERT_TRUE(g.ok()) << e.id;
+    EXPECT_EQ(static_cast<int>(g->graph().DirectedEdges().size()),
+              f->dimension())
+        << e.id;
+  }
+}
+
+}  // namespace
+}  // namespace recur::graph

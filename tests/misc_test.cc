@@ -1,0 +1,178 @@
+// Assorted edge cases across modules: low-dimension formulas, degenerate
+// graphs, container semantics, and printer corners.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifier.h"
+#include "classify/stability.h"
+#include "datalog/parser.h"
+#include "eval/query.h"
+#include "graph/render.h"
+#include "graph/resolution_graph.h"
+#include "ra/operators.h"
+
+namespace recur {
+namespace {
+
+class MiscTest : public ::testing::Test {
+ protected:
+  classify::Classification MustClassify(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = datalog::LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    auto cls = classify::Classify(*f);
+    EXPECT_TRUE(cls.ok()) << cls.status();
+    return *cls;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(MiscTest, OneDimensionalRotational) {
+  classify::Classification cls = MustClassify("P(X) :- A(X, Y), P(Y).");
+  EXPECT_EQ(cls.formula_class, classify::FormulaClass::kA1);
+  EXPECT_TRUE(cls.strongly_stable);
+  EXPECT_FALSE(cls.bounded);
+}
+
+TEST_F(MiscTest, OneDimensionalPureSelfLoop) {
+  classify::Classification cls = MustClassify("P(X) :- P(X).");
+  EXPECT_EQ(cls.formula_class, classify::FormulaClass::kA2);
+  EXPECT_TRUE(cls.strongly_stable);
+  EXPECT_TRUE(cls.bounded);
+  EXPECT_EQ(cls.rank_bound, 0);  // adds nothing beyond the exit
+}
+
+TEST_F(MiscTest, SelfLoopWithPendantFilter) {
+  // The y-position self-loop carries a cluster atom: still A1-rotational
+  // per the paper's definition? The cycle is the self directed loop plus
+  // no undirected edge on the cycle... but the cluster atom makes the
+  // arrival/leave vertex coincide, so it stays permutational — yet the
+  // step is a *filter*, not the identity: evaluation must apply it.
+  classify::Classification cls =
+      MustClassify("P(X, Y) :- A(X, Z), Live(Y), P(Z, Y).");
+  EXPECT_TRUE(cls.strongly_stable);
+}
+
+TEST_F(MiscTest, HeadVarSharedBetweenChainAtoms) {
+  // X flows through two undirected atoms into a class-D shape.
+  classify::Classification cls =
+      MustClassify("P(X, Y) :- A(X, U), B(U, Y1), Tag(Y), P(X1, Y1).");
+  EXPECT_EQ(cls.formula_class, classify::FormulaClass::kD);
+  EXPECT_TRUE(cls.bounded);
+}
+
+TEST_F(MiscTest, ParallelArcsBetweenClustersAreDependent) {
+  // Two directed edges between the same pair of clusters form a weight-0
+  // two-arc cycle; it is the only cycle and covers all arcs ->
+  // independent multi-directional -> class B.
+  classify::Classification cls = MustClassify(
+      "P(X, Y) :- A(X, Y), B(X1, Y1), P(X1, Y1).");
+  EXPECT_EQ(cls.formula_class, classify::FormulaClass::kB);
+  EXPECT_TRUE(cls.bounded);
+  EXPECT_EQ(cls.rank_bound, 1);
+}
+
+TEST_F(MiscTest, ThreeArcDependentCluster) {
+  // Three self-loops on one merged cluster: three cycles, dependent.
+  classify::Classification cls = MustClassify(
+      "P(X, Y, Z) :- A(X, X1), B(Y, Y1), C(Z, Z1), D(X1, Y1), "
+      "D(Y1, Z1), P(X1, Y1, Z1).");
+  EXPECT_EQ(cls.formula_class, classify::FormulaClass::kE);
+}
+
+TEST_F(MiscTest, ResolutionGraphK1EqualsIGraph) {
+  auto rule =
+      datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols_);
+  auto f = datalog::LinearRecursiveRule::Create(*rule);
+  auto ig = graph::IGraph::Build(*f);
+  auto rg = graph::ResolutionGraph::Build(*f, 1);
+  ASSERT_TRUE(ig.ok());
+  ASSERT_TRUE(rg.ok());
+  EXPECT_EQ(rg->graph().num_vertices(), ig->graph().num_vertices());
+  EXPECT_EQ(rg->graph().num_edges(), ig->graph().num_edges());
+  EXPECT_EQ(rg->FrontierVertex(0), ig->BodyVertex(0));
+}
+
+TEST_F(MiscTest, DirectedPathWeightUnreachable) {
+  auto rule =
+      datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols_);
+  auto f = datalog::LinearRecursiveRule::Create(*rule);
+  auto rg = graph::ResolutionGraph::Build(*f, 2);
+  ASSERT_TRUE(rg.ok());
+  int z = rg->graph().FindVertex(symbols_.Lookup("Z"), 0);
+  int x = rg->graph().FindVertex(symbols_.Lookup("X"), 0);
+  bool found = true;
+  rg->DirectedPathWeight(z, x, &found);  // against the arrows
+  EXPECT_FALSE(found);
+}
+
+TEST_F(MiscTest, QueryFilterArityMismatch) {
+  eval::Query q;
+  q.pred = 1;
+  q.bindings = {std::nullopt, std::nullopt};
+  ra::Relation r(3);
+  EXPECT_FALSE(q.Filter(r).ok());
+}
+
+TEST_F(MiscTest, RelationClearAndReuse) {
+  ra::Relation r(2);
+  r.Insert({1, 2});
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 1u);
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 0u);
+  EXPECT_TRUE(r.Insert({1, 2}));  // reusable after Clear
+}
+
+TEST_F(MiscTest, ProgramToStringIncludesQueries) {
+  auto program = datalog::ParseProgram(
+      "A(a, b).\n?- A(a, X).\n", &symbols_);
+  ASSERT_TRUE(program.ok());
+  std::string text = program->ToString(symbols_);
+  EXPECT_NE(text.find("A(a, b)."), std::string::npos);
+  EXPECT_NE(text.find("?- A(a, X)."), std::string::npos);
+}
+
+TEST_F(MiscTest, AdornmentTableHandlesAllFree) {
+  classify::Classification cls =
+      MustClassify("P(X, Y) :- A(X, Z), P(Z, Y).");
+  std::string table = classify::AdornmentTable(cls, 0, 2);
+  EXPECT_NE(table.find("P(v,v)"), std::string::npos) << table;
+  EXPECT_NE(table.find("cycle period 1"), std::string::npos) << table;
+}
+
+TEST_F(MiscTest, PaperStyleRenderingLowercases) {
+  auto rule = datalog::ParseRule("P(Abc, Y) :- A(Abc, Y), P(Abc, Y).",
+                                 &symbols_);
+  auto f = datalog::LinearRecursiveRule::Create(*rule);
+  ASSERT_TRUE(f.ok());
+  auto ig = graph::IGraph::Build(*f);
+  ASSERT_TRUE(ig.ok());
+  std::string ascii = graph::ToAscii(ig->graph(), symbols_);
+  EXPECT_NE(ascii.find("abc"), std::string::npos) << ascii;
+  graph::RenderOptions plain;
+  plain.paper_style = false;
+  std::string raw = graph::ToAscii(ig->graph(), symbols_, plain);
+  EXPECT_NE(raw.find("Abc"), std::string::npos) << raw;
+}
+
+TEST_F(MiscTest, SelectInEmptySet) {
+  ra::Relation r(1);
+  r.Insert({1});
+  auto s = ra::SelectIn(r, 0, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST_F(MiscTest, ProductWithEmptyIsEmpty) {
+  ra::Relation a(1);
+  a.Insert({1});
+  ra::Relation empty(1);
+  EXPECT_TRUE(ra::Product(a, empty).empty());
+  EXPECT_TRUE(ra::Product(empty, a).empty());
+}
+
+}  // namespace
+}  // namespace recur

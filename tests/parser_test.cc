@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+
+namespace recur::datalog {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("P(X, y1) :- .");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdentifier, TokenKind::kLeftParen,
+                       TokenKind::kIdentifier, TokenKind::kComma,
+                       TokenKind::kIdentifier, TokenKind::kRightParen,
+                       TokenKind::kImplies, TokenKind::kPeriod,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, AlternativeSyntax) {
+  auto tokens = Lex("P(X) <- A(X) & B(X).");
+  ASSERT_TRUE(tokens.ok());
+  int implies = 0;
+  int commas = 0;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kImplies) ++implies;
+    if (t.kind == TokenKind::kComma) ++commas;
+  }
+  EXPECT_EQ(implies, 1);
+  EXPECT_EQ(commas, 1);
+}
+
+TEST(LexerTest, CommentsAndNumbersAndStrings) {
+  auto tokens = Lex("% comment line\nA(1, \"two\"). # tail comment");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 7u);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[2].text, "1");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[4].text, "two");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Lex("A.\nB.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[2].line, 2);
+  EXPECT_EQ((*tokens)[2].column, 1);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("A(\"unterminated").ok());
+  EXPECT_FALSE(Lex("A $ B").ok());
+  EXPECT_FALSE(Lex("A ? B").ok());  // lone '?' is invalid
+}
+
+TEST(LexerTest, QueryToken) {
+  auto tokens = Lex("?- P(a).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kQuery);
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+};
+
+TEST_F(ParserTest, VariableVsConstantConvention) {
+  auto atom = ParseAtom("A(X, x, _y, 42, \"lit\")", &symbols_);
+  ASSERT_TRUE(atom.ok()) << atom.status();
+  EXPECT_TRUE(atom->args()[0].IsVariable());   // X
+  EXPECT_TRUE(atom->args()[1].IsConstant());   // x
+  EXPECT_TRUE(atom->args()[2].IsVariable());   // _y
+  EXPECT_TRUE(atom->args()[3].IsConstant());   // 42
+  EXPECT_TRUE(atom->args()[4].IsConstant());   // "lit"
+}
+
+TEST_F(ParserTest, PredicateCaseDoesNotMatter) {
+  auto rule = ParseRule("p(X) :- Edge(X, Y).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(symbols_.NameOf(rule->head().predicate()), "p");
+  EXPECT_EQ(symbols_.NameOf(rule->body()[0].predicate()), "Edge");
+}
+
+TEST_F(ParserTest, ZeroArityAtom) {
+  auto rule = ParseRule("Flag :- Cond.", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head().arity(), 0);
+}
+
+TEST_F(ParserTest, FactAndRuleAndQuery) {
+  auto program = ParseProgram(
+      "A(a, b).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n"
+      "?- P(a, Y).\n",
+      &symbols_);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 2u);
+  EXPECT_TRUE(program->rules()[0].IsFact());
+  EXPECT_EQ(program->queries().size(), 1u);
+  EXPECT_TRUE(program->queries()[0].args()[0].IsConstant());
+  EXPECT_TRUE(program->queries()[0].args()[1].IsVariable());
+}
+
+TEST_F(ParserTest, ErrorMissingPeriod) {
+  EXPECT_FALSE(ParseRule("P(X) :- A(X)", &symbols_).ok());
+}
+
+TEST_F(ParserTest, ErrorMissingParen) {
+  EXPECT_FALSE(ParseRule("P(X :- A(X).", &symbols_).ok());
+}
+
+TEST_F(ParserTest, ErrorEmptyBody) {
+  EXPECT_FALSE(ParseRule("P(X) :- .", &symbols_).ok());
+}
+
+TEST_F(ParserTest, ErrorTrailingInput) {
+  EXPECT_FALSE(ParseRule("P(X) :- A(X). extra", &symbols_).ok());
+  EXPECT_FALSE(ParseAtom("A(X) extra", &symbols_).ok());
+}
+
+TEST_F(ParserTest, ErrorMessageHasLocation) {
+  auto rule = ParseRule("P(X) :-\n  A(X,).", &symbols_);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_NE(rule.status().message().find("line 2"), std::string::npos)
+      << rule.status();
+}
+
+TEST_F(ParserTest, PaperExamplesAllParse) {
+  const char* examples[] = {
+      "P(X, Y) :- A(X, Z), P(Z, Y).",
+      "P(X, Y, Z) :- A(X, Y), P(U, Z, V), B(U, V).",
+      "P(X, Y) :- A(X, Z), P(Z, U), B(U, Y).",
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).",
+      "P(X, Y, Z) :- P(Y, Z, X).",
+      "P(X, Y, Z, U, V, W) :- P(Z, Y, U, X, W, V).",
+  };
+  for (const char* text : examples) {
+    EXPECT_TRUE(ParseRule(text, &symbols_).ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace recur::datalog

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "catalog/paper_examples.h"
+#include "datalog/parser.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+using catalog::PaperExample;
+
+/// Loads an EDB providing every non-recursive predicate the formula and
+/// exit rule mention, at the right arity, over a small shared domain.
+/// Binary predicates get layered DAGs (so compiled evaluation converges);
+/// other arities get random rows.
+void LoadGenericEdb(const datalog::LinearRecursiveRule& f,
+                    const datalog::Rule& exit, ra::Database* edb,
+                    uint64_t seed) {
+  workload::Generator gen(seed);
+  auto load_atom = [&](const datalog::Atom& atom) {
+    if (atom.predicate() == f.recursive_predicate()) return;
+    auto r = edb->GetOrCreate(atom.predicate(), atom.arity());
+    ASSERT_TRUE(r.ok());
+    if (!(*r)->empty()) return;
+    if (atom.arity() == 2) {
+      (*r)->InsertAll(gen.LayeredDag(5, 3, 2));
+    } else {
+      (*r)->InsertAll(gen.RandomRows(atom.arity(), 15, 40));
+    }
+  };
+  for (const datalog::Atom& atom : f.rule().body()) load_atom(atom);
+  for (const datalog::Atom& atom : exit.body()) load_atom(atom);
+}
+
+TEST(PlanGeneratorTest, StrategySelectionPerClass) {
+  struct Expectation {
+    const char* id;
+    Strategy strategy;
+  };
+  const Expectation expectations[] = {
+      {"s1a", Strategy::kStableCompiled},
+      {"s2a", Strategy::kStableCompiled},
+      {"s3", Strategy::kStableCompiled},
+      {"s4a", Strategy::kTransformedCompiled},
+      {"s5", Strategy::kTransformedCompiled},  // transformable wins
+      {"s7", Strategy::kTransformedCompiled},
+      {"s8", Strategy::kBoundedExpansion},
+      {"s10", Strategy::kBoundedExpansion},
+      {"s9", Strategy::kSemiNaive},
+      {"s11", Strategy::kSemiNaive},
+      {"s12", Strategy::kSemiNaive},
+  };
+  for (const Expectation& e : expectations) {
+    SymbolTable symbols;
+    const PaperExample* example = catalog::FindExample(e.id);
+    ASSERT_NE(example, nullptr) << e.id;
+    auto f = catalog::ParseExample(*example, &symbols);
+    ASSERT_TRUE(f.ok()) << e.id;
+    auto exit = datalog::ParseRule(example->exit_rule, &symbols);
+    ASSERT_TRUE(exit.ok()) << e.id;
+    PlanGenerator generator(&symbols);
+    auto plan = generator.Plan(*f, *exit);
+    ASSERT_TRUE(plan.ok()) << e.id << ": " << plan.status();
+    EXPECT_EQ(plan->strategy(), e.strategy) << e.id;
+  }
+}
+
+TEST(PlanGeneratorTest, SymbolicPlanMentionsChains) {
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(*catalog::FindExample("s2a"), &symbols);
+  ASSERT_TRUE(f.ok());
+  auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &symbols);
+  ASSERT_TRUE(exit.ok());
+  PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*f, *exit);
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("A^k"), std::string::npos) << text;
+  EXPECT_NE(text.find("B^k"), std::string::npos) << text;
+  EXPECT_NE(text.find("E"), std::string::npos) << text;
+}
+
+TEST(PlanGeneratorTest, BoundedSymbolicShowsDepths) {
+  SymbolTable symbols;
+  auto f = catalog::ParseExample(*catalog::FindExample("s8"), &symbols);
+  ASSERT_TRUE(f.ok());
+  auto exit =
+      datalog::ParseRule("P(X, Y, Z, U) :- E(X, Y, Z, U).", &symbols);
+  ASSERT_TRUE(exit.ok());
+  PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*f, *exit);
+  ASSERT_TRUE(plan.ok());
+  // Three σ(...) steps: depths 0, 1, 2.
+  std::string text = plan->symbolic().ToString();
+  size_t count = 0;
+  for (size_t pos = 0; (pos = text.find("σ", pos)) != std::string::npos;
+       pos += 2) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u) << text;
+}
+
+class PlanExecutionTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {
+};
+
+TEST_P(PlanExecutionTest, MatchesSemiNaiveOnAllAdornments) {
+  const char* id = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  SymbolTable symbols;
+  const PaperExample* example = catalog::FindExample(id);
+  ASSERT_NE(example, nullptr);
+  auto f = catalog::ParseExample(*example, &symbols);
+  ASSERT_TRUE(f.ok());
+  auto exit = datalog::ParseRule(example->exit_rule, &symbols);
+  ASSERT_TRUE(exit.ok());
+
+  ra::Database edb;
+  LoadGenericEdb(*f, *exit, &edb, seed);
+
+  PlanGenerator generator(&symbols);
+  auto plan = generator.Plan(*f, *exit);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  datalog::Program program;
+  program.AddRule(f->rule());
+  program.AddRule(*exit);
+
+  int n = f->dimension();
+  // Every adornment with the constant 1 in each bound position.
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Query q;
+    q.pred = f->recursive_predicate();
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        q.bindings.emplace_back(ra::Value{1});
+      } else {
+        q.bindings.emplace_back(std::nullopt);
+      }
+    }
+    auto got = plan->Execute(q, edb);
+    ASSERT_TRUE(got.ok()) << id << " " << q.AdornmentString() << ": "
+                          << got.status();
+    auto want = SemiNaiveAnswer(program, edb, q);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->ToString(), want->ToString())
+        << id << " adornment " << q.AdornmentString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperExamples, PlanExecutionTest,
+    ::testing::Combine(::testing::Values("s1a", "s1b", "s2a", "s3", "s4a",
+                                         "s5", "s6", "s7", "s8", "s9",
+                                         "s10", "s11", "s12"),
+                       ::testing::Values(uint64_t{17}, uint64_t{29},
+                                         uint64_t{43})),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, uint64_t>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace recur::eval

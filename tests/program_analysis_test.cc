@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "classify/program_analysis.h"
+#include "datalog/parser.h"
+
+namespace recur::classify {
+namespace {
+
+class ProgramAnalysisTest : public ::testing::Test {
+ protected:
+  ProgramAnalysis MustAnalyze(const char* text) {
+    auto program = datalog::ParseProgram(text, &symbols_);
+    EXPECT_TRUE(program.ok()) << program.status();
+    auto analysis = AnalyzeProgram(*program);
+    EXPECT_TRUE(analysis.ok()) << analysis.status();
+    return *analysis;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(ProgramAnalysisTest, SingleLinearGetsClassified) {
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  const PredicateReport* p = a.Find(symbols_.Lookup("P"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, RecursionKind::kSingleLinear);
+  ASSERT_TRUE(p->classification.has_value());
+  EXPECT_TRUE(p->classification->strongly_stable);
+  EXPECT_EQ(p->exits.size(), 1u);
+  ASSERT_TRUE(p->recursive_rule.has_value());
+  EXPECT_TRUE(a.mutual_groups.empty());
+}
+
+TEST_F(ProgramAnalysisTest, NonRecursivePredicate) {
+  ProgramAnalysis a = MustAnalyze("V(X) :- E(X, Y), F(Y).\n");
+  const PredicateReport* v = a.Find(symbols_.Lookup("V"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, RecursionKind::kNonRecursive);
+  EXPECT_EQ(v->exits.size(), 1u);
+}
+
+TEST_F(ProgramAnalysisTest, NonLinearDetected) {
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- P(X, Z), P(Z, Y).\n");
+  const PredicateReport* p = a.Find(symbols_.Lookup("P"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, RecursionKind::kNonLinear);
+  EXPECT_FALSE(p->classification.has_value());
+}
+
+TEST_F(ProgramAnalysisTest, MultipleRecursiveRulesDetected) {
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n"
+      "P(X, Y) :- B(X, Z), P(Z, Y).\n");
+  const PredicateReport* p = a.Find(symbols_.Lookup("P"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, RecursionKind::kMultipleRecursiveRules);
+}
+
+TEST_F(ProgramAnalysisTest, MutualRecursionDetected) {
+  ProgramAnalysis a = MustAnalyze(
+      "Odd(X, Y) :- A(X, Y).\n"
+      "Odd(X, Y) :- A(X, Z), Even(Z, Y).\n"
+      "Even(X, Y) :- A(X, Z), Odd(Z, Y).\n");
+  ASSERT_EQ(a.mutual_groups.size(), 1u);
+  EXPECT_EQ(a.mutual_groups[0].size(), 2u);
+  const PredicateReport* odd = a.Find(symbols_.Lookup("Odd"));
+  const PredicateReport* even = a.Find(symbols_.Lookup("Even"));
+  ASSERT_NE(odd, nullptr);
+  ASSERT_NE(even, nullptr);
+  EXPECT_EQ(odd->kind, RecursionKind::kMutual);
+  EXPECT_EQ(even->kind, RecursionKind::kMutual);
+}
+
+TEST_F(ProgramAnalysisTest, RestrictedRuleDiagnosed) {
+  // Constant under a body atom of the recursive rule: outside §2.
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, c), P(X, Y).\n");
+  const PredicateReport* p = a.Find(symbols_.Lookup("P"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, RecursionKind::kRestricted);
+  EXPECT_FALSE(p->diagnosis.empty());
+}
+
+TEST_F(ProgramAnalysisTest, MixedProgram) {
+  ProgramAnalysis a = MustAnalyze(
+      "TC(X, Y) :- E(X, Y).\n"
+      "TC(X, Y) :- E(X, Z), TC(Z, Y).\n"
+      "View(X) :- TC(X, Y), Goal(Y).\n"
+      "Ping(X) :- Base(X).\n"
+      "Ping(X) :- Link(X, Y), Pong(Y).\n"
+      "Pong(X) :- Link(X, Y), Ping(Y).\n");
+  EXPECT_EQ(a.predicates.size(), 4u);  // TC, View, Ping, Pong
+  EXPECT_EQ(a.Find(symbols_.Lookup("TC"))->kind,
+            RecursionKind::kSingleLinear);
+  EXPECT_EQ(a.Find(symbols_.Lookup("View"))->kind,
+            RecursionKind::kNonRecursive);
+  EXPECT_EQ(a.Find(symbols_.Lookup("Ping"))->kind, RecursionKind::kMutual);
+  EXPECT_EQ(a.mutual_groups.size(), 1u);
+}
+
+TEST_F(ProgramAnalysisTest, SelfLoopSccIsNotMutual) {
+  // A directly recursive predicate forms a size-1 SCC: not "mutual".
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n"
+      "Q(X) :- P(X, X).\n");
+  EXPECT_TRUE(a.mutual_groups.empty());
+  EXPECT_EQ(a.Find(symbols_.Lookup("P"))->kind,
+            RecursionKind::kSingleLinear);
+}
+
+TEST_F(ProgramAnalysisTest, SummaryReadable) {
+  ProgramAnalysis a = MustAnalyze(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  std::string summary = a.Summary(symbols_);
+  EXPECT_NE(summary.find("P: single linear recursion"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("class A5"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace recur::classify

@@ -1,0 +1,279 @@
+// Property-based tests: random linear recursive formulas (far beyond the
+// paper's examples) must satisfy the paper's theorems and our evaluator
+// contracts. Each seed generates a batch of formulas; failures print the
+// offending formula.
+
+#include <gtest/gtest.h>
+
+#include "classify/boundedness.h"
+#include "classify/classifier.h"
+#include "classify/stability.h"
+#include "eval/plan_generator.h"
+#include "eval/seminaive.h"
+#include "transform/bounded_expand.h"
+#include "transform/stable_form.h"
+#include "workload/formula_generator.h"
+#include "workload/generator.h"
+
+namespace recur {
+namespace {
+
+constexpr int kFormulasPerSeed = 8;
+
+/// Generator options for tests that *evaluate* formulas: a random 4-D
+/// formula with several disconnected high-arity atoms can make the
+/// reference full-materialization evaluation blow up, which tests nothing
+/// interesting. Classifier-only tests use the unconstrained generator.
+workload::FormulaGeneratorOptions EvalFriendlyOptions() {
+  workload::FormulaGeneratorOptions options;
+  options.max_dimension = 3;
+  options.max_extra_atoms = 2;
+  options.max_atom_arity = 2;
+  return options;
+}
+
+/// Fills an EDB with random rows for every non-recursive predicate of the
+/// formula and the exit relation.
+void LoadRandomEdb(const datalog::LinearRecursiveRule& f,
+                   const datalog::Rule& exit, uint64_t seed,
+                   ra::Database* edb, int domain = 10, int rows = 25) {
+  workload::Generator gen(seed);
+  auto load = [&](const datalog::Atom& atom) {
+    if (atom.predicate() == f.recursive_predicate()) return;
+    auto r = edb->GetOrCreate(atom.predicate(), atom.arity());
+    ASSERT_TRUE(r.ok());
+    if ((*r)->empty()) {
+      (*r)->InsertAll(gen.RandomRows(atom.arity(), domain, rows));
+    }
+  };
+  for (const datalog::Atom& atom : f.rule().body()) load(atom);
+  for (const datalog::Atom& atom : exit.body()) load(atom);
+}
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Theorem 12 (completeness): every generated formula classifies, and the
+// graph invariants hold (one directed edge per position; every cycle of an
+// independent component covers all its arcs).
+TEST_P(PropertyTest, ClassificationIsTotal) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam());
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok()) << g.status();
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok()) << g->formula.rule().ToString(symbols);
+    EXPECT_EQ(
+        static_cast<int>(cls->igraph.graph().DirectedEdges().size()),
+        g->formula.dimension());
+    int covered_positions = 0;
+    for (const classify::ComponentInfo& c : cls->components) {
+      covered_positions += static_cast<int>(c.positions.size());
+    }
+    EXPECT_EQ(covered_positions, g->formula.dimension())
+        << g->formula.rule().ToString(symbols);
+  }
+}
+
+// Theorem 1: the syntactic characterization (disjoint unit cycles) and
+// the semantic one (determined positions preserved for every query form)
+// must agree.
+TEST_P(PropertyTest, Theorem1SyntacticSemanticAgreement) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam() + 1000);
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    EXPECT_EQ(classify::SemanticallyStronglyStable(*cls),
+              cls->strongly_stable)
+        << g->formula.rule().ToString(symbols);
+  }
+}
+
+// Corollary 3 + Theorem 4, semantic side: a formula has an identity
+// period for determined-variable propagation iff it is transformable, and
+// the period is exactly the LCM of the cycle weights.
+TEST_P(PropertyTest, PeriodIffTransformable) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam() + 2000);
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    int period = classify::SemanticStabilityPeriod(*cls, 64);
+    if (cls->transformable_to_stable) {
+      EXPECT_EQ(period, cls->unfold_count)
+          << g->formula.rule().ToString(symbols);
+    } else {
+      EXPECT_EQ(period, 0) << g->formula.rule().ToString(symbols);
+    }
+  }
+}
+
+// Theorem 2(2): the stable form is logically equivalent to the original
+// formula — semi-naive evaluation of both programs produces identical P.
+TEST_P(PropertyTest, StableFormEquivalence) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam() + 3000, EvalFriendlyOptions());
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    if (!cls->transformable_to_stable || cls->unfold_count > 6) continue;
+    auto sf = transform::ToStableForm(g->formula, *cls, g->exit, &symbols);
+    ASSERT_TRUE(sf.ok()) << g->formula.rule().ToString(symbols);
+
+    // The transformed recursive rule must itself be strongly stable.
+    auto cls2 = classify::Classify(sf->recursive);
+    ASSERT_TRUE(cls2.ok());
+    EXPECT_TRUE(cls2->strongly_stable)
+        << g->formula.rule().ToString(symbols) << "\n -> "
+        << sf->recursive.rule().ToString(symbols);
+
+    ra::Database edb;
+    LoadRandomEdb(g->formula, g->exit, GetParam() * 7 + i, &edb,
+                  /*domain=*/8, /*rows=*/16);
+    datalog::Program original;
+    original.AddRule(g->formula.rule());
+    original.AddRule(g->exit);
+    datalog::Program transformed;
+    transformed.AddRule(sf->recursive.rule());
+    for (const datalog::Rule& e : sf->exits) transformed.AddRule(e);
+    auto r1 = eval::SemiNaiveEvaluate(original, edb);
+    auto r2 = eval::SemiNaiveEvaluate(transformed, edb);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->at(g->formula.recursive_predicate()).ToString(),
+              r2->at(g->formula.recursive_predicate()).ToString())
+        << g->formula.rule().ToString(symbols);
+  }
+}
+
+// Boundedness soundness: a formula the classifier calls bounded with rank
+// r derives nothing new past depth r — the finite expansion equals the
+// fixpoint, and semi-naive converges in at most r + 2 rounds.
+TEST_P(PropertyTest, BoundedExpansionEquivalence) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam() + 4000, EvalFriendlyOptions());
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    if (!cls->bounded || cls->rank_bound > 8) continue;
+    auto bf =
+        transform::ExpandBounded(g->formula, *cls, g->exit, &symbols);
+    ASSERT_TRUE(bf.ok()) << g->formula.rule().ToString(symbols);
+
+    ra::Database edb;
+    LoadRandomEdb(g->formula, g->exit, GetParam() * 11 + i, &edb,
+                  /*domain=*/8, /*rows=*/16);
+    datalog::Program recursive;
+    recursive.AddRule(g->formula.rule());
+    recursive.AddRule(g->exit);
+    datalog::Program expanded;
+    for (const datalog::Rule& r : bf->rules) expanded.AddRule(r);
+
+    eval::EvalStats stats;
+    auto r1 = eval::SemiNaiveEvaluate(recursive, edb, {}, &stats);
+    auto r2 = eval::SemiNaiveEvaluate(expanded, edb);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->at(g->formula.recursive_predicate()).ToString(),
+              r2->at(g->formula.recursive_predicate()).ToString())
+        << g->formula.rule().ToString(symbols)
+        << " rank=" << cls->rank_bound;
+    EXPECT_LE(stats.iterations, cls->rank_bound + 2)
+        << g->formula.rule().ToString(symbols);
+  }
+}
+
+// End-to-end: for every generated formula, the generated plan answers
+// random adornments exactly like semi-naive evaluation.
+TEST_P(PropertyTest, PlanMatchesSemiNaive) {
+  SymbolTable symbols;
+  // Keep the formulas and the domain small: a random 4-D formula with
+  // several disconnected high-arity atoms makes the *reference*
+  // (full-materialization) evaluation blow up, which tests nothing
+  // interesting about the plans.
+  workload::FormulaGeneratorOptions options;
+  options.max_dimension = 3;
+  options.max_extra_atoms = 2;
+  options.max_atom_arity = 2;
+  workload::FormulaGenerator gen(GetParam() + 5000, options);
+  std::mt19937_64 rng(GetParam() + 5001);
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    if (cls->transformable_to_stable && cls->unfold_count > 6) continue;
+
+    eval::PlanGenerator generator(&symbols);
+    auto plan = generator.Plan(g->formula, g->exit);
+    ASSERT_TRUE(plan.ok()) << g->formula.rule().ToString(symbols);
+
+    ra::Database edb;
+    LoadRandomEdb(g->formula, g->exit, GetParam() * 13 + i, &edb,
+                  /*domain=*/8, /*rows=*/16);
+    datalog::Program program;
+    program.AddRule(g->formula.rule());
+    program.AddRule(g->exit);
+
+    int n = g->formula.dimension();
+    for (int trial = 0; trial < 3; ++trial) {
+      uint32_t mask =
+          static_cast<uint32_t>(rng()) & ((1u << n) - 1u);
+      eval::Query q;
+      q.pred = g->formula.recursive_predicate();
+      for (int pos = 0; pos < n; ++pos) {
+        if ((mask >> pos) & 1u) {
+          q.bindings.emplace_back(
+              static_cast<ra::Value>(rng() % 10));
+        } else {
+          q.bindings.emplace_back(std::nullopt);
+        }
+      }
+      auto got = plan->Execute(q, edb);
+      ASSERT_TRUE(got.ok()) << g->formula.rule().ToString(symbols) << " "
+                            << q.AdornmentString() << ": " << got.status();
+      auto want = eval::SemiNaiveAnswer(program, edb, q);
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(got->ToString(), want->ToString())
+          << g->formula.rule().ToString(symbols) << " adornment "
+          << q.AdornmentString() << " strategy "
+          << ToString(plan->strategy());
+    }
+  }
+}
+
+// The Ioannidis-specific checker agrees with the classifier whenever it
+// applies (no permutational patterns).
+TEST_P(PropertyTest, IoannidisAgreesWithClassifier) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam() + 6000);
+  for (int i = 0; i < kFormulasPerSeed; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok());
+    auto cls = classify::Classify(g->formula);
+    ASSERT_TRUE(cls.ok());
+    auto info = classify::IoannidisBound(g->formula);
+    if (!info.ok()) continue;  // permutational pattern: theorem is silent
+    EXPECT_EQ(info->bounded, cls->bounded)
+        << g->formula.rule().ToString(symbols);
+    if (info->bounded) {
+      EXPECT_EQ(info->rank_bound, cls->rank_bound)
+          << g->formula.rule().ToString(symbols);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+}  // namespace
+}  // namespace recur

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "ra/database.h"
+#include "ra/operators.h"
+#include "ra/relation.h"
+
+namespace recur::ra {
+namespace {
+
+Relation Make(int arity, std::initializer_list<Tuple> rows) {
+  Relation r(arity);
+  for (const Tuple& t : rows) r.Insert(t);
+  return r;
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({9, 9}));
+}
+
+TEST(RelationTest, InsertRejectsWrongArity) {
+  Relation r(2);
+  EXPECT_FALSE(r.Insert({1}));
+  EXPECT_FALSE(r.Insert({1, 2, 3}));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, ColumnIndexAfterMutation) {
+  Relation r(2);
+  r.Insert({1, 10});
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 1u);
+  r.Insert({1, 11});  // invalidates the index
+  EXPECT_EQ(r.RowsWithValue(0, 1).size(), 2u);
+  EXPECT_EQ(r.RowsWithValue(0, 2).size(), 0u);
+  EXPECT_EQ(r.RowsWithValue(5, 1).size(), 0u);  // bad column
+}
+
+TEST(RelationTest, ColumnValues) {
+  Relation r = Make(2, {{1, 10}, {1, 11}, {2, 10}});
+  EXPECT_EQ(r.ColumnValues(0).size(), 2u);
+  EXPECT_EQ(r.ColumnValues(1).size(), 2u);
+}
+
+TEST(RelationTest, CopyDropsNothing) {
+  Relation r = Make(2, {{1, 2}, {3, 4}});
+  Relation copy = r;
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_TRUE(copy.Contains({3, 4}));
+  copy.Insert({5, 6});
+  EXPECT_EQ(r.size(), 2u);  // deep copy
+}
+
+TEST(RelationTest, ToStringSorted) {
+  Relation r = Make(2, {{3, 4}, {1, 2}});
+  EXPECT_EQ(r.ToString(), "{(1,2), (3,4)}");
+  EXPECT_EQ(Relation(2).ToString(), "{}");
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(OperatorsTest, Select) {
+  Relation r = Make(2, {{1, 2}, {1, 3}, {2, 3}});
+  auto s = Select(r, 0, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_FALSE(Select(r, 7, 1).ok());
+}
+
+TEST(OperatorsTest, SelectIn) {
+  Relation r = Make(2, {{1, 2}, {2, 3}, {3, 4}});
+  auto s = SelectIn(r, 0, ValueSet{1, 3});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  // Large value set takes the scan path.
+  ValueSet big;
+  for (int i = 0; i < 100; ++i) big.insert(i);
+  auto s2 = SelectIn(r, 0, big);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->size(), 3u);
+}
+
+TEST(OperatorsTest, Project) {
+  Relation r = Make(3, {{1, 2, 3}, {1, 2, 4}});
+  auto p = Project(r, {1, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->arity(), 2);
+  EXPECT_EQ(p->size(), 1u);  // duplicates removed
+  EXPECT_TRUE(p->Contains({2, 1}));
+  EXPECT_FALSE(Project(r, {4}).ok());
+}
+
+TEST(OperatorsTest, HashJoinMatchesNestedLoop) {
+  Relation l = Make(2, {{1, 2}, {2, 3}, {3, 4}});
+  Relation r = Make(2, {{2, 10}, {3, 11}, {3, 12}});
+  auto hash = Join(l, r, {{1, 0}});
+  auto nested = JoinNestedLoop(l, r, {{1, 0}});
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(hash->ToString(), nested->ToString());
+  EXPECT_EQ(hash->arity(), 3);  // l cols + non-join r col
+  EXPECT_TRUE(hash->Contains({1, 2, 10}));
+  EXPECT_TRUE(hash->Contains({2, 3, 11}));
+  EXPECT_TRUE(hash->Contains({2, 3, 12}));
+  EXPECT_EQ(hash->size(), 3u);
+}
+
+TEST(OperatorsTest, JoinMultipleColumns) {
+  Relation l = Make(2, {{1, 2}, {1, 3}});
+  Relation r = Make(2, {{1, 2}, {1, 9}});
+  auto j = Join(l, r, {{0, 0}, {1, 1}});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->size(), 1u);
+  EXPECT_TRUE(j->Contains({1, 2}));
+  EXPECT_FALSE(Join(l, r, {}).ok());
+}
+
+TEST(OperatorsTest, SemiJoin) {
+  Relation l = Make(2, {{1, 2}, {2, 3}});
+  Relation r = Make(1, {{2}});
+  auto s = SemiJoin(l, r, {{1, 0}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 1u);
+  EXPECT_TRUE(s->Contains({1, 2}));
+}
+
+TEST(OperatorsTest, UnionDifference) {
+  Relation a = Make(1, {{1}, {2}});
+  Relation b = Make(1, {{2}, {3}});
+  auto u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  auto d = Difference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "{(1)}");
+  EXPECT_FALSE(Union(a, Make(2, {})).ok());
+  EXPECT_FALSE(Difference(a, Make(2, {})).ok());
+}
+
+TEST(OperatorsTest, ProductAndExists) {
+  Relation a = Make(1, {{1}, {2}});
+  Relation b = Make(1, {{10}});
+  Relation p = Product(a, b);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains({1, 10}));
+  EXPECT_TRUE(Exists(p));
+  EXPECT_FALSE(Exists(Relation(1)));
+}
+
+TEST(OperatorsTest, Step) {
+  Relation edge = Make(2, {{1, 2}, {2, 3}, {2, 4}});
+  auto next = Step(edge, 0, 1, ValueSet{1, 2});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->size(), 3u);  // 2, 3, 4
+  auto back = Step(edge, 1, 0, ValueSet{2});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, (ValueSet{1}));
+}
+
+TEST(OperatorsTest, FromValues) {
+  Relation r = FromValues(ValueSet{5, 6});
+  EXPECT_EQ(r.arity(), 1);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(DatabaseTest, GetOrCreateAndArityConflict) {
+  Database db;
+  auto r1 = db.GetOrCreate(1, 2);
+  ASSERT_TRUE(r1.ok());
+  (*r1)->Insert({1, 2});
+  EXPECT_FALSE(db.GetOrCreate(1, 3).ok());
+  EXPECT_NE(db.Find(1), nullptr);
+  EXPECT_EQ(db.Find(99), nullptr);
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, LoadFactsFromProgram) {
+  SymbolTable symbols;
+  auto program = datalog::ParseProgram(
+      "Edge(a, b).\nEdge(b, c).\nP(X, Y) :- Edge(X, Y).", &symbols);
+  ASSERT_TRUE(program.ok());
+  Database db;
+  ASSERT_TRUE(db.LoadFacts(*program).ok());
+  const Relation* edge = db.Find(symbols.Lookup("Edge"));
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->size(), 2u);
+  EXPECT_EQ(db.ActiveDomainSize(), 3u);  // a, b, c
+}
+
+TEST(DatabaseTest, LoadFactsRejectsNonGround) {
+  SymbolTable symbols;
+  auto program = datalog::ParseProgram("Edge(a, X).", &symbols);
+  ASSERT_TRUE(program.ok());
+  Database db;
+  EXPECT_FALSE(db.LoadFacts(*program).ok());
+}
+
+}  // namespace
+}  // namespace recur::ra

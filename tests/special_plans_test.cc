@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+class SpecialPlansTest : public ::testing::Test {
+ protected:
+  void Load(const char* name, const ra::Relation& rel) {
+    auto r = edb_.GetOrCreate(symbols_.Intern(name), rel.arity());
+    ASSERT_TRUE(r.ok());
+    (*r)->InsertAll(rel);
+  }
+
+  ra::Relation Reference(const char* program_text, const Query& q) {
+    auto program = datalog::ParseProgram(program_text, &symbols_);
+    EXPECT_TRUE(program.ok()) << program.status();
+    auto answers = SemiNaiveAnswer(*program, edb_, q);
+    EXPECT_TRUE(answers.ok()) << answers.status();
+    return answers.ok() ? *answers : ra::Relation(q.arity());
+  }
+
+  Query MakeQuery(std::vector<std::optional<ra::Value>> bindings) {
+    Query q;
+    q.pred = symbols_.Intern("P");
+    q.bindings = std::move(bindings);
+    return q;
+  }
+
+  SymbolTable symbols_;
+  ra::Database edb_;
+};
+
+constexpr const char* kS9Program =
+    "P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).\n"
+    "P(X, Y, Z) :- E(X, Y, Z).\n";
+
+TEST_F(SpecialPlansTest, S9BoundFirstMatchesSemiNaive) {
+  workload::Generator gen(41);
+  Load("A", gen.RandomGraph(15, 30));
+  Load("B", gen.RandomGraph(15, 30));
+  Load("E", gen.RandomRows(3, 15, 40));
+
+  for (ra::Value d : {0, 3, 7, 99}) {
+    auto plan = S9PlanBoundFirst(edb_, symbols_, d);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    Query q = MakeQuery({d, std::nullopt, std::nullopt});
+    EXPECT_EQ(plan->ToString(), Reference(kS9Program, q).ToString())
+        << "d=" << d;
+  }
+}
+
+TEST_F(SpecialPlansTest, S9BoundThirdMatchesSemiNaive) {
+  workload::Generator gen(42);
+  Load("A", gen.RandomGraph(12, 25));
+  Load("B", gen.RandomGraph(12, 25));
+  Load("E", gen.RandomRows(3, 12, 30));
+
+  for (ra::Value d : {0, 2, 5, 11, 99}) {
+    auto plan = S9PlanBoundThird(edb_, symbols_, d);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    Query q = MakeQuery({std::nullopt, std::nullopt, d});
+    EXPECT_EQ(plan->ToString(), Reference(kS9Program, q).ToString())
+        << "d=" << d;
+  }
+}
+
+TEST_F(SpecialPlansTest, S9ExistenceSemantics) {
+  // Hand-built instance where the ∃ part succeeds only at depth 2.
+  ra::Relation a(2);
+  a.Insert({1, 2});    // answer tuple of A
+  a.Insert({20, 30});  // u-chain: A(20, 30) with m=30
+  Load("A", a);
+  ra::Relation b(2);
+  b.Insert({20, 21});  // B(u=20, v=21): M_2 gets 21
+  b.Insert({40, 41});  // witness pair for E
+  Load("B", b);
+  ra::Relation e(3);
+  e.Insert({40, 21, 41});  // E(u, m=21∈M_2, v) with B(40,41)
+  Load("E", e);
+
+  // d = 30: M_1 = {30}; A(20,30) ∧ B(20,21) -> M_2 = {21};
+  // E(40,21,41) ∧ B(40,41) -> witness. All of A × {30} answers.
+  auto plan = S9PlanBoundThird(edb_, symbols_, 30);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Contains({1, 2, 30}));
+  EXPECT_TRUE(plan->Contains({20, 30, 30}));
+  EXPECT_EQ(plan->size(), 2u);
+
+  // d = 999: no witness, no exit rows -> empty.
+  auto none = S9PlanBoundThird(edb_, symbols_, 999);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+constexpr const char* kS11Program =
+    "P(X, Y) :- A(X, X1), B(Y, Y1), C(X1, Y1), P(X1, Y1).\n"
+    "P(X, Y) :- E(X, Y).\n";
+
+TEST_F(SpecialPlansTest, S11MatchesSemiNaive) {
+  workload::Generator gen(43);
+  Load("A", gen.RandomGraph(12, 30));
+  Load("B", gen.RandomGraph(12, 30));
+  Load("C", gen.RandomGraph(12, 40));
+  Load("E", gen.RandomGraph(12, 20));
+
+  for (ra::Value d : {0, 1, 4, 8, 11, 99}) {
+    auto plan = S11Plan(edb_, symbols_, d);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    Query q = MakeQuery({d, std::nullopt});
+    EXPECT_EQ(plan->ToString(), Reference(kS11Program, q).ToString())
+        << "d=" << d;
+  }
+}
+
+TEST_F(SpecialPlansTest, S11CyclicDataStillExact) {
+  // The pair walk is deduplicated, so cycles in A/B/C are fine.
+  ra::Relation a(2);
+  a.Insert({1, 2});
+  a.Insert({2, 1});
+  Load("A", a);
+  ra::Relation b(2);
+  b.Insert({5, 6});
+  b.Insert({6, 5});
+  Load("B", b);
+  ra::Relation c(2);
+  c.Insert({2, 6});
+  c.Insert({1, 5});
+  Load("C", c);
+  ra::Relation e(2);
+  e.Insert({1, 5});
+  Load("E", e);
+
+  for (ra::Value d : {1, 2}) {
+    auto plan = S11Plan(edb_, symbols_, d);
+    ASSERT_TRUE(plan.ok());
+    Query q = MakeQuery({d, std::nullopt});
+    EXPECT_EQ(plan->ToString(), Reference(kS11Program, q).ToString())
+        << "d=" << d;
+  }
+}
+
+constexpr const char* kS12Program =
+    "P(X, Y, Z) :- A(X, U), B(Y, V), C(U, V), D(W, Z), P(U, V, W).\n"
+    "P(X, Y, Z) :- E(X, Y, Z).\n";
+
+TEST_F(SpecialPlansTest, S12MatchesSemiNaiveOnAcyclicData) {
+  workload::Generator gen(44);
+  Load("A", gen.LayeredDag(5, 3, 2, 0));
+  Load("B", gen.LayeredDag(5, 3, 2, 0));
+  Load("C", gen.RandomGraph(15, 60));
+  Load("D", gen.RandomGraph(15, 30));
+  Load("E", gen.RandomRows(3, 15, 40));
+
+  for (ra::Value d : {0, 1, 2, 5}) {
+    auto plan = S12Plan(edb_, symbols_, d, /*max_levels=*/32);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    Query q = MakeQuery({d, std::nullopt, std::nullopt});
+    EXPECT_EQ(plan->ToString(), Reference(kS12Program, q).ToString())
+        << "d=" << d;
+  }
+}
+
+TEST_F(SpecialPlansTest, MissingRelationReported) {
+  EXPECT_TRUE(S9PlanBoundFirst(edb_, symbols_, 0).status().IsNotFound());
+  EXPECT_TRUE(S11Plan(edb_, symbols_, 0).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace recur::eval

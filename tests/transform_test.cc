@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "catalog/paper_examples.h"
+#include "classify/classifier.h"
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "transform/bounded_expand.h"
+#include "transform/compiled_expr.h"
+#include "transform/stable_form.h"
+#include "workload/generator.h"
+
+namespace recur::transform {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  datalog::LinearRecursiveRule MustFormula(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    auto f = datalog::LinearRecursiveRule::Create(*rule);
+    EXPECT_TRUE(f.ok()) << f.status();
+    return *f;
+  }
+  datalog::Rule MustRule(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    return *rule;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(TransformTest, StableFormOfS4aHasThreeExits) {
+  // Example 4: weight-3 cycle; transformation needs exits (s4b), (s4a'),
+  // (s4c') and the 3rd expansion as the new recursive rule.
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  datalog::Rule exit = MustRule("P(X1, X2, X3) :- E(X1, X2, X3).");
+  auto sf = ToStableForm(f, exit, &symbols_);
+  ASSERT_TRUE(sf.ok()) << sf.status();
+  EXPECT_EQ(sf->unfold_count, 3);
+  EXPECT_EQ(sf->exits.size(), 3u);
+  EXPECT_EQ(sf->exits[0], exit);  // depth 0: the original exit
+  // Exit depth 1 contains one copy of A, B, C plus E.
+  EXPECT_EQ(sf->exits[1].body().size(), 4u);
+  EXPECT_EQ(sf->exits[2].body().size(), 7u);
+  EXPECT_FALSE(sf->exits[1].IsRecursive());
+  EXPECT_FALSE(sf->exits[2].IsRecursive());
+  // The new recursive rule has 3 copies of A, B, C and is recursive.
+  EXPECT_EQ(sf->recursive.rule().body().size(), 10u);
+
+  // Theorem 2: the transformed recursive rule is strongly stable.
+  auto cls = classify::Classify(sf->recursive);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls->strongly_stable);
+}
+
+TEST_F(TransformTest, StableFormOfStableFormulaIsUnchanged) {
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  auto sf = ToStableForm(f, exit, &symbols_);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(sf->unfold_count, 1);
+  EXPECT_EQ(sf->exits.size(), 1u);
+  EXPECT_EQ(sf->recursive.rule(), f.rule());
+}
+
+TEST_F(TransformTest, StableFormRejectsUntransformable) {
+  datalog::LinearRecursiveRule s9 =
+      MustFormula("P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).");
+  datalog::Rule exit = MustRule("P(X, Y, Z) :- E(X, Y, Z).");
+  EXPECT_TRUE(ToStableForm(s9, exit, &symbols_).status().IsUnsupported());
+}
+
+TEST_F(TransformTest, StableFormEquivalence) {
+  // The transformed program derives exactly the same P as the original
+  // (Theorem 2(2): logically equivalent).
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X1, X2, X3) :- A(X1, Y3), B(X2, Y1), C(Y2, X3), P(Y1, Y2, Y3).");
+  datalog::Rule exit = MustRule("P(X1, X2, X3) :- E(X1, X2, X3).");
+  auto sf = ToStableForm(f, exit, &symbols_);
+  ASSERT_TRUE(sf.ok());
+
+  workload::Generator gen(11);
+  ra::Database edb;
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("A"), 2).ok());
+  edb.FindMutable(symbols_.Intern("A"))->InsertAll(gen.RandomGraph(12, 25));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("B"), 2).ok());
+  edb.FindMutable(symbols_.Intern("B"))->InsertAll(gen.RandomGraph(12, 25));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("C"), 2).ok());
+  edb.FindMutable(symbols_.Intern("C"))->InsertAll(gen.RandomGraph(12, 25));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("E"), 3).ok());
+  edb.FindMutable(symbols_.Intern("E"))->InsertAll(gen.RandomRows(3, 12, 20));
+
+  datalog::Program original;
+  original.AddRule(f.rule());
+  original.AddRule(exit);
+  datalog::Program transformed;
+  transformed.AddRule(sf->recursive.rule());
+  for (const datalog::Rule& e : sf->exits) transformed.AddRule(e);
+
+  auto r1 = eval::SemiNaiveEvaluate(original, edb);
+  auto r2 = eval::SemiNaiveEvaluate(transformed, edb);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r1->at(symbols_.Lookup("P")).ToString(),
+            r2->at(symbols_.Lookup("P")).ToString());
+}
+
+TEST_F(TransformTest, BoundedExpandS8) {
+  // Example 8: rank bound 2 -> depths 0, 1, 2 = three non-recursive rules,
+  // matching (exit), (s8a'), (s8b').
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), P(Z, Y1, Z1, U1).");
+  datalog::Rule exit = MustRule("P(X, Y, Z, U) :- E(X, Y, Z, U).");
+  auto bf = ExpandBounded(f, exit, &symbols_);
+  ASSERT_TRUE(bf.ok()) << bf.status();
+  EXPECT_EQ(bf->rank, 2);
+  ASSERT_EQ(bf->rules.size(), 3u);
+  EXPECT_EQ(bf->rules[0], exit);
+  EXPECT_EQ(bf->rules[1].body().size(), 4u);  // A B C E
+  EXPECT_EQ(bf->rules[2].body().size(), 7u);  // A B C A B C E
+  for (const datalog::Rule& r : bf->rules) {
+    EXPECT_FALSE(r.IsRecursive());
+  }
+}
+
+TEST_F(TransformTest, BoundedExpandEquivalence) {
+  // The finite expansion derives the same tuples as the recursive program
+  // — the defining property of "pseudo recursion".
+  datalog::LinearRecursiveRule f = MustFormula(
+      "P(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), P(Z, Y1, Z1, U1).");
+  datalog::Rule exit = MustRule("P(X, Y, Z, U) :- E(X, Y, Z, U).");
+  auto bf = ExpandBounded(f, exit, &symbols_);
+  ASSERT_TRUE(bf.ok());
+
+  workload::Generator gen(13);
+  ra::Database edb;
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("A"), 2).ok());
+  edb.FindMutable(symbols_.Intern("A"))->InsertAll(gen.RandomGraph(10, 20));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("B"), 2).ok());
+  edb.FindMutable(symbols_.Intern("B"))->InsertAll(gen.RandomGraph(10, 20));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("C"), 2).ok());
+  edb.FindMutable(symbols_.Intern("C"))->InsertAll(gen.RandomGraph(10, 20));
+  ASSERT_TRUE(edb.GetOrCreate(symbols_.Intern("E"), 4).ok());
+  edb.FindMutable(symbols_.Intern("E"))->InsertAll(gen.RandomRows(4, 10, 30));
+
+  datalog::Program recursive;
+  recursive.AddRule(f.rule());
+  recursive.AddRule(exit);
+  datalog::Program expanded;
+  for (const datalog::Rule& r : bf->rules) expanded.AddRule(r);
+
+  auto r1 = eval::SemiNaiveEvaluate(recursive, edb);
+  auto r2 = eval::SemiNaiveEvaluate(expanded, edb);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->at(symbols_.Lookup("P")).ToString(),
+            r2->at(symbols_.Lookup("P")).ToString());
+}
+
+TEST_F(TransformTest, BoundedExpandPermutational) {
+  // (s5): rank 2 -> three permuted copies of the exit.
+  datalog::LinearRecursiveRule f = MustFormula("P(X, Y, Z) :- P(Y, Z, X).");
+  datalog::Rule exit = MustRule("P(X, Y, Z) :- E(X, Y, Z).");
+  auto bf = ExpandBounded(f, exit, &symbols_);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(bf->rank, 2);
+  ASSERT_EQ(bf->rules.size(), 3u);
+  // Depth 1 is the rotated exit: P(X,Y,Z) :- E(Y,Z,X) (modulo renaming).
+  EXPECT_EQ(bf->rules[1].body().size(), 1u);
+}
+
+TEST_F(TransformTest, BoundedExpandRejectsUnbounded) {
+  datalog::LinearRecursiveRule f =
+      MustFormula("P(X, Y) :- A(X, Z), P(Z, Y).");
+  datalog::Rule exit = MustRule("P(X, Y) :- E(X, Y).");
+  EXPECT_TRUE(ExpandBounded(f, exit, &symbols_).status().IsUnsupported());
+}
+
+TEST(CompiledExprTest, PrintsPaperNotation) {
+  // (σA) × (∪_k [(E ⋈ B)(BA)^k]) — the s9 P(d,v,v) plan.
+  CompiledExpr plan = CompiledExpr::Product(
+      CompiledExpr::Select(CompiledExpr::Relation("A")),
+      CompiledExpr::UnionK(CompiledExpr::JoinChain(
+          {CompiledExpr::JoinChain({CompiledExpr::Relation("E"),
+                                    CompiledExpr::Relation("B")}),
+           CompiledExpr::Power(CompiledExpr::Relation("BA"))})));
+  EXPECT_EQ(plan.ToString(), "(σA) × (∪_{k=0}^{∞} [E-B-BA^k])");
+}
+
+TEST(CompiledExprTest, PrintsExistsAndParallelAndSequence) {
+  CompiledExpr plan = CompiledExpr::Sequence(
+      {CompiledExpr::Select(CompiledExpr::Relation("E")),
+       CompiledExpr::JoinChain(
+           {CompiledExpr::Exists(CompiledExpr::Relation("W")),
+            CompiledExpr::Relation("A")}),
+       CompiledExpr::Parallel({CompiledExpr::Relation("A"),
+                               CompiledExpr::Relation("B")})});
+  EXPECT_EQ(plan.ToString(), "σE, ∃(W)-A, {A ∥ B}");
+}
+
+TEST(CompiledExprTest, PowerWithOffset) {
+  CompiledExpr p = CompiledExpr::Power(CompiledExpr::Relation("D"), 1);
+  EXPECT_EQ(p.ToString(), "D^k+1");
+}
+
+}  // namespace
+}  // namespace recur::transform

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/symbol_table.h"
+
+namespace recur {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad rule");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "Parse error");
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::NotFound("no value"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  RECUR_ASSIGN_OR_RETURN(int v, fail ? ReturnsError() : ReturnsValue());
+  return v + 1;
+}
+
+Status UsesReturnIfError(bool fail) {
+  RECUR_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ReturnsValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ReturnsError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*UsesAssignOrReturn(false), 43);
+  EXPECT_TRUE(UsesAssignOrReturn(true).status().IsNotFound());
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_TRUE(UsesReturnIfError(true).IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x \n"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abc", "ab"));
+  EXPECT_FALSE(StartsWith("abc", "bc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(StringUtilTest, Repeat) {
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Repeat("ab", 0), "");
+  EXPECT_EQ(Repeat("ab", -1), "");
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable t;
+  SymbolId a = t.Intern("P");
+  SymbolId b = t.Intern("P");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kInvalidSymbol);
+  EXPECT_EQ(t.NameOf(a), "P");
+}
+
+TEST(SymbolTableTest, DistinctNamesDistinctIds) {
+  SymbolTable t;
+  EXPECT_NE(t.Intern("P"), t.Intern("Q"));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupWithoutIntern) {
+  SymbolTable t;
+  EXPECT_EQ(t.Lookup("missing"), kInvalidSymbol);
+  t.Intern("present");
+  EXPECT_NE(t.Lookup("present"), kInvalidSymbol);
+}
+
+TEST(SymbolTableTest, InvalidName) {
+  SymbolTable t;
+  EXPECT_EQ(t.NameOf(kInvalidSymbol), "<invalid>");
+  EXPECT_EQ(t.NameOf(9999), "<invalid>");
+}
+
+TEST(SymbolTableTest, FreshAvoidsCollisions) {
+  SymbolTable t;
+  SymbolId x = t.Intern("x@0");
+  SymbolId f = t.Fresh("x");
+  EXPECT_NE(f, x);
+  EXPECT_NE(t.NameOf(f), "x@0");
+}
+
+}  // namespace
+}  // namespace recur

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace recur::workload {
+namespace {
+
+TEST(WorkloadTest, ChainShape) {
+  Generator gen(1);
+  ra::Relation chain = gen.Chain(10, 100);
+  EXPECT_EQ(chain.size(), 10u);
+  EXPECT_TRUE(chain.Contains({100, 101}));
+  EXPECT_TRUE(chain.Contains({109, 110}));
+  EXPECT_FALSE(chain.Contains({110, 111}));
+}
+
+TEST(WorkloadTest, TreeShape) {
+  Generator gen(1);
+  ra::Relation tree = gen.Tree(3, 2);
+  EXPECT_EQ(tree.size(), 2u + 4u + 8u);
+  EXPECT_TRUE(tree.Contains({0, 1}));
+  EXPECT_TRUE(tree.Contains({0, 2}));
+  EXPECT_TRUE(tree.Contains({1, 3}));
+  // Every non-root node has exactly one parent: acyclic by construction.
+}
+
+TEST(WorkloadTest, LayeredDagIsAcyclicAndSized) {
+  Generator gen(2);
+  ra::Relation dag = gen.LayeredDag(4, 5, 2);
+  // Every edge goes from layer i to layer i+1.
+  for (const ra::Tuple& t : dag.rows()) {
+    EXPECT_EQ(t[0] / 5 + 1, t[1] / 5);
+  }
+  EXPECT_LE(dag.size(), 3u * 5u * 2u);
+  EXPECT_GT(dag.size(), 0u);
+}
+
+TEST(WorkloadTest, RandomGraphNoSelfLoops) {
+  Generator gen(3);
+  ra::Relation g = gen.RandomGraph(20, 50);
+  EXPECT_EQ(g.size(), 50u);
+  for (const ra::Tuple& t : g.rows()) {
+    EXPECT_NE(t[0], t[1]);
+    EXPECT_GE(t[0], 0);
+    EXPECT_LT(t[0], 20);
+  }
+}
+
+TEST(WorkloadTest, GridShape) {
+  Generator gen(4);
+  ra::Relation grid = gen.Grid(3, 2);
+  // 2 rows x 3 cols: right edges 2*2, down edges 3*1.
+  EXPECT_EQ(grid.size(), 7u);
+  EXPECT_TRUE(grid.Contains({0, 1}));
+  EXPECT_TRUE(grid.Contains({0, 3}));
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Generator g1(42);
+  Generator g2(42);
+  EXPECT_EQ(g1.RandomGraph(30, 60).ToString(),
+            g2.RandomGraph(30, 60).ToString());
+  Generator g3(43);
+  EXPECT_NE(g1.RandomGraph(30, 60).ToString(),
+            g3.RandomGraph(30, 60).ToString());
+}
+
+TEST(WorkloadTest, RandomPairsRanges) {
+  Generator gen(5);
+  ra::Relation pairs = gen.RandomPairs(10, 10, 30, 0, 1000);
+  EXPECT_EQ(pairs.size(), 30u);
+  for (const ra::Tuple& t : pairs.rows()) {
+    EXPECT_GE(t[0], 0);
+    EXPECT_LT(t[0], 10);
+    EXPECT_GE(t[1], 1000);
+    EXPECT_LT(t[1], 1010);
+  }
+}
+
+TEST(WorkloadTest, RandomRowsArity) {
+  Generator gen(6);
+  ra::Relation rows = gen.RandomRows(4, 8, 20);
+  EXPECT_EQ(rows.arity(), 4);
+  EXPECT_EQ(rows.size(), 20u);
+}
+
+}  // namespace
+}  // namespace recur::workload
