@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bounded"
+  "../bench/bench_bounded.pdb"
+  "CMakeFiles/bench_bounded.dir/bench_bounded.cc.o"
+  "CMakeFiles/bench_bounded.dir/bench_bounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

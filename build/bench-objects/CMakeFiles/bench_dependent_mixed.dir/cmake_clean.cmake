@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dependent_mixed"
+  "../bench/bench_dependent_mixed.pdb"
+  "CMakeFiles/bench_dependent_mixed.dir/bench_dependent_mixed.cc.o"
+  "CMakeFiles/bench_dependent_mixed.dir/bench_dependent_mixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dependent_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

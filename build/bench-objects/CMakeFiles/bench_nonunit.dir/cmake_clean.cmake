@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nonunit"
+  "../bench/bench_nonunit.pdb"
+  "CMakeFiles/bench_nonunit.dir/bench_nonunit.cc.o"
+  "CMakeFiles/bench_nonunit.dir/bench_nonunit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unbounded"
+  "../bench/bench_unbounded.pdb"
+  "CMakeFiles/bench_unbounded.dir/bench_unbounded.cc.o"
+  "CMakeFiles/bench_unbounded.dir/bench_unbounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_igraphs"
+  "../bench/fig1_igraphs.pdb"
+  "CMakeFiles/fig1_igraphs.dir/fig1_igraphs.cc.o"
+  "CMakeFiles/fig1_igraphs.dir/fig1_igraphs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_igraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

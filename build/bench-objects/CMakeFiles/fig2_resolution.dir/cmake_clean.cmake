@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_resolution"
+  "../bench/fig2_resolution.pdb"
+  "CMakeFiles/fig2_resolution.dir/fig2_resolution.cc.o"
+  "CMakeFiles/fig2_resolution.dir/fig2_resolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

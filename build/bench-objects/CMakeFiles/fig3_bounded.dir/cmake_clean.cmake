@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_bounded"
+  "../bench/fig3_bounded.pdb"
+  "CMakeFiles/fig3_bounded.dir/fig3_bounded.cc.o"
+  "CMakeFiles/fig3_bounded.dir/fig3_bounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

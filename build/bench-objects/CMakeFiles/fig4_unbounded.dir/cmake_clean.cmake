@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_unbounded"
+  "../bench/fig4_unbounded.pdb"
+  "CMakeFiles/fig4_unbounded.dir/fig4_unbounded.cc.o"
+  "CMakeFiles/fig4_unbounded.dir/fig4_unbounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

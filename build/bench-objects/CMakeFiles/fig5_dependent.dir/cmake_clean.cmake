@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_dependent"
+  "../bench/fig5_dependent.pdb"
+  "CMakeFiles/fig5_dependent.dir/fig5_dependent.cc.o"
+  "CMakeFiles/fig5_dependent.dir/fig5_dependent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mixed"
+  "../bench/fig6_mixed.pdb"
+  "CMakeFiles/fig6_mixed.dir/fig6_mixed.cc.o"
+  "CMakeFiles/fig6_mixed.dir/fig6_mixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_bounded"
+  "../bench/plan_bounded.pdb"
+  "CMakeFiles/plan_bounded.dir/plan_bounded.cc.o"
+  "CMakeFiles/plan_bounded.dir/plan_bounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_dependent"
+  "../bench/plan_dependent.pdb"
+  "CMakeFiles/plan_dependent.dir/plan_dependent.cc.o"
+  "CMakeFiles/plan_dependent.dir/plan_dependent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

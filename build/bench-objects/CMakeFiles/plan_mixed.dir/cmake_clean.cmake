@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_mixed"
+  "../bench/plan_mixed.pdb"
+  "CMakeFiles/plan_mixed.dir/plan_mixed.cc.o"
+  "CMakeFiles/plan_mixed.dir/plan_mixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

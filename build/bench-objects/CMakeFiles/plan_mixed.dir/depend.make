@@ -1,0 +1,2 @@
+# Empty dependencies file for plan_mixed.
+# This may be replaced when dependencies are built.

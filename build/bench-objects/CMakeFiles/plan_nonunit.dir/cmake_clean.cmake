@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_nonunit"
+  "../bench/plan_nonunit.pdb"
+  "CMakeFiles/plan_nonunit.dir/plan_nonunit.cc.o"
+  "CMakeFiles/plan_nonunit.dir/plan_nonunit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_stable"
+  "../bench/plan_stable.pdb"
+  "CMakeFiles/plan_stable.dir/plan_stable.cc.o"
+  "CMakeFiles/plan_stable.dir/plan_stable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_unbounded"
+  "../bench/plan_unbounded.pdb"
+  "CMakeFiles/plan_unbounded.dir/plan_unbounded.cc.o"
+  "CMakeFiles/plan_unbounded.dir/plan_unbounded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

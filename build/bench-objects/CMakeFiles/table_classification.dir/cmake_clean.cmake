@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_classification"
+  "../bench/table_classification.pdb"
+  "CMakeFiles/table_classification.dir/table_classification.cc.o"
+  "CMakeFiles/table_classification.dir/table_classification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_db.dir/corporate_db.cpp.o"
+  "CMakeFiles/corporate_db.dir/corporate_db.cpp.o.d"
+  "corporate_db"
+  "corporate_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_routes.dir/flight_routes.cpp.o"
+  "CMakeFiles/flight_routes.dir/flight_routes.cpp.o.d"
+  "flight_routes"
+  "flight_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_report.dir/program_report.cpp.o"
+  "CMakeFiles/program_report.dir/program_report.cpp.o.d"
+  "program_report"
+  "program_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

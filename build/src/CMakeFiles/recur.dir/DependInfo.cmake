@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/paper_examples.cc" "src/CMakeFiles/recur.dir/catalog/paper_examples.cc.o" "gcc" "src/CMakeFiles/recur.dir/catalog/paper_examples.cc.o.d"
+  "/root/repo/src/classify/boundedness.cc" "src/CMakeFiles/recur.dir/classify/boundedness.cc.o" "gcc" "src/CMakeFiles/recur.dir/classify/boundedness.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/CMakeFiles/recur.dir/classify/classifier.cc.o" "gcc" "src/CMakeFiles/recur.dir/classify/classifier.cc.o.d"
+  "/root/repo/src/classify/program_analysis.cc" "src/CMakeFiles/recur.dir/classify/program_analysis.cc.o" "gcc" "src/CMakeFiles/recur.dir/classify/program_analysis.cc.o.d"
+  "/root/repo/src/classify/stability.cc" "src/CMakeFiles/recur.dir/classify/stability.cc.o" "gcc" "src/CMakeFiles/recur.dir/classify/stability.cc.o.d"
+  "/root/repo/src/classify/taxonomy.cc" "src/CMakeFiles/recur.dir/classify/taxonomy.cc.o" "gcc" "src/CMakeFiles/recur.dir/classify/taxonomy.cc.o.d"
+  "/root/repo/src/datalog/atom.cc" "src/CMakeFiles/recur.dir/datalog/atom.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/atom.cc.o.d"
+  "/root/repo/src/datalog/expansion.cc" "src/CMakeFiles/recur.dir/datalog/expansion.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/expansion.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/CMakeFiles/recur.dir/datalog/lexer.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/lexer.cc.o.d"
+  "/root/repo/src/datalog/linear_rule.cc" "src/CMakeFiles/recur.dir/datalog/linear_rule.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/linear_rule.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/recur.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/recur.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/CMakeFiles/recur.dir/datalog/rule.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/rule.cc.o.d"
+  "/root/repo/src/datalog/substitution.cc" "src/CMakeFiles/recur.dir/datalog/substitution.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/substitution.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/CMakeFiles/recur.dir/datalog/term.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/term.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/CMakeFiles/recur.dir/datalog/unify.cc.o" "gcc" "src/CMakeFiles/recur.dir/datalog/unify.cc.o.d"
+  "/root/repo/src/eval/chain.cc" "src/CMakeFiles/recur.dir/eval/chain.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/chain.cc.o.d"
+  "/root/repo/src/eval/compiled_eval.cc" "src/CMakeFiles/recur.dir/eval/compiled_eval.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/compiled_eval.cc.o.d"
+  "/root/repo/src/eval/conjunctive.cc" "src/CMakeFiles/recur.dir/eval/conjunctive.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/conjunctive.cc.o.d"
+  "/root/repo/src/eval/naive.cc" "src/CMakeFiles/recur.dir/eval/naive.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/naive.cc.o.d"
+  "/root/repo/src/eval/plan_generator.cc" "src/CMakeFiles/recur.dir/eval/plan_generator.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/plan_generator.cc.o.d"
+  "/root/repo/src/eval/query.cc" "src/CMakeFiles/recur.dir/eval/query.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/query.cc.o.d"
+  "/root/repo/src/eval/rank.cc" "src/CMakeFiles/recur.dir/eval/rank.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/rank.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/recur.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/eval/special_plans.cc" "src/CMakeFiles/recur.dir/eval/special_plans.cc.o" "gcc" "src/CMakeFiles/recur.dir/eval/special_plans.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/recur.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/cycles.cc" "src/CMakeFiles/recur.dir/graph/cycles.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/cycles.cc.o.d"
+  "/root/repo/src/graph/hybrid_graph.cc" "src/CMakeFiles/recur.dir/graph/hybrid_graph.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/hybrid_graph.cc.o.d"
+  "/root/repo/src/graph/igraph.cc" "src/CMakeFiles/recur.dir/graph/igraph.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/igraph.cc.o.d"
+  "/root/repo/src/graph/paths.cc" "src/CMakeFiles/recur.dir/graph/paths.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/paths.cc.o.d"
+  "/root/repo/src/graph/render.cc" "src/CMakeFiles/recur.dir/graph/render.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/render.cc.o.d"
+  "/root/repo/src/graph/resolution_graph.cc" "src/CMakeFiles/recur.dir/graph/resolution_graph.cc.o" "gcc" "src/CMakeFiles/recur.dir/graph/resolution_graph.cc.o.d"
+  "/root/repo/src/ra/database.cc" "src/CMakeFiles/recur.dir/ra/database.cc.o" "gcc" "src/CMakeFiles/recur.dir/ra/database.cc.o.d"
+  "/root/repo/src/ra/operators.cc" "src/CMakeFiles/recur.dir/ra/operators.cc.o" "gcc" "src/CMakeFiles/recur.dir/ra/operators.cc.o.d"
+  "/root/repo/src/ra/relation.cc" "src/CMakeFiles/recur.dir/ra/relation.cc.o" "gcc" "src/CMakeFiles/recur.dir/ra/relation.cc.o.d"
+  "/root/repo/src/transform/bounded_expand.cc" "src/CMakeFiles/recur.dir/transform/bounded_expand.cc.o" "gcc" "src/CMakeFiles/recur.dir/transform/bounded_expand.cc.o.d"
+  "/root/repo/src/transform/compiled_expr.cc" "src/CMakeFiles/recur.dir/transform/compiled_expr.cc.o" "gcc" "src/CMakeFiles/recur.dir/transform/compiled_expr.cc.o.d"
+  "/root/repo/src/transform/stable_form.cc" "src/CMakeFiles/recur.dir/transform/stable_form.cc.o" "gcc" "src/CMakeFiles/recur.dir/transform/stable_form.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/recur.dir/util/status.cc.o" "gcc" "src/CMakeFiles/recur.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/recur.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/recur.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/symbol_table.cc" "src/CMakeFiles/recur.dir/util/symbol_table.cc.o" "gcc" "src/CMakeFiles/recur.dir/util/symbol_table.cc.o.d"
+  "/root/repo/src/workload/formula_generator.cc" "src/CMakeFiles/recur.dir/workload/formula_generator.cc.o" "gcc" "src/CMakeFiles/recur.dir/workload/formula_generator.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/recur.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/recur.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_baseline_test.dir/eval_baseline_test.cc.o"
+  "CMakeFiles/eval_baseline_test.dir/eval_baseline_test.cc.o.d"
+  "eval_baseline_test"
+  "eval_baseline_test.pdb"
+  "eval_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_analysis_test.dir/program_analysis_test.cc.o"
+  "CMakeFiles/program_analysis_test.dir/program_analysis_test.cc.o.d"
+  "program_analysis_test"
+  "program_analysis_test.pdb"
+  "program_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

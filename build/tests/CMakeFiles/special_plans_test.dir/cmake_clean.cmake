@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_plans_test.dir/special_plans_test.cc.o"
+  "CMakeFiles/special_plans_test.dir/special_plans_test.cc.o.d"
+  "special_plans_test"
+  "special_plans_test.pdb"
+  "special_plans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
