@@ -1,0 +1,160 @@
+// PERF7 — the parallel semi-naive engine: transitive closure over Chain,
+// Grid, and RandomGraph EDBs at 1/2/4/8 threads. Every thread count must
+// produce the same result cardinality (checked each iteration; a mismatch
+// aborts the benchmark), so this doubles as a stress harness for the
+// sharded evaluation and concurrent dedup paths.
+//
+// Expected shape on multi-core hardware: >= 2x at 4 threads over 1 thread
+// on the RandomGraph workloads, whose per-round deltas are wide enough to
+// shard well. On a single hardware thread the ratios collapse to ~1x and
+// only the engine overhead is visible. The biggest preset
+// (RandomGraph/50000x200000, single-source) is tagged with
+// MinTime so casual runs stay short; use
+// `bench_parallel --benchmark_min_time=...` to push it harder.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "ra/database.h"
+#include "workload/generator.h"
+
+namespace recur::bench {
+namespace {
+
+struct Closure {
+  SymbolTable symbols;
+  ra::Database edb;
+  datalog::Program program;
+  SymbolId pred;
+};
+
+/// Transitive-closure program over edge relation A (also the exit).
+std::unique_ptr<Closure> MakeClosure(const ra::Relation& edges) {
+  auto c = std::make_unique<Closure>();
+  auto program = datalog::ParseProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n",
+      &c->symbols);
+  if (!program.ok()) std::abort();
+  c->program = *program;
+  c->pred = c->symbols.Lookup("P");
+  auto rel = c->edb.GetOrCreate(c->symbols.Lookup("A"), 2);
+  if (!rel.ok()) std::abort();
+  (*rel)->InsertAll(edges);
+  return c;
+}
+
+/// Runs the fixpoint at state.range(0) threads and verifies the result
+/// cardinality against the single-threaded engine (computed once).
+void RunClosure(benchmark::State& state, Closure* c) {
+  static_assert(sizeof(size_t) >= 8, "cardinalities fit");
+  eval::FixpointOptions serial;
+  auto reference = eval::SemiNaiveEvaluate(c->program, c->edb, serial);
+  if (!reference.ok()) {
+    state.SkipWithError("serial evaluation failed");
+    return;
+  }
+  const size_t want = reference->at(c->pred).size();
+
+  eval::FixpointOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    auto idb = eval::SemiNaiveEvaluate(c->program, c->edb, options);
+    if (!idb.ok()) {
+      state.SkipWithError("parallel evaluation failed");
+      return;
+    }
+    tuples = idb->at(c->pred).size();
+    if (tuples != want) {
+      state.SkipWithError("result cardinality diverged across threads");
+      return;
+    }
+    benchmark::DoNotOptimize(idb);
+  }
+  state.counters["tuples"] =
+      benchmark::Counter(static_cast<double>(tuples));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(options.num_threads));
+}
+
+void BM_Parallel_TC_Chain(benchmark::State& state) {
+  workload::Generator gen(201);
+  auto c = MakeClosure(gen.Chain(512));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_Chain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_Grid(benchmark::State& state) {
+  workload::Generator gen(202);
+  auto c = MakeClosure(gen.Grid(40, 40));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_Grid)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_RandomGraph(benchmark::State& state) {
+  workload::Generator gen(203);
+  // Subcritical density: the closure stays far from the n^2 blowup a
+  // giant strongly connected component would cause, while the per-round
+  // deltas are wide enough to shard across workers.
+  auto c = MakeClosure(gen.RandomGraph(4000, 4400));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_RandomGraph)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// The acceptance-scale workload: 50k nodes / 200k edges. A full closure
+/// there would hold billions of tuples (the graph is supercritical), so
+/// the recursion is anchored at source nodes via an exit relation that
+/// only seeds edges leaving [0, 32) — single-source-style reachability at
+/// full EDB scale.
+void BM_Parallel_Reach_RandomGraph50k(benchmark::State& state) {
+  workload::Generator gen(204);
+  SymbolTable symbols;
+  ra::Database edb;
+  auto program = datalog::ParseProgram(
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- P(X, Z), A(Z, Y).\n",
+      &symbols);
+  if (!program.ok()) std::abort();
+  ra::Relation edges = gen.RandomGraph(50000, 200000);
+  ra::Relation seeds(2);
+  for (const ra::Tuple& t : edges.rows()) {
+    if (t[0] < 32) seeds.Insert(t);
+  }
+  (*edb.GetOrCreate(symbols.Lookup("A"), 2))->InsertAll(edges);
+  (*edb.GetOrCreate(symbols.Lookup("E"), 2))->InsertAll(seeds);
+  SymbolId pred = symbols.Lookup("P");
+
+  auto reference = eval::SemiNaiveEvaluate(*program, edb);
+  if (!reference.ok()) {
+    state.SkipWithError("serial evaluation failed");
+    return;
+  }
+  const size_t want = reference->at(pred).size();
+
+  eval::FixpointOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto idb = eval::SemiNaiveEvaluate(*program, edb, options);
+    if (!idb.ok() || idb->at(pred).size() != want) {
+      state.SkipWithError("parallel evaluation diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(idb);
+  }
+  state.counters["tuples"] = benchmark::Counter(static_cast<double>(want));
+}
+BENCHMARK(BM_Parallel_Reach_RandomGraph50k)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

@@ -10,6 +10,7 @@
 #include "classify/classifier.h"
 #include "datalog/parser.h"
 #include "eval/plan_generator.h"
+#include "eval/seminaive.h"
 #include "graph/render.h"
 #include "ra/database.h"
 #include "workload/generator.h"
@@ -76,6 +77,24 @@ int main() {
   }
   std::cout << "P(0, Y) has " << answers->size() << " answers: "
             << answers->ToString() << "\n";
-  std::cout << "levels evaluated: " << stats.levels << "\n";
+  std::cout << "levels evaluated: " << stats.levels << "\n\n";
+
+  // 7. The same program through the parallel semi-naive engine, with the
+  //    per-round stats tree turned on.
+  datalog::Program program;
+  program.AddRule(*exit);
+  program.AddRule(*rule);
+  eval::FixpointOptions fixpoint;
+  fixpoint.num_threads = 4;
+  fixpoint.collect_stats = true;
+  eval::EvalStats fix_stats;
+  auto idb = eval::SemiNaiveEvaluate(program, edb, fixpoint, &fix_stats);
+  if (!idb.ok()) {
+    std::cerr << idb.status() << "\n";
+    return 1;
+  }
+  std::cout << "semi-naive (" << fixpoint.num_threads << " threads): |P| = "
+            << idb->at(query.pred).size() << "\n"
+            << fix_stats.FormatTree();
   return 0;
 }

@@ -313,7 +313,8 @@ Result<ra::Relation> StableEvaluator::Answer(
             "synchronized compiled evaluation did not converge (cyclic "
             "data); enable fallback_to_seminaive");
       }
-      return SemiNaiveAnswer(EquivalentProgram(), edb, query, {}, stats);
+      return SemiNaiveAnswer(EquivalentProgram(), edb, query,
+                             options.fixpoint, stats);
     }
     // Combine levels.
     if (folds.empty()) {

@@ -37,6 +37,9 @@ struct CompiledEvalOptions {
   /// query shape admits them; disable to force synchronized mode
   /// (ablation).
   bool allow_dedup = true;
+  /// Options for any semi-naive evaluation a plan runs (the kSemiNaive
+  /// strategy and the cyclic-data fallback): threading, sharding, stats.
+  FixpointOptions fixpoint;
 };
 
 struct CompiledEvalStats : EvalStats {

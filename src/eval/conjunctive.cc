@@ -1,6 +1,7 @@
 #include "eval/conjunctive.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "graph/components.h"
 
@@ -101,12 +102,14 @@ Status ExtendWithAtom(const datalog::Atom& atom, const ra::Relation& rel,
     if (!bound_checks.empty()) {
       // Probe the relation's hash index on the first bound column.
       const BoundCheck& probe = bound_checks[0];
+      if (stats != nullptr) ++stats->join_probes;
       for (int row : rel.RowsWithValue(probe.atom_col,
                                        brow[probe.binding_col])) {
         if (matches(brow, rel.rows()[row])) emit(brow, rel.rows()[row]);
       }
     } else if (!const_checks.empty()) {
       const ConstCheck& probe = const_checks[0];
+      if (stats != nullptr) ++stats->join_probes;
       for (int row : rel.RowsWithValue(probe.atom_col, probe.value)) {
         if (matches(brow, rel.rows()[row])) emit(brow, rel.rows()[row]);
       }
@@ -192,6 +195,35 @@ Result<BindingSet> EvaluateComponent(
 }
 
 }  // namespace
+
+std::string EvalStats::FormatTree() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "fixpoint: %d rounds, %zu produced, %zu considered, "
+                "%zu probes, %zu index rebuilds\n",
+                iterations, tuples_produced, tuples_considered, join_probes,
+                index_rebuilds);
+  std::string out = line;
+  for (const RoundStats& r : rounds) {
+    std::snprintf(line, sizeof(line),
+                  "  round %d: %zu derived, %zu deduped, %zu probes, "
+                  "%zu rebuilds, eval %.3fms, merge %.3fms\n",
+                  r.round, r.tuples_derived, r.tuples_deduped,
+                  r.join_probes, r.index_rebuilds, r.eval_seconds * 1e3,
+                  r.merge_seconds * 1e3);
+    out += line;
+    for (const RuleRoundStats& rr : r.rules) {
+      if (rr.tuples_derived == 0 && rr.join_probes == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "    rule %d: %zu derived, %zu deduped, %zu probes, "
+                    "%.3fms\n",
+                    rr.rule_index, rr.tuples_derived, rr.tuples_deduped,
+                    rr.join_probes, rr.seconds * 1e3);
+      out += line;
+    }
+  }
+  return out;
+}
 
 Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
                                   const RelationLookup& lookup,

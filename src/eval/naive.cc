@@ -1,6 +1,7 @@
 #include "eval/naive.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace recur::eval {
 
@@ -46,18 +47,53 @@ Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
     if (it != idb.end()) return &it->second;
     return edb.Find(pred);
   };
+  const bool collect = options.collect_stats && stats != nullptr;
+  using Clock = std::chrono::steady_clock;
   for (int round = 0; round < options.max_iterations; ++round) {
     if (stats != nullptr) ++stats->iterations;
+    RoundStats round_stats;
+    round_stats.round = round;
+    auto round_start = Clock::now();
     bool changed = false;
+    int rule_index = -1;
     for (const datalog::Rule& rule : program.rules()) {
+      ++rule_index;
       if (rule.IsFact()) continue;
+      auto rule_start = Clock::now();
+      size_t probes_before = stats != nullptr ? stats->join_probes : 0;
       RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                              EvaluateRule(rule, lookup, {}, stats));
-      if (idb[rule.head().predicate()].InsertAll(derived) > 0) {
-        changed = true;
+      size_t added = idb[rule.head().predicate()].InsertAll(derived);
+      if (added > 0) changed = true;
+      if (collect) {
+        RuleRoundStats rr;
+        rr.rule_index = rule_index;
+        rr.tuples_derived = derived.size();
+        rr.tuples_deduped = derived.size() - added;
+        rr.join_probes = stats->join_probes - probes_before;
+        rr.seconds =
+            std::chrono::duration<double>(Clock::now() - rule_start)
+                .count();
+        round_stats.tuples_derived += rr.tuples_derived;
+        round_stats.tuples_deduped += rr.tuples_deduped;
+        round_stats.join_probes += rr.join_probes;
+        round_stats.rules.push_back(rr);
       }
     }
-    if (!changed) return idb;
+    if (collect) {
+      round_stats.eval_seconds =
+          std::chrono::duration<double>(Clock::now() - round_start).count();
+      stats->rounds.push_back(std::move(round_stats));
+    }
+    if (!changed) {
+      if (stats != nullptr) {
+        for (const auto& [pred, rel] : idb) {
+          (void)pred;
+          stats->index_rebuilds += rel.index_rebuilds();
+        }
+      }
+      return idb;
+    }
   }
   return Status::Internal("naive fixpoint exceeded max_iterations");
 }

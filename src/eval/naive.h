@@ -17,6 +17,18 @@ struct FixpointOptions {
   /// Hard cap on fixpoint rounds (a safety valve; the fixpoint of a Datalog
   /// program over a finite database always terminates well below this).
   int max_iterations = 1 << 20;
+  /// Worker threads for semi-naive evaluation. 1 (the default) runs the
+  /// serial engine; >1 hash-shards each round's deltas and evaluates the
+  /// (rule, delta-atom, shard) tasks on a fixed-size thread pool. Results
+  /// are identical either way.
+  int num_threads = 1;
+  /// Number of hash shards each delta is split into per round; 0 picks
+  /// 4 * num_threads (enough slack for work stealing without drowning in
+  /// tiny shards).
+  int shard_count = 0;
+  /// Populate the per-round, per-rule EvalStats::rounds tree (adds timing
+  /// calls per rule; leave off in benchmarks of the engine itself).
+  bool collect_stats = false;
 };
 
 /// Naive bottom-up fixpoint: re-derives from the full relations every round

@@ -129,7 +129,7 @@ Result<ra::Relation> QueryPlan::Execute(const Query& query,
       return out;
     }
     case Strategy::kSemiNaive:
-      return SemiNaiveAnswer(program_, edb, query, {}, stats);
+      return SemiNaiveAnswer(program_, edb, query, options.fixpoint, stats);
   }
   return Status::Internal("unknown strategy");
 }

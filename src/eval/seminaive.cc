@@ -1,49 +1,58 @@
 #include "eval/seminaive.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+#include <vector>
 
-#include "ra/operators.h"
+#include "eval/thread_pool.h"
 
 namespace recur::eval {
 
-Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
-                                       const ra::Database& edb,
-                                       const FixpointOptions& options,
-                                       EvalStats* stats) {
-  // Full and delta relations per IDB predicate.
-  IdbRelations full;
-  IdbRelations delta;
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Shared setup for both engines: seed full/delta with any EDB facts under
+/// IDB predicates and validate arities.
+Status InitializeFullAndDelta(const datalog::Program& program,
+                              const ra::Database& edb, IdbRelations* full,
+                              IdbRelations* delta) {
   for (const datalog::Rule& rule : program.rules()) {
     if (rule.IsFact()) continue;
     SymbolId pred = rule.head().predicate();
     int arity = rule.head().arity();
-    auto it = full.find(pred);
-    if (it == full.end()) {
-      full.emplace(pred, ra::Relation(arity));
-      delta.emplace(pred, ra::Relation(arity));
+    auto it = full->find(pred);
+    if (it == full->end()) {
+      full->emplace(pred, ra::Relation(arity));
+      delta->emplace(pred, ra::Relation(arity));
       const ra::Relation* facts = edb.Find(pred);
       if (facts != nullptr) {
         if (facts->arity() != arity) {
           return Status::InvalidArgument(
               "facts and rules disagree on predicate arity");
         }
-        full[pred].InsertAll(*facts);
-        delta[pred].InsertAll(*facts);
+        (*full)[pred].InsertAll(*facts);
+        (*delta)[pred].InsertAll(*facts);
       }
     } else if (it->second.arity() != arity) {
       return Status::InvalidArgument("rules disagree on predicate arity");
     }
   }
+  return Status::OK();
+}
 
-  RelationLookup lookup = [&full,
-                           &edb](SymbolId pred) -> const ra::Relation* {
-    auto it = full.find(pred);
-    if (it != full.end()) return &it->second;
-    return edb.Find(pred);
-  };
-  auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
-
-  // Round 0: rules with no IDB body atom fire once from the EDB alone.
+/// Round 0: rules with no IDB body atom fire once from the EDB alone.
+Status FireExitRules(const datalog::Program& program,
+                     const RelationLookup& lookup,
+                     const std::function<bool(SymbolId)>& is_idb,
+                     IdbRelations* full, IdbRelations* delta,
+                     EvalStats* stats) {
   for (const datalog::Rule& rule : program.rules()) {
     if (rule.IsFact()) continue;
     bool has_idb_atom = std::any_of(
@@ -53,12 +62,54 @@ Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
     RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                            EvaluateRule(rule, lookup, {}, stats));
     for (const ra::Tuple& t : derived.rows()) {
-      if (full[rule.head().predicate()].Insert(t)) {
-        delta[rule.head().predicate()].Insert(t);
+      if ((*full)[rule.head().predicate()].Insert(t)) {
+        (*delta)[rule.head().predicate()].Insert(t);
       }
     }
   }
+  return Status::OK();
+}
 
+/// Adds the index builds visible at fixpoint end: the persistent full
+/// relations and the EDB. Builds on per-round temporaries (deltas, shards)
+/// are added by the round loops as the temporaries are discarded.
+void AccumulateIndexRebuilds(const IdbRelations& full,
+                             const ra::Database& edb, EvalStats* stats) {
+  if (stats == nullptr) return;
+  for (const auto& [pred, rel] : full) {
+    (void)pred;
+    stats->index_rebuilds += rel.index_rebuilds();
+  }
+  for (const auto& [pred, rel] : edb.relations()) {
+    (void)pred;
+    stats->index_rebuilds += rel.index_rebuilds();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial engine
+// ---------------------------------------------------------------------------
+
+Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
+                                     const ra::Database& edb,
+                                     const FixpointOptions& options,
+                                     EvalStats* stats) {
+  IdbRelations full;
+  IdbRelations delta;
+  RECUR_RETURN_IF_ERROR(
+      InitializeFullAndDelta(program, edb, &full, &delta));
+
+  RelationLookup lookup = [&full,
+                           &edb](SymbolId pred) -> const ra::Relation* {
+    auto it = full.find(pred);
+    if (it != full.end()) return &it->second;
+    return edb.Find(pred);
+  };
+  auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
+  RECUR_RETURN_IF_ERROR(
+      FireExitRules(program, lookup, is_idb, &full, &delta, stats));
+
+  const bool collect = options.collect_stats && stats != nullptr;
   for (int round = 0; round < options.max_iterations; ++round) {
     if (stats != nullptr) ++stats->iterations;
     bool any_delta = false;
@@ -68,15 +119,35 @@ Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
         break;
       }
     }
-    if (!any_delta) return full;
+    if (!any_delta) {
+      AccumulateIndexRebuilds(full, edb, stats);
+      return full;
+    }
+
+    RoundStats round_stats;
+    round_stats.round = round;
+    size_t rebuilds_before = 0;
+    if (collect) {
+      for (const auto& [pred, rel] : full) {
+        (void)pred;
+        rebuilds_before += rel.index_rebuilds();
+      }
+    }
+    auto round_start = Clock::now();
 
     // New tuples derived this round, per head predicate.
     IdbRelations fresh;
     for (auto& [pred, rel] : full) {
       fresh.emplace(pred, ra::Relation(rel.arity()));
     }
+    int rule_index = -1;
     for (const datalog::Rule& rule : program.rules()) {
+      ++rule_index;
       if (rule.IsFact()) continue;
+      RuleRoundStats rr;
+      rr.rule_index = rule_index;
+      auto rule_start = Clock::now();
+      size_t probes_before = stats != nullptr ? stats->join_probes : 0;
       for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
         SymbolId body_pred = rule.body()[i].predicate();
         if (!is_idb(body_pred)) continue;
@@ -87,19 +158,338 @@ Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
         conj.override_relation = &d;
         RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                                EvaluateRule(rule, lookup, conj, stats));
+        rr.tuples_derived += derived.size();
+        ra::Relation& head_fresh = fresh[rule.head().predicate()];
+        const ra::Relation& head_full = full[rule.head().predicate()];
         for (const ra::Tuple& t : derived.rows()) {
-          if (!full[rule.head().predicate()].Contains(t)) {
-            fresh[rule.head().predicate()].Insert(t);
+          if (head_full.Contains(t) || !head_fresh.Insert(t)) {
+            ++rr.tuples_deduped;
           }
         }
       }
+      if (collect) rr.join_probes = stats->join_probes - probes_before;
+      if (collect && (rr.tuples_derived > 0 || rr.join_probes > 0)) {
+        rr.seconds = SecondsSince(rule_start);
+        round_stats.tuples_derived += rr.tuples_derived;
+        round_stats.tuples_deduped += rr.tuples_deduped;
+        round_stats.join_probes += rr.join_probes;
+        round_stats.rules.push_back(std::move(rr));
+      }
     }
+    auto merge_start = Clock::now();
+    size_t delta_rebuilds = 0;
     for (auto& [pred, rel] : fresh) {
+      full[pred].Reserve(full[pred].size() + rel.size());
       full[pred].InsertAll(rel);
+      // The outgoing delta is discarded here; bank its index builds.
+      delta_rebuilds += delta[pred].index_rebuilds();
       delta[pred] = std::move(rel);
+    }
+    if (stats != nullptr) stats->index_rebuilds += delta_rebuilds;
+    if (collect) {
+      round_stats.eval_seconds =
+          std::chrono::duration<double>(merge_start - round_start).count();
+      round_stats.merge_seconds = SecondsSince(merge_start);
+      round_stats.index_rebuilds = delta_rebuilds;
+      for (const auto& [pred, rel] : full) {
+        (void)pred;
+        round_stats.index_rebuilds += rel.index_rebuilds();
+      }
+      round_stats.index_rebuilds -= rebuilds_before;
+      stats->rounds.push_back(std::move(round_stats));
     }
   }
   return Status::Internal("semi-naive fixpoint exceeded max_iterations");
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
+
+/// First argument position of body atom `atom_index` whose variable also
+/// occurs in another body atom — the column the join will most likely probe
+/// on, and therefore the column deltas are hash-sharded by. -1 means no
+/// shared variable; shard on the whole tuple.
+int JoinKeyColumn(const datalog::Rule& rule, int atom_index) {
+  const datalog::Atom& atom = rule.body()[atom_index];
+  for (int p = 0; p < atom.arity(); ++p) {
+    const datalog::Term& t = atom.args()[p];
+    if (!t.IsVariable()) continue;
+    for (int j = 0; j < static_cast<int>(rule.body().size()); ++j) {
+      if (j == atom_index) continue;
+      for (const datalog::Term& u : rule.body()[j].args()) {
+        if (u.IsVariable() && u.symbol() == t.symbol()) return p;
+      }
+    }
+  }
+  return -1;
+}
+
+uint64_t MixValue(ra::Value v) {
+  // splitmix64 finalizer: spreads consecutive ids across shards.
+  uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Splits `delta` into `num_shards` relations by hashing the join-key
+/// column (or the whole tuple when key < 0).
+std::vector<ra::Relation> ShardDelta(const ra::Relation& delta, int key,
+                                     int num_shards) {
+  std::vector<ra::Relation> shards;
+  shards.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards.emplace_back(delta.arity());
+  }
+  for (const ra::Tuple& t : delta.rows()) {
+    uint64_t h = key >= 0 ? MixValue(t[key]) : ra::TupleHash{}(t);
+    shards[h % num_shards].Insert(t);
+  }
+  return shards;
+}
+
+/// A concurrent tuple set, sharded by tuple hash so writers on different
+/// buckets never contend. One per head predicate per round; the merge
+/// stage drains it into the next delta.
+class ConcurrentDedup {
+ public:
+  explicit ConcurrentDedup(int num_buckets) : buckets_(num_buckets) {}
+
+  /// Returns true if `t` was not in the set yet.
+  bool Add(const ra::Tuple& t) {
+    Bucket& b = buckets_[ra::TupleHash{}(t) % buckets_.size()];
+    std::lock_guard<std::mutex> lock(b.mutex);
+    return b.tuples.insert(t).second;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Bucket& b : buckets_) n += b.tuples.size();
+    return n;
+  }
+
+  /// Moves all tuples into `out` and empties the set.
+  void DrainInto(ra::Relation* out) {
+    out->Reserve(out->size() + size());
+    for (Bucket& b : buckets_) {
+      for (const ra::Tuple& t : b.tuples) out->Insert(t);
+      b.tuples.clear();
+    }
+  }
+
+ private:
+  struct Bucket {
+    std::mutex mutex;
+    std::unordered_set<ra::Tuple, ra::TupleHash> tuples;
+  };
+  std::vector<Bucket> buckets_;
+};
+
+Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
+                                       const ra::Database& edb,
+                                       const FixpointOptions& options,
+                                       EvalStats* stats) {
+  IdbRelations full;
+  IdbRelations delta;
+  RECUR_RETURN_IF_ERROR(
+      InitializeFullAndDelta(program, edb, &full, &delta));
+
+  RelationLookup lookup = [&full,
+                           &edb](SymbolId pred) -> const ra::Relation* {
+    auto it = full.find(pred);
+    if (it != full.end()) return &it->second;
+    return edb.Find(pred);
+  };
+  auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
+  RECUR_RETURN_IF_ERROR(
+      FireExitRules(program, lookup, is_idb, &full, &delta, stats));
+
+  const int num_shards = options.shard_count > 0
+                             ? options.shard_count
+                             : 4 * options.num_threads;
+  const bool collect = options.collect_stats && stats != nullptr;
+  ThreadPool pool(options.num_threads);
+
+  // Per-head-predicate concurrent dedup sets, reused across rounds.
+  std::map<SymbolId, ConcurrentDedup> dedup;
+  for (const auto& [pred, rel] : full) {
+    (void)rel;
+    dedup.emplace(pred, ConcurrentDedup(4 * options.num_threads));
+  }
+
+  struct Task {
+    const datalog::Rule* rule = nullptr;
+    int rule_index = 0;
+    int atom_index = 0;
+    const ra::Relation* shard = nullptr;
+  };
+
+  std::mutex stats_mutex;
+  for (int round = 0; round < options.max_iterations; ++round) {
+    if (stats != nullptr) ++stats->iterations;
+    bool any_delta = false;
+    for (const auto& [pred, d] : delta) {
+      if (!d.empty()) {
+        any_delta = true;
+        break;
+      }
+    }
+    if (!any_delta) {
+      AccumulateIndexRebuilds(full, edb, stats);
+      return full;
+    }
+
+    RoundStats round_stats;
+    round_stats.round = round;
+    size_t rebuilds_before = 0;
+    if (collect) {
+      for (const auto& [pred, rel] : full) {
+        (void)pred;
+        rebuilds_before += rel.index_rebuilds();
+      }
+    }
+    auto round_start = Clock::now();
+
+    // Build the task list: one task per (rule, IDB body atom, delta
+    // shard). Shards are cached per (predicate, join-key column) so rules
+    // probing the same column reuse the partition. Tiny deltas stay in one
+    // shard — splitting them only buys scheduling overhead.
+    std::map<std::pair<SymbolId, int>, std::vector<ra::Relation>> shards;
+    std::vector<Task> tasks;
+    int rule_index = -1;
+    for (const datalog::Rule& rule : program.rules()) {
+      ++rule_index;
+      if (rule.IsFact()) continue;
+      for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+        SymbolId body_pred = rule.body()[i].predicate();
+        if (!is_idb(body_pred)) continue;
+        const ra::Relation& d = delta[body_pred];
+        if (d.empty()) continue;
+        int effective_shards =
+            d.size() < 64 ? 1 : num_shards;
+        int key = JoinKeyColumn(rule, i);
+        auto shard_key = std::make_pair(body_pred,
+                                        effective_shards == 1 ? -2 : key);
+        auto it = shards.find(shard_key);
+        if (it == shards.end()) {
+          it = shards
+                   .emplace(shard_key,
+                            ShardDelta(d, key, effective_shards))
+                   .first;
+        }
+        for (const ra::Relation& shard : it->second) {
+          if (shard.empty()) continue;
+          tasks.push_back(Task{&rule, rule_index, i, &shard});
+        }
+      }
+    }
+
+    // Evaluation stage: workers derive tuples and push anything not
+    // already in `full` through the concurrent dedup sets. `full`, the
+    // EDB, and the shards are frozen until the merge stage, so concurrent
+    // Contains/probe reads (and synchronized lazy index builds) are safe.
+    std::vector<Status> task_status(tasks.size(), Status::OK());
+    std::vector<RuleRoundStats> rule_acc(program.rules().size());
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      rule_acc[tasks[t].rule_index].rule_index = tasks[t].rule_index;
+    }
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      pool.Submit([&, t] {
+        const Task& task = tasks[t];
+        auto task_start = Clock::now();
+        EvalStats local;
+        ConjunctiveOptions conj;
+        conj.override_index = task.atom_index;
+        conj.override_relation = task.shard;
+        Result<ra::Relation> derived =
+            EvaluateRule(*task.rule, lookup, conj,
+                         stats != nullptr ? &local : nullptr);
+        if (!derived.ok()) {
+          task_status[t] = derived.status();
+          return;
+        }
+        SymbolId head = task.rule->head().predicate();
+        const ra::Relation& head_full = full.at(head);
+        ConcurrentDedup& head_dedup = dedup.at(head);
+        size_t deduped = 0;
+        for (const ra::Tuple& tuple : derived->rows()) {
+          if (head_full.Contains(tuple) || !head_dedup.Add(tuple)) {
+            ++deduped;
+          }
+        }
+        if (stats != nullptr) {
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          stats->tuples_considered += local.tuples_considered;
+          stats->tuples_produced += local.tuples_produced;
+          stats->join_probes += local.join_probes;
+          RuleRoundStats& rr = rule_acc[task.rule_index];
+          rr.tuples_derived += derived->size();
+          rr.tuples_deduped += deduped;
+          rr.join_probes += local.join_probes;
+          rr.seconds += SecondsSince(task_start);
+        }
+      });
+    }
+    pool.Wait();
+    for (const Status& s : task_status) {
+      RECUR_RETURN_IF_ERROR(s);
+    }
+
+    // Merge stage (single-threaded): drain the dedup sets into the next
+    // delta and append to full — incremental index maintenance makes this
+    // an append, not a rebuild.
+    auto merge_start = Clock::now();
+    for (auto& [pred, d] : dedup) {
+      ra::Relation next_delta(full.at(pred).arity());
+      d.DrainInto(&next_delta);
+      ra::Relation& head_full = full.at(pred);
+      head_full.Reserve(head_full.size() + next_delta.size());
+      head_full.InsertAll(next_delta);
+      delta[pred] = std::move(next_delta);
+    }
+    // The shards are discarded at end of round; bank their index builds.
+    size_t shard_rebuilds = 0;
+    for (const auto& [key, vec] : shards) {
+      (void)key;
+      for (const ra::Relation& s : vec) {
+        shard_rebuilds += s.index_rebuilds();
+      }
+    }
+    if (stats != nullptr) stats->index_rebuilds += shard_rebuilds;
+    if (collect) {
+      round_stats.eval_seconds =
+          std::chrono::duration<double>(merge_start - round_start).count();
+      round_stats.merge_seconds = SecondsSince(merge_start);
+      for (RuleRoundStats& rr : rule_acc) {
+        if (rr.tuples_derived == 0 && rr.join_probes == 0) continue;
+        round_stats.tuples_derived += rr.tuples_derived;
+        round_stats.tuples_deduped += rr.tuples_deduped;
+        round_stats.join_probes += rr.join_probes;
+        round_stats.rules.push_back(std::move(rr));
+      }
+      round_stats.index_rebuilds = shard_rebuilds;
+      for (const auto& [pred, rel] : full) {
+        (void)pred;
+        round_stats.index_rebuilds += rel.index_rebuilds();
+      }
+      round_stats.index_rebuilds -= rebuilds_before;
+      stats->rounds.push_back(std::move(round_stats));
+    }
+  }
+  return Status::Internal("semi-naive fixpoint exceeded max_iterations");
+}
+
+}  // namespace
+
+Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
+                                       const ra::Database& edb,
+                                       const FixpointOptions& options,
+                                       EvalStats* stats) {
+  if (options.num_threads > 1) {
+    return ParallelSemiNaive(program, edb, options, stats);
+  }
+  return SerialSemiNaive(program, edb, options, stats);
 }
 
 Result<ra::Relation> SemiNaiveAnswer(const datalog::Program& program,

@@ -1,0 +1,56 @@
+#ifndef RECUR_EVAL_THREAD_POOL_H_
+#define RECUR_EVAL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace recur::eval {
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+/// The parallel semi-naive engine creates one pool per fixpoint call and
+/// submits one task per (rule, delta-atom, shard) each round; Wait() is the
+/// per-round barrier. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for an idle worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, n) across the pool: invokes fn(i) for every i, num_threads
+/// at a time, and returns when all calls finish. fn must be safe to call
+/// concurrently for distinct i.
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& fn);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_THREAD_POOL_H_

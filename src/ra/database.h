@@ -32,6 +32,11 @@ class Database {
 
   size_t num_relations() const { return relations_.size(); }
 
+  /// Read-only view of all relations (stats aggregation, tools).
+  const std::unordered_map<SymbolId, Relation>& relations() const {
+    return relations_;
+  }
+
   /// Total tuples across all relations.
   size_t TotalTuples() const;
 

@@ -8,6 +8,46 @@ namespace {
 const std::vector<int> kEmptyRowList;
 }  // namespace
 
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  // Drop the indexes before touching the rows: with incremental
+  // maintenance a built index that survived past this point would keep
+  // pointing at the *old* rows while rows_ already holds the new ones.
+  indexes_.clear();
+  arity_ = other.arity_;
+  indexes_.resize(arity_);
+  rows_ = other.rows_;
+  row_set_ = other.row_set_;
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      rows_(std::move(other.rows_)),
+      row_set_(std::move(other.row_set_)),
+      indexes_(std::move(other.indexes_)) {
+  index_rebuilds_.store(
+      other.index_rebuilds_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  rows_ = std::move(other.rows_);
+  row_set_ = std::move(other.row_set_);
+  indexes_ = std::move(other.indexes_);
+  index_rebuilds_.store(
+      other.index_rebuilds_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+void Relation::Reserve(size_t n) {
+  rows_.reserve(n);
+  row_set_.reserve(n);
+}
+
 bool Relation::Insert(const Tuple& t) {
   Tuple copy = t;
   return Insert(std::move(copy));
@@ -18,29 +58,39 @@ bool Relation::Insert(Tuple&& t) {
   auto [it, inserted] = row_set_.insert(std::move(t));
   if (!inserted) return false;
   rows_.push_back(*it);
-  indexes_.clear();  // invalidate lazy indexes
+  AppendToIndexes(static_cast<int>(rows_.size()) - 1);
   return true;
 }
 
 size_t Relation::InsertAll(const Relation& other) {
   size_t added = 0;
+  Reserve(rows_.size() + other.rows_.size());
   for (const Tuple& t : other.rows_) {
     if (Insert(t)) ++added;
   }
   return added;
 }
 
+void Relation::AppendToIndexes(int row) {
+  for (int c = 0; c < arity_; ++c) {
+    ColumnIndex& index = indexes_[c];
+    if (!index.built.load(std::memory_order_relaxed)) continue;
+    index.map[rows_[row][c]].push_back(row);
+  }
+}
+
 void Relation::EnsureIndex(int column) const {
-  if (indexes_.empty()) {
-    indexes_.resize(arity_);
-  }
-  ColumnIndex& index = indexes_[column];
-  if (index.built) return;
-  index.map.clear();
+  const ColumnIndex& index = indexes_[column];
+  if (index.built.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  ColumnIndex& mutable_index = indexes_[column];
+  if (mutable_index.built.load(std::memory_order_relaxed)) return;
+  mutable_index.map.clear();
   for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
-    index.map[rows_[i][column]].push_back(i);
+    mutable_index.map[rows_[i][column]].push_back(i);
   }
-  index.built = true;
+  index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  mutable_index.built.store(true, std::memory_order_release);
 }
 
 const std::vector<int>& Relation::RowsWithValue(int column, Value v) const {
@@ -60,7 +110,10 @@ ValueSet Relation::ColumnValues(int column) const {
 void Relation::Clear() {
   rows_.clear();
   row_set_.clear();
-  indexes_.clear();
+  for (ColumnIndex& index : indexes_) {
+    index.map.clear();
+    index.built.store(false, std::memory_order_relaxed);
+  }
 }
 
 std::string Relation::ToString() const {

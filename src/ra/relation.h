@@ -1,7 +1,9 @@
 #ifndef RECUR_RA_RELATION_H_
 #define RECUR_RA_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,29 +38,39 @@ struct TupleHash {
 using ValueSet = std::unordered_set<Value>;
 
 /// An in-memory relation: a deduplicated bag of fixed-arity tuples with
-/// lazily built per-column hash indexes. Insertion invalidates indexes;
-/// reads rebuild them on demand. Copyable (copies drop the indexes).
+/// lazily built per-column hash indexes.
+///
+/// Index maintenance is incremental: once a column index has been built,
+/// inserts append the new row to it instead of invalidating it, so fixpoint
+/// loops that grow a relation round by round do not re-hash the whole
+/// relation on every probe. Copies drop the indexes.
+///
+/// Thread-safety contract: any number of threads may call const members
+/// (Contains / RowsWithValue / rows / ...) concurrently — lazy index
+/// construction is internally synchronized. Mutations (Insert / Clear /
+/// assignment) require exclusive access, as with standard containers.
+/// References returned by RowsWithValue are invalidated by mutation.
 class Relation {
  public:
   Relation() : arity_(0) {}
-  explicit Relation(int arity) : arity_(arity) {}
+  explicit Relation(int arity) : arity_(arity) { indexes_.resize(arity_); }
 
   Relation(const Relation& other)
-      : arity_(other.arity_), rows_(other.rows_), row_set_(other.row_set_) {}
-  Relation& operator=(const Relation& other) {
-    arity_ = other.arity_;
-    rows_ = other.rows_;
-    row_set_ = other.row_set_;
-    indexes_.clear();
-    return *this;
+      : arity_(other.arity_), rows_(other.rows_), row_set_(other.row_set_) {
+    indexes_.resize(arity_);
   }
-  Relation(Relation&&) noexcept = default;
-  Relation& operator=(Relation&&) noexcept = default;
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   int arity() const { return arity_; }
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
   const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Pre-sizes the row store and dedup set for about `n` rows, cutting
+  /// rehash churn in insert-heavy loops. A hint only; never shrinks.
+  void Reserve(size_t n);
 
   /// Inserts a tuple; returns true if it was new. Tuples of wrong arity are
   /// rejected with false (and never stored).
@@ -80,23 +92,49 @@ class Relation {
   /// Removes all rows (keeps arity).
   void Clear();
 
+  /// Number of from-scratch column index builds this relation has done.
+  /// With incremental maintenance this counts one build per column probed,
+  /// not one per insert — evaluators surface it in EvalStats.
+  size_t index_rebuilds() const {
+    return index_rebuilds_.load(std::memory_order_relaxed);
+  }
+
   /// Sorted, printable form for tests and tools: "{(1,2), (3,4)}".
   std::string ToString() const;
 
  private:
   struct ColumnIndex {
     std::unordered_map<Value, std::vector<int>> map;
-    bool built = false;
+    // Guarded by double-checked locking in EnsureIndex: readers that
+    // observe built==true (acquire) see a fully constructed map.
+    std::atomic<bool> built{false};
+
+    ColumnIndex() = default;
+    ColumnIndex(ColumnIndex&& other) noexcept : map(std::move(other.map)) {
+      built.store(other.built.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    }
+    ColumnIndex& operator=(ColumnIndex&& other) noexcept {
+      map = std::move(other.map);
+      built.store(other.built.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   void EnsureIndex(int column) const;
+  /// Appends row `row` (already in rows_) to every built column index.
+  void AppendToIndexes(int row);
 
   int arity_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> row_set_;
-  // Lazily built; mutable because building an index does not change the
-  // logical relation.
+  // Sized to arity_ at construction so concurrent lazy builds never resize
+  // the vector itself; mutable because building an index does not change
+  // the logical relation.
   mutable std::vector<ColumnIndex> indexes_;
+  mutable std::mutex index_mutex_;  // serializes lazy index construction
+  mutable std::atomic<size_t> index_rebuilds_{0};
 };
 
 }  // namespace recur::ra

@@ -1,0 +1,198 @@
+// Property tests for incremental column-index maintenance in ra::Relation:
+// interleaved inserts and probes must answer exactly like an index rebuilt
+// from scratch, copies/moves must leave indexes consistent, and the copy
+// assignment must never expose a stale index over the new rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "ra/relation.h"
+
+namespace recur::ra {
+namespace {
+
+/// The probe result as a sorted bag of tuples (row ids are an
+/// implementation detail; the tuples they name are the contract).
+std::vector<Tuple> ProbedTuples(const Relation& rel, int column, Value v) {
+  std::vector<Tuple> out;
+  for (int row : rel.RowsWithValue(column, v)) {
+    out.push_back(rel.rows()[row]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// A relation with the same rows but untouched (never probed) indexes, so
+/// its first probe builds from scratch.
+Relation Rebuilt(const Relation& rel) {
+  Relation fresh(rel.arity());
+  for (const Tuple& t : rel.rows()) fresh.Insert(t);
+  return fresh;
+}
+
+TEST(RelationIndexTest, InterleavedInsertsAndProbesMatchRebuild) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::mt19937_64 rng(seed);
+    const int arity = 1 + static_cast<int>(rng() % 3);
+    Relation rel(arity);
+    for (int step = 0; step < 400; ++step) {
+      if (rng() % 3 != 0) {
+        Tuple t(arity);
+        for (Value& v : t) v = static_cast<Value>(rng() % 12);
+        rel.Insert(t);
+      } else {
+        int column = static_cast<int>(rng() % arity);
+        Value v = static_cast<Value>(rng() % 12);
+        ASSERT_EQ(ProbedTuples(rel, column, v),
+                  ProbedTuples(Rebuilt(rel), column, v))
+            << "seed " << seed << " step " << step << " col " << column
+            << " val " << v;
+      }
+    }
+  }
+}
+
+TEST(RelationIndexTest, AppendsDoNotRebuildIndexes) {
+  Relation rel(2);
+  for (Value i = 0; i < 50; ++i) rel.Insert({i, i + 1});
+  EXPECT_EQ(rel.index_rebuilds(), 0u);
+  rel.RowsWithValue(0, 7);  // builds column 0 once
+  EXPECT_EQ(rel.index_rebuilds(), 1u);
+  for (Value i = 50; i < 200; ++i) {
+    rel.Insert({i, i + 1});
+    ASSERT_EQ(rel.RowsWithValue(0, i).size(), 1u);
+  }
+  // 150 inserts with live probes: still just the one build.
+  EXPECT_EQ(rel.index_rebuilds(), 1u);
+  rel.RowsWithValue(1, 7);
+  EXPECT_EQ(rel.index_rebuilds(), 2u);
+}
+
+TEST(RelationIndexTest, CopyAssignmentDropsStaleIndexes) {
+  Relation a(2);
+  a.Insert({1, 10});
+  a.Insert({2, 20});
+  // Build a's index, then overwrite a with b: probes must answer from b's
+  // rows, exactly like a never-indexed relation with b's contents.
+  EXPECT_EQ(ProbedTuples(a, 0, 1), (std::vector<Tuple>{{1, 10}}));
+  Relation b(2);
+  b.Insert({1, 99});
+  b.Insert({3, 30});
+  a = b;
+  EXPECT_EQ(ProbedTuples(a, 0, 1), (std::vector<Tuple>{{1, 99}}));
+  EXPECT_EQ(ProbedTuples(a, 0, 2), std::vector<Tuple>{});
+  EXPECT_EQ(ProbedTuples(a, 0, 3), (std::vector<Tuple>{{3, 30}}));
+  // Mutating the copy target afterwards keeps its index consistent.
+  a.Insert({1, 100});
+  EXPECT_EQ(ProbedTuples(a, 0, 1),
+            (std::vector<Tuple>{{1, 99}, {1, 100}}));
+}
+
+TEST(RelationIndexTest, CopyAssignmentAcrossArities) {
+  Relation a(3);
+  a.Insert({1, 2, 3});
+  EXPECT_EQ(ProbedTuples(a, 2, 3), (std::vector<Tuple>{{1, 2, 3}}));
+  Relation b(1);
+  b.Insert({7});
+  a = b;
+  EXPECT_EQ(a.arity(), 1);
+  EXPECT_EQ(ProbedTuples(a, 0, 7), (std::vector<Tuple>{{7}}));
+  EXPECT_EQ(a.RowsWithValue(2, 3).size(), 0u);  // out of range now
+}
+
+TEST(RelationIndexTest, CopyConstructorStartsWithFreshIndexes) {
+  Relation a(2);
+  for (Value i = 0; i < 10; ++i) a.Insert({i % 3, i});
+  (void)a.RowsWithValue(0, 1);
+  Relation b(a);
+  // Diverge the copy; both must keep answering correctly.
+  b.Insert({1, 100});
+  EXPECT_EQ(ProbedTuples(b, 0, 1), ProbedTuples(Rebuilt(b), 0, 1));
+  EXPECT_EQ(ProbedTuples(a, 0, 1), ProbedTuples(Rebuilt(a), 0, 1));
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(RelationIndexTest, MovePreservesBuiltIndexes) {
+  Relation a(2);
+  for (Value i = 0; i < 20; ++i) a.Insert({i % 5, i});
+  std::vector<Tuple> want = ProbedTuples(a, 0, 2);
+  ASSERT_FALSE(want.empty());
+  size_t builds = a.index_rebuilds();
+  Relation moved(std::move(a));
+  EXPECT_EQ(ProbedTuples(moved, 0, 2), want);
+  EXPECT_EQ(moved.index_rebuilds(), builds);  // no rebuild after move
+  Relation assigned(7);
+  assigned = std::move(moved);
+  EXPECT_EQ(ProbedTuples(assigned, 0, 2), want);
+  assigned.Insert({2, 1000});
+  EXPECT_EQ(ProbedTuples(assigned, 0, 2),
+            ProbedTuples(Rebuilt(assigned), 0, 2));
+}
+
+TEST(RelationIndexTest, ClearResetsIndexes) {
+  Relation a(2);
+  a.Insert({1, 2});
+  (void)a.RowsWithValue(0, 1);
+  a.Clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.RowsWithValue(0, 1).size(), 0u);
+  a.Insert({1, 5});
+  EXPECT_EQ(ProbedTuples(a, 0, 1), (std::vector<Tuple>{{1, 5}}));
+}
+
+TEST(RelationIndexTest, ReserveKeepsContentsAndIndexes) {
+  Relation a(2);
+  for (Value i = 0; i < 10; ++i) a.Insert({i, i * 2});
+  (void)a.RowsWithValue(0, 4);
+  a.Reserve(10000);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(ProbedTuples(a, 0, 4), (std::vector<Tuple>{{4, 8}}));
+  for (Value i = 10; i < 500; ++i) a.Insert({i, i * 2});
+  EXPECT_EQ(a.index_rebuilds(), 1u);
+  EXPECT_EQ(ProbedTuples(a, 0, 400), ProbedTuples(Rebuilt(a), 0, 400));
+}
+
+// Concurrent const probes racing to lazily build the same (and different)
+// column indexes must be safe and agree with a serial rebuild. Run under
+// ThreadSanitizer via `ctest -L tsan` in a RECUR_SANITIZE=thread build.
+TEST(RelationIndexTest, ConcurrentLazyIndexBuildIsSafe) {
+  Relation rel(3);
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    rel.Insert({static_cast<Value>(rng() % 50),
+                static_cast<Value>(rng() % 50),
+                static_cast<Value>(rng() % 50)});
+  }
+  std::vector<size_t> counts(8, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&rel, &counts, t] {
+      size_t n = 0;
+      for (Value v = 0; v < 50; ++v) {
+        n += rel.RowsWithValue(t % 3, v).size();
+        n += rel.Contains({v, v, v}) ? 1 : 0;
+      }
+      counts[t] = n;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every thread saw the full relation through its column index.
+  Relation fresh = Rebuilt(rel);
+  for (int t = 0; t < 8; ++t) {
+    size_t want = 0;
+    for (Value v = 0; v < 50; ++v) {
+      want += fresh.RowsWithValue(t % 3, v).size();
+      want += fresh.Contains({v, v, v}) ? 1 : 0;
+    }
+    EXPECT_EQ(counts[t], want) << "thread " << t;
+  }
+  // At most one build per column despite eight racing readers.
+  EXPECT_LE(rel.index_rebuilds(), 3u);
+}
+
+}  // namespace
+}  // namespace recur::ra
