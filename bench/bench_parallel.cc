@@ -125,7 +125,7 @@ void BM_Parallel_Reach_RandomGraph50k(benchmark::State& state) {
   if (!program.ok()) std::abort();
   ra::Relation edges = gen.RandomGraph(50000, 200000);
   ra::Relation seeds(2);
-  for (const ra::Tuple& t : edges.rows()) {
+  for (ra::TupleRef t : edges.rows()) {
     if (t[0] < 32) seeds.Insert(t);
   }
   (*edb.GetOrCreate(symbols.Lookup("A"), 2))->InsertAll(edges);

@@ -98,7 +98,7 @@ std::unique_ptr<Workbench> MakeS3(int64_t n) {
   workload::Generator gen2(103);
   ra::Relation raw =
       gen2.RandomRows(3, static_cast<int>(n), 2 * static_cast<int>(n));
-  for (const ra::Tuple& t : raw.rows()) {
+  for (ra::TupleRef t : raw.rows()) {
     e->Insert({t[0], 100000 + t[1], 200000 + t[2]});
   }
   return w;

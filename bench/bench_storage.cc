@@ -1,0 +1,158 @@
+// PERF8 — the arena-backed relation storage layer in isolation: bulk
+// insert (checked and unchecked), membership probes, and a hash join,
+// at 10^4 / 10^5 / 10^6 tuples. Every iteration verifies the resulting
+// cardinality against the generator's contract (a mismatch aborts the
+// benchmark), so the numbers can never come from a silently wrong
+// dedup table.
+//
+// These microbenchmarks bound what the evaluators can gain from the
+// storage layout alone: insert throughput is the fixpoint loop's floor,
+// probe throughput bounds dedup, and Join covers the per-round rule
+// body. Compare against bench_parallel for the end-to-end effect.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "ra/operators.h"
+#include "ra/relation.h"
+#include "workload/generator.h"
+
+namespace recur::bench {
+namespace {
+
+/// Bulk load of constructively distinct rows through the checked Insert
+/// path: every row probes the dedup table and misses.
+void BM_Storage_Insert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ra::Relation r(2);
+    r.Reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      r.Insert({i, i + 1});
+    }
+    if (r.size() != static_cast<size_t>(n)) {
+      state.SkipWithError("insert count diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Storage_Insert)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// The same load through InsertUnchecked: no duplicate probe, rows still
+/// enter the dedup table. The gap to BM_Storage_Insert is the probe cost.
+void BM_Storage_InsertUnchecked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ra::Relation r(2);
+    r.Reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      r.InsertUnchecked({i, i + 1});
+    }
+    if (r.size() != static_cast<size_t>(n)) {
+      state.SkipWithError("insert count diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Storage_InsertUnchecked)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// Duplicate-heavy insert: every row is offered twice. Models the steady
+/// state of a fixpoint round, where most derived tuples already exist.
+void BM_Storage_InsertDuplicates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ra::Relation r(2);
+    r.Reserve(static_cast<size_t>(n));
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i < n; ++i) {
+        r.Insert({i, i + 1});
+      }
+    }
+    if (r.size() != static_cast<size_t>(n)) {
+      state.SkipWithError("dedup diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_Storage_InsertDuplicates)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// Membership probes, half hits and half misses, against a loaded arena.
+void BM_Storage_Probe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ra::Relation r(2);
+  r.Reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) r.InsertUnchecked({i, i + 1});
+  for (auto _ : state) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      // Even i: present row. Odd i: absent row (second column off by one).
+      if (r.Contains({i, i + 1 + (i & 1)})) ++hits;
+    }
+    if (hits != (n + 1) / 2) {
+      state.SkipWithError("probe hit count diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Storage_Probe)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// Hash join of a chain with itself: n-1 two-step paths out, built
+/// straight into the output arena. The column index on the probe side is
+/// built once (lazily) and reused across iterations.
+void BM_Storage_JoinChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  workload::Generator gen(301);
+  ra::Relation edges = gen.Chain(n);
+  for (auto _ : state) {
+    auto paths = ra::Join(edges, edges, {{1, 0}});
+    if (!paths.ok() || paths->size() != static_cast<size_t>(n - 1)) {
+      state.SkipWithError("join cardinality diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(paths);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Storage_JoinChain)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Join over a random graph: duplicate output rows exercise the dedup
+/// probe on the emit path. Cardinality is pinned by a first reference run.
+void BM_Storage_JoinRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  workload::Generator gen(302);
+  ra::Relation edges = gen.RandomGraph(n / 4, n);
+  auto reference = ra::Join(edges, edges, {{1, 0}});
+  if (!reference.ok()) {
+    state.SkipWithError("reference join failed");
+    return;
+  }
+  const size_t want = reference->size();
+  for (auto _ : state) {
+    auto paths = ra::Join(edges, edges, {{1, 0}});
+    if (!paths.ok() || paths->size() != want) {
+      state.SkipWithError("join cardinality diverged");
+      return;
+    }
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["out_tuples"] =
+      benchmark::Counter(static_cast<double>(want));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Storage_JoinRandom)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

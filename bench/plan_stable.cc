@@ -45,7 +45,7 @@ int main() {
   ra::Relation* e = *edb.GetOrCreate(symbols.Intern("E"), 3);
   workload::Generator gen2(6);
   ra::Relation raw = gen2.RandomRows(3, 20, 60);
-  for (const ra::Tuple& t : raw.rows()) {
+  for (ra::TupleRef t : raw.rows()) {
     e->Insert({t[0], 1000 + t[1], 2000 + t[2]});
   }
 

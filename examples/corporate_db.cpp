@@ -44,16 +44,16 @@ int main() {
   ra::Relation manages = gen.Tree(3, 2);
   (*edb.GetOrCreate(symbols.Intern("Manages"), 2))->InsertAll(manages);
   ra::Relation* deputy = *edb.GetOrCreate(symbols.Intern("Deputy"), 2);
-  for (const ra::Tuple& t : manages.rows()) {
+  for (ra::TupleRef t : manages.rows()) {
     deputy->Insert({t[1], t[0]});  // each report deputizes for the boss
   }
   // Exit relations: direct relationships seed each view.
   (*edb.GetOrCreate(symbols.Intern("DirectReport"), 2))
       ->InsertAll(manages);
   ra::Relation* peer_seed = *edb.GetOrCreate(symbols.Intern("Sibling"), 2);
-  for (const ra::Tuple& a : manages.rows()) {
+  for (ra::TupleRef a : manages.rows()) {
     for (int row : manages.RowsWithValue(0, a[0])) {
-      const ra::Tuple& b = manages.rows()[row];
+      ra::TupleRef b = manages.rows()[row];
       if (a[1] != b[1]) peer_seed->Insert({a[1], b[1]});
     }
   }

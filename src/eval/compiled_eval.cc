@@ -49,11 +49,13 @@ ra::Relation FoldOnce(const ra::Relation& acc,
   ra::Relation cur = acc;
   for (const FoldColumn& f : folds) {
     ra::Relation next(cur.arity());
-    for (const ra::Tuple& t : cur.rows()) {
+    next.Reserve(cur.size());
+    for (ra::TupleRef t : cur.rows()) {
       for (int row : f.step->RowsWithValue(1, t[f.column])) {
-        ra::Tuple nt = t;
-        nt[f.column] = f.step->rows()[row][0];
-        next.Insert(std::move(nt));
+        ra::Value* dst = next.StageRow();
+        std::copy(t.begin(), t.end(), dst);
+        dst[f.column] = f.step->rows()[row][0];
+        next.CommitStagedRow();
       }
     }
     cur = std::move(next);
@@ -237,7 +239,7 @@ Result<ra::Relation> StableEvaluator::Answer(
       while (!delta.empty()) {
         ra::Relation next = FoldOnce(delta, folds);
         ra::Relation fresh(acc.arity());
-        for (const ra::Tuple& t : next.rows()) {
+        for (ra::TupleRef t : next.rows()) {
           if (!acc.Contains(t)) fresh.Insert(t);
         }
         acc.InsertAll(fresh);
@@ -340,11 +342,14 @@ Result<ra::Relation> StableEvaluator::Answer(
 
   // Assemble full-arity answers: bound columns carry the query constants.
   ra::Relation out(n);
-  for (const ra::Tuple& t : acc.rows()) {
-    ra::Tuple full(n);
-    for (int i : bound) full[i] = *query.bindings[i];
-    for (size_t c = 0; c < free.size(); ++c) full[free[c]] = t[c];
-    out.Insert(std::move(full));
+  out.Reserve(acc.size());
+  for (ra::TupleRef t : acc.rows()) {
+    ra::Value* dst = out.StageRow();
+    for (int i : bound) dst[i] = *query.bindings[i];
+    for (size_t c = 0; c < free.size(); ++c) {
+      dst[free[c]] = t[static_cast<int>(c)];
+    }
+    out.CommitStagedRow();
   }
   return out;
 }

@@ -76,7 +76,7 @@ Status ExtendWithAtom(const datalog::Atom& atom, const ra::Relation& rel,
   next.rel = ra::Relation(static_cast<int>(next.vars.size()));
 
   // Candidate atom rows for one binding row.
-  auto matches = [&](const ra::Tuple& brow, const ra::Tuple& arow) {
+  auto matches = [&](ra::TupleRef brow, ra::TupleRef arow) {
     for (const ConstCheck& c : const_checks) {
       if (arow[c.atom_col] != c.value) return false;
     }
@@ -88,17 +88,20 @@ Status ExtendWithAtom(const datalog::Atom& atom, const ra::Relation& rel,
     }
     return true;
   };
-  auto emit = [&](const ra::Tuple& brow, const ra::Tuple& arow) {
-    ra::Tuple out = brow;
+  // Stages the extended binding row straight into the output arena: the
+  // old binding columns, then the newly bound values.
+  auto emit = [&](ra::TupleRef brow, ra::TupleRef arow) {
+    ra::Value* dst = next.rel.StageRow();
+    dst = std::copy(brow.begin(), brow.end(), dst);
     for (const auto& [col, var] : fresh) {
       (void)var;
-      out.push_back(arow[col]);
+      *dst++ = arow[col];
     }
     if (stats != nullptr) ++stats->tuples_considered;
-    next.rel.Insert(std::move(out));
+    next.rel.CommitStagedRow();
   };
 
-  for (const ra::Tuple& brow : bindings->rel.rows()) {
+  for (ra::TupleRef brow : bindings->rel.rows()) {
     if (!bound_checks.empty()) {
       // Probe the relation's hash index on the first bound column.
       const BoundCheck& probe = bound_checks[0];
@@ -114,7 +117,7 @@ Status ExtendWithAtom(const datalog::Atom& atom, const ra::Relation& rel,
         if (matches(brow, rel.rows()[row])) emit(brow, rel.rows()[row]);
       }
     } else {
-      for (const ra::Tuple& arow : rel.rows()) {
+      for (ra::TupleRef arow : rel.rows()) {
         if (matches(brow, arow)) emit(brow, arow);
       }
     }
@@ -298,11 +301,11 @@ Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
     }
     if (result.head_vars.empty()) continue;  // pure existence check
     ra::Relation projected(static_cast<int>(columns.size()));
-    for (const ra::Tuple& row : bindings.rel.rows()) {
-      ra::Tuple t;
-      t.reserve(columns.size());
-      for (int c : columns) t.push_back(row[c]);
-      projected.Insert(std::move(t));
+    projected.Reserve(bindings.rel.size());
+    for (ra::TupleRef row : bindings.rel.rows()) {
+      ra::Value* dst = projected.StageRow();
+      for (int c : columns) *dst++ = row[c];
+      projected.CommitStagedRow();
     }
     result.projected = std::move(projected);
     results.push_back(std::move(result));
@@ -314,11 +317,13 @@ Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
   combined.Insert(ra::Tuple{});
   for (const ComponentResult& r : results) {
     ra::Relation next(combined.arity() + r.projected.arity());
-    for (const ra::Tuple& a : combined.rows()) {
-      for (const ra::Tuple& b : r.projected.rows()) {
-        ra::Tuple t = a;
-        t.insert(t.end(), b.begin(), b.end());
-        next.Insert(std::move(t));
+    next.Reserve(combined.size() * r.projected.size());
+    for (ra::TupleRef a : combined.rows()) {
+      for (ra::TupleRef b : r.projected.rows()) {
+        ra::Value* dst = next.StageRow();
+        dst = std::copy(a.begin(), a.end(), dst);
+        std::copy(b.begin(), b.end(), dst);
+        next.CommitStagedRow();
       }
     }
     combined = std::move(next);
@@ -357,12 +362,13 @@ Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
     return Status::InvalidArgument(
         "head variable not bound by the body (rule not range restricted)");
   }
-  for (const ra::Tuple& row : combined.rows()) {
-    ra::Tuple t(rule.head().arity());
+  out.Reserve(combined.size());
+  for (ra::TupleRef row : combined.rows()) {
+    ra::Value* dst = out.StageRow();
     for (int i = 0; i < rule.head().arity(); ++i) {
-      t[i] = head_cols[i] >= 0 ? row[head_cols[i]] : head_consts[i];
+      dst[i] = head_cols[i] >= 0 ? row[head_cols[i]] : head_consts[i];
     }
-    if (out.Insert(std::move(t)) && stats != nullptr) {
+    if (out.CommitStagedRow() && stats != nullptr) {
       ++stats->tuples_produced;
     }
   }

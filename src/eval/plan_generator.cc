@@ -119,9 +119,10 @@ Result<ra::Relation> QueryPlan::Execute(const Query& query,
         conj.bindings = &bindings;
         RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                                EvaluateRule(rule, lookup, conj, stats));
-        RECUR_ASSIGN_OR_RETURN(ra::Relation filtered,
-                               query.Filter(derived));
-        out.InsertAll(filtered);
+        // Select straight into the answer arena: no intermediate relation
+        // per expansion level.
+        out.Reserve(out.size() + derived.size());
+        RECUR_RETURN_IF_ERROR(query.FilterInto(derived, &out).status());
       }
       if (stats != nullptr) {
         stats->levels = static_cast<int>(bounded_rules_.size());

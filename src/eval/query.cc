@@ -51,7 +51,7 @@ Result<ra::Relation> Query::Filter(const ra::Relation& full) const {
     return Status::InvalidArgument("query arity does not match relation");
   }
   ra::Relation out(arity());
-  for (const ra::Tuple& t : full.rows()) {
+  for (ra::TupleRef t : full.rows()) {
     bool match = true;
     for (int i = 0; i < arity(); ++i) {
       if (bindings[i].has_value() && t[i] != *bindings[i]) {
@@ -62,6 +62,25 @@ Result<ra::Relation> Query::Filter(const ra::Relation& full) const {
     if (match) out.Insert(t);
   }
   return out;
+}
+
+Result<size_t> Query::FilterInto(const ra::Relation& full,
+                                 ra::Relation* out) const {
+  if (full.arity() != arity() || out->arity() != arity()) {
+    return Status::InvalidArgument("query arity does not match relation");
+  }
+  size_t inserted = 0;
+  for (ra::TupleRef t : full.rows()) {
+    bool match = true;
+    for (int i = 0; i < arity(); ++i) {
+      if (bindings[i].has_value() && t[i] != *bindings[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match && out->Insert(t)) ++inserted;
+  }
+  return inserted;
 }
 
 }  // namespace recur::eval

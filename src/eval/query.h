@@ -38,6 +38,11 @@ struct Query {
   /// matching the bound positions (the brute-force reference semantics of
   /// a query: evaluate everything, then select).
   Result<ra::Relation> Filter(const ra::Relation& full) const;
+
+  /// Like Filter, but streams matching rows straight into `out`'s arena
+  /// instead of materializing an intermediate relation. `out` must have
+  /// the query's arity. Returns the number of rows newly inserted.
+  Result<size_t> FilterInto(const ra::Relation& full, ra::Relation* out) const;
 };
 
 }  // namespace recur::eval

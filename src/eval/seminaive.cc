@@ -61,7 +61,7 @@ Status FireExitRules(const datalog::Program& program,
     if (has_idb_atom) continue;
     RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                            EvaluateRule(rule, lookup, {}, stats));
-    for (const ra::Tuple& t : derived.rows()) {
+    for (ra::TupleRef t : derived.rows()) {
       if ((*full)[rule.head().predicate()].Insert(t)) {
         (*delta)[rule.head().predicate()].Insert(t);
       }
@@ -161,7 +161,7 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
         rr.tuples_derived += derived.size();
         ra::Relation& head_fresh = fresh[rule.head().predicate()];
         const ra::Relation& head_full = full[rule.head().predicate()];
-        for (const ra::Tuple& t : derived.rows()) {
+        for (ra::TupleRef t : derived.rows()) {
           if (head_full.Contains(t) || !head_fresh.Insert(t)) {
             ++rr.tuples_deduped;
           }
@@ -242,7 +242,7 @@ std::vector<ra::Relation> ShardDelta(const ra::Relation& delta, int key,
   for (int s = 0; s < num_shards; ++s) {
     shards.emplace_back(delta.arity());
   }
-  for (const ra::Tuple& t : delta.rows()) {
+  for (ra::TupleRef t : delta.rows()) {
     uint64_t h = key >= 0 ? MixValue(t[key]) : ra::TupleHash{}(t);
     shards[h % num_shards].Insert(t);
   }
@@ -250,17 +250,20 @@ std::vector<ra::Relation> ShardDelta(const ra::Relation& delta, int key,
 }
 
 /// A concurrent tuple set, sharded by tuple hash so writers on different
-/// buckets never contend. One per head predicate per round; the merge
-/// stage drains it into the next delta.
+/// buckets never contend. Each bucket is an arena-backed Relation, so the
+/// parallel merge path allocates nothing per tuple. One per head predicate
+/// per round; the merge stage drains it into the next delta.
 class ConcurrentDedup {
  public:
-  explicit ConcurrentDedup(int num_buckets) : buckets_(num_buckets) {}
+  ConcurrentDedup(int num_buckets, int arity) : buckets_(num_buckets) {
+    for (Bucket& b : buckets_) b.tuples = ra::Relation(arity);
+  }
 
   /// Returns true if `t` was not in the set yet.
-  bool Add(const ra::Tuple& t) {
+  bool Add(ra::TupleRef t) {
     Bucket& b = buckets_[ra::TupleHash{}(t) % buckets_.size()];
     std::lock_guard<std::mutex> lock(b.mutex);
-    return b.tuples.insert(t).second;
+    return b.tuples.Insert(t);
   }
 
   size_t size() const {
@@ -269,19 +272,20 @@ class ConcurrentDedup {
     return n;
   }
 
-  /// Moves all tuples into `out` and empties the set.
+  /// Moves all tuples into `out` and empties the set. Buckets hold
+  /// disjoint hash slices, so the unchecked bulk append applies.
   void DrainInto(ra::Relation* out) {
     out->Reserve(out->size() + size());
     for (Bucket& b : buckets_) {
-      for (const ra::Tuple& t : b.tuples) out->Insert(t);
-      b.tuples.clear();
+      for (ra::TupleRef t : b.tuples.rows()) out->InsertUnchecked(t);
+      b.tuples.Clear();
     }
   }
 
  private:
   struct Bucket {
     std::mutex mutex;
-    std::unordered_set<ra::Tuple, ra::TupleHash> tuples;
+    ra::Relation tuples{0};
   };
   std::vector<Bucket> buckets_;
 };
@@ -314,8 +318,8 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
   // Per-head-predicate concurrent dedup sets, reused across rounds.
   std::map<SymbolId, ConcurrentDedup> dedup;
   for (const auto& [pred, rel] : full) {
-    (void)rel;
-    dedup.emplace(pred, ConcurrentDedup(4 * options.num_threads));
+    dedup.emplace(pred,
+                  ConcurrentDedup(4 * options.num_threads, rel.arity()));
   }
 
   struct Task {
@@ -413,7 +417,7 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
         const ra::Relation& head_full = full.at(head);
         ConcurrentDedup& head_dedup = dedup.at(head);
         size_t deduped = 0;
-        for (const ra::Tuple& tuple : derived->rows()) {
+        for (ra::TupleRef tuple : derived->rows()) {
           if (head_full.Contains(tuple) || !head_dedup.Add(tuple)) {
             ++deduped;
           }

@@ -62,7 +62,7 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
   // Z_1 = π_z(E ⋈ B) (join on both u and v); Z_{k+1} = π_z(σ_{v∈Z_k}B · A).
   ra::ValueSet z_all;
   ra::ValueSet z_delta;
-  for (const ra::Tuple& t : e->rows()) {
+  for (ra::TupleRef t : e->rows()) {
     if (b->Contains({t[0], t[2]})) z_delta.insert(t[1]);
   }
   BumpIteration(stats);
@@ -86,7 +86,7 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
   // (σA) × (∪_k ...): Cartesian product of the two independent parts.
   for (ra::Value y : y_values) {
     for (ra::Value z : z_all) {
-      out.Insert(ra::Tuple{d, y, z});
+      out.Insert({d, y, z});
     }
   }
   return out;
@@ -114,7 +114,7 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
     BumpIteration(stats);
     for (ra::Value m : m_delta) {
       for (int erow : e->RowsWithValue(1, m)) {
-        const ra::Tuple& t = e->rows()[erow];
+        ra::TupleRef t = e->rows()[erow];
         if (b->Contains({t[0], t[2]})) {
           witness = true;
           break;
@@ -140,8 +140,8 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
 
   // If the existence check succeeds, every tuple of A answers the query.
   if (witness) {
-    for (const ra::Tuple& t : a->rows()) {
-      out.Insert(ra::Tuple{t[0], t[1], d});
+    for (ra::TupleRef t : a->rows()) {
+      out.Insert({t[0], t[1], d});
     }
   }
   return out;
@@ -224,7 +224,7 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
   for (const Pair& p : first_layer) {
     if (reach.count(p) == 0) continue;
     for (int brow : b->RowsWithValue(1, p.second)) {
-      out.Insert(ra::Tuple{d, b->rows()[brow][0]});
+      out.Insert({d, b->rows()[brow][0]});
     }
   }
   return out;
@@ -252,7 +252,7 @@ Result<ra::Relation> S12Plan(const ra::Database& edb,
     ra::Value u1 = a->rows()[arow][1];
     for (int crow : c->RowsWithValue(0, u1)) {
       ra::Value v1 = c->rows()[crow][1];
-      level.Insert(ra::Tuple{v1, u1, v1});
+      level.Insert({v1, u1, v1});
     }
   }
 
@@ -260,38 +260,38 @@ Result<ra::Relation> S12Plan(const ra::Database& edb,
     BumpIteration(stats);
     // E join: (v1, w_k) for E(u_k, v_k, w_k).
     ra::Relation vw(2);
-    for (const ra::Tuple& t : level.rows()) {
+    for (ra::TupleRef t : level.rows()) {
       for (int erow : e->RowsWithValue(0, t[1])) {
-        const ra::Tuple& et = e->rows()[erow];
-        if (et[1] == t[2]) vw.Insert(ra::Tuple{t[0], et[2]});
+        ra::TupleRef et = e->rows()[erow];
+        if (et[1] == t[2]) vw.Insert({t[0], et[2]});
       }
     }
     // D^k: fold w back to z through k applications of D (level-wise, as
     // the paper's plan is written).
     for (int step = 0; step < k && !vw.empty(); ++step) {
       ra::Relation next(2);
-      for (const ra::Tuple& t : vw.rows()) {
+      for (ra::TupleRef t : vw.rows()) {
         for (int drow : dd->RowsWithValue(0, t[1])) {
-          next.Insert(ra::Tuple{t[0], dd->rows()[drow][1]});
+          next.Insert({t[0], dd->rows()[drow][1]});
         }
       }
       vw = std::move(next);
     }
     // B(y, v1) gives the answers.
-    for (const ra::Tuple& t : vw.rows()) {
+    for (ra::TupleRef t : vw.rows()) {
       for (int brow : b->RowsWithValue(1, t[0])) {
-        out.Insert(ra::Tuple{d, b->rows()[brow][0], t[1]});
+        out.Insert({d, b->rows()[brow][0], t[1]});
       }
     }
     // Advance the dependent pair walk.
     ra::Relation next_level(3);
-    for (const ra::Tuple& t : level.rows()) {
+    for (ra::TupleRef t : level.rows()) {
       for (int arow : a->RowsWithValue(0, t[1])) {
         ra::Value u2 = a->rows()[arow][1];
         for (int brow : b->RowsWithValue(0, t[2])) {
           ra::Value v2 = b->rows()[brow][1];
           if (c->Contains({u2, v2})) {
-            next_level.Insert(ra::Tuple{t[0], u2, v2});
+            next_level.Insert({t[0], u2, v2});
           }
         }
       }

@@ -57,7 +57,7 @@ size_t Database::TotalTuples() const {
 size_t Database::ActiveDomainSize() const {
   ValueSet domain;
   for (const auto& [pred, rel] : relations_) {
-    for (const Tuple& t : rel.rows()) {
+    for (TupleRef t : rel.rows()) {
       for (Value v : t) domain.insert(v);
     }
   }

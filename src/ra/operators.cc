@@ -1,5 +1,7 @@
 #include "ra/operators.h"
 
+#include <algorithm>
+
 namespace recur::ra {
 
 namespace {
@@ -26,15 +28,16 @@ Status CheckJoinColumns(const Relation& left, const Relation& right,
   return Status::OK();
 }
 
-/// Output tuple for a join match: all left columns, then right columns that
-/// are not join columns.
-Tuple JoinOutput(const Tuple& l, const Tuple& r,
-                 const std::vector<bool>& right_is_join) {
-  Tuple out = l;
-  for (size_t i = 0; i < r.size(); ++i) {
-    if (!right_is_join[i]) out.push_back(r[i]);
+/// Stages a join match into `out`'s arena: all left columns, then right
+/// columns that are not join columns. No temporary Tuple is built.
+void EmitJoinOutput(Relation* out, TupleRef l, TupleRef r,
+                    const std::vector<bool>& right_is_join) {
+  Value* dst = out->StageRow();
+  dst = std::copy(l.begin(), l.end(), dst);
+  for (int i = 0; i < r.arity(); ++i) {
+    if (!right_is_join[i]) *dst++ = r[i];
   }
-  return out;
+  out->CommitStagedRow();
 }
 
 std::vector<bool> RightJoinMask(int right_arity,
@@ -56,7 +59,7 @@ int JoinOutputArity(const Relation& left, const Relation& right,
   return arity;
 }
 
-bool RowsMatch(const Tuple& l, const Tuple& r,
+bool RowsMatch(TupleRef l, TupleRef r,
                const std::vector<std::pair<int, int>>& on) {
   for (const auto& [lc, rc] : on) {
     if (l[lc] != r[rc]) return false;
@@ -87,7 +90,7 @@ Result<Relation> SelectIn(const Relation& r, int column,
       }
     }
   } else {
-    for (const Tuple& t : r.rows()) {
+    for (TupleRef t : r.rows()) {
       if (values.count(t[column]) > 0) out.Insert(t);
     }
   }
@@ -99,11 +102,11 @@ Result<Relation> Project(const Relation& r, const std::vector<int>& columns) {
     RECUR_RETURN_IF_ERROR(CheckColumn(r, c, "project"));
   }
   Relation out(static_cast<int>(columns.size()));
-  for (const Tuple& t : r.rows()) {
-    Tuple projected;
-    projected.reserve(columns.size());
-    for (int c : columns) projected.push_back(t[c]);
-    out.Insert(std::move(projected));
+  out.Reserve(r.size());
+  for (TupleRef t : r.rows()) {
+    Value* dst = out.StageRow();
+    for (int c : columns) *dst++ = t[c];
+    out.CommitStagedRow();
   }
   return out;
 }
@@ -115,11 +118,11 @@ Result<Relation> Join(const Relation& left, const Relation& right,
   Relation out(JoinOutputArity(left, right, right_is_join));
   const auto& [first_lc, first_rc] = on[0];
   // Hash-probe the right side on the first join column.
-  for (const Tuple& l : left.rows()) {
+  for (TupleRef l : left.rows()) {
     for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
-      const Tuple& r = right.rows()[row];
+      TupleRef r = right.rows()[row];
       if (RowsMatch(l, r, on)) {
-        out.Insert(JoinOutput(l, r, right_is_join));
+        EmitJoinOutput(&out, l, r, right_is_join);
       }
     }
   }
@@ -131,10 +134,10 @@ Result<Relation> JoinNestedLoop(const Relation& left, const Relation& right,
   RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
   std::vector<bool> right_is_join = RightJoinMask(right.arity(), on);
   Relation out(JoinOutputArity(left, right, right_is_join));
-  for (const Tuple& l : left.rows()) {
-    for (const Tuple& r : right.rows()) {
+  for (TupleRef l : left.rows()) {
+    for (TupleRef r : right.rows()) {
       if (RowsMatch(l, r, on)) {
-        out.Insert(JoinOutput(l, r, right_is_join));
+        EmitJoinOutput(&out, l, r, right_is_join);
       }
     }
   }
@@ -146,7 +149,7 @@ Result<Relation> SemiJoin(const Relation& left, const Relation& right,
   RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
   Relation out(left.arity());
   const auto& [first_lc, first_rc] = on[0];
-  for (const Tuple& l : left.rows()) {
+  for (TupleRef l : left.rows()) {
     for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
       if (RowsMatch(l, right.rows()[row], on)) {
         out.Insert(l);
@@ -172,7 +175,7 @@ Result<Relation> Difference(const Relation& a, const Relation& b) {
         "difference of relations of different arity");
   }
   Relation out(a.arity());
-  for (const Tuple& t : a.rows()) {
+  for (TupleRef t : a.rows()) {
     if (!b.Contains(t)) out.Insert(t);
   }
   return out;
@@ -180,11 +183,13 @@ Result<Relation> Difference(const Relation& a, const Relation& b) {
 
 Relation Product(const Relation& a, const Relation& b) {
   Relation out(a.arity() + b.arity());
-  for (const Tuple& ta : a.rows()) {
-    for (const Tuple& tb : b.rows()) {
-      Tuple t = ta;
-      t.insert(t.end(), tb.begin(), tb.end());
-      out.Insert(std::move(t));
+  out.Reserve(a.size() * b.size());
+  for (TupleRef ta : a.rows()) {
+    for (TupleRef tb : b.rows()) {
+      Value* dst = out.StageRow();
+      dst = std::copy(ta.begin(), ta.end(), dst);
+      std::copy(tb.begin(), tb.end(), dst);
+      out.CommitStagedRow();
     }
   }
   return out;
@@ -192,7 +197,8 @@ Relation Product(const Relation& a, const Relation& b) {
 
 Relation FromValues(const ValueSet& values) {
   Relation out(1);
-  for (Value v : values) out.Insert(Tuple{v});
+  out.Reserve(values.size());
+  for (Value v : values) out.InsertUnchecked(TupleRef(&v, 1));
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "ra/relation.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace recur::ra {
 
@@ -8,24 +9,38 @@ namespace {
 const std::vector<int> kEmptyRowList;
 }  // namespace
 
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      arena_(other.arena_),
+      slots_(other.slots_) {
+  // The staged (uncommitted) row, if any, is not part of the relation.
+  arena_.resize(num_rows_ * arity_);
+  indexes_.resize(arity_);
+}
+
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   // Drop the indexes before touching the rows: with incremental
   // maintenance a built index that survived past this point would keep
-  // pointing at the *old* rows while rows_ already holds the new ones.
+  // pointing at the *old* rows while the arena already holds the new ones.
   indexes_.clear();
   arity_ = other.arity_;
   indexes_.resize(arity_);
-  rows_ = other.rows_;
-  row_set_ = other.row_set_;
+  num_rows_ = other.num_rows_;
+  arena_ = other.arena_;
+  arena_.resize(num_rows_ * arity_);
+  slots_ = other.slots_;
   return *this;
 }
 
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
-      rows_(std::move(other.rows_)),
-      row_set_(std::move(other.row_set_)),
+      num_rows_(other.num_rows_),
+      arena_(std::move(other.arena_)),
+      slots_(std::move(other.slots_)),
       indexes_(std::move(other.indexes_)) {
+  other.num_rows_ = 0;
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -34,9 +49,11 @@ Relation::Relation(Relation&& other) noexcept
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   arity_ = other.arity_;
-  rows_ = std::move(other.rows_);
-  row_set_ = std::move(other.row_set_);
+  num_rows_ = other.num_rows_;
+  arena_ = std::move(other.arena_);
+  slots_ = std::move(other.slots_);
   indexes_ = std::move(other.indexes_);
+  other.num_rows_ = 0;
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -44,38 +61,119 @@ Relation& Relation::operator=(Relation&& other) noexcept {
 }
 
 void Relation::Reserve(size_t n) {
-  rows_.reserve(n);
-  row_set_.reserve(n);
+  arena_.reserve(n * arity_);
+  if (n > 0) GrowSlots(n);
 }
 
-bool Relation::Insert(const Tuple& t) {
-  Tuple copy = t;
-  return Insert(std::move(copy));
+void Relation::GrowSlots(size_t min_rows) {
+  // Power-of-two table kept at <= 75% load: want * 3 >= min_rows * 4.
+  size_t want = 16;
+  while (want * 3 < min_rows * 4) want <<= 1;
+  if (want <= slots_.size()) return;
+  slots_.assign(want, kEmptySlot);
+  const size_t mask = want - 1;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    size_t s = HashRow(row) & mask;
+    while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+    slots_[s] = static_cast<uint32_t>(row);
+  }
 }
 
-bool Relation::Insert(Tuple&& t) {
-  if (static_cast<int>(t.size()) != arity_) return false;
-  auto [it, inserted] = row_set_.insert(std::move(t));
-  if (!inserted) return false;
-  rows_.push_back(*it);
-  AppendToIndexes(static_cast<int>(rows_.size()) - 1);
+Value* Relation::StageRow() {
+  arena_.resize((num_rows_ + 1) * arity_);
+  return arena_.data() + num_rows_ * arity_;
+}
+
+bool Relation::CommitStagedRow() {
+  if (slots_.empty() || (num_rows_ + 1) * 4 > slots_.size() * 3) {
+    GrowSlots(num_rows_ + 1);
+  }
+  const TupleRef staged = RowAt(num_rows_);
+  const uint64_t h = HashValueSpan(staged.data(), staged.size());
+  const size_t mask = slots_.size() - 1;
+  for (size_t s = h & mask;; s = (s + 1) & mask) {
+    const uint32_t row = slots_[s];
+    if (row == kEmptySlot) {
+      slots_[s] = static_cast<uint32_t>(num_rows_);
+      AppendToIndexes(num_rows_);
+      ++num_rows_;
+      return true;
+    }
+    if (RowAt(row) == staged) {
+      arena_.resize(num_rows_ * arity_);  // discard the duplicate
+      return false;
+    }
+  }
+}
+
+void Relation::CommitStagedRowUnchecked() {
+  if (slots_.empty() || (num_rows_ + 1) * 4 > slots_.size() * 3) {
+    GrowSlots(num_rows_ + 1);
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t s = HashRow(num_rows_) & mask;
+  while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+  slots_[s] = static_cast<uint32_t>(num_rows_);
+  AppendToIndexes(num_rows_);
+  ++num_rows_;
+}
+
+void Relation::CopyIntoStaging(TupleRef t) {
+  const Value* src = t.data();
+  // StageRow may reallocate the arena; if `t` views one of our own rows,
+  // re-derive the pointer afterwards instead of reading freed memory.
+  size_t self_offset = static_cast<size_t>(-1);
+  if (!arena_.empty() && src >= arena_.data() &&
+      src < arena_.data() + arena_.size()) {
+    self_offset = static_cast<size_t>(src - arena_.data());
+  }
+  Value* dst = StageRow();
+  if (self_offset != static_cast<size_t>(-1)) {
+    src = arena_.data() + self_offset;
+  }
+  std::copy(src, src + arity_, dst);
+}
+
+bool Relation::Insert(TupleRef t) {
+  if (t.arity() != arity_) return false;
+  CopyIntoStaging(t);
+  return CommitStagedRow();
+}
+
+bool Relation::InsertUnchecked(TupleRef t) {
+  if (t.arity() != arity_) return false;
+  CopyIntoStaging(t);
+  CommitStagedRowUnchecked();
   return true;
 }
 
 size_t Relation::InsertAll(const Relation& other) {
+  if (&other == this) return 0;  // every row is already present
+  if (other.arity_ != arity_) return 0;
   size_t added = 0;
-  Reserve(rows_.size() + other.rows_.size());
-  for (const Tuple& t : other.rows_) {
+  Reserve(num_rows_ + other.num_rows_);
+  for (TupleRef t : other.rows()) {
     if (Insert(t)) ++added;
   }
   return added;
 }
 
-void Relation::AppendToIndexes(int row) {
+bool Relation::Contains(TupleRef t) const {
+  if (t.arity() != arity_ || slots_.empty()) return false;
+  const uint64_t h = HashValueSpan(t.data(), t.size());
+  const size_t mask = slots_.size() - 1;
+  for (size_t s = h & mask;; s = (s + 1) & mask) {
+    const uint32_t row = slots_[s];
+    if (row == kEmptySlot) return false;
+    if (RowAt(row) == t) return true;
+  }
+}
+
+void Relation::AppendToIndexes(size_t row) {
   for (int c = 0; c < arity_; ++c) {
     ColumnIndex& index = indexes_[c];
     if (!index.built.load(std::memory_order_relaxed)) continue;
-    index.map[rows_[row][c]].push_back(row);
+    index.map[arena_[row * arity_ + c]].push_back(static_cast<int>(row));
   }
 }
 
@@ -86,8 +184,9 @@ void Relation::EnsureIndex(int column) const {
   ColumnIndex& mutable_index = indexes_[column];
   if (mutable_index.built.load(std::memory_order_relaxed)) return;
   mutable_index.map.clear();
-  for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
-    mutable_index.map[rows_[i][column]].push_back(i);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    mutable_index.map[arena_[i * arity_ + column]].push_back(
+        static_cast<int>(i));
   }
   index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   mutable_index.built.store(true, std::memory_order_release);
@@ -103,13 +202,16 @@ const std::vector<int>& Relation::RowsWithValue(int column, Value v) const {
 ValueSet Relation::ColumnValues(int column) const {
   ValueSet out;
   if (column < 0 || column >= arity_) return out;
-  for (const Tuple& t : rows_) out.insert(t[column]);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    out.insert(arena_[i * arity_ + column]);
+  }
   return out;
 }
 
 void Relation::Clear() {
-  rows_.clear();
-  row_set_.clear();
+  num_rows_ = 0;
+  arena_.clear();
+  slots_.clear();
   for (ColumnIndex& index : indexes_) {
     index.map.clear();
     index.built.store(false, std::memory_order_relaxed);
@@ -117,15 +219,18 @@ void Relation::Clear() {
 }
 
 std::string Relation::ToString() const {
-  std::vector<Tuple> sorted = rows_;
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<size_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [this](size_t a, size_t b) { return RowAt(a) < RowAt(b); });
   std::string out = "{";
-  for (size_t i = 0; i < sorted.size(); ++i) {
+  for (size_t i = 0; i < order.size(); ++i) {
     if (i > 0) out += ", ";
     out += "(";
-    for (size_t j = 0; j < sorted[i].size(); ++j) {
+    TupleRef row = RowAt(order[i]);
+    for (int j = 0; j < row.arity(); ++j) {
       if (j > 0) out += ",";
-      out += std::to_string(sorted[i][j]);
+      out += std::to_string(row[j]);
     }
     out += ")";
   }

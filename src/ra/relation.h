@@ -1,8 +1,12 @@
 #ifndef RECUR_RA_RELATION_H_
 #define RECUR_RA_RELATION_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -19,19 +23,135 @@ namespace recur::ra {
 /// interprets values beyond equality.
 using Value = int64_t;
 
-/// A row: fixed-arity vector of values.
+/// An owned row: fixed-arity vector of values. The materialized
+/// compatibility type — hot paths pass TupleRef views instead.
 using Tuple = std::vector<Value>;
 
-struct TupleHash {
-  size_t operator()(const Tuple& t) const {
-    // FNV-1a over the 64-bit values.
-    uint64_t h = 1469598103934665603ull;
-    for (Value v : t) {
-      h ^= static_cast<uint64_t>(v);
+/// FNV-1a over the bytes of each 64-bit value. Mixing byte-wise matters:
+/// XOR-ing whole words into the state folds sequential ints (the dominant
+/// workload shape) into clustered buckets. TupleRef, Tuple, and the
+/// relation's dedup set all hash through this one routine.
+inline uint64_t HashValueSpan(const Value* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = static_cast<uint64_t>(data[i]);
+    for (int b = 0; b < 64; b += 8) {
+      h ^= (v >> b) & 0xffu;
       h *= 1099511628211ull;
     }
-    return static_cast<size_t>(h);
   }
+  return h;
+}
+
+/// A non-owning view of one row: pointer + arity. Cheap to copy, hashable,
+/// and ordered; converts to/from Tuple so legacy call sites keep working.
+/// A TupleRef into a Relation is invalidated by any mutation of that
+/// relation (inserts may reallocate the arena).
+class TupleRef {
+ public:
+  constexpr TupleRef() = default;
+  constexpr TupleRef(const Value* data, int arity)
+      : data_(data), arity_(arity) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): view of an owned tuple.
+  TupleRef(const Tuple& t)
+      : data_(t.data()), arity_(static_cast<int>(t.size())) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return static_cast<size_t>(arity_); }
+  bool empty() const { return arity_ == 0; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+  Value operator[](int i) const { return data_[i]; }
+
+  Tuple ToTuple() const { return Tuple(data_, data_ + arity_); }
+  // NOLINTNEXTLINE(google-explicit-constructor): legacy materialization.
+  operator Tuple() const { return ToTuple(); }
+
+  friend bool operator==(TupleRef a, TupleRef b) {
+    return a.arity_ == b.arity_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(TupleRef a, TupleRef b) { return !(a == b); }
+  friend bool operator<(TupleRef a, TupleRef b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  int arity_ = 0;
+};
+
+/// Transparent hasher: accepts TupleRef directly and Tuple through the
+/// implicit view conversion, so one functor serves both paths.
+struct TupleHash {
+  using is_transparent = void;
+  size_t operator()(TupleRef t) const {
+    return static_cast<size_t>(HashValueSpan(t.data(), t.size()));
+  }
+};
+
+/// A strided view over a relation's row arena. Iteration and indexing
+/// yield TupleRef values.
+///
+/// Invalidation contract: the view (and every TupleRef obtained from it)
+/// is invalidated by any mutation of the owning Relation — Insert may
+/// reallocate the arena. Re-acquire via rows() after mutating; never
+/// insert into a relation while iterating its own rows() view.
+class RowsView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TupleRef;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TupleRef*;
+    using reference = TupleRef;
+
+    iterator() = default;
+    iterator(const Value* data, int arity, size_t index)
+        : data_(data), arity_(arity), index_(index) {}
+    TupleRef operator*() const {
+      return TupleRef(data_ + index_ * arity_, arity_);
+    }
+    iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator out = *this;
+      ++index_;
+      return out;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    const Value* data_ = nullptr;
+    int arity_ = 0;
+    size_t index_ = 0;
+  };
+
+  RowsView() = default;
+  RowsView(const Value* data, int arity, size_t count)
+      : data_(data), arity_(arity), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  TupleRef operator[](size_t i) const {
+    return TupleRef(data_ + i * arity_, arity_);
+  }
+  iterator begin() const { return iterator(data_, arity_, 0); }
+  iterator end() const { return iterator(data_, arity_, count_); }
+
+ private:
+  const Value* data_ = nullptr;
+  int arity_ = 0;
+  size_t count_ = 0;
 };
 
 /// A set of values (used for frontier sets in compiled evaluation).
@@ -40,48 +160,81 @@ using ValueSet = std::unordered_set<Value>;
 /// An in-memory relation: a deduplicated bag of fixed-arity tuples with
 /// lazily built per-column hash indexes.
 ///
-/// Index maintenance is incremental: once a column index has been built,
-/// inserts append the new row to it instead of invalidating it, so fixpoint
-/// loops that grow a relation round by round do not re-hash the whole
-/// relation on every probe. Copies drop the indexes.
+/// Storage layout: all rows live in one arity-strided Value arena (row i
+/// occupies arena[i*arity, (i+1)*arity)), so a fixpoint loop appends
+/// values contiguously instead of heap-allocating a vector per tuple.
+/// Deduplication is an open-addressed table of row ids probed through the
+/// arena — inserts allocate nothing beyond amortized arena/table growth.
 ///
-/// Thread-safety contract: any number of threads may call const members
-/// (Contains / RowsWithValue / rows / ...) concurrently — lazy index
-/// construction is internally synchronized. Mutations (Insert / Clear /
-/// assignment) require exclusive access, as with standard containers.
-/// References returned by RowsWithValue are invalidated by mutation.
+/// Index maintenance is incremental: once a column index has been built,
+/// inserts append the new row id to it instead of invalidating it, so
+/// fixpoint loops that grow a relation round by round do not re-hash the
+/// whole relation on every probe. Copies drop the indexes.
+///
+/// Thread-safety contract (carried over from the row-of-vectors layout):
+/// any number of threads may call const members (Contains / RowsWithValue
+/// / rows / ...) concurrently — lazy index construction is internally
+/// synchronized. Mutations (Insert / Clear / assignment) require exclusive
+/// access, as with standard containers. Views and references returned by
+/// rows() and RowsWithValue are invalidated by mutation.
 class Relation {
  public:
   Relation() : arity_(0) {}
   explicit Relation(int arity) : arity_(arity) { indexes_.resize(arity_); }
 
-  Relation(const Relation& other)
-      : arity_(other.arity_), rows_(other.rows_), row_set_(other.row_set_) {
-    indexes_.resize(arity_);
-  }
+  Relation(const Relation& other);
   Relation& operator=(const Relation& other);
   Relation(Relation&& other) noexcept;
   Relation& operator=(Relation&& other) noexcept;
 
   int arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  /// Pre-sizes the row store and dedup set for about `n` rows, cutting
-  /// rehash churn in insert-heavy loops. A hint only; never shrinks.
+  /// Strided view of all rows; see RowsView for the invalidation contract.
+  RowsView rows() const {
+    return RowsView(arena_.data(), arity_, num_rows_);
+  }
+
+  /// Pre-sizes the arena and dedup table for about `n` rows, cutting
+  /// reallocation churn in insert-heavy loops. A hint only; never shrinks.
   void Reserve(size_t n);
 
-  /// Inserts a tuple; returns true if it was new. Tuples of wrong arity are
-  /// rejected with false (and never stored).
-  bool Insert(const Tuple& t);
-  bool Insert(Tuple&& t);
+  /// Inserts a row; returns true if it was new. Rows of wrong arity are
+  /// rejected with false (and never stored). Safe to pass a TupleRef into
+  /// this relation's own arena.
+  bool Insert(TupleRef t);
+  bool Insert(const Tuple& t) { return Insert(TupleRef(t)); }
+  bool Insert(std::initializer_list<Value> values) {
+    return Insert(TupleRef(values.begin(), static_cast<int>(values.size())));
+  }
 
-  /// Inserts every tuple of `other` (arities must match; mismatched rows
-  /// are skipped). Returns the number of new tuples.
+  /// Bulk-append without the duplicate probe: the caller guarantees `t` is
+  /// not already present (generator loads of constructively distinct rows,
+  /// merges of pre-deduplicated sets). The row still enters the dedup
+  /// table so later Insert/Contains stay correct. Wrong arity → false.
+  bool InsertUnchecked(TupleRef t);
+  bool InsertUnchecked(std::initializer_list<Value> values) {
+    return InsertUnchecked(
+        TupleRef(values.begin(), static_cast<int>(values.size())));
+  }
+
+  /// Zero-copy emit path: write exactly arity() values into the returned
+  /// staging slot, then call CommitStagedRow() to dedup-and-keep (true) or
+  /// discard (false). The slot is only valid until the next mutation; an
+  /// abandoned staged row is harmlessly reused by the next StageRow().
+  Value* StageRow();
+  bool CommitStagedRow();
+
+  /// Inserts every tuple of `other` (arities must match; mismatched
+  /// relations are skipped). Returns the number of new tuples.
   size_t InsertAll(const Relation& other);
 
-  bool Contains(const Tuple& t) const { return row_set_.count(t) > 0; }
+  bool Contains(TupleRef t) const;
+  bool Contains(std::initializer_list<Value> values) const {
+    return Contains(
+        TupleRef(values.begin(), static_cast<int>(values.size())));
+  }
 
   /// Row indexes whose `column` equals `v` (hash index, built lazily).
   const std::vector<int>& RowsWithValue(int column, Value v) const;
@@ -122,13 +275,34 @@ class Relation {
     }
   };
 
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  TupleRef RowAt(size_t row) const {
+    return TupleRef(arena_.data() + row * arity_, arity_);
+  }
+  uint64_t HashRow(size_t row) const {
+    return HashValueSpan(arena_.data() + row * arity_, arity_);
+  }
+  /// Copies `t` into the staging slot, handling aliasing with our arena.
+  void CopyIntoStaging(TupleRef t);
+  /// Places the staged row into the dedup table without an equality probe.
+  void CommitStagedRowUnchecked();
+  /// Rebuilds the dedup table to hold `min_rows` rows under max load.
+  void GrowSlots(size_t min_rows);
+
   void EnsureIndex(int column) const;
-  /// Appends row `row` (already in rows_) to every built column index.
-  void AppendToIndexes(int row);
+  /// Appends row `row` (already in the arena) to every built column index.
+  void AppendToIndexes(size_t row);
 
   int arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> row_set_;
+  size_t num_rows_ = 0;
+  /// Row i's values at [i*arity_, (i+1)*arity_); may briefly hold one
+  /// staged (uncommitted) row past num_rows_*arity_.
+  std::vector<Value> arena_;
+  /// Open-addressed (linear probing, power-of-two) dedup table of row ids;
+  /// kEmptySlot marks a free slot. Row-id entries are arena-relative, so
+  /// copies of the relation copy the table verbatim.
+  std::vector<uint32_t> slots_;
   // Sized to arity_ at construction so concurrent lazy builds never resize
   // the vector itself; mutable because building an index does not change
   // the logical relation.

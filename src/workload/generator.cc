@@ -4,8 +4,10 @@ namespace recur::workload {
 
 ra::Relation Generator::Chain(int n, ra::Value base) {
   ra::Relation out(2);
+  // Constructively distinct rows: bulk-append without the duplicate probe.
+  out.Reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    out.Insert(ra::Tuple{base + i, base + i + 1});
+    out.InsertUnchecked({base + i, base + i + 1});
   }
   return out;
 }
@@ -20,7 +22,8 @@ ra::Relation Generator::Tree(int depth, int fanout, ra::Value base) {
     for (int64_t i = 0; i < level_size; ++i) {
       int64_t parent = level_start + i;
       for (int c = 1; c <= fanout; ++c) {
-        out.Insert(ra::Tuple{base + parent,
+        // Heap layout assigns every child a unique id: no dup probe needed.
+        out.InsertUnchecked({base + parent,
                              base + parent * fanout + c});
       }
     }
@@ -40,7 +43,7 @@ ra::Relation Generator::LayeredDag(int layers, int width, int out_degree,
       for (int d = 0; d < out_degree; ++d) {
         ra::Value to =
             base + static_cast<int64_t>(layer + 1) * width + pick(rng_);
-        out.Insert(ra::Tuple{from, to});
+        out.Insert({from, to});
       }
     }
   }
@@ -56,7 +59,7 @@ ra::Relation Generator::RandomGraph(int n, int m, ra::Value base) {
     int a = pick(rng_);
     int b = pick(rng_);
     if (a == b) continue;
-    out.Insert(ra::Tuple{base + a, base + b});
+    out.Insert({base + a, base + b});
   }
   return out;
 }
@@ -66,10 +69,12 @@ ra::Relation Generator::Grid(int w, int h, ra::Value base) {
   auto id = [&](int x, int y) {
     return base + static_cast<int64_t>(y) * w + x;
   };
+  // Right and down edges are distinct by construction.
+  out.Reserve(static_cast<size_t>(w) * h * 2);
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
-      if (x + 1 < w) out.Insert(ra::Tuple{id(x, y), id(x + 1, y)});
-      if (y + 1 < h) out.Insert(ra::Tuple{id(x, y), id(x, y + 1)});
+      if (x + 1 < w) out.InsertUnchecked({id(x, y), id(x + 1, y)});
+      if (y + 1 < h) out.InsertUnchecked({id(x, y), id(x, y + 1)});
     }
   }
   return out;
@@ -83,7 +88,7 @@ ra::Relation Generator::RandomPairs(int an, int bn, int m, ra::Value abase,
   int attempts = 0;
   while (static_cast<int>(out.size()) < m && attempts < 20 * m + 100) {
     ++attempts;
-    out.Insert(ra::Tuple{abase + pa(rng_), bbase + pb(rng_)});
+    out.Insert({abase + pa(rng_), bbase + pb(rng_)});
   }
   return out;
 }
@@ -94,9 +99,9 @@ ra::Relation Generator::RandomRows(int arity, int n, int m, ra::Value base) {
   int attempts = 0;
   while (static_cast<int>(out.size()) < m && attempts < 20 * m + 100) {
     ++attempts;
-    ra::Tuple t(arity);
-    for (int i = 0; i < arity; ++i) t[i] = base + pick(rng_);
-    out.Insert(std::move(t));
+    ra::Value* dst = out.StageRow();
+    for (int i = 0; i < arity; ++i) dst[i] = base + pick(rng_);
+    out.CommitStagedRow();
   }
   return out;
 }

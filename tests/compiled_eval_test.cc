@@ -112,7 +112,7 @@ TEST_F(CompiledEvalTest, S1aFullyBoundAndFullyFree) {
 
   // Fully bound: pick one known answer and one non-answer.
   ASSERT_FALSE(a1->empty());
-  ra::Tuple yes = a1->rows()[0];
+  ra::Tuple yes = a1->rows()[0].ToTuple();
   Query qyes = MakeQuery("P", {yes[0], yes[1]});
   auto a2 = ev->Answer(qyes, edb_);
   ASSERT_TRUE(a2.ok());
@@ -262,7 +262,7 @@ TEST_F(CompiledEvalTest, S3ThreePositionQuery) {
   ra::Relation* e = edb_.FindMutable(symbols_.Lookup("E"));
   workload::Generator gen2(28);
   ra::Relation extra = gen2.RandomRows(3, 12, 40, 0);
-  for (const ra::Tuple& t : extra.rows()) {
+  for (ra::TupleRef t : extra.rows()) {
     e->Insert({t[0], 1000 + t[1], 2000 + t[2]});
   }
   datalog::LinearRecursiveRule f = MustFormula(

@@ -20,7 +20,7 @@ namespace {
 std::vector<Tuple> ProbedTuples(const Relation& rel, int column, Value v) {
   std::vector<Tuple> out;
   for (int row : rel.RowsWithValue(column, v)) {
-    out.push_back(rel.rows()[row]);
+    out.push_back(rel.rows()[row].ToTuple());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -30,7 +30,7 @@ std::vector<Tuple> ProbedTuples(const Relation& rel, int column, Value v) {
 /// its first probe builds from scratch.
 Relation Rebuilt(const Relation& rel) {
   Relation fresh(rel.arity());
-  for (const Tuple& t : rel.rows()) fresh.Insert(t);
+  for (TupleRef t : rel.rows()) fresh.Insert(t);
   return fresh;
 }
 

@@ -1,0 +1,204 @@
+// Edge-case coverage for the arena-backed relation layout and the ra
+// operators on top of it: arity-0 relations, empty-frontier Step, self
+// joins, the rows() view invalidation contract (re-acquire after
+// mutation, aliasing inserts), and the staged-row / unchecked insert
+// surface used by bulk loaders.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ra/operators.h"
+#include "ra/relation.h"
+
+namespace recur::ra {
+namespace {
+
+TEST(StorageTest, ArityZeroRelationHoldsAtMostOneRow) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.Contains(Tuple{}));
+
+  // The empty tuple is the only possible row; inserting it twice dedups.
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple{}));
+
+  // Iteration yields exactly one empty TupleRef.
+  size_t count = 0;
+  for (TupleRef t : r.rows()) {
+    EXPECT_EQ(t.arity(), 0);
+    EXPECT_TRUE(t.empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+
+  // Copies carry the zero-arity row along.
+  Relation copy = r;
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_TRUE(copy.Contains(Tuple{}));
+}
+
+TEST(StorageTest, ArityZeroStagedRowCommits) {
+  Relation r(0);
+  r.StageRow();  // nothing to write: the row has no columns
+  EXPECT_TRUE(r.CommitStagedRow());
+  r.StageRow();
+  EXPECT_FALSE(r.CommitStagedRow());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(StorageTest, EmptyFrontierStepIsEmpty) {
+  Relation edges(2);
+  edges.Insert({1, 2});
+  edges.Insert({2, 3});
+  auto next = Step(edges, 0, 1, ValueSet{});
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->empty());
+
+  // A frontier that misses every source also steps to nothing.
+  auto miss = Step(edges, 0, 1, ValueSet{99});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST(StorageTest, StepOverEmptyRelation) {
+  Relation edges(2);
+  auto next = Step(edges, 0, 1, ValueSet{1, 2, 3});
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->empty());
+}
+
+TEST(StorageTest, SelfJoinComposesEdges) {
+  Relation edges(2);
+  edges.Insert({1, 2});
+  edges.Insert({2, 3});
+  edges.Insert({3, 4});
+  // edges ⋈ edges on (to, from): two-step paths.
+  auto paths = Join(edges, edges, {{1, 0}});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->ToString(), "{(1,2,3), (2,3,4)}");
+
+  // Nested-loop variant must agree on the self join.
+  auto nl = JoinNestedLoop(edges, edges, {{1, 0}});
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(nl->ToString(), paths->ToString());
+}
+
+TEST(StorageTest, SelfJoinOnBothColumnsIsIdentityFilter) {
+  Relation r(2);
+  r.Insert({1, 1});
+  r.Insert({1, 2});
+  auto j = Join(r, r, {{0, 0}, {1, 1}});
+  ASSERT_TRUE(j.ok());
+  // Every row matches itself; right contributes no non-join columns.
+  EXPECT_EQ(j->size(), r.size());
+}
+
+TEST(StorageTest, RowsViewReacquiredAfterMutationSeesNewRows) {
+  Relation r(2);
+  r.Insert({1, 2});
+  RowsView before = r.rows();
+  EXPECT_EQ(before.size(), 1u);
+  // Grow enough to force arena reallocation; `before` is now invalid and
+  // must not be used — re-acquiring is the contract.
+  for (int i = 0; i < 1000; ++i) r.Insert({i, i + 10000});
+  RowsView after = r.rows();
+  EXPECT_EQ(after.size(), 1001u);
+  EXPECT_EQ(after[0], (TupleRef{Tuple{1, 2}}));
+}
+
+TEST(StorageTest, InsertOfOwnRowSurvivesReallocation) {
+  // Insert(t) where t points into the relation's own arena must be safe
+  // even when staging the row reallocates the arena out from under t.
+  Relation r(2);
+  for (int i = 0; i < 100; ++i) r.Insert({i, i + 1});
+  const size_t n = r.size();
+  // Re-inserting every existing row is a no-op (all duplicates)...
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(r.Insert(r.rows()[i]));
+  }
+  EXPECT_EQ(r.size(), n);
+  // ...and InsertAll from self is guarded too.
+  EXPECT_EQ(r.InsertAll(r), 0u);
+  EXPECT_EQ(r.size(), n);
+}
+
+TEST(StorageTest, StagedRowAbandonedIsHarmless) {
+  Relation r(2);
+  Value* slot = r.StageRow();
+  slot[0] = 7;
+  slot[1] = 8;
+  // Abandon without committing: the next StageRow reuses the slot.
+  Value* again = r.StageRow();
+  again[0] = 1;
+  again[1] = 2;
+  EXPECT_TRUE(r.CommitStagedRow());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({7, 8}));
+}
+
+TEST(StorageTest, CommitStagedRowDedups) {
+  Relation r(2);
+  for (int round = 0; round < 2; ++round) {
+    Value* slot = r.StageRow();
+    slot[0] = 5;
+    slot[1] = 6;
+    EXPECT_EQ(r.CommitStagedRow(), round == 0);
+  }
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(StorageTest, InsertUncheckedStillVisibleToDedup) {
+  Relation r(2);
+  r.Reserve(4);
+  EXPECT_TRUE(r.InsertUnchecked({1, 2}));
+  EXPECT_TRUE(r.InsertUnchecked({3, 4}));
+  // The unchecked rows entered the dedup table: plain Insert sees them.
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Contains({3, 4}));
+  // Wrong arity is rejected, not stored.
+  EXPECT_FALSE(r.InsertUnchecked({1, 2, 3}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(StorageTest, TupleAndTupleRefHashIdentically) {
+  Tuple owned{42, -7, 0};
+  TupleRef view(owned);
+  TupleHash h;
+  EXPECT_EQ(h(owned), h(view));
+  EXPECT_EQ(owned, view.ToTuple());
+  EXPECT_TRUE(view == TupleRef(owned));
+}
+
+TEST(StorageTest, ByteWiseHashSeparatesSequentialValues) {
+  // Sequential ints must not collide pairwise (the regression the
+  // byte-wise FNV-1a mix fixes: word-XOR folded them together).
+  std::vector<uint64_t> hashes;
+  for (Value i = 0; i < 64; ++i) {
+    Tuple t{i, i + 1};
+    hashes.push_back(HashValueSpan(t.data(), t.size()));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(StorageTest, LargeInsertProbeRoundTrip) {
+  // Push through several arena and dedup-table growths.
+  Relation r(3);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(r.Insert({i, i * 2, i % 7}));
+  }
+  EXPECT_EQ(r.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; i += 997) {
+    EXPECT_TRUE(r.Contains({i, i * 2, i % 7}));
+    EXPECT_FALSE(r.Contains({i, i * 2 + 1, i % 7}));
+  }
+}
+
+}  // namespace
+}  // namespace recur::ra

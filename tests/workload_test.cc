@@ -28,7 +28,7 @@ TEST(WorkloadTest, LayeredDagIsAcyclicAndSized) {
   Generator gen(2);
   ra::Relation dag = gen.LayeredDag(4, 5, 2);
   // Every edge goes from layer i to layer i+1.
-  for (const ra::Tuple& t : dag.rows()) {
+  for (ra::TupleRef t : dag.rows()) {
     EXPECT_EQ(t[0] / 5 + 1, t[1] / 5);
   }
   EXPECT_LE(dag.size(), 3u * 5u * 2u);
@@ -39,7 +39,7 @@ TEST(WorkloadTest, RandomGraphNoSelfLoops) {
   Generator gen(3);
   ra::Relation g = gen.RandomGraph(20, 50);
   EXPECT_EQ(g.size(), 50u);
-  for (const ra::Tuple& t : g.rows()) {
+  for (ra::TupleRef t : g.rows()) {
     EXPECT_NE(t[0], t[1]);
     EXPECT_GE(t[0], 0);
     EXPECT_LT(t[0], 20);
@@ -69,7 +69,7 @@ TEST(WorkloadTest, RandomPairsRanges) {
   Generator gen(5);
   ra::Relation pairs = gen.RandomPairs(10, 10, 30, 0, 1000);
   EXPECT_EQ(pairs.size(), 30u);
-  for (const ra::Tuple& t : pairs.rows()) {
+  for (ra::TupleRef t : pairs.rows()) {
     EXPECT_GE(t[0], 0);
     EXPECT_LT(t[0], 10);
     EXPECT_GE(t[1], 1000);
