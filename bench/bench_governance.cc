@@ -1,0 +1,108 @@
+// PERF8 — overhead of the resource-governance layer: transitive closure
+// with generous (never-breached) limits versus the ungoverned fixpoint, at
+// 1 and 4 threads. Governance adds one atomic load plus a clock read per
+// round and a footprint walk after each merge, so the governed/ungoverned
+// ratio should be indistinguishable from noise on any non-trivial EDB;
+// this benchmark exists to catch a regression that puts a check on a
+// per-tuple path. Result cardinality is verified every iteration.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "ra/database.h"
+#include "workload/generator.h"
+
+namespace recur::bench {
+namespace {
+
+struct Closure {
+  SymbolTable symbols;
+  ra::Database edb;
+  datalog::Program program;
+  SymbolId pred;
+  size_t expected = 0;
+};
+
+std::unique_ptr<Closure> MakeClosure(const ra::Relation& edges) {
+  auto c = std::make_unique<Closure>();
+  auto program = datalog::ParseProgram(
+      "P(X, Y) :- A(X, Y).\n"
+      "P(X, Y) :- A(X, Z), P(Z, Y).\n",
+      &c->symbols);
+  if (!program.ok()) std::abort();
+  c->program = *program;
+  c->pred = c->symbols.Lookup("P");
+  auto rel = c->edb.GetOrCreate(c->symbols.Lookup("A"), 2);
+  if (!rel.ok()) std::abort();
+  (*rel)->InsertAll(edges);
+  auto reference = eval::SemiNaiveEvaluate(c->program, c->edb);
+  if (!reference.ok()) std::abort();
+  c->expected = reference->at(c->pred).size();
+  return c;
+}
+
+void RunFixpoint(benchmark::State& state, Closure* c, bool governed) {
+  eval::FixpointOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  if (governed) {
+    // Generous enough that no run ever trips them: the benchmark measures
+    // pure polling overhead, not early exit.
+    options.limits.deadline_seconds = 3600.0;
+    options.limits.max_total_tuples = size_t{1} << 40;
+    options.limits.max_arena_bytes = size_t{1} << 40;
+  }
+  for (auto _ : state) {
+    auto idb = eval::SemiNaiveEvaluate(c->program, c->edb, options);
+    if (!idb.ok()) {
+      state.SkipWithError(idb.status().ToString().c_str());
+      return;
+    }
+    if (idb->at(c->pred).size() != c->expected) {
+      state.SkipWithError("cardinality mismatch under governance");
+      return;
+    }
+    benchmark::DoNotOptimize(idb->at(c->pred).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c->expected));
+}
+
+void BM_Ungoverned_RandomGraph(benchmark::State& state) {
+  workload::Generator gen(101);
+  auto c = MakeClosure(gen.RandomGraph(2000, 8000));
+  RunFixpoint(state, c.get(), /*governed=*/false);
+}
+BENCHMARK(BM_Ungoverned_RandomGraph)->Arg(1)->Arg(4);
+
+void BM_Governed_RandomGraph(benchmark::State& state) {
+  workload::Generator gen(101);
+  auto c = MakeClosure(gen.RandomGraph(2000, 8000));
+  RunFixpoint(state, c.get(), /*governed=*/true);
+}
+BENCHMARK(BM_Governed_RandomGraph)->Arg(1)->Arg(4);
+
+void BM_Ungoverned_Chain(benchmark::State& state) {
+  workload::Generator gen(102);
+  auto c = MakeClosure(gen.Chain(400));
+  RunFixpoint(state, c.get(), /*governed=*/false);
+}
+BENCHMARK(BM_Ungoverned_Chain)->Arg(1)->Arg(4);
+
+void BM_Governed_Chain(benchmark::State& state) {
+  // Chain is the worst case for per-round overhead: many rounds, tiny
+  // deltas, so the governance checks are maximally frequent relative to
+  // useful work.
+  workload::Generator gen(102);
+  auto c = MakeClosure(gen.Chain(400));
+  RunFixpoint(state, c.get(), /*governed=*/true);
+}
+BENCHMARK(BM_Governed_Chain)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace recur::bench
+
+BENCHMARK_MAIN();

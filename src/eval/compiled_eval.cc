@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ra/operators.h"
+#include "util/fault_injection.h"
 
 namespace recur::eval {
 
@@ -147,6 +148,7 @@ Result<ra::Relation> StableEvaluator::Answer(
     return Status::InvalidArgument(
         "query does not match the recursive predicate");
   }
+  ContextScope ctx(options.fixpoint.context, options.fixpoint.limits);
 
   // Local (per-call) relations shadowing the EDB: the frontier sets.
   std::unordered_map<SymbolId, ra::Relation> locals;
@@ -197,8 +199,11 @@ Result<ra::Relation> StableEvaluator::Answer(
     publish_frontier(i);
   }
 
-  // Evaluates all exits at the current level.
+  // Evaluates all exits at the current level. Every mode loops through
+  // here, so this is the shared governance poll point.
   auto eval_level = [&]() -> Result<ra::Relation> {
+    RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+    RECUR_FAULT_POINT("compiled.level");
     ra::Relation out(static_cast<int>(free.size()));
     for (const datalog::Rule& rule : level_rules) {
       RECUR_ASSIGN_OR_RETURN(ra::Relation r,
@@ -237,6 +242,7 @@ Result<ra::Relation> StableEvaluator::Answer(
     if (guard_ok && free_nonid > 0) {
       ra::Relation delta = acc;
       while (!delta.empty()) {
+        RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
         ra::Relation next = FoldOnce(delta, folds);
         ra::Relation fresh(acc.arity());
         for (ra::TupleRef t : next.rows()) {
@@ -245,6 +251,12 @@ Result<ra::Relation> StableEvaluator::Answer(
         acc.InsertAll(fresh);
         delta = std::move(fresh);
         bump_level();
+        if (stats != nullptr) {
+          stats->total_tuples = acc.size();
+          stats->arena_bytes = acc.ArenaBytes();
+        }
+        RECUR_RETURN_IF_ERROR(
+            ctx->CheckBudgets(acc.size(), acc.ArenaBytes()));
       }
     }
   } else if (options.allow_dedup && bound_nonid == 1 && free_nonid == 0) {
@@ -260,6 +272,11 @@ Result<ra::Relation> StableEvaluator::Answer(
       RECUR_ASSIGN_OR_RETURN(ra::Relation level, eval_level());
       acc.InsertAll(level);
       bump_level();
+      if (stats != nullptr) {
+        stats->total_tuples = acc.size();
+        stats->arena_bytes = acc.ArenaBytes();
+      }
+      RECUR_RETURN_IF_ERROR(ctx->CheckBudgets(acc.size(), acc.ArenaBytes()));
       if (!guard_ok) break;
       RECUR_ASSIGN_OR_RETURN(
           ra::ValueSet next,
@@ -281,11 +298,20 @@ Result<ra::Relation> StableEvaluator::Answer(
                   : static_cast<int>(edb.ActiveDomainSize()) + 1;
     std::vector<ra::Relation> level_results;
     std::set<std::string> seen_states;
+    size_t level_tuples = 0;
+    size_t level_bytes = 0;
     bool converged = false;
     for (int k = 0; k <= cap; ++k) {
       RECUR_ASSIGN_OR_RETURN(ra::Relation level, eval_level());
       level_results.push_back(std::move(level));
       bump_level();
+      level_tuples += level_results.back().size();
+      level_bytes += level_results.back().ArenaBytes();
+      if (stats != nullptr) {
+        stats->total_tuples = level_tuples;
+        stats->arena_bytes = level_bytes;
+      }
+      RECUR_RETURN_IF_ERROR(ctx->CheckBudgets(level_tuples, level_bytes));
       if (!guard_ok) {
         converged = true;
         break;
@@ -315,8 +341,12 @@ Result<ra::Relation> StableEvaluator::Answer(
             "synchronized compiled evaluation did not converge (cyclic "
             "data); enable fallback_to_seminaive");
       }
-      return SemiNaiveAnswer(EquivalentProgram(), edb, query,
-                             options.fixpoint, stats);
+      // Hand the fallback the same context so the deadline clock keeps
+      // running from the compiled attempt instead of restarting.
+      FixpointOptions fallback_fp = options.fixpoint;
+      fallback_fp.context = ctx.get();
+      return SemiNaiveAnswer(EquivalentProgram(), edb, query, fallback_fp,
+                             stats);
     }
     // Combine levels.
     if (folds.empty()) {

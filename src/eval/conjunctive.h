@@ -65,6 +65,12 @@ struct EvalStats {
   size_t tuples_produced = 0;   // new head tuples
   size_t join_probes = 0;       // hash-index probes across all joins
   size_t index_rebuilds = 0;    // from-scratch column index builds observed
+  /// Partial-progress footprint, updated every round even on error return:
+  /// total IDB tuples materialized and their resident arena bytes. These
+  /// are what a caller inspects after kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted to see how far the fixpoint got.
+  size_t total_tuples = 0;
+  size_t arena_bytes = 0;
   std::vector<RoundStats> rounds;
 
   /// Renders the stats tree ("round 3: 120 derived, 40 deduped, ...")

@@ -1,0 +1,37 @@
+#include "eval/execution_context.h"
+
+#include <sstream>
+
+namespace recur::eval {
+
+Status ExecutionContext::CheckCancel() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("evaluation cancelled by caller");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    std::ostringstream msg;
+    msg << "deadline of " << limits_.deadline_seconds
+        << "s elapsed after " << ElapsedSeconds() << "s";
+    return Status::DeadlineExceeded(msg.str());
+  }
+  return Status::OK();
+}
+
+Status ExecutionContext::CheckBudgets(size_t total_tuples,
+                                      size_t arena_bytes) const {
+  if (limits_.max_total_tuples > 0 && total_tuples > limits_.max_total_tuples) {
+    std::ostringstream msg;
+    msg << "tuple budget exceeded: " << total_tuples << " tuples derived, "
+        << "limit " << limits_.max_total_tuples;
+    return Status::ResourceExhausted(msg.str());
+  }
+  if (limits_.max_arena_bytes > 0 && arena_bytes > limits_.max_arena_bytes) {
+    std::ostringstream msg;
+    msg << "arena budget exceeded: " << arena_bytes << " bytes resident, "
+        << "limit " << limits_.max_arena_bytes;
+    return Status::ResourceExhausted(msg.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace recur::eval

@@ -1,0 +1,112 @@
+#ifndef RECUR_EVAL_EXECUTION_CONTEXT_H_
+#define RECUR_EVAL_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <optional>
+
+#include "util/status.h"
+
+namespace recur::eval {
+
+/// Hard ceilings on a single fixpoint evaluation. A zero (or negative, for
+/// the deadline) value means "unlimited" — except max_iterations, which is
+/// always enforced to keep unbounded recursions from spinning forever.
+struct ResourceLimits {
+  /// Maximum fixpoint rounds before the engine gives up with
+  /// kResourceExhausted.
+  int max_iterations = 1 << 20;
+  /// Wall-clock budget in seconds, measured from ExecutionContext
+  /// construction. Breaching it yields kDeadlineExceeded.
+  double deadline_seconds = 0.0;
+  /// Ceiling on the total tuple count across all IDB relations.
+  /// Breaching it yields kResourceExhausted.
+  size_t max_total_tuples = 0;
+  /// Ceiling on the total arena footprint (bytes) across all IDB
+  /// relations. Breaching it yields kResourceExhausted.
+  size_t max_arena_bytes = 0;
+};
+
+/// Shared state between a running evaluation and its caller: the effective
+/// resource limits, the evaluation's start time (deadlines are measured
+/// from construction), and a cancel flag the caller may set from any thread.
+///
+/// Engines poll CheckCancel() at round and shard-task granularity and
+/// CheckBudgets() after each merge, so a breach or Cancel() stops the
+/// fixpoint within one round (plus the currently running tasks) and
+/// surfaces as a typed Status with partial progress left in EvalStats.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ExecutionContext(const ResourceLimits& limits = ResourceLimits())
+      : limits_(limits), start_(Clock::now()) {
+    if (limits_.deadline_seconds > 0.0) {
+      deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   limits_.deadline_seconds));
+      has_deadline_ = true;
+    }
+  }
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Requests cooperative cancellation; safe from any thread. The engine
+  /// observes it at its next poll point and returns kCancelled.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  /// Seconds elapsed since the context was constructed.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// OK unless cancelled (kCancelled) or past the deadline
+  /// (kDeadlineExceeded).
+  Status CheckCancel() const;
+
+  /// OK unless a tuple or arena-byte ceiling is breached
+  /// (kResourceExhausted).
+  Status CheckBudgets(size_t total_tuples, size_t arena_bytes) const;
+
+ private:
+  const ResourceLimits limits_;
+  const Clock::time_point start_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resolves the effective context for one engine invocation: the caller's
+/// context when provided (shared deadline + external Cancel handle — its
+/// limits win), otherwise a private context built from `limits` whose
+/// deadline clock starts now. Keeps the private context alive for the
+/// scope of the evaluation.
+class ContextScope {
+ public:
+  ContextScope(const ExecutionContext* external,
+               const ResourceLimits& limits) {
+    if (external != nullptr) {
+      ctx_ = external;
+    } else {
+      local_.emplace(limits);
+      ctx_ = &*local_;
+    }
+  }
+
+  const ExecutionContext* get() const { return ctx_; }
+  const ExecutionContext* operator->() const { return ctx_; }
+
+ private:
+  std::optional<ExecutionContext> local_;
+  const ExecutionContext* ctx_ = nullptr;
+};
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_EXECUTION_CONTEXT_H_

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <new>
+#include <optional>
+#include <string>
+
+#include "util/fault_injection.h"
 
 namespace recur::eval {
 
@@ -35,13 +40,32 @@ Result<IdbRelations> InitializeIdb(const datalog::Program& program,
   return idb;
 }
 
-}  // namespace
+/// Sums tuples and arena bytes across the IDB and leaves them in `stats`
+/// (when present) so partial progress survives an error return. Returns the
+/// totals for budget checks.
+std::pair<size_t, size_t> RecordFootprint(const IdbRelations& idb,
+                                          EvalStats* stats) {
+  size_t tuples = 0;
+  size_t bytes = 0;
+  for (const auto& [pred, rel] : idb) {
+    (void)pred;
+    tuples += rel.size();
+    bytes += rel.ArenaBytes();
+  }
+  if (stats != nullptr) {
+    stats->total_tuples = tuples;
+    stats->arena_bytes = bytes;
+  }
+  return {tuples, bytes};
+}
 
-Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
-                                   const ra::Database& edb,
-                                   const FixpointOptions& options,
-                                   EvalStats* stats) {
+Result<IdbRelations> NaiveEvaluateImpl(const datalog::Program& program,
+                                       const ra::Database& edb,
+                                       const FixpointOptions& options,
+                                       EvalStats* stats) {
   RECUR_ASSIGN_OR_RETURN(IdbRelations idb, InitializeIdb(program, edb));
+  ContextScope ctx(options.context, options.limits);
+  const ResourceLimits& limits = ctx->limits();
   RelationLookup lookup = [&idb, &edb](SymbolId pred) -> const ra::Relation* {
     auto it = idb.find(pred);
     if (it != idb.end()) return &it->second;
@@ -49,8 +73,10 @@ Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
   };
   const bool collect = options.collect_stats && stats != nullptr;
   using Clock = std::chrono::steady_clock;
-  for (int round = 0; round < options.max_iterations; ++round) {
+  for (int round = 0; round < limits.max_iterations; ++round) {
     if (stats != nullptr) ++stats->iterations;
+    RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+    RECUR_FAULT_POINT("naive.round");
     RoundStats round_stats;
     round_stats.round = round;
     auto round_start = Clock::now();
@@ -85,6 +111,8 @@ Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
           std::chrono::duration<double>(Clock::now() - round_start).count();
       stats->rounds.push_back(std::move(round_stats));
     }
+    auto [total_tuples, arena_bytes] = RecordFootprint(idb, stats);
+    RECUR_RETURN_IF_ERROR(ctx->CheckBudgets(total_tuples, arena_bytes));
     if (!changed) {
       if (stats != nullptr) {
         for (const auto& [pred, rel] : idb) {
@@ -95,7 +123,25 @@ Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
       return idb;
     }
   }
-  return Status::Internal("naive fixpoint exceeded max_iterations");
+  return Status::ResourceExhausted(
+      "naive fixpoint did not converge within max_iterations (" +
+      std::to_string(limits.max_iterations) + " rounds)");
+}
+
+}  // namespace
+
+Result<IdbRelations> NaiveEvaluate(const datalog::Program& program,
+                                   const ra::Database& edb,
+                                   const FixpointOptions& options,
+                                   EvalStats* stats) {
+  // Allocation failure inside the fixpoint must surface as a Status, not an
+  // exception: no exceptions cross public API boundaries.
+  try {
+    return NaiveEvaluateImpl(program, edb, options, stats);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "allocation failure during naive fixpoint");
+  }
 }
 
 Result<ra::Relation> NaiveAnswer(const datalog::Program& program,

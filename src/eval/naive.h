@@ -5,6 +5,7 @@
 
 #include "datalog/program.h"
 #include "eval/conjunctive.h"
+#include "eval/execution_context.h"
 #include "eval/query.h"
 #include "ra/database.h"
 
@@ -14,9 +15,15 @@ namespace recur::eval {
 using IdbRelations = std::unordered_map<SymbolId, ra::Relation>;
 
 struct FixpointOptions {
-  /// Hard cap on fixpoint rounds (a safety valve; the fixpoint of a Datalog
-  /// program over a finite database always terminates well below this).
-  int max_iterations = 1 << 20;
+  /// Resource ceilings for the evaluation: fixpoint rounds, wall-clock
+  /// deadline, tuple budget, and arena-byte budget. When `context` is set,
+  /// the context's limits win and these are ignored.
+  ResourceLimits limits;
+  /// Optional externally owned execution context. Lets the caller Cancel()
+  /// a running evaluation from another thread and share one deadline across
+  /// several engine invocations. When null, engines build a private context
+  /// from `limits` at entry.
+  const ExecutionContext* context = nullptr;
   /// Worker threads for semi-naive evaluation. 1 (the default) runs the
   /// serial engine; >1 hash-shards each round's deltas and evaluates the
   /// (rule, delta-atom, shard) tasks on a fixed-size thread pool. Results

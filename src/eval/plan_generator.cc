@@ -90,11 +90,13 @@ Result<ra::Relation> QueryPlan::Execute(const Query& query,
     case Strategy::kTransformedCompiled:
       return stable_->Answer(query, edb, options, stats);
     case Strategy::kBoundedExpansion: {
+      ContextScope ctx(options.fixpoint.context, options.fixpoint.limits);
       ra::Relation out(query.arity());
       RelationLookup lookup = [&edb](SymbolId pred) {
         return edb.Find(pred);
       };
       for (const datalog::Rule& rule : bounded_rules_) {
+        RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
         // Push the query constants into the rule head variables
         // (selection before joins). A head variable bound to two
         // different constants makes the rule unsatisfiable for this query.
@@ -122,7 +124,10 @@ Result<ra::Relation> QueryPlan::Execute(const Query& query,
         // Select straight into the answer arena: no intermediate relation
         // per expansion level.
         out.Reserve(out.size() + derived.size());
-        RECUR_RETURN_IF_ERROR(query.FilterInto(derived, &out).status());
+        RECUR_RETURN_IF_ERROR(
+            query.FilterInto(derived, &out, ctx.get()).status());
+        RECUR_RETURN_IF_ERROR(
+            ctx->CheckBudgets(out.size(), out.ArenaBytes()));
       }
       if (stats != nullptr) {
         stats->levels = static_cast<int>(bounded_rules_.size());

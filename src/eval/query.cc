@@ -1,5 +1,7 @@
 #include "eval/query.h"
 
+#include "util/fault_injection.h"
+
 namespace recur::eval {
 
 uint32_t Query::adornment() const {
@@ -65,12 +67,19 @@ Result<ra::Relation> Query::Filter(const ra::Relation& full) const {
 }
 
 Result<size_t> Query::FilterInto(const ra::Relation& full,
-                                 ra::Relation* out) const {
+                                 ra::Relation* out,
+                                 const ExecutionContext* ctx) const {
   if (full.arity() != arity() || out->arity() != arity()) {
     return Status::InvalidArgument("query arity does not match relation");
   }
+  RECUR_FAULT_POINT("query.filter_into");
   size_t inserted = 0;
-  for (ra::TupleRef t : full.rows()) {
+  ra::RowsView rows = full.rows();
+  for (size_t row = 0; row < rows.size(); ++row) {
+    if (ctx != nullptr && (row & 4095u) == 0) {
+      RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+    }
+    ra::TupleRef t = rows[row];
     bool match = true;
     for (int i = 0; i < arity(); ++i) {
       if (bindings[i].has_value() && t[i] != *bindings[i]) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "datalog/atom.h"
+#include "eval/execution_context.h"
 #include "ra/relation.h"
 #include "util/result.h"
 
@@ -41,8 +42,11 @@ struct Query {
 
   /// Like Filter, but streams matching rows straight into `out`'s arena
   /// instead of materializing an intermediate relation. `out` must have
-  /// the query's arity. Returns the number of rows newly inserted.
-  Result<size_t> FilterInto(const ra::Relation& full, ra::Relation* out) const;
+  /// the query's arity. Returns the number of rows newly inserted. When a
+  /// context is given, cancellation/deadline is polled every few thousand
+  /// rows so a scan over a huge materialization stays interruptible.
+  Result<size_t> FilterInto(const ra::Relation& full, ra::Relation* out,
+                            const ExecutionContext* ctx = nullptr) const;
 };
 
 }  // namespace recur::eval

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <new>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "eval/thread_pool.h"
+#include "util/fault_injection.h"
 
 namespace recur::eval {
 
@@ -86,6 +89,25 @@ void AccumulateIndexRebuilds(const IdbRelations& full,
   }
 }
 
+/// Sums tuples and arena bytes across `full` and leaves them in `stats`
+/// (when present) so partial progress survives an error return. Returns the
+/// totals for budget checks.
+std::pair<size_t, size_t> RecordFootprint(const IdbRelations& full,
+                                          EvalStats* stats) {
+  size_t tuples = 0;
+  size_t bytes = 0;
+  for (const auto& [pred, rel] : full) {
+    (void)pred;
+    tuples += rel.size();
+    bytes += rel.ArenaBytes();
+  }
+  if (stats != nullptr) {
+    stats->total_tuples = tuples;
+    stats->arena_bytes = bytes;
+  }
+  return {tuples, bytes};
+}
+
 // ---------------------------------------------------------------------------
 // Serial engine
 // ---------------------------------------------------------------------------
@@ -109,9 +131,15 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
   RECUR_RETURN_IF_ERROR(
       FireExitRules(program, lookup, is_idb, &full, &delta, stats));
 
+  ContextScope ctx(options.context, options.limits);
+  const ResourceLimits& limits = ctx->limits();
   const bool collect = options.collect_stats && stats != nullptr;
-  for (int round = 0; round < options.max_iterations; ++round) {
+  for (int round = 0; round < limits.max_iterations; ++round) {
     if (stats != nullptr) ++stats->iterations;
+    // Governance runs ahead of the convergence check so a breached deadline
+    // or Cancel() surfaces even when the fixpoint would close this round.
+    RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+    RECUR_FAULT_POINT("seminaive.serial.round");
     bool any_delta = false;
     for (const auto& [pred, d] : delta) {
       if (!d.empty()) {
@@ -198,8 +226,12 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
       round_stats.index_rebuilds -= rebuilds_before;
       stats->rounds.push_back(std::move(round_stats));
     }
+    auto [total_tuples, arena_bytes] = RecordFootprint(full, stats);
+    RECUR_RETURN_IF_ERROR(ctx->CheckBudgets(total_tuples, arena_bytes));
   }
-  return Status::Internal("semi-naive fixpoint exceeded max_iterations");
+  return Status::ResourceExhausted(
+      "semi-naive fixpoint did not converge within max_iterations (" +
+      std::to_string(limits.max_iterations) + " rounds)");
 }
 
 // ---------------------------------------------------------------------------
@@ -329,9 +361,15 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
     const ra::Relation* shard = nullptr;
   };
 
+  ContextScope ctx(options.context, options.limits);
+  const ResourceLimits& limits = ctx->limits();
   std::mutex stats_mutex;
-  for (int round = 0; round < options.max_iterations; ++round) {
+  for (int round = 0; round < limits.max_iterations; ++round) {
     if (stats != nullptr) ++stats->iterations;
+    // Governance runs ahead of the convergence check so a breached deadline
+    // or Cancel() surfaces even when the fixpoint would close this round.
+    RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+    RECUR_FAULT_POINT("seminaive.parallel.round");
     bool any_delta = false;
     for (const auto& [pred, d] : delta) {
       if (!d.empty()) {
@@ -401,6 +439,18 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
     for (size_t t = 0; t < tasks.size(); ++t) {
       pool.Submit([&, t] {
         const Task& task = tasks[t];
+        // Shard-task-granularity polling: a Cancel() or deadline breach
+        // mid-round turns the remaining tasks into cheap no-ops. A kThrow /
+        // kBadAlloc fault here propagates into the pool's exception path.
+        Status governed = ctx->CheckCancel();
+        if (governed.ok()) {
+          governed =
+              util::FaultInjector::Instance().Check("seminaive.parallel.task");
+        }
+        if (!governed.ok()) {
+          task_status[t] = std::move(governed);
+          return;
+        }
         auto task_start = Clock::now();
         EvalStats local;
         ConjunctiveOptions conj;
@@ -435,7 +485,7 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
         }
       });
     }
-    pool.Wait();
+    RECUR_RETURN_IF_ERROR(pool.Wait());
     for (const Status& s : task_status) {
       RECUR_RETURN_IF_ERROR(s);
     }
@@ -480,8 +530,12 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
       round_stats.index_rebuilds -= rebuilds_before;
       stats->rounds.push_back(std::move(round_stats));
     }
+    auto [total_tuples, arena_bytes] = RecordFootprint(full, stats);
+    RECUR_RETURN_IF_ERROR(ctx->CheckBudgets(total_tuples, arena_bytes));
   }
-  return Status::Internal("semi-naive fixpoint exceeded max_iterations");
+  return Status::ResourceExhausted(
+      "semi-naive fixpoint did not converge within max_iterations (" +
+      std::to_string(limits.max_iterations) + " rounds)");
 }
 
 }  // namespace
@@ -490,10 +544,17 @@ Result<IdbRelations> SemiNaiveEvaluate(const datalog::Program& program,
                                        const ra::Database& edb,
                                        const FixpointOptions& options,
                                        EvalStats* stats) {
-  if (options.num_threads > 1) {
-    return ParallelSemiNaive(program, edb, options, stats);
+  // Allocation failure inside the fixpoint must surface as a Status, not an
+  // exception: no exceptions cross public API boundaries.
+  try {
+    if (options.num_threads > 1) {
+      return ParallelSemiNaive(program, edb, options, stats);
+    }
+    return SerialSemiNaive(program, edb, options, stats);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "allocation failure during semi-naive fixpoint");
   }
-  return SerialSemiNaive(program, edb, options, stats);
 }
 
 Result<ra::Relation> SemiNaiveAnswer(const datalog::Program& program,

@@ -1,6 +1,7 @@
 #include "eval/special_plans.h"
 
 #include "ra/operators.h"
+#include "util/fault_injection.h"
 
 namespace recur::eval {
 
@@ -22,8 +23,13 @@ Result<const ra::Relation*> Rel(const ra::Database& edb,
   return rel;
 }
 
-void BumpIteration(EvalStats* stats) {
+/// One closure-round tick shared by all plans: counts the iteration, gives
+/// fault injection a stop, and polls cancellation/deadline when governed.
+Status RoundTick(EvalStats* stats, const ExecutionContext* ctx) {
   if (stats != nullptr) ++stats->iterations;
+  RECUR_FAULT_POINT("special_plans.round");
+  if (ctx != nullptr) RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
+  return Status::OK();
 }
 
 /// A pair value for the dependent-plan frontiers.
@@ -40,7 +46,8 @@ using PairSet = std::unordered_set<Pair, PairHash>;
 
 Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
                                       const SymbolTable& symbols,
-                                      ra::Value d, EvalStats* stats) {
+                                      ra::Value d, EvalStats* stats,
+                                      const ExecutionContext* ctx) {
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
@@ -65,7 +72,7 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
   for (ra::TupleRef t : e->rows()) {
     if (b->Contains({t[0], t[2]})) z_delta.insert(t[1]);
   }
-  BumpIteration(stats);
+  RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
   while (!z_delta.empty()) {
     ra::ValueSet fresh;
     for (ra::Value v : z_delta) z_all.insert(v);
@@ -80,7 +87,7 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
       }
     }
     z_delta = std::move(fresh);
-    BumpIteration(stats);
+    RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
   }
 
   // (σA) × (∪_k ...): Cartesian product of the two independent parts.
@@ -94,7 +101,8 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
 
 Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
                                       const SymbolTable& symbols,
-                                      ra::Value d, EvalStats* stats) {
+                                      ra::Value d, EvalStats* stats,
+                                      const ExecutionContext* ctx) {
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
@@ -111,7 +119,7 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
   ra::ValueSet m_delta{d};
   bool witness = false;
   while (!witness && !m_delta.empty()) {
-    BumpIteration(stats);
+    RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
     for (ra::Value m : m_delta) {
       for (int erow : e->RowsWithValue(1, m)) {
         ra::TupleRef t = e->rows()[erow];
@@ -149,7 +157,7 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
 
 Result<ra::Relation> S11Plan(const ra::Database& edb,
                              const SymbolTable& symbols, ra::Value d,
-                             EvalStats* stats) {
+                             EvalStats* stats, const ExecutionContext* ctx) {
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* c, Rel(edb, symbols, "C", 2));
@@ -175,7 +183,7 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
   PairSet forward = first_layer;
   PairSet delta = first_layer;
   while (!delta.empty()) {
-    BumpIteration(stats);
+    RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
     PairSet fresh;
     for (const Pair& p : delta) {
       for (int arow : a->RowsWithValue(0, p.first)) {
@@ -202,7 +210,7 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
     }
   }
   while (!rdelta.empty()) {
-    BumpIteration(stats);
+    RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
     PairSet fresh;
     for (const Pair& q : rdelta) {
       // Predecessors p with A(p.x, q.x) ∧ B(p.y, q.y), restricted to the
@@ -232,7 +240,8 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
 
 Result<ra::Relation> S12Plan(const ra::Database& edb,
                              const SymbolTable& symbols, ra::Value d,
-                             int max_levels, EvalStats* stats) {
+                             int max_levels, EvalStats* stats,
+                             const ExecutionContext* ctx) {
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* a, Rel(edb, symbols, "A", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* b, Rel(edb, symbols, "B", 2));
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* c, Rel(edb, symbols, "C", 2));
@@ -257,7 +266,7 @@ Result<ra::Relation> S12Plan(const ra::Database& edb,
   }
 
   for (int k = 1; k <= max_levels && !level.empty(); ++k) {
-    BumpIteration(stats);
+    RECUR_RETURN_IF_ERROR(RoundTick(stats, ctx));
     // E join: (v1, w_k) for E(u_k, v_k, w_k).
     ra::Relation vw(2);
     for (ra::TupleRef t : level.rows()) {

@@ -2,6 +2,7 @@
 #define RECUR_EVAL_SPECIAL_PLANS_H_
 
 #include "eval/conjunctive.h"
+#include "eval/execution_context.h"
 #include "ra/database.h"
 #include "util/result.h"
 #include "util/symbol_table.h"
@@ -25,7 +26,8 @@ namespace recur::eval {
 Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
                                       const SymbolTable& symbols,
                                       ra::Value d,
-                                      EvalStats* stats = nullptr);
+                                      EvalStats* stats = nullptr,
+                                      const ExecutionContext* ctx = nullptr);
 
 /// (s9), query P(v, v, d):
 ///   σE,  (∃ ∪_k [(AB)^k (E ⋈ B)]) A
@@ -34,7 +36,8 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
 Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
                                       const SymbolTable& symbols,
                                       ra::Value d,
-                                      EvalStats* stats = nullptr);
+                                      EvalStats* stats = nullptr,
+                                      const ExecutionContext* ctx = nullptr);
 
 /// (s11) P(x,y) :- A(x,x1) ∧ B(y,y1) ∧ C(x1,y1) ∧ P(x1,y1), query P(d, v):
 ///   σE,  σA-C-B-E,  ∪_k σA-C-B-[{A ∥ B}-C]^k-C-E
@@ -42,7 +45,8 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
 /// answers are the B-preimages of first-layer pairs that reach E.
 Result<ra::Relation> S11Plan(const ra::Database& edb,
                              const SymbolTable& symbols, ra::Value d,
-                             EvalStats* stats = nullptr);
+                             EvalStats* stats = nullptr,
+                             const ExecutionContext* ctx = nullptr);
 
 /// (s12) P(x,y,z) :- A(x,u) ∧ B(y,v) ∧ C(u,v) ∧ D(w,z) ∧ P(u,v,w),
 /// query P(d, v, v):
@@ -52,7 +56,8 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
 /// iteration on cyclic data (use the active-domain size).
 Result<ra::Relation> S12Plan(const ra::Database& edb,
                              const SymbolTable& symbols, ra::Value d,
-                             int max_levels, EvalStats* stats = nullptr);
+                             int max_levels, EvalStats* stats = nullptr,
+                             const ExecutionContext* ctx = nullptr);
 
 }  // namespace recur::eval
 

@@ -1,5 +1,6 @@
 #include "eval/thread_pool.h"
 
+#include <new>
 #include <utility>
 
 namespace recur::eval {
@@ -16,6 +17,12 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    if (cancel_pending_ || first_exception_ != nullptr) {
+      // The caller abandoned a failed batch without Wait()-ing: don't run
+      // its leftovers during teardown.
+      in_flight_ -= queue_.size();
+      queue_.clear();
+    }
   }
   work_ready_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -24,15 +31,42 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_pending_ || first_exception_ != nullptr) {
+      // The batch already failed; admitting more work would interleave a
+      // dead batch with the next one.
+      return;
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   work_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
+void ThreadPool::CancelPending() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancel_pending_ = true;
+    in_flight_ -= queue_.size();
+    queue_.clear();
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr failure = std::exchange(first_exception_, nullptr);
+  cancel_pending_ = false;  // re-arm for the next batch
+  if (failure == nullptr) return Status::OK();
+  try {
+    std::rethrow_exception(failure);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failure in worker task");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("worker task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("worker task threw a non-standard exception");
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,7 +80,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+      // Fail fast: the batch is lost either way, so don't burn cores on
+      // tasks whose results Wait() will discard.
+      in_flight_ -= queue_.size();
+      queue_.clear();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -54,12 +99,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, int n,
-                 const std::function<void(int)>& fn) {
+Status ParallelFor(ThreadPool* pool, int n,
+                   const std::function<void(int)>& fn) {
   for (int i = 0; i < n; ++i) {
     pool->Submit([&fn, i] { fn(i); });
   }
-  pool->Wait();
+  return pool->Wait();
 }
 
 }  // namespace recur::eval

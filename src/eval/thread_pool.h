@@ -3,23 +3,35 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace recur::eval {
 
 /// A fixed-size pool of worker threads draining a shared task queue.
 /// The parallel semi-naive engine creates one pool per fixpoint call and
 /// submits one task per (rule, delta-atom, shard) each round; Wait() is the
-/// per-round barrier. Tasks must not throw.
+/// per-round barrier.
+///
+/// Exception contract: tasks may throw. The first exception a worker
+/// catches is captured, the still-queued tasks are dropped (tasks already
+/// running finish normally), and the next Wait() surfaces the failure as a
+/// Status — std::bad_alloc as kResourceExhausted, any other std::exception
+/// as kInternal carrying its what(). Wait() then resets the pool so it can
+/// be reused for the next batch. Exceptions never escape a worker thread
+/// and never reach std::terminate.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks (unless a failure or CancelPending() already
+  /// dropped them), then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,8 +40,16 @@ class ThreadPool {
   /// Enqueues a task for an idle worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running.
-  void Wait();
+  /// Drops every queued-but-not-started task (running tasks finish).
+  /// The per-batch barrier semantics of Wait() are unaffected: it still
+  /// returns only once the running tasks have drained.
+  void CancelPending();
+
+  /// Blocks until every submitted task has finished running or been
+  /// dropped. Returns OK on a clean batch, otherwise the Status of the
+  /// batch's first task exception (see the class comment), and re-arms the
+  /// pool for the next batch either way.
+  Status Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -43,13 +63,17 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool shutting_down_ = false;
+  bool cancel_pending_ = false;        // drop queued tasks until Wait()
+  std::exception_ptr first_exception_; // first task failure of the batch
 };
 
 /// Splits [0, n) across the pool: invokes fn(i) for every i, num_threads
-/// at a time, and returns when all calls finish. fn must be safe to call
-/// concurrently for distinct i.
-void ParallelFor(ThreadPool* pool, int n,
-                 const std::function<void(int)>& fn);
+/// at a time, and returns once all calls finish. fn must be safe to call
+/// concurrently for distinct i. If a call throws, remaining queued calls
+/// are dropped and the first exception comes back as a Status (see
+/// ThreadPool::Wait).
+Status ParallelFor(ThreadPool* pool, int n,
+                   const std::function<void(int)>& fn);
 
 }  // namespace recur::eval
 

@@ -54,6 +54,12 @@ size_t Database::TotalTuples() const {
   return total;
 }
 
+size_t Database::TotalArenaBytes() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.ArenaBytes();
+  return total;
+}
+
 size_t Database::ActiveDomainSize() const {
   ValueSet domain;
   for (const auto& [pred, rel] : relations_) {

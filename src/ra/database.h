@@ -40,6 +40,10 @@ class Database {
   /// Total tuples across all relations.
   size_t TotalTuples() const;
 
+  /// Total arena footprint (bytes) across all relations; what the
+  /// resource-governed evaluators charge against max_arena_bytes.
+  size_t TotalArenaBytes() const;
+
   /// Distinct values across all relations (the active domain); useful as a
   /// safe level cap for compiled evaluation on cyclic data.
   size_t ActiveDomainSize() const;

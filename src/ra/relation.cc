@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/fault_injection.h"
+
 namespace recur::ra {
 
 namespace {
@@ -61,8 +63,14 @@ Relation& Relation::operator=(Relation&& other) noexcept {
 }
 
 void Relation::Reserve(size_t n) {
+  util::FaultInjector::CheckNoStatus("ra.relation.reserve");
   arena_.reserve(n * arity_);
   if (n > 0) GrowSlots(n);
+}
+
+size_t Relation::ArenaBytes() const {
+  return arena_.capacity() * sizeof(Value) +
+         slots_.capacity() * sizeof(uint32_t);
 }
 
 void Relation::GrowSlots(size_t min_rows) {

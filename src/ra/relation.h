@@ -245,6 +245,12 @@ class Relation {
   /// Removes all rows (keeps arity).
   void Clear();
 
+  /// Resident bytes of the value arena plus the dedup table — the
+  /// footprint resource-governed evaluators charge against
+  /// ResourceLimits::max_arena_bytes. Excludes lazily built column
+  /// indexes, whose size tracks the arena within a small factor.
+  size_t ArenaBytes() const;
+
   /// Number of from-scratch column index builds this relation has done.
   /// With incremental maintenance this counts one build per column probed,
   /// not one per insert — evaluators surface it in EvalStats.

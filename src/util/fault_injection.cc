@@ -1,0 +1,82 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace recur::util {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sites_.insert_or_assign(site, SiteState{std::move(spec), 0});
+  (void)it;
+  if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+int FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  FaultSpec fired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    SiteState& state = it->second;
+    ++state.hits;
+    const bool fire =
+        state.hits == state.spec.trigger_on_hit ||
+        (state.spec.sticky && state.hits > state.spec.trigger_on_hit);
+    if (!fire) return Status::OK();
+    fired = state.spec;
+  }
+  // Act outside the lock: the callback may re-enter the injector, and a
+  // delay must not serialize unrelated sites.
+  if (fired.on_hit) fired.on_hit();
+  if (fired.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+  }
+  switch (fired.kind) {
+    case FaultSpec::Kind::kStatus:
+      return Status(fired.code, fired.message);
+    case FaultSpec::Kind::kThrow:
+      throw std::runtime_error(fired.message);
+    case FaultSpec::Kind::kBadAlloc:
+      throw std::bad_alloc();
+    case FaultSpec::Kind::kDelay:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void FaultInjector::CheckNoStatus(const char* site) {
+  (void)Instance().Check(site);
+}
+
+}  // namespace recur::util

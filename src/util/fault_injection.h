@@ -1,0 +1,120 @@
+#ifndef RECUR_UTIL_FAULT_INJECTION_H_
+#define RECUR_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace recur::util {
+
+/// What an armed fault site does when it fires.
+struct FaultSpec {
+  enum class Kind {
+    /// Return `Status(code, message)` from the site.
+    kStatus,
+    /// Throw std::runtime_error(message) — exercises exception-safety
+    /// paths (the thread pool's capture-and-cancel contract).
+    kThrow,
+    /// Throw std::bad_alloc — simulates an allocation failure.
+    kBadAlloc,
+    /// Sleep `delay_ms`, then proceed normally — simulates slowness to
+    /// make deadline breaches deterministic in tests.
+    kDelay,
+  };
+
+  Kind kind = Kind::kStatus;
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  int delay_ms = 0;
+  /// Fire on the Nth hit of the site (1 = first). Earlier hits pass.
+  int trigger_on_hit = 1;
+  /// Keep firing on every hit at or after `trigger_on_hit`; with false the
+  /// fault fires exactly once.
+  bool sticky = true;
+  /// Optional callback invoked when the site fires (outside the injector
+  /// lock) — tests use it to Cancel an ExecutionContext at a deterministic
+  /// execution point.
+  std::function<void()> on_hit;
+};
+
+/// Process-wide registry of named fault sites, compiled into the library so
+/// tests can deterministically exercise error paths in every engine. The
+/// fast path — nothing armed anywhere — is a single relaxed atomic load, so
+/// leaving the probes in production code costs nothing measurable.
+///
+/// Sites instrumented by the engines:
+///   naive.round                 top of every naive fixpoint round
+///   seminaive.serial.round      top of every serial semi-naive round
+///   seminaive.parallel.round    coordinator, top of every parallel round
+///   seminaive.parallel.task     inside every (rule, atom, shard) task
+///   compiled.level              every compiled-evaluator level evaluation
+///   special_plans.round         every special-plan closure round
+///   query.filter_into           entry of Query::FilterInto
+///   ra.relation.reserve         Relation::Reserve (void site: only kThrow,
+///                               kBadAlloc and kDelay faults apply)
+///
+/// Thread-safety: Arm/Disarm/Reset/Check may be called from any thread.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or re-arms, resetting the hit count of) `site`.
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+  /// Disarms every site.
+  void Reset();
+  /// Times `site` has been checked since it was (re-)armed; 0 if unarmed.
+  int HitCount(const std::string& site) const;
+
+  /// Called by instrumented code. Returns the armed fault's Status (or
+  /// throws, for kThrow/kBadAlloc specs); OK when the site is unarmed or
+  /// below its trigger hit.
+  Status Check(const char* site);
+
+  /// Check for void call sites that cannot propagate a Status: a kStatus
+  /// fault is ignored, the throwing and delaying kinds act as usual.
+  static void CheckNoStatus(const char* site);
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    FaultSpec spec;
+    int hits = 0;
+  };
+
+  std::atomic<int> armed_sites_{0};
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+/// RAII arm/disarm for tests: the fault is disarmed when the scope ends.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, FaultSpec spec) : site_(std::move(site)) {
+    FaultInjector::Instance().Arm(site_, std::move(spec));
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace recur::util
+
+/// Fault point for Status/Result-returning functions: propagates the armed
+/// fault's Status out of the enclosing function.
+#define RECUR_FAULT_POINT(site) \
+  RECUR_RETURN_IF_ERROR(::recur::util::FaultInjector::Instance().Check(site))
+
+#endif  // RECUR_UTIL_FAULT_INJECTION_H_

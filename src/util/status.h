@@ -16,6 +16,13 @@ enum class StatusCode {
   kUnsupported = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  /// Execution was cancelled via ExecutionContext::Cancel before finishing.
+  kCancelled = 7,
+  /// A wall-clock deadline elapsed before the computation converged.
+  kDeadlineExceeded = 8,
+  /// A resource ceiling was hit: fixpoint rounds, tuple budget, arena-byte
+  /// budget, or a failed allocation.
+  kResourceExhausted = 9,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -50,6 +57,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +79,13 @@ class Status {
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <iterator>
+#include <random>
 #include <string>
+#include <thread>
 
 #include "classify/classifier.h"
 #include "eval/compiled_eval.h"
@@ -167,6 +170,76 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
   }
   EXPECT_EQ(cases, kFormulasPerSeed *
                        static_cast<int>(std::size(kEdbKinds)));
+}
+
+// Robustness face of the harness: the same generated program x EDB cases,
+// but with a canceller thread flipping the context's flag at a random point
+// mid-run. The contract is all-or-nothing — either the engine finished
+// before the flag landed and the result is byte-identical to the serial
+// reference, or it reports kCancelled. Anything else (a crash, a wrong
+// result, a mistyped error) is a bug.
+TEST_P(DifferentialTest, EnginesUnderRandomizedCancellation) {
+  SymbolTable symbols;
+  workload::FormulaGenerator gen(GetParam(), DifferentialOptions());
+  std::mt19937 rng(GetParam() * 7919 + 17);
+  std::uniform_int_distribution<int> delay_us(0, 500);
+  for (int i = 0; i < 2; ++i) {
+    auto g = gen.Next(&symbols);
+    ASSERT_TRUE(g.ok()) << g.status();
+    datalog::Program program;
+    program.AddRule(g->formula.rule());
+    program.AddRule(g->exit);
+    SymbolId pred = g->formula.recursive_predicate();
+
+    for (EdbKind kind : kEdbKinds) {
+      const std::string label = g->formula.rule().ToString(symbols) +
+                                " [EDB " + ToString(kind) + "]";
+      ra::Database edb;
+      LoadEdb(g->formula, g->exit, kind, GetParam() * 131 + i, &edb);
+      auto reference = eval::SemiNaiveEvaluate(program, edb);
+      ASSERT_TRUE(reference.ok()) << label;
+      const std::string want = reference->at(pred).ToString();
+
+      for (int threads : {1, 4}) {
+        eval::ExecutionContext context;
+        eval::FixpointOptions options;
+        options.context = &context;
+        options.num_threads = threads;
+        const int delay = delay_us(rng);
+        std::thread canceller([&context, delay] {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay));
+          context.Cancel();
+        });
+        auto result = eval::SemiNaiveEvaluate(program, edb, options);
+        canceller.join();
+        if (result.ok()) {
+          EXPECT_EQ(result->at(pred).ToString(), want)
+              << label << ", " << threads
+              << " threads: cancelled run finished but disagrees";
+        } else {
+          EXPECT_TRUE(result.status().IsCancelled())
+              << label << ", " << threads
+              << " threads: wrong error type: " << result.status();
+        }
+      }
+
+      // Deterministic budget face: capping the tuple budget at half the
+      // known fixpoint size must trip kResourceExhausted on every engine.
+      size_t final_total = reference->at(pred).size();
+      if (final_total >= 2) {
+        for (int threads : {1, 4}) {
+          eval::FixpointOptions options;
+          options.num_threads = threads;
+          options.limits.max_total_tuples = final_total / 2;
+          auto result = eval::SemiNaiveEvaluate(program, edb, options);
+          ASSERT_FALSE(result.ok())
+              << label << ", " << threads << " threads";
+          EXPECT_TRUE(result.status().IsResourceExhausted())
+              << label << ": " << result.status();
+        }
+      }
+    }
+  }
 }
 
 // The harness must cover at least the advertised 200 program x EDB cases.

@@ -1,0 +1,282 @@
+// Deterministic error-path coverage: arms named fault sites inside every
+// evaluator and checks that the injected failure surfaces as the right
+// typed Status, with no aborts and no torn state. Runs under both asan and
+// (via the tsan label) ThreadSanitizer builds.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "datalog/parser.h"
+#include "eval/compiled_eval.h"
+#include "eval/naive.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "util/fault_injection.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+using util::FaultInjector;
+using util::FaultSpec;
+using util::ScopedFault;
+
+FaultSpec StatusFault(StatusCode code, const char* message,
+                      int trigger_on_hit = 1) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kStatus;
+  spec.code = code;
+  spec.message = message;
+  spec.trigger_on_hit = trigger_on_hit;
+  return spec;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  datalog::Program MustProgram(const char* text) {
+    auto p = datalog::ParseProgram(text, &symbols_);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return *p;
+  }
+
+  void Load(const char* name, const ra::Relation& rel) {
+    auto r = edb_.GetOrCreate(symbols_.Intern(name), rel.arity());
+    ASSERT_TRUE(r.ok());
+    (*r)->InsertAll(rel);
+  }
+
+  /// Transitive closure over a chain: enough rounds that a per-round fault
+  /// site gets several hits.
+  datalog::Program LoadTransitiveClosure(int chain_length) {
+    workload::Generator gen(7);
+    Load("A", gen.Chain(chain_length));
+    return MustProgram(
+        "P(X, Y) :- A(X, Y).\n"
+        "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  }
+
+  SymbolTable symbols_;
+  ra::Database edb_;
+};
+
+TEST_F(FaultInjectionTest, UnarmedSitesPass) {
+  EXPECT_TRUE(FaultInjector::Instance().Check("naive.round").ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("naive.round"), 0);
+}
+
+TEST_F(FaultInjectionTest, TriggerOnNthHitAndStickiness) {
+  FaultSpec spec = StatusFault(StatusCode::kInternal, "boom",
+                               /*trigger_on_hit=*/3);
+  spec.sticky = false;
+  FaultInjector::Instance().Arm("site", spec);
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").IsInternal());
+  // Non-sticky: one shot only.
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("site"), 4);
+
+  spec.sticky = true;
+  FaultInjector::Instance().Arm("site", spec);  // re-arm resets the count
+  EXPECT_EQ(FaultInjector::Instance().HitCount("site"), 0);
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").IsInternal());
+  EXPECT_TRUE(FaultInjector::Instance().Check("site").IsInternal());
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("scoped", StatusFault(StatusCode::kInternal, "x"));
+    EXPECT_FALSE(FaultInjector::Instance().Check("scoped").ok());
+  }
+  EXPECT_TRUE(FaultInjector::Instance().Check("scoped").ok());
+}
+
+TEST_F(FaultInjectionTest, NaiveRoundSitePropagates) {
+  datalog::Program program = LoadTransitiveClosure(10);
+  ScopedFault fault("naive.round",
+                    StatusFault(StatusCode::kInternal, "injected at round 3",
+                                /*trigger_on_hit=*/3));
+  EvalStats stats;
+  auto result = NaiveEvaluate(program, edb_, {}, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_EQ(result.status().message(), "injected at round 3");
+  // Two full rounds ran before the failure; partial progress is recorded.
+  EXPECT_EQ(stats.iterations, 3);
+  EXPECT_GT(stats.total_tuples, 0u);
+}
+
+TEST_F(FaultInjectionTest, SerialSemiNaiveRoundSitePropagates) {
+  datalog::Program program = LoadTransitiveClosure(10);
+  ScopedFault fault("seminaive.serial.round",
+                    StatusFault(StatusCode::kInternal, "injected",
+                                /*trigger_on_hit=*/2));
+  EvalStats stats;
+  auto result = SemiNaiveEvaluate(program, edb_, {}, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_GT(stats.total_tuples, 0u);
+}
+
+TEST_F(FaultInjectionTest, ParallelRoundAndTaskSitesPropagate) {
+  datalog::Program program = LoadTransitiveClosure(64);
+  FixpointOptions options;
+  options.num_threads = 4;
+  {
+    ScopedFault fault("seminaive.parallel.round",
+                      StatusFault(StatusCode::kInternal, "round fault",
+                                  /*trigger_on_hit=*/2));
+    auto result = SemiNaiveEvaluate(program, edb_, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "round fault");
+  }
+  FaultInjector::Instance().Reset();
+  {
+    ScopedFault fault("seminaive.parallel.task",
+                      StatusFault(StatusCode::kInternal, "task fault",
+                                  /*trigger_on_hit=*/5));
+    auto result = SemiNaiveEvaluate(program, edb_, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "task fault");
+  }
+}
+
+TEST_F(FaultInjectionTest, ThrowingParallelTaskSurfacesAsInternal) {
+  datalog::Program program = LoadTransitiveClosure(64);
+  FixpointOptions options;
+  options.num_threads = 4;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kThrow;
+  spec.message = "worker exploded";
+  spec.trigger_on_hit = 3;
+  ScopedFault fault("seminaive.parallel.task", spec);
+  auto result = SemiNaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_NE(result.status().message().find("worker exploded"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, BadAllocInParallelTaskIsResourceExhausted) {
+  datalog::Program program = LoadTransitiveClosure(64);
+  FixpointOptions options;
+  options.num_threads = 4;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kBadAlloc;
+  spec.trigger_on_hit = 2;
+  ScopedFault fault("seminaive.parallel.task", spec);
+  auto result = SemiNaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST_F(FaultInjectionTest, BadAllocInRelationReserveIsContained) {
+  datalog::Program program = LoadTransitiveClosure(20);
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kBadAlloc;
+  spec.trigger_on_hit = 2;
+  ScopedFault fault("ra.relation.reserve", spec);
+  // The serial engine Reserve()s during its merge stage; the simulated
+  // allocation failure must come back as a Status, not terminate.
+  auto result = SemiNaiveEvaluate(program, edb_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_NE(result.status().message().find("allocation failure"),
+            std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, CompiledLevelSitePropagates) {
+  workload::Generator gen(9);
+  Load("A", gen.Chain(30));
+  Load("E", gen.Chain(30));
+  auto rule = datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  ASSERT_TRUE(formula.ok());
+  auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &symbols_);
+  ASSERT_TRUE(exit.ok());
+  auto ev = StableEvaluator::Create(*formula, {*exit}, &symbols_);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+  Query q;
+  q.pred = symbols_.Lookup("P");
+  q.bindings = {ra::Value{0}, std::nullopt};
+
+  ScopedFault fault("compiled.level",
+                    StatusFault(StatusCode::kInternal, "level fault",
+                                /*trigger_on_hit=*/4));
+  auto result = ev->Answer(q, edb_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "level fault");
+}
+
+TEST_F(FaultInjectionTest, SpecialPlansRoundSitePropagates) {
+  workload::Generator gen(41);
+  Load("A", gen.RandomGraph(15, 30));
+  Load("B", gen.RandomGraph(15, 30));
+  Load("E", gen.RandomRows(3, 15, 40));
+  ScopedFault fault("special_plans.round",
+                    StatusFault(StatusCode::kInternal, "plan fault"));
+  auto result = S9PlanBoundFirst(edb_, symbols_, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "plan fault");
+}
+
+TEST_F(FaultInjectionTest, QueryFilterIntoSitePropagates) {
+  ra::Relation full(2);
+  full.Insert({1, 2});
+  Query q;
+  q.pred = symbols_.Intern("P");
+  q.bindings = {std::nullopt, std::nullopt};
+  ScopedFault fault("query.filter_into",
+                    StatusFault(StatusCode::kInternal, "filter fault"));
+  ra::Relation out(2);
+  auto result = q.FilterInto(full, &out);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "filter fault");
+}
+
+TEST_F(FaultInjectionTest, OnHitCallbackCancelsAtADeterministicRound) {
+  // The callback fires when round 3 starts and flips the cancel flag; the
+  // engine must observe it on the next poll and stop with kCancelled.
+  datalog::Program program = LoadTransitiveClosure(20);
+  ExecutionContext context;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDelay;  // no failure, just the callback
+  spec.trigger_on_hit = 3;
+  spec.sticky = false;
+  spec.on_hit = [&context] { context.Cancel(); };
+  ScopedFault fault("seminaive.serial.round", spec);
+
+  FixpointOptions options;
+  options.context = &context;
+  EvalStats stats;
+  auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+  EXPECT_EQ(stats.iterations, 4);  // cancelled entering round 4
+  EXPECT_GT(stats.total_tuples, 0u);
+}
+
+TEST_F(FaultInjectionTest, DelayFaultForcesDeadline) {
+  datalog::Program program = LoadTransitiveClosure(30);
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDelay;
+  spec.delay_ms = 20;
+  ScopedFault fault("seminaive.serial.round", spec);
+
+  FixpointOptions options;
+  options.limits.deadline_seconds = 0.03;
+  EvalStats stats;
+  auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_GE(stats.iterations, 1);
+}
+
+}  // namespace
+}  // namespace recur::eval

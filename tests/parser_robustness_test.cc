@@ -1,0 +1,161 @@
+// Parser/lexer robustness sweep: truncated, mutated, and adversarially
+// nested inputs must always come back as a Status — never a crash, hang, or
+// silent acceptance of garbage. Every parse is timed; an input that stalls
+// the lexer would trip the per-input budget long before CI's timeout.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <string>
+
+#include "datalog/parser.h"
+
+namespace recur::datalog {
+namespace {
+
+constexpr const char* kSeedPrograms[] = {
+    "P(X, Y) :- A(X, Y).\nP(X, Y) :- A(X, Z), P(Z, Y).\n",
+    "P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).\nP(X, Y, Z) :- E(X, Y, Z).\n",
+    "A(a, b).\nA(b, c).\n?- P(a, Y).\n",
+    "P(X, Y) <- A(X, Z) & B(Z, Y).\n",
+};
+
+/// Parses with a wall-clock budget. The parser is a single linear pass, so
+/// 250 ms is orders of magnitude above any legitimate input in this sweep;
+/// exceeding it means the lexer stopped making progress.
+Result<Program> TimedParse(const std::string& input, SymbolTable* symbols) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = ParseProgram(input, symbols);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 0.25) << "parser stalled on: " << input.substr(0, 80);
+  return result;
+}
+
+TEST(ParserRobustnessTest, EveryTruncationReturnsCleanly) {
+  for (const char* seed : kSeedPrograms) {
+    std::string text(seed);
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      SymbolTable symbols;
+      std::string truncated = text.substr(0, cut);
+      auto result = TimedParse(truncated, &symbols);
+      // A prefix that happens to end on a clause boundary may parse; all we
+      // require is a clean Status either way.
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DanglingImplicationIsAnError) {
+  for (const char* seed : kSeedPrograms) {
+    SymbolTable symbols;
+    std::string text = std::string(seed) + "Q(X, Y) :-";
+    auto result = TimedParse(text, &symbols);
+    EXPECT_FALSE(result.ok()) << text;
+  }
+}
+
+TEST(ParserRobustnessTest, IllegalBytesAlwaysError) {
+  // Bytes the grammar can never accept, spliced into every position of a
+  // valid program.
+  const char illegal[] = {'\x01', '@', '!', ';', '\x7f'};
+  std::string text(kSeedPrograms[0]);
+  for (char byte : illegal) {
+    for (size_t pos = 0; pos <= text.size(); pos += 3) {
+      SymbolTable symbols;
+      std::string mutated = text;
+      mutated.insert(pos, 1, byte);
+      auto result = TimedParse(mutated, &symbols);
+      EXPECT_FALSE(result.ok())
+          << "byte " << static_cast<int>(byte) << " at " << pos;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomMutationSweepNeverCrashes) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (const char* seed : kSeedPrograms) {
+    std::string text(seed);
+    std::uniform_int_distribution<size_t> pos_dist(0, text.size() - 1);
+    for (int trial = 0; trial < 500; ++trial) {
+      std::string mutated = text;
+      int edits = 1 + trial % 4;
+      for (int e = 0; e < edits; ++e) {
+        size_t pos = pos_dist(rng);
+        switch (trial % 3) {
+          case 0:  // overwrite
+            mutated[pos % mutated.size()] =
+                static_cast<char>(byte_dist(rng));
+            break;
+          case 1:  // insert
+            mutated.insert(pos % (mutated.size() + 1), 1,
+                           static_cast<char>(byte_dist(rng)));
+            break;
+          case 2:  // delete
+            if (!mutated.empty()) mutated.erase(pos % mutated.size(), 1);
+            break;
+        }
+      }
+      SymbolTable symbols;
+      // ok() or error are both acceptable outcomes; the invariant is that
+      // the parse terminates promptly and the Status is well-formed.
+      auto result = TimedParse(mutated, &symbols);
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedInputFailsFast) {
+  for (int depth : {16, 256, 4096, 65536}) {
+    SymbolTable symbols;
+    std::string text = "P" + std::string(depth, '(');
+    auto result = TimedParse(text, &symbols);
+    EXPECT_FALSE(result.ok()) << "depth " << depth;
+
+    // Balanced but absurd nesting in argument position is equally invalid:
+    // the grammar has no nested terms.
+    std::string balanced = "P(" + std::string(depth, '(') + "a" +
+                           std::string(depth, ')') + ").";
+    SymbolTable symbols2;
+    auto result2 = TimedParse(balanced, &symbols2);
+    EXPECT_FALSE(result2.ok()) << "balanced depth " << depth;
+  }
+}
+
+TEST(ParserRobustnessTest, PathologicalRepetitionStaysLinear) {
+  // A very long, syntactically valid program parses fine; the same program
+  // with the final '.' removed errors — both promptly.
+  std::string big;
+  for (int i = 0; i < 20000; ++i) {
+    big += "A(a, b).\n";
+  }
+  SymbolTable symbols;
+  auto ok = TimedParse(big, &symbols);
+  EXPECT_TRUE(ok.ok());
+
+  big.resize(big.size() - 2);  // drop ".\n"
+  SymbolTable symbols2;
+  auto bad = TimedParse(big, &symbols2);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ParserRobustnessTest, UnterminatedStringAndCommentAreErrors) {
+  SymbolTable symbols;
+  auto s = TimedParse("P(\"unterminated).", &symbols);
+  EXPECT_FALSE(s.ok());
+
+  // A comment that swallows the rest of the input leaves a dangling rule.
+  SymbolTable symbols2;
+  auto c = TimedParse("P(X, Y) :- % everything after is comment\n", &symbols2);
+  EXPECT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace recur::datalog

@@ -1,0 +1,342 @@
+// Resource-governance contract tests: deadlines, tuple/arena budgets,
+// max_iterations, and cooperative cancellation across every engine. The
+// headline case is the paper's class-C (unbounded) example s9 under a 50 ms
+// deadline — the classifier cannot tame that recursion, so the runtime
+// guardrails must.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "datalog/parser.h"
+#include "eval/compiled_eval.h"
+#include "eval/naive.h"
+#include "eval/seminaive.h"
+#include "eval/special_plans.h"
+#include "util/fault_injection.h"
+#include "workload/generator.h"
+
+namespace recur::eval {
+namespace {
+
+using util::FaultInjector;
+using util::FaultSpec;
+using util::ScopedFault;
+
+class ResourceGovernanceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  datalog::Program MustProgram(const char* text) {
+    auto p = datalog::ParseProgram(text, &symbols_);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return *p;
+  }
+
+  void Load(const char* name, const ra::Relation& rel) {
+    auto r = edb_.GetOrCreate(symbols_.Intern(name), rel.arity());
+    ASSERT_TRUE(r.ok());
+    (*r)->InsertAll(rel);
+  }
+
+  /// The paper's s9 (class C, unbounded — no compiled form exists) over an
+  /// EDB built so the fixpoint walks the z position forward one step per
+  /// round: ~n rounds of work from a single exit tuple.
+  ///   A = {(i, i+2)},  B = {(i, i+1)}  (chains),  E = {(n-1, 1, n)}.
+  datalog::Program LoadClassCWorkload(int n) {
+    ra::Relation a(2);
+    for (int i = 0; i + 2 <= n; ++i) a.Insert({i, i + 2});
+    ra::Relation b(2);
+    for (int i = 0; i + 1 <= n; ++i) b.Insert({i, i + 1});
+    ra::Relation e(3);
+    e.Insert({n - 1, 1, n});
+    Load("A", a);
+    Load("B", b);
+    Load("E", e);
+    return MustProgram(
+        "P(X, Y, Z) :- A(X, Y), B(U, V), P(U, Z, V).\n"
+        "P(X, Y, Z) :- E(X, Y, Z).\n");
+  }
+
+  datalog::Program LoadTransitiveClosure(int chain_length) {
+    workload::Generator gen(5);
+    Load("A", gen.Chain(chain_length));
+    return MustProgram(
+        "P(X, Y) :- A(X, Y).\n"
+        "P(X, Y) :- A(X, Z), P(Z, Y).\n");
+  }
+
+  SymbolTable symbols_;
+  ra::Database edb_;
+};
+
+// Acceptance: the class-C workload under a 50 ms deadline returns
+// kDeadlineExceeded with non-empty partial stats on every engine and thread
+// count. Sticky 10 ms round delays make the breach deterministic.
+TEST_F(ResourceGovernanceTest, ClassCDeadlineExceededOnEveryEngine) {
+  datalog::Program program = LoadClassCWorkload(60);
+  FaultSpec slow;
+  slow.kind = FaultSpec::Kind::kDelay;
+  slow.delay_ms = 10;
+  FaultInjector::Instance().Arm("naive.round", slow);
+  FaultInjector::Instance().Arm("seminaive.serial.round", slow);
+  FaultInjector::Instance().Arm("seminaive.parallel.round", slow);
+
+  for (int threads : {1, 4, 8}) {
+    FixpointOptions options;
+    options.num_threads = threads;
+    options.limits.deadline_seconds = 0.05;
+    EvalStats stats;
+    auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << threads << " threads: " << result.status();
+    EXPECT_GE(stats.iterations, 1) << threads << " threads";
+    EXPECT_GT(stats.total_tuples, 0u) << threads << " threads";
+    EXPECT_GT(stats.arena_bytes, 0u) << threads << " threads";
+  }
+
+  FixpointOptions options;
+  options.limits.deadline_seconds = 0.05;
+  EvalStats stats;
+  auto naive = NaiveEvaluate(program, edb_, options, &stats);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_TRUE(naive.status().IsDeadlineExceeded()) << naive.status();
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_GT(stats.total_tuples, 0u);
+}
+
+// Satellite: every engine reports a max_iterations overrun as
+// kResourceExhausted with the round cap in the message.
+TEST_F(ResourceGovernanceTest, MaxIterationsIsResourceExhaustedEverywhere) {
+  datalog::Program program = LoadTransitiveClosure(30);
+  FixpointOptions options;
+  options.limits.max_iterations = 5;  // the closure needs ~30 rounds
+
+  auto check = [](const Status& s, const char* engine) {
+    EXPECT_TRUE(s.IsResourceExhausted()) << engine << ": " << s;
+    EXPECT_NE(s.message().find("max_iterations"), std::string::npos)
+        << engine;
+    EXPECT_NE(s.message().find("5"), std::string::npos) << engine;
+  };
+
+  auto naive = NaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(naive.ok());
+  check(naive.status(), "naive");
+
+  auto serial = SemiNaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(serial.ok());
+  check(serial.status(), "semi-naive serial");
+
+  options.num_threads = 4;
+  auto parallel = SemiNaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(parallel.ok());
+  check(parallel.status(), "semi-naive parallel");
+
+  // Compiled engine: cyclic data with dedup disabled forces synchronized
+  // mode, whose frontier state cycles, so it falls back to semi-naive —
+  // which must honor the same (shared-context) iteration cap.
+  SymbolTable csyms;
+  ra::Database cyc;
+  ra::Relation ring(2);
+  for (int i = 0; i < 30; ++i) ring.Insert({i, (i + 1) % 30});
+  auto ar = cyc.GetOrCreate(csyms.Intern("A"), 2);
+  ASSERT_TRUE(ar.ok());
+  (*ar)->InsertAll(ring);
+  auto er = cyc.GetOrCreate(csyms.Intern("E"), 2);
+  ASSERT_TRUE(er.ok());
+  (*er)->InsertAll(ring);
+  auto rule = datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &csyms);
+  ASSERT_TRUE(rule.ok());
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  ASSERT_TRUE(formula.ok());
+  auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &csyms);
+  ASSERT_TRUE(exit.ok());
+  auto ev = StableEvaluator::Create(*formula, {*exit}, &csyms);
+  ASSERT_TRUE(ev.ok()) << ev.status();
+  Query q;
+  q.pred = csyms.Lookup("P");
+  q.bindings = {ra::Value{0}, std::nullopt};
+  CompiledEvalOptions copts;
+  copts.allow_dedup = false;
+  copts.fixpoint.limits.max_iterations = 5;
+  CompiledEvalStats cstats;
+  auto compiled = ev->Answer(q, cyc, copts, &cstats);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_TRUE(cstats.fell_back);
+  check(compiled.status(), "compiled (fallback)");
+}
+
+TEST_F(ResourceGovernanceTest, TupleBudgetBreachIsResourceExhausted) {
+  datalog::Program program = LoadTransitiveClosure(40);  // closure: 820
+  for (int threads : {1, 4}) {
+    FixpointOptions options;
+    options.num_threads = threads;
+    options.limits.max_total_tuples = 100;
+    EvalStats stats;
+    auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+    EXPECT_NE(result.status().message().find("tuple budget"),
+              std::string::npos);
+    EXPECT_GT(stats.total_tuples, 100u);  // partial progress was recorded
+  }
+  FixpointOptions options;
+  options.limits.max_total_tuples = 100;
+  auto naive = NaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_TRUE(naive.status().IsResourceExhausted());
+}
+
+TEST_F(ResourceGovernanceTest, ArenaBudgetBreachIsResourceExhausted) {
+  datalog::Program program = LoadTransitiveClosure(40);
+  for (int threads : {1, 4}) {
+    FixpointOptions options;
+    options.num_threads = threads;
+    options.limits.max_arena_bytes = 2048;
+    EvalStats stats;
+    auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+    EXPECT_NE(result.status().message().find("arena budget"),
+              std::string::npos);
+    EXPECT_GT(stats.arena_bytes, 2048u);
+  }
+}
+
+TEST_F(ResourceGovernanceTest, GenerousLimitsLeaveResultsUntouched) {
+  datalog::Program program = LoadTransitiveClosure(40);
+  auto ungoverned = SemiNaiveEvaluate(program, edb_);
+  ASSERT_TRUE(ungoverned.ok());
+  FixpointOptions options;
+  options.limits.deadline_seconds = 60.0;
+  options.limits.max_total_tuples = 1u << 20;
+  options.limits.max_arena_bytes = 1u << 30;
+  for (int threads : {1, 4}) {
+    options.num_threads = threads;
+    auto governed = SemiNaiveEvaluate(program, edb_, options);
+    ASSERT_TRUE(governed.ok()) << governed.status();
+    EXPECT_EQ(governed->at(symbols_.Lookup("P")).ToString(),
+              ungoverned->at(symbols_.Lookup("P")).ToString());
+  }
+}
+
+TEST_F(ResourceGovernanceTest, PreCancelledContextStopsImmediately) {
+  datalog::Program program = LoadTransitiveClosure(40);
+  ExecutionContext context;
+  context.Cancel();
+  FixpointOptions options;
+  options.context = &context;
+  for (int threads : {1, 4}) {
+    options.num_threads = threads;
+    EvalStats stats;
+    auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+    EXPECT_EQ(stats.iterations, 1);  // observed at the first poll
+    stats = EvalStats();
+  }
+  auto naive = NaiveEvaluate(program, edb_, options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_TRUE(naive.status().IsCancelled());
+}
+
+TEST_F(ResourceGovernanceTest, CancelFromAnotherThreadStopsTheFixpoint) {
+  datalog::Program program = LoadClassCWorkload(60);
+  FaultSpec slow;
+  slow.kind = FaultSpec::Kind::kDelay;
+  slow.delay_ms = 5;
+  FaultInjector::Instance().Arm("seminaive.parallel.round", slow);
+
+  ExecutionContext context;
+  FixpointOptions options;
+  options.context = &context;
+  options.num_threads = 4;
+  std::thread canceller([&context] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    context.Cancel();
+  });
+  EvalStats stats;
+  auto result = SemiNaiveEvaluate(program, edb_, options, &stats);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  EXPECT_GE(stats.iterations, 1);
+}
+
+TEST_F(ResourceGovernanceTest, CompiledEngineHonorsDeadline) {
+  workload::Generator gen(6);
+  Load("A", gen.Chain(40));
+  Load("E", gen.Chain(40));
+  auto rule = datalog::ParseRule("P(X, Y) :- A(X, Z), P(Z, Y).", &symbols_);
+  ASSERT_TRUE(rule.ok());
+  auto formula = datalog::LinearRecursiveRule::Create(*rule);
+  ASSERT_TRUE(formula.ok());
+  auto exit = datalog::ParseRule("P(X, Y) :- E(X, Y).", &symbols_);
+  ASSERT_TRUE(exit.ok());
+  auto ev = StableEvaluator::Create(*formula, {*exit}, &symbols_);
+  ASSERT_TRUE(ev.ok());
+
+  FaultSpec slow;
+  slow.kind = FaultSpec::Kind::kDelay;
+  slow.delay_ms = 10;
+  ScopedFault fault("compiled.level", slow);
+  Query q;
+  q.pred = symbols_.Lookup("P");
+  q.bindings = {ra::Value{0}, std::nullopt};
+  CompiledEvalOptions options;
+  options.fixpoint.limits.deadline_seconds = 0.05;
+  auto result = ev->Answer(q, edb_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+}
+
+TEST_F(ResourceGovernanceTest, SpecialPlansObserveCancellation) {
+  workload::Generator gen(41);
+  Load("A", gen.RandomGraph(15, 30));
+  Load("B", gen.RandomGraph(15, 30));
+  Load("E", gen.RandomRows(3, 15, 40));
+  ExecutionContext context;
+  context.Cancel();
+  auto result = S9PlanBoundFirst(edb_, symbols_, 0, nullptr, &context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+}
+
+TEST_F(ResourceGovernanceTest, FilterIntoPollsTheContext) {
+  ra::Relation full(2);
+  for (int i = 0; i < 10; ++i) full.Insert({i, i + 1});
+  Query q;
+  q.pred = symbols_.Intern("P");
+  q.bindings = {std::nullopt, std::nullopt};
+  ExecutionContext context;
+  context.Cancel();
+  ra::Relation out(2);
+  auto result = q.FilterInto(full, &out, &context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+  EXPECT_TRUE(out.empty());  // cancelled before the first row
+}
+
+TEST_F(ResourceGovernanceTest, SharedContextCarriesTheDeadlineAcrossCalls) {
+  // One context, two evaluations: the second inherits the already-elapsed
+  // clock instead of restarting its budget.
+  datalog::Program program = LoadTransitiveClosure(20);
+  ExecutionContext context(
+      ResourceLimits{.deadline_seconds = 0.02});
+  FixpointOptions options;
+  options.context = &context;
+  auto first = SemiNaiveEvaluate(program, edb_, options);
+  ASSERT_TRUE(first.ok()) << first.status();  // fast enough to finish
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EvalStats stats;
+  auto second = SemiNaiveEvaluate(program, edb_, options, &stats);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsDeadlineExceeded()) << second.status();
+  EXPECT_EQ(stats.iterations, 1);
+}
+
+}  // namespace
+}  // namespace recur::eval

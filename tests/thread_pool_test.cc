@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <new>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "datalog/parser.h"
@@ -63,6 +66,90 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // ~ThreadPool must run all queued tasks before joining
   EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesAsStatusFromWait) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count, i] {
+      if (i == 10) throw std::runtime_error("task 10 failed");
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal()) << status;
+  EXPECT_NE(status.message().find("task 10 failed"), std::string::npos);
+  // Fail-fast: the failure dropped the tasks still queued at that moment.
+  EXPECT_LT(count.load(), 100);
+
+  // Wait() re-armed the pool: the next batch runs clean.
+  count = 0;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, BadAllocBecomesResourceExhausted) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::bad_alloc(); });
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted()) << status;
+}
+
+TEST(ThreadPoolTest, OnlyTheFirstExceptionIsReported) {
+  ThreadPool pool(1);  // single worker: deterministic task order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  Status status = pool.Wait();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("first"), std::string::npos);
+  EXPECT_EQ(status.message().find("second"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, CancelPendingDropsQueuedTasksOnly) {
+  ThreadPool pool(2);
+  // Park both workers so everything submitted after is provably queued.
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([&release, &started] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.CancelPending();
+  release = true;
+  EXPECT_TRUE(pool.Wait().ok());  // cancellation is not an error
+  EXPECT_EQ(count.load(), 0);     // none of the queued tasks ran
+
+  // The pool is reusable after a cancelled batch.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  Status status = ParallelFor(&pool, 200, [&count](int i) {
+    if (i == 17) throw std::runtime_error("iteration 17");
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("iteration 17"), std::string::npos);
 }
 
 class ParallelSemiNaiveTest : public ::testing::Test {
