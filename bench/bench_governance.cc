@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_json.h"
 #include "datalog/parser.h"
 #include "eval/seminaive.h"
 #include "ra/database.h"
@@ -69,6 +70,8 @@ void RunFixpoint(benchmark::State& state, Closure* c, bool governed) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(c->expected));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(options.num_threads));
 }
 
 void BM_Ungoverned_RandomGraph(benchmark::State& state) {
@@ -105,4 +108,4 @@ BENCHMARK(BM_Governed_Chain)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace recur::bench
 
-BENCHMARK_MAIN();
+RECUR_BENCH_MAIN("governance");

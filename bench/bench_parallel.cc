@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_json.h"
 #include "datalog/parser.h"
 #include "eval/seminaive.h"
 #include "ra/database.h"
@@ -50,7 +51,7 @@ std::unique_ptr<Closure> MakeClosure(const ra::Relation& edges) {
 
 /// Runs the fixpoint at state.range(0) threads and verifies the result
 /// cardinality against the single-threaded engine (computed once).
-void RunClosure(benchmark::State& state, Closure* c) {
+void RunClosure(benchmark::State& state, Closure* c, bool plan_cache = true) {
   static_assert(sizeof(size_t) >= 8, "cardinalities fit");
   eval::FixpointOptions serial;
   auto reference = eval::SemiNaiveEvaluate(c->program, c->edb, serial);
@@ -62,6 +63,7 @@ void RunClosure(benchmark::State& state, Closure* c) {
 
   eval::FixpointOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  options.plan_cache = plan_cache;
   size_t tuples = 0;
   for (auto _ : state) {
     auto idb = eval::SemiNaiveEvaluate(c->program, c->edb, options);
@@ -150,11 +152,41 @@ void BM_Parallel_Reach_RandomGraph50k(benchmark::State& state) {
     benchmark::DoNotOptimize(idb);
   }
   state.counters["tuples"] = benchmark::Counter(static_cast<double>(want));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(options.num_threads));
 }
 BENCHMARK(BM_Parallel_Reach_RandomGraph50k)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MinTime(0.5);
 
+// Plan-cache ablation: the same closure fixpoints with the per-run plan
+// cache disabled, so every (rule, delta position) evaluation replans from
+// the current cardinalities. The gap to the cached series at the same
+// thread count is the payoff of compiling each plan once per fixpoint.
+void BM_Parallel_TC_Chain_NoPlanCache(benchmark::State& state) {
+  workload::Generator gen(201);
+  auto c = MakeClosure(gen.Chain(512));
+  RunClosure(state, c.get(), /*plan_cache=*/false);
+}
+BENCHMARK(BM_Parallel_TC_Chain_NoPlanCache)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_Grid_NoPlanCache(benchmark::State& state) {
+  workload::Generator gen(202);
+  auto c = MakeClosure(gen.Grid(40, 40));
+  RunClosure(state, c.get(), /*plan_cache=*/false);
+}
+BENCHMARK(BM_Parallel_TC_Grid_NoPlanCache)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_RandomGraph_NoPlanCache(benchmark::State& state) {
+  workload::Generator gen(203);
+  auto c = MakeClosure(gen.RandomGraph(4000, 4400));
+  RunClosure(state, c.get(), /*plan_cache=*/false);
+}
+BENCHMARK(BM_Parallel_TC_RandomGraph_NoPlanCache)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace recur::bench
 
-BENCHMARK_MAIN();
+RECUR_BENCH_MAIN("pipeline");

@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 
+#include "bench_json.h"
 #include "ra/operators.h"
 #include "ra/relation.h"
 #include "workload/generator.h"
@@ -155,4 +156,4 @@ BENCHMARK(BM_Storage_JoinRandom)->Arg(10000)->Arg(100000)
 }  // namespace
 }  // namespace recur::bench
 
-BENCHMARK_MAIN();
+RECUR_BENCH_MAIN("storage");

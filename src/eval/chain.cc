@@ -79,21 +79,23 @@ Result<StableChains> ExtractChains(const datalog::LinearRecursiveRule& formula,
 
 Result<ra::Relation> MaterializeStep(const PositionChain& chain,
                                      const RelationLookup& lookup,
-                                     EvalStats* stats) {
+                                     EvalStats* stats,
+                                     const ConjunctiveOptions& conj) {
   if (chain.identity) {
     return Status::InvalidArgument("identity chains have no step relation");
   }
-  return EvaluateRule(chain.step_rule, lookup, {}, stats);
+  return EvaluateRule(chain.step_rule, lookup, conj, stats);
 }
 
 Result<bool> GuardHolds(const StableChains& chains,
-                        const RelationLookup& lookup, EvalStats* stats) {
+                        const RelationLookup& lookup, EvalStats* stats,
+                        const ConjunctiveOptions& conj) {
   if (chains.guard_atoms.empty()) return true;
   SymbolTable scratch;
   datalog::Atom head(scratch.Intern("__guard"), {});
   datalog::Rule guard_rule(std::move(head), chains.guard_atoms);
   RECUR_ASSIGN_OR_RETURN(ra::Relation result,
-                         EvaluateRule(guard_rule, lookup, {}, stats));
+                         EvaluateRule(guard_rule, lookup, conj, stats));
   return !result.empty();
 }
 

@@ -45,15 +45,18 @@ Result<StableChains> ExtractChains(const datalog::LinearRecursiveRule& formula,
                                    SymbolTable* symbols);
 
 /// Materializes the binary step relation S_i for a non-identity chain.
+/// `conj` (plan cache, governance context) is forwarded to the pipeline.
 Result<ra::Relation> MaterializeStep(const PositionChain& chain,
                                      const RelationLookup& lookup,
-                                     EvalStats* stats = nullptr);
+                                     EvalStats* stats = nullptr,
+                                     const ConjunctiveOptions& conj = {});
 
 /// True if the guard conjunction is satisfiable in the database (vacuously
 /// true when there are no guard atoms).
 Result<bool> GuardHolds(const StableChains& chains,
                         const RelationLookup& lookup,
-                        EvalStats* stats = nullptr);
+                        EvalStats* stats = nullptr,
+                        const ConjunctiveOptions& conj = {});
 
 }  // namespace recur::eval
 

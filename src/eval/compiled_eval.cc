@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "eval/plan/plan_cache.h"
 #include "ra/operators.h"
 #include "util/fault_injection.h"
 
@@ -111,6 +112,7 @@ Result<StableEvaluator> StableEvaluator::Create(
   out.recursive_ = std::move(recursive);
   out.exits_ = std::move(exits);
   out.symbols_ = symbols;
+  out.plan_cache_ = std::make_shared<plan::PlanCache>();
   for (int i = 0; i < out.recursive_.dimension(); ++i) {
     out.frontier_preds_.push_back(
         symbols->Intern("__frontier_" + std::to_string(i)));
@@ -159,15 +161,21 @@ Result<ra::Relation> StableEvaluator::Answer(
     return edb.Find(pred);
   };
 
+  // Every pipeline entry from this call shares the evaluator's plan cache
+  // and this call's governance context.
+  ConjunctiveOptions conj;
+  conj.plan_cache = plan_cache_.get();
+  conj.context = ctx.get();
+
   // Materialize step relations for non-identity chains.
   std::vector<std::optional<ra::Relation>> steps(n);
   for (const PositionChain& chain : chains_.chains) {
     if (chain.identity) continue;
     RECUR_ASSIGN_OR_RETURN(steps[chain.position],
-                           MaterializeStep(chain, lookup, stats));
+                           MaterializeStep(chain, lookup, stats, conj));
   }
   RECUR_ASSIGN_OR_RETURN(bool guard_ok,
-                         GuardHolds(chains_, lookup, stats));
+                         GuardHolds(chains_, lookup, stats, conj));
 
   std::vector<int> bound = query.BoundPositions();
   std::vector<int> free = query.FreePositions();
@@ -207,7 +215,7 @@ Result<ra::Relation> StableEvaluator::Answer(
     ra::Relation out(static_cast<int>(free.size()));
     for (const datalog::Rule& rule : level_rules) {
       RECUR_ASSIGN_OR_RETURN(ra::Relation r,
-                             EvaluateRule(rule, lookup, {}, stats));
+                             EvaluateRule(rule, lookup, conj, stats));
       out.InsertAll(r);
     }
     return out;

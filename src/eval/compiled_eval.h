@@ -1,6 +1,7 @@
 #ifndef RECUR_EVAL_COMPILED_EVAL_H_
 #define RECUR_EVAL_COMPILED_EVAL_H_
 
+#include <memory>
 #include <vector>
 
 #include "classify/classifier.h"
@@ -11,6 +12,10 @@
 #include "transform/stable_form.h"
 
 namespace recur::eval {
+
+namespace plan {
+class PlanCache;
+}  // namespace plan
 
 /// How the free-position chain powers of a synchronized plan are evaluated.
 enum class FreeMode {
@@ -110,6 +115,11 @@ class StableEvaluator {
   StableChains chains_;
   SymbolTable* symbols_ = nullptr;
   std::vector<SymbolId> frontier_preds_;  // synthetic, one per position
+  /// Level/step/guard rules are structurally identical across levels and
+  /// Answer calls, so their physical plans persist with the evaluator.
+  /// (shared_ptr: PlanCache owns a mutex and the evaluator must stay
+  /// movable; the cache itself is thread-safe.)
+  std::shared_ptr<plan::PlanCache> plan_cache_;
 };
 
 }  // namespace recur::eval

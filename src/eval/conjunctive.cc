@@ -1,203 +1,12 @@
 #include "eval/conjunctive.h"
 
-#include <algorithm>
 #include <cstdio>
 
-#include "graph/components.h"
+#include "eval/plan/executor.h"
+#include "eval/plan/plan_cache.h"
+#include "eval/plan/planner.h"
 
 namespace recur::eval {
-
-namespace {
-
-/// A growing set of variable bindings represented as a relation whose
-/// columns correspond to `vars`.
-struct BindingSet {
-  std::vector<SymbolId> vars;
-  ra::Relation rel{0};
-
-  int ColumnOf(SymbolId var) const {
-    for (size_t i = 0; i < vars.size(); ++i) {
-      if (vars[i] == var) return static_cast<int>(i);
-    }
-    return -1;
-  }
-};
-
-/// Extends `bindings` with one atom: for every binding row, finds the
-/// matching atom rows (constants and already-bound variables must agree,
-/// repeated variables must agree among themselves) and appends values for
-/// newly seen variables.
-Status ExtendWithAtom(const datalog::Atom& atom, const ra::Relation& rel,
-                      BindingSet* bindings, EvalStats* stats) {
-  if (rel.arity() != atom.arity()) {
-    return Status::InvalidArgument(
-        "relation arity does not match atom arity");
-  }
-  // Classify atom argument positions.
-  struct BoundCheck {
-    int atom_col;
-    int binding_col;
-  };
-  struct ConstCheck {
-    int atom_col;
-    ra::Value value;
-  };
-  std::vector<BoundCheck> bound_checks;
-  std::vector<ConstCheck> const_checks;
-  // For repeated fresh variables within the atom: (first col, later col).
-  std::vector<std::pair<int, int>> intra_checks;
-  // Newly bound variables: (atom col, var).
-  std::vector<std::pair<int, SymbolId>> fresh;
-  for (int i = 0; i < atom.arity(); ++i) {
-    const datalog::Term& t = atom.args()[i];
-    if (t.IsConstant()) {
-      const_checks.push_back({i, static_cast<ra::Value>(t.symbol())});
-      continue;
-    }
-    int bcol = bindings->ColumnOf(t.symbol());
-    if (bcol >= 0) {
-      bound_checks.push_back({i, bcol});
-      continue;
-    }
-    bool repeated = false;
-    for (const auto& [col, var] : fresh) {
-      if (var == t.symbol()) {
-        intra_checks.emplace_back(col, i);
-        repeated = true;
-        break;
-      }
-    }
-    if (!repeated) fresh.emplace_back(i, t.symbol());
-  }
-
-  BindingSet next;
-  next.vars = bindings->vars;
-  for (const auto& [col, var] : fresh) next.vars.push_back(var);
-  next.rel = ra::Relation(static_cast<int>(next.vars.size()));
-
-  // Candidate atom rows for one binding row.
-  auto matches = [&](ra::TupleRef brow, ra::TupleRef arow) {
-    for (const ConstCheck& c : const_checks) {
-      if (arow[c.atom_col] != c.value) return false;
-    }
-    for (const BoundCheck& c : bound_checks) {
-      if (arow[c.atom_col] != brow[c.binding_col]) return false;
-    }
-    for (const auto& [first, later] : intra_checks) {
-      if (arow[first] != arow[later]) return false;
-    }
-    return true;
-  };
-  // Stages the extended binding row straight into the output arena: the
-  // old binding columns, then the newly bound values.
-  auto emit = [&](ra::TupleRef brow, ra::TupleRef arow) {
-    ra::Value* dst = next.rel.StageRow();
-    dst = std::copy(brow.begin(), brow.end(), dst);
-    for (const auto& [col, var] : fresh) {
-      (void)var;
-      *dst++ = arow[col];
-    }
-    if (stats != nullptr) ++stats->tuples_considered;
-    next.rel.CommitStagedRow();
-  };
-
-  for (ra::TupleRef brow : bindings->rel.rows()) {
-    if (!bound_checks.empty()) {
-      // Probe the relation's hash index on the first bound column.
-      const BoundCheck& probe = bound_checks[0];
-      if (stats != nullptr) ++stats->join_probes;
-      for (int row : rel.RowsWithValue(probe.atom_col,
-                                       brow[probe.binding_col])) {
-        if (matches(brow, rel.rows()[row])) emit(brow, rel.rows()[row]);
-      }
-    } else if (!const_checks.empty()) {
-      const ConstCheck& probe = const_checks[0];
-      if (stats != nullptr) ++stats->join_probes;
-      for (int row : rel.RowsWithValue(probe.atom_col, probe.value)) {
-        if (matches(brow, rel.rows()[row])) emit(brow, rel.rows()[row]);
-      }
-    } else {
-      for (ra::TupleRef arow : rel.rows()) {
-        if (matches(brow, arow)) emit(brow, arow);
-      }
-    }
-  }
-  *bindings = std::move(next);
-  return Status::OK();
-}
-
-/// Number of variables an atom shares with the bound set (for greedy
-/// sideways-information-passing ordering); constants count as well.
-int Boundness(const datalog::Atom& atom, const BindingSet& bindings,
-              const std::unordered_map<SymbolId, ra::Value>* pre_bound) {
-  int score = 0;
-  for (const datalog::Term& t : atom.args()) {
-    if (t.IsConstant() || bindings.ColumnOf(t.symbol()) >= 0 ||
-        (pre_bound != nullptr && pre_bound->count(t.symbol()) > 0)) {
-      ++score;
-    }
-  }
-  return score;
-}
-
-/// Evaluates one connectivity component of the body (the atom indexes in
-/// `atom_indexes`) into a binding set. Pre-bound variables are seeded as
-/// an initial single-row binding.
-Result<BindingSet> EvaluateComponent(
-    const datalog::Rule& rule, const std::vector<int>& atom_indexes,
-    const RelationLookup& lookup, const ConjunctiveOptions& options,
-    EvalStats* stats) {
-  BindingSet bindings;
-  if (options.bindings != nullptr && !options.bindings->empty()) {
-    ra::Tuple seed;
-    for (const auto& [var, value] : *options.bindings) {
-      bindings.vars.push_back(var);
-      seed.push_back(value);
-    }
-    bindings.rel = ra::Relation(static_cast<int>(seed.size()));
-    bindings.rel.Insert(std::move(seed));
-  } else {
-    bindings.rel = ra::Relation(0);
-    bindings.rel.Insert(ra::Tuple{});
-  }
-
-  std::vector<int> remaining = atom_indexes;
-  while (!remaining.empty()) {
-    size_t pick = 0;
-    if (options.reorder_atoms) {
-      int best = -1;
-      for (size_t i = 0; i < remaining.size(); ++i) {
-        int score =
-            Boundness(rule.body()[remaining[i]], bindings, nullptr);
-        if (score > best) {
-          best = score;
-          pick = i;
-        }
-      }
-    }
-    int atom_index = remaining[pick];
-    remaining.erase(remaining.begin() + pick);
-
-    const datalog::Atom& atom = rule.body()[atom_index];
-    const ra::Relation* rel = nullptr;
-    if (atom_index == options.override_index) {
-      rel = options.override_relation;
-    } else {
-      rel = lookup(atom.predicate());
-    }
-    if (rel == nullptr) {
-      // Unknown relation: no derivations.
-      bindings.rel = ra::Relation(
-          static_cast<int>(bindings.vars.size()));
-      return bindings;
-    }
-    RECUR_RETURN_IF_ERROR(ExtendWithAtom(atom, *rel, &bindings, stats));
-    if (bindings.rel.empty()) return bindings;
-  }
-  return bindings;
-}
-
-}  // namespace
 
 std::string EvalStats::FormatTree() const {
   char line[256];
@@ -225,6 +34,7 @@ std::string EvalStats::FormatTree() const {
       out += line;
     }
   }
+  for (const std::string& plan_text : plans) out += plan_text;
   return out;
 }
 
@@ -232,147 +42,36 @@ Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
                                   const RelationLookup& lookup,
                                   const ConjunctiveOptions& options,
                                   EvalStats* stats) {
-  int num_atoms = static_cast<int>(rule.body().size());
+  plan::PlannerOptions planner_options;
+  planner_options.override_index = options.override_index;
+  planner_options.override_relation = options.override_relation;
+  planner_options.bindings = options.bindings;
+  planner_options.reorder_atoms = options.reorder_atoms;
 
-  // Partition the body atoms by shared *unbound* variables. Pre-bound
-  // variables are constants for this evaluation, so atoms related only
-  // through them stay independent. Disconnected groups are evaluated
-  // separately and recombined by projection + Cartesian product /
-  // existence checking — the paper's evaluation principle, and the only
-  // way depth-k expansions of bounded formulas (k disconnected copies)
-  // stay polynomial.
-  graph::UnionFind uf(num_atoms);
-  {
-    std::unordered_map<SymbolId, int> first_atom_with_var;
-    for (int i = 0; i < num_atoms; ++i) {
-      for (const datalog::Term& t : rule.body()[i].args()) {
-        if (!t.IsVariable()) continue;
-        if (options.bindings != nullptr &&
-            options.bindings->count(t.symbol()) > 0) {
-          continue;
-        }
-        auto [it, inserted] =
-            first_atom_with_var.emplace(t.symbol(), i);
-        if (!inserted) uf.Union(i, it->second);
-      }
-    }
-  }
-  std::unordered_map<int, std::vector<int>> components;
-  for (int i = 0; i < num_atoms; ++i) {
-    components[uf.Find(i)].push_back(i);
-  }
-
-  // Evaluate each component and project it onto the head variables it
-  // owns (plus a satisfiability check for head-free components).
-  struct ComponentResult {
-    std::vector<SymbolId> head_vars;  // head variables in this component
-    ra::Relation projected{0};
-  };
-  std::vector<SymbolId> head_var_list;
-  for (const datalog::Term& t : rule.head().args()) {
-    if (t.IsVariable() &&
-        std::find(head_var_list.begin(), head_var_list.end(),
-                  t.symbol()) == head_var_list.end()) {
-      head_var_list.push_back(t.symbol());
-    }
-  }
-  std::vector<ComponentResult> results;
-  for (auto& [root, atom_indexes] : components) {
-    (void)root;
+  std::shared_ptr<const plan::RulePlan> compiled;
+  if (options.plan_cache != nullptr) {
     RECUR_ASSIGN_OR_RETURN(
-        BindingSet bindings,
-        EvaluateComponent(rule, atom_indexes, lookup, options, stats));
-    if (bindings.rel.empty()) {
-      return ra::Relation(rule.head().arity());  // unsatisfiable
-    }
-    ComponentResult result;
-    std::vector<int> columns;
-    for (SymbolId h : head_var_list) {
-      int col = bindings.ColumnOf(h);
-      // Pre-bound head variables are handled via the bindings map below;
-      // they are present in every component's seed, so attribute them to
-      // no component.
-      bool pre_bound = options.bindings != nullptr &&
-                       options.bindings->count(h) > 0;
-      if (col >= 0 && !pre_bound) {
-        result.head_vars.push_back(h);
-        columns.push_back(col);
-      }
-    }
-    if (result.head_vars.empty()) continue;  // pure existence check
-    ra::Relation projected(static_cast<int>(columns.size()));
-    projected.Reserve(bindings.rel.size());
-    for (ra::TupleRef row : bindings.rel.rows()) {
-      ra::Value* dst = projected.StageRow();
-      for (int c : columns) *dst++ = row[c];
-      projected.CommitStagedRow();
-    }
-    result.projected = std::move(projected);
-    results.push_back(std::move(result));
+        compiled,
+        options.plan_cache->GetOrCompile(rule, lookup, planner_options));
+  } else {
+    RECUR_ASSIGN_OR_RETURN(compiled,
+                           plan::PlanRule(rule, lookup, planner_options));
+  }
+  if (stats != nullptr) {
+    ++stats->plans_executed;
+    if (compiled->has_join) ++stats->plans_with_joins;
   }
 
-  // Combine: Cartesian product of the per-component head projections.
-  std::vector<SymbolId> combined_vars;
-  ra::Relation combined(0);
-  combined.Insert(ra::Tuple{});
-  for (const ComponentResult& r : results) {
-    ra::Relation next(combined.arity() + r.projected.arity());
-    next.Reserve(combined.size() * r.projected.size());
-    for (ra::TupleRef a : combined.rows()) {
-      for (ra::TupleRef b : r.projected.rows()) {
-        ra::Value* dst = next.StageRow();
-        dst = std::copy(a.begin(), a.end(), dst);
-        std::copy(b.begin(), b.end(), dst);
-        next.CommitStagedRow();
-      }
-    }
-    combined = std::move(next);
-    combined_vars.insert(combined_vars.end(), r.head_vars.begin(),
-                         r.head_vars.end());
+  plan::ExecOptions exec;
+  exec.override_relation = options.override_relation;
+  exec.bindings = options.bindings;
+  exec.context = options.context;
+  exec.stats = stats;
+  auto result = plan::ExecutePlan(*compiled, lookup, exec);
+  if (stats != nullptr && options.explain) {
+    stats->plans.push_back(plan::ExplainPlan(*compiled));
   }
-
-  // Project to the head.
-  auto column_of = [&combined_vars](SymbolId var) {
-    for (size_t i = 0; i < combined_vars.size(); ++i) {
-      if (combined_vars[i] == var) return static_cast<int>(i);
-    }
-    return -1;
-  };
-  ra::Relation out(rule.head().arity());
-  std::vector<int> head_cols(rule.head().arity(), -1);
-  std::vector<ra::Value> head_consts(rule.head().arity(), 0);
-  for (int i = 0; i < rule.head().arity(); ++i) {
-    const datalog::Term& t = rule.head().args()[i];
-    if (t.IsConstant()) {
-      head_consts[i] = static_cast<ra::Value>(t.symbol());
-      continue;
-    }
-    int col = column_of(t.symbol());
-    if (col >= 0) {
-      head_cols[i] = col;
-      continue;
-    }
-    if (options.bindings != nullptr) {
-      auto it = options.bindings->find(t.symbol());
-      if (it != options.bindings->end()) {
-        head_consts[i] = it->second;
-        continue;
-      }
-    }
-    return Status::InvalidArgument(
-        "head variable not bound by the body (rule not range restricted)");
-  }
-  out.Reserve(combined.size());
-  for (ra::TupleRef row : combined.rows()) {
-    ra::Value* dst = out.StageRow();
-    for (int i = 0; i < rule.head().arity(); ++i) {
-      dst[i] = head_cols[i] >= 0 ? row[head_cols[i]] : head_consts[i];
-    }
-    if (out.CommitStagedRow() && stats != nullptr) {
-      ++stats->tuples_produced;
-    }
-  }
-  return out;
+  return result;
 }
 
 }  // namespace recur::eval

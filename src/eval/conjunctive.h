@@ -12,6 +12,11 @@
 
 namespace recur::eval {
 
+class ExecutionContext;
+namespace plan {
+class PlanCache;
+}  // namespace plan
+
 /// Resolves a predicate to its current relation. Returning nullptr means
 /// "empty relation of unknown arity" and yields no derivations.
 using RelationLookup = std::function<const ra::Relation*(SymbolId)>;
@@ -21,14 +26,23 @@ struct ConjunctiveOptions {
   /// Pre-bound variables (e.g. query constants pushed into the rule);
   /// implements the paper's "selections before joins" principle.
   const std::unordered_map<SymbolId, ra::Value>* bindings = nullptr;
-  /// Greedily reorder body atoms so that atoms sharing variables with the
-  /// already-bound set run first (sideways information passing). With
-  /// false, atoms run left to right.
+  /// Reorder body atoms (greedy boundness, then smaller relation first)
+  /// when compiling the physical plan (sideways information passing).
+  /// With false, atoms run left to right within each component.
   bool reorder_atoms = true;
   /// Replace the relation of the body atom at this index (used by
   /// semi-naive evaluation to substitute the delta); -1 for none.
   int override_index = -1;
   const ra::Relation* override_relation = nullptr;
+  /// Reuse compiled plans across calls (fixpoint rounds, levels,
+  /// queries). Without a cache every call compiles a fresh plan.
+  plan::PlanCache* plan_cache = nullptr;
+  /// Governance handle polled at operator-batch granularity inside the
+  /// executor; cancellation surfaces as kCancelled mid-rule.
+  const ExecutionContext* context = nullptr;
+  /// Append the executed plan's ExplainPlan() rendering to
+  /// EvalStats::plans.
+  bool explain = false;
 };
 
 /// Per-rule slice of one fixpoint round (only filled in when
@@ -71,7 +85,16 @@ struct EvalStats {
   /// kResourceExhausted to see how far the fixpoint got.
   size_t total_tuples = 0;
   size_t arena_bytes = 0;
+  /// Physical-plan executions this run, and how many of those plans
+  /// contained an index-probe operator (a join). join_probes can only be
+  /// nonzero when plans_with_joins is — the differential harness asserts
+  /// that invariant across the whole corpus.
+  size_t plans_executed = 0;
+  size_t plans_with_joins = 0;
   std::vector<RoundStats> rounds;
+  /// ExplainPlan() renderings, appended per EvaluateRule call when
+  /// ConjunctiveOptions::explain is set.
+  std::vector<std::string> plans;
 
   /// Renders the stats tree ("round 3: 120 derived, 40 deduped, ...")
   /// for tools and examples; flat counters only when rounds is empty.
@@ -82,7 +105,9 @@ struct EvalStats {
 /// by `lookup` and returns the derived head relation (head constants are
 /// emitted literally; repeated variables and constants inside body atoms
 /// act as equality/selection predicates). This is the workhorse shared by
-/// the naive/semi-naive fixpoints and by bounded-formula evaluation.
+/// every engine: the rule is compiled to a physical plan (cached via
+/// ConjunctiveOptions::plan_cache when provided) and executed through the
+/// shared push-based pipeline in eval/plan/.
 Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
                                   const RelationLookup& lookup,
                                   const ConjunctiveOptions& options = {},

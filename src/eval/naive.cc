@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "eval/plan/plan_cache.h"
 #include "util/fault_injection.h"
 
 namespace recur::eval {
@@ -66,6 +67,10 @@ Result<IdbRelations> NaiveEvaluateImpl(const datalog::Program& program,
   RECUR_ASSIGN_OR_RETURN(IdbRelations idb, InitializeIdb(program, edb));
   ContextScope ctx(options.context, options.limits);
   const ResourceLimits& limits = ctx->limits();
+  // One plan per rule for the whole fixpoint; rounds re-execute the cached
+  // physical plan until IDB cardinalities drift past the threshold.
+  plan::PlanCache plan_cache(
+      plan::PlanCache::Options{.enabled = options.plan_cache});
   RelationLookup lookup = [&idb, &edb](SymbolId pred) -> const ra::Relation* {
     auto it = idb.find(pred);
     if (it != idb.end()) return &it->second;
@@ -87,8 +92,11 @@ Result<IdbRelations> NaiveEvaluateImpl(const datalog::Program& program,
       if (rule.IsFact()) continue;
       auto rule_start = Clock::now();
       size_t probes_before = stats != nullptr ? stats->join_probes : 0;
+      ConjunctiveOptions conj;
+      conj.plan_cache = &plan_cache;
+      conj.context = ctx.get();
       RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
-                             EvaluateRule(rule, lookup, {}, stats));
+                             EvaluateRule(rule, lookup, conj, stats));
       size_t added = idb[rule.head().predicate()].InsertAll(derived);
       if (added > 0) changed = true;
       if (collect) {

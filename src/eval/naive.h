@@ -36,6 +36,10 @@ struct FixpointOptions {
   /// Populate the per-round, per-rule EvalStats::rounds tree (adds timing
   /// calls per rule; leave off in benchmarks of the engine itself).
   bool collect_stats = false;
+  /// Cache compiled physical plans across fixpoint rounds (the default).
+  /// Disable only for ablation: every rule evaluation then replans from
+  /// the current cardinalities — see bench_parallel's NoPlanCache series.
+  bool plan_cache = true;
 };
 
 /// Naive bottom-up fixpoint: re-derives from the full relations every round

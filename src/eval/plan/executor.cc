@@ -1,0 +1,376 @@
+#include "eval/plan/executor.h"
+
+#include <algorithm>
+
+#include "eval/conjunctive.h"
+#include "util/fault_injection.h"
+
+namespace recur::eval::plan {
+
+namespace {
+
+/// One plan execution. Lives for a single ExecutePlan call; accumulates
+/// per-operator counters locally and flushes them into the shared plan's
+/// atomics once at the end, so parallel shard tasks executing one cached
+/// plan pay one atomic add per operator, not one per row.
+class Runner {
+ public:
+  Runner(const RulePlan& plan, const PlanRelationLookup& lookup,
+         const ExecOptions& options)
+      : plan_(plan),
+        lookup_(lookup),
+        options_(options),
+        frame_(static_cast<size_t>(plan.frame_size), 0),
+        local_rows_(static_cast<size_t>(plan.num_counters), 0),
+        local_probes_(static_cast<size_t>(plan.num_counters), 0),
+        out_(plan.head_arity) {}
+
+  Result<ra::Relation> Run();
+
+ private:
+  /// Sinks: what happens to a frame that survives a whole pipeline.
+  enum class Mode { kExistence, kStream };
+
+  Status ResolveRelations();
+  /// Runs ops[op_index...]; returns false to abort enumeration (existence
+  /// satisfied, or status_ became non-OK).
+  bool RunOps(const ComponentPlan& comp, size_t op_index, Mode mode,
+              ra::Relation* project_target);
+  bool RowPasses(const Op& op, ra::TupleRef row) const;
+  bool EmitHead(const ra::Value* source);
+  /// Operator-batch governance poll.
+  bool Tick();
+  void FlushCounters();
+
+  const RulePlan& plan_;
+  const PlanRelationLookup& lookup_;
+  const ExecOptions& options_;
+  std::vector<ra::Value> frame_;
+  std::vector<ra::Value> key_;  // probe-key scratch
+  std::unordered_map<int, const ra::Relation*> relations_;  // by atom index
+  std::vector<size_t> local_rows_;
+  std::vector<size_t> local_probes_;
+  size_t local_head_rows_ = 0;
+  size_t produced_ = 0;
+  size_t rows_since_tick_ = 0;
+  bool existence_found_ = false;
+  bool missing_relation_ = false;
+  Status status_;
+  ra::Relation out_;
+};
+
+Status Runner::ResolveRelations() {
+  for (const ComponentPlan& comp : plan_.components) {
+    for (const Op& op : comp.ops) {
+      if (op.kind == OpKind::kProject) continue;
+      const ra::Relation* rel = op.atom_index == plan_.delta_index
+                                    ? options_.override_relation
+                                    : lookup_(op.predicate);
+      if (rel == nullptr) {
+        missing_relation_ = true;
+        continue;
+      }
+      if (rel->arity() != op.arity) {
+        return Status::InvalidArgument(
+            "relation arity does not match atom arity");
+      }
+      relations_[op.atom_index] = rel;
+    }
+  }
+  return Status::OK();
+}
+
+bool Runner::RowPasses(const Op& op, ra::TupleRef row) const {
+  // Probe-key columns are re-verified here: multi-column candidates come
+  // from a hash bucket and may collide.
+  for (const ConstCheck& c : op.const_checks) {
+    if (row[c.atom_col] != c.value) return false;
+  }
+  for (const RegCheck& c : op.reg_checks) {
+    if (row[c.atom_col] != frame_[c.reg]) return false;
+  }
+  for (const IntraCheck& c : op.intra_checks) {
+    if (row[c.first_col] != row[c.later_col]) return false;
+  }
+  return true;
+}
+
+bool Runner::Tick() {
+  if (++rows_since_tick_ < kExecutorBatchRows) return true;
+  rows_since_tick_ = 0;
+  status_ = util::FaultInjector::Instance().Check("plan.executor.batch");
+  if (status_.ok() && options_.context != nullptr) {
+    status_ = options_.context->CheckCancel();
+  }
+  return status_.ok();
+}
+
+bool Runner::EmitHead(const ra::Value* source) {
+  ra::Value* dst = out_.StageRow();
+  for (int i = 0; i < plan_.head_arity; ++i) {
+    const HeadSlot& slot = plan_.head[i];
+    dst[i] = slot.col >= 0 ? source[slot.col] : slot.constant;
+  }
+  ++local_head_rows_;
+  if (out_.CommitStagedRow()) ++produced_;
+  return true;
+}
+
+bool Runner::RunOps(const ComponentPlan& comp, size_t op_index, Mode mode,
+                    ra::Relation* project_target) {
+  if (op_index == comp.ops.size()) {
+    if (mode == Mode::kExistence) {
+      existence_found_ = true;
+      return false;  // one witness is enough
+    }
+    return EmitHead(frame_.data());
+  }
+  const Op& op = comp.ops[op_index];
+  if (op.kind == OpKind::kProject) {
+    ra::Value* dst = project_target->StageRow();
+    for (int reg : op.project_regs) *dst++ = frame_[reg];
+    project_target->CommitStagedRow();
+    return true;
+  }
+
+  auto it = relations_.find(op.atom_index);
+  if (it == relations_.end()) return true;  // unknown relation: no rows
+  const ra::Relation& rel = *it->second;
+
+  // On a row that survives the checks: bind outputs, count, descend.
+  auto push = [&](ra::TupleRef row) {
+    if (!Tick()) return false;
+    if (!RowPasses(op, row)) return true;
+    for (const RegOutput& o : op.outputs) frame_[o.reg] = row[o.atom_col];
+    if (op.counter_slot >= 0) ++local_rows_[op.counter_slot];
+    return RunOps(comp, op_index + 1, mode, project_target);
+  };
+
+  if (op.probe_cols.empty()) {
+    for (ra::TupleRef row : rel.rows()) {
+      if (!push(row)) return false;
+    }
+    return true;
+  }
+  if (op.counter_slot >= 0) ++local_probes_[op.counter_slot];
+  if (op.probe_cols.size() == 1) {
+    const ra::Value v = op.probe_regs[0] >= 0 ? frame_[op.probe_regs[0]]
+                                              : op.probe_consts[0];
+    for (int row_id : rel.RowsWithValue(op.probe_cols[0], v)) {
+      if (!push(rel.rows()[row_id])) return false;
+    }
+    return true;
+  }
+  key_.resize(op.probe_cols.size());
+  for (size_t i = 0; i < op.probe_cols.size(); ++i) {
+    key_[i] = op.probe_regs[i] >= 0 ? frame_[op.probe_regs[i]]
+                                    : op.probe_consts[i];
+  }
+  for (int row_id : rel.RowsWithKey(op.probe_cols, key_.data())) {
+    if (!push(rel.rows()[row_id])) return false;
+  }
+  return true;
+}
+
+void Runner::FlushCounters() {
+  for (int i = 0; i < plan_.num_counters; ++i) {
+    if (local_rows_[i] > 0) {
+      plan_.actual_rows[i].fetch_add(local_rows_[i],
+                                     std::memory_order_relaxed);
+    }
+    if (local_probes_[i] > 0) {
+      plan_.actual_probes[i].fetch_add(local_probes_[i],
+                                       std::memory_order_relaxed);
+    }
+  }
+  if (local_head_rows_ > 0) {
+    plan_.actual_head_rows.fetch_add(local_head_rows_,
+                                     std::memory_order_relaxed);
+  }
+  if (options_.stats != nullptr) {
+    size_t considered = 0;
+    size_t probes = 0;
+    for (int i = 0; i < plan_.num_counters; ++i) {
+      considered += local_rows_[i];
+      probes += local_probes_[i];
+    }
+    options_.stats->tuples_considered += considered;
+    options_.stats->join_probes += probes;
+    options_.stats->tuples_produced += produced_;
+  }
+}
+
+Result<ra::Relation> Runner::Run() {
+  RECUR_RETURN_IF_ERROR(ResolveRelations());
+  // Load the bound prefix into the frame.
+  for (size_t i = 0; i < plan_.bound_vars.size(); ++i) {
+    frame_[i] = options_.bindings->at(plan_.bound_vars[i]);
+  }
+
+  // A plan that reads a relation nobody knows derives nothing — but a
+  // missing relation is not an error (matches the evaluator's historical
+  // contract for unknown predicates).
+  if (missing_relation_) {
+    FlushCounters();
+    return std::move(out_);
+  }
+
+  // Existence components (ordered first by the planner): each must have a
+  // witness or the rule derives nothing.
+  size_t first_projection = 0;
+  for (const ComponentPlan& comp : plan_.components) {
+    if (!comp.head_regs.empty()) break;
+    ++first_projection;
+    existence_found_ = comp.ops.empty();
+    RunOps(comp, 0, Mode::kExistence, nullptr);
+    if (!status_.ok()) {
+      FlushCounters();
+      return status_;
+    }
+    if (!existence_found_) {
+      FlushCounters();
+      return std::move(out_);
+    }
+  }
+
+  if (plan_.streaming) {
+    bool streamed = false;
+    for (size_t c = first_projection; c < plan_.components.size(); ++c) {
+      RunOps(plan_.components[c], 0, Mode::kStream, nullptr);
+      streamed = true;
+      if (!status_.ok()) {
+        FlushCounters();
+        return status_;
+      }
+    }
+    if (!streamed) {
+      // Head fed entirely by constants and the bound prefix (empty body,
+      // or every component an existence check).
+      EmitHead(frame_.data());
+    }
+    FlushCounters();
+    return std::move(out_);
+  }
+
+  // Combined mode: materialize each projection component, then recombine
+  // by Cartesian product under the bound prefix.
+  std::vector<ra::Relation> parts;
+  for (size_t c = first_projection; c < plan_.components.size(); ++c) {
+    const ComponentPlan& comp = plan_.components[c];
+    ra::Relation part(static_cast<int>(comp.head_regs.size()));
+    RunOps(comp, 0, Mode::kStream, &part);
+    if (!status_.ok()) {
+      FlushCounters();
+      return status_;
+    }
+    if (part.empty()) {
+      FlushCounters();
+      return std::move(out_);  // one empty component empties the rule
+    }
+    parts.push_back(std::move(part));
+  }
+
+  ra::Relation combined(static_cast<int>(plan_.bound_vars.size()));
+  {
+    ra::Value* dst = combined.StageRow();
+    std::copy(frame_.begin(),
+              frame_.begin() + plan_.bound_vars.size(), dst);
+    combined.CommitStagedRow();
+  }
+  for (const ra::Relation& part : parts) {
+    ra::Relation next(combined.arity() + part.arity());
+    next.Reserve(combined.size() * part.size());
+    for (ra::TupleRef a : combined.rows()) {
+      for (ra::TupleRef b : part.rows()) {
+        ra::Value* dst = next.StageRow();
+        dst = std::copy(a.begin(), a.end(), dst);
+        std::copy(b.begin(), b.end(), dst);
+        next.CommitStagedRow();
+        if (!Tick()) {
+          FlushCounters();
+          return status_;
+        }
+      }
+    }
+    combined = std::move(next);
+  }
+  for (ra::TupleRef row : combined.rows()) {
+    EmitHead(row.data());
+    if (!Tick()) {
+      FlushCounters();
+      return status_;
+    }
+  }
+  FlushCounters();
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<ra::Relation> ExecutePlan(const RulePlan& plan,
+                                 const PlanRelationLookup& lookup,
+                                 const ExecOptions& options) {
+  Runner runner(plan, lookup, options);
+  return runner.Run();
+}
+
+Result<size_t> FilterRelation(const ra::Relation& in,
+                              const std::vector<ConstCheck>& checks,
+                              const ExecutionContext* context,
+                              ra::Relation* out) {
+  size_t inserted = 0;
+  size_t row_index = 0;
+  // Poll at batch *entry* (including row 0) so an already-cancelled
+  // context stops the scan before any row is copied.
+  for (ra::TupleRef row : in.rows()) {
+    if (context != nullptr && row_index++ % kExecutorBatchRows == 0) {
+      RECUR_RETURN_IF_ERROR(context->CheckCancel());
+    }
+    bool keep = true;
+    for (const ConstCheck& c : checks) {
+      if (row[c.atom_col] != c.value) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep && out->Insert(row)) ++inserted;
+  }
+  return inserted;
+}
+
+Result<size_t> SelectInto(const ra::Relation& in,
+                          const std::vector<ConstCheck>& checks,
+                          const ExecutionContext* context, ra::Relation* out) {
+  if (checks.empty()) return FilterRelation(in, checks, context, out);
+  std::vector<int> cols;
+  std::vector<ra::Value> key;
+  cols.reserve(checks.size());
+  key.reserve(checks.size());
+  for (const ConstCheck& c : checks) {
+    cols.push_back(c.atom_col);
+    key.push_back(c.value);
+  }
+  size_t inserted = 0;
+  size_t row_index = 0;
+  ra::RowsView rows = in.rows();
+  // RowsWithKey candidates are a superset under hash collisions; the
+  // checks re-verify every key column. Poll at batch entry (see
+  // FilterRelation).
+  for (int r : in.RowsWithKey(cols, key.data())) {
+    if (context != nullptr && row_index++ % kExecutorBatchRows == 0) {
+      RECUR_RETURN_IF_ERROR(context->CheckCancel());
+    }
+    ra::TupleRef row = rows[r];
+    bool keep = true;
+    for (const ConstCheck& c : checks) {
+      if (row[c.atom_col] != c.value) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep && out->Insert(row)) ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace recur::eval::plan

@@ -1,0 +1,69 @@
+#ifndef RECUR_EVAL_PLAN_EXECUTOR_H_
+#define RECUR_EVAL_PLAN_EXECUTOR_H_
+
+// Push-based executor for compiled RulePlans. Frames are flat Value
+// register arrays; candidate rows stream out of the arena-backed relation
+// indexes as TupleRef spans — no per-tuple hash maps anywhere on the hot
+// path. Resource-governance polling (cancel/deadline) happens at
+// operator-batch granularity (kExecutorBatchRows candidate rows), so a
+// cancelled evaluation stops mid-rule instead of mid-round.
+
+#include <unordered_map>
+
+#include "eval/execution_context.h"
+#include "eval/plan/plan_ir.h"
+#include "eval/plan/planner.h"
+#include "ra/relation.h"
+#include "util/result.h"
+
+namespace recur::eval {
+struct EvalStats;
+}  // namespace recur::eval
+
+namespace recur::eval::plan {
+
+/// Rows examined between governance polls inside the executor.
+inline constexpr size_t kExecutorBatchRows = 4096;
+
+struct ExecOptions {
+  /// The delta relation substituted at the plan's delta_index; nullptr
+  /// behaves like an unknown relation (no derivations).
+  const ra::Relation* override_relation = nullptr;
+  /// Values for the plan's bound-variable prefix; must cover every
+  /// variable in plan.bound_vars.
+  const std::unordered_map<SymbolId, ra::Value>* bindings = nullptr;
+  /// Optional governance handle polled per operator batch.
+  const ExecutionContext* context = nullptr;
+  /// Optional stats sink (tuples_considered / join_probes / ...).
+  EvalStats* stats = nullptr;
+};
+
+/// Executes `plan` against the relations provided by `lookup`, returning
+/// the derived head relation. Unknown relations yield an empty result;
+/// relation/atom arity mismatches are InvalidArgument; cancellation and
+/// deadline breaches surface as kCancelled / kDeadlineExceeded.
+Result<ra::Relation> ExecutePlan(const RulePlan& plan,
+                                 const PlanRelationLookup& lookup,
+                                 const ExecOptions& options);
+
+/// The standalone ConstFilter primitive: copies rows of `in` that satisfy
+/// every check into `out` (same arity), polling `context` per batch.
+/// Returns how many rows were new to `out`. Query::FilterInto and
+/// full-scan constant-selection paths share this one loop.
+Result<size_t> FilterRelation(const ra::Relation& in,
+                              const std::vector<ConstCheck>& checks,
+                              const ExecutionContext* context,
+                              ra::Relation* out);
+
+/// The standalone constant-keyed IndexScan primitive: probes `in`'s hash
+/// index on the check columns and copies verified matches into `out`,
+/// polling `context` per batch. Returns how many rows were new to `out`.
+/// The special query plans route their σ selection steps through this so
+/// hand-derived plans share the pipeline's access path and governance.
+Result<size_t> SelectInto(const ra::Relation& in,
+                          const std::vector<ConstCheck>& checks,
+                          const ExecutionContext* context, ra::Relation* out);
+
+}  // namespace recur::eval::plan
+
+#endif  // RECUR_EVAL_PLAN_EXECUTOR_H_

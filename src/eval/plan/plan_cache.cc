@@ -1,0 +1,68 @@
+#include "eval/plan/plan_cache.h"
+
+namespace recur::eval::plan {
+
+bool PlanCache::CardinalitiesDrifted(
+    const RulePlan& plan, const datalog::Rule& rule,
+    const PlanRelationLookup& lookup,
+    const PlannerOptions& planner_options) const {
+  for (const auto& [atom_index, planned] : plan.planned_cardinalities) {
+    const ra::Relation* rel =
+        atom_index == planner_options.override_index
+            ? planner_options.override_relation
+            : lookup(rule.body()[atom_index].predicate());
+    const size_t now = rel ? rel->size() : 0;
+    // +1 smoothing keeps empty-at-plan-time relations from dividing by
+    // zero and from invalidating on the first insert.
+    const double ratio = static_cast<double>(now + 1) /
+                         static_cast<double>(planned + 1);
+    if (ratio > options_.invalidation_ratio ||
+        ratio < 1.0 / options_.invalidation_ratio) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::shared_ptr<const RulePlan>> PlanCache::GetOrCompile(
+    const datalog::Rule& rule, const PlanRelationLookup& lookup,
+    const PlannerOptions& planner_options) {
+  if (!options_.enabled) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+    }
+    return PlanRule(rule, lookup, planner_options);
+  }
+  const std::string key = PlanKey(rule, planner_options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    if (!CardinalitiesDrifted(*it->second, rule, lookup, planner_options)) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.invalidations;
+    plans_.erase(it);
+  }
+  ++stats_.misses;
+  RECUR_ASSIGN_OR_RETURN(std::shared_ptr<const RulePlan> plan,
+                         PlanRule(rule, lookup, planner_options));
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+PlanCache::CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::shared_ptr<const RulePlan>> PlanCache::Plans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const RulePlan>> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) out.push_back(plan);
+  return out;
+}
+
+}  // namespace recur::eval::plan

@@ -1,0 +1,74 @@
+#ifndef RECUR_EVAL_PLAN_PLAN_CACHE_H_
+#define RECUR_EVAL_PLAN_PLAN_CACHE_H_
+
+// PlanCache: memoizes compiled RulePlans across fixpoint rounds (and, for
+// the compiled evaluator, across queries). Keys are structural — (rule
+// content, delta position, binding signature) — so rules synthesized on
+// the fly still hit. A cached plan is recompiled only when the
+// cardinality of some referenced relation has drifted past a ratio
+// threshold since planning: join order is the only thing cardinalities
+// buy, so small drifts keep the plan and large ones re-derive it.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "eval/plan/plan_ir.h"
+#include "eval/plan/planner.h"
+#include "util/result.h"
+
+namespace recur::eval::plan {
+
+class PlanCache {
+ public:
+  struct Options {
+    /// A cached plan is invalidated when some planned relation's
+    /// (cardinality + 1) ratio, new vs plan-time, exceeds this factor in
+    /// either direction.
+    double invalidation_ratio = 4.0;
+    /// With false every lookup recompiles — the ablation baseline.
+    bool enabled = true;
+  };
+
+  struct CacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidations = 0;
+  };
+
+  PlanCache() : options_(Options()) {}
+  explicit PlanCache(Options options) : options_(options) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for (rule, planner options) or compiles one.
+  /// Thread-safe; concurrent callers serialize on one mutex, so engines
+  /// precompile before fanning out shard tasks.
+  Result<std::shared_ptr<const RulePlan>> GetOrCompile(
+      const datalog::Rule& rule, const PlanRelationLookup& lookup,
+      const PlannerOptions& planner_options);
+
+  CacheStats stats() const;
+
+  /// Snapshot of every cached plan (for ExplainPlan surfacing).
+  std::vector<std::shared_ptr<const RulePlan>> Plans() const;
+
+ private:
+  bool CardinalitiesDrifted(const RulePlan& plan,
+                            const datalog::Rule& rule,
+                            const PlanRelationLookup& lookup,
+                            const PlannerOptions& planner_options) const;
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const RulePlan>> plans_;
+  CacheStats stats_;
+};
+
+}  // namespace recur::eval::plan
+
+#endif  // RECUR_EVAL_PLAN_PLAN_CACHE_H_

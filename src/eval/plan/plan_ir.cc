@@ -1,0 +1,121 @@
+#include "eval/plan/plan_ir.h"
+
+#include <cstdio>
+
+namespace recur::eval::plan {
+
+namespace {
+
+std::string PredName(SymbolId pred, const SymbolTable* symbols) {
+  if (symbols != nullptr) return symbols->NameOf(pred);
+  return "p" + std::to_string(pred);
+}
+
+std::string VarName(SymbolId var, const SymbolTable* symbols) {
+  if (symbols != nullptr) return symbols->NameOf(var);
+  return "v" + std::to_string(var);
+}
+
+std::string FormatEst(double est) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", est);
+  return buf;
+}
+
+void AppendOp(const RulePlan& plan, const Op& op, const SymbolTable* symbols,
+              std::string* out) {
+  *out += "    ";
+  *out += ToString(op.kind);
+  if (op.kind == OpKind::kProject) {
+    *out += " regs[";
+    for (size_t i = 0; i < op.project_regs.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += std::to_string(op.project_regs[i]);
+    }
+    *out += "]\n";
+    return;
+  }
+  *out += " " + PredName(op.predicate, symbols) + "(atom " +
+          std::to_string(op.atom_index) + ")";
+  if (op.atom_index == plan.delta_index) *out += " [delta]";
+  if (op.probe_cols.empty()) {
+    *out += " full-scan";
+  } else {
+    *out += " key[";
+    for (size_t i = 0; i < op.probe_cols.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += "c" + std::to_string(op.probe_cols[i]) + "=";
+      if (op.probe_regs[i] >= 0) {
+        *out += "r" + std::to_string(op.probe_regs[i]);
+      } else {
+        *out += std::to_string(op.probe_consts[i]);
+      }
+    }
+    *out += "]";
+  }
+  int residual = static_cast<int>(op.const_checks.size() +
+                                  op.reg_checks.size() +
+                                  op.intra_checks.size());
+  // Probe columns are always re-verified; only report checks beyond them.
+  residual -= static_cast<int>(op.probe_cols.size());
+  if (residual > 0) {
+    *out += " +" + std::to_string(residual) + " checks";
+  }
+  *out += " rows=" + std::to_string(op.base_rows);
+  *out += " est=" + FormatEst(op.est_rows);
+  if (op.counter_slot >= 0) {
+    *out += " actual=" +
+            std::to_string(plan.actual_rows[op.counter_slot].load(
+                std::memory_order_relaxed));
+    size_t probes = plan.actual_probes[op.counter_slot].load(
+        std::memory_order_relaxed);
+    if (probes > 0) *out += " probes=" + std::to_string(probes);
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIndexScan: return "IndexScan";
+    case OpKind::kHashJoinProbe: return "HashJoinProbe";
+    case OpKind::kConstFilter: return "ConstFilter";
+    case OpKind::kProject: return "Project";
+    case OpKind::kEmitHead: return "EmitHead";
+  }
+  return "?";
+}
+
+std::string ExplainPlan(const RulePlan& plan, const SymbolTable* symbols) {
+  std::string out = "RulePlan(head arity " + std::to_string(plan.head_arity) +
+                    ", " + std::to_string(plan.components.size()) +
+                    " component" +
+                    (plan.components.size() == 1 ? "" : "s");
+  if (plan.delta_index >= 0) {
+    out += ", delta atom " + std::to_string(plan.delta_index);
+  }
+  if (!plan.bound_vars.empty()) {
+    out += ", bound {";
+    for (size_t i = 0; i < plan.bound_vars.size(); ++i) {
+      if (i > 0) out += ",";
+      out += VarName(plan.bound_vars[i], symbols);
+    }
+    out += "}";
+  }
+  out += ")\n";
+  for (size_t c = 0; c < plan.components.size(); ++c) {
+    const ComponentPlan& comp = plan.components[c];
+    out += "  component " + std::to_string(c);
+    if (comp.head_regs.empty()) out += " (existence)";
+    out += ":\n";
+    for (const Op& op : comp.ops) AppendOp(plan, op, symbols, &out);
+  }
+  out += "  EmitHead est=" + FormatEst(plan.est_head_rows) + " actual=" +
+         std::to_string(
+             plan.actual_head_rows.load(std::memory_order_relaxed)) +
+         "\n";
+  return out;
+}
+
+}  // namespace recur::eval::plan

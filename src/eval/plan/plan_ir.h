@@ -1,0 +1,165 @@
+#ifndef RECUR_EVAL_PLAN_PLAN_IR_H_
+#define RECUR_EVAL_PLAN_PLAN_IR_H_
+
+// The physical-plan IR shared by every evaluator: a rule body compiles
+// into per-component push pipelines of access operators over a flat
+// register frame, terminated by a head emitter. Plans are compiled once
+// per (rule, delta position, bound-variable signature) by the planner and
+// re-executed across fixpoint rounds; estimated cardinalities are fixed at
+// plan time while actual row counts accumulate in atomic per-operator
+// counters, so ExplainPlan can render both side by side.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ra/relation.h"
+#include "util/symbol_table.h"
+
+namespace recur::eval::plan {
+
+/// Physical operator kinds. IndexScan opens a component (full scan or a
+/// probe keyed purely by constants); HashJoinProbe keys the probe on at
+/// least one register bound by an upstream operator — the physical join.
+/// ConstFilter applies residual equality checks to an already-open row
+/// stream (the standalone form drives Query::FilterInto); Project
+/// materializes a component's head-variable registers; EmitHead stages
+/// the final head tuple.
+enum class OpKind {
+  kIndexScan,
+  kHashJoinProbe,
+  kConstFilter,
+  kProject,
+  kEmitHead,
+};
+
+const char* ToString(OpKind kind);
+
+/// Residual equality checks verified against the candidate atom row. The
+/// probe key columns are re-verified here too: multi-column candidates
+/// come from a hash bucket and may collide.
+struct ConstCheck {
+  int atom_col;
+  ra::Value value;
+};
+struct RegCheck {
+  int atom_col;
+  int reg;
+};
+/// Repeated variable within one atom: both columns must agree.
+struct IntraCheck {
+  int first_col;
+  int later_col;
+};
+/// A newly bound variable: atom column -> register.
+struct RegOutput {
+  int atom_col;
+  int reg;
+};
+
+/// One pipeline operator. A single tagged struct (rather than a class
+/// hierarchy) keeps execution a tight switch over POD fields with no
+/// virtual dispatch in the per-row loop.
+struct Op {
+  OpKind kind = OpKind::kIndexScan;
+
+  /// Body position of the accessed atom; the executor substitutes the
+  /// delta relation when this equals the plan's delta_index.
+  int atom_index = -1;
+  SymbolId predicate = kInvalidSymbol;
+  int arity = 0;
+
+  /// Probe key (empty -> full scan): relation columns and, aligned with
+  /// them, the key source per column — frame register when probe_regs[i]
+  /// >= 0, else the constant probe_consts[i].
+  std::vector<int> probe_cols;
+  std::vector<int> probe_regs;
+  std::vector<ra::Value> probe_consts;
+
+  std::vector<ConstCheck> const_checks;
+  std::vector<RegCheck> reg_checks;
+  std::vector<IntraCheck> intra_checks;
+  std::vector<RegOutput> outputs;
+
+  /// kProject: registers materialized into the component relation.
+  std::vector<int> project_regs;
+
+  /// Cardinality of the accessed relation at plan time.
+  size_t base_rows = 0;
+  /// Estimated rows this operator passes downstream per plan execution.
+  double est_rows = 0;
+  /// Slot into RulePlan::actual_rows / actual_probes.
+  int counter_slot = -1;
+};
+
+/// One connectivity component of the rule body: the access pipeline plus
+/// the head-variable registers it owns. A component with no head
+/// registers is a pure existence check — the executor early-exits on the
+/// first satisfying row and fails the whole rule if none exists.
+struct ComponentPlan {
+  std::vector<Op> ops;
+  std::vector<int> head_regs;
+  std::vector<SymbolId> head_vars;
+};
+
+/// Where one head position's value comes from at emit time.
+struct HeadSlot {
+  /// For single-component (streaming) plans: a frame register. For
+  /// multi-component plans: a column of the combined row
+  /// [bound-variable prefix | component projections...]. -1 -> constant.
+  int col = -1;
+  ra::Value constant = 0;
+};
+
+/// A compiled rule plan. Immutable after planning except for the actual
+/// per-operator row counters, which executions accumulate atomically (the
+/// parallel engine runs one cached plan from many shard tasks).
+struct RulePlan {
+  /// Bound-variable signature (sorted); register i holds bound_vars[i].
+  std::vector<SymbolId> bound_vars;
+  int frame_size = 0;
+  std::vector<ComponentPlan> components;
+  std::vector<HeadSlot> head;
+  int head_arity = 0;
+  /// Body position whose relation the executor overrides with the delta;
+  /// -1 when the plan reads full relations everywhere.
+  int delta_index = -1;
+  /// True when any operator probes an index (register- or constant-keyed)
+  /// — exactly the executions that count join_probes in EvalStats.
+  bool has_join = false;
+  /// True when at most one component owns head variables: the executor
+  /// streams that component's frames straight into EmitHead with no
+  /// intermediate materialization. Multi-component plans materialize each
+  /// component's Project output and combine by Cartesian product (the
+  /// paper's disconnected-guard principle, which keeps depth-k bounded
+  /// expansions polynomial).
+  bool streaming = true;
+  /// Estimated head rows per execution (pre-dedup).
+  double est_head_rows = 0;
+
+  /// (atom index, relation cardinality) observed at plan time; the plan
+  /// cache recompiles when these ratios drift past its threshold.
+  std::vector<std::pair<int, size_t>> planned_cardinalities;
+
+  /// Actual rows passed downstream / probes issued, per counter_slot,
+  /// summed over every execution of this plan.
+  std::unique_ptr<std::atomic<size_t>[]> actual_rows;
+  std::unique_ptr<std::atomic<size_t>[]> actual_probes;
+  /// Head tuples staged (pre-dedup) across executions. Mutable like the
+  /// per-operator counters: executions run against a const shared plan.
+  mutable std::atomic<size_t> actual_head_rows{0};
+  int num_counters = 0;
+};
+
+/// Renders the plan tree with estimated and per-execution-accumulated
+/// actual cardinalities. With `symbols`, predicates and variables print by
+/// name; otherwise as p<id>/v<id>.
+std::string ExplainPlan(const RulePlan& plan,
+                        const SymbolTable* symbols = nullptr);
+
+}  // namespace recur::eval::plan
+
+#endif  // RECUR_EVAL_PLAN_PLAN_IR_H_

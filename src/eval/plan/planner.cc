@@ -1,0 +1,334 @@
+#include "eval/plan/planner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/components.h"
+
+namespace recur::eval::plan {
+
+namespace {
+
+const ra::Relation* ResolveForPlanning(int atom_index, SymbolId predicate,
+                                       const PlanRelationLookup& lookup,
+                                       const PlannerOptions& options) {
+  if (atom_index == options.override_index) return options.override_relation;
+  return lookup(predicate);
+}
+
+/// Boundness score of an atom: how many argument positions are constants
+/// or already-bound variables. The greedy order maximizes it (sideways
+/// information passing), breaking ties toward the smaller relation.
+int Boundness(const datalog::Atom& atom,
+              const std::unordered_map<SymbolId, int>& regs) {
+  int score = 0;
+  for (const datalog::Term& t : atom.args()) {
+    if (t.IsConstant() || regs.count(t.symbol()) > 0) ++score;
+  }
+  return score;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const RulePlan>> PlanRule(
+    const datalog::Rule& rule, const PlanRelationLookup& lookup,
+    const PlannerOptions& options) {
+  auto plan = std::make_shared<RulePlan>();
+  const std::vector<datalog::Atom>& body = rule.body();
+  const int num_atoms = static_cast<int>(body.size());
+  plan->head_arity = rule.head().arity();
+  plan->delta_index = options.override_index;
+
+  // Bound-variable signature: sorted so one signature means one plan.
+  std::unordered_set<SymbolId> bound;
+  if (options.bindings != nullptr) {
+    for (const auto& [var, value] : *options.bindings) {
+      (void)value;
+      plan->bound_vars.push_back(var);
+      bound.insert(var);
+    }
+    std::sort(plan->bound_vars.begin(), plan->bound_vars.end());
+  }
+  const int num_bound = static_cast<int>(plan->bound_vars.size());
+  plan->frame_size = num_bound;
+
+  // Partition the body atoms by shared *unbound* variables. Pre-bound
+  // variables act as constants, so atoms related only through them stay
+  // independent — disconnected groups evaluate separately and recombine by
+  // Cartesian product / existence checks, the paper's principle that keeps
+  // depth-k expansions of bounded formulas polynomial.
+  graph::UnionFind uf(num_atoms);
+  {
+    std::unordered_map<SymbolId, int> first_atom_with_var;
+    for (int i = 0; i < num_atoms; ++i) {
+      for (const datalog::Term& t : body[i].args()) {
+        if (!t.IsVariable() || bound.count(t.symbol()) > 0) continue;
+        auto [it, inserted] = first_atom_with_var.emplace(t.symbol(), i);
+        if (!inserted) uf.Union(i, it->second);
+      }
+    }
+  }
+  // Components in first-atom order, for deterministic plans and explains.
+  std::vector<std::vector<int>> component_atoms;
+  {
+    std::unordered_map<int, int> root_to_component;
+    for (int i = 0; i < num_atoms; ++i) {
+      auto [it, inserted] = root_to_component.emplace(
+          uf.Find(i), static_cast<int>(component_atoms.size()));
+      if (inserted) component_atoms.emplace_back();
+      component_atoms[it->second].push_back(i);
+    }
+  }
+
+  for (int i = 0; i < num_atoms; ++i) {
+    const ra::Relation* rel =
+        ResolveForPlanning(i, body[i].predicate(), lookup, options);
+    plan->planned_cardinalities.emplace_back(i, rel ? rel->size() : 0);
+  }
+
+  // Head variables in first-occurrence order.
+  std::vector<SymbolId> head_var_list;
+  for (const datalog::Term& t : rule.head().args()) {
+    if (t.IsVariable() &&
+        std::find(head_var_list.begin(), head_var_list.end(), t.symbol()) ==
+            head_var_list.end()) {
+      head_var_list.push_back(t.symbol());
+    }
+  }
+
+  // Compile each component's pipeline.
+  struct BuiltComponent {
+    ComponentPlan cp;
+    double final_est = 1.0;
+  };
+  std::vector<BuiltComponent> built;
+  // Head var -> (index into `built`, register within that component).
+  std::unordered_map<SymbolId, std::pair<int, int>> head_var_home;
+  int next_counter = 0;
+
+  for (const std::vector<int>& atoms : component_atoms) {
+    BuiltComponent bc;
+    std::unordered_map<SymbolId, int> regs;
+    for (int i = 0; i < num_bound; ++i) regs[plan->bound_vars[i]] = i;
+    int next_reg = num_bound;
+    double est = 1.0;
+
+    std::vector<int> remaining = atoms;
+    while (!remaining.empty()) {
+      size_t pick = 0;
+      if (options.reorder_atoms) {
+        int best_score = -1;
+        size_t best_card = 0;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const int idx = remaining[i];
+          const int score = Boundness(body[idx], regs);
+          const size_t card = plan->planned_cardinalities[idx].second;
+          if (score > best_score ||
+              (score == best_score && card < best_card)) {
+            best_score = score;
+            best_card = card;
+            pick = i;
+          }
+        }
+      }
+      const int atom_index = remaining[pick];
+      remaining.erase(remaining.begin() + pick);
+      const datalog::Atom& atom = body[atom_index];
+
+      Op op;
+      op.atom_index = atom_index;
+      op.predicate = atom.predicate();
+      op.arity = atom.arity();
+      // Fresh variables enter `regs` only after the whole atom is
+      // classified: a repeat within this atom is an intra-row equality,
+      // not a probe against a register no upstream operator has written.
+      std::unordered_map<SymbolId, int> first_col_in_atom;
+      for (int col = 0; col < atom.arity(); ++col) {
+        const datalog::Term& t = atom.args()[col];
+        if (t.IsConstant()) {
+          const auto value = static_cast<ra::Value>(t.symbol());
+          op.const_checks.push_back({col, value});
+          op.probe_cols.push_back(col);
+          op.probe_regs.push_back(-1);
+          op.probe_consts.push_back(value);
+          continue;
+        }
+        auto reg_it = regs.find(t.symbol());
+        if (reg_it != regs.end()) {
+          op.reg_checks.push_back({col, reg_it->second});
+          op.probe_cols.push_back(col);
+          op.probe_regs.push_back(reg_it->second);
+          op.probe_consts.push_back(0);
+          continue;
+        }
+        auto [first_it, fresh] =
+            first_col_in_atom.emplace(t.symbol(), col);
+        if (!fresh) {
+          op.intra_checks.push_back({first_it->second, col});
+          continue;
+        }
+        op.outputs.push_back({col, next_reg});
+        ++next_reg;
+      }
+      for (const RegOutput& o : op.outputs) {
+        regs[atom.args()[o.atom_col].symbol()] = o.reg;
+      }
+      op.kind = OpKind::kIndexScan;
+      for (int reg : op.probe_regs) {
+        if (reg >= 0) op.kind = OpKind::kHashJoinProbe;
+      }
+      if (!op.probe_cols.empty()) plan->has_join = true;
+
+      // Estimate: equality selectivity 1/distinct(column) per probe
+      // column (residual intra-atom checks are not modelled).
+      const ra::Relation* rel =
+          ResolveForPlanning(atom_index, atom.predicate(), lookup, options);
+      const size_t n = rel ? rel->size() : 0;
+      op.base_rows = n;
+      double matches = static_cast<double>(n);
+      if (!op.probe_cols.empty() && rel != nullptr) {
+        for (int col : op.probe_cols) {
+          const size_t distinct = rel->ColumnValues(col).size();
+          matches /= static_cast<double>(std::max<size_t>(1, distinct));
+        }
+      }
+      est *= matches;
+      op.est_rows = est;
+      op.counter_slot = next_counter++;
+      bc.cp.ops.push_back(std::move(op));
+    }
+
+    for (SymbolId h : head_var_list) {
+      if (bound.count(h) > 0) continue;
+      auto it = regs.find(h);
+      if (it == regs.end()) continue;
+      head_var_home[h] = {static_cast<int>(built.size()), it->second};
+      bc.cp.head_vars.push_back(h);
+      bc.cp.head_regs.push_back(it->second);
+    }
+    plan->frame_size = std::max(plan->frame_size, next_reg);
+    bc.final_est = est;
+    built.push_back(std::move(bc));
+  }
+
+  // Existence-only components run first: they are cheap, early-exit, and
+  // can zero out the whole rule before any projection work happens.
+  std::vector<int> order;
+  for (int i = 0; i < static_cast<int>(built.size()); ++i) {
+    if (built[i].cp.head_regs.empty()) order.push_back(i);
+  }
+  std::vector<int> projection_components;
+  for (int i = 0; i < static_cast<int>(built.size()); ++i) {
+    if (!built[i].cp.head_regs.empty()) {
+      projection_components.push_back(i);
+      order.push_back(i);
+    }
+  }
+  plan->streaming = projection_components.size() <= 1;
+  plan->est_head_rows = 1.0;
+  for (int i : projection_components) {
+    plan->est_head_rows *= built[i].final_est;
+  }
+
+  // Combined-row layout for non-streaming plans:
+  // [bound prefix | projection of first projection component | ...].
+  std::unordered_map<SymbolId, int> combined_col;
+  if (!plan->streaming) {
+    int offset = num_bound;
+    for (int i : projection_components) {
+      ComponentPlan& cp = built[i].cp;
+      Op project;
+      project.kind = OpKind::kProject;
+      project.project_regs = cp.head_regs;
+      cp.ops.push_back(std::move(project));
+      for (size_t k = 0; k < cp.head_vars.size(); ++k) {
+        combined_col[cp.head_vars[k]] = offset + static_cast<int>(k);
+      }
+      offset += static_cast<int>(cp.head_vars.size());
+    }
+  }
+
+  for (int i : order) plan->components.push_back(std::move(built[i].cp));
+
+  // Head slot mapping. Streaming plans read frame registers directly
+  // (pre-bound variables live in the shared register prefix); combined
+  // plans read columns of the combined row.
+  plan->head.resize(plan->head_arity);
+  for (int i = 0; i < plan->head_arity; ++i) {
+    const datalog::Term& t = rule.head().args()[i];
+    HeadSlot& slot = plan->head[i];
+    if (t.IsConstant()) {
+      slot.col = -1;
+      slot.constant = static_cast<ra::Value>(t.symbol());
+      continue;
+    }
+    if (bound.count(t.symbol()) > 0) {
+      // Bound prefix: same position in the frame and the combined row.
+      const auto it = std::find(plan->bound_vars.begin(),
+                                plan->bound_vars.end(), t.symbol());
+      slot.col = static_cast<int>(it - plan->bound_vars.begin());
+      continue;
+    }
+    auto home = head_var_home.find(t.symbol());
+    if (home == head_var_home.end()) {
+      return Status::InvalidArgument(
+          "head variable not bound by the body (rule not range restricted)");
+    }
+    if (plan->streaming) {
+      slot.col = home->second.second;
+    } else {
+      slot.col = combined_col.at(t.symbol());
+    }
+  }
+
+  plan->num_counters = next_counter;
+  if (next_counter > 0) {
+    plan->actual_rows =
+        std::make_unique<std::atomic<size_t>[]>(next_counter);
+    plan->actual_probes =
+        std::make_unique<std::atomic<size_t>[]>(next_counter);
+    for (int i = 0; i < next_counter; ++i) {
+      plan->actual_rows[i].store(0, std::memory_order_relaxed);
+      plan->actual_probes[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  return std::shared_ptr<const RulePlan>(std::move(plan));
+}
+
+std::string PlanKey(const datalog::Rule& rule,
+                    const PlannerOptions& options) {
+  std::string key;
+  key.reserve(64);
+  auto append_atom = [&key](const datalog::Atom& atom) {
+    key += std::to_string(atom.predicate());
+    key += '(';
+    for (const datalog::Term& t : atom.args()) {
+      key += t.IsConstant() ? 'c' : 'v';
+      key += std::to_string(t.symbol());
+      key += ',';
+    }
+    key += ')';
+  };
+  append_atom(rule.head());
+  key += ":-";
+  for (const datalog::Atom& atom : rule.body()) append_atom(atom);
+  key += "#d";
+  key += std::to_string(options.override_index);
+  key += options.reorder_atoms ? "#r1" : "#r0";
+  key += "#b";
+  if (options.bindings != nullptr) {
+    std::vector<SymbolId> vars;
+    for (const auto& [var, value] : *options.bindings) {
+      (void)value;
+      vars.push_back(var);
+    }
+    std::sort(vars.begin(), vars.end());
+    for (SymbolId v : vars) {
+      key += std::to_string(v);
+      key += ',';
+    }
+  }
+  return key;
+}
+
+}  // namespace recur::eval::plan

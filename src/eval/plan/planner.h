@@ -1,0 +1,57 @@
+#ifndef RECUR_EVAL_PLAN_PLANNER_H_
+#define RECUR_EVAL_PLAN_PLANNER_H_
+
+// RulePlanner: compiles one datalog rule (for one delta position and one
+// bound-variable signature) into a physical RulePlan. Join order is chosen
+// greedily from boundness, then relation cardinality at plan time, so a
+// cached plan embodies the cardinality picture it was compiled against —
+// the PlanCache recompiles when that picture drifts.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "datalog/rule.h"
+#include "eval/plan/plan_ir.h"
+#include "ra/relation.h"
+#include "util/result.h"
+
+namespace recur::eval {
+/// Resolves a predicate to its current relation (mirrors the alias in
+/// eval/conjunctive.h; redeclared here so the planner layer does not
+/// depend on the evaluator umbrella header). Returning nullptr means
+/// "unknown relation" and yields no derivations.
+using PlanRelationLookup = std::function<const ra::Relation*(SymbolId)>;
+}  // namespace recur::eval
+
+namespace recur::eval::plan {
+
+struct PlannerOptions {
+  /// Body position whose relation is replaced by the delta; -1 for none.
+  int override_index = -1;
+  /// The delta relation itself — consulted only for plan-time
+  /// cardinality; the executor re-resolves data at run time.
+  const ra::Relation* override_relation = nullptr;
+  /// Pre-bound variables. Only the key set shapes the plan (it is the
+  /// binding signature); values are execution inputs.
+  const std::unordered_map<SymbolId, ra::Value>* bindings = nullptr;
+  /// With false, atoms run in body order within each component.
+  bool reorder_atoms = true;
+};
+
+/// Compiles `rule` into a plan. Fails with InvalidArgument when a head
+/// variable is bound neither by the body nor by the binding signature
+/// (rule not range restricted).
+Result<std::shared_ptr<const RulePlan>> PlanRule(
+    const datalog::Rule& rule, const PlanRelationLookup& lookup,
+    const PlannerOptions& options);
+
+/// Structural cache key for (rule, delta position, binding signature).
+/// Content-based, not address-based: evaluators that synthesize rules on
+/// the fly (compiled levels) still hit the cache across calls.
+std::string PlanKey(const datalog::Rule& rule, const PlannerOptions& options);
+
+}  // namespace recur::eval::plan
+
+#endif  // RECUR_EVAL_PLAN_PLANNER_H_

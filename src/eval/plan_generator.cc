@@ -1,6 +1,8 @@
 #include "eval/plan_generator.h"
 
+#include "eval/plan/plan_cache.h"
 #include "eval/seminaive.h"
+#include "transform/plan_lowering.h"
 #include "transform/stable_form.h"
 
 namespace recur::eval {
@@ -49,11 +51,25 @@ CompiledExpr StableSymbolic(const StableEvaluator& evaluator,
 }
 
 /// Symbolic form for a bounded expansion: one σ(depth-i conjunction) per
-/// depth.
+/// depth. Each depth rule is lowered through the shared physical planner
+/// and raised back to paper notation, so the symbolic form describes the
+/// very plan Execute runs (the outer σ is the query-constant pushdown
+/// applied per query).
 CompiledExpr BoundedSymbolic(const std::vector<datalog::Rule>& rules,
                              const SymbolTable& symbols) {
   std::vector<CompiledExpr> steps;
+  PlanRelationLookup no_edb = [](SymbolId) -> const ra::Relation* {
+    return nullptr;
+  };
   for (const datalog::Rule& rule : rules) {
+    auto lowered = transform::LowerRule(rule, no_edb);
+    if (lowered.ok()) {
+      steps.push_back(
+          CompiledExpr::Select(transform::RaisePlan(**lowered, symbols)));
+      continue;
+    }
+    // Unplannable rule (should not happen for bounded expansions): fall
+    // back to the plain body conjunction.
     std::vector<CompiledExpr> atoms;
     for (const datalog::Atom& atom : rule.body()) {
       atoms.push_back(
@@ -119,6 +135,8 @@ Result<ra::Relation> QueryPlan::Execute(const Query& query,
         if (!satisfiable) continue;
         ConjunctiveOptions conj;
         conj.bindings = &bindings;
+        conj.plan_cache = bounded_cache_.get();
+        conj.context = ctx.get();
         RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                                EvaluateRule(rule, lookup, conj, stats));
         // Select straight into the answer arena: no intermediate relation
@@ -184,6 +202,7 @@ Result<QueryPlan> PlanGenerator::Plan(
         transform::ExpandBounded(formula, cls, exit_rule, symbols_));
     plan.symbolic_ = BoundedSymbolic(bf.rules, *symbols_);
     plan.bounded_rules_ = std::move(bf.rules);
+    plan.bounded_cache_ = std::make_shared<plan::PlanCache>();
     return plan;
   }
   plan.strategy_ = Strategy::kSemiNaive;

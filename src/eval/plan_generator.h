@@ -58,6 +58,9 @@ class QueryPlan {
   std::optional<StableEvaluator> stable_;
   std::vector<datalog::Rule> bounded_rules_;
   datalog::Program program_;  // recursive rule + exits (semi-naive path)
+  /// Bounded-expansion rules are fixed per plan and their cache keys carry
+  /// the binding *signature*, not values, so plans persist across queries.
+  std::shared_ptr<plan::PlanCache> bounded_cache_;
 };
 
 /// Generates query plans from a recursive formula and its exit rule by

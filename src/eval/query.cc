@@ -1,5 +1,6 @@
 #include "eval/query.h"
 
+#include "eval/plan/executor.h"
 #include "util/fault_injection.h"
 
 namespace recur::eval {
@@ -53,16 +54,12 @@ Result<ra::Relation> Query::Filter(const ra::Relation& full) const {
     return Status::InvalidArgument("query arity does not match relation");
   }
   ra::Relation out(arity());
-  for (ra::TupleRef t : full.rows()) {
-    bool match = true;
-    for (int i = 0; i < arity(); ++i) {
-      if (bindings[i].has_value() && t[i] != *bindings[i]) {
-        match = false;
-        break;
-      }
-    }
-    if (match) out.Insert(t);
+  std::vector<plan::ConstCheck> checks;
+  for (int i = 0; i < arity(); ++i) {
+    if (bindings[i].has_value()) checks.push_back({i, *bindings[i]});
   }
+  RECUR_RETURN_IF_ERROR(
+      plan::FilterRelation(full, checks, nullptr, &out).status());
   return out;
 }
 
@@ -73,23 +70,14 @@ Result<size_t> Query::FilterInto(const ra::Relation& full,
     return Status::InvalidArgument("query arity does not match relation");
   }
   RECUR_FAULT_POINT("query.filter_into");
-  size_t inserted = 0;
-  ra::RowsView rows = full.rows();
-  for (size_t row = 0; row < rows.size(); ++row) {
-    if (ctx != nullptr && (row & 4095u) == 0) {
-      RECUR_RETURN_IF_ERROR(ctx->CheckCancel());
-    }
-    ra::TupleRef t = rows[row];
-    bool match = true;
-    for (int i = 0; i < arity(); ++i) {
-      if (bindings[i].has_value() && t[i] != *bindings[i]) {
-        match = false;
-        break;
-      }
-    }
-    if (match && out->Insert(t)) ++inserted;
+  // The bound positions become ConstChecks for the pipeline's shared
+  // ConstFilter primitive, which owns the batch-granularity governance
+  // polling.
+  std::vector<plan::ConstCheck> checks;
+  for (int i = 0; i < arity(); ++i) {
+    if (bindings[i].has_value()) checks.push_back({i, *bindings[i]});
   }
-  return inserted;
+  return plan::FilterRelation(full, checks, ctx, out);
 }
 
 }  // namespace recur::eval

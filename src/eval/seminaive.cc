@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "eval/plan/plan_cache.h"
+#include "eval/plan/planner.h"
 #include "eval/thread_pool.h"
 #include "util/fault_injection.h"
 
@@ -54,16 +56,18 @@ Status InitializeFullAndDelta(const datalog::Program& program,
 Status FireExitRules(const datalog::Program& program,
                      const RelationLookup& lookup,
                      const std::function<bool(SymbolId)>& is_idb,
-                     IdbRelations* full, IdbRelations* delta,
-                     EvalStats* stats) {
+                     plan::PlanCache* plan_cache, IdbRelations* full,
+                     IdbRelations* delta, EvalStats* stats) {
   for (const datalog::Rule& rule : program.rules()) {
     if (rule.IsFact()) continue;
     bool has_idb_atom = std::any_of(
         rule.body().begin(), rule.body().end(),
         [&](const datalog::Atom& a) { return is_idb(a.predicate()); });
     if (has_idb_atom) continue;
+    ConjunctiveOptions conj;
+    conj.plan_cache = plan_cache;
     RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
-                           EvaluateRule(rule, lookup, {}, stats));
+                           EvaluateRule(rule, lookup, conj, stats));
     for (ra::TupleRef t : derived.rows()) {
       if ((*full)[rule.head().predicate()].Insert(t)) {
         (*delta)[rule.head().predicate()].Insert(t);
@@ -128,8 +132,13 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
     return edb.Find(pred);
   };
   auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
+  // One cache for the whole fixpoint: each (rule, delta position) compiles
+  // once and re-executes every round until delta cardinalities drift.
+  plan::PlanCache plan_cache(
+      plan::PlanCache::Options{.enabled = options.plan_cache});
   RECUR_RETURN_IF_ERROR(
-      FireExitRules(program, lookup, is_idb, &full, &delta, stats));
+      FireExitRules(program, lookup, is_idb, &plan_cache, &full, &delta,
+                    stats));
 
   ContextScope ctx(options.context, options.limits);
   const ResourceLimits& limits = ctx->limits();
@@ -184,6 +193,8 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
         ConjunctiveOptions conj;
         conj.override_index = i;
         conj.override_relation = &d;
+        conj.plan_cache = &plan_cache;
+        conj.context = ctx.get();
         RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                                EvaluateRule(rule, lookup, conj, stats));
         rr.tuples_derived += derived.size();
@@ -338,8 +349,13 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
     return edb.Find(pred);
   };
   auto is_idb = [&full](SymbolId pred) { return full.count(pred) > 0; };
+  // Shared across rounds and shard tasks: plans are compiled serially at
+  // round setup (below) and then executed concurrently — tasks only hit.
+  plan::PlanCache plan_cache(
+      plan::PlanCache::Options{.enabled = options.plan_cache});
   RECUR_RETURN_IF_ERROR(
-      FireExitRules(program, lookup, is_idb, &full, &delta, stats));
+      FireExitRules(program, lookup, is_idb, &plan_cache, &full, &delta,
+                    stats));
 
   const int num_shards = options.shard_count > 0
                              ? options.shard_count
@@ -420,6 +436,24 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
                             ShardDelta(d, key, effective_shards))
                    .first;
         }
+        // Precompile the (rule, delta-position) plan serially before the
+        // fan-out, keyed and cardinality-estimated against a
+        // representative shard, so concurrent tasks only take cache hits.
+        const ra::Relation* representative = nullptr;
+        for (const ra::Relation& shard : it->second) {
+          if (!shard.empty()) {
+            representative = &shard;
+            break;
+          }
+        }
+        if (representative != nullptr) {
+          plan::PlannerOptions planner_options;
+          planner_options.override_index = i;
+          planner_options.override_relation = representative;
+          RECUR_RETURN_IF_ERROR(
+              plan_cache.GetOrCompile(rule, lookup, planner_options)
+                  .status());
+        }
         for (const ra::Relation& shard : it->second) {
           if (shard.empty()) continue;
           tasks.push_back(Task{&rule, rule_index, i, &shard});
@@ -456,6 +490,8 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
         ConjunctiveOptions conj;
         conj.override_index = task.atom_index;
         conj.override_relation = task.shard;
+        conj.plan_cache = &plan_cache;
+        conj.context = ctx.get();
         Result<ra::Relation> derived =
             EvaluateRule(*task.rule, lookup, conj,
                          stats != nullptr ? &local : nullptr);

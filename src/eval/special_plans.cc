@@ -1,5 +1,6 @@
 #include "eval/special_plans.h"
 
+#include "eval/plan/executor.h"
 #include "ra/operators.h"
 #include "util/fault_injection.h"
 
@@ -53,10 +54,9 @@ Result<ra::Relation> S9PlanBoundFirst(const ra::Database& edb,
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
 
   ra::Relation out(3);
-  // σE: the exit contributes the depth-0 answers directly.
-  for (int row : e->RowsWithValue(0, d)) {
-    out.Insert(e->rows()[row]);
-  }
+  // σE: the exit contributes the depth-0 answers directly — the pipeline's
+  // constant-keyed IndexScan primitive (shared governance polling).
+  RECUR_RETURN_IF_ERROR(plan::SelectInto(*e, {{0, d}}, ctx, &out).status());
 
   // σA: the bound position feeds only the y column; the recursion is
   // disconnected from it.
@@ -108,10 +108,8 @@ Result<ra::Relation> S9PlanBoundThird(const ra::Database& edb,
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
 
   ra::Relation out(3);
-  // σE: depth-0 answers.
-  for (int row : e->RowsWithValue(2, d)) {
-    out.Insert(e->rows()[row]);
-  }
+  // σE: depth-0 answers, via the pipeline's constant-keyed IndexScan.
+  RECUR_RETURN_IF_ERROR(plan::SelectInto(*e, {{2, d}}, ctx, &out).status());
 
   // ∃ ∪_k [(AB)^k (E ⋈ B)]: M_1 = {d}; M_{k+1} = π_v(σ_{m∈M_k}(A) ⋈ B);
   // witness at depth k iff ∃ (u,v) ∈ B, m ∈ M_k: E(u, m, v).
@@ -164,10 +162,8 @@ Result<ra::Relation> S11Plan(const ra::Database& edb,
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 2));
 
   ra::Relation out(2);
-  // σE: depth-0 answers.
-  for (int row : e->RowsWithValue(0, d)) {
-    out.Insert(e->rows()[row]);
-  }
+  // σE: depth-0 answers, via the pipeline's constant-keyed IndexScan.
+  RECUR_RETURN_IF_ERROR(plan::SelectInto(*e, {{0, d}}, ctx, &out).status());
 
   // First-layer pairs: σA-C — (x1, y1) with A(d, x1) ∧ C(x1, y1).
   PairSet first_layer;
@@ -249,10 +245,8 @@ Result<ra::Relation> S12Plan(const ra::Database& edb,
   RECUR_ASSIGN_OR_RETURN(const ra::Relation* e, Rel(edb, symbols, "E", 3));
 
   ra::Relation out(3);
-  // Depth 0: σE.
-  for (int row : e->RowsWithValue(0, d)) {
-    out.Insert(e->rows()[row]);
-  }
+  // Depth 0: σE, via the pipeline's constant-keyed IndexScan.
+  RECUR_RETURN_IF_ERROR(plan::SelectInto(*e, {{0, d}}, ctx, &out).status());
 
   // Level relation over (v1, u_k, v_k): the first-layer v (which links to
   // the answer y through B) threaded along the dependent (u, v) walk.

@@ -67,6 +67,31 @@ bool RowsMatch(TupleRef l, TupleRef r,
   return true;
 }
 
+/// Splits the join condition into the column lists RowsWithKey wants and
+/// gathers each left row's key into a reusable buffer. Probing all join
+/// columns at once (instead of the first pair plus a residual scan) keeps
+/// candidate lists tight when the first column is low-selectivity.
+struct KeyProbe {
+  std::vector<int> left_cols;
+  std::vector<int> right_cols;
+  std::vector<Value> key;  // scratch, one slot per join column
+
+  explicit KeyProbe(const std::vector<std::pair<int, int>>& on) {
+    left_cols.reserve(on.size());
+    right_cols.reserve(on.size());
+    for (const auto& [lc, rc] : on) {
+      left_cols.push_back(lc);
+      right_cols.push_back(rc);
+    }
+    key.resize(on.size());
+  }
+
+  const Value* GatherKey(TupleRef l) {
+    for (size_t i = 0; i < left_cols.size(); ++i) key[i] = l[left_cols[i]];
+    return key.data();
+  }
+};
+
 }  // namespace
 
 Result<Relation> Select(const Relation& r, int column, Value v) {
@@ -116,10 +141,11 @@ Result<Relation> Join(const Relation& left, const Relation& right,
   RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
   std::vector<bool> right_is_join = RightJoinMask(right.arity(), on);
   Relation out(JoinOutputArity(left, right, right_is_join));
-  const auto& [first_lc, first_rc] = on[0];
-  // Hash-probe the right side on the first join column.
+  // Hash-probe the right side on the full join key; RowsMatch still runs
+  // because candidates are a hash-collision superset.
+  KeyProbe probe(on);
   for (TupleRef l : left.rows()) {
-    for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
+    for (int row : right.RowsWithKey(probe.right_cols, probe.GatherKey(l))) {
       TupleRef r = right.rows()[row];
       if (RowsMatch(l, r, on)) {
         EmitJoinOutput(&out, l, r, right_is_join);
@@ -148,9 +174,9 @@ Result<Relation> SemiJoin(const Relation& left, const Relation& right,
                           const std::vector<std::pair<int, int>>& on) {
   RECUR_RETURN_IF_ERROR(CheckJoinColumns(left, right, on));
   Relation out(left.arity());
-  const auto& [first_lc, first_rc] = on[0];
+  KeyProbe probe(on);
   for (TupleRef l : left.rows()) {
-    for (int row : right.RowsWithValue(first_rc, l[first_lc])) {
+    for (int row : right.RowsWithKey(probe.right_cols, probe.GatherKey(l))) {
       if (RowsMatch(l, right.rows()[row], on)) {
         out.Insert(l);
         break;

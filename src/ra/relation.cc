@@ -27,6 +27,8 @@ Relation& Relation::operator=(const Relation& other) {
   // maintenance a built index that survived past this point would keep
   // pointing at the *old* rows while the arena already holds the new ones.
   indexes_.clear();
+  for (auto& slot : multi_indexes_) slot.reset();
+  multi_count_.store(0, std::memory_order_relaxed);
   arity_ = other.arity_;
   indexes_.resize(arity_);
   num_rows_ = other.num_rows_;
@@ -41,8 +43,12 @@ Relation::Relation(Relation&& other) noexcept
       num_rows_(other.num_rows_),
       arena_(std::move(other.arena_)),
       slots_(std::move(other.slots_)),
-      indexes_(std::move(other.indexes_)) {
+      indexes_(std::move(other.indexes_)),
+      multi_indexes_(std::move(other.multi_indexes_)) {
   other.num_rows_ = 0;
+  multi_count_.store(other.multi_count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  other.multi_count_.store(0, std::memory_order_relaxed);
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -55,6 +61,10 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   arena_ = std::move(other.arena_);
   slots_ = std::move(other.slots_);
   indexes_ = std::move(other.indexes_);
+  multi_indexes_ = std::move(other.multi_indexes_);
+  multi_count_.store(other.multi_count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  other.multi_count_.store(0, std::memory_order_relaxed);
   other.num_rows_ = 0;
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
@@ -183,6 +193,63 @@ void Relation::AppendToIndexes(size_t row) {
     if (!index.built.load(std::memory_order_relaxed)) continue;
     index.map[arena_[row * arity_ + c]].push_back(static_cast<int>(row));
   }
+  const size_t count = multi_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) {
+    MultiIndex& index = *multi_indexes_[i];
+    index.map[HashRowKey(row, index.columns)].push_back(
+        static_cast<int>(row));
+  }
+}
+
+uint64_t Relation::HashRowKey(size_t row,
+                              const std::vector<int>& columns) const {
+  uint64_t h = kHashSeed;
+  const Value* base = arena_.data() + row * arity_;
+  for (int c : columns) h = HashValueMix(h, base[c]);
+  return h;
+}
+
+const Relation::MultiIndex* Relation::EnsureMultiIndex(
+    const std::vector<int>& columns) const {
+  // Fast path: scan published entries lock-free.
+  size_t count = multi_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    if (multi_indexes_[i]->columns == columns) return multi_indexes_[i].get();
+  }
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  count = multi_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) {
+    if (multi_indexes_[i]->columns == columns) return multi_indexes_[i].get();
+  }
+  if (count == kMaxMultiIndexes) return nullptr;
+  auto index = std::make_unique<MultiIndex>();
+  index->columns = columns;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    index->map[HashRowKey(row, columns)].push_back(static_cast<int>(row));
+  }
+  multi_indexes_[count] = std::move(index);
+  index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  // Publish after the slot is fully written so lock-free readers that see
+  // the bumped count see a complete index.
+  multi_count_.store(count + 1, std::memory_order_release);
+  return multi_indexes_[count].get();
+}
+
+const std::vector<int>& Relation::RowsWithKey(const std::vector<int>& columns,
+                                              const Value* key) const {
+  if (columns.empty()) return kEmptyRowList;
+  for (int c : columns) {
+    if (c < 0 || c >= arity_) return kEmptyRowList;
+  }
+  if (columns.size() == 1) return RowsWithValue(columns[0], key[0]);
+  const MultiIndex* index = EnsureMultiIndex(columns);
+  if (index == nullptr) {
+    // Slot array full: a first-column probe is still a valid candidate
+    // superset under the verify-equality contract.
+    return RowsWithValue(columns[0], key[0]);
+  }
+  auto it = index->map.find(HashValueSpan(key, columns.size()));
+  return it == index->map.end() ? kEmptyRowList : it->second;
 }
 
 void Relation::EnsureIndex(int column) const {
@@ -224,6 +291,8 @@ void Relation::Clear() {
     index.map.clear();
     index.built.store(false, std::memory_order_relaxed);
   }
+  for (auto& slot : multi_indexes_) slot.reset();
+  multi_count_.store(0, std::memory_order_relaxed);
 }
 
 std::string Relation::ToString() const {

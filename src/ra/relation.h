@@ -2,9 +2,11 @@
 #define RECUR_RA_RELATION_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <initializer_list>
 #include <iterator>
 #include <mutex>
@@ -31,15 +33,20 @@ using Tuple = std::vector<Value>;
 /// XOR-ing whole words into the state folds sequential ints (the dominant
 /// workload shape) into clustered buckets. TupleRef, Tuple, and the
 /// relation's dedup set all hash through this one routine.
-inline uint64_t HashValueSpan(const Value* data, size_t n) {
-  uint64_t h = 1469598103934665603ull;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t v = static_cast<uint64_t>(data[i]);
-    for (int b = 0; b < 64; b += 8) {
-      h ^= (v >> b) & 0xffu;
-      h *= 1099511628211ull;
-    }
+inline constexpr uint64_t kHashSeed = 1469598103934665603ull;
+
+inline uint64_t HashValueMix(uint64_t h, Value value) {
+  uint64_t v = static_cast<uint64_t>(value);
+  for (int b = 0; b < 64; b += 8) {
+    h ^= (v >> b) & 0xffu;
+    h *= 1099511628211ull;
   }
+  return h;
+}
+
+inline uint64_t HashValueSpan(const Value* data, size_t n) {
+  uint64_t h = kHashSeed;
+  for (size_t i = 0; i < n; ++i) h = HashValueMix(h, data[i]);
   return h;
 }
 
@@ -239,6 +246,22 @@ class Relation {
   /// Row indexes whose `column` equals `v` (hash index, built lazily).
   const std::vector<int>& RowsWithValue(int column, Value v) const;
 
+  /// Candidate row indexes whose values at `columns` may equal `key` (a
+  /// span of columns.size() values, in the same column order). The rows
+  /// hash-match the key over all listed columns, so callers still verify
+  /// full equality — the list is a superset of the matching rows (hash
+  /// collisions, or the single-column fallback when the relation already
+  /// carries kMaxMultiIndexes distinct composite indexes). Built lazily
+  /// per distinct column set and maintained incrementally on insert, like
+  /// the single-column indexes; same thread-safety contract.
+  const std::vector<int>& RowsWithKey(const std::vector<int>& columns,
+                                      const Value* key) const;
+
+  /// Distinct composite column sets a relation will index before falling
+  /// back to the first listed column's single-column index. Bounded so
+  /// concurrent readers can scan a fixed slot array without locking.
+  static constexpr size_t kMaxMultiIndexes = 8;
+
   /// The set of distinct values appearing in `column`.
   ValueSet ColumnValues(int column) const;
 
@@ -281,6 +304,17 @@ class Relation {
     }
   };
 
+  /// A composite index over an ordered set of columns, keyed by the FNV
+  /// hash of the projected row (collisions collapse into one bucket, hence
+  /// the candidate-superset contract of RowsWithKey). Slots live behind
+  /// stable unique_ptrs in a fixed array: a reader that observes
+  /// multi_count_ (acquire) sees fully published entries and never races a
+  /// registration.
+  struct MultiIndex {
+    std::vector<int> columns;
+    std::unordered_map<uint64_t, std::vector<int>> map;
+  };
+
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
   TupleRef RowAt(size_t row) const {
@@ -297,8 +331,15 @@ class Relation {
   void GrowSlots(size_t min_rows);
 
   void EnsureIndex(int column) const;
-  /// Appends row `row` (already in the arena) to every built column index.
+  /// Appends row `row` (already in the arena) to every built column index
+  /// and every registered composite index.
   void AppendToIndexes(size_t row);
+  /// FNV hash of row `row` projected onto `columns`; identical to
+  /// HashValueSpan over the gathered key values.
+  uint64_t HashRowKey(size_t row, const std::vector<int>& columns) const;
+  /// Finds or builds the composite index for `columns`; nullptr once the
+  /// slot array is full (callers fall back to a single-column probe).
+  const MultiIndex* EnsureMultiIndex(const std::vector<int>& columns) const;
 
   int arity_;
   size_t num_rows_ = 0;
@@ -313,6 +354,12 @@ class Relation {
   // the vector itself; mutable because building an index does not change
   // the logical relation.
   mutable std::vector<ColumnIndex> indexes_;
+  // Composite indexes: fixed slot array + published count so const readers
+  // can scan registered entries lock-free while a builder (holding
+  // index_mutex_) publishes a new one behind them.
+  mutable std::array<std::unique_ptr<MultiIndex>, kMaxMultiIndexes>
+      multi_indexes_;
+  mutable std::atomic<size_t> multi_count_{0};
   mutable std::mutex index_mutex_;  // serializes lazy index construction
   mutable std::atomic<size_t> index_rebuilds_{0};
 };

@@ -1,0 +1,72 @@
+#include "transform/plan_lowering.h"
+
+#include <vector>
+
+namespace recur::transform {
+
+namespace {
+
+using eval::plan::Op;
+using eval::plan::RulePlan;
+
+/// One access operator in paper notation: the relation name, σ-wrapped
+/// when the operator selects by constants or intra-row equalities.
+/// Register checks are join predicates — the chain dash, not a σ.
+CompiledExpr AccessExpr(const Op& op, const SymbolTable& symbols) {
+  std::string name = symbols.NameOf(op.predicate);
+  if (name.empty()) name = "p" + std::to_string(op.predicate);
+  CompiledExpr rel = CompiledExpr::Relation(std::move(name));
+  const bool filtered =
+      !op.const_checks.empty() || !op.intra_checks.empty();
+  if (filtered) return CompiledExpr::Select(std::move(rel));
+  return rel;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const eval::plan::RulePlan>> LowerRule(
+    const datalog::Rule& rule, const eval::PlanRelationLookup& lookup,
+    const eval::plan::PlannerOptions& options) {
+  return eval::plan::PlanRule(rule, lookup, options);
+}
+
+CompiledExpr RaisePlan(const RulePlan& plan, const SymbolTable& symbols) {
+  std::vector<CompiledExpr> existence;
+  std::vector<CompiledExpr> projections;
+  for (const eval::plan::ComponentPlan& component : plan.components) {
+    std::vector<CompiledExpr> accesses;
+    for (const Op& op : component.ops) {
+      if (op.kind == eval::plan::OpKind::kProject) continue;
+      accesses.push_back(AccessExpr(op, symbols));
+    }
+    CompiledExpr chain = accesses.size() == 1
+                             ? std::move(accesses[0])
+                             : CompiledExpr::JoinChain(std::move(accesses));
+    if (component.head_regs.empty()) {
+      existence.push_back(CompiledExpr::Exists(std::move(chain)));
+    } else {
+      projections.push_back(std::move(chain));
+    }
+  }
+  // ∃-guards first (they run first and can zero the rule), then the
+  // projection components combined by Cartesian product.
+  CompiledExpr projected =
+      projections.empty()
+          ? CompiledExpr::Relation("1")  // constant head: the unit plan
+      : projections.size() == 1
+          ? std::move(projections[0])
+          : [&projections] {
+              CompiledExpr acc = std::move(projections[0]);
+              for (size_t i = 1; i < projections.size(); ++i) {
+                acc = CompiledExpr::Product(std::move(acc),
+                                            std::move(projections[i]));
+              }
+              return acc;
+            }();
+  if (existence.empty()) return projected;
+  std::vector<CompiledExpr> steps = std::move(existence);
+  steps.push_back(std::move(projected));
+  return CompiledExpr::Sequence(std::move(steps));
+}
+
+}  // namespace recur::transform

@@ -1,0 +1,35 @@
+#ifndef RECUR_TRANSFORM_PLAN_LOWERING_H_
+#define RECUR_TRANSFORM_PLAN_LOWERING_H_
+
+// Bridge between the symbolic compiled-formula notation (CompiledExpr,
+// the way the paper writes plans) and the physical-plan IR executed by
+// eval/plan/. Lowering a rule produces the same RulePlan every engine
+// runs; raising a RulePlan renders it back in the paper's σ/⋈/×/∃
+// notation, so the symbolic form shown for a query provably describes the
+// plan that actually executes.
+
+#include "datalog/rule.h"
+#include "eval/plan/plan_ir.h"
+#include "eval/plan/planner.h"
+#include "transform/compiled_expr.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::transform {
+
+/// Compiles `rule` to the shared physical-plan IR (the exact planner every
+/// evaluator uses — one compilation path, no parallel implementation).
+Result<std::shared_ptr<const eval::plan::RulePlan>> LowerRule(
+    const datalog::Rule& rule, const eval::PlanRelationLookup& lookup,
+    const eval::plan::PlannerOptions& options = {});
+
+/// Renders a physical plan in the paper's symbolic notation:
+/// each component becomes a join chain of (σ-wrapped when filtered)
+/// relation accesses, existence components are wrapped in ∃, and multiple
+/// projection components combine with ×.
+CompiledExpr RaisePlan(const eval::plan::RulePlan& plan,
+                       const SymbolTable& symbols);
+
+}  // namespace recur::transform
+
+#endif  // RECUR_TRANSFORM_PLAN_LOWERING_H_

@@ -1,0 +1,130 @@
+#ifndef RECUR_TESTS_DIFFERENTIAL_CORPUS_H_
+#define RECUR_TESTS_DIFFERENTIAL_CORPUS_H_
+
+// The differential-testing corpus: seeds x formulas x EDB shapes shared by
+// the agreement tests and the golden-file capture/compare machinery. The
+// corpus must stay byte-stable across refactors — goldens captured at the
+// seed commit pin every engine's output forever.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "datalog/linear_rule.h"
+#include "ra/database.h"
+#include "ra/relation.h"
+#include "workload/formula_generator.h"
+#include "workload/generator.h"
+
+namespace recur::corpus {
+
+constexpr uint64_t kSeeds = 10;
+constexpr int kFormulasPerSeed = 4;
+
+enum class EdbKind { kChain, kTree, kLayeredDag, kRandomGraph, kGrid };
+constexpr EdbKind kEdbKinds[] = {EdbKind::kChain, EdbKind::kTree,
+                                 EdbKind::kLayeredDag,
+                                 EdbKind::kRandomGraph, EdbKind::kGrid};
+
+inline const char* ToString(EdbKind kind) {
+  switch (kind) {
+    case EdbKind::kChain: return "Chain";
+    case EdbKind::kTree: return "Tree";
+    case EdbKind::kLayeredDag: return "LayeredDag";
+    case EdbKind::kRandomGraph: return "RandomGraph";
+    case EdbKind::kGrid: return "Grid";
+  }
+  return "?";
+}
+
+/// Binary predicates draw the case's graph shape; other arities get random
+/// rows over the same small domain so naive evaluation stays feasible.
+inline ra::Relation MakeRelation(workload::Generator* gen, EdbKind kind,
+                                 int arity) {
+  if (arity == 2) {
+    switch (kind) {
+      case EdbKind::kChain: return gen->Chain(10);
+      case EdbKind::kTree: return gen->Tree(3, 2);
+      case EdbKind::kLayeredDag: return gen->LayeredDag(4, 3, 2);
+      case EdbKind::kRandomGraph: return gen->RandomGraph(12, 24);
+      case EdbKind::kGrid: return gen->Grid(4, 3);
+    }
+  }
+  return gen->RandomRows(arity, 12, 18);
+}
+
+inline void LoadEdb(const datalog::LinearRecursiveRule& formula,
+                    const datalog::Rule& exit, EdbKind kind, uint64_t seed,
+                    ra::Database* edb) {
+  workload::Generator gen(seed);
+  auto load = [&](const datalog::Atom& atom) {
+    if (atom.predicate() == formula.recursive_predicate()) return;
+    auto r = edb->GetOrCreate(atom.predicate(), atom.arity());
+    ASSERT_TRUE(r.ok());
+    if ((*r)->empty()) {
+      (*r)->InsertAll(MakeRelation(&gen, kind, atom.arity()));
+    }
+  };
+  for (const datalog::Atom& atom : formula.rule().body()) load(atom);
+  for (const datalog::Atom& atom : exit.body()) load(atom);
+}
+
+/// Keeps the reference (full-materialization) evaluations small enough to
+/// run 200 cases: modest dimension and atom fan-out.
+inline workload::FormulaGeneratorOptions DifferentialOptions() {
+  workload::FormulaGeneratorOptions options;
+  options.max_dimension = 3;
+  options.max_extra_atoms = 2;
+  options.max_atom_arity = 2;
+  return options;
+}
+
+/// FNV-1a over the printed relation, the golden fingerprint of one case's
+/// result. The full sorted ToString feeds the hash, so any byte-level
+/// difference in the result set changes it.
+inline uint64_t ResultFingerprint(const std::string& printed) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : printed) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Stable key of one (seed, formula index, EDB kind) case.
+inline std::string CaseKey(uint64_t seed, int formula_index, EdbKind kind) {
+  return std::to_string(seed) + "/" + std::to_string(formula_index) + "/" +
+         ToString(kind);
+}
+
+inline std::string GoldenPath() {
+  return std::string(RECUR_GOLDEN_DIR) + "/differential_results.txt";
+}
+
+/// Loads the golden file: case key -> "cardinality hash" line remainder.
+inline std::map<std::string, std::string> LoadGolden() {
+  std::map<std::string, std::string> golden;
+  std::ifstream in(GoldenPath());
+  std::string key, rest;
+  while (in >> key && std::getline(in, rest)) {
+    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+    golden[key] = rest;
+  }
+  return golden;
+}
+
+/// The golden line payload for one result.
+inline std::string GoldenPayload(const ra::Relation& result) {
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(
+                    ResultFingerprint(result.ToString())));
+  return std::to_string(result.size()) + " " + hex;
+}
+
+}  // namespace recur::corpus
+
+#endif  // RECUR_TESTS_DIFFERENTIAL_CORPUS_H_

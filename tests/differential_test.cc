@@ -5,6 +5,13 @@
 // relations. Any disagreement fails the test and prints the offending
 // program, EDB shape, and evaluator pair.
 //
+// Every case is additionally pinned against tests/golden/
+// differential_results.txt — result cardinality and an FNV fingerprint of
+// the full printed relation, captured at the seed commit — so a refactor
+// of the execution pipeline cannot silently shift any engine's output.
+// Regenerate with RECUR_REGEN_GOLDEN=1 (only when results are *supposed*
+// to change, which for pure execution refactors is never).
+//
 // Scale: kSeeds instantiations x kFormulasPerSeed formulas x kEdbKinds
 // EDBs = 200 program x EDB cases per run (checked in CaseCountIsAtLeast200).
 
@@ -12,12 +19,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iterator>
 #include <random>
 #include <string>
 #include <thread>
 
 #include "classify/classifier.h"
+#include "differential_corpus.h"
 #include "eval/compiled_eval.h"
 #include "eval/naive.h"
 #include "eval/plan_generator.h"
@@ -28,72 +38,30 @@
 namespace recur {
 namespace {
 
-constexpr uint64_t kSeeds = 10;
-constexpr int kFormulasPerSeed = 4;
+using corpus::EdbKind;
+using corpus::kEdbKinds;
+using corpus::kFormulasPerSeed;
+using corpus::kSeeds;
+using corpus::ToString;
 
-enum class EdbKind { kChain, kTree, kLayeredDag, kRandomGraph, kGrid };
-constexpr EdbKind kEdbKinds[] = {EdbKind::kChain, EdbKind::kTree,
-                                 EdbKind::kLayeredDag,
-                                 EdbKind::kRandomGraph, EdbKind::kGrid};
-
-const char* ToString(EdbKind kind) {
-  switch (kind) {
-    case EdbKind::kChain: return "Chain";
-    case EdbKind::kTree: return "Tree";
-    case EdbKind::kLayeredDag: return "LayeredDag";
-    case EdbKind::kRandomGraph: return "RandomGraph";
-    case EdbKind::kGrid: return "Grid";
-  }
-  return "?";
+/// The golden map is loaded once; an empty map with regen off fails every
+/// case loudly instead of silently passing.
+const std::map<std::string, std::string>& Golden() {
+  static const std::map<std::string, std::string> golden =
+      corpus::LoadGolden();
+  return golden;
 }
 
-/// Binary predicates draw the case's graph shape; other arities get random
-/// rows over the same small domain so naive evaluation stays feasible.
-ra::Relation MakeRelation(workload::Generator* gen, EdbKind kind,
-                          int arity) {
-  if (arity == 2) {
-    switch (kind) {
-      case EdbKind::kChain: return gen->Chain(10);
-      case EdbKind::kTree: return gen->Tree(3, 2);
-      case EdbKind::kLayeredDag: return gen->LayeredDag(4, 3, 2);
-      case EdbKind::kRandomGraph: return gen->RandomGraph(12, 24);
-      case EdbKind::kGrid: return gen->Grid(4, 3);
-    }
-  }
-  return gen->RandomRows(arity, 12, 18);
-}
-
-void LoadEdb(const datalog::LinearRecursiveRule& formula,
-             const datalog::Rule& exit, EdbKind kind, uint64_t seed,
-             ra::Database* edb) {
-  workload::Generator gen(seed);
-  auto load = [&](const datalog::Atom& atom) {
-    if (atom.predicate() == formula.recursive_predicate()) return;
-    auto r = edb->GetOrCreate(atom.predicate(), atom.arity());
-    ASSERT_TRUE(r.ok());
-    if ((*r)->empty()) {
-      (*r)->InsertAll(MakeRelation(&gen, kind, atom.arity()));
-    }
-  };
-  for (const datalog::Atom& atom : formula.rule().body()) load(atom);
-  for (const datalog::Atom& atom : exit.body()) load(atom);
-}
-
-/// Keeps the reference (full-materialization) evaluations small enough to
-/// run 200 cases: modest dimension and atom fan-out.
-workload::FormulaGeneratorOptions DifferentialOptions() {
-  workload::FormulaGeneratorOptions options;
-  options.max_dimension = 3;
-  options.max_extra_atoms = 2;
-  options.max_atom_arity = 2;
-  return options;
+bool RegenGolden() {
+  const char* env = std::getenv("RECUR_REGEN_GOLDEN");
+  return env != nullptr && env[0] == '1';
 }
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, AllEvaluatorsAgree) {
   SymbolTable symbols;
-  workload::FormulaGenerator gen(GetParam(), DifferentialOptions());
+  workload::FormulaGenerator gen(GetParam(), corpus::DifferentialOptions());
   int cases = 0;
   for (int i = 0; i < kFormulasPerSeed; ++i) {
     auto g = gen.Next(&symbols);
@@ -116,12 +84,37 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
                                 classify::ToString(cls->formula_class) +
                                 ", EDB " + ToString(kind) + "]";
       ra::Database edb;
-      LoadEdb(g->formula, g->exit, kind, GetParam() * 31 + i, &edb);
+      corpus::LoadEdb(g->formula, g->exit, kind, GetParam() * 31 + i, &edb);
 
       // 1. Naive is the ground truth.
-      auto naive = eval::NaiveEvaluate(program, edb);
+      eval::EvalStats naive_stats;
+      auto naive = eval::NaiveEvaluate(program, edb, {}, &naive_stats);
       ASSERT_TRUE(naive.ok()) << label;
       const std::string want = naive->at(pred).ToString();
+
+      // 1b. The case must match its golden fingerprint captured at seed.
+      if (!RegenGolden()) {
+        const std::string key = corpus::CaseKey(GetParam(), i, kind);
+        auto it = Golden().find(key);
+        ASSERT_TRUE(it != Golden().end())
+            << "no golden entry for " << key << " (" << label
+            << "); regenerate with RECUR_REGEN_GOLDEN=1";
+        EXPECT_EQ(corpus::GoldenPayload(naive->at(pred)), it->second)
+            << "result drifted from the seed golden on " << label;
+      }
+
+      // 1c. Stats invariants tying the flat counters to the physical
+      // plans that ran: probes can only come from a plan containing an
+      // index-probe (join) operator, and every fixpoint executes plans.
+      EXPECT_GT(naive_stats.plans_executed, 0u) << label;
+      if (naive_stats.join_probes > 0) {
+        EXPECT_GT(naive_stats.plans_with_joins, 0u)
+            << "probes counted without any join-bearing plan on " << label;
+        EXPECT_GT(naive_stats.tuples_considered, 0u) << label;
+      }
+      // The reverse implication is deliberately not asserted: a
+      // join-bearing plan whose upstream scan finds no rows (empty IDB on
+      // round one) never reaches its probe operator and counts nothing.
 
       // 2. Serial semi-naive.
       auto semi = eval::SemiNaiveEvaluate(program, edb);
@@ -180,7 +173,7 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
 // result, a mistyped error) is a bug.
 TEST_P(DifferentialTest, EnginesUnderRandomizedCancellation) {
   SymbolTable symbols;
-  workload::FormulaGenerator gen(GetParam(), DifferentialOptions());
+  workload::FormulaGenerator gen(GetParam(), corpus::DifferentialOptions());
   std::mt19937 rng(GetParam() * 7919 + 17);
   std::uniform_int_distribution<int> delay_us(0, 500);
   for (int i = 0; i < 2; ++i) {
@@ -195,7 +188,7 @@ TEST_P(DifferentialTest, EnginesUnderRandomizedCancellation) {
       const std::string label = g->formula.rule().ToString(symbols) +
                                 " [EDB " + ToString(kind) + "]";
       ra::Database edb;
-      LoadEdb(g->formula, g->exit, kind, GetParam() * 131 + i, &edb);
+      corpus::LoadEdb(g->formula, g->exit, kind, GetParam() * 131 + i, &edb);
       auto reference = eval::SemiNaiveEvaluate(program, edb);
       ASSERT_TRUE(reference.ok()) << label;
       const std::string want = reference->at(pred).ToString();
@@ -245,6 +238,42 @@ TEST_P(DifferentialTest, EnginesUnderRandomizedCancellation) {
 // The harness must cover at least the advertised 200 program x EDB cases.
 TEST(DifferentialCoverage, CaseCountIsAtLeast200) {
   EXPECT_GE(kSeeds * kFormulasPerSeed * std::size(kEdbKinds), 200u);
+}
+
+// Golden capture: with RECUR_REGEN_GOLDEN=1 this test rewrites
+// tests/golden/differential_results.txt from the current engines (naive is
+// the fingerprinted reference; AllEvaluatorsAgree pins every other engine
+// to it byte-for-byte). Without the env var it only checks the file exists
+// and covers the full corpus.
+TEST(DifferentialGolden, GoldenFileCoversCorpus) {
+  if (RegenGolden()) {
+    std::ofstream out(corpus::GoldenPath());
+    ASSERT_TRUE(out.good()) << corpus::GoldenPath();
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      SymbolTable symbols;
+      workload::FormulaGenerator gen(seed, corpus::DifferentialOptions());
+      for (int i = 0; i < kFormulasPerSeed; ++i) {
+        auto g = gen.Next(&symbols);
+        ASSERT_TRUE(g.ok()) << g.status();
+        datalog::Program program;
+        program.AddRule(g->formula.rule());
+        program.AddRule(g->exit);
+        SymbolId pred = g->formula.recursive_predicate();
+        for (EdbKind kind : kEdbKinds) {
+          ra::Database edb;
+          corpus::LoadEdb(g->formula, g->exit, kind, seed * 31 + i, &edb);
+          auto naive = eval::NaiveEvaluate(program, edb);
+          ASSERT_TRUE(naive.ok());
+          out << corpus::CaseKey(seed, i, kind) << " "
+              << corpus::GoldenPayload(naive->at(pred)) << "\n";
+        }
+      }
+    }
+    return;
+  }
+  EXPECT_EQ(Golden().size(),
+            kSeeds * kFormulasPerSeed * std::size(kEdbKinds))
+      << "golden file missing or stale: " << corpus::GoldenPath();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,

@@ -1,0 +1,127 @@
+// Golden-output test for ExplainPlan(): the paper's s1a (transitive
+// closure through A) and s9 (disconnected guard B(U,V)) examples compile
+// to deterministic physical plans — components in first-atom order, greedy
+// ties broken by atom index — so their rendered plan trees are pinned
+// byte-for-byte. Regenerate with RECUR_REGEN_GOLDEN=1 after an
+// *intentional* planner or renderer change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "catalog/paper_examples.h"
+#include "eval/plan/executor.h"
+#include "eval/plan/plan_ir.h"
+#include "eval/plan/planner.h"
+#include "ra/database.h"
+
+namespace recur {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(RECUR_GOLDEN_DIR) + "/explain_plans.txt";
+}
+
+bool RegenGolden() {
+  const char* env = std::getenv("RECUR_REGEN_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Plans (and executes once, so actual counters are nonzero) the example's
+/// recursive rule against a small deterministic EDB, then renders it.
+std::string ExplainExample(const char* id, int delta_index) {
+  SymbolTable symbols;
+  const catalog::PaperExample* example = catalog::FindExample(id);
+  EXPECT_NE(example, nullptr) << id;
+  auto formula = catalog::ParseExample(*example, &symbols);
+  EXPECT_TRUE(formula.ok()) << formula.status();
+  const datalog::Rule& rule = formula->rule();
+
+  // Deterministic EDB: every body predicate except the recursive one gets
+  // a small chain; the recursive predicate holds the exit facts.
+  ra::Database edb;
+  for (const datalog::Atom& atom : rule.body()) {
+    const bool recursive =
+        atom.predicate() == formula->recursive_predicate();
+    auto rel = edb.GetOrCreate(atom.predicate(), atom.arity());
+    EXPECT_TRUE(rel.ok()) << rel.status();
+    if (!(*rel)->empty()) continue;  // predicate repeated in the body
+    const int rows = recursive ? 4 : 8;
+    for (int i = 0; i < rows; ++i) {
+      ra::Value* dst = (*rel)->StageRow();
+      for (int c = 0; c < atom.arity(); ++c) {
+        dst[c] = recursive ? i + c : (i + c) % 8;
+      }
+      (*rel)->CommitStagedRow();
+    }
+  }
+
+  eval::PlanRelationLookup lookup =
+      [&edb](SymbolId pred) -> const ra::Relation* { return edb.Find(pred); };
+  eval::plan::PlannerOptions options;
+  options.override_index = delta_index;
+  const ra::Relation* delta = nullptr;
+  if (delta_index >= 0) {
+    delta = edb.Find(rule.body()[delta_index].predicate());
+    options.override_relation = delta;
+  }
+  auto plan = eval::plan::PlanRule(rule, lookup, options);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+
+  eval::plan::ExecOptions exec;
+  exec.override_relation = delta;
+  auto result = eval::plan::ExecutePlan(**plan, lookup, exec);
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  return eval::plan::ExplainPlan(**plan, &symbols);
+}
+
+std::string RenderAll() {
+  std::string out;
+  out += "== s1a ==\n" + ExplainExample("s1a", -1);
+  out += "== s1a delta ==\n" + ExplainExample("s1a", 1);
+  out += "== s9 ==\n" + ExplainExample("s9", -1);
+  out += "== s9 delta ==\n" + ExplainExample("s9", 2);
+  return out;
+}
+
+TEST(ExplainPlanGolden, MatchesGoldenFile) {
+  const std::string got = RenderAll();
+  if (RegenGolden()) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << GoldenPath();
+    out << got;
+    return;
+  }
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing " << GoldenPath()
+      << "; regenerate with RECUR_REGEN_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "ExplainPlan drifted; if the planner change is intentional, "
+         "regenerate with RECUR_REGEN_GOLDEN=1";
+}
+
+// Structural assertions that survive regeneration: s1a joins P through A
+// (one HashJoinProbe), s9's guard B(U,V) is a separate component that
+// turns into a Cartesian-product plan with a join in the P component.
+TEST(ExplainPlanGolden, StructuralShape) {
+  const std::string s1a = ExplainExample("s1a", -1);
+  EXPECT_NE(s1a.find("HashJoinProbe"), std::string::npos) << s1a;
+  EXPECT_NE(s1a.find("1 component"), std::string::npos) << s1a;
+
+  const std::string s9 = ExplainExample("s9", -1);
+  EXPECT_NE(s9.find("2 components"), std::string::npos) << s9;
+  EXPECT_NE(s9.find("HashJoinProbe"), std::string::npos) << s9;
+
+  const std::string s9_delta = ExplainExample("s9", 2);
+  EXPECT_NE(s9_delta.find("delta"), std::string::npos) << s9_delta;
+}
+
+}  // namespace
+}  // namespace recur

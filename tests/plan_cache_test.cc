@@ -1,0 +1,159 @@
+// Unit tests for the PlanCache: structural keying, hit/miss accounting,
+// cardinality-drift invalidation, and the ablation (disabled) mode.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "datalog/parser.h"
+#include "eval/plan/plan_cache.h"
+#include "eval/plan/planner.h"
+#include "ra/relation.h"
+#include "util/symbol_table.h"
+
+namespace recur {
+namespace {
+
+using eval::plan::PlanCache;
+using eval::plan::PlannerOptions;
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void Load(const char* name, int arity, int rows) {
+    SymbolId id = symbols_.Intern(name);
+    ra::Relation rel(arity);
+    for (int i = 0; i < rows; ++i) {
+      ra::Value* dst = rel.StageRow();
+      for (int c = 0; c < arity; ++c) dst[c] = i + c;
+      rel.CommitStagedRow();
+    }
+    relations_.insert_or_assign(id, std::move(rel));
+  }
+
+  eval::PlanRelationLookup Lookup() {
+    return [this](SymbolId pred) -> const ra::Relation* {
+      auto it = relations_.find(pred);
+      return it == relations_.end() ? nullptr : &it->second;
+    };
+  }
+
+  datalog::Rule Rule(const char* text) {
+    auto rule = datalog::ParseRule(text, &symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    return *rule;
+  }
+
+  SymbolTable symbols_;
+  std::unordered_map<SymbolId, ra::Relation> relations_;
+};
+
+TEST_F(PlanCacheTest, SecondLookupHits) {
+  Load("A", 2, 10);
+  Load("B", 2, 10);
+  PlanCache cache;
+  datalog::Rule rule = Rule("P(X, Y) :- A(X, Z), B(Z, Y).");
+  auto first = cache.GetOrCompile(rule, Lookup(), {});
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrCompile(rule, Lookup(), {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "expected the same plan object";
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PlanCacheTest, StructurallyIdenticalRulesShareOnePlan) {
+  Load("A", 2, 10);
+  PlanCache cache;
+  // Two distinct Rule objects with identical content — the compiled
+  // evaluators synthesize level rules per call, so keys must be
+  // content-based, not address-based.
+  datalog::Rule first = Rule("P(X, Y) :- A(X, Y).");
+  datalog::Rule second = Rule("P(X, Y) :- A(X, Y).");
+  ASSERT_TRUE(cache.GetOrCompile(first, Lookup(), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(second, Lookup(), {}).ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PlanCacheTest, DeltaPositionAndBindingSignatureAreSeparatePlans) {
+  Load("A", 2, 10);
+  Load("B", 2, 10);
+  PlanCache cache;
+  datalog::Rule rule = Rule("P(X, Y) :- A(X, Z), B(Z, Y).");
+
+  PlannerOptions delta0;
+  delta0.override_index = 0;
+  ra::Relation delta(2);
+  delta0.override_relation = &delta;
+  PlannerOptions delta1 = delta0;
+  delta1.override_index = 1;
+
+  std::unordered_map<SymbolId, ra::Value> bindings{
+      {symbols_.Intern("X"), 3}};
+  PlannerOptions bound;
+  bound.bindings = &bindings;
+
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), delta0).ok());
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), delta1).ok());
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), bound).ok());
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Binding *values* are execution inputs, not part of the signature.
+  bindings[symbols_.Intern("X")] = 99;
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), bound).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PlanCacheTest, CardinalityDriftInvalidates) {
+  Load("A", 2, 8);
+  PlanCache cache(PlanCache::Options{.invalidation_ratio = 4.0});
+  datalog::Rule rule = Rule("P(X, Y) :- A(X, Y).");
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), {}).ok());
+
+  // Small growth stays under the (8+1)*4 threshold: still a hit.
+  Load("A", 2, 20);
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), {}).ok());
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // 20 -> 200 exceeds the ratio: recompile.
+  Load("A", 2, 200);
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), {}).ok());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Shrinking past the ratio invalidates too (both directions).
+  Load("A", 2, 10);
+  ASSERT_TRUE(cache.GetOrCompile(rule, Lookup(), {}).ok());
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST_F(PlanCacheTest, DisabledCacheAlwaysRecompiles) {
+  Load("A", 2, 10);
+  PlanCache cache(PlanCache::Options{.enabled = false});
+  datalog::Rule rule = Rule("P(X, Y) :- A(X, Y).");
+  auto first = cache.GetOrCompile(rule, Lookup(), {});
+  auto second = cache.GetOrCompile(rule, Lookup(), {});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_TRUE(cache.Plans().empty());
+}
+
+TEST_F(PlanCacheTest, PlansSnapshotListsCachedPlans) {
+  Load("A", 2, 10);
+  Load("B", 2, 10);
+  PlanCache cache;
+  ASSERT_TRUE(
+      cache.GetOrCompile(Rule("P(X, Y) :- A(X, Y)."), Lookup(), {}).ok());
+  ASSERT_TRUE(
+      cache.GetOrCompile(Rule("Q(X, Y) :- B(X, Y)."), Lookup(), {}).ok());
+  EXPECT_EQ(cache.Plans().size(), 2u);
+}
+
+}  // namespace
+}  // namespace recur
