@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+
 namespace recur::bench {
 
 class JsonArtifactReporter : public benchmark::ConsoleReporter {
@@ -78,14 +80,17 @@ class JsonArtifactReporter : public benchmark::ConsoleReporter {
                rate != run.counters.end()) {
       tuples_per_sec = rate->second.value;
     }
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"benchmark\": \"%s\", \"workload\": \"%s\", "
+    // Names pass through util::JsonEscape so a benchmark name with quotes
+    // or control characters still yields a valid document (round-trip
+    // tested in tests/json_test.cc).
+    char numeric[160];
+    std::snprintf(numeric, sizeof(numeric),
                   "\"threads\": %d, \"wall_seconds\": %.6f, "
-                  "\"tuples_per_sec\": %.1f}",
-                  name.c_str(), workload.c_str(), static_cast<int>(threads),
-                  wall_seconds, tuples_per_sec);
-    return buf;
+                  "\"tuples_per_sec\": %.1f",
+                  static_cast<int>(threads), wall_seconds, tuples_per_sec);
+    return "{\"benchmark\": \"" + util::JsonEscape(name) +
+           "\", \"workload\": \"" + util::JsonEscape(workload) + "\", " +
+           numeric + "}";
   }
 
   std::string suite_;

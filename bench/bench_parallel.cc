@@ -167,7 +167,7 @@ void BM_Parallel_TC_Chain_NoPlanCache(benchmark::State& state) {
   auto c = MakeClosure(gen.Chain(512));
   RunClosure(state, c.get(), /*plan_cache=*/false);
 }
-BENCHMARK(BM_Parallel_TC_Chain_NoPlanCache)->Arg(1)->Arg(4)
+BENCHMARK(BM_Parallel_TC_Chain_NoPlanCache)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Parallel_TC_Grid_NoPlanCache(benchmark::State& state) {
@@ -175,7 +175,7 @@ void BM_Parallel_TC_Grid_NoPlanCache(benchmark::State& state) {
   auto c = MakeClosure(gen.Grid(40, 40));
   RunClosure(state, c.get(), /*plan_cache=*/false);
 }
-BENCHMARK(BM_Parallel_TC_Grid_NoPlanCache)->Arg(1)->Arg(4)
+BENCHMARK(BM_Parallel_TC_Grid_NoPlanCache)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Parallel_TC_RandomGraph_NoPlanCache(benchmark::State& state) {
@@ -183,7 +183,7 @@ void BM_Parallel_TC_RandomGraph_NoPlanCache(benchmark::State& state) {
   auto c = MakeClosure(gen.RandomGraph(4000, 4400));
   RunClosure(state, c.get(), /*plan_cache=*/false);
 }
-BENCHMARK(BM_Parallel_TC_RandomGraph_NoPlanCache)->Arg(1)->Arg(4)
+BENCHMARK(BM_Parallel_TC_RandomGraph_NoPlanCache)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,183 @@
+// traffic_runner — declarative workload harness over the fixpoint engines.
+//
+//   traffic_runner --spec FILE [--deterministic] [--out DIR]
+//                  [--baseline FILE] [--tolerance T] [--slack-us S]
+//   traffic_runner --compare RUN_JSON BASELINE_JSON [--tolerance T]
+//                  [--slack-us S]
+//
+// Runs the spec's phases, prints a per-op-node latency table, and writes
+// BENCH_traffic.json (to --out, else $RECUR_BENCH_JSON_DIR, else the
+// current directory). With --baseline the fresh run's p95 latencies are
+// gated against the baseline file: any node violating
+//   run_p95 <= baseline_p95 * (1 + tolerance) + slack
+// exits nonzero — the CI perf-regression gate. --compare diffs two
+// existing artifacts without running anything. --deterministic swaps in
+// per-worker virtual clocks: the run still executes every op but reports
+// synthetic latencies, so output is byte-identical for identical
+// spec+seed (reproducibility checks, sanitizer smoke).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "traffic/report.h"
+#include "traffic/runner.h"
+#include "traffic/spec.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: traffic_runner --spec FILE [--deterministic] [--out DIR]\n"
+         "                      [--baseline FILE] [--tolerance T] "
+         "[--slack-us S]\n"
+         "       traffic_runner --compare RUN_JSON BASELINE_JSON\n"
+         "                      [--tolerance T] [--slack-us S]\n";
+  return 2;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "traffic_runner: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void PrintTable(const recur::traffic::TrafficReport& report) {
+  std::printf("workload %s (seed %" PRIu64 "%s)\n", report.workload.c_str(),
+              report.seed, report.deterministic ? ", deterministic" : "");
+  for (const auto& phase : report.phases) {
+    std::printf("phase %-12s threads %2d  ops %8" PRIu64
+                "  wall %8.3fs  %10.1f ops/s\n",
+                phase.name.c_str(), phase.threads, phase.total_ops,
+                phase.wall_seconds,
+                phase.wall_seconds > 0
+                    ? static_cast<double>(phase.total_ops) / phase.wall_seconds
+                    : 0.0);
+  }
+  std::printf("%-28s %8s %6s %10s %10s %10s %10s %12s\n", "node", "count",
+              "err", "mean_us", "p50_us", "p95_us", "p99_us", "tuples");
+  for (const auto& node : report.nodes) {
+    std::printf("%-28s %8" PRIu64 " %6" PRIu64
+                " %10.1f %10.1f %10.1f %10.1f %12" PRIu64 "\n",
+                node.BenchmarkName().c_str(), node.latency.count(),
+                node.errors, node.latency.MeanSeconds() * 1e6,
+                node.latency.PercentileSeconds(0.50) * 1e6,
+                node.latency.PercentileSeconds(0.95) * 1e6,
+                node.latency.PercentileSeconds(0.99) * 1e6, node.tuples);
+  }
+}
+
+int ReportViolations(const recur::traffic::Violations& violations) {
+  if (violations.empty()) {
+    std::printf("traffic gate: PASS\n");
+    return 0;
+  }
+  std::printf("traffic gate: FAIL (%zu violation%s)\n", violations.size(),
+              violations.size() == 1 ? "" : "s");
+  for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, out_dir, baseline_path;
+  std::string compare_run, compare_baseline;
+  bool deterministic = false;
+  double tolerance = 0.5;
+  double slack_us = 50.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "traffic_runner: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--spec") {
+      spec_path = next("--spec");
+    } else if (arg == "--out") {
+      out_dir = next("--out");
+    } else if (arg == "--baseline") {
+      baseline_path = next("--baseline");
+    } else if (arg == "--tolerance") {
+      tolerance = std::atof(next("--tolerance").c_str());
+    } else if (arg == "--slack-us") {
+      slack_us = std::atof(next("--slack-us").c_str());
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--compare") {
+      compare_run = next("--compare");
+      compare_baseline = next("--compare");
+    } else {
+      std::cerr << "traffic_runner: unknown argument " << arg << "\n";
+      return Usage();
+    }
+  }
+
+  if (!compare_run.empty()) {
+    auto violations = recur::traffic::CompareTrafficJson(
+        ReadFileOrDie(compare_run), ReadFileOrDie(compare_baseline),
+        tolerance, slack_us);
+    if (!violations.ok()) {
+      std::cerr << "traffic_runner: " << violations.status() << "\n";
+      return 2;
+    }
+    return ReportViolations(*violations);
+  }
+
+  if (spec_path.empty()) return Usage();
+
+  auto spec = recur::traffic::LoadTrafficSpecFile(spec_path);
+  if (!spec.ok()) {
+    std::cerr << "traffic_runner: " << spec.status() << "\n";
+    return 2;
+  }
+  recur::traffic::RunnerOptions options;
+  options.deterministic = deterministic;
+  auto report = recur::traffic::RunTraffic(*spec, options);
+  if (!report.ok()) {
+    std::cerr << "traffic_runner: " << report.status() << "\n";
+    return 2;
+  }
+  PrintTable(*report);
+
+  const std::string json = report->ToJson();
+  if (out_dir.empty()) {
+    const char* env = std::getenv("RECUR_BENCH_JSON_DIR");
+    if (env != nullptr) out_dir = env;
+  }
+  const std::string json_path =
+      (out_dir.empty() ? std::string() : out_dir + "/") + "BENCH_traffic.json";
+  std::ofstream out(json_path);
+  if (!out.good()) {
+    std::cerr << "traffic_runner: cannot write " << json_path << "\n";
+    return 2;
+  }
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!baseline_path.empty()) {
+    auto violations = recur::traffic::CompareTrafficJson(
+        json, ReadFileOrDie(baseline_path), tolerance, slack_us);
+    if (!violations.ok()) {
+      std::cerr << "traffic_runner: " << violations.status() << "\n";
+      return 2;
+    }
+    return ReportViolations(*violations);
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "eval/conjunctive.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "eval/plan/executor.h"
@@ -36,6 +37,18 @@ std::string EvalStats::FormatTree() const {
   }
   for (const std::string& plan_text : plans) out += plan_text;
   return out;
+}
+
+void EvalStats::Accumulate(const EvalStats& other) {
+  iterations += other.iterations;
+  tuples_considered += other.tuples_considered;
+  tuples_produced += other.tuples_produced;
+  join_probes += other.join_probes;
+  index_rebuilds += other.index_rebuilds;
+  total_tuples = std::max(total_tuples, other.total_tuples);
+  arena_bytes = std::max(arena_bytes, other.arena_bytes);
+  plans_executed += other.plans_executed;
+  plans_with_joins += other.plans_with_joins;
 }
 
 Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,

@@ -99,6 +99,14 @@ struct EvalStats {
   /// Renders the stats tree ("round 3: 120 derived, 40 deduped, ...")
   /// for tools and examples; flat counters only when rounds is empty.
   std::string FormatTree() const;
+
+  /// Folds another run's flat counters into this one — what the traffic
+  /// harness does to aggregate engine stats across the many evaluations of
+  /// one op node. Additive counters sum; the partial-progress footprints
+  /// (total_tuples, arena_bytes) take the max, since they are sizes of
+  /// independent materializations, not flows. The per-round tree and plan
+  /// renderings are left untouched.
+  void Accumulate(const EvalStats& other);
 };
 
 /// Evaluates the conjunctive body of `rule` against the relations provided

@@ -1,0 +1,96 @@
+#include "traffic/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace recur::traffic {
+
+int LatencyHistogram::BucketIndex(uint64_t ns) {
+  if (ns < 4) return static_cast<int>(ns);  // exact buckets 0..3
+  // Exponent e >= 2; 4 sub-buckets split [2^e, 2^(e+1)) by the next two
+  // bits below the leading one. Monotone in ns by construction.
+  const int e = 63 - std::countl_zero(ns);
+  const int sub = static_cast<int>((ns >> (e - 2)) & 3);
+  return (e - 1) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketMidpointNanos(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int e = index / kSubBuckets + 1;
+  const int sub = index % kSubBuckets;
+  const uint64_t width = 1ull << (e - 2);  // sub-bucket width
+  const uint64_t lower =
+      (1ull << e) + static_cast<uint64_t>(sub) * width;
+  return lower + width / 2;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  RecordNanos(static_cast<uint64_t>(std::llround(seconds * 1e9)));
+}
+
+void LatencyHistogram::RecordNanos(uint64_t ns) {
+  buckets_[static_cast<size_t>(BucketIndex(ns))] += 1;
+  count_ += 1;
+  sum_ns_ += ns;
+  min_ns_ = std::min(min_ns_, ns);
+  max_ns_ = std::max(max_ns_, ns);
+  sum_sq_ns_ += static_cast<unsigned __int128>(ns) * ns;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  min_ns_ = std::min(min_ns_, other.min_ns_);
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+  sum_sq_ns_ += other.sum_sq_ns_;
+}
+
+double LatencyHistogram::MinSeconds() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(min_ns_) * 1e-9;
+}
+
+double LatencyHistogram::MaxSeconds() const {
+  return static_cast<double>(max_ns_) * 1e-9;
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_ns_) / static_cast<double>(count_) * 1e-9;
+}
+
+double LatencyHistogram::StddevSeconds() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mean = static_cast<double>(sum_ns_) / n;
+  const double var = static_cast<double>(sum_sq_ns_) / n - mean * mean;
+  return var > 0.0 ? std::sqrt(var) * 1e-9 : 0.0;
+}
+
+double LatencyHistogram::PercentileSeconds(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested observation, 1-based, nearest-rank definition.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      const uint64_t mid =
+          std::clamp(BucketMidpointNanos(i), min_ns_, max_ns_);
+      return static_cast<double>(mid) * 1e-9;
+    }
+  }
+  return MaxSeconds();
+}
+
+bool operator==(const LatencyHistogram& a, const LatencyHistogram& b) {
+  return a.buckets_ == b.buckets_ && a.count_ == b.count_ &&
+         a.sum_ns_ == b.sum_ns_ && a.min_ns_ == b.min_ns_ &&
+         a.max_ns_ == b.max_ns_ && a.sum_sq_ns_ == b.sum_sq_ns_;
+}
+
+}  // namespace recur::traffic

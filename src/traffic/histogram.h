@@ -1,0 +1,77 @@
+#ifndef RECUR_TRAFFIC_HISTOGRAM_H_
+#define RECUR_TRAFFIC_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace recur::traffic {
+
+/// A fixed-bucket latency histogram: 4 geometric sub-buckets per power of
+/// two of nanoseconds (an HDR-histogram-lite), so relative bucket error is
+/// bounded by ~12.5% across the whole range [1ns, ~4.6e18ns] with a flat
+/// 252-slot array and no allocation.
+///
+/// Each traffic worker owns one histogram per op node and records into it
+/// without synchronization (lock-free by ownership); at phase end the
+/// per-worker histograms are merged in worker-id order. Merge is a
+/// bucket-wise sum plus exact min/max/sum/sum-of-squares, so it is
+/// associative and commutative — the merged result is independent of
+/// merge order (property-tested).
+///
+/// Percentiles are reported as the midpoint of the bucket holding the
+/// requested rank, clamped into [min, max] so p100 never exceeds the true
+/// maximum and small-count histograms stay sensible.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kNumBuckets = 63 * kSubBuckets;
+
+  /// Records one latency observation. Negative durations (clock skew)
+  /// clamp to zero.
+  void Record(double seconds);
+  void RecordNanos(uint64_t ns);
+
+  /// Adds `other`'s observations into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  double MinSeconds() const;
+  double MaxSeconds() const;
+  double MeanSeconds() const;
+  /// Population standard deviation.
+  double StddevSeconds() const;
+  /// `q` in [0, 1]; q=0.5 is the median. Zero when empty.
+  double PercentileSeconds(double q) const;
+
+  /// Exact state equality (buckets and moments) — what the determinism
+  /// tests compare.
+  friend bool operator==(const LatencyHistogram& a, const LatencyHistogram& b);
+  friend bool operator!=(const LatencyHistogram& a,
+                         const LatencyHistogram& b) {
+    return !(a == b);
+  }
+
+  /// Bucket index for a nanosecond value (exposed for tests).
+  static int BucketIndex(uint64_t ns);
+  /// Midpoint (representative value) of bucket `index`, in nanoseconds.
+  static uint64_t BucketMidpointNanos(int index);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t min_ns_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ns_ = 0;
+  /// Sum of squared nanoseconds for stddev. Exact 128-bit integer so
+  /// accumulation and Merge stay associative — a double here drifts by one
+  /// ulp depending on merge order, breaking byte-reproducibility. Wraps
+  /// only past ~2^64 observations of multi-second latencies.
+  unsigned __int128 sum_sq_ns_ = 0;
+};
+
+}  // namespace recur::traffic
+
+#endif  // RECUR_TRAFFIC_HISTOGRAM_H_

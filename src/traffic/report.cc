@@ -1,0 +1,175 @@
+#include "traffic/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace recur::traffic {
+namespace {
+
+double Us(double seconds) { return seconds * 1e6; }
+
+void AppendField(std::string* out, const char* key, uint64_t value,
+                 bool comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64, key, value);
+  if (comma) *out += ", ";
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* key, double value,
+                 int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.*f", key, decimals, value);
+  *out += ", ";
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* key, const std::string& value,
+                 bool comma = true) {
+  if (comma) *out += ", ";
+  *out += "\"";
+  *out += key;
+  *out += "\": \"";
+  *out += util::JsonEscape(value);
+  *out += "\"";
+}
+
+}  // namespace
+
+void OpNodeStats::MergeFrom(const OpNodeStats& other) {
+  latency.Merge(other.latency);
+  ok += other.ok;
+  errors += other.errors;
+  cancelled += other.cancelled;
+  deadline_exceeded += other.deadline_exceeded;
+  resource_exhausted += other.resource_exhausted;
+  other_errors += other.other_errors;
+  tuples += other.tuples;
+  eval.Accumulate(other.eval);
+}
+
+std::string TrafficReport::ToJson() const {
+  std::string out = "[\n";
+  // Run header record: identifies the spec and reproducibility mode.
+  {
+    std::string rec = "{";
+    AppendField(&rec, "benchmark", std::string("traffic"), /*comma=*/false);
+    AppendField(&rec, "workload", workload);
+    AppendField(&rec, "kind", std::string("run"));
+    AppendField(&rec, "seed", seed);
+    rec += ", \"deterministic\": ";
+    rec += deterministic ? "true" : "false";
+    rec += "}";
+    out += "  " + rec;
+  }
+  for (const PhaseSummary& phase : phases) {
+    std::string rec = "{";
+    AppendField(&rec, "benchmark", phase.name, /*comma=*/false);
+    AppendField(&rec, "workload", workload);
+    AppendField(&rec, "kind", std::string("phase"));
+    AppendField(&rec, "phase", phase.name);
+    AppendField(&rec, "threads", static_cast<uint64_t>(phase.threads));
+    AppendField(&rec, "ops", phase.total_ops);
+    AppendField(&rec, "wall_seconds", phase.wall_seconds, 6);
+    const double rate = phase.wall_seconds > 0.0
+                            ? static_cast<double>(phase.total_ops) /
+                                  phase.wall_seconds
+                            : 0.0;
+    AppendField(&rec, "ops_per_sec", rate, 1);
+    rec += "}";
+    out += ",\n  " + rec;
+  }
+  for (const OpNodeStats& node : nodes) {
+    std::string rec = "{";
+    AppendField(&rec, "benchmark", node.BenchmarkName(), /*comma=*/false);
+    AppendField(&rec, "workload", workload);
+    AppendField(&rec, "kind", std::string("op"));
+    AppendField(&rec, "phase", node.phase);
+    AppendField(&rec, "op", node.op);
+    AppendField(&rec, "threads", static_cast<uint64_t>(node.threads));
+    AppendField(&rec, "count", node.latency.count());
+    AppendField(&rec, "ok", node.ok);
+    AppendField(&rec, "errors", node.errors);
+    AppendField(&rec, "cancelled", node.cancelled);
+    AppendField(&rec, "deadline_exceeded", node.deadline_exceeded);
+    AppendField(&rec, "resource_exhausted", node.resource_exhausted);
+    AppendField(&rec, "tuples", node.tuples);
+    AppendField(&rec, "join_probes",
+                static_cast<uint64_t>(node.eval.join_probes));
+    AppendField(&rec, "plans_executed",
+                static_cast<uint64_t>(node.eval.plans_executed));
+    AppendField(&rec, "mean_us", Us(node.latency.MeanSeconds()), 3);
+    AppendField(&rec, "min_us", Us(node.latency.MinSeconds()), 3);
+    AppendField(&rec, "max_us", Us(node.latency.MaxSeconds()), 3);
+    AppendField(&rec, "stddev_us", Us(node.latency.StddevSeconds()), 3);
+    AppendField(&rec, "p50_us", Us(node.latency.PercentileSeconds(0.50)), 3);
+    AppendField(&rec, "p95_us", Us(node.latency.PercentileSeconds(0.95)), 3);
+    AppendField(&rec, "p99_us", Us(node.latency.PercentileSeconds(0.99)), 3);
+    rec += "}";
+    out += ",\n  " + rec;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Result<Violations> CompareTrafficJson(std::string_view run_json,
+                                      std::string_view baseline_json,
+                                      double tolerance, double slack_us) {
+  RECUR_ASSIGN_OR_RETURN(util::JsonValue run, util::ParseJson(run_json));
+  RECUR_ASSIGN_OR_RETURN(util::JsonValue baseline,
+                         util::ParseJson(baseline_json));
+  if (!run.is_array() || !baseline.is_array()) {
+    return Status::InvalidArgument(
+        "traffic comparison expects BENCH_traffic.json arrays");
+  }
+
+  Violations violations;
+  for (const util::JsonValue& base : baseline.items()) {
+    if (!base.is_object()) continue;
+    RECUR_ASSIGN_OR_RETURN(std::string kind, base.StringOr("kind", ""));
+    if (kind != "op") continue;
+    RECUR_ASSIGN_OR_RETURN(std::string name, base.StringOr("benchmark", ""));
+    RECUR_ASSIGN_OR_RETURN(double base_count, base.NumberOr("count", 0));
+    RECUR_ASSIGN_OR_RETURN(double base_p95, base.NumberOr("p95_us", 0));
+    if (name.empty() || base_count <= 0) continue;
+
+    const util::JsonValue* match = nullptr;
+    for (const util::JsonValue& rec : run.items()) {
+      if (!rec.is_object()) continue;
+      const util::JsonValue* bench = rec.Find("benchmark");
+      const util::JsonValue* k = rec.Find("kind");
+      if (bench != nullptr && bench->is_string() &&
+          bench->string_value() == name && k != nullptr && k->is_string() &&
+          k->string_value() == "op") {
+        match = &rec;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      violations.push_back("node '" + name +
+                           "' present in baseline but missing from run");
+      continue;
+    }
+    RECUR_ASSIGN_OR_RETURN(double run_count, match->NumberOr("count", 0));
+    RECUR_ASSIGN_OR_RETURN(double run_p95, match->NumberOr("p95_us", 0));
+    if (run_count <= 0) {
+      violations.push_back("node '" + name + "' executed no ops in the run");
+      continue;
+    }
+    const double allowed = base_p95 * (1.0 + tolerance) + slack_us;
+    if (run_p95 > allowed) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "p95 regression: %.3fus > allowed %.3fus "
+                    "(baseline %.3fus, tolerance %.0f%%, slack %.0fus)",
+                    run_p95, allowed, base_p95, tolerance * 100.0, slack_us);
+      violations.push_back("node '" + name + "': " + buf);
+    }
+  }
+  return violations;
+}
+
+}  // namespace recur::traffic

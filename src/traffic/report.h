@@ -1,0 +1,80 @@
+#ifndef RECUR_TRAFFIC_REPORT_H_
+#define RECUR_TRAFFIC_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/conjunctive.h"
+#include "traffic/histogram.h"
+#include "util/result.h"
+
+namespace recur::traffic {
+
+/// Merged statistics for one (phase, op) node of a traffic run.
+struct OpNodeStats {
+  std::string phase;
+  std::string op;  // the op label from the spec
+  int threads = 1;
+  LatencyHistogram latency;  // every executed op, successful or not
+  uint64_t ok = 0;
+  uint64_t errors = 0;  // total non-OK ops (the typed counters break it down)
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t resource_exhausted = 0;
+  uint64_t other_errors = 0;
+  /// Result rows this node produced/returned (IDB tuples for fixpoints,
+  /// matching rows for queries, mutated rows for insert/delete/load).
+  uint64_t tuples = 0;
+  /// Flat engine counters accumulated across the node's ops
+  /// (EvalStats::Accumulate) — join probes, plans executed, ...
+  eval::EvalStats eval;
+
+  /// "<phase>/<op>" — the stable key baseline comparison matches on.
+  std::string BenchmarkName() const { return phase + "/" + op; }
+
+  void MergeFrom(const OpNodeStats& other);
+};
+
+/// Wall-clock summary of one phase.
+struct PhaseSummary {
+  std::string name;
+  int threads = 1;
+  uint64_t total_ops = 0;
+  /// In deterministic (virtual clock) runs this is the max virtual elapsed
+  /// time across workers, so it is byte-reproducible too.
+  double wall_seconds = 0.0;
+};
+
+/// A full traffic run: the BENCH_traffic.json payload. The JSON is an
+/// array of records in deterministic order (phase records first, then one
+/// record per op node, phase-major in mix order), matching the
+/// BENCH_*.json conventions of bench/bench_json.h.
+struct TrafficReport {
+  std::string workload;  // spec name
+  uint64_t seed = 1;
+  bool deterministic = false;
+  std::vector<PhaseSummary> phases;
+  std::vector<OpNodeStats> nodes;
+
+  std::string ToJson() const;
+};
+
+/// One latency-gate violation, human-readable.
+using Violations = std::vector<std::string>;
+
+/// Compares a run's BENCH_traffic.json against a baseline: for every op
+/// node in the baseline with a nonzero count, the run's p95 must satisfy
+///   run_p95_us <= baseline_p95_us * (1 + tolerance) + slack_us
+/// and the node must exist in the run. Returns the violations (empty =
+/// pass). `slack_us` absorbs absolute noise on sub-100us nodes so a
+/// relative tolerance does not have to cover scheduler jitter.
+Result<Violations> CompareTrafficJson(std::string_view run_json,
+                                      std::string_view baseline_json,
+                                      double tolerance,
+                                      double slack_us = 50.0);
+
+}  // namespace recur::traffic
+
+#endif  // RECUR_TRAFFIC_REPORT_H_

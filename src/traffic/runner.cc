@@ -1,0 +1,465 @@
+#include "traffic/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <random>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "catalog/paper_examples.h"
+#include "datalog/parser.h"
+#include "eval/naive.h"
+#include "eval/query.h"
+#include "eval/seminaive.h"
+#include "eval/thread_pool.h"
+#include "ra/database.h"
+#include "util/fault_injection.h"
+#include "workload/generator.h"
+
+namespace recur::traffic {
+namespace {
+
+/// Deterministic helpers over mt19937_64. The std <random> distributions
+/// are implementation-defined, so reproducible runs draw through these
+/// fixed mappings instead.
+uint64_t NextBounded(std::mt19937_64& rng, uint64_t n) {
+  if (n == 0) return 0;
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(rng()) * n) >> 64);
+}
+
+double NextUnit(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double NextExponential(std::mt19937_64& rng, double rate) {
+  // Inverse CDF; 1-u avoids log(0).
+  return -std::log(1.0 - NextUnit(rng)) / rate;
+}
+
+ra::Relation GenerateEdb(const EdbSpec& spec, uint64_t seed) {
+  workload::Generator gen(seed);
+  if (spec.kind == "chain") return gen.Chain(spec.n, spec.base);
+  if (spec.kind == "tree") return gen.Tree(spec.depth, spec.fanout, spec.base);
+  if (spec.kind == "layered_dag") {
+    return gen.LayeredDag(spec.layers, spec.width, spec.out_degree, spec.base);
+  }
+  if (spec.kind == "random_graph") {
+    return gen.RandomGraph(spec.n, spec.m, spec.base);
+  }
+  if (spec.kind == "grid") return gen.Grid(spec.w, spec.h, spec.base);
+  // Validated by the spec parser, so the only remaining kind:
+  return gen.RandomRows(spec.arity, spec.n, spec.m, spec.base);
+}
+
+/// Immutable per-run state shared (read-only) by all workers.
+struct Workload {
+  SymbolTable symbols;
+  datalog::Program program;
+  ra::Database base_edb;
+  SymbolId query_pred = kInvalidSymbol;
+  int query_arity = 0;
+  ra::Value value_range = 1;
+};
+
+Result<std::unique_ptr<Workload>> BuildWorkload(const TrafficSpec& spec) {
+  auto w = std::make_unique<Workload>();
+
+  std::string program_text = spec.rules;
+  if (!spec.example.empty()) {
+    const catalog::PaperExample* example =
+        catalog::FindExample(spec.example.c_str());
+    if (example == nullptr) {
+      return Status::InvalidArgument("unknown paper example: " + spec.example);
+    }
+    program_text = std::string(example->rule) + "\n" + example->exit_rule +
+                   "\n";
+  }
+  RECUR_ASSIGN_OR_RETURN(w->program,
+                         datalog::ParseProgram(program_text, &w->symbols));
+  RECUR_RETURN_IF_ERROR(w->program.Validate());
+
+  w->query_pred = w->symbols.Lookup(spec.query_pred);
+  for (const datalog::Rule& rule : w->program.rules()) {
+    if (rule.head().predicate() == w->query_pred) {
+      w->query_arity = rule.head().arity();
+      break;
+    }
+  }
+  if (w->query_pred == kInvalidSymbol || w->query_arity == 0) {
+    return Status::InvalidArgument("query_pred '" + spec.query_pred +
+                                   "' is not the head of any rule");
+  }
+
+  // Every EDB relation generates from a seed derived from the spec seed
+  // and its position, so the base database is a pure function of the spec.
+  for (size_t i = 0; i < spec.edb.size(); ++i) {
+    const EdbSpec& e = spec.edb[i];
+    ra::Relation rel = GenerateEdb(e, spec.seed * 1000003ull + i);
+    RECUR_ASSIGN_OR_RETURN(
+        ra::Relation * slot,
+        w->base_edb.GetOrCreate(w->symbols.Intern(e.relation), rel.arity()));
+    slot->InsertAll(rel);
+  }
+  w->value_range = spec.EffectiveValueRange();
+  return w;
+}
+
+/// Per-worker, per-op-node tallies; merged into OpNodeStats at phase end.
+struct LocalNode {
+  LatencyHistogram latency;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t resource_exhausted = 0;
+  uint64_t other_errors = 0;
+  uint64_t tuples = 0;
+  eval::EvalStats eval;
+};
+
+class Worker {
+ public:
+  Worker(const TrafficSpec& spec, const PhaseSpec& phase,
+         const Workload& workload, int worker_id,
+         const RunnerOptions& options)
+      : phase_(phase),
+        workload_(workload),
+        spec_edb_(&spec.edb),
+        rng_(spec.seed +
+             0x9e3779b97f4a7c15ull * static_cast<uint64_t>(worker_id + 1)),
+        db_(workload.base_edb) {
+    if (options.deterministic) {
+      virtual_clock_.emplace(options.virtual_tick_seconds);
+      clock_ = &*virtual_clock_;
+    } else {
+      clock_ = &steady_clock_;
+    }
+    nodes_.resize(phase.mix.size());
+    total_weight_ = 0.0;
+    for (const OpSpec& op : phase.mix) total_weight_ += op.weight;
+  }
+
+  void Run() {
+    const bool wants_query = std::any_of(
+        phase_.mix.begin(), phase_.mix.end(),
+        [](const OpSpec& op) { return op.kind == OpSpec::Kind::kQuery; });
+    if (wants_query) SeedIdb();
+
+    const double start = clock_->Now();
+    double next_arrival = start;
+    uint64_t executed = 0;
+    while (true) {
+      if (phase_.ops > 0) {
+        if (executed >= phase_.ops) break;
+      } else if (clock_->Now() - start >= phase_.duration_seconds) {
+        break;
+      }
+      if (phase_.arrival_rate > 0.0) {
+        next_arrival += NextExponential(rng_, phase_.arrival_rate);
+        const double now = clock_->Now();
+        if (next_arrival > now) clock_->SleepFor(next_arrival - now);
+      }
+      const size_t node = PickNode();
+      const double t0 = clock_->Now();
+      RunOp(phase_.mix[node], &nodes_[node]);
+      const double t1 = clock_->Now();
+      nodes_[node].latency.Record(t1 - t0);
+      ++executed;
+    }
+    elapsed_ = clock_->Now() - start;
+  }
+
+  const std::vector<LocalNode>& nodes() const { return nodes_; }
+  double elapsed() const { return elapsed_; }
+
+ private:
+  size_t PickNode() {
+    double r = NextUnit(rng_) * total_weight_;
+    for (size_t i = 0; i + 1 < phase_.mix.size(); ++i) {
+      r -= phase_.mix[i].weight;
+      if (r < 0.0) return i;
+    }
+    return phase_.mix.size() - 1;
+  }
+
+  ra::Value RandomValue() {
+    return static_cast<ra::Value>(
+        NextBounded(rng_, static_cast<uint64_t>(workload_.value_range)));
+  }
+
+  /// Materializes the IDB once, untimed, so query nodes have a relation to
+  /// filter from the first op on. Failures fall through: queries then see
+  /// an empty IDB until a fixpoint op succeeds.
+  void SeedIdb() {
+    eval::FixpointOptions opts;
+    auto idb = eval::SemiNaiveEvaluate(workload_.program, db_, opts);
+    if (idb.ok()) idb_ = *std::move(idb);
+  }
+
+  void CountError(const Status& status, LocalNode* node) {
+    node->errors += 1;
+    switch (status.code()) {
+      case StatusCode::kCancelled: node->cancelled += 1; break;
+      case StatusCode::kDeadlineExceeded: node->deadline_exceeded += 1; break;
+      case StatusCode::kResourceExhausted:
+        node->resource_exhausted += 1;
+        break;
+      default: node->other_errors += 1; break;
+    }
+  }
+
+  void RunOp(const OpSpec& op, LocalNode* node) {
+    switch (op.kind) {
+      case OpSpec::Kind::kFixpoint: return RunFixpoint(op, node);
+      case OpSpec::Kind::kQuery: return RunQuery(op, node);
+      case OpSpec::Kind::kInsert: return RunInsert(op, node);
+      case OpSpec::Kind::kDelete: return RunDelete(op, node);
+      case OpSpec::Kind::kLoadEdb: return RunLoadEdb(op, node);
+    }
+  }
+
+  void RunFixpoint(const OpSpec& op, LocalNode* node) {
+    eval::FixpointOptions opts;
+    opts.num_threads = op.threads;
+    opts.limits.deadline_seconds = op.deadline_seconds;
+    opts.limits.max_total_tuples = op.max_total_tuples;
+    eval::EvalStats stats;
+    auto idb = op.engine == "naive"
+                   ? eval::NaiveEvaluate(workload_.program, db_, opts, &stats)
+                   : eval::SemiNaiveEvaluate(workload_.program, db_, opts,
+                                             &stats);
+    node->eval.Accumulate(stats);
+    if (!idb.ok()) {
+      CountError(idb.status(), node);
+      return;
+    }
+    node->ok += 1;
+    if (auto it = idb->find(workload_.query_pred); it != idb->end()) {
+      node->tuples += it->second.size();
+    }
+    idb_ = *std::move(idb);
+  }
+
+  void RunQuery(const OpSpec& op, LocalNode* node) {
+    eval::Query query;
+    query.pred = workload_.query_pred;
+    query.bindings.assign(workload_.query_arity, std::nullopt);
+    for (int pos : op.bind_positions) {
+      if (pos < workload_.query_arity) query.bindings[pos] = RandomValue();
+    }
+    const ra::Relation* full = nullptr;
+    if (auto it = idb_.find(workload_.query_pred); it != idb_.end()) {
+      full = &it->second;
+    }
+    if (full == nullptr) {
+      // Nothing materialized yet (seed fixpoint failed): an empty answer.
+      node->ok += 1;
+      return;
+    }
+    auto answer = query.Filter(*full);
+    if (!answer.ok()) {
+      CountError(answer.status(), node);
+      return;
+    }
+    node->ok += 1;
+    node->tuples += answer->size();
+  }
+
+  void RunInsert(const OpSpec& op, LocalNode* node) {
+    ra::Relation* rel = db_.FindMutable(workload_.symbols.Lookup(op.relation));
+    if (rel == nullptr) {
+      CountError(Status::NotFound("relation " + op.relation), node);
+      return;
+    }
+    size_t inserted = 0;
+    ra::Tuple row(static_cast<size_t>(rel->arity()));
+    for (int i = 0; i < op.count; ++i) {
+      for (ra::Value& v : row) v = RandomValue();
+      if (rel->Insert(row)) ++inserted;
+    }
+    node->ok += 1;
+    node->tuples += inserted;
+  }
+
+  void RunDelete(const OpSpec& op, LocalNode* node) {
+    ra::Relation* rel = db_.FindMutable(workload_.symbols.Lookup(op.relation));
+    if (rel == nullptr) {
+      CountError(Status::NotFound("relation " + op.relation), node);
+      return;
+    }
+    const size_t size = rel->size();
+    if (size == 0) {
+      node->ok += 1;
+      return;
+    }
+    // Pick up to `count` distinct victim rows, then rebuild without them
+    // (the arena has no in-place erase; deletion is an O(n) rebuild and is
+    // priced as such by the harness).
+    std::unordered_set<size_t> victims;
+    const size_t want = std::min<size_t>(static_cast<size_t>(op.count), size);
+    while (victims.size() < want) {
+      victims.insert(static_cast<size_t>(NextBounded(rng_, size)));
+    }
+    ra::Relation rebuilt(rel->arity());
+    rebuilt.Reserve(size - victims.size());
+    ra::RowsView rows = rel->rows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (victims.count(i) == 0) rebuilt.InsertUnchecked(rows[i]);
+    }
+    *rel = std::move(rebuilt);
+    node->ok += 1;
+    node->tuples += want;
+  }
+
+  void RunLoadEdb(const OpSpec& op, LocalNode* node) {
+    const EdbSpec* edb_spec = nullptr;
+    for (const EdbSpec& e : *spec_edb_) {
+      if (e.relation == op.relation) {
+        edb_spec = &e;
+        break;
+      }
+    }
+    ra::Relation* rel = db_.FindMutable(workload_.symbols.Lookup(op.relation));
+    if (edb_spec == nullptr || rel == nullptr) {
+      CountError(Status::NotFound("relation " + op.relation), node);
+      return;
+    }
+    *rel = GenerateEdb(*edb_spec, rng_());
+    node->ok += 1;
+    node->tuples += rel->size();
+  }
+
+  const PhaseSpec& phase_;
+  const Workload& workload_;
+  const std::vector<EdbSpec>* spec_edb_;
+  std::mt19937_64 rng_;
+  ra::Database db_;                // private copy; never shared
+  eval::IdbRelations idb_;         // last materialized IDB; queries filter
+                                   // it as-is until the next fixpoint op
+  std::vector<LocalNode> nodes_;
+  double total_weight_ = 1.0;
+  double elapsed_ = 0.0;
+  SteadyTrafficClock steady_clock_;
+  std::optional<VirtualTrafficClock> virtual_clock_;
+  TrafficClock* clock_ = nullptr;
+};
+
+util::FaultSpec ToFaultSpec(const FaultArmSpec& arm) {
+  util::FaultSpec spec;
+  if (arm.kind == "delay") {
+    spec.kind = util::FaultSpec::Kind::kDelay;
+    spec.delay_ms = arm.delay_ms;
+  } else {
+    spec.kind = util::FaultSpec::Kind::kStatus;
+    if (arm.code == "cancelled") {
+      spec.code = StatusCode::kCancelled;
+    } else if (arm.code == "deadline_exceeded") {
+      spec.code = StatusCode::kDeadlineExceeded;
+    } else if (arm.code == "resource_exhausted") {
+      spec.code = StatusCode::kResourceExhausted;
+    } else if (arm.code == "invalid_argument") {
+      spec.code = StatusCode::kInvalidArgument;
+    } else {
+      spec.code = StatusCode::kInternal;
+    }
+    spec.message = "traffic fault at " + arm.site;
+  }
+  spec.trigger_on_hit = arm.trigger_on_hit;
+  spec.sticky = arm.sticky;
+  return spec;
+}
+
+/// Arms a phase's fault sites on construction, disarms on destruction.
+class PhaseFaults {
+ public:
+  explicit PhaseFaults(const std::vector<FaultArmSpec>& faults) {
+    for (const FaultArmSpec& arm : faults) {
+      util::FaultInjector::Instance().Arm(arm.site, ToFaultSpec(arm));
+      sites_.push_back(arm.site);
+    }
+  }
+  ~PhaseFaults() {
+    for (const std::string& site : sites_) {
+      util::FaultInjector::Instance().Disarm(site);
+    }
+  }
+
+ private:
+  std::vector<std::string> sites_;
+};
+
+}  // namespace
+
+Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
+                                 const RunnerOptions& options) {
+  RECUR_ASSIGN_OR_RETURN(std::unique_ptr<Workload> workload,
+                         BuildWorkload(spec));
+
+  TrafficReport report;
+  report.workload = spec.name;
+  report.seed = spec.seed;
+  report.deterministic = options.deterministic;
+
+  SteadyTrafficClock wall;
+  for (const PhaseSpec& phase : spec.phases) {
+    PhaseFaults faults(phase.faults);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(static_cast<size_t>(phase.threads));
+    for (int i = 0; i < phase.threads; ++i) {
+      workers.push_back(
+          std::make_unique<Worker>(spec, phase, *workload, i, options));
+    }
+
+    const double phase_start = wall.Now();
+    eval::ThreadPool pool(phase.threads);
+    for (auto& worker : workers) {
+      Worker* w = worker.get();
+      pool.Submit([w] { w->Run(); });
+    }
+    RECUR_RETURN_IF_ERROR(pool.Wait());
+    const double phase_wall = wall.Now() - phase_start;
+
+    // Deterministic merge: node-major, workers in id order.
+    uint64_t total_ops = 0;
+    double max_virtual_elapsed = 0.0;
+    for (size_t n = 0; n < phase.mix.size(); ++n) {
+      OpNodeStats stats;
+      stats.phase = phase.name;
+      stats.op = phase.mix[n].label;
+      stats.threads = phase.threads;
+      for (const auto& worker : workers) {
+        const LocalNode& local = worker->nodes()[n];
+        stats.latency.Merge(local.latency);
+        stats.ok += local.ok;
+        stats.errors += local.errors;
+        stats.cancelled += local.cancelled;
+        stats.deadline_exceeded += local.deadline_exceeded;
+        stats.resource_exhausted += local.resource_exhausted;
+        stats.other_errors += local.other_errors;
+        stats.tuples += local.tuples;
+        stats.eval.Accumulate(local.eval);
+      }
+      total_ops += stats.latency.count();
+      report.nodes.push_back(std::move(stats));
+    }
+    for (const auto& worker : workers) {
+      max_virtual_elapsed = std::max(max_virtual_elapsed, worker->elapsed());
+    }
+
+    PhaseSummary summary;
+    summary.name = phase.name;
+    summary.threads = phase.threads;
+    summary.total_ops = total_ops;
+    summary.wall_seconds =
+        options.deterministic ? max_virtual_elapsed : phase_wall;
+    report.phases.push_back(std::move(summary));
+  }
+  return report;
+}
+
+}  // namespace recur::traffic

@@ -1,0 +1,89 @@
+#ifndef RECUR_TRAFFIC_RUNNER_H_
+#define RECUR_TRAFFIC_RUNNER_H_
+
+#include <chrono>
+#include <thread>
+
+#include "traffic/report.h"
+#include "traffic/spec.h"
+#include "util/result.h"
+
+namespace recur::traffic {
+
+/// The runner's time source. Each worker thread holds its own clock
+/// handle: the real clock is a stateless steady_clock wrapper shared by
+/// everyone, while deterministic runs give every worker a private virtual
+/// clock so recorded latencies (and therefore the whole report) are
+/// byte-reproducible regardless of scheduling.
+class TrafficClock {
+ public:
+  virtual ~TrafficClock() = default;
+  /// Monotonic seconds since some fixed origin.
+  virtual double Now() = 0;
+  virtual void SleepFor(double seconds) = 0;
+};
+
+/// std::chrono::steady_clock + this_thread::sleep_for.
+class SteadyTrafficClock final : public TrafficClock {
+ public:
+  double Now() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepFor(double seconds) override {
+    if (seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+};
+
+/// Advances a fixed tick on every Now() call and jumps over sleeps without
+/// waiting. With one worker per clock instance, every op observes exactly
+/// one tick of latency, so histograms — and the emitted JSON — depend only
+/// on the spec and seed.
+class VirtualTrafficClock final : public TrafficClock {
+ public:
+  explicit VirtualTrafficClock(double tick_seconds = 1e-4)
+      : tick_(tick_seconds) {}
+  double Now() override {
+    now_ += tick_;
+    return now_;
+  }
+  void SleepFor(double seconds) override {
+    if (seconds > 0) now_ += seconds;
+  }
+  double now() const { return now_; }
+
+ private:
+  double tick_;
+  double now_ = 0.0;
+};
+
+struct RunnerOptions {
+  /// Use per-worker virtual clocks: ops still really execute, but recorded
+  /// latencies are synthetic ticks and the report is byte-reproducible.
+  /// This is the mode the determinism tests and sanitizer smoke runs use;
+  /// leave false to measure real latencies.
+  bool deterministic = false;
+  double virtual_tick_seconds = 1e-4;
+};
+
+/// Executes every phase of `spec` and returns the merged report.
+///
+/// Execution model: each phase runs `threads` workers on a ThreadPool.
+/// A worker owns a seeded PRNG (spec seed + worker id), a private copy of
+/// the generated EDB (so insert/delete/fixpoint ops never race between
+/// workers), and one lock-free histogram per op node; per-worker results
+/// are merged in worker-id order at phase end. Phase fault specs are armed
+/// in the process-wide FaultInjector for the phase's duration; op failures
+/// are recorded as typed error counts, never propagated.
+///
+/// Returns a Status only for structural failures (program does not parse,
+/// EDB arity clash, ...), not for op-level errors.
+Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
+                                 const RunnerOptions& options = {});
+
+}  // namespace recur::traffic
+
+#endif  // RECUR_TRAFFIC_RUNNER_H_

@@ -1,0 +1,323 @@
+#include "traffic/spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "catalog/paper_examples.h"
+#include "util/json.h"
+
+namespace recur::traffic {
+namespace {
+
+using util::JsonValue;
+
+Status Invalid(const std::string& what) {
+  return Status::InvalidArgument("traffic spec: " + what);
+}
+
+Result<int> IntField(const JsonValue& obj, std::string_view key,
+                     int fallback) {
+  RECUR_ASSIGN_OR_RETURN(double d, obj.NumberOr(key, fallback));
+  if (d != static_cast<double>(static_cast<long long>(d))) {
+    return Invalid("field '" + std::string(key) + "' must be an integer");
+  }
+  return static_cast<int>(d);
+}
+
+Result<uint64_t> U64Field(const JsonValue& obj, std::string_view key,
+                          uint64_t fallback) {
+  RECUR_ASSIGN_OR_RETURN(double d,
+                         obj.NumberOr(key, static_cast<double>(fallback)));
+  if (d < 0 || d != static_cast<double>(static_cast<uint64_t>(d))) {
+    return Invalid("field '" + std::string(key) +
+                   "' must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(d);
+}
+
+Result<EdbSpec> ParseEdb(const JsonValue& obj) {
+  if (!obj.is_object()) return Invalid("edb entry must be an object");
+  EdbSpec e;
+  RECUR_ASSIGN_OR_RETURN(e.relation, obj.StringOr("relation", ""));
+  if (e.relation.empty()) return Invalid("edb entry needs a 'relation'");
+  RECUR_ASSIGN_OR_RETURN(e.kind, obj.StringOr("kind", "chain"));
+  RECUR_ASSIGN_OR_RETURN(e.n, IntField(obj, "n", 0));
+  RECUR_ASSIGN_OR_RETURN(e.m, IntField(obj, "m", 0));
+  RECUR_ASSIGN_OR_RETURN(e.depth, IntField(obj, "depth", 0));
+  RECUR_ASSIGN_OR_RETURN(e.fanout, IntField(obj, "fanout", 0));
+  RECUR_ASSIGN_OR_RETURN(e.layers, IntField(obj, "layers", 0));
+  RECUR_ASSIGN_OR_RETURN(e.width, IntField(obj, "width", 0));
+  RECUR_ASSIGN_OR_RETURN(e.out_degree, IntField(obj, "out_degree", 0));
+  RECUR_ASSIGN_OR_RETURN(e.w, IntField(obj, "w", 0));
+  RECUR_ASSIGN_OR_RETURN(e.h, IntField(obj, "h", 0));
+  RECUR_ASSIGN_OR_RETURN(e.arity, IntField(obj, "arity", 2));
+  RECUR_ASSIGN_OR_RETURN(int base, IntField(obj, "base", 0));
+  e.base = base;
+
+  const std::string& k = e.kind;
+  if (k == "chain") {
+    if (e.n <= 0) return Invalid("chain edb needs n > 0");
+  } else if (k == "tree") {
+    if (e.depth <= 0 || e.fanout <= 0) {
+      return Invalid("tree edb needs depth > 0 and fanout > 0");
+    }
+  } else if (k == "layered_dag") {
+    if (e.layers <= 0 || e.width <= 0 || e.out_degree <= 0) {
+      return Invalid("layered_dag edb needs layers/width/out_degree > 0");
+    }
+  } else if (k == "random_graph") {
+    if (e.n <= 1 || e.m <= 0) {
+      return Invalid("random_graph edb needs n > 1 and m > 0");
+    }
+  } else if (k == "grid") {
+    if (e.w <= 0 || e.h <= 0) return Invalid("grid edb needs w > 0 and h > 0");
+  } else if (k == "random_rows") {
+    if (e.arity <= 0 || e.n <= 0 || e.m <= 0) {
+      return Invalid("random_rows edb needs arity/n/m > 0");
+    }
+  } else {
+    return Invalid("unknown edb kind '" + k + "'");
+  }
+  return e;
+}
+
+Result<FaultArmSpec> ParseFault(const JsonValue& obj) {
+  if (!obj.is_object()) return Invalid("fault entry must be an object");
+  FaultArmSpec f;
+  RECUR_ASSIGN_OR_RETURN(f.site, obj.StringOr("site", ""));
+  if (f.site.empty()) return Invalid("fault entry needs a 'site'");
+  RECUR_ASSIGN_OR_RETURN(f.kind, obj.StringOr("kind", "status"));
+  if (f.kind != "status" && f.kind != "delay") {
+    return Invalid("fault kind must be 'status' or 'delay'");
+  }
+  RECUR_ASSIGN_OR_RETURN(f.code, obj.StringOr("code", "internal"));
+  if (f.code != "internal" && f.code != "cancelled" &&
+      f.code != "deadline_exceeded" && f.code != "resource_exhausted" &&
+      f.code != "invalid_argument") {
+    return Invalid("unknown fault status code '" + f.code + "'");
+  }
+  RECUR_ASSIGN_OR_RETURN(f.delay_ms, IntField(obj, "delay_ms", 0));
+  if (f.kind == "delay" && f.delay_ms <= 0) {
+    return Invalid("delay fault needs delay_ms > 0");
+  }
+  RECUR_ASSIGN_OR_RETURN(f.trigger_on_hit, IntField(obj, "trigger_on_hit", 1));
+  if (f.trigger_on_hit < 1) return Invalid("trigger_on_hit must be >= 1");
+  RECUR_ASSIGN_OR_RETURN(f.sticky, obj.BoolOr("sticky", true));
+  return f;
+}
+
+Result<OpSpec> ParseOp(const JsonValue& obj) {
+  if (!obj.is_object()) return Invalid("mix entry must be an object");
+  OpSpec op;
+  RECUR_ASSIGN_OR_RETURN(std::string kind, obj.StringOr("op", ""));
+  if (kind == "fixpoint") {
+    op.kind = OpSpec::Kind::kFixpoint;
+  } else if (kind == "query") {
+    op.kind = OpSpec::Kind::kQuery;
+  } else if (kind == "insert") {
+    op.kind = OpSpec::Kind::kInsert;
+  } else if (kind == "delete") {
+    op.kind = OpSpec::Kind::kDelete;
+  } else if (kind == "load_edb") {
+    op.kind = OpSpec::Kind::kLoadEdb;
+  } else {
+    return Invalid("unknown op kind '" + kind + "'");
+  }
+  RECUR_ASSIGN_OR_RETURN(op.label, obj.StringOr("label", kind));
+  RECUR_ASSIGN_OR_RETURN(op.weight, obj.NumberOr("weight", 1.0));
+  if (!(op.weight > 0.0)) return Invalid("op weight must be > 0");
+
+  RECUR_ASSIGN_OR_RETURN(op.engine, obj.StringOr("engine", "seminaive"));
+  if (op.engine != "naive" && op.engine != "seminaive") {
+    return Invalid("fixpoint engine must be 'naive' or 'seminaive'");
+  }
+  RECUR_ASSIGN_OR_RETURN(op.threads, IntField(obj, "threads", 1));
+  if (op.threads < 1) return Invalid("op threads must be >= 1");
+  RECUR_ASSIGN_OR_RETURN(op.deadline_seconds,
+                         obj.NumberOr("deadline_seconds", 0.0));
+  if (op.deadline_seconds < 0.0) {
+    return Invalid("deadline_seconds must be >= 0");
+  }
+  RECUR_ASSIGN_OR_RETURN(op.max_total_tuples,
+                         U64Field(obj, "max_total_tuples", 0));
+
+  if (const JsonValue* bind = obj.Find("bind"); bind != nullptr) {
+    if (!bind->is_array()) return Invalid("'bind' must be an array");
+    for (const JsonValue& b : bind->items()) {
+      if (!b.is_number() || b.number_value() < 0) {
+        return Invalid("'bind' entries must be non-negative positions");
+      }
+      op.bind_positions.push_back(static_cast<int>(b.number_value()));
+    }
+  }
+  RECUR_ASSIGN_OR_RETURN(op.relation, obj.StringOr("relation", ""));
+  RECUR_ASSIGN_OR_RETURN(op.count, IntField(obj, "count", 1));
+  if (op.count < 1) return Invalid("op count must be >= 1");
+
+  if ((op.kind == OpSpec::Kind::kInsert || op.kind == OpSpec::Kind::kDelete ||
+       op.kind == OpSpec::Kind::kLoadEdb) &&
+      op.relation.empty()) {
+    return Invalid(std::string(OpKindName(op.kind)) +
+                   " op needs a 'relation'");
+  }
+  return op;
+}
+
+Result<PhaseSpec> ParsePhase(const JsonValue& obj, size_t index) {
+  if (!obj.is_object()) return Invalid("phase must be an object");
+  PhaseSpec phase;
+  RECUR_ASSIGN_OR_RETURN(phase.name,
+                         obj.StringOr("name", "phase" + std::to_string(index)));
+  RECUR_ASSIGN_OR_RETURN(phase.threads, IntField(obj, "threads", 1));
+  if (phase.threads < 1) return Invalid("phase threads must be >= 1");
+  RECUR_ASSIGN_OR_RETURN(phase.ops, U64Field(obj, "ops", 0));
+  RECUR_ASSIGN_OR_RETURN(phase.duration_seconds,
+                         obj.NumberOr("duration_seconds", 0.0));
+  if (phase.ops == 0 && !(phase.duration_seconds > 0.0)) {
+    return Invalid("phase '" + phase.name +
+                   "' needs ops > 0 or duration_seconds > 0");
+  }
+  RECUR_ASSIGN_OR_RETURN(phase.arrival_rate,
+                         obj.NumberOr("arrival_rate", 0.0));
+  if (phase.arrival_rate < 0.0) return Invalid("arrival_rate must be >= 0");
+
+  const JsonValue* mix = obj.Find("mix");
+  if (mix == nullptr || !mix->is_array() || mix->items().empty()) {
+    return Invalid("phase '" + phase.name + "' needs a non-empty 'mix'");
+  }
+  for (const JsonValue& entry : mix->items()) {
+    RECUR_ASSIGN_OR_RETURN(OpSpec op, ParseOp(entry));
+    phase.mix.push_back(std::move(op));
+  }
+  for (size_t i = 0; i < phase.mix.size(); ++i) {
+    for (size_t j = i + 1; j < phase.mix.size(); ++j) {
+      if (phase.mix[i].label == phase.mix[j].label) {
+        return Invalid("phase '" + phase.name + "' has duplicate op label '" +
+                       phase.mix[i].label + "' (set distinct 'label's)");
+      }
+    }
+  }
+  if (const JsonValue* faults = obj.Find("faults"); faults != nullptr) {
+    if (!faults->is_array()) return Invalid("'faults' must be an array");
+    for (const JsonValue& entry : faults->items()) {
+      RECUR_ASSIGN_OR_RETURN(FaultArmSpec f, ParseFault(entry));
+      phase.faults.push_back(std::move(f));
+    }
+  }
+  return phase;
+}
+
+}  // namespace
+
+ra::Value EdbSpec::DomainSize() const {
+  if (kind == "chain") return n + 1;
+  if (kind == "tree") {
+    // Nodes of a complete fanout-ary tree of `depth` levels below the root.
+    ra::Value nodes = 1, level = 1;
+    for (int d = 0; d < depth; ++d) {
+      level *= fanout;
+      nodes += level;
+    }
+    return nodes;
+  }
+  if (kind == "layered_dag") return static_cast<ra::Value>(layers) * width;
+  if (kind == "random_graph") return n;
+  if (kind == "grid") return static_cast<ra::Value>(w) * h;
+  if (kind == "random_rows") return n;
+  return 1;
+}
+
+ra::Value TrafficSpec::EffectiveValueRange() const {
+  if (value_range > 0) return value_range;
+  ra::Value max_domain = 1;
+  for (const EdbSpec& e : edb) {
+    max_domain = std::max(max_domain, e.DomainSize());
+  }
+  return max_domain;
+}
+
+const char* OpKindName(OpSpec::Kind kind) {
+  switch (kind) {
+    case OpSpec::Kind::kFixpoint: return "fixpoint";
+    case OpSpec::Kind::kQuery: return "query";
+    case OpSpec::Kind::kInsert: return "insert";
+    case OpSpec::Kind::kDelete: return "delete";
+    case OpSpec::Kind::kLoadEdb: return "load_edb";
+  }
+  return "unknown";
+}
+
+Result<TrafficSpec> ParseTrafficSpec(std::string_view json_text) {
+  RECUR_ASSIGN_OR_RETURN(JsonValue root, util::ParseJson(json_text));
+  if (!root.is_object()) return Invalid("top level must be an object");
+
+  TrafficSpec spec;
+  RECUR_ASSIGN_OR_RETURN(spec.name, root.StringOr("name", ""));
+  if (spec.name.empty()) return Invalid("missing 'name'");
+  RECUR_ASSIGN_OR_RETURN(spec.seed, U64Field(root, "seed", 1));
+  RECUR_ASSIGN_OR_RETURN(spec.example, root.StringOr("example", ""));
+  RECUR_ASSIGN_OR_RETURN(spec.rules, root.StringOr("rules", ""));
+  if (spec.example.empty() == spec.rules.empty()) {
+    return Invalid("exactly one of 'example' or 'rules' must be set");
+  }
+  if (!spec.example.empty() &&
+      catalog::FindExample(spec.example.c_str()) == nullptr) {
+    return Invalid("unknown paper example '" + spec.example + "'");
+  }
+  RECUR_ASSIGN_OR_RETURN(spec.query_pred, root.StringOr("query_pred", "P"));
+  RECUR_ASSIGN_OR_RETURN(int value_range, IntField(root, "value_range", 0));
+  if (value_range < 0) return Invalid("value_range must be >= 0");
+  spec.value_range = value_range;
+
+  const JsonValue* edb = root.Find("edb");
+  if (edb == nullptr || !edb->is_array() || edb->items().empty()) {
+    return Invalid("missing non-empty 'edb' array");
+  }
+  for (const JsonValue& entry : edb->items()) {
+    RECUR_ASSIGN_OR_RETURN(EdbSpec e, ParseEdb(entry));
+    for (const EdbSpec& prior : spec.edb) {
+      if (prior.relation == e.relation) {
+        return Invalid("duplicate edb relation '" + e.relation + "'");
+      }
+    }
+    spec.edb.push_back(std::move(e));
+  }
+
+  const JsonValue* phases = root.Find("phases");
+  if (phases == nullptr || !phases->is_array() || phases->items().empty()) {
+    return Invalid("missing non-empty 'phases' array");
+  }
+  for (size_t i = 0; i < phases->items().size(); ++i) {
+    RECUR_ASSIGN_OR_RETURN(PhaseSpec phase,
+                           ParsePhase(phases->items()[i], i));
+    spec.phases.push_back(std::move(phase));
+  }
+
+  // Ops that name a relation must name a declared EDB relation.
+  for (const PhaseSpec& phase : spec.phases) {
+    for (const OpSpec& op : phase.mix) {
+      if (op.relation.empty()) continue;
+      const bool known =
+          std::any_of(spec.edb.begin(), spec.edb.end(),
+                      [&](const EdbSpec& e) { return e.relation == op.relation; });
+      if (!known) {
+        return Invalid("op '" + op.label + "' targets undeclared relation '" +
+                       op.relation + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+Result<TrafficSpec> LoadTrafficSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot read traffic spec: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTrafficSpec(buf.str());
+}
+
+}  // namespace recur::traffic

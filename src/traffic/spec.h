@@ -1,0 +1,131 @@
+#ifndef RECUR_TRAFFIC_SPEC_H_
+#define RECUR_TRAFFIC_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ra/relation.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace recur::traffic {
+
+/// One synthetic EDB relation of the workload, produced by a
+/// workload::Generator method at load time (and on demand by the
+/// `load_edb` op). Parameters mirror Generator's signatures; unused ones
+/// are ignored per kind.
+struct EdbSpec {
+  std::string relation;  // predicate name, e.g. "A" or "E"
+  /// chain | tree | layered_dag | random_graph | grid | random_rows
+  std::string kind = "chain";
+  int n = 0;           // chain length / random_graph nodes / random_rows domain
+  int m = 0;           // random_graph edges / random_rows rows
+  int depth = 0;       // tree
+  int fanout = 0;      // tree
+  int layers = 0;      // layered_dag
+  int width = 0;       // layered_dag
+  int out_degree = 0;  // layered_dag
+  int w = 0;           // grid
+  int h = 0;           // grid
+  int arity = 2;       // random_rows
+  ra::Value base = 0;
+
+  /// Number of distinct node values the generator draws from — the
+  /// default domain for random query bindings and inserted tuples.
+  ra::Value DomainSize() const;
+};
+
+/// A fault site to arm for the duration of one phase, mapped onto the
+/// process-wide util::FaultInjector. `trigger_on_hit` delays the fault to
+/// the Nth probe of the site, which is how a spec injects a failure or
+/// slowdown mid-phase.
+struct FaultArmSpec {
+  std::string site;            // e.g. "plan.executor.batch"
+  std::string kind = "status"; // status | delay
+  /// For kind=status: the injected code, one of internal | cancelled |
+  /// deadline_exceeded | resource_exhausted | invalid_argument.
+  std::string code = "internal";
+  int delay_ms = 0;            // for kind=delay
+  int trigger_on_hit = 1;
+  bool sticky = true;
+};
+
+/// One node of a phase's weighted op mix.
+struct OpSpec {
+  enum class Kind {
+    kFixpoint,  // run a fixpoint engine over the worker's database
+    kQuery,     // Query::Filter point query against the worker's last IDB
+    kInsert,    // insert random tuples into one EDB relation
+    kDelete,    // remove random rows from one EDB relation
+    kLoadEdb,   // regenerate one EDB relation from its generator spec
+  };
+
+  Kind kind = Kind::kFixpoint;
+  std::string label;       // node name in the report; defaults to the kind
+  double weight = 1.0;
+
+  // kFixpoint:
+  std::string engine = "seminaive";  // naive | seminaive
+  int threads = 1;                   // engine worker threads
+  double deadline_seconds = 0.0;     // 0 = no deadline
+  uint64_t max_total_tuples = 0;     // 0 = no tuple budget
+
+  // kQuery: positions bound to a random constant; the rest stay free.
+  std::vector<int> bind_positions;
+
+  // kInsert / kDelete / kLoadEdb:
+  std::string relation;
+  int count = 1;  // tuples inserted / rows deleted per op
+};
+
+struct PhaseSpec {
+  std::string name;
+  int threads = 1;
+  /// Ops per worker; 0 means "run for duration_seconds instead".
+  uint64_t ops = 0;
+  double duration_seconds = 0.0;
+  /// Poisson arrival rate (ops/second/worker); 0 = closed loop (back to
+  /// back). Inter-arrival gaps are exponential draws from the worker PRNG.
+  double arrival_rate = 0.0;
+  std::vector<OpSpec> mix;
+  std::vector<FaultArmSpec> faults;
+};
+
+/// A full declarative traffic workload: a program (a paper example or
+/// inline rules), generated EDB relations, and a sequence of phases.
+struct TrafficSpec {
+  std::string name;
+  uint64_t seed = 1;
+  /// Paper example id ("s1a", "s9", ...) — the program is the example's
+  /// recursive + exit rule. Mutually exclusive with `rules`.
+  std::string example;
+  /// Inline Datalog program text (parser syntax).
+  std::string rules;
+  /// The queried IDB predicate (head of the recursion).
+  std::string query_pred = "P";
+  std::vector<EdbSpec> edb;
+  /// Domain for random query bindings and inserts; 0 = max EDB DomainSize.
+  ra::Value value_range = 0;
+  std::vector<PhaseSpec> phases;
+
+  /// Effective binding/insert domain (value_range or the EDB-derived
+  /// default, never < 1).
+  ra::Value EffectiveValueRange() const;
+};
+
+/// Parses and validates a spec from JSON text. Unknown op/generator/fault
+/// kinds, missing required fields, and type mismatches are
+/// kInvalidArgument; malformed JSON is kParseError. Never crashes on
+/// truncated or mutated input (see the robustness sweep in tests).
+Result<TrafficSpec> ParseTrafficSpec(std::string_view json_text);
+
+/// Reads `path` and parses it.
+Result<TrafficSpec> LoadTrafficSpecFile(const std::string& path);
+
+const char* OpKindName(OpSpec::Kind kind);
+
+}  // namespace recur::traffic
+
+#endif  // RECUR_TRAFFIC_SPEC_H_

@@ -1,0 +1,108 @@
+#ifndef RECUR_UTIL_JSON_H_
+#define RECUR_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace recur::util {
+
+/// A minimal JSON document model shared by the benchmark artifacts
+/// (BENCH_*.json emission and the traffic harness's baseline comparison)
+/// and the traffic spec parser. Strict subset of RFC 8259: no comments, no
+/// trailing commas, no NaN/Infinity. Object member order is preserved so
+/// emitted documents are byte-deterministic.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+  std::vector<Member>& members() { return members_; }
+
+  /// Object lookup by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed convenience accessors over Find(): the fallback is returned
+  /// when the key is absent; a present key of the wrong type is an error
+  /// the caller usually wants to surface, so these return Result.
+  Result<double> NumberOr(std::string_view key, double fallback) const;
+  Result<std::string> StringOr(std::string_view key,
+                               std::string fallback) const;
+  Result<bool> BoolOr(std::string_view key, bool fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses a complete JSON document (one value, then end of input).
+/// Nesting is capped (64 levels) so adversarially nested input fails with
+/// a Status instead of exhausting the stack.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes): quote, backslash, and control characters become escape
+/// sequences; everything else (including UTF-8 bytes) passes through.
+std::string JsonEscape(std::string_view s);
+
+/// Serializes a value back to compact JSON (object member and array order
+/// preserved; numbers via shortest round-trip formatting).
+std::string DumpJson(const JsonValue& value);
+
+}  // namespace recur::util
+
+#endif  // RECUR_UTIL_JSON_H_

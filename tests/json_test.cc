@@ -1,0 +1,129 @@
+// util::JsonValue round-trip coverage: the parser, the escaper, and the
+// dumper back the BENCH_*.json artifacts and the traffic-spec loader, so a
+// name that breaks escaping or a malformed document that crashes the parser
+// would corrupt the CI perf gate. Includes the bench_json.h regression: a
+// benchmark name containing quotes/backslashes/control bytes must still
+// yield a parseable record.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace recur::util {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape("BM_Parallel_TC_Chain/8"), "BM_Parallel_TC_Chain/8");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonEscapeTest, EscapedBenchmarkNameRoundTrips) {
+  // The exact failure mode the bench_json.h fix targets: a benchmark named
+  // with quotes and separators used to produce an invalid record.
+  const std::string nasty = "BM_\"Weird\"/args:{\\x}/\n8";
+  const std::string record =
+      "{\"benchmark\": \"" + JsonEscape(nasty) + "\", \"threads\": 8}";
+  auto doc = ParseJson(record);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* name = doc->Find("benchmark");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value(), nasty);
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2")->number_value(), -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedDocumentPreservingOrder) {
+  auto doc = ParseJson(R"({"b": [1, 2, {"x": null}], "a": "s", "c": true})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "b");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  EXPECT_EQ(doc->members()[2].first, "c");
+  const JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(b->items()[1].number_value(), 2.0);
+  EXPECT_TRUE(b->items()[2].Find("x")->is_null());
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapes) {
+  auto doc = ParseJson(R"("a\u0041\u00e9b")");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->string_value(), "aA\xc3\xa9"
+                                 "b");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",          "{",          "[1, 2",       "{\"a\": }",
+      "{\"a\" 1}", "[1, 2,]",    "{,}",         "\"unterminated",
+      "01",        "1.2.3",      "tru",         "nul",
+      "[1] [2]",   "{\"a\": 1,}", "\"bad\\q\"", "\"\\u12G4\"",
+  };
+  for (const char* text : bad) {
+    auto doc = ParseJson(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsAdversarialNestingWithStatusNotCrash) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  auto doc = ParseJson(deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonParseTest, AcceptsNestingBelowTheCap) {
+  std::string depth32 = std::string(32, '[') + std::string(32, ']');
+  EXPECT_TRUE(ParseJson(depth32).ok());
+}
+
+TEST(JsonDumpTest, RoundTripsThroughParse) {
+  const std::string text =
+      R"({"s": "q\"uote", "n": -3.25, "b": false, "z": null, "a": [1, "x", {}]})";
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const std::string dumped = DumpJson(*doc);
+  auto again = ParseJson(dumped);
+  ASSERT_TRUE(again.ok()) << again.status() << " in " << dumped;
+  // Dump is canonical, so a second round trip is byte-identical.
+  EXPECT_EQ(DumpJson(*again), dumped);
+  EXPECT_EQ(again->Find("s")->string_value(), "q\"uote");
+  EXPECT_DOUBLE_EQ(again->Find("n")->number_value(), -3.25);
+}
+
+TEST(JsonValueTest, TypedAccessorsDistinguishAbsentFromMistyped) {
+  auto doc = ParseJson(R"({"n": 4, "s": "x"})");
+  ASSERT_TRUE(doc.ok());
+  auto n = doc->NumberOr("n", -1.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(*n, 4.0);
+  auto absent = doc->NumberOr("missing", 7.0);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_DOUBLE_EQ(*absent, 7.0);
+  // Present but the wrong type is an error, not the fallback.
+  EXPECT_FALSE(doc->NumberOr("s", 0.0).ok());
+  EXPECT_FALSE(doc->StringOr("n", "d").ok());
+  EXPECT_FALSE(doc->BoolOr("s", true).ok());
+}
+
+}  // namespace
+}  // namespace recur::util

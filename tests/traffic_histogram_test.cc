@@ -1,0 +1,149 @@
+// LatencyHistogram properties. The traffic runner's determinism guarantee
+// leans on two facts proven here: Merge is order-independent (bucket-wise
+// sums and exact moments commute), and every statistic is a pure function
+// of the recorded multiset. Accuracy checks pin the geometric-bucket error
+// bound so a bucketing regression shows up as a failed tolerance, not a
+// silently wrong percentile.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "traffic/histogram.h"
+
+namespace recur::traffic {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndMidpointLandsInBucket) {
+  int last = -1;
+  for (uint64_t ns : std::vector<uint64_t>{0, 1, 2, 3, 4, 5, 7, 8, 15, 16,
+                                           100, 1000, 123456, 1000000000,
+                                           (uint64_t{1} << 62) + 17}) {
+    int idx = LatencyHistogram::BucketIndex(ns);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(idx, last) << "ns=" << ns;
+    last = idx;
+    // The representative value maps back to the same bucket.
+    EXPECT_EQ(LatencyHistogram::BucketIndex(
+                  LatencyHistogram::BucketMidpointNanos(idx)),
+              idx)
+        << "ns=" << ns;
+  }
+}
+
+TEST(LatencyHistogramTest, ExactMomentsAndBoundedPercentileError) {
+  std::mt19937_64 rng(99);
+  std::vector<double> samples;
+  LatencyHistogram h;
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    // Latencies spread over ~5 orders of magnitude, like a real mixed run.
+    double exponent = (rng() % 500) / 100.0;  // 0.00 .. 4.99
+    double seconds = 1e-7 * std::pow(10.0, exponent);
+    samples.push_back(seconds);
+    sum += seconds;
+    h.Record(seconds);
+  }
+  ASSERT_EQ(h.count(), samples.size());
+  std::sort(samples.begin(), samples.end());
+  // min/max/sum are tracked exactly (up to 1ns rounding of each sample).
+  EXPECT_NEAR(h.MinSeconds(), samples.front(), 1e-9);
+  EXPECT_NEAR(h.MaxSeconds(), samples.back(), 1e-9);
+  EXPECT_NEAR(h.MeanSeconds(), sum / samples.size(),
+              sum / samples.size() * 1e-4);
+  // Percentiles come from bucket midpoints: 4 sub-buckets per power of two
+  // bounds relative error by ~12.5%; allow 20% for rank-vs-midpoint slop.
+  for (double q : {0.5, 0.95, 0.99}) {
+    double exact =
+        samples[std::min(samples.size() - 1,
+                         static_cast<size_t>(q * samples.size()))];
+    EXPECT_NEAR(h.PercentileSeconds(q), exact, exact * 0.20) << "q=" << q;
+  }
+  // Percentiles are monotone in q and clamped into [min, max].
+  EXPECT_LE(h.PercentileSeconds(0.5), h.PercentileSeconds(0.95));
+  EXPECT_LE(h.PercentileSeconds(0.95), h.PercentileSeconds(0.99));
+  EXPECT_GE(h.PercentileSeconds(0.0), h.MinSeconds());
+  EXPECT_LE(h.PercentileSeconds(1.0), h.MaxSeconds());
+}
+
+TEST(LatencyHistogramTest, NegativeDurationsClampToZero) {
+  LatencyHistogram h;
+  h.Record(-1.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, StddevMatchesTwoPointDistribution) {
+  LatencyHistogram h;
+  // 1000ns and 3000ns in equal measure: mean 2000ns, stddev 1000ns.
+  for (int i = 0; i < 10; ++i) {
+    h.RecordNanos(1000);
+    h.RecordNanos(3000);
+  }
+  EXPECT_NEAR(h.MeanSeconds(), 2000e-9, 1e-12);
+  EXPECT_NEAR(h.StddevSeconds(), 1000e-9, 1e-12);
+}
+
+// The property the deterministic merge order rests on: merging any
+// permutation, or any parenthesization, of per-worker histograms yields an
+// identical histogram (operator== compares full state).
+TEST(LatencyHistogramTest, MergeIsOrderIndependent) {
+  std::mt19937_64 rng(7);
+  constexpr int kWorkers = 6;
+  std::vector<LatencyHistogram> parts(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    int n = 50 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < n; ++i) {
+      parts[w].RecordNanos(1 + rng() % 10000000);
+    }
+  }
+
+  LatencyHistogram forward;
+  for (const auto& p : parts) forward.Merge(p);
+
+  LatencyHistogram reverse;
+  for (int w = kWorkers - 1; w >= 0; --w) reverse.Merge(parts[w]);
+  EXPECT_EQ(forward, reverse);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> order(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) order[w] = w;
+    std::shuffle(order.begin(), order.end(), rng);
+    // Random parenthesization: fold a shuffled prefix tree.
+    LatencyHistogram left, right;
+    int split = 1 + static_cast<int>(rng() % (kWorkers - 1));
+    for (int i = 0; i < split; ++i) left.Merge(parts[order[i]]);
+    for (int i = split; i < kWorkers; ++i) right.Merge(parts[order[i]]);
+    left.Merge(right);
+    EXPECT_EQ(left, forward) << "trial " << trial;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.RecordNanos(500);
+  h.RecordNanos(1500);
+  LatencyHistogram merged = h;
+  merged.Merge(empty);
+  EXPECT_EQ(merged, h);
+  LatencyHistogram other;
+  other.Merge(h);
+  EXPECT_EQ(other, h);
+}
+
+}  // namespace
+}  // namespace recur::traffic

@@ -1,0 +1,253 @@
+// End-to-end traffic-runner tests (tsan-labeled: phases run real worker
+// threads on the ThreadPool). Covers the harness's three contracts:
+// deterministic mode is byte-reproducible across runs regardless of
+// scheduling, fault specs armed mid-phase surface as typed error counters
+// without deadlocking workers, and the BENCH_traffic.json comparison gate
+// passes against itself and fails against a doctored baseline.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "traffic/report.h"
+#include "traffic/runner.h"
+#include "traffic/spec.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
+
+namespace recur::traffic {
+namespace {
+
+Result<TrafficSpec> SmallSpec(const std::string& extra_phase_fields = "",
+                              const std::string& fixpoint_fields = "") {
+  const std::string text = R"({
+    "name": "unit",
+    "seed": 5,
+    "example": "s1a",
+    "query_pred": "P",
+    "edb": [
+      {"relation": "A", "kind": "chain", "n": 24},
+      {"relation": "E", "kind": "chain", "n": 24}
+    ],
+    "phases": [
+      {
+        "name": "p0",
+        "threads": 2,
+        "ops": 12)" + extra_phase_fields +
+                           R"(,
+        "mix": [
+          {"op": "fixpoint", "weight": 1, "engine": "seminaive",
+           "threads": 1)" + fixpoint_fields +
+                           R"(},
+          {"op": "query", "weight": 2, "bind": [0]},
+          {"op": "insert", "weight": 1, "relation": "A", "count": 2},
+          {"op": "delete", "weight": 1, "relation": "A", "count": 1}
+        ]
+      }
+    ]
+  })";
+  return ParseTrafficSpec(text);
+}
+
+TEST(TrafficRunnerTest, DeterministicRunsAreByteIdentical) {
+  auto spec = SmallSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto first = RunTraffic(*spec, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = RunTraffic(*spec, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->ToJson(), second->ToJson());
+  // Sanity: the run did real work and produced every node of the mix.
+  ASSERT_EQ(first->nodes.size(), 4u);
+  uint64_t total = 0;
+  for (const OpNodeStats& node : first->nodes) total += node.latency.count();
+  EXPECT_EQ(total, 24u);  // 2 workers x 12 ops
+  EXPECT_GT(first->nodes[0].tuples, 0u);  // fixpoints materialized IDB rows
+}
+
+TEST(TrafficRunnerTest, SeedChangesTheRun) {
+  auto spec = SmallSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto base = RunTraffic(*spec, options);
+  ASSERT_TRUE(base.ok()) << base.status();
+  spec->seed = 6;
+  auto other = RunTraffic(*spec, options);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_NE(base->ToJson(), other->ToJson());
+}
+
+// A status fault armed by the phase spec fires inside the plan executor;
+// workers must record it as a typed error and keep draining their op
+// budget — the test completing at all is the no-deadlock assertion. The
+// executor only probes the site every kExecutorBatchRows (4096) candidate
+// rows, so the fixpoint must scan more than that in one plan execution:
+// naive evaluation re-joins the full IDB every round, and transitive
+// closure of a 120-chain holds 7260 tuples.
+TEST(TrafficRunnerTest, PhaseFaultSurfacesAsTypedErrorsWithoutDeadlock) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "faulty",
+    "seed": 5,
+    "example": "s1a",
+    "query_pred": "P",
+    "edb": [
+      {"relation": "A", "kind": "chain", "n": 120},
+      {"relation": "E", "kind": "chain", "n": 120}
+    ],
+    "phases": [
+      {
+        "name": "p0",
+        "threads": 2,
+        "ops": 4,
+        "mix": [
+          {"op": "fixpoint", "weight": 1, "engine": "naive", "threads": 1}
+        ],
+        "faults": [
+          {"site": "plan.executor.batch", "kind": "status",
+           "code": "internal", "trigger_on_hit": 1, "sticky": true}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const OpNodeStats& fixpoint = report->nodes[0];
+  ASSERT_EQ(fixpoint.op, "fixpoint");
+  EXPECT_GT(fixpoint.latency.count(), 0u);
+  EXPECT_GT(fixpoint.errors, 0u);
+  EXPECT_EQ(fixpoint.errors, fixpoint.other_errors);  // kInternal bucket
+  EXPECT_EQ(fixpoint.ok + fixpoint.errors, fixpoint.latency.count());
+  // The RAII phase guard disarmed the site: a fresh run is clean.
+  auto clean_spec = SmallSpec();
+  ASSERT_TRUE(clean_spec.ok());
+  auto clean = RunTraffic(*clean_spec, options);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->nodes[0].errors, 0u);
+}
+
+// A delay fault in the seminaive round loop plus a tight op deadline: the
+// engine's deadline check fires and the node's deadline_exceeded counter
+// records it (the ExecutionContext deadline uses the real clock, so this
+// works in deterministic mode too).
+TEST(TrafficRunnerTest, DelayFaultTripsOpDeadline) {
+  auto spec = SmallSpec(R"(,
+        "faults": [
+          {"site": "seminaive.serial.round", "kind": "delay",
+           "delay_ms": 30, "trigger_on_hit": 1, "sticky": true}
+        ])",
+                        R"(, "deadline_seconds": 0.005)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const OpNodeStats& fixpoint = report->nodes[0];
+  ASSERT_EQ(fixpoint.op, "fixpoint");
+  EXPECT_GT(fixpoint.deadline_exceeded, 0u);
+  EXPECT_EQ(fixpoint.errors,
+            fixpoint.cancelled + fixpoint.deadline_exceeded +
+                fixpoint.resource_exhausted + fixpoint.other_errors);
+}
+
+TEST(TrafficRunnerTest, RunnerLeavesNoFaultsArmed) {
+  // Belt and braces for the suite's other tests: after any traffic run the
+  // process-wide injector is back to zero armed sites — a Check on the
+  // armed site passes and its hit count reads as unarmed.
+  auto spec = SmallSpec(R"(,
+        "faults": [
+          {"site": "plan.executor.batch", "kind": "status",
+           "code": "internal", "trigger_on_hit": 1, "sticky": true}
+        ])");
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.deterministic = true;
+  ASSERT_TRUE(RunTraffic(*spec, options).ok());
+  EXPECT_EQ(util::FaultInjector::Instance().HitCount("plan.executor.batch"),
+            0);
+  EXPECT_TRUE(
+      util::FaultInjector::Instance().Check("plan.executor.batch").ok());
+}
+
+TEST(TrafficRunnerTest, CompareGatePassesSelfAndFailsDoctoredBaseline) {
+  auto spec = SmallSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string json = report->ToJson();
+
+  auto self = CompareTrafficJson(json, json, /*tolerance=*/0.0,
+                                 /*slack_us=*/0.0);
+  ASSERT_TRUE(self.ok()) << self.status();
+  EXPECT_TRUE(self->empty());
+
+  // Doctor the baseline: shrink every op p95 so the run looks like a
+  // regression everywhere.
+  auto doc = util::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  int doctored = 0;
+  for (util::JsonValue& record : doc->items()) {
+    for (auto& member : record.members()) {
+      if (member.first == "p95_us") {
+        member.second = util::JsonValue::Number(0.001);
+        ++doctored;
+      }
+    }
+  }
+  ASSERT_GT(doctored, 0);
+  auto gate = CompareTrafficJson(json, util::DumpJson(*doc),
+                                 /*tolerance=*/0.5, /*slack_us=*/0.0);
+  ASSERT_TRUE(gate.ok()) << gate.status();
+  EXPECT_EQ(gate->size(), static_cast<size_t>(doctored));
+
+  // A baseline node missing from the run is also a violation.
+  auto run_doc = util::ParseJson(json);
+  ASSERT_TRUE(run_doc.ok());
+  // Drop the last op record from the run and compare against the full
+  // baseline.
+  ASSERT_FALSE(run_doc->items().empty());
+  run_doc->items().pop_back();
+  auto dropped = CompareTrafficJson(util::DumpJson(*run_doc), json, 0.5, 0.0);
+  ASSERT_TRUE(dropped.ok()) << dropped.status();
+  EXPECT_EQ(dropped->size(), 1u);
+}
+
+TEST(TrafficRunnerTest, DurationPhasesAndInlineRulesRun) {
+  // Inline rules instead of a catalog example, and a duration-bound phase
+  // with Poisson arrivals: exercises the other half of the spec surface.
+  auto spec = ParseTrafficSpec(R"({
+    "name": "inline",
+    "seed": 3,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- E(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "grid", "w": 4, "h": 4}],
+    "phases": [
+      {
+        "name": "timed",
+        "threads": 2,
+        "duration_seconds": 0.05,
+        "arrival_rate": 200.0,
+        "mix": [
+          {"op": "fixpoint", "weight": 1, "engine": "naive"},
+          {"op": "query", "weight": 3, "bind": [0, 1]}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto report = RunTraffic(*spec);  // real clock: duration needs one
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->phases.size(), 1u);
+  EXPECT_GT(report->phases[0].total_ops, 0u);
+  EXPECT_GT(report->phases[0].wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace recur::traffic

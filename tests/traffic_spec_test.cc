@@ -1,0 +1,209 @@
+// Traffic-spec parser coverage: the committed specs under bench/specs/
+// must load (they are what CI runs), structural mistakes must come back as
+// typed Statuses, and — mirroring parser_robustness_test.cc — every
+// truncation and a randomized mutation sweep of a seed spec must return
+// cleanly rather than crash or hang.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <string>
+
+#include "traffic/spec.h"
+#include "util/status.h"
+
+namespace recur::traffic {
+namespace {
+
+constexpr const char* kSeedSpec = R"({
+  "name": "seed",
+  "seed": 11,
+  "example": "s1a",
+  "query_pred": "P",
+  "edb": [
+    {"relation": "A", "kind": "chain", "n": 16},
+    {"relation": "E", "kind": "random_graph", "n": 16, "m": 32}
+  ],
+  "phases": [
+    {
+      "name": "p0",
+      "threads": 2,
+      "ops": 10,
+      "arrival_rate": 25.0,
+      "mix": [
+        {"op": "fixpoint", "weight": 1, "engine": "seminaive",
+         "deadline_seconds": 1.0},
+        {"op": "query", "weight": 3, "bind": [0]},
+        {"op": "insert", "weight": 1, "relation": "A", "count": 2}
+      ],
+      "faults": [
+        {"site": "plan.executor.batch", "kind": "status",
+         "code": "internal", "trigger_on_hit": 3, "sticky": false}
+      ]
+    }
+  ]
+})";
+
+/// Parse with a wall-clock budget, as in parser_robustness_test.cc: the
+/// spec parser is one linear JSON pass plus validation, so stalling means
+/// a loop stopped making progress.
+Result<TrafficSpec> TimedParse(const std::string& text) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = ParseTrafficSpec(text);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 0.25) << "spec parser stalled";
+  return result;
+}
+
+TEST(TrafficSpecTest, ParsesSeedSpec) {
+  auto spec = ParseTrafficSpec(kSeedSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "seed");
+  EXPECT_EQ(spec->seed, 11u);
+  EXPECT_EQ(spec->example, "s1a");
+  ASSERT_EQ(spec->edb.size(), 2u);
+  EXPECT_EQ(spec->edb[1].kind, "random_graph");
+  ASSERT_EQ(spec->phases.size(), 1u);
+  const PhaseSpec& phase = spec->phases[0];
+  EXPECT_EQ(phase.threads, 2);
+  EXPECT_EQ(phase.ops, 10u);
+  EXPECT_DOUBLE_EQ(phase.arrival_rate, 25.0);
+  ASSERT_EQ(phase.mix.size(), 3u);
+  EXPECT_EQ(phase.mix[0].kind, OpSpec::Kind::kFixpoint);
+  EXPECT_DOUBLE_EQ(phase.mix[0].deadline_seconds, 1.0);
+  EXPECT_EQ(phase.mix[1].kind, OpSpec::Kind::kQuery);
+  ASSERT_EQ(phase.mix[1].bind_positions.size(), 1u);
+  EXPECT_EQ(phase.mix[2].relation, "A");
+  ASSERT_EQ(phase.faults.size(), 1u);
+  EXPECT_EQ(phase.faults[0].site, "plan.executor.batch");
+  EXPECT_EQ(phase.faults[0].trigger_on_hit, 3);
+  EXPECT_FALSE(phase.faults[0].sticky);
+}
+
+TEST(TrafficSpecTest, CommittedSpecsLoad) {
+  for (const char* name : {"smoke.json", "paper_mixed.json"}) {
+    const std::string path = std::string(RECUR_SPEC_DIR) + "/" + name;
+    auto spec = LoadTrafficSpecFile(path);
+    ASSERT_TRUE(spec.ok()) << path << ": " << spec.status();
+    EXPECT_FALSE(spec->phases.empty()) << path;
+    for (const PhaseSpec& phase : spec->phases) {
+      EXPECT_FALSE(phase.mix.empty()) << path << " phase " << phase.name;
+    }
+  }
+}
+
+TEST(TrafficSpecTest, MalformedJsonIsParseError) {
+  auto spec = TimedParse("{\"name\": \"x\", ");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kParseError);
+}
+
+TEST(TrafficSpecTest, StructuralMistakesAreInvalidArgument) {
+  struct Case {
+    const char* what;
+    const char* text;
+  } cases[] = {
+      {"top level not an object", "[1, 2]"},
+      {"no phases", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}], "phases": []})"},
+      {"both example and rules", R"({"name": "x", "example": "s1a",
+        "rules": "P(X,Y) :- A(X,Y).",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "query"}]}]})"},
+      {"unknown generator kind", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "torus", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "query"}]}]})"},
+      {"unknown op kind", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "compact"}]}]})"},
+      {"unknown engine", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "fixpoint", "engine": "magic"}]}]})"},
+      {"op against undeclared relation", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "insert", "relation": "Z"}]}]})"},
+      {"duplicate op labels", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "query", "label": "q"},
+                            {"op": "query", "label": "q", "bind": [0]}]}]})"},
+      {"nonpositive weight", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "query", "weight": 0}]}]})"},
+      {"neither ops nor duration", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "mix": [{"op": "query"}]}]})"},
+      {"unknown fault kind", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1, "mix": [{"op": "query"}],
+                    "faults": [{"site": "s", "kind": "jitter"}]}]})"},
+      {"unknown fault code", R"({"name": "x", "example": "s1a",
+        "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+        "phases": [{"name": "p", "ops": 1, "mix": [{"op": "query"}],
+                    "faults": [{"site": "s", "code": "eaten_by_grue"}]}]})"},
+  };
+  for (const Case& c : cases) {
+    auto spec = TimedParse(c.text);
+    ASSERT_FALSE(spec.ok()) << c.what;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << c.what;
+    EXPECT_FALSE(spec.status().message().empty()) << c.what;
+  }
+}
+
+TEST(TrafficSpecTest, MissingFileIsNotFound) {
+  auto spec = LoadTrafficSpecFile("/nonexistent/zzz.json");
+  ASSERT_FALSE(spec.ok());
+}
+
+// Robustness sweep, mirroring ParserRobustnessTest: every prefix of the
+// seed spec must come back as a clean Status (truncated JSON is never
+// valid here, since the document only closes at the end).
+TEST(TrafficSpecRobustnessTest, EveryTruncationReturnsCleanly) {
+  const std::string text(kSeedSpec);
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    auto spec = TimedParse(text.substr(0, cut));
+    ASSERT_FALSE(spec.ok()) << "accepted truncation at " << cut;
+    EXPECT_FALSE(spec.status().message().empty());
+  }
+}
+
+// Byte-level mutation sweep: flip, delete, or insert one byte at a random
+// position. The parser must return (ok or error) without crashing; when it
+// errors the Status carries a message.
+TEST(TrafficSpecRobustnessTest, RandomSingleByteMutationsReturnCleanly) {
+  const std::string base(kSeedSpec);
+  std::mt19937_64 rng(1234);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-azAZ \n\x01\x7f";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = base;
+    size_t pos = rng() % text.size();
+    char c = alphabet[rng() % (sizeof(alphabet) - 1)];
+    switch (rng() % 3) {
+      case 0:
+        text[pos] = c;
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, c);
+        break;
+    }
+    auto spec = TimedParse(text);
+    if (!spec.ok()) {
+      EXPECT_FALSE(spec.status().message().empty()) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recur::traffic
