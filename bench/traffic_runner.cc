@@ -6,8 +6,9 @@
 //                  [--slack-us S]
 //
 // Runs the spec's phases, prints a per-op-node latency table, and writes
-// BENCH_traffic.json (to --out, else $RECUR_BENCH_JSON_DIR, else the
-// current directory). With --baseline the fresh run's p95 latencies are
+// BENCH_traffic_<workload>.json (to --out, else $RECUR_BENCH_JSON_DIR,
+// else the current directory). With --baseline the fresh run's p95
+// latencies are
 // gated against the baseline file: any node violating
 //   run_p95 <= baseline_p95 * (1 + tolerance) + slack
 // exits nonzero — the CI perf-regression gate. --compare diffs two
@@ -159,8 +160,11 @@ int main(int argc, char** argv) {
     const char* env = std::getenv("RECUR_BENCH_JSON_DIR");
     if (env != nullptr) out_dir = env;
   }
-  const std::string json_path =
-      (out_dir.empty() ? std::string() : out_dir + "/") + "BENCH_traffic.json";
+  // Name the artifact after the workload so several specs can write into
+  // one artifact directory without clobbering each other.
+  const std::string json_path = (out_dir.empty() ? std::string()
+                                                 : out_dir + "/") +
+                                "BENCH_traffic_" + report->workload + ".json";
   std::ofstream out(json_path);
   if (!out.good()) {
     std::cerr << "traffic_runner: cannot write " << json_path << "\n";

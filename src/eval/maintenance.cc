@@ -1,0 +1,370 @@
+#include "eval/maintenance.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/plan/plan_cache.h"
+#include "util/fault_injection.h"
+
+namespace recur::eval {
+
+namespace {
+
+/// Per-run working state threaded through the three maintenance passes.
+struct MaintenanceRun {
+  const datalog::Program& program;
+  const ra::Database& old_edb;
+  const ra::Database& new_edb;
+  const EdbDeltas& deltas;
+  ra::Database* idb;
+  plan::PlanCache* plan_cache;
+  const ExecutionContext* ctx;
+  EvalStats* stats;
+  /// Rounds used so far across all three passes, charged against
+  /// ResourceLimits::max_iterations like fixpoint rounds.
+  int* rounds_used;
+
+  /// Lookups resolving IDB predicates to the resident relations and
+  /// everything else to the old / new extensional state.
+  RelationLookup old_lookup;
+  RelationLookup new_lookup;
+
+  bool IsIdb(SymbolId pred) const { return idb->Find(pred) != nullptr; }
+
+  const ra::Relation* EdbInserts(SymbolId pred) const {
+    auto it = deltas.find(pred);
+    if (it == deltas.end() || it->second.inserts.empty()) return nullptr;
+    return &it->second.inserts;
+  }
+  const ra::Relation* EdbDeletes(SymbolId pred) const {
+    auto it = deltas.find(pred);
+    if (it == deltas.end() || it->second.deletes.empty()) return nullptr;
+    return &it->second.deletes;
+  }
+};
+
+/// One empty same-arity relation per resident IDB predicate — the shape of
+/// the per-round candidate / delta / fresh working sets.
+IdbRelations EmptyLikeIdb(const ra::Database& idb) {
+  IdbRelations out;
+  for (const auto& [pred, rel] : idb.relations()) {
+    out.emplace(pred, ra::Relation(rel->arity()));
+  }
+  return out;
+}
+
+/// Creates (or arity-checks) one resident relation per IDB predicate.
+Status EnsureIdbRelations(const datalog::Program& program,
+                          ra::Database* idb) {
+  for (const datalog::Rule& rule : program.rules()) {
+    if (rule.IsFact()) continue;
+    RECUR_RETURN_IF_ERROR(
+        idb->GetOrCreate(rule.head().predicate(), rule.head().arity())
+            .status());
+  }
+  return Status::OK();
+}
+
+/// Governance + accounting at the top of every maintenance round, shared
+/// by all three passes: one fault site, one cancel poll, one iteration.
+Status BeginRound(const MaintenanceRun& run) {
+  if (++*run.rounds_used > run.ctx->limits().max_iterations) {
+    return Status::ResourceExhausted(
+        "incremental maintenance did not converge within max_iterations (" +
+        std::to_string(run.ctx->limits().max_iterations) + " rounds)");
+  }
+  if (run.stats != nullptr) ++run.stats->iterations;
+  RECUR_RETURN_IF_ERROR(run.ctx->CheckCancel());
+  RECUR_FAULT_POINT("eval.maintain.round");
+  return Status::OK();
+}
+
+/// Updates the partial-progress footprint in stats and enforces budgets —
+/// maintenance charges the resident IDB exactly as a fixpoint charges its
+/// materialization.
+Status CheckFootprint(const MaintenanceRun& run) {
+  const size_t tuples = run.idb->TotalTuples();
+  const size_t bytes = run.idb->TotalArenaBytes();
+  if (run.stats != nullptr) {
+    run.stats->total_tuples = tuples;
+    run.stats->arena_bytes = bytes;
+  }
+  return run.ctx->CheckBudgets(tuples, bytes);
+}
+
+bool AllEmpty(const IdbRelations& rels) {
+  return std::all_of(rels.begin(), rels.end(),
+                     [](const auto& kv) { return kv.second.empty(); });
+}
+
+/// Evaluates `rule` with the body atom at `index` overridden by `delta`,
+/// routing every derived head tuple through `sink`.
+Status FireDelta(const MaintenanceRun& run, const datalog::Rule& rule,
+                 const RelationLookup& lookup, int index,
+                 const ra::Relation* delta,
+                 const std::function<void(ra::TupleRef)>& sink) {
+  ConjunctiveOptions conj;
+  conj.override_index = index;
+  conj.override_relation = delta;
+  conj.plan_cache = run.plan_cache;
+  conj.context = run.ctx;
+  RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                         EvaluateRule(rule, lookup, conj, run.stats));
+  for (ra::TupleRef t : derived.rows()) sink(t);
+  return Status::OK();
+}
+
+/// Pass 1 (DRed overestimate): every IDB tuple with at least one
+/// derivation through a deleted tuple, computed against the *old* state.
+/// Round 0 substitutes the extensional deletion deltas per body position;
+/// later rounds propagate the intensional candidates semi-naively.
+Status CollectDeletionCandidates(const MaintenanceRun& run,
+                                 IdbRelations* cand) {
+  *cand = EmptyLikeIdb(*run.idb);
+  IdbRelations delta = EmptyLikeIdb(*run.idb);
+  // Extensional facts stored under IDB predicate names (the recursive
+  // predicate's base tuples) that the batch deletes are candidates
+  // directly.
+  for (auto& [pred, d] : delta) {
+    const ra::Relation* deleted = run.EdbDeletes(pred);
+    if (deleted == nullptr) continue;
+    const ra::Relation* resident = run.idb->Find(pred);
+    for (ra::TupleRef t : deleted->rows()) {
+      if (resident->Contains(t) && (*cand)[pred].Insert(t)) d.Insert(t);
+    }
+  }
+
+  bool first_round = true;
+  while (true) {
+    RECUR_RETURN_IF_ERROR(BeginRound(run));
+    IdbRelations fresh = EmptyLikeIdb(*run.idb);
+    auto sink_for = [&](SymbolId head) {
+      const ra::Relation* resident = run.idb->Find(head);
+      return [&, head, resident](ra::TupleRef t) {
+        if (resident->Contains(t) && !(*cand)[head].Contains(t)) {
+          fresh[head].Insert(t);
+        }
+      };
+    };
+    for (const datalog::Rule& rule : run.program.rules()) {
+      if (rule.IsFact()) continue;
+      auto sink = sink_for(rule.head().predicate());
+      for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+        SymbolId body_pred = rule.body()[i].predicate();
+        if (run.IsIdb(body_pred)) {
+          const ra::Relation& d = delta[body_pred];
+          if (d.empty()) continue;
+          RECUR_RETURN_IF_ERROR(
+              FireDelta(run, rule, run.old_lookup, i, &d, sink));
+        } else if (first_round) {
+          const ra::Relation* d = run.EdbDeletes(body_pred);
+          if (d == nullptr) continue;
+          RECUR_RETURN_IF_ERROR(
+              FireDelta(run, rule, run.old_lookup, i, d, sink));
+        }
+      }
+    }
+    first_round = false;
+    if (AllEmpty(fresh)) return Status::OK();
+    for (auto& [pred, rel] : fresh) {
+      (*cand)[pred].InsertAll(rel);
+      delta[pred] = std::move(rel);
+    }
+  }
+}
+
+/// Pass 2 (rederive): after the candidates are bulk-erased, candidates
+/// with an alternative derivation from the pruned state — or still backed
+/// by a surviving extensional base fact — are put back, then their
+/// consequences semi-naively until no candidate moves.
+Status Rederive(const MaintenanceRun& run, const IdbRelations& cand) {
+  IdbRelations delta = EmptyLikeIdb(*run.idb);
+  // Base facts: a candidate still present in the new extensional state
+  // needs no derivation to survive.
+  for (auto& [pred, d] : delta) {
+    const auto cit = cand.find(pred);
+    if (cit == cand.end() || cit->second.empty()) continue;
+    const ra::Relation* base = run.new_edb.Find(pred);
+    if (base == nullptr || base->arity() != cit->second.arity()) continue;
+    ra::Relation* resident = run.idb->FindMutable(pred);
+    for (ra::TupleRef t : base->rows()) {
+      if (cit->second.Contains(t) && resident->Insert(t)) d.Insert(t);
+    }
+  }
+
+  bool first_round = true;
+  while (true) {
+    RECUR_RETURN_IF_ERROR(BeginRound(run));
+    IdbRelations fresh = EmptyLikeIdb(*run.idb);
+    auto sink_for = [&](SymbolId head) {
+      const ra::Relation* resident = run.idb->Find(head);
+      return [&, head, resident](ra::TupleRef t) {
+        if (cand.at(head).Contains(t) && !resident->Contains(t)) {
+          fresh[head].Insert(t);
+        }
+      };
+    };
+    for (const datalog::Rule& rule : run.program.rules()) {
+      if (rule.IsFact()) continue;
+      const auto cit = cand.find(rule.head().predicate());
+      if (cit == cand.end() || cit->second.empty()) continue;
+      auto sink = sink_for(rule.head().predicate());
+      if (first_round) {
+        // Full evaluation against the pruned state: any candidate it
+        // still derives survives on non-deleted support alone.
+        ConjunctiveOptions conj;
+        conj.plan_cache = run.plan_cache;
+        conj.context = run.ctx;
+        RECUR_ASSIGN_OR_RETURN(
+            ra::Relation derived,
+            EvaluateRule(rule, run.new_lookup, conj, run.stats));
+        for (ra::TupleRef t : derived.rows()) sink(t);
+      } else {
+        for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+          SymbolId body_pred = rule.body()[i].predicate();
+          if (!run.IsIdb(body_pred)) continue;
+          const ra::Relation& d = delta[body_pred];
+          if (d.empty()) continue;
+          RECUR_RETURN_IF_ERROR(
+              FireDelta(run, rule, run.new_lookup, i, &d, sink));
+        }
+      }
+    }
+    first_round = false;
+    if (AllEmpty(fresh)) return Status::OK();
+    for (auto& [pred, rel] : fresh) {
+      run.idb->FindMutable(pred)->InsertAll(rel);
+      delta[pred] = std::move(rel);
+    }
+    RECUR_RETURN_IF_ERROR(CheckFootprint(run));
+  }
+}
+
+/// Pass 3 (insert propagation): round 0 substitutes the extensional
+/// insertion deltas per body position against the *new* state, later
+/// rounds are exactly the semi-naive IDB rounds. With `bootstrap` set
+/// (initial load: nothing existed before this batch) each rule fires at
+/// its first extensional delta position only — every other position would
+/// re-derive the identical set, since the old side of every mixed old/new
+/// combination is empty.
+Status PropagateInserts(const MaintenanceRun& run, bool bootstrap) {
+  IdbRelations delta = EmptyLikeIdb(*run.idb);
+  // Extensional inserts under IDB predicate names seed the resident
+  // relation (and the first semi-naive round) directly.
+  for (auto& [pred, d] : delta) {
+    const ra::Relation* inserted = run.EdbInserts(pred);
+    if (inserted == nullptr) continue;
+    ra::Relation* resident = run.idb->FindMutable(pred);
+    for (ra::TupleRef t : inserted->rows()) {
+      if (resident->Insert(t)) d.Insert(t);
+    }
+  }
+
+  bool first_round = true;
+  while (true) {
+    RECUR_RETURN_IF_ERROR(BeginRound(run));
+    IdbRelations fresh = EmptyLikeIdb(*run.idb);
+    auto sink_for = [&](SymbolId head) {
+      const ra::Relation* resident = run.idb->Find(head);
+      return [&, head, resident](ra::TupleRef t) {
+        if (!resident->Contains(t)) fresh[head].Insert(t);
+      };
+    };
+    for (const datalog::Rule& rule : run.program.rules()) {
+      if (rule.IsFact()) continue;
+      auto sink = sink_for(rule.head().predicate());
+      for (int i = 0; i < static_cast<int>(rule.body().size()); ++i) {
+        SymbolId body_pred = rule.body()[i].predicate();
+        if (run.IsIdb(body_pred)) {
+          const ra::Relation& d = delta[body_pred];
+          if (d.empty()) continue;
+          RECUR_RETURN_IF_ERROR(
+              FireDelta(run, rule, run.new_lookup, i, &d, sink));
+        } else if (first_round) {
+          const ra::Relation* d = run.EdbInserts(body_pred);
+          if (d == nullptr) continue;
+          RECUR_RETURN_IF_ERROR(
+              FireDelta(run, rule, run.new_lookup, i, d, sink));
+          if (bootstrap) break;
+        }
+      }
+    }
+    first_round = false;
+    if (AllEmpty(fresh)) return Status::OK();
+    for (auto& [pred, rel] : fresh) {
+      run.idb->FindMutable(pred)->InsertAll(rel);
+      delta[pred] = std::move(rel);
+    }
+    RECUR_RETURN_IF_ERROR(CheckFootprint(run));
+  }
+}
+
+}  // namespace
+
+Status MaintainDeltas(const datalog::Program& program,
+                      const ra::Database& old_edb,
+                      const ra::Database& new_edb, const EdbDeltas& deltas,
+                      ra::Database* idb, const MaintenanceOptions& options,
+                      EvalStats* stats) {
+  const bool bootstrap = idb->TotalTuples() == 0;
+  RECUR_RETURN_IF_ERROR(EnsureIdbRelations(program, idb));
+
+  ContextScope ctx(options.context, options.limits);
+  plan::PlanCache local_cache;
+  int rounds_used = 0;
+  MaintenanceRun run{
+      .program = program,
+      .old_edb = old_edb,
+      .new_edb = new_edb,
+      .deltas = deltas,
+      .idb = idb,
+      .plan_cache =
+          options.plan_cache != nullptr ? options.plan_cache : &local_cache,
+      .ctx = ctx.get(),
+      .stats = stats,
+      .rounds_used = &rounds_used,
+      .old_lookup = {},
+      .new_lookup = {},
+  };
+  run.old_lookup = [idb, &old_edb](SymbolId pred) -> const ra::Relation* {
+    const ra::Relation* r = idb->Find(pred);
+    return r != nullptr ? r : old_edb.Find(pred);
+  };
+  run.new_lookup = [idb, &new_edb](SymbolId pred) -> const ra::Relation* {
+    const ra::Relation* r = idb->Find(pred);
+    return r != nullptr ? r : new_edb.Find(pred);
+  };
+
+  bool any_deletes = false;
+  bool any_inserts = false;
+  for (const auto& [pred, d] : deltas) {
+    (void)pred;
+    any_deletes = any_deletes || !d.deletes.empty();
+    any_inserts = any_inserts || !d.inserts.empty();
+  }
+
+  if (any_deletes) {
+    // The overestimate must see the pre-delta state, so the prune waits
+    // until the candidate fixpoint closes.
+    IdbRelations cand;
+    RECUR_RETURN_IF_ERROR(CollectDeletionCandidates(run, &cand));
+    for (auto& [pred, victims] : cand) {
+      if (!victims.empty()) idb->FindMutable(pred)->EraseRows(victims);
+    }
+    if (stats != nullptr) {
+      for (const auto& [pred, victims] : cand) {
+        (void)pred;
+        stats->index_rebuilds += victims.index_rebuilds();
+      }
+    }
+    RECUR_RETURN_IF_ERROR(Rederive(run, cand));
+  }
+  if (any_inserts) {
+    RECUR_RETURN_IF_ERROR(PropagateInserts(run, bootstrap));
+  }
+  return CheckFootprint(run);
+}
+
+}  // namespace recur::eval

@@ -1,0 +1,75 @@
+#ifndef RECUR_EVAL_MAINTENANCE_H_
+#define RECUR_EVAL_MAINTENANCE_H_
+
+#include <unordered_map>
+
+#include "datalog/program.h"
+#include "eval/naive.h"
+#include "ra/database.h"
+
+namespace recur::eval {
+
+/// One predicate's extensional change set: tuples added and tuples removed
+/// by a server write batch. Both relations share the predicate's arity.
+struct EdbDelta {
+  EdbDelta() = default;
+  explicit EdbDelta(int arity) : inserts(arity), deletes(arity) {}
+
+  ra::Relation inserts;
+  ra::Relation deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+/// The change sets of one maintenance batch, keyed by predicate.
+using EdbDeltas = std::unordered_map<SymbolId, EdbDelta>;
+
+struct MaintenanceOptions {
+  /// Resource ceilings; exactly the fixpoint semantics (iterations count
+  /// maintenance rounds across the deletion, rederivation, and insertion
+  /// passes). When `context` is set its limits win.
+  ResourceLimits limits;
+  /// Optional externally owned context: shared deadline, external Cancel.
+  const ExecutionContext* context = nullptr;
+  /// Plan cache shared across maintenance runs — delta-overridden rule
+  /// plans are keyed by (rule, delta position), so a resident server that
+  /// keeps one cache recompiles nothing on steady-state batches. When
+  /// null a private per-run cache is used.
+  plan::PlanCache* plan_cache = nullptr;
+};
+
+/// Incrementally maintains the resident IDB database `idb` (one relation
+/// per IDB predicate, created on first use) after the extensional
+/// database changed from `old_edb` to `new_edb` by `deltas` (the caller
+/// applies the deltas to produce `new_edb`; copy-on-write Database forks
+/// make both the fork and the resident-IDB fork cheap — only relations a
+/// batch actually touches detach).
+///
+/// Deletions run DRed-style: an overestimate of affected IDB tuples is
+/// computed against the *old* state by substituting each deletion delta
+/// per rule body position (semi-naive, reusing the cached delta plans),
+/// the candidates are bulk-erased, and survivors with alternative
+/// derivations are re-derived from the pruned state. Insertions then
+/// propagate with the standard semi-naive rounds against the *new* state.
+/// Rules with no atom touched by any delta never fire.
+///
+/// `idb` must hold the fixpoint of `program` over `old_edb` on entry
+/// (empty `idb` + everything-as-inserts bootstraps initial load through
+/// the same code path). On success it holds the fixpoint over `new_edb`,
+/// byte-identical to recomputation up to row order. On error (cancel,
+/// deadline, budget, fault) `idb` may hold partially maintained state —
+/// callers that need atomicity run against a copy-on-write fork and
+/// discard it, which is what the resident server does.
+///
+/// Stats: `iterations` counts maintenance rounds across all passes;
+/// footprint counters track the resident IDB like a fixpoint run.
+Status MaintainDeltas(const datalog::Program& program,
+                      const ra::Database& old_edb,
+                      const ra::Database& new_edb, const EdbDeltas& deltas,
+                      ra::Database* idb,
+                      const MaintenanceOptions& options = {},
+                      EvalStats* stats = nullptr);
+
+}  // namespace recur::eval
+
+#endif  // RECUR_EVAL_MAINTENANCE_H_

@@ -89,7 +89,7 @@ void AccumulateIndexRebuilds(const IdbRelations& full,
   }
   for (const auto& [pred, rel] : edb.relations()) {
     (void)pred;
-    stats->index_rebuilds += rel.index_rebuilds();
+    stats->index_rebuilds += rel->index_rebuilds();
   }
 }
 

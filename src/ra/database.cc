@@ -2,27 +2,35 @@
 
 namespace recur::ra {
 
+Relation* Database::Detach(std::shared_ptr<Relation>& slot) {
+  // use_count can read a stale (higher) value while another copy of this
+  // Database is being destroyed concurrently; that only costs a spurious
+  // clone. It can never read 1 while another copy still holds the slot.
+  if (slot.use_count() > 1) slot = std::make_shared<Relation>(*slot);
+  return slot.get();
+}
+
 Result<Relation*> Database::GetOrCreate(SymbolId pred, int arity) {
   auto it = relations_.find(pred);
   if (it == relations_.end()) {
-    it = relations_.emplace(pred, Relation(arity)).first;
-  } else if (it->second.arity() != arity) {
+    it = relations_.emplace(pred, std::make_shared<Relation>(arity)).first;
+  } else if (it->second->arity() != arity) {
     return Status::InvalidArgument(
         "relation exists with different arity (" +
-        std::to_string(it->second.arity()) + " vs requested " +
+        std::to_string(it->second->arity()) + " vs requested " +
         std::to_string(arity) + ")");
   }
-  return &it->second;
+  return Detach(it->second);
 }
 
 const Relation* Database::Find(SymbolId pred) const {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 Relation* Database::FindMutable(SymbolId pred) {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : Detach(it->second);
 }
 
 Status Database::AddFact(SymbolId pred, Tuple t) {
@@ -50,20 +58,20 @@ Status Database::LoadFacts(const datalog::Program& program) {
 
 size_t Database::TotalTuples() const {
   size_t total = 0;
-  for (const auto& [pred, rel] : relations_) total += rel.size();
+  for (const auto& [pred, rel] : relations_) total += rel->size();
   return total;
 }
 
 size_t Database::TotalArenaBytes() const {
   size_t total = 0;
-  for (const auto& [pred, rel] : relations_) total += rel.ArenaBytes();
+  for (const auto& [pred, rel] : relations_) total += rel->ArenaBytes();
   return total;
 }
 
 size_t Database::ActiveDomainSize() const {
   ValueSet domain;
   for (const auto& [pred, rel] : relations_) {
-    for (TupleRef t : rel.rows()) {
+    for (TupleRef t : rel->rows()) {
       for (Value v : t) domain.insert(v);
     }
   }

@@ -1,6 +1,7 @@
 #ifndef RECUR_RA_DATABASE_H_
 #define RECUR_RA_DATABASE_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "datalog/program.h"
@@ -10,17 +11,37 @@
 
 namespace recur::ra {
 
-/// The extensional database: one Relation per predicate symbol.
+/// A database: one Relation per predicate symbol.
+///
+/// Relations are held through shared_ptr and copied lazily: copying a
+/// Database is O(#predicates) — both copies share every relation until one
+/// of them asks for mutable access (GetOrCreate / FindMutable / AddFact),
+/// at which point just that relation is cloned (copy-on-write detach).
+/// This is what makes epoch snapshots cheap for the resident server: a
+/// writer forks the current state, detaches only the relations a delta
+/// touches, and publishes the fork while readers keep the old snapshot
+/// alive through its shared_ptr refcounts.
+///
+/// Thread-safety: const members are safe to call concurrently with other
+/// const members on *any* copy sharing the underlying relations (Relation
+/// const reads are internally synchronized). Mutating members require
+/// exclusive access to this Database object, but may run concurrently
+/// with const access through *other* copies — detach clones the shared
+/// relation instead of mutating it in place whenever another copy still
+/// references it.
 class Database {
  public:
   Database() = default;
 
   /// Returns the relation for `pred`, creating an empty one of `arity` if
-  /// absent. Fails if it exists with a different arity.
+  /// absent. Fails if it exists with a different arity. Detaches a shared
+  /// relation: the returned pointer is exclusively owned until this
+  /// Database is next copied.
   Result<Relation*> GetOrCreate(SymbolId pred, int arity);
 
   /// Returns the relation for `pred` or nullptr.
   const Relation* Find(SymbolId pred) const;
+  /// Mutable lookup; detaches a shared relation first (see class comment).
   Relation* FindMutable(SymbolId pred);
 
   /// Inserts one fact.
@@ -32,8 +53,10 @@ class Database {
 
   size_t num_relations() const { return relations_.size(); }
 
-  /// Read-only view of all relations (stats aggregation, tools).
-  const std::unordered_map<SymbolId, Relation>& relations() const {
+  /// Read-only view of all relations (stats aggregation, tools). Values
+  /// are never null.
+  const std::unordered_map<SymbolId, std::shared_ptr<Relation>>& relations()
+      const {
     return relations_;
   }
 
@@ -49,7 +72,10 @@ class Database {
   size_t ActiveDomainSize() const;
 
  private:
-  std::unordered_map<SymbolId, Relation> relations_;
+  /// Clones `slot`'s relation if any other Database still shares it.
+  static Relation* Detach(std::shared_ptr<Relation>& slot);
+
+  std::unordered_map<SymbolId, std::shared_ptr<Relation>> relations_;
 };
 
 }  // namespace recur::ra

@@ -177,14 +177,73 @@ size_t Relation::InsertAll(const Relation& other) {
 }
 
 bool Relation::Contains(TupleRef t) const {
-  if (t.arity() != arity_ || slots_.empty()) return false;
+  return FindRow(t) != static_cast<size_t>(-1);
+}
+
+size_t Relation::FindRow(TupleRef t) const {
+  if (t.arity() != arity_ || slots_.empty()) return static_cast<size_t>(-1);
   const uint64_t h = HashValueSpan(t.data(), t.size());
   const size_t mask = slots_.size() - 1;
   for (size_t s = h & mask;; s = (s + 1) & mask) {
     const uint32_t row = slots_[s];
-    if (row == kEmptySlot) return false;
-    if (RowAt(row) == t) return true;
+    if (row == kEmptySlot) return static_cast<size_t>(-1);
+    if (RowAt(row) == t) return row;
   }
+}
+
+bool Relation::Erase(TupleRef t) {
+  const size_t row = FindRow(t);
+  if (row == static_cast<size_t>(-1)) return false;
+  std::vector<char> dead(num_rows_, 0);
+  dead[row] = 1;
+  CompactAfterErase(dead, 1);
+  return true;
+}
+
+size_t Relation::EraseRows(const Relation& victims) {
+  if (victims.arity_ != arity_ || num_rows_ == 0 || victims.empty()) {
+    return 0;
+  }
+  util::FaultInjector::CheckNoStatus("ra.relation.erase");
+  std::vector<char> dead(num_rows_, 0);
+  size_t n_dead = 0;
+  for (TupleRef t : victims.rows()) {
+    const size_t row = FindRow(t);
+    if (row != static_cast<size_t>(-1) && !dead[row]) {
+      dead[row] = 1;
+      ++n_dead;
+    }
+  }
+  if (n_dead == 0) return 0;
+  CompactAfterErase(dead, n_dead);
+  return n_dead;
+}
+
+void Relation::CompactAfterErase(const std::vector<char>& dead,
+                                 size_t n_dead) {
+  // Compact survivors toward the front, preserving insertion order.
+  size_t out = 0;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (dead[row]) continue;
+    if (out != row) {
+      std::copy(arena_.begin() + row * arity_,
+                arena_.begin() + (row + 1) * arity_,
+                arena_.begin() + out * arity_);
+    }
+    ++out;
+  }
+  num_rows_ -= n_dead;
+  arena_.resize(num_rows_ * arity_);
+  // Row ids shifted: rebuild the dedup table and drop every index so the
+  // next probe rebuilds against the surviving rows only.
+  slots_.clear();
+  if (num_rows_ > 0) GrowSlots(num_rows_);
+  for (ColumnIndex& index : indexes_) {
+    index.map.clear();
+    index.built.store(false, std::memory_order_relaxed);
+  }
+  for (auto& slot : multi_indexes_) slot.reset();
+  multi_count_.store(0, std::memory_order_relaxed);
 }
 
 void Relation::AppendToIndexes(size_t row) {

@@ -237,6 +237,21 @@ class Relation {
   /// relations are skipped). Returns the number of new tuples.
   size_t InsertAll(const Relation& other);
 
+  /// Erases one row; returns true if it was present. Surviving rows keep
+  /// their relative order. Every built index (single-column and composite)
+  /// is dropped — row ids shift on compaction — so the next keyed probe
+  /// rebuilds from the survivors and can never serve a stale row.
+  bool Erase(TupleRef t);
+  bool Erase(const Tuple& t) { return Erase(TupleRef(t)); }
+  bool Erase(std::initializer_list<Value> values) {
+    return Erase(TupleRef(values.begin(), static_cast<int>(values.size())));
+  }
+
+  /// Bulk form of Erase: removes every row of `victims` that is present
+  /// here (arity mismatch removes nothing). Returns the number of rows
+  /// removed; one compaction + index invalidation regardless of count.
+  size_t EraseRows(const Relation& victims);
+
   bool Contains(TupleRef t) const;
   bool Contains(std::initializer_list<Value> values) const {
     return Contains(
@@ -325,6 +340,11 @@ class Relation {
   }
   /// Copies `t` into the staging slot, handling aliasing with our arena.
   void CopyIntoStaging(TupleRef t);
+  /// Row id of `t` in the arena, or npos if absent.
+  size_t FindRow(TupleRef t) const;
+  /// Compacts the arena after marking `n_dead` rows dead, rebuilds the
+  /// dedup table, and drops every index (row ids shifted).
+  void CompactAfterErase(const std::vector<char>& dead, size_t n_dead);
   /// Places the staged row into the dedup table without an equality probe.
   void CommitStagedRowUnchecked();
   /// Rebuilds the dedup table to hold `min_rows` rows under max load.

@@ -1,0 +1,356 @@
+#include "server/database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/conjunctive.h"
+#include "transform/bounded_expand.h"
+#include "util/fault_injection.h"
+
+namespace recur::server {
+
+namespace {
+
+using classify::PredicateReport;
+using classify::RecursionKind;
+
+/// True when every body predicate of `rule` (other than `head`) is
+/// extensional, i.e. not among the program's IDB predicates. The
+/// iterate-selection evaluator reads only the EDB, so it is sound exactly
+/// for predicates whose recursion is fed by extensional relations.
+bool BodyIsExtensional(const datalog::Rule& rule, SymbolId head,
+                       const std::vector<SymbolId>& idb_preds) {
+  for (const datalog::Atom& atom : rule.body()) {
+    if (atom.predicate() == head) continue;
+    if (std::find(idb_preds.begin(), idb_preds.end(), atom.predicate()) !=
+        idb_preds.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(RouteKind kind) {
+  switch (kind) {
+    case RouteKind::kBoundedInline:
+      return "bounded-inline";
+    case RouteKind::kIterateSelection:
+      return "iterate-selection";
+    case RouteKind::kResidentFilter:
+      return "resident-filter";
+  }
+  return "unknown";
+}
+
+Route Database::BuildRoute(const PredicateReport& report,
+                           const std::vector<SymbolId>& idb_preds) {
+  Route route;
+  route.detail = report.diagnosis.empty() ? std::string(ToString(report.kind))
+                                          : report.diagnosis;
+  if (!options_.enable_fast_paths) {
+    route.detail = "fast paths disabled";
+    return route;
+  }
+
+  if (report.kind == RecursionKind::kNonRecursive) {
+    route.kind = RouteKind::kBoundedInline;
+    route.detail = "non-recursive";
+    route.inline_rules = report.exits;
+    return route;
+  }
+
+  if (report.kind != RecursionKind::kSingleLinear || !report.classification ||
+      !report.recursive_rule) {
+    return route;  // resident filter
+  }
+  const classify::Classification& cls = *report.classification;
+  const char* cls_name = classify::ToString(cls.formula_class);
+
+  auto formula = datalog::LinearRecursiveRule::Create(*report.recursive_rule);
+  if (!formula.ok()) return route;
+
+  // Bounded classes (A4, B, D): expand once, answer every query inline.
+  // The expansion resolves the recursive predicate against a single exit
+  // rule, so it applies only in the one-exit setting.
+  if (cls.bounded && report.exits.size() == 1) {
+    auto bounded =
+        transform::ExpandBounded(*formula, cls, report.exits[0], symbols_);
+    if (bounded.ok()) {
+      route.kind = RouteKind::kBoundedInline;
+      route.detail = std::string(cls_name) + ", rank " +
+                     std::to_string(bounded->rank);
+      route.inline_rules = std::move(bounded->rules);
+      route.rank = bounded->rank;
+      return route;
+    }
+  }
+
+  // Strongly stable (A1, A2) and transformable (A3, A5 within the unfold
+  // cap): Henschen–Naqvi iterate-selection over the EDB. Requires the
+  // recursion to be fed by extensional relations only.
+  const bool stable_ok =
+      cls.strongly_stable ||
+      (cls.transformable_to_stable && cls.unfold_count <= options_.max_unfold);
+  if (stable_ok &&
+      BodyIsExtensional(*report.recursive_rule, report.predicate, idb_preds)) {
+    Result<eval::StableEvaluator> evaluator =
+        Status::Unsupported("no exit rule");
+    if (cls.strongly_stable) {
+      evaluator = eval::StableEvaluator::Create(*formula, report.exits,
+                                                symbols_);
+    } else if (report.exits.size() == 1) {
+      evaluator = eval::StableEvaluator::CreateWithTransform(
+          *formula, report.exits[0], symbols_);
+    }
+    if (evaluator.ok()) {
+      route.kind = RouteKind::kIterateSelection;
+      route.detail = std::string(cls_name) +
+                     (cls.strongly_stable ? ", strongly stable"
+                                          : ", unfolded to stable");
+      route.stable = std::make_shared<const eval::StableEvaluator>(
+          std::move(*evaluator));
+      return route;
+    }
+  }
+
+  route.detail = std::string(cls_name) + ", maintained";
+  return route;
+}
+
+Result<std::unique_ptr<Database>> Database::Create(datalog::Program program,
+                                                   ra::Database edb,
+                                                   SymbolTable* symbols,
+                                                   ServerOptions options) {
+  if (symbols == nullptr) {
+    return Status::InvalidArgument("server::Database needs a symbol table");
+  }
+  RECUR_ASSIGN_OR_RETURN(classify::ProgramAnalysis analysis,
+                         classify::AnalyzeProgram(program));
+
+  std::unique_ptr<Database> db(
+      new Database(std::move(program), symbols, std::move(options)));
+
+  std::vector<SymbolId> idb_preds;
+  idb_preds.reserve(analysis.predicates.size());
+  for (const PredicateReport& report : analysis.predicates) {
+    idb_preds.push_back(report.predicate);
+  }
+  for (const PredicateReport& report : analysis.predicates) {
+    db->routes_.emplace(report.predicate, db->BuildRoute(report, idb_preds));
+  }
+
+  // Bootstrap the resident IDB through the maintenance path: every EDB
+  // relation becomes an insert delta against an empty database.
+  auto state = std::make_shared<State>();
+  state->edb = std::move(edb);
+  eval::EdbDeltas bootstrap;
+  for (const auto& [pred, rel] : state->edb.relations()) {
+    eval::EdbDelta delta(rel->arity());
+    delta.inserts.InsertAll(*rel);
+    bootstrap.emplace(pred, std::move(delta));
+  }
+  ra::Database empty;
+  eval::MaintenanceOptions mopts;
+  mopts.limits = db->options_.limits;
+  mopts.plan_cache = &db->plan_cache_;
+  RECUR_RETURN_IF_ERROR(eval::MaintainDeltas(db->program_, empty, state->edb,
+                                             bootstrap, &state->idb, mopts));
+  db->Publish(std::move(state));
+  return db;
+}
+
+std::shared_ptr<const Database::State> Database::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+void Database::Publish(std::shared_ptr<const State> next) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = std::move(next);
+}
+
+Database::Snapshot Database::snapshot() const { return Snapshot(CurrentState()); }
+
+const Route* Database::FindRoute(SymbolId pred) const {
+  auto it = routes_.find(pred);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::string Database::RoutingSummary() const {
+  std::string out;
+  for (const datalog::Rule& rule : program_.rules()) {
+    const SymbolId pred = rule.head().predicate();
+    auto it = routes_.find(pred);
+    if (it == routes_.end()) continue;
+    const std::string line = symbols_->NameOf(pred) + "(" +
+                             std::to_string(rule.head().arity()) + "): " +
+                             ToString(it->second.kind) + " — " +
+                             it->second.detail + "\n";
+    if (out.find(line) == std::string::npos) out += line;
+  }
+  return out;
+}
+
+Result<ra::Relation> Database::AnswerBoundedInline(
+    const Route& route, const eval::Query& query, const State& state,
+    const eval::ExecutionContext* ctx, eval::EvalStats* stats) const {
+  ra::Relation out(query.arity());
+  // Inline rule bodies may reference other IDB predicates (non-recursive
+  // predicates layered over maintained ones) — resolve those against the
+  // resident IDB, everything else against the EDB.
+  auto lookup = [&state](SymbolId pred) -> const ra::Relation* {
+    if (const ra::Relation* rel = state.idb.Find(pred)) return rel;
+    return state.edb.Find(pred);
+  };
+  for (const datalog::Rule& rule : route.inline_rules) {
+    if (rule.head().arity() != query.arity()) {
+      return Status::InvalidArgument("query arity does not match predicate");
+    }
+    // Push the query constants into the rule as variable bindings
+    // (selections before joins). A constant head position must agree with
+    // the query binding or the rule contributes nothing.
+    std::unordered_map<SymbolId, ra::Value> bindings;
+    bool feasible = true;
+    const std::vector<datalog::Term>& args = rule.head().args();
+    for (int i = 0; i < query.arity() && feasible; ++i) {
+      if (!query.bindings[i].has_value()) continue;
+      const ra::Value value = *query.bindings[i];
+      const datalog::Term& term = args[i];
+      if (term.IsConstant()) {
+        feasible = static_cast<ra::Value>(term.symbol()) == value;
+        continue;
+      }
+      auto [it, inserted] = bindings.emplace(term.symbol(), value);
+      if (!inserted) feasible = it->second == value;
+    }
+    if (!feasible) continue;
+
+    eval::ConjunctiveOptions copts;
+    copts.bindings = &bindings;
+    copts.plan_cache = &plan_cache_;
+    copts.context = ctx;
+    RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
+                           eval::EvaluateRule(rule, lookup, copts, stats));
+    // Bindings pushed above already restrict variable positions; FilterInto
+    // re-checks bound positions to also cover constant heads and repeated
+    // head variables.
+    RECUR_RETURN_IF_ERROR(query.FilterInto(derived, &out, ctx).status());
+  }
+  return out;
+}
+
+Result<QueryResult> Database::Query(const eval::Query& query,
+                                    const eval::ExecutionContext* ctx) const {
+  RECUR_FAULT_POINT("server.query");
+  Snapshot snap = snapshot();
+  eval::ContextScope scope(ctx, options_.limits);
+  RECUR_RETURN_IF_ERROR(scope->CheckCancel());
+
+  QueryResult result;
+  result.epoch = snap.epoch();
+
+  const Route* route = FindRoute(query.pred);
+  RouteKind kind = route == nullptr ? RouteKind::kResidentFilter : route->kind;
+  // The fast paths derive the predicate purely from its rules; base facts
+  // stored under the predicate name in the EDB would be invisible to them,
+  // so such predicates degrade to the (always sound) resident filter.
+  if (kind != RouteKind::kResidentFilter) {
+    const ra::Relation* base = snap.edb().Find(query.pred);
+    if (base != nullptr && !base->empty()) kind = RouteKind::kResidentFilter;
+  }
+
+  switch (kind) {
+    case RouteKind::kBoundedInline: {
+      RECUR_ASSIGN_OR_RETURN(
+          result.rows, AnswerBoundedInline(*route, query, *snap.state_,
+                                           scope.get(), &result.stats));
+      break;
+    }
+    case RouteKind::kIterateSelection: {
+      eval::CompiledEvalOptions copts;
+      copts.fixpoint.limits = scope->limits();
+      copts.fixpoint.context = scope.get();
+      eval::CompiledEvalStats cstats;
+      RECUR_ASSIGN_OR_RETURN(
+          result.rows, route->stable->Answer(query, snap.edb(), copts,
+                                             &cstats));
+      result.stats = cstats;
+      break;
+    }
+    case RouteKind::kResidentFilter: {
+      // IDB predicates filter the maintained relation; unknown predicates
+      // (pure EDB) filter the extensional relation directly.
+      const ra::Relation* full = snap.idb().Find(query.pred);
+      if (full == nullptr) full = snap.edb().Find(query.pred);
+      ra::Relation rows(query.arity());
+      if (full != nullptr) {
+        RECUR_ASSIGN_OR_RETURN(size_t n,
+                               query.FilterInto(*full, &rows, scope.get()));
+        result.stats.tuples_produced = n;
+        result.stats.tuples_considered = full->size();
+      }
+      result.rows = std::move(rows);
+      break;
+    }
+  }
+  result.route = kind;
+  return result;
+}
+
+Status Database::Apply(const eval::EdbDeltas& deltas,
+                       const eval::ExecutionContext* ctx,
+                       eval::EvalStats* stats) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  std::shared_ptr<const State> old = CurrentState();
+
+  auto next = std::make_shared<State>();
+  next->epoch = old->epoch + 1;
+  next->edb = old->edb;  // copy-on-write forks: only touched
+  next->idb = old->idb;  // relations detach below
+
+  for (const auto& [pred, delta] : deltas) {
+    if (delta.empty()) continue;
+    const int arity =
+        delta.inserts.empty() ? delta.deletes.arity() : delta.inserts.arity();
+    RECUR_ASSIGN_OR_RETURN(ra::Relation * rel,
+                           next->edb.GetOrCreate(pred, arity));
+    if (!delta.deletes.empty()) rel->EraseRows(delta.deletes);
+    if (!delta.inserts.empty()) rel->InsertAll(delta.inserts);
+  }
+
+  eval::MaintenanceOptions mopts;
+  mopts.limits = options_.limits;
+  mopts.context = ctx;
+  mopts.plan_cache = &plan_cache_;
+  // On error the fork is discarded: readers keep the old epoch and the
+  // resident state is untouched (write batches are all-or-nothing).
+  RECUR_RETURN_IF_ERROR(eval::MaintainDeltas(program_, old->edb, next->edb,
+                                             deltas, &next->idb, mopts,
+                                             stats));
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status Database::Insert(SymbolId pred, ra::Tuple t,
+                        const eval::ExecutionContext* ctx,
+                        eval::EvalStats* stats) {
+  eval::EdbDeltas deltas;
+  eval::EdbDelta delta(static_cast<int>(t.size()));
+  delta.inserts.Insert(t);
+  deltas.emplace(pred, std::move(delta));
+  return Apply(deltas, ctx, stats);
+}
+
+Status Database::Delete(SymbolId pred, ra::Tuple t,
+                        const eval::ExecutionContext* ctx,
+                        eval::EvalStats* stats) {
+  eval::EdbDeltas deltas;
+  eval::EdbDelta delta(static_cast<int>(t.size()));
+  delta.deletes.Insert(t);
+  deltas.emplace(pred, std::move(delta));
+  return Apply(deltas, ctx, stats);
+}
+
+}  // namespace recur::server

@@ -1,0 +1,225 @@
+#ifndef RECUR_SERVER_DATABASE_H_
+#define RECUR_SERVER_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classify/program_analysis.h"
+#include "datalog/program.h"
+#include "eval/compiled_eval.h"
+#include "eval/maintenance.h"
+#include "eval/plan/plan_cache.h"
+#include "eval/query.h"
+#include "ra/database.h"
+
+namespace recur::server {
+
+/// How a query over one IDB predicate is answered (§ "classification fast
+/// paths"): the dispatch table maps each predicate to the cheapest sound
+/// strategy its paper class admits.
+enum class RouteKind {
+  /// Bounded classes (A4, B, D) and non-recursive predicates: the finite
+  /// rule expansion is compiled once and evaluated inline with the query
+  /// constants pushed down — zero fixpoint iterations per query.
+  kBoundedInline,
+  /// Strongly stable classes (A1, A2; A3/A5 after unfolding): the
+  /// Henschen–Naqvi iterate-selection evaluator answers from the EDB
+  /// without materializing the predicate.
+  kIterateSelection,
+  /// Everything else: select from the incrementally maintained resident
+  /// IDB (always sound; also the fallback when a fast path cannot be
+  /// built or does not apply).
+  kResidentFilter,
+};
+
+const char* ToString(RouteKind kind);
+
+/// One dispatch-table row: how queries on a predicate are routed, plus the
+/// precompiled artifacts the route needs.
+struct Route {
+  RouteKind kind = RouteKind::kResidentFilter;
+  /// Why this route was chosen (paper class, rank, or the diagnosis that
+  /// forced the fallback) — surfaced in RoutingSummary().
+  std::string detail;
+  /// kBoundedInline: the non-recursive rules evaluated per query (the
+  /// bounded expansion, or the predicate's own rules when non-recursive).
+  std::vector<datalog::Rule> inline_rules;
+  /// kBoundedInline from a bounded class: the expansion rank.
+  int rank = 0;
+  /// kIterateSelection: the compiled evaluator (immutable, thread-safe).
+  std::shared_ptr<const eval::StableEvaluator> stable;
+};
+
+struct ServerOptions {
+  /// Default per-operation governance (queries and maintenance runs
+  /// alike). A caller-provided ExecutionContext overrides these.
+  eval::ResourceLimits limits;
+  /// Disable the classification fast paths: every query filters the
+  /// resident IDB. Ablation and debugging.
+  bool enable_fast_paths = true;
+  /// Cap on Theorem 4 unfoldings when transforming A3/A5 formulas to
+  /// stable form for iterate-selection; larger unfold counts fall back to
+  /// the resident filter.
+  int max_unfold = 6;
+};
+
+/// One answered query: the rows, which route produced them, the epoch of
+/// the snapshot they were computed against, and the engine stats (bounded
+/// inline answers keep stats.iterations == 0).
+struct QueryResult {
+  ra::Relation rows;
+  RouteKind route = RouteKind::kResidentFilter;
+  uint64_t epoch = 0;
+  eval::EvalStats stats;
+};
+
+/// Long-lived deductive database service: keeps the EDB and the derived
+/// IDB resident, applies streaming insert/delete batches with incremental
+/// view maintenance (eval::MaintainDeltas), and answers queries through a
+/// classification dispatch table.
+///
+/// Storage model — epoch snapshots over copy-on-write state:
+///   The entire resident state (EDB + IDB databases) lives in one
+///   immutable State published through a shared_ptr. Readers grab a
+///   Snapshot (one mutex-guarded shared_ptr copy) and see a consistent
+///   epoch for as long as they hold it; the refcount is the reclamation
+///   protocol — a superseded epoch is freed when its last reader drops it.
+///   A single writer (serialized internally) forks the current State —
+///   O(#relations) thanks to ra::Database copy-on-write — applies the
+///   delta batch to the fork, runs incremental maintenance on the forked
+///   IDB, and publishes the fork atomically. A failed or cancelled write
+///   discards the fork, so readers never observe partially maintained
+///   state and the resident database is unchanged (all-or-nothing).
+///
+/// Thread-safety: Query/snapshot/epoch are safe from any number of
+/// threads concurrently with each other and with writers. Write calls
+/// (Apply/Insert/Delete) are safe from multiple threads and serialize on
+/// an internal writer mutex.
+///
+/// Governance: queries and maintenance runs both run under the resolved
+/// ExecutionContext (caller's, else one built from ServerOptions::limits),
+/// so deadlines, budgets, and Cancel() apply to server traffic exactly as
+/// to standalone fixpoints. Fault site "server.query" fires at query
+/// entry.
+class Database {
+ public:
+  /// The immutable state of one epoch.
+  struct State {
+    uint64_t epoch = 0;
+    ra::Database edb;
+    ra::Database idb;
+  };
+
+  /// A pinned epoch: consistent EDB + IDB view, alive until dropped.
+  class Snapshot {
+   public:
+    uint64_t epoch() const { return state_->epoch; }
+    const ra::Database& edb() const { return state_->edb; }
+    const ra::Database& idb() const { return state_->idb; }
+
+   private:
+    friend class Database;
+    explicit Snapshot(std::shared_ptr<const State> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<const State> state_;
+  };
+
+  /// Builds the dispatch table from classify::AnalyzeProgram, bootstraps
+  /// the resident IDB from `edb` through the maintenance path
+  /// (everything-as-inserts), and publishes epoch 0. `symbols` must
+  /// outlive the server (fast-path transforms intern synthetic symbols).
+  static Result<std::unique_ptr<Database>> Create(
+      datalog::Program program, ra::Database edb, SymbolTable* symbols,
+      ServerOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Pins the current epoch.
+  Snapshot snapshot() const;
+  uint64_t epoch() const { return snapshot().epoch(); }
+
+  /// Answers `query` against the current epoch via the dispatch table.
+  /// Routes degrade soundly: fast paths that do not apply to this query
+  /// (e.g. base facts stored under the predicate name, arity mismatch
+  /// diagnostics aside) fall back to the resident filter.
+  Result<QueryResult> Query(const eval::Query& query,
+                            const eval::ExecutionContext* ctx = nullptr) const;
+
+  /// Applies one insert/delete batch: forks the state, updates the forked
+  /// EDB, incrementally maintains the forked IDB, publishes the new epoch.
+  /// On error nothing is published and the resident state is unchanged.
+  Status Apply(const eval::EdbDeltas& deltas,
+               const eval::ExecutionContext* ctx = nullptr,
+               eval::EvalStats* stats = nullptr);
+
+  /// Single-tuple conveniences over Apply.
+  Status Insert(SymbolId pred, ra::Tuple t,
+                const eval::ExecutionContext* ctx = nullptr,
+                eval::EvalStats* stats = nullptr);
+  Status Delete(SymbolId pred, ra::Tuple t,
+                const eval::ExecutionContext* ctx = nullptr,
+                eval::EvalStats* stats = nullptr);
+
+  const datalog::Program& program() const { return program_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Dispatch-table lookup; nullptr for predicates the analysis did not
+  /// report (EDB predicates — queries on them filter the EDB relation).
+  const Route* FindRoute(SymbolId pred) const;
+
+  /// One line per IDB predicate: "path(2): iterate-selection — A1 ...".
+  std::string RoutingSummary() const;
+
+  /// Shared physical-plan cache stats (maintenance delta plans + bounded
+  /// inline plans); steady-state traffic should be all hits.
+  eval::plan::PlanCache::CacheStats plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+
+ private:
+  Database(datalog::Program program, SymbolTable* symbols,
+           ServerOptions options)
+      : program_(std::move(program)),
+        symbols_(symbols),
+        options_(std::move(options)) {}
+
+  std::shared_ptr<const State> CurrentState() const;
+  void Publish(std::shared_ptr<const State> next);
+
+  /// Builds the dispatch table row for one analyzed predicate.
+  Route BuildRoute(const classify::PredicateReport& report,
+                   const std::vector<SymbolId>& idb_preds);
+
+  Result<ra::Relation> AnswerBoundedInline(const Route& route,
+                                           const eval::Query& query,
+                                           const State& state,
+                                           const eval::ExecutionContext* ctx,
+                                           eval::EvalStats* stats) const;
+
+  const datalog::Program program_;
+  SymbolTable* const symbols_;
+  const ServerOptions options_;
+  std::unordered_map<SymbolId, Route> routes_;
+
+  /// Guards the published-state pointer only (copy in snapshot(), store in
+  /// Publish) — never held across evaluation.
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const State> state_;
+
+  /// Serializes writers; readers never take it.
+  std::mutex writer_mutex_;
+
+  /// Shared across maintenance runs and bounded inline queries; PlanCache
+  /// is internally synchronized.
+  mutable eval::plan::PlanCache plan_cache_;
+};
+
+}  // namespace recur::server
+
+#endif  // RECUR_SERVER_DATABASE_H_

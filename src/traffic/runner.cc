@@ -16,6 +16,7 @@
 #include "eval/seminaive.h"
 #include "eval/thread_pool.h"
 #include "ra/database.h"
+#include "server/database.h"
 #include "util/fault_injection.h"
 #include "workload/generator.h"
 
@@ -148,6 +149,13 @@ class Worker {
         phase_.mix.begin(), phase_.mix.end(),
         [](const OpSpec& op) { return op.kind == OpSpec::Kind::kQuery; });
     if (wants_query) SeedIdb();
+    const bool wants_server =
+        std::any_of(phase_.mix.begin(), phase_.mix.end(), [](const OpSpec& op) {
+          return op.kind == OpSpec::Kind::kServerQuery ||
+                 op.kind == OpSpec::Kind::kServerInsert ||
+                 op.kind == OpSpec::Kind::kServerDelete;
+        });
+    if (wants_server) SeedServer();
 
     const double start = clock_->Now();
     double next_arrival = start;
@@ -200,6 +208,17 @@ class Worker {
     if (idb.ok()) idb_ = *std::move(idb);
   }
 
+  /// Boots the worker's resident server (untimed, like SeedIdb): private
+  /// symbol-table copy (fast-path transforms intern synthetic symbols) and
+  /// a private copy-on-write fork of the base EDB. Failures fall through:
+  /// server ops then count a NotFound error each.
+  void SeedServer() {
+    server_symbols_ = workload_.symbols;
+    auto server = server::Database::Create(workload_.program, db_,
+                                           &server_symbols_);
+    if (server.ok()) server_ = std::move(*server);
+  }
+
   void CountError(const Status& status, LocalNode* node) {
     node->errors += 1;
     switch (status.code()) {
@@ -219,6 +238,11 @@ class Worker {
       case OpSpec::Kind::kInsert: return RunInsert(op, node);
       case OpSpec::Kind::kDelete: return RunDelete(op, node);
       case OpSpec::Kind::kLoadEdb: return RunLoadEdb(op, node);
+      case OpSpec::Kind::kServerQuery: return RunServerQuery(op, node);
+      case OpSpec::Kind::kServerInsert:
+        return RunServerWrite(op, node, /*deletes=*/false);
+      case OpSpec::Kind::kServerDelete:
+        return RunServerWrite(op, node, /*deletes=*/true);
     }
   }
 
@@ -296,21 +320,20 @@ class Worker {
       node->ok += 1;
       return;
     }
-    // Pick up to `count` distinct victim rows, then rebuild without them
-    // (the arena has no in-place erase; deletion is an O(n) rebuild and is
-    // priced as such by the harness).
-    std::unordered_set<size_t> victims;
+    // Pick up to `count` distinct victim rows and erase them in place.
+    // EraseRows compacts the arena and invalidates every index built on
+    // the relation, so churn phases exercise the same invalidation path
+    // a resident server's delete batches do (a later keyed lookup must
+    // rebuild instead of serving stale rows).
+    std::unordered_set<size_t> victim_indexes;
     const size_t want = std::min<size_t>(static_cast<size_t>(op.count), size);
-    while (victims.size() < want) {
-      victims.insert(static_cast<size_t>(NextBounded(rng_, size)));
+    while (victim_indexes.size() < want) {
+      victim_indexes.insert(static_cast<size_t>(NextBounded(rng_, size)));
     }
-    ra::Relation rebuilt(rel->arity());
-    rebuilt.Reserve(size - victims.size());
+    ra::Relation victims(rel->arity());
     ra::RowsView rows = rel->rows();
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (victims.count(i) == 0) rebuilt.InsertUnchecked(rows[i]);
-    }
-    *rel = std::move(rebuilt);
+    for (size_t i : victim_indexes) victims.Insert(rows[i]);
+    rel->EraseRows(victims);
     node->ok += 1;
     node->tuples += want;
   }
@@ -333,6 +356,91 @@ class Worker {
     node->tuples += rel->size();
   }
 
+  /// Per-op governance for the resident server, mirroring the fixpoint
+  /// op's deadline/budget fields. Returns nullopt when the op sets none
+  /// (the server's own defaults then apply).
+  std::optional<eval::ExecutionContext> MakeServerContext(const OpSpec& op) {
+    if (op.deadline_seconds <= 0.0 && op.max_total_tuples == 0) {
+      return std::nullopt;
+    }
+    eval::ResourceLimits limits;
+    limits.deadline_seconds = op.deadline_seconds;
+    limits.max_total_tuples = op.max_total_tuples;
+    return std::make_optional<eval::ExecutionContext>(limits);
+  }
+
+  void RunServerQuery(const OpSpec& op, LocalNode* node) {
+    if (server_ == nullptr) {
+      CountError(Status::NotFound("resident server failed to boot"), node);
+      return;
+    }
+    eval::Query query;
+    query.pred = workload_.query_pred;
+    query.bindings.assign(workload_.query_arity, std::nullopt);
+    for (int pos : op.bind_positions) {
+      if (pos < workload_.query_arity) query.bindings[pos] = RandomValue();
+    }
+    std::optional<eval::ExecutionContext> ctx = MakeServerContext(op);
+    auto result = server_->Query(query, ctx ? &*ctx : nullptr);
+    if (!result.ok()) {
+      CountError(result.status(), node);
+      return;
+    }
+    node->ok += 1;
+    node->tuples += result->rows.size();
+    node->eval.Accumulate(result->stats);
+  }
+
+  void RunServerWrite(const OpSpec& op, LocalNode* node, bool deletes) {
+    if (server_ == nullptr) {
+      CountError(Status::NotFound("resident server failed to boot"), node);
+      return;
+    }
+    const SymbolId pred = server_symbols_.Lookup(op.relation);
+    server::Database::Snapshot snap = server_->snapshot();
+    const ra::Relation* rel = snap.edb().Find(pred);
+    if (rel == nullptr) {
+      CountError(Status::NotFound("relation " + op.relation), node);
+      return;
+    }
+    eval::EdbDelta delta(rel->arity());
+    if (deletes) {
+      const size_t size = rel->size();
+      const size_t want =
+          std::min<size_t>(static_cast<size_t>(op.count), size);
+      ra::RowsView rows = rel->rows();
+      // Sampling with replacement: EdbDelta dedups, so a batch may carry
+      // fewer than `count` victims — fine for synthetic churn.
+      for (size_t i = 0; i < want; ++i) {
+        delta.deletes.Insert(rows[NextBounded(rng_, size)]);
+      }
+      if (delta.deletes.empty()) {  // empty relation: nothing to delete
+        node->ok += 1;
+        return;
+      }
+    } else {
+      ra::Tuple row(static_cast<size_t>(rel->arity()));
+      for (int i = 0; i < op.count; ++i) {
+        for (ra::Value& v : row) v = RandomValue();
+        delta.inserts.Insert(row);
+      }
+    }
+    const uint64_t batch = deletes ? delta.deletes.size()
+                                   : delta.inserts.size();
+    eval::EdbDeltas deltas;
+    deltas.emplace(pred, std::move(delta));
+    std::optional<eval::ExecutionContext> ctx = MakeServerContext(op);
+    eval::EvalStats stats;
+    Status status = server_->Apply(deltas, ctx ? &*ctx : nullptr, &stats);
+    node->eval.Accumulate(stats);
+    if (!status.ok()) {
+      CountError(status, node);
+      return;
+    }
+    node->ok += 1;
+    node->tuples += batch;
+  }
+
   const PhaseSpec& phase_;
   const Workload& workload_;
   const std::vector<EdbSpec>* spec_edb_;
@@ -340,6 +448,11 @@ class Worker {
   ra::Database db_;                // private copy; never shared
   eval::IdbRelations idb_;         // last materialized IDB; queries filter
                                    // it as-is until the next fixpoint op
+  /// Resident server for the server_* ops (private to the worker, like
+  /// db_). The symbol-table copy must outlive the server, which holds a
+  /// pointer into it.
+  SymbolTable server_symbols_;
+  std::unique_ptr<server::Database> server_;
   std::vector<LocalNode> nodes_;
   double total_weight_ = 1.0;
   double elapsed_ = 0.0;

@@ -121,6 +121,12 @@ Result<OpSpec> ParseOp(const JsonValue& obj) {
     op.kind = OpSpec::Kind::kDelete;
   } else if (kind == "load_edb") {
     op.kind = OpSpec::Kind::kLoadEdb;
+  } else if (kind == "server_query") {
+    op.kind = OpSpec::Kind::kServerQuery;
+  } else if (kind == "server_insert") {
+    op.kind = OpSpec::Kind::kServerInsert;
+  } else if (kind == "server_delete") {
+    op.kind = OpSpec::Kind::kServerDelete;
   } else {
     return Invalid("unknown op kind '" + kind + "'");
   }
@@ -156,7 +162,9 @@ Result<OpSpec> ParseOp(const JsonValue& obj) {
   if (op.count < 1) return Invalid("op count must be >= 1");
 
   if ((op.kind == OpSpec::Kind::kInsert || op.kind == OpSpec::Kind::kDelete ||
-       op.kind == OpSpec::Kind::kLoadEdb) &&
+       op.kind == OpSpec::Kind::kLoadEdb ||
+       op.kind == OpSpec::Kind::kServerInsert ||
+       op.kind == OpSpec::Kind::kServerDelete) &&
       op.relation.empty()) {
     return Invalid(std::string(OpKindName(op.kind)) +
                    " op needs a 'relation'");
@@ -244,6 +252,9 @@ const char* OpKindName(OpSpec::Kind kind) {
     case OpSpec::Kind::kInsert: return "insert";
     case OpSpec::Kind::kDelete: return "delete";
     case OpSpec::Kind::kLoadEdb: return "load_edb";
+    case OpSpec::Kind::kServerQuery: return "server_query";
+    case OpSpec::Kind::kServerInsert: return "server_insert";
+    case OpSpec::Kind::kServerDelete: return "server_delete";
   }
   return "unknown";
 }

@@ -55,11 +55,16 @@ struct FaultArmSpec {
 /// One node of a phase's weighted op mix.
 struct OpSpec {
   enum class Kind {
-    kFixpoint,  // run a fixpoint engine over the worker's database
-    kQuery,     // Query::Filter point query against the worker's last IDB
-    kInsert,    // insert random tuples into one EDB relation
-    kDelete,    // remove random rows from one EDB relation
-    kLoadEdb,   // regenerate one EDB relation from its generator spec
+    kFixpoint,     // run a fixpoint engine over the worker's database
+    kQuery,        // Query::Filter point query against the worker's last IDB
+    kInsert,       // insert random tuples into one EDB relation
+    kDelete,       // remove random rows from one EDB relation
+    kLoadEdb,      // regenerate one EDB relation from its generator spec
+    kServerQuery,  // query the worker's resident server::Database (routed
+                   // through the classification dispatch table)
+    kServerInsert, // streaming insert batch into the resident server
+                   // (incremental maintenance, new epoch)
+    kServerDelete, // streaming delete batch into the resident server
   };
 
   Kind kind = Kind::kFixpoint;

@@ -53,9 +53,14 @@ struct FaultSpec {
 ///   seminaive.parallel.task     inside every (rule, atom, shard) task
 ///   compiled.level              every compiled-evaluator level evaluation
 ///   special_plans.round         every special-plan closure round
+///   eval.maintain.round         top of every incremental-maintenance round
+///                               (deletion, rederivation, and insertion
+///                               passes alike)
+///   server.query                entry of server::Database::Query
 ///   query.filter_into           entry of Query::FilterInto
 ///   ra.relation.reserve         Relation::Reserve (void site: only kThrow,
 ///                               kBadAlloc and kDelay faults apply)
+///   ra.relation.erase           Relation::EraseRows (void site)
 ///
 /// Thread-safety: Arm/Disarm/Reset/Check may be called from any thread.
 class FaultInjector {

@@ -156,6 +156,74 @@ TEST(RelationIndexTest, ReserveKeepsContentsAndIndexes) {
   EXPECT_EQ(ProbedTuples(a, 0, 400), ProbedTuples(Rebuilt(a), 0, 400));
 }
 
+// Regression for the traffic harness's EDB-churn delete op: a keyed point
+// query served from a column index built *before* an erase must never
+// return the erased row (or, after compaction renumbers the arena, some
+// other row's stale id). Erase invalidates every index; the next probe
+// rebuilds over the surviving rows.
+TEST(RelationIndexTest, EraseNeverServesStaleIndexRows) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    Relation rel(2);
+    for (int i = 0; i < 300; ++i) {
+      rel.Insert({static_cast<Value>(rng() % 20),
+                  static_cast<Value>(rng() % 20)});
+    }
+    for (int step = 0; step < 60 && !rel.empty(); ++step) {
+      // Build (or reuse) the index with a keyed probe...
+      const Value probe = static_cast<Value>(rng() % 20);
+      (void)rel.RowsWithValue(0, probe);
+      // ...then erase a random row and probe the same key again.
+      const Tuple victim =
+          rel.rows()[static_cast<size_t>(rng() % rel.size())].ToTuple();
+      ASSERT_TRUE(rel.Erase(victim));
+      for (int row : rel.RowsWithValue(0, victim[0])) {
+        ASSERT_NE(rel.rows()[row].ToTuple(), victim)
+            << "stale index row after erase, seed " << seed << " step "
+            << step;
+      }
+      ASSERT_EQ(ProbedTuples(rel, 0, victim[0]),
+                ProbedTuples(Rebuilt(rel), 0, victim[0]))
+          << "seed " << seed << " step " << step;
+      ASSERT_FALSE(rel.Contains(victim));
+    }
+  }
+}
+
+// Same contract for bulk EraseRows and composite (multi-column) indexes.
+TEST(RelationIndexTest, EraseRowsInvalidatesCompositeIndexes) {
+  Relation rel(3);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    rel.Insert({static_cast<Value>(rng() % 8), static_cast<Value>(rng() % 8),
+                static_cast<Value>(rng() % 8)});
+  }
+  const std::vector<int> columns = {0, 2};
+  const Value key[] = {3, 5};
+  (void)rel.RowsWithKey(columns, key);  // build the composite index
+
+  Relation victims(3);
+  RowsView rows = rel.rows();
+  for (size_t i = 0; i < rows.size(); i += 3) victims.Insert(rows[i]);
+  const size_t before = rel.size();
+  rel.EraseRows(victims);
+  EXPECT_EQ(rel.size(), before - victims.size());
+
+  for (TupleRef gone : victims.rows()) {
+    EXPECT_FALSE(rel.Contains(gone));
+    // Keyed candidates must name only live rows, none equal to a victim.
+    const Value victim_key[] = {gone[0], gone[2]};
+    for (int row : rel.RowsWithKey(columns, victim_key)) {
+      ASSERT_LT(static_cast<size_t>(row), rel.size());
+      EXPECT_NE(rel.rows()[row].ToTuple(), gone.ToTuple());
+    }
+  }
+  // And the single-column path agrees with a from-scratch rebuild.
+  for (Value v = 0; v < 8; ++v) {
+    EXPECT_EQ(ProbedTuples(rel, 1, v), ProbedTuples(Rebuilt(rel), 1, v));
+  }
+}
+
 // Concurrent const probes racing to lazily build the same (and different)
 // column indexes must be safe and agree with a serial rebuild. Run under
 // ThreadSanitizer via `ctest -L tsan` in a RECUR_SANITIZE=thread build.

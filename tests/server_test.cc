@@ -1,0 +1,434 @@
+// Resident deductive server (server/database.h): epoch snapshots must be
+// consistent and isolated from writers, incremental maintenance must keep
+// every query route equal to a from-scratch fixpoint over the current
+// EDB, the classification dispatch table must pick the paper-class fast
+// paths (bounded -> inline with zero fixpoint iterations, strongly stable
+// -> iterate-selection), and governance + fault sites must apply to
+// server traffic exactly as to standalone fixpoints.
+
+#include "server/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "util/fault_injection.h"
+#include "workload/generator.h"
+
+namespace recur {
+namespace {
+
+using server::RouteKind;
+
+// One program exercising every dispatch route:
+//   Tc   - A1, strongly stable            -> iterate-selection
+//   Bnd  - class D, bounded (rank 2)      -> bounded-inline
+//   Wild - non-linear recursion           -> resident-filter
+//   View - non-recursive, reads IDB Tc    -> bounded-inline over the
+//                                            maintained relation
+constexpr char kProgram[] =
+    "Tc(X, Y) :- E(X, Y).\n"
+    "Tc(X, Y) :- A(X, Z), Tc(Z, Y).\n"
+    "Bnd(X, Y, Z, U) :- E4(X, Y, Z, U).\n"
+    "Bnd(X, Y, Z, U) :- A(X, Y), B(Y1, U), C(Z1, U1), Bnd(Z, Y1, Z1, U1).\n"
+    "Wild(X, Y) :- E(X, Y).\n"
+    "Wild(X, Y) :- Wild(X, Z), Wild(Z, Y).\n"
+    "View(X) :- Tc(X, Y), Goal(Y).\n";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  datalog::Program Parse(const std::string& text) {
+    auto program = datalog::ParseProgram(text, &symbols_);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return *program;
+  }
+
+  /// The shared EDB of kProgram: E/A/B/C binary, E4 arity 4, Goal unary.
+  ra::Database MakeEdb(uint64_t seed) {
+    workload::Generator gen(seed);
+    ra::Database edb;
+    (*edb.GetOrCreate(symbols_.Intern("E"), 2))->InsertAll(gen.Chain(8));
+    (*edb.GetOrCreate(symbols_.Intern("A"), 2))
+        ->InsertAll(gen.RandomGraph(10, 18));
+    (*edb.GetOrCreate(symbols_.Intern("B"), 2))
+        ->InsertAll(gen.RandomGraph(10, 18));
+    (*edb.GetOrCreate(symbols_.Intern("C"), 2))
+        ->InsertAll(gen.RandomGraph(10, 18));
+    (*edb.GetOrCreate(symbols_.Intern("E4"), 4))
+        ->InsertAll(gen.RandomRows(4, 10, 25));
+    ra::Relation* goal = *edb.GetOrCreate(symbols_.Intern("Goal"), 1);
+    goal->Insert({3});
+    goal->Insert({6});
+    return edb;
+  }
+
+  std::unique_ptr<server::Database> MakeServer(uint64_t seed,
+                                               server::ServerOptions options =
+                                                   {}) {
+    auto db = server::Database::Create(Parse(kProgram), MakeEdb(seed),
+                                       &symbols_, options);
+    EXPECT_TRUE(db.ok()) << db.status();
+    return std::move(*db);
+  }
+
+  eval::Query FreeQuery(const char* pred, int arity) {
+    eval::Query q;
+    q.pred = symbols_.Lookup(pred);
+    q.bindings.assign(arity, std::nullopt);
+    return q;
+  }
+
+  SymbolTable symbols_;
+};
+
+std::vector<ra::Tuple> SortedRows(const ra::Relation& rel) {
+  std::vector<ra::Tuple> rows;
+  rows.reserve(rel.size());
+  for (ra::TupleRef row : rel.rows()) rows.push_back(row.ToTuple());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Reference semantics: recompute the fixpoint from scratch and select.
+std::vector<ra::Tuple> Recompute(const datalog::Program& program,
+                                 const ra::Database& edb,
+                                 const eval::Query& query) {
+  auto idb = eval::SemiNaiveEvaluate(program, edb);
+  EXPECT_TRUE(idb.ok()) << idb.status();
+  auto it = idb->find(query.pred);
+  if (it == idb->end()) return {};
+  auto filtered = query.Filter(it->second);
+  EXPECT_TRUE(filtered.ok()) << filtered.status();
+  return SortedRows(*filtered);
+}
+
+TEST_F(ServerTest, DispatchTableRoutesByPaperClass) {
+  auto db = MakeServer(7);
+  const server::Route* tc = db->FindRoute(symbols_.Lookup("Tc"));
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->kind, RouteKind::kIterateSelection) << tc->detail;
+
+  const server::Route* bnd = db->FindRoute(symbols_.Lookup("Bnd"));
+  ASSERT_NE(bnd, nullptr);
+  EXPECT_EQ(bnd->kind, RouteKind::kBoundedInline) << bnd->detail;
+  EXPECT_EQ(bnd->rank, 2);
+  EXPECT_EQ(bnd->inline_rules.size(), 3u);  // depths 0..rank
+
+  const server::Route* wild = db->FindRoute(symbols_.Lookup("Wild"));
+  ASSERT_NE(wild, nullptr);
+  EXPECT_EQ(wild->kind, RouteKind::kResidentFilter) << wild->detail;
+
+  const server::Route* view = db->FindRoute(symbols_.Lookup("View"));
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->kind, RouteKind::kBoundedInline) << view->detail;
+
+  // EDB predicates have no dispatch row.
+  EXPECT_EQ(db->FindRoute(symbols_.Lookup("E")), nullptr);
+
+  const std::string summary = db->RoutingSummary();
+  EXPECT_NE(summary.find("iterate-selection"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("bounded-inline"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("resident-filter"), std::string::npos) << summary;
+}
+
+TEST_F(ServerTest, BoundedPointQueryRunsZeroFixpointIterations) {
+  auto db = MakeServer(11);
+  // Bind the first position of every E4 row's first column in turn; each
+  // point query must answer inline, with zero fixpoint iterations.
+  ra::Database edb = MakeEdb(11);
+  const ra::Relation* e4 = edb.Find(symbols_.Lookup("E4"));
+  ASSERT_NE(e4, nullptr);
+  datalog::Program program = Parse(kProgram);
+  size_t checked = 0;
+  for (ra::TupleRef row : e4->rows()) {
+    eval::Query q = FreeQuery("Bnd", 4);
+    q.bindings[0] = row[0];
+    auto result = db->Query(q);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->route, RouteKind::kBoundedInline);
+    EXPECT_EQ(result->stats.iterations, 0)
+        << "bounded point query ran a fixpoint";
+    EXPECT_EQ(SortedRows(result->rows), Recompute(program, edb, q));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(ServerTest, IterateSelectionMatchesRecomputation) {
+  auto db = MakeServer(13);
+  ra::Database edb = MakeEdb(13);
+  datalog::Program program = Parse(kProgram);
+  eval::Query q = FreeQuery("Tc", 2);
+  q.bindings[0] = 0;  // chain root
+  auto result = db->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->route, RouteKind::kIterateSelection);
+  EXPECT_EQ(SortedRows(result->rows), Recompute(program, edb, q));
+}
+
+TEST_F(ServerTest, ResidentFilterAnswersUnrestrictedClasses) {
+  auto db = MakeServer(17);
+  ra::Database edb = MakeEdb(17);
+  datalog::Program program = Parse(kProgram);
+  eval::Query q = FreeQuery("Wild", 2);
+  auto result = db->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->route, RouteKind::kResidentFilter);
+  EXPECT_EQ(SortedRows(result->rows), Recompute(program, edb, q));
+
+  // Queries on pure EDB predicates filter the extensional relation.
+  eval::Query edb_q = FreeQuery("E", 2);
+  edb_q.bindings[0] = 0;
+  auto base = db->Query(edb_q);
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_EQ(base->route, RouteKind::kResidentFilter);
+  EXPECT_EQ(base->rows.size(), 1u);
+}
+
+TEST_F(ServerTest, NonRecursiveViewReadsMaintainedRelation) {
+  auto db = MakeServer(19);
+  ra::Database edb = MakeEdb(19);
+  datalog::Program program = Parse(kProgram);
+  eval::Query q = FreeQuery("View", 1);
+  auto result = db->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->route, RouteKind::kBoundedInline);
+  EXPECT_EQ(result->stats.iterations, 0);
+  EXPECT_EQ(SortedRows(result->rows), Recompute(program, edb, q));
+}
+
+TEST_F(ServerTest, SnapshotsAreIsolatedFromWriters) {
+  auto db = MakeServer(23);
+  SymbolId e = symbols_.Lookup("E");
+  server::Database::Snapshot before = db->snapshot();
+  const std::string edb_before = before.edb().Find(e)->ToString();
+  const std::string idb_before =
+      before.idb().Find(symbols_.Lookup("Tc"))->ToString();
+
+  ASSERT_TRUE(db->Insert(e, {41, 42}).ok());
+  ASSERT_TRUE(db->Insert(symbols_.Lookup("A"), {40, 41}).ok());
+
+  // The pinned epoch still reads exactly what it read before the writes.
+  EXPECT_EQ(before.epoch(), 0u);
+  EXPECT_EQ(before.edb().Find(e)->ToString(), edb_before);
+  EXPECT_EQ(before.idb().Find(symbols_.Lookup("Tc"))->ToString(), idb_before);
+
+  server::Database::Snapshot after = db->snapshot();
+  EXPECT_EQ(after.epoch(), 2u);
+  EXPECT_TRUE(after.edb().Find(e)->Contains({41, 42}));
+  // Exit rule: Tc(41,42) from E(41,42); recursion: Tc(40,42) via A(40,41).
+  EXPECT_TRUE(after.idb().Find(symbols_.Lookup("Tc"))->Contains({41, 42}));
+  EXPECT_TRUE(after.idb().Find(symbols_.Lookup("Tc"))->Contains({40, 42}));
+}
+
+TEST_F(ServerTest, StreamingWritesKeepEveryRouteFresh) {
+  auto db = MakeServer(29);
+  ra::Database edb = MakeEdb(29);  // shadow copy mutated in lockstep
+  datalog::Program program = Parse(kProgram);
+  SymbolId e = symbols_.Lookup("E");
+  SymbolId a = symbols_.Lookup("A");
+  SymbolId e4 = symbols_.Lookup("E4");
+
+  workload::Generator gen(31);
+  ra::Relation churn_e = gen.RandomGraph(8, 24);
+  size_t step = 0;
+  for (ra::TupleRef row : churn_e.rows()) {
+    eval::EdbDeltas deltas;
+    eval::EdbDelta de(2);
+    if (step % 3 == 2 && !edb.Find(e)->empty()) {
+      ra::Tuple victim = edb.Find(e)->rows()[step % edb.Find(e)->size()];
+      de.deletes.Insert(victim);
+      edb.FindMutable(e)->Erase(victim);
+    } else {
+      de.inserts.Insert(row);
+      edb.FindMutable(e)->Insert(row);
+    }
+    deltas.emplace(e, std::move(de));
+    if (step % 2 == 0) {
+      eval::EdbDelta da(2);
+      ra::Tuple extra = {static_cast<ra::Value>(step % 7),
+                         static_cast<ra::Value>((step + 3) % 9)};
+      da.inserts.Insert(extra);
+      edb.FindMutable(a)->Insert(extra);
+      deltas.emplace(a, std::move(da));
+    }
+    if (step % 4 == 3 && !edb.Find(e4)->empty()) {
+      eval::EdbDelta d4(4);
+      ra::Tuple victim = edb.Find(e4)->rows()[0];
+      d4.deletes.Insert(victim);
+      edb.FindMutable(e4)->Erase(victim);
+      deltas.emplace(e4, std::move(d4));
+    }
+    ASSERT_TRUE(db->Apply(deltas).ok()) << "step " << step;
+
+    if (step % 4 == 0) {
+      for (const char* pred : {"Tc", "Bnd", "Wild", "View"}) {
+        const int arity = pred == std::string("View")  ? 1
+                          : pred == std::string("Bnd") ? 4
+                                                       : 2;
+        eval::Query q = FreeQuery(pred, arity);
+        auto result = db->Query(q);
+        ASSERT_TRUE(result.ok()) << pred << " step " << step << ": "
+                                 << result.status();
+        EXPECT_EQ(SortedRows(result->rows), Recompute(program, edb, q))
+            << pred << " diverged at step " << step;
+      }
+    }
+    ++step;
+  }
+  EXPECT_EQ(db->epoch(), step);
+  // Steady-state batches reuse cached delta plans.
+  EXPECT_GT(db->plan_cache_stats().hits, 0u);
+}
+
+TEST_F(ServerTest, FailedWritePublishesNothing) {
+  auto db = MakeServer(37);
+  SymbolId e = symbols_.Lookup("E");
+  const uint64_t epoch = db->epoch();
+  const std::string tc_before =
+      db->snapshot().idb().Find(symbols_.Lookup("Tc"))->ToString();
+
+  eval::ResourceLimits limits;
+  limits.max_total_tuples = 1;  // any maintenance round breaches this
+  eval::ExecutionContext ctx(limits);
+  Status status = db->Insert(e, {50, 51}, &ctx);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted) << status;
+
+  // The failed batch left no trace: same epoch, same resident state.
+  EXPECT_EQ(db->epoch(), epoch);
+  EXPECT_EQ(db->snapshot().idb().Find(symbols_.Lookup("Tc"))->ToString(),
+            tc_before);
+  EXPECT_FALSE(db->snapshot().edb().Find(e)->Contains({50, 51}));
+
+  // The same write succeeds under the server's default (unlimited) budget.
+  ASSERT_TRUE(db->Insert(e, {50, 51}).ok());
+  EXPECT_EQ(db->epoch(), epoch + 1);
+}
+
+TEST_F(ServerTest, CancelledContextStopsQueries) {
+  auto db = MakeServer(41);
+  eval::ExecutionContext ctx;
+  ctx.Cancel();
+  auto result = db->Query(FreeQuery("Wild", 2), &ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServerTest, QueryFaultSiteFires) {
+  auto db = MakeServer(43);
+  util::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "injected server fault";
+  util::ScopedFault fault("server.query", spec);
+  auto result = db->Query(FreeQuery("Tc", 2));
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "injected server fault");
+  EXPECT_GE(util::FaultInjector::Instance().HitCount("server.query"), 1);
+}
+
+TEST_F(ServerTest, BaseFactsUnderFastPathPredicateFallBack) {
+  // Facts stored under the recursive predicate's own name are invisible
+  // to the EDB-only fast paths; such predicates must degrade to the
+  // resident filter, which sees them through the maintained relation.
+  ra::Database edb = MakeEdb(47);
+  (*edb.GetOrCreate(symbols_.Intern("Tc"), 2))->Insert({90, 91});
+  ra::Database edb_copy = edb;
+  auto db = server::Database::Create(Parse(kProgram), std::move(edb),
+                                     &symbols_, {});
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // Still routed fast in the table ...
+  EXPECT_EQ((*db)->FindRoute(symbols_.Lookup("Tc"))->kind,
+            RouteKind::kIterateSelection);
+  // ... but answered by the resident filter, and correctly.
+  eval::Query q = FreeQuery("Tc", 2);
+  auto result = (*db)->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->route, RouteKind::kResidentFilter);
+  EXPECT_EQ(SortedRows(result->rows), Recompute(Parse(kProgram), edb_copy, q));
+  EXPECT_TRUE(result->rows.Contains({90, 91}));
+}
+
+TEST_F(ServerTest, FastPathsCanBeDisabled) {
+  server::ServerOptions options;
+  options.enable_fast_paths = false;
+  auto db = MakeServer(53, options);
+  for (const char* pred : {"Tc", "Bnd", "Wild", "View"}) {
+    const server::Route* route = db->FindRoute(symbols_.Lookup(pred));
+    ASSERT_NE(route, nullptr) << pred;
+    EXPECT_EQ(route->kind, RouteKind::kResidentFilter) << pred;
+  }
+  ra::Database edb = MakeEdb(53);
+  eval::Query q = FreeQuery("Bnd", 4);
+  auto result = db->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->route, RouteKind::kResidentFilter);
+  EXPECT_EQ(SortedRows(result->rows), Recompute(Parse(kProgram), edb, q));
+}
+
+TEST_F(ServerTest, ConcurrentReadersSeeOnlyPublishedEpochs) {
+  auto db = MakeServer(59);
+  SymbolId e = symbols_.Lookup("E");
+  SymbolId tc = symbols_.Lookup("Tc");
+
+  // Precompute the Tc cardinality at every epoch the writer will publish:
+  // readers must only ever observe one of these (epoch, size) pairs.
+  constexpr int kWrites = 12;
+  datalog::Program program = Parse(kProgram);
+  ra::Database edb = MakeEdb(59);
+  std::vector<size_t> tc_size_at_epoch;
+  {
+    auto idb = eval::SemiNaiveEvaluate(program, edb);
+    ASSERT_TRUE(idb.ok());
+    tc_size_at_epoch.push_back(idb->at(tc).size());
+  }
+  for (int i = 0; i < kWrites; ++i) {
+    edb.FindMutable(e)->Insert({100 + i, 101 + i});
+    auto idb = eval::SemiNaiveEvaluate(program, edb);
+    ASSERT_TRUE(idb.ok());
+    tc_size_at_epoch.push_back(idb->at(tc).size());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto result = db->Query(eval::Query{
+            tc, std::vector<std::optional<ra::Value>>(2, std::nullopt)});
+        if (!result.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        // Epochs never go backwards for one reader, and every answer
+        // matches the precomputed closure of its epoch exactly.
+        if (result->epoch < last_epoch ||
+            result->epoch >= tc_size_at_epoch.size() ||
+            result->rows.size() != tc_size_at_epoch[result->epoch]) {
+          violations.fetch_add(1);
+        }
+        last_epoch = result->epoch;
+      }
+    });
+  }
+
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(db->Insert(e, {100 + i, 101 + i}).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(db->epoch(), static_cast<uint64_t>(kWrites));
+}
+
+}  // namespace
+}  // namespace recur

@@ -2,8 +2,11 @@
 // threads on the ThreadPool). Covers the harness's three contracts:
 // deterministic mode is byte-reproducible across runs regardless of
 // scheduling, fault specs armed mid-phase surface as typed error counters
-// without deadlocking workers, and the BENCH_traffic.json comparison gate
-// passes against itself and fails against a doctored baseline.
+// without deadlocking workers, and the BENCH_traffic_<workload>.json
+// comparison gate passes against itself and fails against a doctored
+// baseline. Also covers the resident-server ops (server_query /
+// server_insert / server_delete), which route through server::Database
+// instead of per-op fixpoints.
 
 #include <gtest/gtest.h>
 
@@ -217,6 +220,91 @@ TEST(TrafficRunnerTest, CompareGatePassesSelfAndFailsDoctoredBaseline) {
   auto dropped = CompareTrafficJson(util::DumpJson(*run_doc), json, 0.5, 0.0);
   ASSERT_TRUE(dropped.ok()) << dropped.status();
   EXPECT_EQ(dropped->size(), 1u);
+}
+
+// Resident-server ops run end to end: each worker seeds a server::Database
+// from the workload, server_query answers from the maintained IDB (tuples
+// flow into the node stats), and server writes advance the server without
+// errors. Deterministic mode stays byte-reproducible with the server in
+// the loop.
+TEST(TrafficRunnerTest, ServerOpsRunAgainstResidentDatabase) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "resident_unit",
+    "seed": 9,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 16}],
+    "phases": [
+      {
+        "name": "served",
+        "threads": 2,
+        "ops": 18,
+        "mix": [
+          {"op": "server_query", "weight": 4, "bind": [0]},
+          {"op": "server_insert", "weight": 1, "relation": "E", "count": 2},
+          {"op": "server_delete", "weight": 1, "relation": "E", "count": 1}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->nodes.size(), 3u);
+  uint64_t queries = 0;
+  for (const OpNodeStats& node : report->nodes) {
+    EXPECT_EQ(node.errors, 0u) << node.BenchmarkName();
+    if (node.op == "server_query") {
+      queries = node.latency.count();
+      // A chain's transitive closure is dense: bound-first-position
+      // queries return rows, proving answers come from the resident IDB.
+      EXPECT_GT(node.tuples, 0u);
+    }
+  }
+  EXPECT_GT(queries, 0u);
+
+  auto second = RunTraffic(*spec, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(report->ToJson(), second->ToJson());
+}
+
+// A tight per-op deadline on server writes: the maintenance pass checks
+// the op's ExecutionContext, the failed batch publishes nothing, and the
+// error lands in the node's deadline bucket instead of wedging a worker.
+TEST(TrafficRunnerTest, ServerWriteDeadlineSurfacesAsTypedError) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "resident_deadline",
+    "seed": 9,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "random_graph", "n": 40, "m": 80}],
+    "phases": [
+      {
+        "name": "served",
+        "threads": 2,
+        "ops": 8,
+        "mix": [
+          {"op": "server_insert", "weight": 1, "relation": "E",
+           "count": 4, "max_total_tuples": 1}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->nodes.size(), 1u);
+  const OpNodeStats& node = report->nodes[0];
+  EXPECT_EQ(node.op, "server_insert");
+  EXPECT_GT(node.errors, 0u);
+  EXPECT_GT(node.resource_exhausted, 0u);
+  EXPECT_EQ(node.errors,
+            node.cancelled + node.deadline_exceeded +
+                node.resource_exhausted + node.other_errors);
 }
 
 TEST(TrafficRunnerTest, DurationPhasesAndInlineRulesRun) {

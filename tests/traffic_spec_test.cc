@@ -83,8 +83,43 @@ TEST(TrafficSpecTest, ParsesSeedSpec) {
   EXPECT_FALSE(phase.faults[0].sticky);
 }
 
+// The resident-server op kinds parse, carry their relation/bind fields,
+// and enforce the same relation-required validation as plain writes.
+TEST(TrafficSpecTest, ServerOpKindsParse) {
+  auto spec = TimedParse(R"({
+    "name": "server_ops", "seed": 2,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+    "phases": [{"name": "p", "ops": 4, "mix": [
+      {"op": "server_query", "weight": 4, "bind": [0]},
+      {"op": "server_insert", "weight": 1, "relation": "E", "count": 3},
+      {"op": "server_delete", "weight": 1, "relation": "E", "count": 1}
+    ]}]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const PhaseSpec& phase = spec->phases[0];
+  ASSERT_EQ(phase.mix.size(), 3u);
+  EXPECT_EQ(phase.mix[0].kind, OpSpec::Kind::kServerQuery);
+  ASSERT_EQ(phase.mix[0].bind_positions.size(), 1u);
+  EXPECT_EQ(phase.mix[1].kind, OpSpec::Kind::kServerInsert);
+  EXPECT_EQ(phase.mix[1].relation, "E");
+  EXPECT_EQ(phase.mix[1].count, 3);
+  EXPECT_EQ(phase.mix[2].kind, OpSpec::Kind::kServerDelete);
+
+  for (const char* op : {"server_insert", "server_delete"}) {
+    auto bad = TimedParse(std::string(R"({
+      "name": "x", "example": "s1a",
+      "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+      "phases": [{"name": "p", "ops": 1, "mix": [{"op": ")") +
+                          op + R"("}]}]})");
+    ASSERT_FALSE(bad.ok()) << op << " without relation accepted";
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument) << op;
+  }
+}
+
 TEST(TrafficSpecTest, CommittedSpecsLoad) {
-  for (const char* name : {"smoke.json", "paper_mixed.json"}) {
+  for (const char* name : {"smoke.json", "paper_mixed.json", "resident.json"}) {
     const std::string path = std::string(RECUR_SPEC_DIR) + "/" + name;
     auto spec = LoadTrafficSpecFile(path);
     ASSERT_TRUE(spec.ok()) << path << ": " << spec.status();
