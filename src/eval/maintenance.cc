@@ -367,4 +367,16 @@ Status MaintainDeltas(const datalog::Program& program,
   return CheckFootprint(run);
 }
 
+Status ApplyDeltasToEdb(const EdbDeltas& deltas, ra::Database* edb) {
+  for (const auto& [pred, delta] : deltas) {
+    if (delta.empty()) continue;
+    const int arity =
+        delta.inserts.empty() ? delta.deletes.arity() : delta.inserts.arity();
+    RECUR_ASSIGN_OR_RETURN(ra::Relation * rel, edb->GetOrCreate(pred, arity));
+    if (!delta.deletes.empty()) rel->EraseRows(delta.deletes);
+    if (!delta.inserts.empty()) rel->InsertAll(delta.inserts);
+  }
+  return Status::OK();
+}
+
 }  // namespace recur::eval

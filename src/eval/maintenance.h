@@ -24,6 +24,14 @@ struct EdbDelta {
 /// The change sets of one maintenance batch, keyed by predicate.
 using EdbDeltas = std::unordered_map<SymbolId, EdbDelta>;
 
+/// Applies `deltas` to `edb` in place: per touched predicate, deletes are
+/// erased before inserts land (so a batch that deletes and re-inserts a
+/// tuple keeps it), and relations are created on first touch. This is the
+/// single definition of "what a batch does to the EDB" — the resident
+/// server's write path and write-ahead-log replay both go through it, so a
+/// replayed log reconstructs exactly the EDB the original batches built.
+Status ApplyDeltasToEdb(const EdbDeltas& deltas, ra::Database* edb);
+
 struct MaintenanceOptions {
   /// Resource ceilings; exactly the fixpoint semantics (iterations count
   /// maintenance rounds across the deletion, rederivation, and insertion

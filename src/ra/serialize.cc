@@ -1,0 +1,128 @@
+#include "ra/serialize.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recur::ra {
+
+void SerializeRelation(const Relation& rel, util::io::ByteWriter* out) {
+  out->PutU32(kRelationFormatVersion);
+  out->PutU32(static_cast<uint32_t>(rel.arity()));
+  out->PutU64(rel.size());
+  for (TupleRef row : rel.rows()) {
+    for (Value v : row) out->PutI64(v);
+  }
+}
+
+Result<Relation> DeserializeRelation(util::io::ByteReader* in) {
+  uint32_t format = 0, arity = 0;
+  uint64_t num_rows = 0;
+  RECUR_RETURN_IF_ERROR(in->GetU32(&format));
+  if (format != kRelationFormatVersion) {
+    return Status::Unsupported(
+        "relation format version " + std::to_string(format) +
+        " is not supported (expected " +
+        std::to_string(kRelationFormatVersion) + ")");
+  }
+  RECUR_RETURN_IF_ERROR(in->GetU32(&arity));
+  RECUR_RETURN_IF_ERROR(in->GetU64(&num_rows));
+  // Bound-check the declared geometry against the bytes actually present
+  // before reserving anything, so corrupt counts cannot trigger a huge
+  // allocation. An arity-0 relation is a set of empty tuples: at most one.
+  if (arity == 0 && num_rows > 1) {
+    return Status::DataLoss("arity-0 relation declares " +
+                            std::to_string(num_rows) + " rows");
+  }
+  if (arity > 0 && num_rows > in->remaining() / (8 * arity)) {
+    return Status::DataLoss(
+        "relation declares " + std::to_string(num_rows) + " rows of arity " +
+        std::to_string(arity) + " but the payload is shorter");
+  }
+  Relation rel(static_cast<int>(arity));
+  rel.Reserve(num_rows);
+  std::vector<Value> row(arity);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    for (uint32_t c = 0; c < arity; ++c) {
+      RECUR_RETURN_IF_ERROR(in->GetI64(&row[c]));
+    }
+    // Rows of one serialized relation are distinct by construction (the
+    // source was a deduplicated set); a duplicate means corruption.
+    if (!rel.InsertUnchecked(
+            TupleRef(row.data(), static_cast<int>(arity)))) {
+      return Status::DataLoss("serialized relation rejected a row");
+    }
+  }
+  return rel;
+}
+
+void SerializeSymbols(const SymbolTable& symbols, util::io::ByteWriter* out) {
+  const uint32_t count = static_cast<uint32_t>(symbols.size());
+  out->PutU32(count);
+  for (uint32_t id = 1; id <= count; ++id) {
+    out->PutString(symbols.NameOf(id));
+  }
+}
+
+Status DeserializeSymbols(util::io::ByteReader* in, SymbolTable* symbols) {
+  uint32_t count = 0;
+  RECUR_RETURN_IF_ERROR(in->GetU32(&count));
+  std::string name;
+  for (uint32_t id = 1; id <= count; ++id) {
+    RECUR_RETURN_IF_ERROR(in->GetString(&name));
+    const SymbolId got = symbols->Intern(name);
+    if (got != id) {
+      return Status::Unsupported(
+          "symbol table drift: \"" + name + "\" saved as id " +
+          std::to_string(id) + " but interned as " + std::to_string(got) +
+          " — persisted SymbolIds would be misread");
+    }
+  }
+  return Status::OK();
+}
+
+Status SerializeDatabase(const Database& db, const SymbolTable& symbols,
+                         util::io::ByteWriter* out) {
+  std::vector<std::pair<std::string, const Relation*>> entries;
+  entries.reserve(db.relations().size());
+  for (const auto& [pred, rel] : db.relations()) {
+    const std::string& name = symbols.NameOf(pred);
+    if (name == "<invalid>") {
+      return Status::Internal("relation predicate id " +
+                              std::to_string(pred) +
+                              " is not in the symbol table");
+    }
+    entries.emplace_back(name, rel.get());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, rel] : entries) {
+    out->PutString(name);
+    SerializeRelation(*rel, out);
+  }
+  return Status::OK();
+}
+
+Result<Database> DeserializeDatabase(util::io::ByteReader* in,
+                                     SymbolTable* symbols) {
+  uint32_t count = 0;
+  RECUR_RETURN_IF_ERROR(in->GetU32(&count));
+  Database db;
+  std::string name;
+  for (uint32_t i = 0; i < count; ++i) {
+    RECUR_RETURN_IF_ERROR(in->GetString(&name));
+    if (name.empty()) {
+      return Status::DataLoss("serialized database names an empty predicate");
+    }
+    RECUR_ASSIGN_OR_RETURN(Relation rel, DeserializeRelation(in));
+    const SymbolId pred = symbols->Intern(name);
+    RECUR_ASSIGN_OR_RETURN(Relation * slot,
+                           db.GetOrCreate(pred, rel.arity()));
+    *slot = std::move(rel);
+  }
+  return db;
+}
+
+}  // namespace recur::ra

@@ -1,0 +1,56 @@
+#ifndef RECUR_RA_SERIALIZE_H_
+#define RECUR_RA_SERIALIZE_H_
+
+#include "ra/database.h"
+#include "ra/relation.h"
+#include "util/io.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::ra {
+
+/// Relation wire-format version; DeserializeRelation rejects any other
+/// version with kUnsupported. Bumped whenever the row encoding changes.
+inline constexpr uint32_t kRelationFormatVersion = 1;
+
+/// Appends `rel` to `out` as
+///
+///   [format u32] [arity u32] [num_rows u64] [num_rows * arity values i64]
+///
+/// Only committed rows are written (a staged-but-uncommitted row never
+/// reaches the rows() view, so it is excluded by construction). The row
+/// order is the arena order, which is deterministic for a given insert
+/// history.
+void SerializeRelation(const Relation& rel, util::io::ByteWriter* out);
+
+/// Decodes a relation written by SerializeRelation. An unknown format
+/// version is kUnsupported; a truncated or internally inconsistent body is
+/// kDataLoss. Column indexes are not persisted — the first keyed probe
+/// after load rebuilds them lazily, exactly as after a bulk load.
+Result<Relation> DeserializeRelation(util::io::ByteReader* in);
+
+/// Appends the symbol table as [count u32] [name string x count], names in
+/// id order (1..count). Dense ids make the position the id.
+void SerializeSymbols(const SymbolTable& symbols, util::io::ByteWriter* out);
+
+/// Re-interns the persisted names into `symbols` and verifies each lands
+/// on the id it was saved under. Works for a fresh table and for the very
+/// table the snapshot was taken from; any other pre-populated table drifts
+/// the ids and fails with kUnsupported (persisted SymbolIds would silently
+/// mean different names).
+Status DeserializeSymbols(util::io::ByteReader* in, SymbolTable* symbols);
+
+/// Appends `db` as [count u32] [name string + relation blob x count], with
+/// relations sorted by predicate name so identical databases serialize to
+/// identical bytes regardless of hash-map iteration order.
+Status SerializeDatabase(const Database& db, const SymbolTable& symbols,
+                         util::io::ByteWriter* out);
+
+/// Decodes a database written by SerializeDatabase, interning predicate
+/// names through `symbols`.
+Result<Database> DeserializeDatabase(util::io::ByteReader* in,
+                                     SymbolTable* symbols);
+
+}  // namespace recur::ra
+
+#endif  // RECUR_RA_SERIALIZE_H_

@@ -1,8 +1,11 @@
 #include "server/database.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "datalog/parser.h"
 #include "eval/conjunctive.h"
 #include "transform/bounded_expand.h"
 #include "util/fault_injection.h"
@@ -119,12 +122,17 @@ Route Database::BuildRoute(const PredicateReport& report,
   return route;
 }
 
-Result<std::unique_ptr<Database>> Database::Create(datalog::Program program,
-                                                   ra::Database edb,
-                                                   SymbolTable* symbols,
-                                                   ServerOptions options) {
+Result<std::unique_ptr<Database>> Database::Make(datalog::Program program,
+                                                 SymbolTable* symbols,
+                                                 ServerOptions options) {
   if (symbols == nullptr) {
     return Status::InvalidArgument("server::Database needs a symbol table");
+  }
+  if (!options.durability.dir.empty() &&
+      options.durability.program_text.empty()) {
+    return Status::InvalidArgument(
+        "durability needs the canonical program text (snapshots persist it "
+        "so recovery can verify the program)");
   }
   RECUR_ASSIGN_OR_RETURN(classify::ProgramAnalysis analysis,
                          classify::AnalyzeProgram(program));
@@ -139,6 +147,28 @@ Result<std::unique_ptr<Database>> Database::Create(datalog::Program program,
   }
   for (const PredicateReport& report : analysis.predicates) {
     db->routes_.emplace(report.predicate, db->BuildRoute(report, idb_preds));
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Create(datalog::Program program,
+                                                   ra::Database edb,
+                                                   SymbolTable* symbols,
+                                                   ServerOptions options) {
+  const bool durable = !options.durability.dir.empty();
+  RECUR_ASSIGN_OR_RETURN(
+      std::unique_ptr<Database> db,
+      Make(std::move(program), symbols, std::move(options)));
+
+  if (durable) {
+    // A fresh server must not silently shadow an existing database — that
+    // is what OpenOrRecover is for.
+    RECUR_ASSIGN_OR_RETURN(auto existing,
+                           ListSnapshotFiles(db->options_.durability.dir));
+    if (!existing.empty()) {
+      return Status::InvalidArgument(
+          "durability directory already holds snapshots; use OpenOrRecover");
+    }
   }
 
   // Bootstrap the resident IDB through the maintenance path: every EDB
@@ -158,7 +188,212 @@ Result<std::unique_ptr<Database>> Database::Create(datalog::Program program,
   RECUR_RETURN_IF_ERROR(eval::MaintainDeltas(db->program_, empty, state->edb,
                                              bootstrap, &state->idb, mopts));
   db->Publish(std::move(state));
+
+  if (durable) {
+    // Start the log empty and persist epoch 0 immediately: the initial
+    // EDB is durable from the first moment, and every later WAL epoch has
+    // a snapshot to replay against.
+    RECUR_RETURN_IF_ERROR(db->ArmDurability(/*wal_truncate_at=*/0));
+  }
   return db;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenOrRecover(
+    const std::string& dir, std::string_view program_text,
+    SymbolTable* symbols, ServerOptions options, RecoveryInfo* info) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("OpenOrRecover needs a directory");
+  }
+  options.durability.dir = dir;
+  options.durability.program_text = std::string(program_text);
+
+  RecoveryInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = RecoveryInfo();
+
+  // Newest decodable snapshot wins. A corrupt snapshot is skipped — but
+  // the WAL was truncated when that snapshot was written, so batches
+  // between the fallback and the corrupt epoch are unrecoverable.
+  RECUR_ASSIGN_OR_RETURN(auto snapshots, ListSnapshotFiles(dir));
+  bool have_image = false;
+  SnapshotImage image;
+  for (const auto& [epoch, path] : snapshots) {
+    Result<std::string> payload = util::io::ReadContainerFile(path);
+    if (payload.ok()) {
+      Result<SnapshotImage> decoded = DecodeSnapshot(*payload, symbols);
+      if (decoded.ok()) {
+        image = std::move(*decoded);
+        have_image = true;
+        break;
+      }
+      if (decoded.status().IsUnsupported()) return decoded.status();
+    } else if (payload.status().IsUnsupported()) {
+      return payload.status();
+    }
+    ++info->corrupt_snapshots;
+    info->detail += "skipped corrupt snapshot " + path + "; ";
+  }
+  if (info->corrupt_snapshots > 0) {
+    // Whether we fell back or bootstrap cold, acknowledged batches up to
+    // the corrupt snapshot's epoch are gone (its WAL prefix was rotated).
+    info->data_loss = true;
+  }
+  if (!have_image && !snapshots.empty()) {
+    return Status::DataLoss("every snapshot in " + dir +
+                            " failed verification (" + info->detail + ")");
+  }
+
+  if (have_image && image.program_text != program_text) {
+    return Status::Unsupported(
+        "snapshot was taken for a different program text; the persisted "
+        "IDB is not the fixpoint of this program");
+  }
+
+  RECUR_ASSIGN_OR_RETURN(datalog::Program program,
+                         datalog::ParseProgram(program_text, symbols));
+  RECUR_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                         Make(std::move(program), symbols,
+                              std::move(options)));
+
+  auto state = std::make_shared<State>();
+  if (have_image) {
+    state->epoch = image.epoch;
+    state->edb = std::move(image.edb);
+    state->idb = std::move(image.idb);
+    info->warm_start = true;
+    info->snapshot_epoch = image.epoch;
+    db->Publish(std::move(state));
+  } else {
+    // Cold bootstrap: no snapshot survives (fresh directory, or every file
+    // was lost). The program's own ground facts seed the EDB; everything
+    // else must come back through WAL replay.
+    ra::Database edb;
+    RECUR_RETURN_IF_ERROR(edb.LoadFacts(db->program_));
+    state->edb = std::move(edb);
+    eval::EdbDeltas bootstrap;
+    for (const auto& [pred, rel] : state->edb.relations()) {
+      eval::EdbDelta delta(rel->arity());
+      delta.inserts.InsertAll(*rel);
+      bootstrap.emplace(pred, std::move(delta));
+    }
+    ra::Database empty;
+    eval::MaintenanceOptions mopts;
+    mopts.limits = db->options_.limits;
+    mopts.plan_cache = &db->plan_cache_;
+    RECUR_RETURN_IF_ERROR(eval::MaintainDeltas(db->program_, empty,
+                                               state->edb, bootstrap,
+                                               &state->idb, mopts,
+                                               &info->stats));
+    db->Publish(std::move(state));
+  }
+
+  // Replay the WAL suffix through the same maintenance path live batches
+  // take. Epochs must be contiguous from the revived epoch; a gap means
+  // the log lost an acknowledged batch — stop there rather than replay a
+  // batch against the wrong base state.
+  const std::string wal_path = dir + "/" + kWalFileName;
+  RECUR_ASSIGN_OR_RETURN(util::io::LogScan scan,
+                         util::io::ScanLog(wal_path));
+  if (scan.torn_tail) ++info->discarded_wal_records;
+  uint64_t expected = info->warm_start ? info->snapshot_epoch : 0;
+  for (const std::string& payload : scan.records) {
+    Result<WalRecord> record = DecodeWalRecord(payload, symbols);
+    if (!record.ok()) {
+      // The frame checksum passed but the payload is malformed — treat it
+      // like a torn tail: everything from here on is unusable.
+      ++info->discarded_wal_records;
+      info->data_loss = true;
+      info->detail += "undecodable WAL record after epoch " +
+                      std::to_string(expected) + ": " +
+                      record.status().ToString() + "; ";
+      break;
+    }
+    if (record->epoch <= expected) continue;  // already in the snapshot
+    if (record->epoch != expected + 1) {
+      ++info->discarded_wal_records;
+      info->data_loss = true;
+      info->detail += "WAL epoch gap: expected " +
+                      std::to_string(expected + 1) + ", found " +
+                      std::to_string(record->epoch) + "; ";
+      break;
+    }
+    RECUR_RETURN_IF_ERROR(
+        db->ApplyImpl(record->deltas, nullptr, &info->stats,
+                      /*log_to_wal=*/false));
+    expected = record->epoch;
+    ++info->replayed_batches;
+  }
+
+  // Cut the log back to its last intact, replayed record before taking
+  // appends again.
+  RECUR_RETURN_IF_ERROR(
+      db->ArmDurability(static_cast<int64_t>(scan.valid_bytes)));
+  return db;
+}
+
+Status Database::ArmDurability(int64_t wal_truncate_at) {
+  const DurabilityOptions& opts = options_.durability;
+  std::error_code ec;
+  std::filesystem::create_directories(opts.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create durability directory " +
+                            opts.dir + ": " + ec.message());
+  }
+  RECUR_ASSIGN_OR_RETURN(
+      util::io::AppendLog wal,
+      util::io::AppendLog::Open(opts.dir + "/" + kWalFileName,
+                                wal_truncate_at));
+  wal_ = std::make_unique<util::io::AppendLog>(std::move(wal));
+  // A fresh directory gets its initial snapshot right away so recovery
+  // always has a base to replay against.
+  RECUR_ASSIGN_OR_RETURN(auto existing, ListSnapshotFiles(opts.dir));
+  if (existing.empty()) {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    return SaveSnapshotLocked();
+  }
+  return Status::OK();
+}
+
+Status Database::SaveSnapshot() {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  return SaveSnapshotLocked();
+}
+
+Status Database::SaveSnapshotLocked() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "durability is not armed (ServerOptions::durability.dir is empty)");
+  }
+  const DurabilityOptions& opts = options_.durability;
+  std::shared_ptr<const State> state = CurrentState();
+
+  SnapshotImage image;
+  image.program_text = opts.program_text;
+  image.epoch = state->epoch;
+  image.edb = state->edb;  // copy-on-write: O(#relations)
+  image.idb = state->idb;
+  RECUR_ASSIGN_OR_RETURN(std::string payload,
+                         EncodeSnapshot(image, *symbols_));
+
+  const bool sync = opts.fsync != FsyncPolicy::kNone;
+  const std::string path = opts.dir + "/" + SnapshotFileName(state->epoch);
+  RECUR_RETURN_IF_ERROR(util::io::WriteContainerFile(path, payload, sync));
+
+  // The log's records are all at or below the snapshot epoch now (we hold
+  // the writer mutex, so no batch can slip in between).
+  RECUR_RETURN_IF_ERROR(wal_->Truncate(sync));
+
+  // Prune superseded snapshots, newest first. Unlink failures are ignored:
+  // a stale snapshot wastes disk but never corrupts recovery.
+  RECUR_ASSIGN_OR_RETURN(auto snapshots, ListSnapshotFiles(opts.dir));
+  const size_t keep = opts.keep_snapshots < 1
+                          ? 1
+                          : static_cast<size_t>(opts.keep_snapshots);
+  for (size_t i = keep; i < snapshots.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(snapshots[i].second, ec);
+  }
+  return Status::OK();
 }
 
 std::shared_ptr<const Database::State> Database::CurrentState() const {
@@ -303,6 +538,12 @@ Status Database::Apply(const eval::EdbDeltas& deltas,
                        const eval::ExecutionContext* ctx,
                        eval::EvalStats* stats) {
   std::lock_guard<std::mutex> writer(writer_mutex_);
+  return ApplyImpl(deltas, ctx, stats, /*log_to_wal=*/true);
+}
+
+Status Database::ApplyImpl(const eval::EdbDeltas& deltas,
+                           const eval::ExecutionContext* ctx,
+                           eval::EvalStats* stats, bool log_to_wal) {
   std::shared_ptr<const State> old = CurrentState();
 
   auto next = std::make_shared<State>();
@@ -310,15 +551,7 @@ Status Database::Apply(const eval::EdbDeltas& deltas,
   next->edb = old->edb;  // copy-on-write forks: only touched
   next->idb = old->idb;  // relations detach below
 
-  for (const auto& [pred, delta] : deltas) {
-    if (delta.empty()) continue;
-    const int arity =
-        delta.inserts.empty() ? delta.deletes.arity() : delta.inserts.arity();
-    RECUR_ASSIGN_OR_RETURN(ra::Relation * rel,
-                           next->edb.GetOrCreate(pred, arity));
-    if (!delta.deletes.empty()) rel->EraseRows(delta.deletes);
-    if (!delta.inserts.empty()) rel->InsertAll(delta.inserts);
-  }
+  RECUR_RETURN_IF_ERROR(eval::ApplyDeltasToEdb(deltas, &next->edb));
 
   eval::MaintenanceOptions mopts;
   mopts.limits = options_.limits;
@@ -329,6 +562,16 @@ Status Database::Apply(const eval::EdbDeltas& deltas,
   RECUR_RETURN_IF_ERROR(eval::MaintainDeltas(program_, old->edb, next->edb,
                                              deltas, &next->idb, mopts,
                                              stats));
+
+  // Log before publish: a batch only becomes visible once it is in the
+  // WAL, so an append failure discards the fork and the acknowledged
+  // history on disk never lags what readers can observe.
+  if (log_to_wal && wal_ != nullptr) {
+    RECUR_ASSIGN_OR_RETURN(std::string payload,
+                           EncodeWalRecord(next->epoch, deltas, *symbols_));
+    RECUR_RETURN_IF_ERROR(wal_->Append(
+        payload, options_.durability.fsync == FsyncPolicy::kBatch));
+  }
   Publish(std::move(next));
   return Status::OK();
 }

@@ -15,6 +15,8 @@
 #include "eval/plan/plan_cache.h"
 #include "eval/query.h"
 #include "ra/database.h"
+#include "server/durability.h"
+#include "util/io.h"
 
 namespace recur::server {
 
@@ -65,6 +67,9 @@ struct ServerOptions {
   /// stable form for iterate-selection; larger unfold counts fall back to
   /// the resident filter.
   int max_unfold = 6;
+  /// Snapshot/WAL persistence; durability is off while `durability.dir`
+  /// is empty. See server/durability.h.
+  DurabilityOptions durability;
 };
 
 /// One answered query: the rows, which route produced them, the epoch of
@@ -137,6 +142,20 @@ class Database {
       datalog::Program program, ra::Database edb, SymbolTable* symbols,
       ServerOptions options = {});
 
+  /// Revives a server from the durability directory `dir`: loads the
+  /// newest valid snapshot (skipping corrupt ones, falling back to older
+  /// snapshots or to cold bootstrap from `program_text`), replays the
+  /// write-ahead-log suffix through incremental maintenance, and truncates
+  /// the torn tail. `program_text` must match the text persisted in the
+  /// snapshot (a changed program invalidates the derived IDB —
+  /// kUnsupported). All snapshots corrupt is a typed kDataLoss error.
+  /// `info`, when given, reports what recovery did; a pure warm start
+  /// leaves `info->stats.iterations == 0` (no fixpoint was run).
+  static Result<std::unique_ptr<Database>> OpenOrRecover(
+      const std::string& dir, std::string_view program_text,
+      SymbolTable* symbols, ServerOptions options = {},
+      RecoveryInfo* info = nullptr);
+
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -152,11 +171,22 @@ class Database {
                             const eval::ExecutionContext* ctx = nullptr) const;
 
   /// Applies one insert/delete batch: forks the state, updates the forked
-  /// EDB, incrementally maintains the forked IDB, publishes the new epoch.
-  /// On error nothing is published and the resident state is unchanged.
+  /// EDB, incrementally maintains the forked IDB, appends the batch to the
+  /// write-ahead log (when durability is armed), publishes the new epoch.
+  /// On any error — including a WAL append failure — nothing is published
+  /// and the resident state is unchanged.
   Status Apply(const eval::EdbDeltas& deltas,
                const eval::ExecutionContext* ctx = nullptr,
                eval::EvalStats* stats = nullptr);
+
+  /// Persists the current epoch as a checksummed snapshot in the armed
+  /// durability directory, truncates the write-ahead log (its records are
+  /// now redundant), and prunes snapshots beyond
+  /// DurabilityOptions::keep_snapshots. kInvalidArgument when durability
+  /// is not armed.
+  Status SaveSnapshot();
+
+  bool durability_armed() const { return wal_ != nullptr; }
 
   /// Single-tuple conveniences over Apply.
   Status Insert(SymbolId pred, ra::Tuple t,
@@ -192,6 +222,27 @@ class Database {
   std::shared_ptr<const State> CurrentState() const;
   void Publish(std::shared_ptr<const State> next);
 
+  /// Builds a server with its dispatch table but no published state —
+  /// Create bootstraps through maintenance, OpenOrRecover installs a
+  /// decoded snapshot directly.
+  static Result<std::unique_ptr<Database>> Make(datalog::Program program,
+                                                SymbolTable* symbols,
+                                                ServerOptions options);
+
+  /// Apply body; `log_to_wal` is false during recovery replay (the batch
+  /// is already in the log).
+  Status ApplyImpl(const eval::EdbDeltas& deltas,
+                   const eval::ExecutionContext* ctx, eval::EvalStats* stats,
+                   bool log_to_wal);
+
+  /// Opens (and truncates, per `truncate_at`) the WAL and, for a fresh
+  /// server, writes the initial snapshot. Caller holds writer_mutex_ or is
+  /// single-threaded construction.
+  Status ArmDurability(int64_t wal_truncate_at);
+
+  /// SaveSnapshot with writer_mutex_ already held.
+  Status SaveSnapshotLocked();
+
   /// Builds the dispatch table row for one analyzed predicate.
   Route BuildRoute(const classify::PredicateReport& report,
                    const std::vector<SymbolId>& idb_preds);
@@ -214,6 +265,10 @@ class Database {
 
   /// Serializes writers; readers never take it.
   std::mutex writer_mutex_;
+
+  /// Write-ahead log of applied batches; null while durability is off.
+  /// Guarded by writer_mutex_ (only writers and SaveSnapshot touch it).
+  std::unique_ptr<util::io::AppendLog> wal_;
 
   /// Shared across maintenance runs and bounded inline queries; PlanCache
   /// is internally synchronized.

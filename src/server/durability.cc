@@ -1,0 +1,151 @@
+#include "server/durability.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "ra/serialize.h"
+
+namespace recur::server {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".snap";
+/// Snapshot payload format version (inner, on top of the container's own
+/// version): bumped when the field layout below changes.
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kWalRecordVersion = 1;
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t epoch) {
+  std::string digits = std::to_string(epoch);
+  return kSnapshotPrefix + std::string(20 - digits.size(), '0') + digits +
+         kSnapshotSuffix;
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshotFiles(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;  // missing directory: nothing persisted yet
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const size_t prefix_len = sizeof(kSnapshotPrefix) - 1;
+    const size_t suffix_len = sizeof(kSnapshotSuffix) - 1;
+    if (name.size() <= prefix_len + suffix_len ||
+        name.compare(0, prefix_len, kSnapshotPrefix) != 0 ||
+        name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+Result<std::string> EncodeSnapshot(const SnapshotImage& image,
+                                   const SymbolTable& symbols) {
+  util::io::ByteWriter out;
+  out.PutU32(kSnapshotVersion);
+  out.PutString(image.program_text);
+  ra::SerializeSymbols(symbols, &out);
+  out.PutU64(image.epoch);
+  RECUR_RETURN_IF_ERROR(ra::SerializeDatabase(image.edb, symbols, &out));
+  RECUR_RETURN_IF_ERROR(ra::SerializeDatabase(image.idb, symbols, &out));
+  return out.Take();
+}
+
+Result<SnapshotImage> DecodeSnapshot(std::string_view payload,
+                                     SymbolTable* symbols) {
+  util::io::ByteReader in(payload);
+  uint32_t version = 0;
+  RECUR_RETURN_IF_ERROR(in.GetU32(&version));
+  if (version != kSnapshotVersion) {
+    return Status::Unsupported("snapshot version " + std::to_string(version) +
+                               " is not supported (expected " +
+                               std::to_string(kSnapshotVersion) + ")");
+  }
+  SnapshotImage image;
+  RECUR_RETURN_IF_ERROR(in.GetString(&image.program_text));
+  RECUR_RETURN_IF_ERROR(ra::DeserializeSymbols(&in, symbols));
+  RECUR_RETURN_IF_ERROR(in.GetU64(&image.epoch));
+  RECUR_ASSIGN_OR_RETURN(image.edb, ra::DeserializeDatabase(&in, symbols));
+  RECUR_ASSIGN_OR_RETURN(image.idb, ra::DeserializeDatabase(&in, symbols));
+  if (!in.AtEnd()) {
+    return Status::DataLoss("snapshot payload has trailing bytes");
+  }
+  return image;
+}
+
+Result<std::string> EncodeWalRecord(uint64_t epoch,
+                                    const eval::EdbDeltas& deltas,
+                                    const SymbolTable& symbols) {
+  util::io::ByteWriter out;
+  out.PutU32(kWalRecordVersion);
+  out.PutU64(epoch);
+  // Sort by predicate name so identical batches encode to identical bytes.
+  std::vector<std::pair<std::string, const eval::EdbDelta*>> entries;
+  entries.reserve(deltas.size());
+  for (const auto& [pred, delta] : deltas) {
+    if (delta.empty()) continue;
+    const std::string& name = symbols.NameOf(pred);
+    if (name == "<invalid>") {
+      return Status::Internal("delta predicate id " + std::to_string(pred) +
+                              " is not in the symbol table");
+    }
+    entries.emplace_back(name, &delta);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, delta] : entries) {
+    out.PutString(name);
+    ra::SerializeRelation(delta->inserts, &out);
+    ra::SerializeRelation(delta->deletes, &out);
+  }
+  return out.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload,
+                                  SymbolTable* symbols) {
+  util::io::ByteReader in(payload);
+  uint32_t version = 0;
+  RECUR_RETURN_IF_ERROR(in.GetU32(&version));
+  if (version != kWalRecordVersion) {
+    return Status::Unsupported("WAL record version " +
+                               std::to_string(version) +
+                               " is not supported (expected " +
+                               std::to_string(kWalRecordVersion) + ")");
+  }
+  WalRecord record;
+  RECUR_RETURN_IF_ERROR(in.GetU64(&record.epoch));
+  uint32_t count = 0;
+  RECUR_RETURN_IF_ERROR(in.GetU32(&count));
+  std::string name;
+  for (uint32_t i = 0; i < count; ++i) {
+    RECUR_RETURN_IF_ERROR(in.GetString(&name));
+    if (name.empty()) {
+      return Status::DataLoss("WAL record names an empty predicate");
+    }
+    eval::EdbDelta delta;
+    RECUR_ASSIGN_OR_RETURN(delta.inserts, ra::DeserializeRelation(&in));
+    RECUR_ASSIGN_OR_RETURN(delta.deletes, ra::DeserializeRelation(&in));
+    record.deltas.emplace(symbols->Intern(name), std::move(delta));
+  }
+  if (!in.AtEnd()) {
+    return Status::DataLoss("WAL record payload has trailing bytes");
+  }
+  return record;
+}
+
+}  // namespace recur::server

@@ -1,0 +1,115 @@
+#ifndef RECUR_SERVER_DURABILITY_H_
+#define RECUR_SERVER_DURABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eval/conjunctive.h"
+#include "eval/maintenance.h"
+#include "ra/database.h"
+#include "util/io.h"
+#include "util/result.h"
+#include "util/symbol_table.h"
+
+namespace recur::server {
+
+/// When the durability layer forces data to stable storage.
+enum class FsyncPolicy {
+  /// Never fsync — fastest; a crash may lose recent batches and an OS
+  /// crash may lose the latest snapshot. Tests and ephemeral servers.
+  kNone,
+  /// fsync the write-ahead log after every batch append and every
+  /// snapshot: a batch whose Apply returned OK survives power loss.
+  kBatch,
+  /// fsync snapshots only (the default): a process crash loses nothing
+  /// (the page cache survives), a power loss may lose batches since the
+  /// last snapshot but never corrupts — the torn WAL tail is discarded.
+  kSnapshot,
+};
+
+struct DurabilityOptions {
+  /// Snapshot/WAL directory; empty disables durability entirely.
+  std::string dir;
+  /// Canonical program text, persisted in every snapshot so recovery can
+  /// verify it is reviving the same program. Required when `dir` is set.
+  std::string program_text;
+  FsyncPolicy fsync = FsyncPolicy::kSnapshot;
+  /// Snapshot files retained after a new snapshot lands (the newest one
+  /// plus keep_snapshots-1 fallbacks for corrupt-snapshot recovery).
+  int keep_snapshots = 2;
+};
+
+/// What OpenOrRecover did, for logging, tests, and the traffic harness's
+/// recovery-latency benchmarks.
+struct RecoveryInfo {
+  /// A snapshot was loaded (restart skipped the bootstrap fixpoint).
+  bool warm_start = false;
+  uint64_t snapshot_epoch = 0;
+  /// WAL batches replayed through incremental maintenance.
+  size_t replayed_batches = 0;
+  /// WAL records dropped: the torn tail plus anything after an epoch gap.
+  size_t discarded_wal_records = 0;
+  /// Snapshot files that failed checksum/decoding and were skipped.
+  int corrupt_snapshots = 0;
+  /// True when recovery provably lost acknowledged batches (fell back past
+  /// a corrupt snapshot whose WAL suffix was already truncated, or hit an
+  /// epoch gap in the log).
+  bool data_loss = false;
+  std::string detail;
+  /// Maintenance stats across all replayed batches. A pure warm start
+  /// leaves iterations == 0 — the zero-fixpoint-restart guarantee.
+  eval::EvalStats stats;
+};
+
+/// Everything one snapshot persists: enough to revive a server without
+/// re-running the bootstrap fixpoint.
+struct SnapshotImage {
+  std::string program_text;
+  uint64_t epoch = 0;
+  ra::Database edb;
+  ra::Database idb;
+};
+
+/// One write-ahead-log record: the batch that produced `epoch`.
+struct WalRecord {
+  uint64_t epoch = 0;
+  eval::EdbDeltas deltas;
+};
+
+/// "snapshot-<epoch, zero-padded to 20 digits>.snap" — zero padding makes
+/// lexicographic order equal epoch order.
+std::string SnapshotFileName(uint64_t epoch);
+
+inline constexpr char kWalFileName[] = "wal.log";
+
+/// Snapshot files in `dir` as (epoch, full path), newest epoch first. A
+/// missing directory yields an empty list. Files that do not match the
+/// snapshot naming scheme are ignored.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshotFiles(
+    const std::string& dir);
+
+/// Serializes `image` (with `symbols`, persisted name-by-name so a fresh
+/// process re-interns to identical ids) into a container payload.
+Result<std::string> EncodeSnapshot(const SnapshotImage& image,
+                                   const SymbolTable& symbols);
+
+/// Decodes a snapshot payload, restoring the persisted symbols into
+/// `symbols` first so every SymbolId in the databases resolves.
+Result<SnapshotImage> DecodeSnapshot(std::string_view payload,
+                                     SymbolTable* symbols);
+
+/// Serializes one batch as a WAL record payload:
+///   [epoch u64] [count u32] { [pred string] [inserts rel] [deletes rel] }
+Result<std::string> EncodeWalRecord(uint64_t epoch,
+                                    const eval::EdbDeltas& deltas,
+                                    const SymbolTable& symbols);
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload,
+                                  SymbolTable* symbols);
+
+}  // namespace recur::server
+
+#endif  // RECUR_SERVER_DURABILITY_H_

@@ -47,6 +47,7 @@ void OpNodeStats::MergeFrom(const OpNodeStats& other) {
   deadline_exceeded += other.deadline_exceeded;
   resource_exhausted += other.resource_exhausted;
   other_errors += other.other_errors;
+  retries += other.retries;
   tuples += other.tuples;
   eval.Accumulate(other.eval);
 }
@@ -96,6 +97,7 @@ std::string TrafficReport::ToJson() const {
     AppendField(&rec, "cancelled", node.cancelled);
     AppendField(&rec, "deadline_exceeded", node.deadline_exceeded);
     AppendField(&rec, "resource_exhausted", node.resource_exhausted);
+    AppendField(&rec, "retries", node.retries);
     AppendField(&rec, "tuples", node.tuples);
     AppendField(&rec, "join_probes",
                 static_cast<uint64_t>(node.eval.join_probes));

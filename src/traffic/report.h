@@ -24,6 +24,9 @@ struct OpNodeStats {
   uint64_t deadline_exceeded = 0;
   uint64_t resource_exhausted = 0;
   uint64_t other_errors = 0;
+  /// Transient-failure retries (bounded per-op by OpSpec::retries). A
+  /// retried-then-successful op counts one ok and N retries.
+  uint64_t retries = 0;
   /// Result rows this node produced/returned (IDB tuples for fixpoints,
   /// matching rows for queries, mutated rows for insert/delete/load).
   uint64_t tuples = 0;

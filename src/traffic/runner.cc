@@ -1,7 +1,12 @@
 #include "traffic/runner.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <random>
@@ -60,11 +65,31 @@ ra::Relation GenerateEdb(const EdbSpec& spec, uint64_t seed) {
 struct Workload {
   SymbolTable symbols;
   datalog::Program program;
+  /// The canonical text `program` was parsed from — what durability-armed
+  /// servers persist in snapshots and OpenOrRecover validates against.
+  std::string program_text;
   ra::Database base_edb;
   SymbolId query_pred = kInvalidSymbol;
   int query_arity = 0;
   ra::Value value_range = 1;
 };
+
+/// A fresh per-worker snapshot/WAL directory. Rooted at
+/// $RECUR_DURABILITY_DIR when set (the directory then outlives the run —
+/// CI uploads it as a debugging artifact on failure), else the system temp
+/// directory (removed with the worker).
+std::string MakeDurabilityDir(bool* keep) {
+  static std::atomic<uint64_t> counter{0};
+  const char* env = std::getenv("RECUR_DURABILITY_DIR");
+  *keep = env != nullptr && *env != '\0';
+  const std::filesystem::path root =
+      *keep ? std::filesystem::path(env)
+            : std::filesystem::temp_directory_path();
+  const std::string name =
+      "recur_traffic_" + std::to_string(::getpid()) + "_" +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  return (root / name).string();
+}
 
 Result<std::unique_ptr<Workload>> BuildWorkload(const TrafficSpec& spec) {
   auto w = std::make_unique<Workload>();
@@ -82,6 +107,7 @@ Result<std::unique_ptr<Workload>> BuildWorkload(const TrafficSpec& spec) {
   RECUR_ASSIGN_OR_RETURN(w->program,
                          datalog::ParseProgram(program_text, &w->symbols));
   RECUR_RETURN_IF_ERROR(w->program.Validate());
+  w->program_text = std::move(program_text);
 
   w->query_pred = w->symbols.Lookup(spec.query_pred);
   for (const datalog::Rule& rule : w->program.rules()) {
@@ -118,6 +144,7 @@ struct LocalNode {
   uint64_t deadline_exceeded = 0;
   uint64_t resource_exhausted = 0;
   uint64_t other_errors = 0;
+  uint64_t retries = 0;
   uint64_t tuples = 0;
   eval::EvalStats eval;
 };
@@ -144,6 +171,13 @@ class Worker {
     for (const OpSpec& op : phase.mix) total_weight_ += op.weight;
   }
 
+  ~Worker() {
+    if (!durability_dir_.empty() && !keep_durability_dir_) {
+      std::error_code ec;
+      std::filesystem::remove_all(durability_dir_, ec);
+    }
+  }
+
   void Run() {
     const bool wants_query = std::any_of(
         phase_.mix.begin(), phase_.mix.end(),
@@ -153,9 +187,16 @@ class Worker {
         std::any_of(phase_.mix.begin(), phase_.mix.end(), [](const OpSpec& op) {
           return op.kind == OpSpec::Kind::kServerQuery ||
                  op.kind == OpSpec::Kind::kServerInsert ||
-                 op.kind == OpSpec::Kind::kServerDelete;
+                 op.kind == OpSpec::Kind::kServerDelete ||
+                 op.kind == OpSpec::Kind::kServerSnapshot ||
+                 op.kind == OpSpec::Kind::kServerRestart;
         });
-    if (wants_server) SeedServer();
+    const bool wants_durability =
+        std::any_of(phase_.mix.begin(), phase_.mix.end(), [](const OpSpec& op) {
+          return op.kind == OpSpec::Kind::kServerSnapshot ||
+                 op.kind == OpSpec::Kind::kServerRestart;
+        });
+    if (wants_server) SeedServer(wants_durability);
 
     const double start = clock_->Now();
     double next_arrival = start;
@@ -210,12 +251,24 @@ class Worker {
 
   /// Boots the worker's resident server (untimed, like SeedIdb): private
   /// symbol-table copy (fast-path transforms intern synthetic symbols) and
-  /// a private copy-on-write fork of the base EDB. Failures fall through:
-  /// server ops then count a NotFound error each.
-  void SeedServer() {
+  /// a private copy-on-write fork of the base EDB. With `durable` a fresh
+  /// per-worker snapshot/WAL directory is armed so the snapshot/restart
+  /// ops have something to persist to and recover from. Failures fall
+  /// through: server ops then count a NotFound error each.
+  void SeedServer(bool durable) {
     server_symbols_ = workload_.symbols;
+    server::ServerOptions options;
+    if (durable) {
+      durability_dir_ = MakeDurabilityDir(&keep_durability_dir_);
+      options.durability.dir = durability_dir_;
+      options.durability.program_text = workload_.program_text;
+      // Synthetic-churn latencies should not measure the disk: snapshots
+      // still fsync, per-batch WAL appends ride the page cache.
+      options.durability.fsync = server::FsyncPolicy::kSnapshot;
+    }
     auto server = server::Database::Create(workload_.program, db_,
-                                           &server_symbols_);
+                                           &server_symbols_,
+                                           std::move(options));
     if (server.ok()) server_ = std::move(*server);
   }
 
@@ -243,6 +296,8 @@ class Worker {
         return RunServerWrite(op, node, /*deletes=*/false);
       case OpSpec::Kind::kServerDelete:
         return RunServerWrite(op, node, /*deletes=*/true);
+      case OpSpec::Kind::kServerSnapshot: return RunServerSnapshot(op, node);
+      case OpSpec::Kind::kServerRestart: return RunServerRestart(op, node);
     }
   }
 
@@ -430,15 +485,67 @@ class Worker {
     eval::EdbDeltas deltas;
     deltas.emplace(pred, std::move(delta));
     std::optional<eval::ExecutionContext> ctx = MakeServerContext(op);
-    eval::EvalStats stats;
-    Status status = server_->Apply(deltas, ctx ? &*ctx : nullptr, &stats);
-    node->eval.Accumulate(stats);
+    // Bounded retry with exponential backoff for transient failures
+    // (resource exhaustion, cancellation). Apply is all-or-nothing, so a
+    // retry re-submits the identical batch against whatever epoch is
+    // current. Backoff sleeps go through the worker clock: virtual in
+    // deterministic runs, real otherwise.
+    Status status;
+    double backoff = op.retry_backoff_seconds;
+    for (int attempt = 0;; ++attempt) {
+      eval::EvalStats stats;
+      status = server_->Apply(deltas, ctx ? &*ctx : nullptr, &stats);
+      node->eval.Accumulate(stats);
+      const bool transient = status.IsResourceExhausted() ||
+                             status.IsCancelled();
+      if (status.ok() || !transient || attempt >= op.retries) break;
+      node->retries += 1;
+      clock_->SleepFor(backoff);
+      backoff *= 2.0;
+    }
     if (!status.ok()) {
       CountError(status, node);
       return;
     }
     node->ok += 1;
     node->tuples += batch;
+  }
+
+  void RunServerSnapshot(const OpSpec&, LocalNode* node) {
+    if (server_ == nullptr) {
+      CountError(Status::NotFound("resident server failed to boot"), node);
+      return;
+    }
+    Status status = server_->SaveSnapshot();
+    if (!status.ok()) {
+      CountError(status, node);
+      return;
+    }
+    node->ok += 1;
+  }
+
+  /// Crash-restart: the resident server is dropped (its epochs and plan
+  /// cache die with it) and revived from the durability directory. The
+  /// op's recorded latency is the full recovery time — snapshot read,
+  /// decode, WAL replay — which is exactly the number the resident
+  /// workload's recovery phase puts in BENCH_traffic_resident.json.
+  void RunServerRestart(const OpSpec&, LocalNode* node) {
+    if (server_ == nullptr || durability_dir_.empty()) {
+      CountError(Status::NotFound("resident server failed to boot"), node);
+      return;
+    }
+    server_.reset();
+    server::RecoveryInfo info;
+    auto server = server::Database::OpenOrRecover(
+        durability_dir_, workload_.program_text, &server_symbols_, {}, &info);
+    if (!server.ok()) {
+      CountError(server.status(), node);
+      return;
+    }
+    server_ = std::move(*server);
+    node->ok += 1;
+    node->tuples += info.replayed_batches;
+    node->eval.Accumulate(info.stats);
   }
 
   const PhaseSpec& phase_;
@@ -453,6 +560,11 @@ class Worker {
   /// pointer into it.
   SymbolTable server_symbols_;
   std::unique_ptr<server::Database> server_;
+  /// Snapshot/WAL directory for snapshot/restart phases; empty while
+  /// durability is off. Cleaned up with the worker unless rooted at
+  /// $RECUR_DURABILITY_DIR (kept for artifact upload).
+  std::string durability_dir_;
+  bool keep_durability_dir_ = false;
   std::vector<LocalNode> nodes_;
   double total_weight_ = 1.0;
   double elapsed_ = 0.0;
@@ -554,6 +666,7 @@ Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
         stats.deadline_exceeded += local.deadline_exceeded;
         stats.resource_exhausted += local.resource_exhausted;
         stats.other_errors += local.other_errors;
+        stats.retries += local.retries;
         stats.tuples += local.tuples;
         stats.eval.Accumulate(local.eval);
       }

@@ -127,6 +127,10 @@ Result<OpSpec> ParseOp(const JsonValue& obj) {
     op.kind = OpSpec::Kind::kServerInsert;
   } else if (kind == "server_delete") {
     op.kind = OpSpec::Kind::kServerDelete;
+  } else if (kind == "server_snapshot") {
+    op.kind = OpSpec::Kind::kServerSnapshot;
+  } else if (kind == "server_restart") {
+    op.kind = OpSpec::Kind::kServerRestart;
   } else {
     return Invalid("unknown op kind '" + kind + "'");
   }
@@ -160,6 +164,13 @@ Result<OpSpec> ParseOp(const JsonValue& obj) {
   RECUR_ASSIGN_OR_RETURN(op.relation, obj.StringOr("relation", ""));
   RECUR_ASSIGN_OR_RETURN(op.count, IntField(obj, "count", 1));
   if (op.count < 1) return Invalid("op count must be >= 1");
+  RECUR_ASSIGN_OR_RETURN(op.retries, IntField(obj, "retries", 0));
+  if (op.retries < 0) return Invalid("op retries must be >= 0");
+  RECUR_ASSIGN_OR_RETURN(op.retry_backoff_seconds,
+                         obj.NumberOr("retry_backoff_seconds", 0.001));
+  if (!(op.retry_backoff_seconds > 0.0)) {
+    return Invalid("retry_backoff_seconds must be > 0");
+  }
 
   if ((op.kind == OpSpec::Kind::kInsert || op.kind == OpSpec::Kind::kDelete ||
        op.kind == OpSpec::Kind::kLoadEdb ||
@@ -255,6 +266,8 @@ const char* OpKindName(OpSpec::Kind kind) {
     case OpSpec::Kind::kServerQuery: return "server_query";
     case OpSpec::Kind::kServerInsert: return "server_insert";
     case OpSpec::Kind::kServerDelete: return "server_delete";
+    case OpSpec::Kind::kServerSnapshot: return "server_snapshot";
+    case OpSpec::Kind::kServerRestart: return "server_restart";
   }
   return "unknown";
 }

@@ -65,6 +65,12 @@ struct OpSpec {
     kServerInsert, // streaming insert batch into the resident server
                    // (incremental maintenance, new epoch)
     kServerDelete, // streaming delete batch into the resident server
+    kServerSnapshot, // persist the resident server's current epoch as a
+                     // checksummed snapshot (durability is auto-armed for
+                     // the phase's workers)
+    kServerRestart,  // crash-restart: drop the resident server and revive
+                     // it via OpenOrRecover (snapshot load + WAL replay);
+                     // the recovery latency is the op latency
   };
 
   Kind kind = Kind::kFixpoint;
@@ -83,6 +89,13 @@ struct OpSpec {
   // kInsert / kDelete / kLoadEdb:
   std::string relation;
   int count = 1;  // tuples inserted / rows deleted per op
+
+  // kServerInsert / kServerDelete: transient failures (resource_exhausted,
+  // cancelled) are retried up to `retries` times with exponential backoff
+  // starting at `retry_backoff_seconds` (virtual-clock sleeps in
+  // --deterministic runs, so retry behaviour is byte-reproducible).
+  int retries = 0;
+  double retry_backoff_seconds = 0.001;
 };
 
 struct PhaseSpec {

@@ -79,4 +79,26 @@ void FaultInjector::CheckNoStatus(const char* site) {
   (void)Instance().Check(site);
 }
 
+const std::vector<std::string>& KnownFaultSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "naive.round",
+      "seminaive.serial.round",
+      "seminaive.parallel.round",
+      "seminaive.parallel.task",
+      "compiled.level",
+      "special_plans.round",
+      "eval.maintain.round",
+      "server.query",
+      "query.filter_into",
+      "ra.relation.reserve",
+      "ra.relation.erase",
+      "plan.executor.batch",
+      "io.snapshot.write",
+      "io.snapshot.read",
+      "io.wal.append",
+      "io.wal.replay",
+  };
+  return *sites;
+}
+
 }  // namespace recur::util

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/status.h"
 
@@ -61,6 +62,14 @@ struct FaultSpec {
 ///   ra.relation.reserve         Relation::Reserve (void site: only kThrow,
 ///                               kBadAlloc and kDelay faults apply)
 ///   ra.relation.erase           Relation::EraseRows (void site)
+///   plan.executor.batch         every physical-plan executor batch
+///   io.snapshot.write           entry of io::WriteContainerFile
+///   io.snapshot.read            entry of io::ReadContainerFile
+///   io.wal.append               entry of io::AppendLog::Append
+///   io.wal.replay               entry of io::ScanLog
+///
+/// KnownFaultSites() returns this list programmatically; a golden test
+/// keeps it in lockstep with the table in docs/EVALUATION.md.
 ///
 /// Thread-safety: Arm/Disarm/Reset/Check may be called from any thread.
 class FaultInjector {
@@ -99,6 +108,12 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::unordered_map<std::string, SiteState> sites_;
 };
+
+/// Every fault site compiled into the library, in the order the class
+/// comment documents them. Tests iterate this list to prove each site's
+/// error path is typed (no crash, no partial publish), and a golden test
+/// diffs it against the site table in docs/EVALUATION.md.
+const std::vector<std::string>& KnownFaultSites();
 
 /// RAII arm/disarm for tests: the fault is disarmed when the scope ends.
 class ScopedFault {

@@ -1,0 +1,356 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault_injection.h"
+
+namespace recur::util::io {
+
+namespace {
+
+constexpr char kContainerMagic[8] = {'R', 'E', 'C', 'U', 'R', 'S', 'N', 'P'};
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// fsync the directory containing `path` so a rename into it is durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal(Errno("cannot open directory", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal(Errno("cannot fsync directory", dir));
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("cannot write", path));
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("cannot open", path));
+  }
+  std::string out;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal(Errno("cannot read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  // Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78),
+  // built once on first use.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  buf_.append(b, 4);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  buf_.append(b, 8);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* p, size_t n) {
+  buf_.append(static_cast<const char*>(p), n);
+}
+
+Status ByteReader::GetBytes(void* p, size_t n) {
+  if (remaining() < n) {
+    return Status::DataLoss("truncated payload: wanted " + std::to_string(n) +
+                            " bytes, " + std::to_string(remaining()) +
+                            " remain");
+  }
+  std::memcpy(p, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(uint32_t* v) {
+  unsigned char b[4];
+  RECUR_RETURN_IF_ERROR(GetBytes(b, 4));
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(uint64_t* v) {
+  unsigned char b[8];
+  RECUR_RETURN_IF_ERROR(GetBytes(b, 8));
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return Status::OK();
+}
+
+Status ByteReader::GetI64(int64_t* v) {
+  uint64_t u = 0;
+  RECUR_RETURN_IF_ERROR(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  RECUR_RETURN_IF_ERROR(GetU32(&len));
+  if (remaining() < len) {
+    return Status::DataLoss("truncated string of declared length " +
+                            std::to_string(len));
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WriteContainerFile(const std::string& path, std::string_view payload,
+                          bool sync) {
+  RECUR_FAULT_POINT("io.snapshot.write");
+
+  const size_t n_pages =
+      (payload.size() + kContainerPageBytes - 1) / kContainerPageBytes;
+  ByteWriter header;
+  header.PutBytes(kContainerMagic, sizeof(kContainerMagic));
+  header.PutU32(kContainerVersion);
+  header.PutU32(static_cast<uint32_t>(kContainerPageBytes));
+  header.PutU64(payload.size());
+  // The header checksum covers everything before it plus the page table,
+  // so a corrupted length or page crc is caught before the body is read.
+  ByteWriter pages;
+  for (size_t p = 0; p < n_pages; ++p) {
+    const size_t off = p * kContainerPageBytes;
+    const size_t len = std::min(kContainerPageBytes, payload.size() - off);
+    pages.PutU32(Crc32c(payload.data() + off, len));
+  }
+  const uint32_t header_crc =
+      Crc32c(pages.data().data(), pages.data().size(),
+             Crc32c(header.data().data(), header.data().size()));
+  header.PutU32(header_crc);
+  header.PutBytes(pages.data().data(), pages.data().size());
+
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::Internal(Errno("cannot create", tmp));
+  Status status = WriteAll(fd, header.data().data(), header.data().size(), tmp);
+  if (status.ok()) status = WriteAll(fd, payload.data(), payload.size(), tmp);
+  if (status.ok() && sync && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("cannot fsync", tmp));
+  }
+  ::close(fd);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::Internal(Errno("cannot rename into place", path));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (sync) return SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<std::string> ReadContainerFile(const std::string& path) {
+  RECUR_RETURN_IF_ERROR(
+      util::FaultInjector::Instance().Check("io.snapshot.read"));
+  RECUR_ASSIGN_OR_RETURN(std::string raw, ReadWholeFile(path));
+
+  ByteReader reader(raw);
+  char magic[8];
+  if (!reader.GetBytes(magic, sizeof(magic)).ok() ||
+      std::memcmp(magic, kContainerMagic, sizeof(magic)) != 0) {
+    return Status::Unsupported("not a recur container file: " + path);
+  }
+  uint32_t version = 0, page_size = 0;
+  uint64_t payload_len = 0;
+  if (!reader.GetU32(&version).ok()) {
+    return Status::Unsupported("container header truncated: " + path);
+  }
+  if (version != kContainerVersion) {
+    return Status::Unsupported("container version " + std::to_string(version) +
+                               " is not supported (expected " +
+                               std::to_string(kContainerVersion) + "): " +
+                               path);
+  }
+  RECUR_RETURN_IF_ERROR(reader.GetU32(&page_size));
+  RECUR_RETURN_IF_ERROR(reader.GetU64(&payload_len));
+  if (page_size == 0) {
+    return Status::DataLoss("container declares zero page size: " + path);
+  }
+  const uint64_t n_pages = (payload_len + page_size - 1) / page_size;
+  uint32_t stored_header_crc = 0;
+  RECUR_RETURN_IF_ERROR(reader.GetU32(&stored_header_crc));
+  if (reader.remaining() < n_pages * 4 + payload_len) {
+    return Status::DataLoss("container truncated: " + path);
+  }
+  // Re-derive the header checksum over the fixed fields + page table.
+  const char* base = raw.data();
+  const size_t fixed_len = 8 + 4 + 4 + 8;           // magic..payload_len
+  const size_t table_off = fixed_len + 4;           // past header_crc
+  const uint32_t header_crc =
+      Crc32c(base + table_off, n_pages * 4, Crc32c(base, fixed_len));
+  if (header_crc != stored_header_crc) {
+    return Status::DataLoss("container header checksum mismatch: " + path);
+  }
+  std::vector<uint32_t> page_crcs(n_pages);
+  for (uint64_t p = 0; p < n_pages; ++p) {
+    RECUR_RETURN_IF_ERROR(reader.GetU32(&page_crcs[p]));
+  }
+  const size_t body_off = table_off + n_pages * 4;
+  for (uint64_t p = 0; p < n_pages; ++p) {
+    const uint64_t off = p * page_size;
+    const size_t len =
+        static_cast<size_t>(std::min<uint64_t>(page_size, payload_len - off));
+    if (Crc32c(base + body_off + off, len) != page_crcs[p]) {
+      return Status::DataLoss("container page " + std::to_string(p) +
+                              " checksum mismatch: " + path);
+    }
+  }
+  return raw.substr(body_off, payload_len);
+}
+
+Result<AppendLog> AppendLog::Open(const std::string& path,
+                                  int64_t truncate_at) {
+  if (truncate_at >= 0 && ::truncate(path.c_str(), truncate_at) != 0 &&
+      errno != ENOENT) {
+    return Status::Internal(Errno("cannot truncate", path));
+  }
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return Status::Internal(Errno("cannot open log", path));
+  return AppendLog(fd, path);
+}
+
+AppendLog::AppendLog(AppendLog&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendLog& AppendLog::operator=(AppendLog&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = other.fd_;
+  path_ = std::move(other.path_);
+  other.fd_ = -1;
+  return *this;
+}
+
+AppendLog::~AppendLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendLog::Append(std::string_view payload, bool sync) {
+  RECUR_FAULT_POINT("io.wal.append");
+  if (fd_ < 0) return Status::Internal("append log is closed");
+  ByteWriter record;
+  record.PutU32(static_cast<uint32_t>(payload.size()));
+  record.PutU32(Crc32c(payload.data(), payload.size()));
+  record.PutBytes(payload.data(), payload.size());
+  RECUR_RETURN_IF_ERROR(
+      WriteAll(fd_, record.data().data(), record.data().size(), path_));
+  if (sync && ::fsync(fd_) != 0) {
+    return Status::Internal(Errno("cannot fsync log", path_));
+  }
+  return Status::OK();
+}
+
+Status AppendLog::Truncate(bool sync) {
+  if (fd_ < 0) return Status::Internal("append log is closed");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(Errno("cannot truncate log", path_));
+  }
+  if (sync && ::fsync(fd_) != 0) {
+    return Status::Internal(Errno("cannot fsync log", path_));
+  }
+  return Status::OK();
+}
+
+Result<LogScan> ScanLog(const std::string& path) {
+  RECUR_RETURN_IF_ERROR(util::FaultInjector::Instance().Check("io.wal.replay"));
+  LogScan scan;
+  Result<std::string> raw = ReadWholeFile(path);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) return scan;  // no log yet: empty scan
+    return raw.status();
+  }
+  const std::string& bytes = *raw;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      scan.torn_tail = true;  // partial frame header
+      break;
+    }
+    ByteReader frame(std::string_view(bytes).substr(pos, 8));
+    uint32_t len = 0, crc = 0;
+    (void)frame.GetU32(&len);
+    (void)frame.GetU32(&crc);
+    if (bytes.size() - pos - 8 < len) {
+      scan.torn_tail = true;  // record body cut short
+      break;
+    }
+    const char* body = bytes.data() + pos + 8;
+    if (Crc32c(body, len) != crc) {
+      scan.torn_tail = true;  // torn or bit-flipped record
+      break;
+    }
+    scan.records.emplace_back(body, len);
+    pos += 8 + len;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+}  // namespace recur::util::io

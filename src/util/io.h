@@ -1,0 +1,147 @@
+#ifndef RECUR_UTIL_IO_H_
+#define RECUR_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace recur::util::io {
+
+/// CRC32C (Castagnoli polynomial, software table-driven) over `n` bytes.
+/// Chainable: pass a previous return value as `seed` to extend a checksum
+/// across buffers. The durability layer uses it for snapshot page
+/// checksums and write-ahead-log record checksums.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// Little-endian append-only encoder for the flat snapshot / WAL formats.
+/// Fixed-width integers only — the payloads are arena images, so varint
+/// compression would buy little and cost decode branches.
+class ByteWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* p, size_t n);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a byte span. Every read past the end is
+/// kDataLoss — inside a checksummed container truncation means the length
+/// bookkeeping itself is corrupt, never a benign EOF.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetString(std::string* s);
+  Status GetBytes(void* p, size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// On-disk container format version; readers reject any other version with
+/// kUnsupported (never a crash, never a guess).
+inline constexpr uint32_t kContainerVersion = 1;
+/// Page granularity of the container's checksum table.
+inline constexpr size_t kContainerPageBytes = 64 * 1024;
+
+/// Writes `payload` to `path` wrapped in a checksummed container:
+///
+///   [magic 8B "RECURSNP"] [version u32] [page_size u32]
+///   [payload_len u64] [header_crc u32] [page crc32c u32 x ceil(len/page)]
+///   [payload bytes]
+///
+/// The write is atomic: the bytes go to a temporary file in the same
+/// directory which is renamed over `path` only once fully written (and,
+/// with `sync`, fsync'ed — the rename is also followed by a directory
+/// fsync so the new name survives a crash). A reader therefore sees either
+/// the old file or the complete new one, never a torn mix.
+///
+/// Fault site "io.snapshot.write" fires at entry.
+Status WriteContainerFile(const std::string& path, std::string_view payload,
+                          bool sync);
+
+/// Reads and verifies a container written by WriteContainerFile. A missing
+/// file is kNotFound; a bad magic or unknown version is kUnsupported; a
+/// truncated body, header corruption, or any page checksum mismatch is
+/// kDataLoss. Fault site "io.snapshot.read" fires at entry.
+Result<std::string> ReadContainerFile(const std::string& path);
+
+/// What one scan of an append log recovered. `valid_bytes` is the offset
+/// of the first byte past the last intact record — the truncation point a
+/// recovering process should cut the log back to before appending again.
+struct LogScan {
+  std::vector<std::string> records;
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes after the last intact record failed the
+  /// length or checksum check (a torn append). The tail is discarded, not
+  /// an error: crash-during-append is the expected failure mode.
+  bool torn_tail = false;
+};
+
+/// Append-only record log with per-record framing:
+///
+///   [payload_len u32] [payload_crc32c u32] [payload bytes]
+///
+/// One Append is one record; a crash mid-append leaves a torn tail that
+/// ScanLog detects by checksum and cleanly discards. Move-only; the
+/// destructor closes the descriptor without syncing.
+class AppendLog {
+ public:
+  /// Opens `path` for appending, creating it if absent. When
+  /// `truncate_at` is non-negative the file is first cut to that size —
+  /// recovery uses this to drop a torn tail before new appends.
+  static Result<AppendLog> Open(const std::string& path,
+                                int64_t truncate_at = -1);
+
+  AppendLog(AppendLog&& other) noexcept;
+  AppendLog& operator=(AppendLog&& other) noexcept;
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+  ~AppendLog();
+
+  /// Appends one framed record; with `sync` the file is fsync'ed before
+  /// returning, so a completed Append survives power loss. Fault site
+  /// "io.wal.append" fires at entry.
+  Status Append(std::string_view payload, bool sync);
+
+  /// Restarts the log empty (log rotation after a snapshot).
+  Status Truncate(bool sync);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendLog(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Scans every intact record of the log at `path`. A missing file yields
+/// an empty scan (a fresh server simply has no log yet); a torn or
+/// corrupt tail sets `torn_tail` and stops the scan — earlier records are
+/// still returned. Fault site "io.wal.replay" fires at entry.
+Result<LogScan> ScanLog(const std::string& path);
+
+}  // namespace recur::util::io
+
+#endif  // RECUR_UTIL_IO_H_

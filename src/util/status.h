@@ -23,6 +23,10 @@ enum class StatusCode {
   /// A resource ceiling was hit: fixpoint rounds, tuple budget, arena-byte
   /// budget, or a failed allocation.
   kResourceExhausted = 9,
+  /// Persisted state failed verification (checksum mismatch, truncated
+  /// snapshot, torn write-ahead-log record) and could not be recovered in
+  /// full. Recovery paths surface this instead of serving corrupt data.
+  kDataLoss = 10,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -66,6 +70,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +93,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <optional>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "datalog/parser.h"
 #include "eval/compiled_eval.h"
@@ -276,6 +281,56 @@ TEST_F(FaultInjectionTest, DelayFaultForcesDeadline) {
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded());
   EXPECT_GE(stats.iterations, 1);
+}
+
+// Registry dump golden-checked against the documentation: the fault-site
+// table in docs/EVALUATION.md (between the fault-sites:begin/end markers)
+// must list exactly util::KnownFaultSites(), in order. Adding a site to
+// the code without documenting it — or documenting a site that does not
+// exist — fails here.
+TEST(FaultSiteRegistry, MatchesDocumentedTable) {
+  const std::vector<std::string>& sites = util::KnownFaultSites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_EQ(std::set<std::string>(sites.begin(), sites.end()).size(),
+            sites.size())
+      << "duplicate names in KnownFaultSites()";
+
+  std::ifstream in(std::string(RECUR_DOCS_DIR) + "/EVALUATION.md");
+  ASSERT_TRUE(in.good()) << "cannot open docs/EVALUATION.md";
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const size_t begin = text.find("<!-- fault-sites:begin -->");
+  const size_t end = text.find("<!-- fault-sites:end -->");
+  ASSERT_NE(begin, std::string::npos) << "fault-sites:begin marker missing";
+  ASSERT_NE(end, std::string::npos) << "fault-sites:end marker missing";
+  ASSERT_LT(begin, end);
+
+  // Documented sites are the backticked names in the table's first column.
+  std::vector<std::string> documented;
+  size_t pos = begin;
+  while (true) {
+    const size_t row = text.find("\n| `", pos);
+    if (row == std::string::npos || row >= end) break;
+    const size_t name_begin = row + 4;
+    const size_t name_end = text.find('`', name_begin);
+    ASSERT_NE(name_end, std::string::npos);
+    documented.push_back(text.substr(name_begin, name_end - name_begin));
+    pos = name_end;
+  }
+  EXPECT_EQ(documented, sites)
+      << "docs/EVALUATION.md fault-site table is out of sync with "
+         "util::KnownFaultSites()";
+}
+
+// Every site in the registry dump is actually armable (the registry is
+// names only — arming an unknown name would silently never fire).
+TEST(FaultSiteRegistry, EverySiteArmsAndDisarms) {
+  for (const std::string& site : util::KnownFaultSites()) {
+    FaultInjector::Instance().Arm(site, FaultSpec{});
+    EXPECT_FALSE(FaultInjector::Instance().Check(site.c_str()).ok()) << site;
+    FaultInjector::Instance().Disarm(site);
+    EXPECT_TRUE(FaultInjector::Instance().Check(site.c_str()).ok()) << site;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/fault_injection.h"
+
+namespace recur::util::io {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "recur_io_test";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+std::string RawFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteRawFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC32C check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, SeedChainsAcrossBuffers) {
+  const std::string all = "hello, durability";
+  const uint32_t whole = Crc32c(all.data(), all.size());
+  const uint32_t part = Crc32c(all.data() + 5, all.size() - 5,
+                               Crc32c(all.data(), 5));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, EmptyInputIsStable) {
+  EXPECT_EQ(Crc32c(nullptr, 0), Crc32c("x", 0));
+}
+
+TEST(ByteCodecTest, RoundTripsAllTypes) {
+  ByteWriter w;
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutString("pred");
+  w.PutString("");
+
+  ByteReader r(w.data());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  std::string s;
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  EXPECT_EQ(i64, -42);
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "pred");
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteCodecTest, ReadPastEndIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(w.data());
+  uint64_t u64 = 0;
+  EXPECT_TRUE(r.GetU64(&u64).IsDataLoss());
+}
+
+TEST(ByteCodecTest, StringWithLyingLengthIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(1000);  // declares 1000 bytes, provides none
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsDataLoss());
+}
+
+TEST(ContainerTest, RoundTripsSmallPayload) {
+  const std::string path = TestPath("small.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "payload bytes", false).ok());
+  auto read = ReadContainerFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, "payload bytes");
+}
+
+TEST(ContainerTest, RoundTripsEmptyAndMultiPagePayloads) {
+  const std::string empty_path = TestPath("empty.snap");
+  ASSERT_TRUE(WriteContainerFile(empty_path, "", false).ok());
+  auto empty = ReadContainerFile(empty_path);
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(*empty, "");
+
+  std::string big(kContainerPageBytes * 2 + 1234, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 131 + 7);
+  }
+  const std::string big_path = TestPath("big.snap");
+  ASSERT_TRUE(WriteContainerFile(big_path, big, false).ok());
+  auto read = ReadContainerFile(big_path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, big);
+}
+
+TEST(ContainerTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      ReadContainerFile(TestPath("never-written.snap")).status().IsNotFound());
+}
+
+TEST(ContainerTest, ForeignBytesAreUnsupported) {
+  const std::string path = TestPath("foreign.snap");
+  WriteRawFile(path, "this is not a container file at all");
+  EXPECT_TRUE(ReadContainerFile(path).status().IsUnsupported());
+}
+
+TEST(ContainerTest, FutureVersionIsUnsupported) {
+  const std::string path = TestPath("future.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "abc", false).ok());
+  std::string bytes = RawFileBytes(path);
+  bytes[8] = static_cast<char>(kContainerVersion + 1);  // version field
+  WriteRawFile(path, bytes);
+  EXPECT_TRUE(ReadContainerFile(path).status().IsUnsupported());
+}
+
+TEST(ContainerTest, FlippedBodyBitIsDataLoss) {
+  const std::string path = TestPath("flipped.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "payload bytes", false).ok());
+  std::string bytes = RawFileBytes(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  WriteRawFile(path, bytes);
+  EXPECT_TRUE(ReadContainerFile(path).status().IsDataLoss());
+}
+
+TEST(ContainerTest, FlippedHeaderBitIsDataLoss) {
+  const std::string path = TestPath("flipped-header.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "payload bytes", false).ok());
+  std::string bytes = RawFileBytes(path);
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x40);  // payload_len field
+  WriteRawFile(path, bytes);
+  EXPECT_TRUE(ReadContainerFile(path).status().IsDataLoss());
+}
+
+TEST(ContainerTest, TruncatedFileIsDataLoss) {
+  const std::string path = TestPath("truncated.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "payload bytes", false).ok());
+  std::string bytes = RawFileBytes(path);
+  WriteRawFile(path, bytes.substr(0, bytes.size() - 4));
+  EXPECT_TRUE(ReadContainerFile(path).status().IsDataLoss());
+}
+
+TEST(ContainerTest, RewriteIsAtomicReplacement) {
+  const std::string path = TestPath("rewrite.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "old payload", false).ok());
+  ASSERT_TRUE(WriteContainerFile(path, "new payload", false).ok());
+  auto read = ReadContainerFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new payload");
+  // No temp files left behind.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "stale temp file: " << entry.path();
+  }
+}
+
+TEST(AppendLogTest, AppendsAndScansRecords) {
+  const std::string path = TestPath("scan.log");
+  std::remove(path.c_str());
+  {
+    auto log = AppendLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("first", false).ok());
+    ASSERT_TRUE(log->Append("", false).ok());  // empty payloads are legal
+    ASSERT_TRUE(log->Append("third record", true).ok());
+  }
+  auto scan = ScanLog(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0], "first");
+  EXPECT_EQ(scan->records[1], "");
+  EXPECT_EQ(scan->records[2], "third record");
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->valid_bytes, RawFileBytes(path).size());
+}
+
+TEST(AppendLogTest, MissingLogScansEmpty) {
+  auto scan = ScanLog(TestPath("never-written.log"));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST(AppendLogTest, TornTailIsDiscardedCleanly) {
+  const std::string path = TestPath("torn.log");
+  std::remove(path.c_str());
+  {
+    auto log = AppendLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("intact record", false).ok());
+    ASSERT_TRUE(log->Append("doomed record", false).ok());
+  }
+  std::string bytes = RawFileBytes(path);
+  // Crash mid-append: the second record loses its last 3 bytes.
+  WriteRawFile(path, bytes.substr(0, bytes.size() - 3));
+  auto scan = ScanLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0], "intact record");
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->valid_bytes, 8u + 13u);  // frame + "intact record"
+}
+
+TEST(AppendLogTest, CorruptedRecordStopsTheScan) {
+  const std::string path = TestPath("bitflip.log");
+  std::remove(path.c_str());
+  {
+    auto log = AppendLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("record one", false).ok());
+    ASSERT_TRUE(log->Append("record two", false).ok());
+  }
+  std::string bytes = RawFileBytes(path);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x10);
+  WriteRawFile(path, bytes);
+  auto scan = ScanLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(scan->torn_tail);
+}
+
+TEST(AppendLogTest, OpenWithTruncateCutsTheTail) {
+  const std::string path = TestPath("cut.log");
+  std::remove(path.c_str());
+  uint64_t first_record_end = 0;
+  {
+    auto log = AppendLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("keep me", false).ok());
+    first_record_end = RawFileBytes(path).size();
+    ASSERT_TRUE(log->Append("drop me", false).ok());
+  }
+  {
+    auto log =
+        AppendLog::Open(path, static_cast<int64_t>(first_record_end));
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("appended after cut", false).ok());
+  }
+  auto scan = ScanLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0], "keep me");
+  EXPECT_EQ(scan->records[1], "appended after cut");
+}
+
+TEST(AppendLogTest, TruncateRestartsTheLogEmpty) {
+  const std::string path = TestPath("rotate.log");
+  std::remove(path.c_str());
+  auto log = AppendLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("pre-rotation", false).ok());
+  ASSERT_TRUE(log->Truncate(false).ok());
+  ASSERT_TRUE(log->Append("post-rotation", false).ok());
+  auto scan = ScanLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0], "post-rotation");
+}
+
+TEST(IoFaultSiteTest, SnapshotWriteFaultIsTyped) {
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  ScopedFault fault("io.snapshot.write", spec);
+  const std::string path = TestPath("faulted-write.snap");
+  std::remove(path.c_str());
+  Status status = WriteContainerFile(path, "x", false);
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_FALSE(std::filesystem::exists(path));  // nothing partially written
+}
+
+TEST(IoFaultSiteTest, SnapshotReadFaultIsTyped) {
+  const std::string path = TestPath("faulted-read.snap");
+  ASSERT_TRUE(WriteContainerFile(path, "x", false).ok());
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  ScopedFault fault("io.snapshot.read", spec);
+  EXPECT_TRUE(ReadContainerFile(path).status().IsInternal());
+}
+
+TEST(IoFaultSiteTest, WalAppendFaultLeavesLogUntouched) {
+  const std::string path = TestPath("faulted-append.log");
+  std::remove(path.c_str());
+  auto log = AppendLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("before fault", false).ok());
+  const std::string before = RawFileBytes(path);
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kResourceExhausted;
+    ScopedFault fault("io.wal.append", spec);
+    EXPECT_TRUE(log->Append("never lands", false).IsResourceExhausted());
+  }
+  EXPECT_EQ(RawFileBytes(path), before);
+}
+
+TEST(IoFaultSiteTest, WalReplayFaultIsTyped) {
+  const std::string path = TestPath("faulted-replay.log");
+  std::remove(path.c_str());
+  {
+    auto log = AppendLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("record", false).ok());
+  }
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  ScopedFault fault("io.wal.replay", spec);
+  EXPECT_TRUE(ScanLog(path).status().IsInternal());
+}
+
+}  // namespace
+}  // namespace recur::util::io

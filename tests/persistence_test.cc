@@ -1,0 +1,389 @@
+// Durability layer (server/durability.h + server::Database::OpenOrRecover):
+// a restart must revive the exact resident state — warm restarts load the
+// snapshot without running a single fixpoint iteration, WAL replay
+// reconstructs every acknowledged batch after the snapshot, torn tails and
+// corrupt snapshots degrade to typed errors or explicit data-loss reports,
+// and an armed io.* fault site never crashes or publishes partial state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "datalog/parser.h"
+#include "eval/maintenance.h"
+#include "eval/seminaive.h"
+#include "server/database.h"
+#include "server/durability.h"
+#include "util/fault_injection.h"
+#include "util/io.h"
+
+namespace recur {
+namespace {
+
+constexpr char kProgram[] =
+    "P(X, Y) :- E(X, Y).\n"
+    "P(X, Y) :- E(X, Z), P(Z, Y).\n";
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::path(::testing::TempDir()) / "recur_persist" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  datalog::Program Parse() {
+    auto program = datalog::ParseProgram(kProgram, &symbols_);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return *program;
+  }
+
+  ra::Database ChainEdb(int n) {
+    ra::Database edb;
+    ra::Relation* e = *edb.GetOrCreate(symbols_.Intern("E"), 2);
+    for (int i = 0; i < n; ++i) e->Insert({i, i + 1});
+    return edb;
+  }
+
+  server::ServerOptions DurableOptions() {
+    server::ServerOptions options;
+    options.durability.dir = dir_;
+    options.durability.program_text = kProgram;
+    options.durability.fsync = server::FsyncPolicy::kNone;  // tests: no I/O tax
+    return options;
+  }
+
+  std::unique_ptr<server::Database> MakeDurableServer(int chain = 4) {
+    auto db = server::Database::Create(Parse(), ChainEdb(chain), &symbols_,
+                                       DurableOptions());
+    EXPECT_TRUE(db.ok()) << db.status();
+    return std::move(*db);
+  }
+
+  /// One batch inserting edge (from, to) into E.
+  eval::EdbDeltas InsertEdge(ra::Value from, ra::Value to) {
+    eval::EdbDeltas deltas;
+    eval::EdbDelta delta(2);
+    delta.inserts.Insert({from, to});
+    deltas.emplace(symbols_.Lookup("E"), std::move(delta));
+    return deltas;
+  }
+
+  /// The key recovery invariant: the revived IDB must equal the fixpoint
+  /// of the revived EDB, byte for byte.
+  void ExpectIdbMatchesFixpoint(const server::Database& db) {
+    auto snap = db.snapshot();
+    auto idb = eval::SemiNaiveEvaluate(db.program(), snap.edb());
+    ASSERT_TRUE(idb.ok()) << idb.status();
+    const ra::Relation* resident = snap.idb().Find(symbols_.Lookup("P"));
+    ASSERT_NE(resident, nullptr);
+    auto it = idb->find(symbols_.Lookup("P"));
+    ASSERT_NE(it, idb->end());
+    EXPECT_EQ(resident->ToString(), it->second.ToString());
+  }
+
+  std::vector<std::string> SnapshotPaths() {
+    auto files = server::ListSnapshotFiles(dir_);
+    EXPECT_TRUE(files.ok());
+    std::vector<std::string> paths;
+    for (const auto& [epoch, path] : *files) paths.push_back(path);
+    return paths;
+  }
+
+  void FlipByteNearEnd(const std::string& path) {
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string WalPath() {
+    return dir_ + "/" + server::kWalFileName;
+  }
+
+  SymbolTable symbols_;
+  std::string dir_;
+};
+
+TEST_F(PersistenceTest, CreateArmsDurabilityAndWritesEpochZeroSnapshot) {
+  auto db = MakeDurableServer();
+  EXPECT_TRUE(db->durability_armed());
+  auto files = server::ListSnapshotFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_EQ((*files)[0].first, 0u);
+}
+
+TEST_F(PersistenceTest, NonDurableServerRejectsSaveSnapshot) {
+  auto db = server::Database::Create(Parse(), ChainEdb(3), &symbols_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->durability_armed());
+  EXPECT_TRUE((*db)->SaveSnapshot().IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, CreateRefusesDirectoryWithExistingSnapshots) {
+  MakeDurableServer();
+  auto again = server::Database::Create(Parse(), ChainEdb(3), &symbols_,
+                                        DurableOptions());
+  EXPECT_TRUE(again.status().IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, WarmRestartRunsZeroFixpointIterations) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+    ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());
+    ASSERT_TRUE(db->SaveSnapshot().ok());
+  }
+  server::RecoveryInfo info;
+  auto revived = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                                 {}, &info);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_TRUE(info.warm_start);
+  EXPECT_EQ(info.snapshot_epoch, 2u);
+  EXPECT_EQ(info.replayed_batches, 0u);
+  EXPECT_FALSE(info.data_loss);
+  // The zero-fixpoint-restart guarantee: the snapshot alone revived the
+  // IDB; no maintenance round ran.
+  EXPECT_EQ(info.stats.iterations, 0);
+  EXPECT_EQ((*revived)->epoch(), 2u);
+  ExpectIdbMatchesFixpoint(**revived);
+}
+
+TEST_F(PersistenceTest, WalReplayRestoresBatchesAfterTheSnapshot) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+    ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());
+    ASSERT_TRUE(db->Apply(InsertEdge(12, 13)).ok());
+    // No SaveSnapshot: only the epoch-0 snapshot from Create exists, so
+    // every batch must come back through the log.
+  }
+  server::RecoveryInfo info;
+  auto revived = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                                 {}, &info);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_TRUE(info.warm_start);
+  EXPECT_EQ(info.snapshot_epoch, 0u);
+  EXPECT_EQ(info.replayed_batches, 3u);
+  EXPECT_FALSE(info.data_loss);
+  EXPECT_GT(info.stats.iterations, 0);  // replay runs real maintenance
+  EXPECT_EQ((*revived)->epoch(), 3u);
+  ExpectIdbMatchesFixpoint(**revived);
+  EXPECT_TRUE(
+      (*revived)->snapshot().idb().Find(symbols_.Lookup("P"))->Contains(
+          {10, 13}));
+}
+
+TEST_F(PersistenceTest, RecoveredServerKeepsAcceptingBatches) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  }
+  auto revived =
+      server::Database::OpenOrRecover(dir_, kProgram, &symbols_, {});
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  ASSERT_TRUE((*revived)->Apply(InsertEdge(11, 12)).ok());
+  ASSERT_TRUE((*revived)->SaveSnapshot().ok());
+  revived->reset();
+
+  server::RecoveryInfo info;
+  auto again = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                               {}, &info);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ((*again)->epoch(), 2u);
+  EXPECT_EQ(info.replayed_batches, 0u);
+  ExpectIdbMatchesFixpoint(**again);
+}
+
+TEST_F(PersistenceTest, TornWalTailIsDiscardedNotFatal) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+    ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());
+    ASSERT_TRUE(db->Apply(InsertEdge(12, 13)).ok());
+  }
+  // Crash mid-append: the last record loses its final bytes.
+  const auto full = std::filesystem::file_size(WalPath());
+  std::filesystem::resize_file(WalPath(), full - 3);
+
+  server::RecoveryInfo info;
+  auto revived = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                                 {}, &info);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(info.replayed_batches, 2u);
+  EXPECT_EQ(info.discarded_wal_records, 1u);
+  EXPECT_EQ((*revived)->epoch(), 2u);
+  ExpectIdbMatchesFixpoint(**revived);
+  const ra::Relation* p =
+      (*revived)->snapshot().idb().Find(symbols_.Lookup("P"));
+  EXPECT_TRUE(p->Contains({10, 12}));
+  EXPECT_FALSE(p->Contains({12, 13}));  // the torn batch is gone
+
+  // The revived server appends past the truncation point cleanly.
+  ASSERT_TRUE((*revived)->Apply(InsertEdge(20, 21)).ok());
+  EXPECT_EQ((*revived)->epoch(), 3u);
+}
+
+TEST_F(PersistenceTest, CorruptSnapshotFallsBackToOlderWithDataLoss) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+    ASSERT_TRUE(db->SaveSnapshot().ok());  // snapshot-1
+    ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());
+    ASSERT_TRUE(db->SaveSnapshot().ok());  // snapshot-2, keeps {2, 1}
+  }
+  auto paths = SnapshotPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  FlipByteNearEnd(paths[0]);  // newest-first: corrupt epoch 2
+
+  server::RecoveryInfo info;
+  auto revived = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                                 {}, &info);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(info.corrupt_snapshots, 1);
+  EXPECT_TRUE(info.data_loss);  // epoch 2 was acknowledged and is gone
+  EXPECT_TRUE(info.warm_start);
+  EXPECT_EQ(info.snapshot_epoch, 1u);
+  EXPECT_EQ((*revived)->epoch(), 1u);
+  ExpectIdbMatchesFixpoint(**revived);
+}
+
+TEST_F(PersistenceTest, EverySnapshotCorruptIsTypedDataLoss) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+    ASSERT_TRUE(db->SaveSnapshot().ok());
+  }
+  for (const std::string& path : SnapshotPaths()) FlipByteNearEnd(path);
+  auto revived =
+      server::Database::OpenOrRecover(dir_, kProgram, &symbols_, {});
+  EXPECT_TRUE(revived.status().IsDataLoss()) << revived.status();
+}
+
+TEST_F(PersistenceTest, ChangedProgramTextIsUnsupported) {
+  MakeDurableServer();
+  const char* other =
+      "P(X, Y) :- E(X, Y).\n"
+      "P(X, Y) :- P(X, Z), E(Z, Y).\n";
+  auto revived = server::Database::OpenOrRecover(dir_, other, &symbols_, {});
+  EXPECT_TRUE(revived.status().IsUnsupported()) << revived.status();
+}
+
+TEST_F(PersistenceTest, ColdOpenOfFreshDirectoryBootstraps) {
+  std::filesystem::remove_all(dir_);
+  server::RecoveryInfo info;
+  auto db = server::Database::OpenOrRecover(dir_, kProgram, &symbols_, {},
+                                            &info);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE(info.warm_start);
+  EXPECT_FALSE(info.data_loss);
+  EXPECT_EQ((*db)->epoch(), 0u);
+  EXPECT_TRUE((*db)->durability_armed());
+  // The cold open leaves a recoverable directory behind.
+  EXPECT_EQ(SnapshotPaths().size(), 1u);
+}
+
+TEST_F(PersistenceTest, WalAppendFaultPublishesNothing) {
+  auto db = MakeDurableServer();
+  ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  const std::string before =
+      db->snapshot().idb().Find(symbols_.Lookup("P"))->ToString();
+
+  util::FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  util::ScopedFault fault("io.wal.append", spec);
+  Status status = db->Apply(InsertEdge(11, 12));
+  EXPECT_TRUE(status.IsResourceExhausted()) << status;
+  // All-or-nothing: the failed batch left no trace in the resident state.
+  EXPECT_EQ(db->epoch(), 1u);
+  EXPECT_EQ(db->snapshot().idb().Find(symbols_.Lookup("P"))->ToString(),
+            before);
+}
+
+TEST_F(PersistenceTest, SnapshotWriteFaultIsTypedAndRecoverable) {
+  auto db = MakeDurableServer();
+  ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  {
+    util::FaultSpec spec;
+    spec.code = StatusCode::kInternal;
+    util::ScopedFault fault("io.snapshot.write", spec);
+    EXPECT_TRUE(db->SaveSnapshot().IsInternal());
+  }
+  // The failed save changed nothing: the next attempt succeeds and the
+  // server kept serving in between.
+  EXPECT_EQ(db->epoch(), 1u);
+  ASSERT_TRUE(db->SaveSnapshot().ok());
+  auto files = server::ListSnapshotFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ((*files)[0].first, 1u);
+}
+
+TEST_F(PersistenceTest, SnapshotReadFaultDuringRecoveryIsTyped) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  }
+  util::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  util::ScopedFault fault("io.snapshot.read", spec);
+  // Every snapshot read fails, so recovery reports total data loss — a
+  // typed error, not a crash.
+  auto revived =
+      server::Database::OpenOrRecover(dir_, kProgram, &symbols_, {});
+  EXPECT_TRUE(revived.status().IsDataLoss()) << revived.status();
+}
+
+TEST_F(PersistenceTest, WalReplayFaultDuringRecoveryIsTyped) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  }
+  util::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  util::ScopedFault fault("io.wal.replay", spec);
+  auto revived =
+      server::Database::OpenOrRecover(dir_, kProgram, &symbols_, {});
+  EXPECT_TRUE(revived.status().IsInternal()) << revived.status();
+}
+
+TEST_F(PersistenceTest, SnapshotPruningKeepsTheConfiguredCount) {
+  auto options = DurableOptions();
+  options.durability.keep_snapshots = 2;
+  auto db = server::Database::Create(Parse(), ChainEdb(4), &symbols_,
+                                     options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*db)->Apply(InsertEdge(100 + i, 101 + i)).ok());
+    ASSERT_TRUE((*db)->SaveSnapshot().ok());
+  }
+  auto files = server::ListSnapshotFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  EXPECT_EQ((*files)[0].first, 4u);
+  EXPECT_EQ((*files)[1].first, 3u);
+}
+
+TEST_F(PersistenceTest, WalIsTruncatedBySnapshot) {
+  auto db = MakeDurableServer();
+  ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());
+  ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());
+  EXPECT_GT(std::filesystem::file_size(WalPath()), 0u);
+  ASSERT_TRUE(db->SaveSnapshot().ok());
+  EXPECT_EQ(std::filesystem::file_size(WalPath()), 0u);
+}
+
+}  // namespace
+}  // namespace recur

@@ -1,0 +1,212 @@
+#include "ra/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ra/database.h"
+#include "ra/relation.h"
+#include "util/io.h"
+#include "util/symbol_table.h"
+
+namespace recur::ra {
+namespace {
+
+using util::io::ByteReader;
+using util::io::ByteWriter;
+
+Relation RoundTrip(const Relation& rel) {
+  ByteWriter w;
+  SerializeRelation(rel, &w);
+  ByteReader r(w.data());
+  auto back = DeserializeRelation(&r);
+  EXPECT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(r.AtEnd());
+  return std::move(back).ValueOrDie();
+}
+
+TEST(SerializeRelationTest, RoundTripsRows) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Insert({3, 4});
+  rel.Insert({-5, 9000000000});
+
+  Relation back = RoundTrip(rel);
+  EXPECT_EQ(back.arity(), 2);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.ToString(), rel.ToString());
+  EXPECT_TRUE(back.Contains({-5, 9000000000}));
+}
+
+TEST(SerializeRelationTest, RoundTripsEmptyRelation) {
+  Relation rel(3);
+  Relation back = RoundTrip(rel);
+  EXPECT_EQ(back.arity(), 3);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(SerializeRelationTest, RoundTripsArityZero) {
+  Relation empty(0);
+  EXPECT_EQ(RoundTrip(empty).size(), 0u);
+
+  Relation present(0);
+  present.Insert(TupleRef(nullptr, 0));
+  Relation back = RoundTrip(present);
+  EXPECT_EQ(back.arity(), 0);
+  EXPECT_EQ(back.size(), 1u);
+}
+
+TEST(SerializeRelationTest, StagedUncommittedRowIsExcluded) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  Value* slot = rel.StageRow();
+  slot[0] = 7;
+  slot[1] = 8;  // staged, never committed
+
+  Relation back = RoundTrip(rel);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_FALSE(back.Contains({7, 8}));
+}
+
+TEST(SerializeRelationTest, IndexesRebuildAfterLoad) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({2, 20});
+  rel.Insert({1, 30});
+
+  Relation back = RoundTrip(rel);
+  ASSERT_EQ(back.index_rebuilds(), 0u);
+  const std::vector<int>& rows = back.RowsWithValue(0, 1);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(back.index_rebuilds(), 1u);  // built lazily, on first probe
+}
+
+TEST(SerializeRelationTest, UnknownFormatVersionIsUnsupported) {
+  ByteWriter w;
+  w.PutU32(kRelationFormatVersion + 1);
+  w.PutU32(2);   // arity
+  w.PutU64(0);   // rows
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeRelation(&r).status().IsUnsupported());
+}
+
+TEST(SerializeRelationTest, LyingRowCountIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(kRelationFormatVersion);
+  w.PutU32(2);                     // arity
+  w.PutU64(1000000000000ull);      // claims a trillion rows, provides none
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeRelation(&r).status().IsDataLoss());
+}
+
+TEST(SerializeRelationTest, ArityZeroWithManyRowsIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(kRelationFormatVersion);
+  w.PutU32(0);  // arity 0 admits at most one row
+  w.PutU64(2);
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeRelation(&r).status().IsDataLoss());
+}
+
+TEST(SerializeSymbolsTest, RoundTripsIntoFreshTable) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId e = symbols.Intern("Edge");
+
+  ByteWriter w;
+  SerializeSymbols(symbols, &w);
+
+  SymbolTable fresh;
+  ByteReader r(w.data());
+  ASSERT_TRUE(DeserializeSymbols(&r, &fresh).ok());
+  EXPECT_EQ(fresh.Lookup("P"), p);
+  EXPECT_EQ(fresh.Lookup("Edge"), e);
+}
+
+TEST(SerializeSymbolsTest, RoundTripsIntoTheSourceTable) {
+  SymbolTable symbols;
+  symbols.Intern("P");
+  ByteWriter w;
+  SerializeSymbols(symbols, &w);
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeSymbols(&r, &symbols).ok());
+  EXPECT_EQ(symbols.size(), 1u);
+}
+
+TEST(SerializeSymbolsTest, DriftedTableIsUnsupported) {
+  SymbolTable symbols;
+  symbols.Intern("P");
+  ByteWriter w;
+  SerializeSymbols(symbols, &w);
+
+  SymbolTable drifted;
+  drifted.Intern("SomethingElse");  // "P" would land on id 2, not 1
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeSymbols(&r, &drifted).IsUnsupported());
+}
+
+TEST(SerializeDatabaseTest, RoundTripsRelations) {
+  SymbolTable symbols;
+  Database db;
+  auto e = db.GetOrCreate(symbols.Intern("E"), 2);
+  ASSERT_TRUE(e.ok());
+  (*e)->Insert({1, 2});
+  (*e)->Insert({2, 3});
+  auto p = db.GetOrCreate(symbols.Intern("P"), 1);
+  ASSERT_TRUE(p.ok());
+  (*p)->Insert({42});
+
+  ByteWriter w;
+  ASSERT_TRUE(SerializeDatabase(db, symbols, &w).ok());
+
+  SymbolTable fresh;
+  ByteReader r(w.data());
+  auto back = DeserializeDatabase(&r, &fresh);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(r.AtEnd());
+
+  const Relation* e_back = back->Find(fresh.Lookup("E"));
+  ASSERT_NE(e_back, nullptr);
+  EXPECT_EQ(e_back->size(), 2u);
+  EXPECT_TRUE(e_back->Contains({2, 3}));
+  const Relation* p_back = back->Find(fresh.Lookup("P"));
+  ASSERT_NE(p_back, nullptr);
+  EXPECT_TRUE(p_back->Contains({42}));
+}
+
+TEST(SerializeDatabaseTest, SerializationIsNameOrderedAndDeterministic) {
+  // Two databases populated in opposite insertion order must serialize to
+  // identical bytes — snapshot equality checks depend on this.
+  SymbolTable s1;
+  Database d1;
+  (*d1.GetOrCreate(s1.Intern("B"), 1))->Insert({1});
+  (*d1.GetOrCreate(s1.Intern("A"), 1))->Insert({2});
+
+  SymbolTable s2;
+  s2.Intern("B");  // keep symbol ids identical across the two tables
+  s2.Intern("A");
+  Database d2;
+  (*d2.GetOrCreate(s2.Lookup("A"), 1))->Insert({2});
+  (*d2.GetOrCreate(s2.Lookup("B"), 1))->Insert({1});
+
+  ByteWriter w1, w2;
+  ASSERT_TRUE(SerializeDatabase(d1, s1, &w1).ok());
+  ASSERT_TRUE(SerializeDatabase(d2, s2, &w2).ok());
+  EXPECT_EQ(std::string(w1.data()), std::string(w2.data()));
+}
+
+TEST(SerializeDatabaseTest, TruncatedDatabaseIsDataLoss) {
+  SymbolTable symbols;
+  Database db;
+  (*db.GetOrCreate(symbols.Intern("E"), 2))->Insert({1, 2});
+  ByteWriter w;
+  ASSERT_TRUE(SerializeDatabase(db, symbols, &w).ok());
+
+  std::string_view bytes = w.data();
+  SymbolTable fresh;
+  ByteReader r(bytes.substr(0, bytes.size() - 6));
+  EXPECT_TRUE(DeserializeDatabase(&r, &fresh).status().IsDataLoss());
+}
+
+}  // namespace
+}  // namespace recur::ra

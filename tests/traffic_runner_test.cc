@@ -307,6 +307,136 @@ TEST(TrafficRunnerTest, ServerWriteDeadlineSurfacesAsTypedError) {
                 node.resource_exhausted + node.other_errors);
 }
 
+// Durability ops end to end: snapshots persist, restarts drop the server
+// and revive it from disk mid-phase, recovery latency lands in the
+// server_restart node, and the whole phase stays byte-deterministic.
+TEST(TrafficRunnerTest, DurabilityOpsSnapshotAndRestartResident) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "resident_durable",
+    "seed": 13,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 12}],
+    "phases": [
+      {
+        "name": "recovery",
+        "threads": 1,
+        "ops": 24,
+        "mix": [
+          {"op": "server_insert", "weight": 4, "relation": "E", "count": 2},
+          {"op": "server_snapshot", "weight": 1},
+          {"op": "server_restart", "weight": 2}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->nodes.size(), 3u);
+  uint64_t total = 0;
+  for (const OpNodeStats& node : report->nodes) {
+    EXPECT_EQ(node.errors, 0u) << node.BenchmarkName();
+    EXPECT_EQ(node.ok, node.latency.count()) << node.BenchmarkName();
+    total += node.latency.count();
+    if (node.op == "server_restart") {
+      // The phase actually exercised crash-recovery.
+      EXPECT_GT(node.latency.count(), 0u);
+    }
+  }
+  EXPECT_EQ(total, 24u);
+
+  auto second = RunTraffic(*spec, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(report->ToJson(), second->ToJson());
+}
+
+// Retry-with-backoff on server writes: a one-shot transient fault at the
+// WAL append site fails the first attempt; the bounded retry re-submits
+// the identical batch, succeeds, and the op counts one ok plus one retry —
+// no error ever reaches the report.
+TEST(TrafficRunnerTest, ServerWriteRetriesRecoverTransientFaults) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "resident_retry",
+    "seed": 13,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 12}],
+    "phases": [
+      {
+        "name": "retry",
+        "threads": 1,
+        "ops": 8,
+        "mix": [
+          {"op": "server_insert", "weight": 8, "relation": "E", "count": 2,
+           "retries": 3},
+          {"op": "server_restart", "weight": 1}
+        ],
+        "faults": [
+          {"site": "io.wal.append", "kind": "status",
+           "code": "resource_exhausted", "trigger_on_hit": 1,
+           "sticky": false}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  uint64_t retries = 0, errors = 0;
+  for (const OpNodeStats& node : report->nodes) {
+    retries += node.retries;
+    errors += node.errors;
+  }
+  EXPECT_EQ(retries, 1u) << "the one-shot fault should cost exactly one retry";
+  EXPECT_EQ(errors, 0u) << "the retry should have absorbed the fault";
+  EXPECT_NE(report->ToJson().find("\"retries\": 1"), std::string::npos);
+}
+
+// Without retries configured, the same transient fault surfaces as a
+// typed resource_exhausted error: retries are opt-in per op.
+TEST(TrafficRunnerTest, ServerWriteWithoutRetriesSurfacesTransientFault) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "resident_no_retry",
+    "seed": 13,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 12}],
+    "phases": [
+      {
+        "name": "no_retry",
+        "threads": 1,
+        "ops": 8,
+        "mix": [
+          {"op": "server_insert", "weight": 8, "relation": "E", "count": 2},
+          {"op": "server_restart", "weight": 1}
+        ],
+        "faults": [
+          {"site": "io.wal.append", "kind": "status",
+           "code": "resource_exhausted", "trigger_on_hit": 1,
+           "sticky": false}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  uint64_t retries = 0, resource_exhausted = 0;
+  for (const OpNodeStats& node : report->nodes) {
+    retries += node.retries;
+    resource_exhausted += node.resource_exhausted;
+  }
+  EXPECT_EQ(retries, 0u);
+  EXPECT_EQ(resource_exhausted, 1u);
+}
+
 TEST(TrafficRunnerTest, DurationPhasesAndInlineRulesRun) {
   // Inline rules instead of a catalog example, and a duration-bound phase
   // with Poisson arrivals: exercises the other half of the spec surface.

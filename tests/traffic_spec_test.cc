@@ -118,6 +118,45 @@ TEST(TrafficSpecTest, ServerOpKindsParse) {
   }
 }
 
+// Durability op kinds and the retry knobs parse; nonsense values are
+// rejected as kInvalidArgument.
+TEST(TrafficSpecTest, DurabilityOpKindsAndRetriesParse) {
+  auto spec = TimedParse(R"({
+    "name": "durable", "seed": 3,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+    "phases": [{"name": "p", "ops": 6, "mix": [
+      {"op": "server_insert", "weight": 4, "relation": "E", "count": 2,
+       "retries": 3, "retry_backoff_seconds": 0.002},
+      {"op": "server_snapshot", "weight": 1},
+      {"op": "server_restart", "weight": 1}
+    ]}]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const PhaseSpec& phase = spec->phases[0];
+  ASSERT_EQ(phase.mix.size(), 3u);
+  EXPECT_EQ(phase.mix[0].retries, 3);
+  EXPECT_DOUBLE_EQ(phase.mix[0].retry_backoff_seconds, 0.002);
+  EXPECT_EQ(phase.mix[1].kind, OpSpec::Kind::kServerSnapshot);
+  EXPECT_EQ(phase.mix[2].kind, OpSpec::Kind::kServerRestart);
+  // Ops default to no retries.
+  EXPECT_EQ(phase.mix[1].retries, 0);
+
+  for (const char* field :
+       {R"("retries": -1)", R"("retry_backoff_seconds": 0.0)",
+        R"("retry_backoff_seconds": -2.0)"}) {
+    auto bad = TimedParse(std::string(R"({
+      "name": "x", "example": "s1a",
+      "edb": [{"relation": "A", "kind": "chain", "n": 4}],
+      "phases": [{"name": "p", "ops": 1, "mix": [
+        {"op": "insert", "relation": "A", )") +
+                          field + "}]}]}");
+    ASSERT_FALSE(bad.ok()) << field << " accepted";
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument) << field;
+  }
+}
+
 TEST(TrafficSpecTest, CommittedSpecsLoad) {
   for (const char* name : {"smoke.json", "paper_mixed.json", "resident.json"}) {
     const std::string path = std::string(RECUR_SPEC_DIR) + "/" + name;

@@ -32,6 +32,7 @@ TEST(StatusTest, AllConstructorsSetMatchingCode) {
   EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
 }
 
 TEST(StatusTest, CodeNames) {
@@ -42,6 +43,12 @@ TEST(StatusTest, CodeNames) {
                "Deadline exceeded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "Resource exhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "Data loss");
+}
+
+TEST(StatusTest, DataLossToString) {
+  Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_EQ(s.ToString(), "Data loss: checksum mismatch");
 }
 
 Result<int> ReturnsValue() { return 42; }
