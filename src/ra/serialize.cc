@@ -35,7 +35,17 @@ Result<Relation> DeserializeRelation(util::io::ByteReader* in) {
     return Status::DataLoss("arity-0 relation declares " +
                             std::to_string(num_rows) + " rows");
   }
-  if (arity > 0 && num_rows > in->remaining() / (8 * arity)) {
+  // Reject implausible arities before any arithmetic or construction: a
+  // corrupt value near 2^32 would wrap `8 * arity` in 32-bit arithmetic
+  // (divide-by-zero below) and cast to a negative int for Relation().
+  if (arity > kMaxRelationArity) {
+    return Status::DataLoss("relation declares implausible arity " +
+                            std::to_string(arity));
+  }
+  // The row-count bound is computed in 64-bit on purpose: kMaxRelationArity
+  // keeps uint64_t{8} * arity far from wrapping.
+  if (arity > 0 &&
+      num_rows > in->remaining() / (uint64_t{8} * arity)) {
     return Status::DataLoss(
         "relation declares " + std::to_string(num_rows) + " rows of arity " +
         std::to_string(arity) + " but the payload is shorter");

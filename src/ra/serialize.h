@@ -13,6 +13,12 @@ namespace recur::ra {
 /// version with kUnsupported. Bumped whenever the row encoding changes.
 inline constexpr uint32_t kRelationFormatVersion = 1;
 
+/// Widest arity DeserializeRelation accepts. Far beyond any real program
+/// (rule heads have a handful of columns), but small enough that a corrupt
+/// value can neither wrap size arithmetic nor turn negative when cast to
+/// the int arity Relation uses.
+inline constexpr uint32_t kMaxRelationArity = 1u << 16;
+
 /// Appends `rel` to `out` as
 ///
 ///   [format u32] [arity u32] [num_rows u64] [num_rows * arity values i64]

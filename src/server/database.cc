@@ -296,21 +296,30 @@ Result<std::unique_ptr<Database>> Database::OpenOrRecover(
                          util::io::ScanLog(wal_path));
   if (scan.torn_tail) ++info->discarded_wal_records;
   uint64_t expected = info->warm_start ? info->snapshot_epoch : 0;
-  for (const std::string& payload : scan.records) {
-    Result<WalRecord> record = DecodeWalRecord(payload, symbols);
+  // Truncation point for the log once replay settles: the end of the last
+  // record replay actually consumed. CRC-intact records past a stop point
+  // (epoch gap, undecodable payload) must be cut too — left in place they
+  // would sit ahead of new appends, and every later recovery would stop at
+  // the same spot and silently discard the acknowledged batches behind it.
+  uint64_t wal_keep_bytes = 0;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    Result<WalRecord> record = DecodeWalRecord(scan.records[i], symbols);
     if (!record.ok()) {
       // The frame checksum passed but the payload is malformed — treat it
       // like a torn tail: everything from here on is unusable.
-      ++info->discarded_wal_records;
+      info->discarded_wal_records += scan.records.size() - i;
       info->data_loss = true;
       info->detail += "undecodable WAL record after epoch " +
                       std::to_string(expected) + ": " +
                       record.status().ToString() + "; ";
       break;
     }
-    if (record->epoch <= expected) continue;  // already in the snapshot
+    if (record->epoch <= expected) {  // already in the snapshot
+      wal_keep_bytes = scan.record_ends[i];
+      continue;
+    }
     if (record->epoch != expected + 1) {
-      ++info->discarded_wal_records;
+      info->discarded_wal_records += scan.records.size() - i;
       info->data_loss = true;
       info->detail += "WAL epoch gap: expected " +
                       std::to_string(expected + 1) + ", found " +
@@ -321,13 +330,14 @@ Result<std::unique_ptr<Database>> Database::OpenOrRecover(
         db->ApplyImpl(record->deltas, nullptr, &info->stats,
                       /*log_to_wal=*/false));
     expected = record->epoch;
+    wal_keep_bytes = scan.record_ends[i];
     ++info->replayed_batches;
   }
 
   // Cut the log back to its last intact, replayed record before taking
   // appends again.
   RECUR_RETURN_IF_ERROR(
-      db->ArmDurability(static_cast<int64_t>(scan.valid_bytes)));
+      db->ArmDurability(static_cast<int64_t>(wal_keep_bytes)));
   return db;
 }
 

@@ -42,8 +42,12 @@ Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshotFiles(
     }
     const std::string digits =
         name.substr(prefix_len, name.size() - prefix_len - suffix_len);
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos) {
+    // SnapshotFileName always writes exactly 20 zero-padded digits, so
+    // anything longer — or 20 digits above UINT64_MAX — is a foreign file;
+    // skip it rather than let std::stoull throw out_of_range.
+    if (digits.empty() || digits.size() > 20 ||
+        digits.find_first_not_of("0123456789") != std::string::npos ||
+        (digits.size() == 20 && digits > "18446744073709551615")) {
       continue;
     }
     out.emplace_back(std::stoull(digits), entry.path().string());

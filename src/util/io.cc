@@ -231,10 +231,16 @@ Result<std::string> ReadContainerFile(const std::string& path) {
   if (page_size == 0) {
     return Status::DataLoss("container declares zero page size: " + path);
   }
-  const uint64_t n_pages = (payload_len + page_size - 1) / page_size;
+  // Subtraction-style bounds: a corrupt payload_len near 2^64 would wrap
+  // both the rounded-up page count and `n_pages * 4 + payload_len`, letting
+  // a huge declared length slip past an additive check and walk the CRC
+  // loop off the end of the buffer.
+  const uint64_t n_pages =
+      payload_len / page_size + (payload_len % page_size != 0 ? 1 : 0);
   uint32_t stored_header_crc = 0;
   RECUR_RETURN_IF_ERROR(reader.GetU32(&stored_header_crc));
-  if (reader.remaining() < n_pages * 4 + payload_len) {
+  if (payload_len > reader.remaining() ||
+      n_pages > (reader.remaining() - payload_len) / 4) {
     return Status::DataLoss("container truncated: " + path);
   }
   // Re-derive the header checksum over the fixed fields + page table.
@@ -275,16 +281,19 @@ Result<AppendLog> AppendLog::Open(const std::string& path,
 }
 
 AppendLog::AppendLog(AppendLog&& other) noexcept
-    : fd_(other.fd_), path_(std::move(other.path_)) {
+    : fd_(other.fd_), sealed_(other.sealed_), path_(std::move(other.path_)) {
   other.fd_ = -1;
+  other.sealed_ = false;
 }
 
 AppendLog& AppendLog::operator=(AppendLog&& other) noexcept {
   if (this == &other) return *this;
   if (fd_ >= 0) ::close(fd_);
   fd_ = other.fd_;
+  sealed_ = other.sealed_;
   path_ = std::move(other.path_);
   other.fd_ = -1;
+  other.sealed_ = false;
   return *this;
 }
 
@@ -295,14 +304,34 @@ AppendLog::~AppendLog() {
 Status AppendLog::Append(std::string_view payload, bool sync) {
   RECUR_FAULT_POINT("io.wal.append");
   if (fd_ < 0) return Status::Internal("append log is closed");
+  if (sealed_) {
+    return Status::Internal("append log " + path_ +
+                            " is sealed after a failed append");
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::Internal(Errno("cannot stat log", path_));
+  }
   ByteWriter record;
   record.PutU32(static_cast<uint32_t>(payload.size()));
   record.PutU32(Crc32c(payload.data(), payload.size()));
   record.PutBytes(payload.data(), payload.size());
-  RECUR_RETURN_IF_ERROR(
-      WriteAll(fd_, record.data().data(), record.data().size(), path_));
-  if (sync && ::fsync(fd_) != 0) {
-    return Status::Internal(Errno("cannot fsync log", path_));
+  Status status =
+      WriteAll(fd_, record.data().data(), record.data().size(), path_);
+  if (status.ok() && sync && ::fsync(fd_) != 0) {
+    status = Status::Internal(Errno("cannot fsync log", path_));
+    // After a failed fsync the kernel may already have dropped this
+    // write's dirty pages, and a later fsync can falsely report success —
+    // the tail is unknowable, so stop taking appends.
+    sealed_ = true;
+  }
+  if (!status.ok()) {
+    // Roll the torn frame back to the pre-append size so a later
+    // successful Append never lands behind a bad-CRC record (ScanLog
+    // would discard it and every acknowledged record after it). If the
+    // rollback itself fails the torn bytes are stuck: seal the log.
+    if (::ftruncate(fd_, st.st_size) != 0) sealed_ = true;
+    return status;
   }
   return Status::OK();
 }
@@ -315,6 +344,9 @@ Status AppendLog::Truncate(bool sync) {
   if (sync && ::fsync(fd_) != 0) {
     return Status::Internal(Errno("cannot fsync log", path_));
   }
+  // The doubtful tail (and everything else) is gone; the snapshot that
+  // triggered this rotation supersedes it, so appends may resume.
+  sealed_ = false;
   return Status::OK();
 }
 
@@ -348,6 +380,7 @@ Result<LogScan> ScanLog(const std::string& path) {
     }
     scan.records.emplace_back(body, len);
     pos += 8 + len;
+    scan.record_ends.push_back(pos);
     scan.valid_bytes = pos;
   }
   return scan;

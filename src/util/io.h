@@ -87,10 +87,14 @@ Status WriteContainerFile(const std::string& path, std::string_view payload,
 Result<std::string> ReadContainerFile(const std::string& path);
 
 /// What one scan of an append log recovered. `valid_bytes` is the offset
-/// of the first byte past the last intact record — the truncation point a
-/// recovering process should cut the log back to before appending again.
+/// of the first byte past the last intact record; `record_ends[i]` is the
+/// offset of the first byte past `records[i]`. A recovering process that
+/// stops replay early (epoch gap, undecodable payload) must cut the log
+/// back to the end of the last record it actually replayed — not to
+/// `valid_bytes` — so unreplayable records never sit ahead of new appends.
 struct LogScan {
   std::vector<std::string> records;
+  std::vector<uint64_t> record_ends;
   uint64_t valid_bytes = 0;
   /// True when trailing bytes after the last intact record failed the
   /// length or checksum check (a torn append). The tail is discarded, not
@@ -122,9 +126,19 @@ class AppendLog {
   /// Appends one framed record; with `sync` the file is fsync'ed before
   /// returning, so a completed Append survives power loss. Fault site
   /// "io.wal.append" fires at entry.
+  ///
+  /// A failed append never leaves torn bytes ahead of later records: on a
+  /// partial write (e.g. ENOSPC) the file is cut back to its pre-append
+  /// size, and if that rollback fails — or an fsync fails, leaving the
+  /// page cache in an unknown state — the log seals itself and every
+  /// subsequent Append returns kInternal. Acknowledged records are
+  /// therefore never written behind a bad-CRC frame that ScanLog would
+  /// discard them with.
   Status Append(std::string_view payload, bool sync);
 
-  /// Restarts the log empty (log rotation after a snapshot).
+  /// Restarts the log empty (log rotation after a snapshot). A successful
+  /// Truncate also unseals a log sealed by a failed Append: the records
+  /// whose durability was in doubt are gone, superseded by the snapshot.
   Status Truncate(bool sync);
 
   const std::string& path() const { return path_; }
@@ -133,6 +147,7 @@ class AppendLog {
   AppendLog(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
   int fd_ = -1;
+  bool sealed_ = false;
   std::string path_;
 };
 

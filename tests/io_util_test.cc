@@ -153,6 +153,25 @@ TEST(ContainerTest, FlippedHeaderBitIsDataLoss) {
   EXPECT_TRUE(ReadContainerFile(path).status().IsDataLoss());
 }
 
+TEST(ContainerTest, WrappingPayloadLengthIsDataLossNotOutOfBoundsRead) {
+  const std::string path = TestPath("wrap-len.snap");
+  const std::string payload(kContainerPageBytes, 'x');
+  ASSERT_TRUE(WriteContainerFile(path, payload, false).ok());
+  std::string bytes = RawFileBytes(path);
+  // Craft a payload_len near 2^64 for which `n_pages * 4 + payload_len`
+  // wraps to below the bytes actually present: an additive truncation
+  // guard passes, and the header-CRC pass then reads ~2^50 bytes out of
+  // bounds. The subtraction-style guard must reject it before that.
+  const uint64_t n_total = ~uint64_t{0} / kContainerPageBytes + 1;
+  const uint64_t k = 4 * n_total / (kContainerPageBytes + 4);
+  const uint64_t evil = uint64_t{0} - k * kContainerPageBytes;
+  for (int i = 0; i < 8; ++i) {  // payload_len field: bytes 16..23
+    bytes[16 + i] = static_cast<char>((evil >> (8 * i)) & 0xFFu);
+  }
+  WriteRawFile(path, bytes);
+  EXPECT_TRUE(ReadContainerFile(path).status().IsDataLoss());
+}
+
 TEST(ContainerTest, TruncatedFileIsDataLoss) {
   const std::string path = TestPath("truncated.snap");
   ASSERT_TRUE(WriteContainerFile(path, "payload bytes", false).ok());
@@ -264,6 +283,18 @@ TEST(AppendLogTest, OpenWithTruncateCutsTheTail) {
   ASSERT_EQ(scan->records.size(), 2u);
   EXPECT_EQ(scan->records[0], "keep me");
   EXPECT_EQ(scan->records[1], "appended after cut");
+}
+
+TEST(AppendLogTest, FailedWriteSealsWhenRollbackIsImpossible) {
+  // /dev/full accepts the open but fails every write with ENOSPC, and a
+  // character device refuses ftruncate — the torn frame cannot be rolled
+  // back, so the log must seal and refuse all further appends.
+  auto log = AppendLog::Open("/dev/full");
+  if (!log.ok()) GTEST_SKIP() << "no /dev/full on this platform";
+  EXPECT_TRUE(log->Append("never lands", false).IsInternal());
+  Status sealed = log->Append("after failure", false);
+  EXPECT_TRUE(sealed.IsInternal());
+  EXPECT_NE(sealed.ToString().find("sealed"), std::string::npos) << sealed;
 }
 
 TEST(AppendLogTest, TruncateRestartsTheLogEmpty) {

@@ -237,6 +237,66 @@ TEST_F(PersistenceTest, TornWalTailIsDiscardedNotFatal) {
   EXPECT_EQ((*revived)->epoch(), 3u);
 }
 
+TEST_F(PersistenceTest, EpochGapRecordsAreCutSoLaterBatchesSurviveRecovery) {
+  {
+    auto db = MakeDurableServer();
+    ASSERT_TRUE(db->Apply(InsertEdge(10, 11)).ok());  // epoch 1
+    ASSERT_TRUE(db->Apply(InsertEdge(11, 12)).ok());  // epoch 2
+  }
+  // Simulate acknowledged batches vanishing ahead of the tail (the
+  // corrupt-snapshot-fallback scenario): a CRC-intact record whose epoch
+  // skips past the replayable prefix.
+  {
+    auto poison = server::EncodeWalRecord(5, InsertEdge(90, 91), symbols_);
+    ASSERT_TRUE(poison.ok());
+    auto log = util::io::AppendLog::Open(WalPath());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(*poison, /*sync=*/false).ok());
+  }
+
+  server::RecoveryInfo info;
+  auto revived = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                                 {}, &info);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(info.replayed_batches, 2u);
+  EXPECT_EQ(info.discarded_wal_records, 1u);
+  EXPECT_TRUE(info.data_loss);
+  EXPECT_EQ((*revived)->epoch(), 2u);
+
+  // The gap record must have been cut from the log, so this acknowledged
+  // batch lands after the replayed prefix — not behind a record every
+  // later recovery would stop at, silently discarding the batch.
+  ASSERT_TRUE((*revived)->Apply(InsertEdge(12, 13)).ok());  // epoch 3
+  revived->reset();
+
+  server::RecoveryInfo again_info;
+  auto again = server::Database::OpenOrRecover(dir_, kProgram, &symbols_,
+                                               {}, &again_info);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again_info.replayed_batches, 3u);
+  EXPECT_EQ(again_info.discarded_wal_records, 0u);
+  EXPECT_FALSE(again_info.data_loss);
+  EXPECT_EQ((*again)->epoch(), 3u);
+  ExpectIdbMatchesFixpoint(**again);
+  const ra::Relation* p =
+      (*again)->snapshot().idb().Find(symbols_.Lookup("P"));
+  EXPECT_TRUE(p->Contains({10, 13}));   // replayed prefix + revived batch
+  EXPECT_FALSE(p->Contains({90, 91}));  // the gap record never applied
+}
+
+TEST_F(PersistenceTest, OversizedSnapshotNamesAreSkippedNotFatal) {
+  MakeDurableServer();
+  // 21 digits, and 20 digits above UINT64_MAX: foreign files that must be
+  // skipped, not fed to std::stoull (out_of_range would escape the
+  // Status-based API and abort while merely listing the directory).
+  std::ofstream(dir_ + "/snapshot-999999999999999999999.snap").put('x');
+  std::ofstream(dir_ + "/snapshot-99999999999999999999.snap").put('x');
+  auto files = server::ListSnapshotFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_EQ((*files)[0].first, 0u);
+}
+
 TEST_F(PersistenceTest, CorruptSnapshotFallsBackToOlderWithDataLoss) {
   {
     auto db = MakeDurableServer();

@@ -99,6 +99,24 @@ TEST(SerializeRelationTest, LyingRowCountIsDataLoss) {
   EXPECT_TRUE(DeserializeRelation(&r).status().IsDataLoss());
 }
 
+TEST(SerializeRelationTest, WrappingArityIsDataLossNotSigfpe) {
+  ByteWriter w;
+  w.PutU32(kRelationFormatVersion);
+  w.PutU32(1u << 29);  // 8 * arity wraps 32-bit arithmetic to zero
+  w.PutU64(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeRelation(&r).status().IsDataLoss());
+}
+
+TEST(SerializeRelationTest, ImplausibleArityWithZeroRowsIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(kRelationFormatVersion);
+  w.PutU32(0xFFFFFFFFu);  // would cast to a negative int for Relation()
+  w.PutU64(0);
+  ByteReader r(w.data());
+  EXPECT_TRUE(DeserializeRelation(&r).status().IsDataLoss());
+}
+
 TEST(SerializeRelationTest, ArityZeroWithManyRowsIsDataLoss) {
   ByteWriter w;
   w.PutU32(kRelationFormatVersion);
