@@ -2,6 +2,7 @@
 //
 //   traffic_runner --spec FILE [--deterministic] [--out DIR]
 //                  [--baseline FILE] [--tolerance T] [--slack-us S]
+//                  [--expect-sheds PHASE]
 //   traffic_runner --compare RUN_JSON BASELINE_JSON [--tolerance T]
 //                  [--slack-us S]
 //
@@ -37,6 +38,7 @@ int Usage() {
       << "usage: traffic_runner --spec FILE [--deterministic] [--out DIR]\n"
          "                      [--baseline FILE] [--tolerance T] "
          "[--slack-us S]\n"
+         "                      [--expect-sheds PHASE]\n"
          "       traffic_runner --compare RUN_JSON BASELINE_JSON\n"
          "                      [--tolerance T] [--slack-us S]\n";
   return 2;
@@ -92,7 +94,7 @@ int ReportViolations(const recur::traffic::Violations& violations) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string spec_path, out_dir, baseline_path;
+  std::string spec_path, out_dir, baseline_path, expect_sheds_phase;
   std::string compare_run, compare_baseline;
   bool deterministic = false;
   double tolerance = 0.5;
@@ -117,6 +119,8 @@ int main(int argc, char** argv) {
       tolerance = std::atof(next("--tolerance").c_str());
     } else if (arg == "--slack-us") {
       slack_us = std::atof(next("--slack-us").c_str());
+    } else if (arg == "--expect-sheds") {
+      expect_sheds_phase = next("--expect-sheds");
     } else if (arg == "--deterministic") {
       deterministic = true;
     } else if (arg == "--compare") {
@@ -173,6 +177,42 @@ int main(int argc, char** argv) {
   out << json;
   out.close();
   std::printf("wrote %s\n", json_path.c_str());
+
+  if (report->shared_server.present) {
+    const auto& s = report->shared_server;
+    std::printf("shared server: submitted %" PRIu64 "  admitted %" PRIu64
+                "  sheds %" PRIu64 "  groups %" PRIu64 " (max %" PRIu64
+                ")  quarantined %" PRIu64 "  watchdog %" PRIu64
+                "  epoch %" PRIu64 "\n",
+                s.submitted, s.admitted, s.sheds, s.groups, s.max_group,
+                s.quarantined, s.watchdog_trips, s.final_epoch);
+  }
+  if (!expect_sheds_phase.empty()) {
+    // Overload sanity gate: the named phase must actually have shed load
+    // (otherwise the spec no longer saturates admission and the overload
+    // numbers are meaningless).
+    uint64_t sheds = 0;
+    bool phase_seen = false;
+    for (const auto& node : report->nodes) {
+      if (node.phase == expect_sheds_phase) {
+        phase_seen = true;
+        sheds += node.sheds;
+      }
+    }
+    if (!phase_seen) {
+      std::printf("shed gate: FAIL (phase '%s' not in the run)\n",
+                  expect_sheds_phase.c_str());
+      return 1;
+    }
+    if (sheds == 0) {
+      std::printf("shed gate: FAIL (phase '%s' shed nothing — overload "
+                  "did not saturate admission)\n",
+                  expect_sheds_phase.c_str());
+      return 1;
+    }
+    std::printf("shed gate: PASS (%" PRIu64 " sheds in phase '%s')\n", sheds,
+                expect_sheds_phase.c_str());
+  }
 
   if (!baseline_path.empty()) {
     auto violations = recur::traffic::CompareTrafficJson(

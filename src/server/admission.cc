@@ -1,0 +1,375 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "server/database.h"
+#include "util/fault_injection.h"
+
+namespace recur::server {
+
+namespace {
+
+/// Probes a fault site, converting thrown faults into typed statuses:
+/// admission runs on client threads that expect a Status, and the
+/// committer thread must survive any armed fault kind.
+Status ProbeSite(const char* site) {
+  try {
+    return util::FaultInjector::Instance().Check(site);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("injected allocation failure");
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+/// Folds one batch onto the running merged change set, keeping inserts
+/// and deletes disjoint per predicate. The fold preserves sequential
+/// semantics: applying the merged set (deletes erased before inserts
+/// land — ApplyDeltasToEdb order) produces exactly the EDB the batches
+/// would build applied one at a time in submission order, so the single
+/// grouped maintenance pass reaches the same fixpoint.
+void FoldBatch(const eval::EdbDeltas& batch, eval::EdbDeltas* merged) {
+  for (const auto& [pred, delta] : batch) {
+    if (delta.empty()) continue;
+    const int arity = !delta.inserts.empty() ? delta.inserts.arity()
+                                             : delta.deletes.arity();
+    auto it = merged->find(pred);
+    if (it == merged->end()) {
+      it = merged->emplace(pred, eval::EdbDelta(arity)).first;
+    }
+    eval::EdbDelta& m = it->second;
+    if (!delta.deletes.empty()) {
+      m.inserts.EraseRows(delta.deletes);
+      m.deletes.InsertAll(delta.deletes);
+    }
+    if (!delta.inserts.empty()) {
+      m.deletes.EraseRows(delta.inserts);
+      m.inserts.InsertAll(delta.inserts);
+    }
+  }
+}
+
+}  // namespace
+
+struct GroupCommitter::Ticket::Pending {
+  eval::EdbDeltas deltas;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Poison verdict: the "server.commit.group" probe result, taken
+  /// exactly once when the batch first joins a commit group so every
+  /// bisection retry sees the same deterministic outcome.
+  bool injected_checked = false;
+  Status injected;
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  eval::EvalStats stats;
+};
+
+Status GroupCommitter::Ticket::Wait(eval::EvalStats* stats) {
+  if (pending_ == nullptr) {
+    return Status::Internal("Wait() on an empty admission ticket");
+  }
+  std::unique_lock<std::mutex> lock(pending_->m);
+  pending_->cv.wait(lock, [&] { return pending_->done; });
+  if (stats != nullptr) *stats = pending_->stats;
+  return pending_->status;
+}
+
+GroupCommitter::GroupCommitter(Database* db, AdmissionOptions options)
+    : db_(db), options_(std::move(options)) {
+  committer_ = std::thread([this] { Loop(); });
+}
+
+GroupCommitter::~GroupCommitter() { Shutdown(); }
+
+void GroupCommitter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+GroupCommitter::Ticket GroupCommitter::SubmitAsync(eval::EdbDeltas deltas,
+                                                   double deadline_seconds) {
+  auto pending = std::make_shared<Ticket::Pending>();
+  pending->deltas = std::move(deltas);
+  if (deadline_seconds > 0.0) {
+    pending->has_deadline = true;
+    pending->deadline =
+        SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                                 std::chrono::duration<double>(deadline_seconds));
+  }
+
+  // The probe runs before the queue lock: a kDelay fault must not
+  // serialize every other submitter.
+  Status admit = ProbeSite("server.admit");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (!admit.ok()) {
+      if (admit.IsUnavailable()) ++stats_.sheds;
+    } else if (shutdown_) {
+      admit = Status::Unavailable("server is shutting down");
+      ++stats_.sheds;
+    } else if (queue_.size() >= options_.max_queue_depth) {
+      admit = Status::Unavailable(
+          "submission queue is full (depth " +
+          std::to_string(options_.max_queue_depth) + ")");
+      ++stats_.sheds;
+    } else {
+      if (deadline_seconds > 0.0 && ewma_group_seconds_ > 0.0) {
+        // Estimate the wait as full groups ahead of this batch (queued +
+        // in flight, plus the group it would itself land in) at the
+        // observed commit rate; an unmeetable deadline is shed now
+        // instead of timing out after consuming committer time.
+        const size_t batches_ahead = queue_.size() + in_flight_;
+        const double groups_ahead = static_cast<double>(
+            batches_ahead / options_.max_group_batches + 1);
+        const double estimate = groups_ahead * ewma_group_seconds_;
+        if (deadline_seconds < estimate) {
+          admit = Status::Unavailable(
+              "deadline unmeetable at the current commit rate");
+          ++stats_.sheds;
+        }
+      }
+      if (admit.ok()) {
+        queue_.push_back(pending);
+        ++stats_.admitted;
+        stats_.queue_high_water = std::max(
+            stats_.queue_high_water, static_cast<uint64_t>(queue_.size()));
+      }
+    }
+  }
+  if (!admit.ok()) {
+    Complete(pending, std::move(admit), nullptr);
+    return Ticket(std::move(pending));
+  }
+  cv_.notify_all();
+  return Ticket(std::move(pending));
+}
+
+Status GroupCommitter::Submit(eval::EdbDeltas deltas, double deadline_seconds,
+                              eval::EvalStats* stats) {
+  return SubmitAsync(std::move(deltas), deadline_seconds).Wait(stats);
+}
+
+void GroupCommitter::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void GroupCommitter::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+size_t GroupCommitter::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServerStats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void GroupCommitter::Loop() {
+  for (;;) {
+    std::vector<PendingPtr> group;
+    std::vector<PendingPtr> expired;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock,
+               [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+      if (shutdown_) break;
+      const auto now = SteadyClock::now();
+      while (!queue_.empty() && group.size() < options_.max_group_batches) {
+        PendingPtr p = std::move(queue_.front());
+        queue_.pop_front();
+        if (p->has_deadline && p->deadline <= now) {
+          ++stats_.sheds;
+          expired.push_back(std::move(p));
+          continue;
+        }
+        group.push_back(std::move(p));
+      }
+      in_flight_ = group.size();
+    }
+    for (const PendingPtr& p : expired) {
+      Complete(p, Status::Unavailable("deadline expired while queued"),
+               nullptr);
+    }
+    if (group.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = 0;
+      continue;
+    }
+    const auto start = SteadyClock::now();
+    CommitGroup(std::move(group));
+    const double seconds =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = 0;
+      ewma_group_seconds_ = ewma_group_seconds_ == 0.0
+                                ? seconds
+                                : 0.7 * ewma_group_seconds_ + 0.3 * seconds;
+    }
+  }
+
+  // Shutdown: everything still queued completes kUnavailable — waiters
+  // must never hang on a dying committer.
+  std::deque<PendingPtr> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+    stats_.sheds += leftover.size();
+  }
+  for (const PendingPtr& p : leftover) {
+    Complete(p, Status::Unavailable("server is shutting down"), nullptr);
+  }
+}
+
+void GroupCommitter::CommitGroup(std::vector<PendingPtr> group) {
+  // Poison verdicts are taken exactly once per batch, before any attempt,
+  // so bisection retries see a stable outcome (the fault's hit counter
+  // never advances on a retry).
+  for (const PendingPtr& p : group) {
+    if (!p->injected_checked) {
+      p->injected = ProbeSite("server.commit.group");
+      p->injected_checked = true;
+    }
+  }
+
+  std::deque<std::vector<PendingPtr>> segments;
+  segments.push_back(std::move(group));
+  while (!segments.empty()) {
+    std::vector<PendingPtr> seg = std::move(segments.front());
+    segments.pop_front();
+
+    const Status* poison = nullptr;
+    for (const PendingPtr& p : seg) {
+      if (!p->injected.ok()) {
+        poison = &p->injected;
+        break;
+      }
+    }
+
+    if (seg.size() == 1 && poison != nullptr) {
+      // Isolated: the poison batch is rejected alone with its original
+      // error; every other batch of the group commits around it.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quarantined;
+      }
+      Complete(seg[0], *poison, nullptr);
+      continue;
+    }
+
+    Status status;
+    eval::EvalStats stats;
+    if (poison != nullptr) {
+      // A poisoned batch fails any attempt containing it; skip the pass
+      // and go straight to the split.
+      status = *poison;
+    } else {
+      status = AttemptSegment(seg, &stats);
+    }
+
+    if (status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.groups;
+        stats_.committed_batches += seg.size();
+        stats_.max_group =
+            std::max(stats_.max_group, static_cast<uint64_t>(seg.size()));
+      }
+      for (const PendingPtr& p : seg) Complete(p, Status::OK(), &stats);
+      continue;
+    }
+
+    if (status.IsDeadlineExceeded() || status.IsCancelled()) {
+      // Watchdog trip (or external cancel): a property of the pass, not
+      // of any one batch — bisection would just re-run the stall. Fail
+      // the attempt's waiters; the Database discarded the fork, so
+      // readers keep the pre-group snapshot.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (status.IsDeadlineExceeded()) ++stats_.watchdog_trips;
+      }
+      for (const PendingPtr& p : seg) Complete(p, status, &stats);
+      continue;
+    }
+
+    if (seg.size() == 1) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quarantined;
+      }
+      Complete(seg[0], std::move(status), &stats);
+      continue;
+    }
+
+    // Deterministic failure in a multi-batch attempt: bisect and retry
+    // the halves as their own commits, preserving submission order.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.bisection_splits;
+    }
+    const size_t mid = seg.size() / 2;
+    std::vector<PendingPtr> first(seg.begin(),
+                                  seg.begin() + static_cast<long>(mid));
+    std::vector<PendingPtr> second(seg.begin() + static_cast<long>(mid),
+                                   seg.end());
+    segments.push_front(std::move(second));
+    segments.push_front(std::move(first));
+  }
+}
+
+Status GroupCommitter::AttemptSegment(const std::vector<PendingPtr>& segment,
+                                      eval::EvalStats* stats) {
+  eval::EdbDeltas merged;
+  for (const PendingPtr& p : segment) FoldBatch(p->deltas, &merged);
+
+  eval::ResourceLimits limits = options_.group_limits;
+  if (options_.watchdog_seconds > 0.0) {
+    limits.deadline_seconds = options_.watchdog_seconds;
+  }
+  eval::ExecutionContext ctx(limits);
+  // The watchdog clock is running: a delay fault here (simulating a
+  // stalled pass) pushes the attempt past its deadline deterministically.
+  Status probe = ProbeSite("server.commit.watchdog");
+  if (!probe.ok()) return probe;
+  RECUR_RETURN_IF_ERROR(ctx.CheckCancel());
+  try {
+    return db_->Apply(merged, &ctx, stats);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failure during group commit");
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+void GroupCommitter::Complete(const PendingPtr& pending, Status status,
+                              const eval::EvalStats* stats) {
+  std::lock_guard<std::mutex> lock(pending->m);
+  if (stats != nullptr) pending->stats = *stats;
+  pending->status = std::move(status);
+  pending->done = true;
+  pending->cv.notify_all();
+}
+
+}  // namespace recur::server

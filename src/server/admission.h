@@ -1,0 +1,177 @@
+#ifndef RECUR_SERVER_ADMISSION_H_
+#define RECUR_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/execution_context.h"
+#include "eval/maintenance.h"
+#include "util/status.h"
+
+namespace recur::server {
+
+class Database;
+
+/// Overload policy of the shared-server write frontend: how many batches
+/// may wait for the committer, how many one group commit coalesces, and
+/// how long one maintenance pass may run before the watchdog converts it
+/// into kDeadlineExceeded.
+struct AdmissionOptions {
+  /// Batches allowed to wait in the submission queue. A submission that
+  /// finds the queue full is shed with kUnavailable instead of blocking —
+  /// bounded memory and bounded client wait under overload.
+  size_t max_queue_depth = 64;
+  /// Maximum batches coalesced into one group commit (one MaintainDeltas
+  /// pass, one WAL record, one published epoch).
+  size_t max_group_batches = 8;
+  /// Wall-clock budget for one group-commit attempt; 0 disables the
+  /// watchdog. A pass that overruns is cancelled cooperatively and every
+  /// waiter in the group gets kDeadlineExceeded while readers keep the
+  /// pre-group snapshot.
+  double watchdog_seconds = 0.0;
+  /// Governance for each commit attempt (tuple/arena/iteration budgets).
+  /// `watchdog_seconds` overrides its deadline.
+  eval::ResourceLimits group_limits;
+};
+
+/// Monotonic overload counters of one GroupCommitter, snapshot via
+/// stats(). `sheds` counts kUnavailable completions (queue full,
+/// unmeetable or expired deadline, shutdown); `quarantined` counts
+/// batches rejected alone after bisection isolated them from a failing
+/// group.
+struct ServerStats {
+  uint64_t submitted = 0;         // SubmitAsync calls
+  uint64_t admitted = 0;          // entered the queue
+  uint64_t sheds = 0;             // completed kUnavailable without work
+  uint64_t committed_batches = 0; // batches published (possibly grouped)
+  uint64_t groups = 0;            // group commits published (= epochs)
+  uint64_t max_group = 0;         // largest published group, in batches
+  uint64_t queue_high_water = 0;  // deepest observed submission queue
+  uint64_t quarantined = 0;       // poison batches rejected solo
+  uint64_t bisection_splits = 0;  // failed groups split for retry
+  uint64_t watchdog_trips = 0;    // group passes cut off by the watchdog
+};
+
+/// Group-commit frontend for a shared server::Database: writers from any
+/// number of threads enqueue EdbDeltas batches into a bounded,
+/// deadline-aware submission queue; a single committer thread drains it,
+/// coalesces up to max_group_batches into one maintenance pass published
+/// under a single epoch (one WAL record per group — the append-before-
+/// publish invariant is the Database's own), and completes each waiter
+/// with its own Status.
+///
+/// Overload behavior (explicit, never emergent):
+///   * Admission is non-blocking: a full queue, a deadline the current
+///     commit rate cannot meet, or a deadline that expires while queued
+///     sheds the batch with kUnavailable. No partial work is done.
+///   * A group that fails maintenance deterministically is bisected: the
+///     halves retry as their own commits, and the poison batch that
+///     still fails alone is rejected with its original error while every
+///     other batch in the group commits. One bad client cannot wedge the
+///     committer.
+///   * A watchdog deadline bounds each commit attempt; a stalled pass is
+///     cancelled cooperatively (the engines poll per round and per
+///     4096-row operator batch) and surfaces as kDeadlineExceeded to its
+///     waiters. Readers keep the pre-group snapshot — the Database
+///     discards the fork, so no half-published group is ever visible.
+///
+/// Thread-safety: SubmitAsync/Submit/stats/queue_depth are safe from any
+/// thread. Pause/Resume gate the committer's drain loop (tests use them
+/// to make group formation deterministic). The destructor shuts the
+/// committer down and completes still-queued waiters with kUnavailable.
+class GroupCommitter {
+ public:
+  /// One submitted batch's completion handle. Wait() blocks until the
+  /// committer (or admission) completed the batch and returns its Status;
+  /// `stats`, when given, receives the maintenance stats of the commit
+  /// attempt that carried the batch (shared by the whole group).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Status Wait(eval::EvalStats* stats = nullptr);
+    bool valid() const { return pending_ != nullptr; }
+
+   private:
+    friend class GroupCommitter;
+    struct Pending;
+    explicit Ticket(std::shared_ptr<Pending> pending)
+        : pending_(std::move(pending)) {}
+
+    std::shared_ptr<Pending> pending_;
+  };
+
+  GroupCommitter(Database* db, AdmissionOptions options);
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Non-blocking admission: enqueues the batch (waking the committer) or
+  /// completes the returned ticket immediately with kUnavailable when the
+  /// queue is full, `deadline_seconds` (relative, 0 = none) cannot be met
+  /// at the observed commit rate, or the committer is shutting down.
+  /// Fault site "server.admit" fires first and its status, when armed,
+  /// completes the ticket as-is.
+  Ticket SubmitAsync(eval::EdbDeltas deltas, double deadline_seconds = 0.0);
+
+  /// SubmitAsync + Wait: the blocking convenience writers normally use.
+  Status Submit(eval::EdbDeltas deltas, double deadline_seconds = 0.0,
+                eval::EvalStats* stats = nullptr);
+
+  /// Stops/resumes queue draining. Paused admission still sheds on a full
+  /// queue; already-running commits finish. Test seam for deterministic
+  /// group formation.
+  void Pause();
+  void Resume();
+
+  /// Stops the committer thread; queued batches complete kUnavailable.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  size_t queue_depth() const;
+  ServerStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  using PendingPtr = std::shared_ptr<Ticket::Pending>;
+  using SteadyClock = std::chrono::steady_clock;
+
+  void Loop();
+  /// Commits one dequeued group, bisecting on deterministic failures.
+  void CommitGroup(std::vector<PendingPtr> group);
+  /// One maintenance attempt over `segment` (merged into a single pass).
+  Status AttemptSegment(const std::vector<PendingPtr>& segment,
+                        eval::EvalStats* stats);
+  void Complete(const PendingPtr& pending, Status status,
+                const eval::EvalStats* stats);
+
+  Database* const db_;
+  const AdmissionOptions options_;
+
+  /// Guards the queue, the stats block, and the pacing estimate.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingPtr> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  /// Batches dequeued into the in-flight group (counted toward the wait
+  /// estimate while the committer works on them).
+  size_t in_flight_ = 0;
+  /// Exponentially weighted average seconds per group commit; 0 until the
+  /// first commit. Drives the admission-time deadline estimate.
+  double ewma_group_seconds_ = 0.0;
+  ServerStats stats_;
+
+  std::thread committer_;
+};
+
+}  // namespace recur::server
+
+#endif  // RECUR_SERVER_ADMISSION_H_

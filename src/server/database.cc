@@ -544,11 +544,40 @@ Result<QueryResult> Database::Query(const eval::Query& query,
   return result;
 }
 
+Database::~Database() = default;
+
 Status Database::Apply(const eval::EdbDeltas& deltas,
                        const eval::ExecutionContext* ctx,
                        eval::EvalStats* stats) {
   std::lock_guard<std::mutex> writer(writer_mutex_);
   return ApplyImpl(deltas, ctx, stats, /*log_to_wal=*/true);
+}
+
+void Database::EnableAdmission(AdmissionOptions options) {
+  // Default the group's governance to the server's own limits so a group
+  // commit obeys the same budgets a direct Apply would.
+  if (options.group_limits.deadline_seconds == 0.0 &&
+      options.group_limits.max_total_tuples == 0 &&
+      options.group_limits.max_arena_bytes == 0) {
+    options.group_limits = options_.limits;
+  }
+  committer_.reset();  // drain any previous committer first
+  committer_ = std::make_unique<GroupCommitter>(this, std::move(options));
+}
+
+Status Database::Submit(eval::EdbDeltas deltas, double deadline_seconds,
+                        eval::EvalStats* stats) {
+  if (committer_ != nullptr) {
+    return committer_->Submit(std::move(deltas), deadline_seconds, stats);
+  }
+  // Admission off: the deadline bounds the pass itself.
+  if (deadline_seconds > 0.0) {
+    eval::ResourceLimits limits = options_.limits;
+    limits.deadline_seconds = deadline_seconds;
+    eval::ExecutionContext ctx(limits);
+    return Apply(deltas, &ctx, stats);
+  }
+  return Apply(deltas, nullptr, stats);
 }
 
 Status Database::ApplyImpl(const eval::EdbDeltas& deltas,

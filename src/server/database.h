@@ -15,6 +15,7 @@
 #include "eval/plan/plan_cache.h"
 #include "eval/query.h"
 #include "ra/database.h"
+#include "server/admission.h"
 #include "server/durability.h"
 #include "util/io.h"
 
@@ -159,6 +160,11 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Joins the group committer (when admission is enabled) before any
+  /// other member is torn down; still-queued submissions complete with
+  /// kUnavailable.
+  ~Database();
+
   /// Pins the current epoch.
   Snapshot snapshot() const;
   uint64_t epoch() const { return snapshot().epoch(); }
@@ -187,6 +193,34 @@ class Database {
   Status SaveSnapshot();
 
   bool durability_armed() const { return wal_ != nullptr; }
+
+  /// Turns on the shared-server write frontend: a bounded, deadline-aware
+  /// submission queue drained by a single committer thread that coalesces
+  /// batches into group commits (one maintenance pass, one WAL record, one
+  /// epoch per group). Call once during setup, before concurrent writers
+  /// start; calling again replaces the committer (the old one drains
+  /// first). Direct Apply/Insert/Delete remain valid alongside — they
+  /// serialize with group commits on the writer mutex.
+  void EnableAdmission(AdmissionOptions options = {});
+
+  bool admission_enabled() const { return committer_ != nullptr; }
+
+  /// The shared write path: with admission enabled, submits through the
+  /// group committer (non-blocking admission; kUnavailable on overload)
+  /// and waits for the batch's own outcome. Without it, falls back to a
+  /// direct Apply — `deadline_seconds` then bounds the maintenance pass
+  /// itself rather than queue wait.
+  Status Submit(eval::EdbDeltas deltas, double deadline_seconds = 0.0,
+                eval::EvalStats* stats = nullptr);
+
+  /// The committer, for Pause/Resume/SubmitAsync; nullptr while admission
+  /// is off.
+  GroupCommitter* committer() { return committer_.get(); }
+
+  /// Overload counters; all-zero while admission is off.
+  ServerStats overload_stats() const {
+    return committer_ != nullptr ? committer_->stats() : ServerStats{};
+  }
 
   /// Single-tuple conveniences over Apply.
   Status Insert(SymbolId pred, ra::Tuple t,
@@ -273,6 +307,11 @@ class Database {
   /// Shared across maintenance runs and bounded inline queries; PlanCache
   /// is internally synchronized.
   mutable eval::plan::PlanCache plan_cache_;
+
+  /// Group-commit frontend; null until EnableAdmission. MUST stay the
+  /// last member: destruction order joins the committer thread before any
+  /// state it touches (WAL, plan cache, published state) is torn down.
+  std::unique_ptr<GroupCommitter> committer_;
 };
 
 }  // namespace recur::server

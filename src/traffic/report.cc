@@ -46,6 +46,7 @@ void OpNodeStats::MergeFrom(const OpNodeStats& other) {
   cancelled += other.cancelled;
   deadline_exceeded += other.deadline_exceeded;
   resource_exhausted += other.resource_exhausted;
+  sheds += other.sheds;
   other_errors += other.other_errors;
   retries += other.retries;
   tuples += other.tuples;
@@ -97,6 +98,7 @@ std::string TrafficReport::ToJson() const {
     AppendField(&rec, "cancelled", node.cancelled);
     AppendField(&rec, "deadline_exceeded", node.deadline_exceeded);
     AppendField(&rec, "resource_exhausted", node.resource_exhausted);
+    AppendField(&rec, "sheds", node.sheds);
     AppendField(&rec, "retries", node.retries);
     AppendField(&rec, "tuples", node.tuples);
     AppendField(&rec, "join_probes",
@@ -110,6 +112,26 @@ std::string TrafficReport::ToJson() const {
     AppendField(&rec, "p50_us", Us(node.latency.PercentileSeconds(0.50)), 3);
     AppendField(&rec, "p95_us", Us(node.latency.PercentileSeconds(0.95)), 3);
     AppendField(&rec, "p99_us", Us(node.latency.PercentileSeconds(0.99)), 3);
+    rec += "}";
+    out += ",\n  " + rec;
+  }
+  if (shared_server.present) {
+    std::string rec = "{";
+    AppendField(&rec, "benchmark", std::string("shared_server"),
+                /*comma=*/false);
+    AppendField(&rec, "workload", workload);
+    AppendField(&rec, "kind", std::string("server"));
+    AppendField(&rec, "submitted", shared_server.submitted);
+    AppendField(&rec, "admitted", shared_server.admitted);
+    AppendField(&rec, "sheds", shared_server.sheds);
+    AppendField(&rec, "committed_batches", shared_server.committed_batches);
+    AppendField(&rec, "groups", shared_server.groups);
+    AppendField(&rec, "max_group", shared_server.max_group);
+    AppendField(&rec, "queue_high_water", shared_server.queue_high_water);
+    AppendField(&rec, "quarantined", shared_server.quarantined);
+    AppendField(&rec, "bisection_splits", shared_server.bisection_splits);
+    AppendField(&rec, "watchdog_trips", shared_server.watchdog_trips);
+    AppendField(&rec, "final_epoch", shared_server.final_epoch);
     rec += "}";
     out += ",\n  " + rec;
   }

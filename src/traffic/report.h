@@ -23,6 +23,11 @@ struct OpNodeStats {
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t resource_exhausted = 0;
+  /// Submissions the shared server shed at admission (kUnavailable: queue
+  /// full, unmeetable deadline, shutdown). Counted apart from transient
+  /// errors — a shed is the overload policy working, not a failure to
+  /// retry.
+  uint64_t sheds = 0;
   uint64_t other_errors = 0;
   /// Transient-failure retries (bounded per-op by OpSpec::retries). A
   /// retried-then-successful op counts one ok and N retries.
@@ -50,16 +55,37 @@ struct PhaseSummary {
   double wall_seconds = 0.0;
 };
 
+/// Shared-server overload counters of one run, mirrored from
+/// server::ServerStats into a single `"kind": "server"` report record
+/// (baseline comparison only reads `"kind": "op"` records, so the stats
+/// ride along without affecting latency gates).
+struct SharedServerStats {
+  bool present = false;  // spec ran in shared_server mode
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t sheds = 0;
+  uint64_t committed_batches = 0;
+  uint64_t groups = 0;
+  uint64_t max_group = 0;
+  uint64_t queue_high_water = 0;
+  uint64_t quarantined = 0;
+  uint64_t bisection_splits = 0;
+  uint64_t watchdog_trips = 0;
+  uint64_t final_epoch = 0;
+};
+
 /// A full traffic run: the BENCH_traffic.json payload. The JSON is an
 /// array of records in deterministic order (phase records first, then one
-/// record per op node, phase-major in mix order), matching the
-/// BENCH_*.json conventions of bench/bench_json.h.
+/// record per op node, phase-major in mix order, then the shared-server
+/// record when present), matching the BENCH_*.json conventions of
+/// bench/bench_json.h.
 struct TrafficReport {
   std::string workload;  // spec name
   uint64_t seed = 1;
   bool deterministic = false;
   std::vector<PhaseSummary> phases;
   std::vector<OpNodeStats> nodes;
+  SharedServerStats shared_server;
 
   std::string ToJson() const;
 };

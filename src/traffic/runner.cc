@@ -143,6 +143,7 @@ struct LocalNode {
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t resource_exhausted = 0;
+  uint64_t sheds = 0;
   uint64_t other_errors = 0;
   uint64_t retries = 0;
   uint64_t tuples = 0;
@@ -153,13 +154,14 @@ class Worker {
  public:
   Worker(const TrafficSpec& spec, const PhaseSpec& phase,
          const Workload& workload, int worker_id,
-         const RunnerOptions& options)
+         const RunnerOptions& options, server::Database* shared_server)
       : phase_(phase),
         workload_(workload),
         spec_edb_(&spec.edb),
         rng_(spec.seed +
              0x9e3779b97f4a7c15ull * static_cast<uint64_t>(worker_id + 1)),
-        db_(workload.base_edb) {
+        db_(workload.base_edb),
+        shared_server_(shared_server) {
     if (options.deterministic) {
       virtual_clock_.emplace(options.virtual_tick_seconds);
       clock_ = &*virtual_clock_;
@@ -196,7 +198,11 @@ class Worker {
           return op.kind == OpSpec::Kind::kServerSnapshot ||
                  op.kind == OpSpec::Kind::kServerRestart;
         });
-    if (wants_server) SeedServer(wants_durability);
+    // In shared-server mode every worker hits the one run-wide server;
+    // the per-worker replica (and its durability dir) is never booted.
+    if (wants_server && shared_server_ == nullptr) {
+      SeedServer(wants_durability);
+    }
 
     const double start = clock_->Now();
     double next_arrival = start;
@@ -280,8 +286,21 @@ class Worker {
       case StatusCode::kResourceExhausted:
         node->resource_exhausted += 1;
         break;
+      case StatusCode::kUnavailable: node->sheds += 1; break;
       default: node->other_errors += 1; break;
     }
+  }
+
+  /// The server this worker's server_* ops target: the run-wide shared
+  /// server (shared_server mode) or the worker's private replica.
+  server::Database* Server() {
+    return shared_server_ != nullptr ? shared_server_ : server_.get();
+  }
+
+  /// Symbols matching Server(): the shared server interns into the
+  /// workload's own table copy, private replicas into the worker's.
+  const SymbolTable& ServerSymbols() const {
+    return shared_server_ != nullptr ? workload_.symbols : server_symbols_;
   }
 
   void RunOp(const OpSpec& op, LocalNode* node) {
@@ -425,7 +444,8 @@ class Worker {
   }
 
   void RunServerQuery(const OpSpec& op, LocalNode* node) {
-    if (server_ == nullptr) {
+    server::Database* server = Server();
+    if (server == nullptr) {
       CountError(Status::NotFound("resident server failed to boot"), node);
       return;
     }
@@ -436,7 +456,7 @@ class Worker {
       if (pos < workload_.query_arity) query.bindings[pos] = RandomValue();
     }
     std::optional<eval::ExecutionContext> ctx = MakeServerContext(op);
-    auto result = server_->Query(query, ctx ? &*ctx : nullptr);
+    auto result = server->Query(query, ctx ? &*ctx : nullptr);
     if (!result.ok()) {
       CountError(result.status(), node);
       return;
@@ -447,12 +467,13 @@ class Worker {
   }
 
   void RunServerWrite(const OpSpec& op, LocalNode* node, bool deletes) {
-    if (server_ == nullptr) {
+    server::Database* server = Server();
+    if (server == nullptr) {
       CountError(Status::NotFound("resident server failed to boot"), node);
       return;
     }
-    const SymbolId pred = server_symbols_.Lookup(op.relation);
-    server::Database::Snapshot snap = server_->snapshot();
+    const SymbolId pred = ServerSymbols().Lookup(op.relation);
+    server::Database::Snapshot snap = server->snapshot();
     const ra::Relation* rel = snap.edb().Find(pred);
     if (rel == nullptr) {
       CountError(Status::NotFound("relation " + op.relation), node);
@@ -486,15 +507,24 @@ class Worker {
     deltas.emplace(pred, std::move(delta));
     std::optional<eval::ExecutionContext> ctx = MakeServerContext(op);
     // Bounded retry with exponential backoff for transient failures
-    // (resource exhaustion, cancellation). Apply is all-or-nothing, so a
-    // retry re-submits the identical batch against whatever epoch is
-    // current. Backoff sleeps go through the worker clock: virtual in
+    // (resource exhaustion, cancellation). Apply/Submit are
+    // all-or-nothing, so a retry re-submits the identical batch against
+    // whatever epoch is current. kUnavailable is deliberately NOT
+    // transient: a shed means the server is overloaded right now, and an
+    // immediate retry is exactly the traffic it asked not to get.
+    // Backoff sleeps go through the worker clock: virtual in
     // deterministic runs, real otherwise.
     Status status;
     double backoff = op.retry_backoff_seconds;
     for (int attempt = 0;; ++attempt) {
       eval::EvalStats stats;
-      status = server_->Apply(deltas, ctx ? &*ctx : nullptr, &stats);
+      if (shared_server_ != nullptr) {
+        // Shared mode: through bounded admission + group commit. The
+        // op's deadline bounds admission + queue wait + commit.
+        status = server->Submit(deltas, op.deadline_seconds, &stats);
+      } else {
+        status = server->Apply(deltas, ctx ? &*ctx : nullptr, &stats);
+      }
       node->eval.Accumulate(stats);
       const bool transient = status.IsResourceExhausted() ||
                              status.IsCancelled();
@@ -560,6 +590,9 @@ class Worker {
   /// pointer into it.
   SymbolTable server_symbols_;
   std::unique_ptr<server::Database> server_;
+  /// Run-wide shared server (shared_server mode); nullptr otherwise. Not
+  /// owned — RunTraffic keeps it alive across all phases.
+  server::Database* shared_server_ = nullptr;
   /// Snapshot/WAL directory for snapshot/restart phases; empty while
   /// durability is off. Cleaned up with the worker unless rooted at
   /// $RECUR_DURABILITY_DIR (kept for artifact upload).
@@ -588,6 +621,8 @@ util::FaultSpec ToFaultSpec(const FaultArmSpec& arm) {
       spec.code = StatusCode::kResourceExhausted;
     } else if (arm.code == "invalid_argument") {
       spec.code = StatusCode::kInvalidArgument;
+    } else if (arm.code == "unavailable") {
+      spec.code = StatusCode::kUnavailable;
     } else {
       spec.code = StatusCode::kInternal;
     }
@@ -629,6 +664,24 @@ Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
   report.seed = spec.seed;
   report.deterministic = options.deterministic;
 
+  // Shared-server mode: one resident server for the whole run, all
+  // phases, all workers; writes go through its group-commit admission
+  // queue. The symbol-table copy must outlive the server (declared
+  // first, destroyed last).
+  SymbolTable shared_symbols = workload->symbols;
+  std::unique_ptr<server::Database> shared;
+  if (spec.shared_server) {
+    RECUR_ASSIGN_OR_RETURN(
+        shared, server::Database::Create(workload->program, workload->base_edb,
+                                         &shared_symbols));
+    server::AdmissionOptions admission;
+    admission.max_queue_depth = static_cast<size_t>(spec.admission_queue_depth);
+    admission.max_group_batches =
+        static_cast<size_t>(spec.admission_group_batches);
+    admission.watchdog_seconds = spec.watchdog_seconds;
+    shared->EnableAdmission(std::move(admission));
+  }
+
   SteadyTrafficClock wall;
   for (const PhaseSpec& phase : spec.phases) {
     PhaseFaults faults(phase.faults);
@@ -636,8 +689,8 @@ Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
     std::vector<std::unique_ptr<Worker>> workers;
     workers.reserve(static_cast<size_t>(phase.threads));
     for (int i = 0; i < phase.threads; ++i) {
-      workers.push_back(
-          std::make_unique<Worker>(spec, phase, *workload, i, options));
+      workers.push_back(std::make_unique<Worker>(spec, phase, *workload, i,
+                                                 options, shared.get()));
     }
 
     const double phase_start = wall.Now();
@@ -665,6 +718,7 @@ Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
         stats.cancelled += local.cancelled;
         stats.deadline_exceeded += local.deadline_exceeded;
         stats.resource_exhausted += local.resource_exhausted;
+        stats.sheds += local.sheds;
         stats.other_errors += local.other_errors;
         stats.retries += local.retries;
         stats.tuples += local.tuples;
@@ -684,6 +738,22 @@ Result<TrafficReport> RunTraffic(const TrafficSpec& spec,
     summary.wall_seconds =
         options.deterministic ? max_virtual_elapsed : phase_wall;
     report.phases.push_back(std::move(summary));
+  }
+
+  if (shared != nullptr) {
+    const server::ServerStats stats = shared->overload_stats();
+    report.shared_server.present = true;
+    report.shared_server.submitted = stats.submitted;
+    report.shared_server.admitted = stats.admitted;
+    report.shared_server.sheds = stats.sheds;
+    report.shared_server.committed_batches = stats.committed_batches;
+    report.shared_server.groups = stats.groups;
+    report.shared_server.max_group = stats.max_group;
+    report.shared_server.queue_high_water = stats.queue_high_water;
+    report.shared_server.quarantined = stats.quarantined;
+    report.shared_server.bisection_splits = stats.bisection_splits;
+    report.shared_server.watchdog_trips = stats.watchdog_trips;
+    report.shared_server.final_epoch = shared->epoch();
   }
   return report;
 }

@@ -94,7 +94,7 @@ Result<FaultArmSpec> ParseFault(const JsonValue& obj) {
   RECUR_ASSIGN_OR_RETURN(f.code, obj.StringOr("code", "internal"));
   if (f.code != "internal" && f.code != "cancelled" &&
       f.code != "deadline_exceeded" && f.code != "resource_exhausted" &&
-      f.code != "invalid_argument") {
+      f.code != "invalid_argument" && f.code != "unavailable") {
     return Invalid("unknown fault status code '" + f.code + "'");
   }
   RECUR_ASSIGN_OR_RETURN(f.delay_ms, IntField(obj, "delay_ms", 0));
@@ -308,6 +308,31 @@ Result<TrafficSpec> ParseTrafficSpec(std::string_view json_text) {
     spec.edb.push_back(std::move(e));
   }
 
+  RECUR_ASSIGN_OR_RETURN(spec.shared_server,
+                         root.BoolOr("shared_server", false));
+  if (const JsonValue* admission = root.Find("admission");
+      admission != nullptr) {
+    if (!admission->is_object()) return Invalid("'admission' must be an object");
+    if (!spec.shared_server) {
+      return Invalid("'admission' requires shared_server: true");
+    }
+    RECUR_ASSIGN_OR_RETURN(spec.admission_queue_depth,
+                           IntField(*admission, "queue_depth", 64));
+    if (spec.admission_queue_depth < 1) {
+      return Invalid("admission queue_depth must be >= 1");
+    }
+    RECUR_ASSIGN_OR_RETURN(spec.admission_group_batches,
+                           IntField(*admission, "group_batches", 8));
+    if (spec.admission_group_batches < 1) {
+      return Invalid("admission group_batches must be >= 1");
+    }
+    RECUR_ASSIGN_OR_RETURN(spec.watchdog_seconds,
+                           admission->NumberOr("watchdog_seconds", 0.0));
+    if (spec.watchdog_seconds < 0.0) {
+      return Invalid("admission watchdog_seconds must be >= 0");
+    }
+  }
+
   const JsonValue* phases = root.Find("phases");
   if (phases == nullptr || !phases->is_array() || phases->items().empty()) {
     return Invalid("missing non-empty 'phases' array");
@@ -321,6 +346,12 @@ Result<TrafficSpec> ParseTrafficSpec(std::string_view json_text) {
   // Ops that name a relation must name a declared EDB relation.
   for (const PhaseSpec& phase : spec.phases) {
     for (const OpSpec& op : phase.mix) {
+      if (spec.shared_server &&
+          (op.kind == OpSpec::Kind::kServerSnapshot ||
+           op.kind == OpSpec::Kind::kServerRestart)) {
+        return Invalid("op '" + op.label +
+                       "' is not available in shared_server mode");
+      }
       if (op.relation.empty()) continue;
       const bool known =
           std::any_of(spec.edb.begin(), spec.edb.end(),

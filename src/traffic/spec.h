@@ -45,7 +45,8 @@ struct FaultArmSpec {
   std::string site;            // e.g. "plan.executor.batch"
   std::string kind = "status"; // status | delay
   /// For kind=status: the injected code, one of internal | cancelled |
-  /// deadline_exceeded | resource_exhausted | invalid_argument.
+  /// deadline_exceeded | resource_exhausted | invalid_argument |
+  /// unavailable.
   std::string code = "internal";
   int delay_ms = 0;            // for kind=delay
   int trigger_on_hit = 1;
@@ -127,6 +128,19 @@ struct TrafficSpec {
   /// Domain for random query bindings and inserts; 0 = max EDB DomainSize.
   ra::Value value_range = 0;
   std::vector<PhaseSpec> phases;
+
+  /// Shared-server mode: all workers of every phase hit ONE resident
+  /// server::Database through its group-commit admission queue instead of
+  /// each owning a private replica. Writes go through Submit (bounded
+  /// admission; overload sheds with kUnavailable), reads pin epoch
+  /// snapshots. server_snapshot / server_restart ops are rejected in this
+  /// mode (restart semantics are per-worker).
+  bool shared_server = false;
+  /// Admission tuning, read only when shared_server is set (JSON object
+  /// "admission": {"queue_depth", "group_batches", "watchdog_seconds"}).
+  int admission_queue_depth = 64;
+  int admission_group_batches = 8;
+  double watchdog_seconds = 0.0;
 
   /// Effective binding/insert domain (value_range or the EDB-derived
   /// default, never < 1).

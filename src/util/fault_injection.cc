@@ -89,6 +89,9 @@ const std::vector<std::string>& KnownFaultSites() {
       "special_plans.round",
       "eval.maintain.round",
       "server.query",
+      "server.admit",
+      "server.commit.group",
+      "server.commit.watchdog",
       "query.filter_into",
       "ra.relation.reserve",
       "ra.relation.erase",

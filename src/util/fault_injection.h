@@ -58,6 +58,18 @@ struct FaultSpec {
 ///                               (deletion, rederivation, and insertion
 ///                               passes alike)
 ///   server.query                entry of server::Database::Query
+///   server.admit                entry of GroupCommitter::SubmitAsync
+///                               (admission check; a kUnavailable status
+///                               fault counts as a shed)
+///   server.commit.group         probed once per batch when the committer
+///                               first assembles it into a commit group —
+///                               a status fault marks that batch poison:
+///                               every maintenance attempt containing it
+///                               fails deterministically, so quarantine
+///                               bisection isolates and rejects it
+///   server.commit.watchdog      inside every group-commit attempt, right
+///                               after the watchdog deadline starts (a
+///                               delay fault simulates a stalled pass)
 ///   query.filter_into           entry of Query::FilterInto
 ///   ra.relation.reserve         Relation::Reserve (void site: only kThrow,
 ///                               kBadAlloc and kDelay faults apply)

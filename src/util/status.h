@@ -27,6 +27,12 @@ enum class StatusCode {
   /// snapshot, torn write-ahead-log record) and could not be recovered in
   /// full. Recovery paths surface this instead of serving corrupt data.
   kDataLoss = 10,
+  /// The service is overloaded and shed the request instead of queueing
+  /// it: the admission queue is full, the request's deadline cannot be
+  /// met, or the server is shutting down. Unlike kResourceExhausted
+  /// (a budget breached mid-execution), no work was started — retrying
+  /// immediately is pointless; back off first.
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -73,6 +79,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +103,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

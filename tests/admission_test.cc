@@ -1,0 +1,471 @@
+// Shared-server admission layer (server/admission.h): group commit must
+// coalesce queued batches into one maintenance pass under one epoch with
+// per-waiter statuses, overload must shed with kUnavailable instead of
+// blocking, the watchdog must convert a stalled pass into
+// kDeadlineExceeded while readers keep the pre-group snapshot, and a
+// deterministically failing batch must be quarantined by group bisection
+// with every innocent batch still committing. The stress test (tsan
+// label) drives concurrent writers + readers + fault chaos against one
+// server and checks epoch monotonicity and batch atomicity.
+
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "eval/seminaive.h"
+#include "server/database.h"
+#include "util/fault_injection.h"
+
+namespace recur {
+namespace {
+
+constexpr char kProgram[] =
+    "P(X, Y) :- E(X, Y).\n"
+    "P(X, Y) :- P(X, Z), P(Z, Y).\n";
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Instance().Reset(); }
+  void TearDown() override { util::FaultInjector::Instance().Reset(); }
+
+  datalog::Program Parse() {
+    auto program = datalog::ParseProgram(kProgram, &symbols_);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return *program;
+  }
+
+  ra::Database ChainEdb(int n) {
+    ra::Database edb;
+    ra::Relation* e = *edb.GetOrCreate(symbols_.Intern("E"), 2);
+    for (int i = 0; i < n; ++i) e->Insert({i, i + 1});
+    return edb;
+  }
+
+  std::unique_ptr<server::Database> MakeServer(
+      server::AdmissionOptions admission = {},
+      server::ServerOptions options = {}) {
+    auto db = server::Database::Create(Parse(), ChainEdb(4), &symbols_,
+                                       std::move(options));
+    EXPECT_TRUE(db.ok()) << db.status();
+    (*db)->EnableAdmission(std::move(admission));
+    return std::move(*db);
+  }
+
+  /// One batch inserting edge (from, to) into E.
+  eval::EdbDeltas InsertEdge(ra::Value from, ra::Value to) {
+    eval::EdbDeltas deltas;
+    eval::EdbDelta delta(2);
+    delta.inserts.Insert({from, to});
+    deltas.emplace(symbols_.Lookup("E"), std::move(delta));
+    return deltas;
+  }
+
+  /// Reference semantics: P recomputed from scratch over the server's
+  /// current EDB, as a sorted string.
+  std::string RecomputeP(const server::Database& db) {
+    auto idb = eval::SemiNaiveEvaluate(db.program(), db.snapshot().edb());
+    EXPECT_TRUE(idb.ok()) << idb.status();
+    auto it = idb->find(symbols_.Lookup("P"));
+    return it == idb->end() ? "{}" : it->second.ToString();
+  }
+
+  std::string ResidentP(const server::Database& db) {
+    const ra::Relation* p = db.snapshot().idb().Find(symbols_.Lookup("P"));
+    return p == nullptr ? "{}" : p->ToString();
+  }
+
+  bool EdbHasEdge(const server::Database& db, ra::Value from, ra::Value to) {
+    const ra::Relation* e = db.snapshot().edb().Find(symbols_.Lookup("E"));
+    if (e == nullptr) return false;
+    for (ra::TupleRef row : e->rows()) {
+      if (row[0] == from && row[1] == to) return true;
+    }
+    return false;
+  }
+
+  SymbolTable symbols_;
+};
+
+TEST_F(AdmissionTest, GroupCommitCoalescesUnderOneEpoch) {
+  auto db = MakeServer();
+  const uint64_t before = db->epoch();
+
+  // Pause the committer so all five batches queue up and form one group.
+  db->committer()->Pause();
+  std::vector<server::GroupCommitter::Ticket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(db->committer()->SubmitAsync(InsertEdge(100 + i, i)));
+  }
+  EXPECT_EQ(db->committer()->queue_depth(), 5u);
+  db->committer()->Resume();
+
+  for (auto& ticket : tickets) {
+    const Status status = ticket.Wait();
+    EXPECT_TRUE(status.ok()) << status;
+  }
+
+  // One group commit: one published epoch for all five batches.
+  EXPECT_EQ(db->epoch(), before + 1);
+  const server::ServerStats stats = db->overload_stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.committed_batches, 5u);
+  EXPECT_EQ(stats.max_group, 5u);
+  EXPECT_EQ(stats.sheds, 0u);
+
+  // The grouped maintenance pass must land on the same fixpoint a
+  // recomputation over the final EDB reaches.
+  EXPECT_EQ(ResidentP(*db), RecomputeP(*db));
+}
+
+TEST_F(AdmissionTest, QueueFullShedsWithUnavailable) {
+  server::AdmissionOptions admission;
+  admission.max_queue_depth = 2;
+  auto db = MakeServer(admission);
+
+  db->committer()->Pause();
+  auto t1 = db->committer()->SubmitAsync(InsertEdge(100, 1));
+  auto t2 = db->committer()->SubmitAsync(InsertEdge(101, 2));
+  // Third submission finds the queue full: shed immediately, no blocking.
+  auto t3 = db->committer()->SubmitAsync(InsertEdge(102, 3));
+  const Status shed = t3.Wait();
+  EXPECT_TRUE(shed.IsUnavailable()) << shed;
+
+  db->committer()->Resume();
+  EXPECT_TRUE(t1.Wait().ok());
+  EXPECT_TRUE(t2.Wait().ok());
+
+  const server::ServerStats stats = db->overload_stats();
+  EXPECT_EQ(stats.sheds, 1u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.queue_high_water, 2u);
+  // The shed batch did no work: its edge never reached the EDB.
+  EXPECT_FALSE(EdbHasEdge(*db, 102, 3));
+  EXPECT_TRUE(EdbHasEdge(*db, 100, 1));
+}
+
+TEST_F(AdmissionTest, UnmeetableDeadlineShedsAtAdmission) {
+  auto db = MakeServer();
+  // Establish the commit-rate estimate with one ordinary commit.
+  EXPECT_TRUE(db->Submit(InsertEdge(100, 1)).ok());
+  // A deadline far below one group-commit interval cannot be met; the
+  // batch is shed at admission time, before any queueing.
+  const Status status = db->Submit(InsertEdge(101, 2), /*deadline=*/1e-12);
+  EXPECT_TRUE(status.IsUnavailable()) << status;
+  EXPECT_EQ(db->overload_stats().sheds, 1u);
+  EXPECT_FALSE(EdbHasEdge(*db, 101, 2));
+}
+
+TEST_F(AdmissionTest, DeadlineExpiredInQueueSheds) {
+  auto db = MakeServer();  // fresh committer: no rate estimate yet
+  db->committer()->Pause();
+  auto ticket = db->committer()->SubmitAsync(InsertEdge(100, 1),
+                                             /*deadline_seconds=*/0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  db->committer()->Resume();
+  const Status status = ticket.Wait();
+  EXPECT_TRUE(status.IsUnavailable()) << status;
+  EXPECT_EQ(db->overload_stats().sheds, 1u);
+  EXPECT_FALSE(EdbHasEdge(*db, 100, 1));
+}
+
+TEST_F(AdmissionTest, WatchdogConvertsStallToDeadlineExceeded) {
+  server::AdmissionOptions admission;
+  admission.watchdog_seconds = 0.05;
+  auto db = MakeServer(admission);
+  const uint64_t before = db->epoch();
+
+  {
+    // A 150ms stall inside a 50ms-watchdog commit attempt: the pass is
+    // cancelled cooperatively and surfaces as kDeadlineExceeded.
+    util::FaultSpec stall;
+    stall.kind = util::FaultSpec::Kind::kDelay;
+    stall.delay_ms = 150;
+    stall.sticky = false;
+    util::ScopedFault fault("server.commit.watchdog", stall);
+    const Status status = db->Submit(InsertEdge(100, 1));
+    EXPECT_TRUE(status.IsDeadlineExceeded()) << status;
+  }
+
+  // Nothing was published: readers kept the pre-group snapshot.
+  EXPECT_EQ(db->epoch(), before);
+  EXPECT_FALSE(EdbHasEdge(*db, 100, 1));
+  EXPECT_EQ(db->overload_stats().watchdog_trips, 1u);
+  EXPECT_EQ(ResidentP(*db), RecomputeP(*db));
+
+  // The committer survived the trip and serves the next batch.
+  EXPECT_TRUE(db->Submit(InsertEdge(100, 1)).ok());
+  EXPECT_EQ(db->epoch(), before + 1);
+  EXPECT_TRUE(EdbHasEdge(*db, 100, 1));
+}
+
+TEST_F(AdmissionTest, PoisonBatchQuarantinedByBisection) {
+  auto db = MakeServer();
+  const uint64_t before = db->epoch();
+
+  db->committer()->Pause();
+  std::vector<server::GroupCommitter::Ticket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(db->committer()->SubmitAsync(InsertEdge(100 + i, i)));
+  }
+
+  // The third batch probed at group assembly is poison: every attempt
+  // containing it fails, so bisection must isolate exactly it.
+  util::FaultSpec poison;
+  poison.kind = util::FaultSpec::Kind::kStatus;
+  poison.code = StatusCode::kInternal;
+  poison.message = "poison batch";
+  poison.trigger_on_hit = 3;
+  poison.sticky = false;
+  util::ScopedFault fault("server.commit.group", poison);
+  db->committer()->Resume();
+
+  for (int i = 0; i < 5; ++i) {
+    const Status status = tickets[static_cast<size_t>(i)].Wait();
+    if (i == 2) {
+      // The poison waiter gets the batch's original error.
+      EXPECT_TRUE(status.IsInternal()) << status;
+      EXPECT_EQ(status.message(), "poison batch");
+    } else {
+      EXPECT_TRUE(status.ok()) << "batch " << i << ": " << status;
+    }
+  }
+
+  // Bisection of [1..5]: [1,2] commits, [3] quarantined, [4,5] commits.
+  const server::ServerStats stats = db->overload_stats();
+  EXPECT_EQ(stats.groups, 2u);
+  EXPECT_EQ(stats.committed_batches, 4u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.bisection_splits, 2u);
+  EXPECT_EQ(db->epoch(), before + 2);
+
+  // The quarantined batch's edge is absent; every innocent edge landed.
+  EXPECT_FALSE(EdbHasEdge(*db, 102, 2));
+  for (int i : {0, 1, 3, 4}) {
+    EXPECT_TRUE(EdbHasEdge(*db, 100 + i, i)) << "batch " << i;
+  }
+  EXPECT_EQ(ResidentP(*db), RecomputeP(*db));
+}
+
+TEST_F(AdmissionTest, DurableQuarantineRecoversCleanly) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "recur_admission" /
+       ::testing::UnitTest::GetInstance()->current_test_info()->name())
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  server::ServerOptions options;
+  options.durability.dir = dir;
+  options.durability.program_text = kProgram;
+  options.durability.fsync = server::FsyncPolicy::kNone;
+
+  std::string edb_before, idb_before;
+  {
+    auto db = MakeServer({}, options);
+    db->committer()->Pause();
+    std::vector<server::GroupCommitter::Ticket> tickets;
+    for (int i = 0; i < 3; ++i) {
+      tickets.push_back(db->committer()->SubmitAsync(InsertEdge(100 + i, i)));
+    }
+    util::FaultSpec poison;
+    poison.kind = util::FaultSpec::Kind::kStatus;
+    poison.code = StatusCode::kInternal;
+    poison.trigger_on_hit = 2;
+    poison.sticky = false;
+    util::ScopedFault fault("server.commit.group", poison);
+    db->committer()->Resume();
+    EXPECT_TRUE(tickets[0].Wait().ok());
+    EXPECT_TRUE(tickets[1].Wait().IsInternal());
+    EXPECT_TRUE(tickets[2].Wait().ok());
+
+    server::Database::Snapshot snap = db->snapshot();
+    edb_before = snap.edb().Find(symbols_.Lookup("E"))->ToString();
+    idb_before = snap.idb().Find(symbols_.Lookup("P"))->ToString();
+    // ~db joins the committer before the WAL is torn down.
+  }
+
+  // Recovery replays only the committed groups: the quarantined batch
+  // never reached the log, so the revived state matches exactly.
+  SymbolTable symbols;
+  auto revived =
+      server::Database::OpenOrRecover(dir, kProgram, &symbols, options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  server::Database::Snapshot snap = (*revived)->snapshot();
+  EXPECT_EQ(snap.edb().Find(symbols.Lookup("E"))->ToString(), edb_before);
+  EXPECT_EQ(snap.idb().Find(symbols.Lookup("P"))->ToString(), idb_before);
+}
+
+TEST_F(AdmissionTest, SubmitWithoutAdmissionFallsBackToDirectApply) {
+  auto db = server::Database::Create(Parse(), ChainEdb(4), &symbols_);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE((*db)->admission_enabled());
+  const uint64_t before = (*db)->epoch();
+  EXPECT_TRUE((*db)->Submit(InsertEdge(100, 1)).ok());
+  EXPECT_EQ((*db)->epoch(), before + 1);
+  EXPECT_TRUE(EdbHasEdge(**db, 100, 1));
+  EXPECT_EQ((*db)->overload_stats().submitted, 0u);
+}
+
+TEST_F(AdmissionTest, ShutdownCompletesPendingWithUnavailable) {
+  auto db = MakeServer();
+  db->committer()->Pause();
+  std::vector<server::GroupCommitter::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(db->committer()->SubmitAsync(InsertEdge(100 + i, i)));
+  }
+  db->committer()->Shutdown();
+  for (auto& ticket : tickets) {
+    const Status status = ticket.Wait();
+    EXPECT_TRUE(status.IsUnavailable()) << status;
+  }
+  // Submissions after shutdown shed immediately too.
+  EXPECT_TRUE(db->Submit(InsertEdge(200, 1)).IsUnavailable());
+}
+
+// Stress (tsan): concurrent writers submitting unique two-row batches,
+// readers pinning snapshots, and a chaos thread arming/disarming faults.
+// Invariants: epochs are monotone per reader, every snapshot shows each
+// batch fully or not at all (both rows or neither), the maintained P
+// always equals E (the program is P = transitive closure... of a single
+// non-recursive rule here, so P == E row-for-row), and at the end a
+// batch's rows are present exactly when its Submit returned OK.
+TEST_F(AdmissionTest, SharedStressEpochsMonotoneAndBatchesAtomic) {
+  SymbolTable symbols;
+  auto program = datalog::ParseProgram("P(X, Y) :- E(X, Y).\n", &symbols);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ra::Database edb;
+  (void)*edb.GetOrCreate(symbols.Intern("E"), 2);
+  auto created =
+      server::Database::Create(*std::move(program), std::move(edb), &symbols);
+  ASSERT_TRUE(created.ok()) << created.status();
+  std::unique_ptr<server::Database> db = std::move(*created);
+  server::AdmissionOptions admission;
+  admission.max_queue_depth = 1024;  // no queue-full sheds: statuses stay
+                                     // fault-driven
+  admission.max_group_batches = 4;
+  db->EnableAdmission(admission);
+  const SymbolId e_pred = symbols.Lookup("E");
+  const SymbolId p_pred = symbols.Lookup("P");
+
+  constexpr int kWriters = 4;
+  constexpr int kBatchesPerWriter = 40;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<Status>> outcomes(kWriters);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    outcomes[static_cast<size_t>(w)].resize(kBatchesPerWriter);
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kBatchesPerWriter; ++i) {
+        const ra::Value k = w * 1000 + i;
+        eval::EdbDeltas deltas;
+        eval::EdbDelta delta(2);
+        delta.inserts.Insert({k, 1});
+        delta.inserts.Insert({k, 2});
+        deltas.emplace(e_pred, std::move(delta));
+        outcomes[static_cast<size_t>(w)][static_cast<size_t>(i)] =
+            db->Submit(std::move(deltas));
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        server::Database::Snapshot snap = db->snapshot();
+        ASSERT_GE(snap.epoch(), last_epoch);
+        last_epoch = snap.epoch();
+        const ra::Relation* e = snap.edb().Find(e_pred);
+        if (e != nullptr) {
+          // Batch atomicity: a key is present with both rows or absent.
+          std::unordered_map<ra::Value, int> mask;
+          for (ra::TupleRef row : e->rows()) {
+            mask[row[0]] |= row[1] == 1 ? 1 : 2;
+          }
+          for (const auto& [key, bits] : mask) {
+            ASSERT_EQ(bits, 3) << "half-visible batch " << key << " at epoch "
+                               << snap.epoch();
+          }
+          // Snapshot isolation across EDB and IDB: P of this epoch is
+          // derived from exactly this E.
+          const ra::Relation* p = snap.idb().Find(p_pred);
+          ASSERT_EQ(p == nullptr ? "{}" : p->ToString(), e->ToString())
+              << "at epoch " << snap.epoch();
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Chaos: randomly poison group assembly and fail maintenance rounds.
+  std::thread chaos([&] {
+    unsigned seed = 12345;
+    auto next = [&seed] { return seed = seed * 1103515245u + 12345u; };
+    while (!stop.load(std::memory_order_acquire)) {
+      util::FaultSpec spec;
+      spec.kind = util::FaultSpec::Kind::kStatus;
+      spec.code = next() % 2 == 0 ? StatusCode::kInternal
+                                  : StatusCode::kResourceExhausted;
+      spec.trigger_on_hit = static_cast<int>(next() % 5) + 1;
+      spec.sticky = false;
+      const char* site =
+          next() % 2 == 0 ? "server.commit.group" : "eval.maintain.round";
+      util::FaultInjector::Instance().Arm(site, spec);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      util::FaultInjector::Instance().Disarm(site);
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  chaos.join();
+  util::FaultInjector::Instance().Reset();
+
+  // Ground truth: a batch's rows are in the final EDB exactly when its
+  // Submit reported success.
+  server::Database::Snapshot snap = db->snapshot();
+  const ra::Relation* e = snap.edb().Find(e_pred);
+  ASSERT_NE(e, nullptr);
+  std::unordered_map<ra::Value, int> mask;
+  for (ra::TupleRef row : e->rows()) mask[row[0]] |= row[1] == 1 ? 1 : 2;
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kBatchesPerWriter; ++i) {
+      const ra::Value k = w * 1000 + i;
+      const Status& status =
+          outcomes[static_cast<size_t>(w)][static_cast<size_t>(i)];
+      const auto it = mask.find(k);
+      if (status.ok()) {
+        ASSERT_NE(it, mask.end()) << "committed batch " << k << " missing";
+        ASSERT_EQ(it->second, 3) << "committed batch " << k << " is partial";
+      } else {
+        ASSERT_EQ(it, mask.end())
+            << "failed batch " << k << " (" << status << ") left rows behind";
+      }
+    }
+  }
+  const ra::Relation* p = snap.idb().Find(p_pred);
+  EXPECT_EQ(p == nullptr ? "{}" : p->ToString(), e->ToString());
+  const server::ServerStats stats = db->overload_stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kWriters) *
+                                 kBatchesPerWriter);
+  EXPECT_GE(stats.groups, 1u);
+}
+
+}  // namespace
+}  // namespace recur

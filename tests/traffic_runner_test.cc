@@ -467,5 +467,104 @@ TEST(TrafficRunnerTest, DurationPhasesAndInlineRulesRun) {
   EXPECT_GT(report->phases[0].wall_seconds, 0.0);
 }
 
+// Shared-server mode: every worker submits through ONE resident database's
+// admission queue. The report must carry the server-level stats record and
+// account for every submission. Shared runs are NOT byte-reproducible —
+// sheds depend on real thread interleaving — so unlike the per-worker
+// resident tests this one never compares reruns.
+TEST(TrafficRunnerTest, SharedServerModeReportsServerStats) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "shared_unit",
+    "seed": 21,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "shared_server": true,
+    "admission": {"queue_depth": 64, "group_batches": 4},
+    "edb": [{"relation": "E", "kind": "chain", "n": 16}],
+    "phases": [
+      {
+        "name": "served",
+        "threads": 3,
+        "ops": 24,
+        "mix": [
+          {"op": "server_query", "weight": 3, "bind": [0]},
+          {"op": "server_insert", "weight": 1, "relation": "E", "count": 2},
+          {"op": "server_delete", "weight": 1, "relation": "E", "count": 1}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  RunnerOptions options;
+  options.deterministic = true;
+  auto report = RunTraffic(*spec, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_TRUE(report->shared_server.present);
+  const SharedServerStats& server = report->shared_server;
+  EXPECT_GT(server.submitted, 0u);
+  // Every submission is accounted for: committed, quarantined, or shed
+  // (at admission or by queue expiry — the phase drains before reporting).
+  EXPECT_EQ(server.submitted,
+            server.committed_batches + server.quarantined + server.sheds);
+  EXPECT_GT(server.groups, 0u);
+  EXPECT_GE(server.max_group, 1u);
+  // One epoch per published group (plus the bootstrap epoch 0).
+  EXPECT_EQ(server.final_epoch, server.groups);
+
+  // Queries answered from the shared resident IDB return rows.
+  for (const OpNodeStats& node : report->nodes) {
+    if (node.op == "server_query") EXPECT_GT(node.tuples, 0u);
+  }
+
+  // The JSON artifact carries both the per-node sheds field and the
+  // server-level record the dashboards read.
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"sheds\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"server\""), std::string::npos);
+}
+
+// Saturation: a depth-1 queue with more writers than the committer can
+// drain plus unmeetable deadlines must shed with kUnavailable — counted in
+// the nodes' shed bucket, never wedging a worker or crashing the phase.
+TEST(TrafficRunnerTest, SharedServerShedsUnderSaturation) {
+  auto spec = ParseTrafficSpec(R"({
+    "name": "shared_saturated",
+    "seed": 29,
+    "rules": "P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).\n",
+    "query_pred": "P",
+    "shared_server": true,
+    "admission": {"queue_depth": 1, "group_batches": 1},
+    "edb": [{"relation": "E", "kind": "random_graph", "n": 32, "m": 64}],
+    "phases": [
+      {
+        "name": "overload",
+        "threads": 4,
+        "ops": 40,
+        "mix": [
+          {"op": "server_insert", "weight": 1, "relation": "E", "count": 3,
+           "deadline_seconds": 1e-9}
+        ]
+      }
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto report = RunTraffic(*spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->shared_server.present);
+
+  uint64_t node_sheds = 0, node_errors = 0, typed = 0;
+  for (const OpNodeStats& node : report->nodes) {
+    node_sheds += node.sheds;
+    node_errors += node.errors;
+    typed += node.cancelled + node.deadline_exceeded +
+             node.resource_exhausted + node.sheds + node.other_errors;
+  }
+  EXPECT_GT(node_sheds, 0u) << "saturated queue shed nothing";
+  // Sheds are part of the error total and the typed buckets tile it.
+  EXPECT_EQ(node_errors, typed);
+  EXPECT_GT(report->shared_server.sheds, 0u);
+}
+
 }  // namespace
 }  // namespace recur::traffic

@@ -157,8 +157,88 @@ TEST(TrafficSpecTest, DurabilityOpKindsAndRetriesParse) {
   }
 }
 
+TEST(TrafficSpecTest, SharedServerAndAdmissionParse) {
+  auto spec = TimedParse(R"({
+    "name": "shared", "seed": 5,
+    "rules": "P(X, Y) :- E(X, Y).\n",
+    "query_pred": "P",
+    "shared_server": true,
+    "admission": {"queue_depth": 16, "group_batches": 4,
+                  "watchdog_seconds": 0.5},
+    "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+    "phases": [{"name": "p", "ops": 6, "mix": [
+      {"op": "server_query", "weight": 2, "bind": [0]},
+      {"op": "server_insert", "weight": 1, "relation": "E",
+       "deadline_seconds": 0.05}
+    ]}]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->shared_server);
+  EXPECT_EQ(spec->admission_queue_depth, 16);
+  EXPECT_EQ(spec->admission_group_batches, 4);
+  EXPECT_DOUBLE_EQ(spec->watchdog_seconds, 0.5);
+
+  // Defaults apply when the admission block is omitted.
+  auto defaults = TimedParse(R"({
+    "name": "shared", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+    "shared_server": true,
+    "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+    "phases": [{"name": "p", "ops": 2,
+                "mix": [{"op": "server_query", "bind": [0]}]}]
+  })");
+  ASSERT_TRUE(defaults.ok()) << defaults.status();
+  EXPECT_TRUE(defaults->shared_server);
+  EXPECT_EQ(defaults->admission_queue_depth, 64);
+  EXPECT_EQ(defaults->admission_group_batches, 8);
+  EXPECT_DOUBLE_EQ(defaults->watchdog_seconds, 0.0);
+
+  struct Case {
+    const char* what;
+    const char* text;
+  } cases[] = {
+      {"admission without shared_server", R"({
+        "name": "x", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+        "admission": {"queue_depth": 8},
+        "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "server_query", "bind": [0]}]}]})"},
+      {"zero queue_depth", R"({
+        "name": "x", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+        "shared_server": true, "admission": {"queue_depth": 0},
+        "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "server_query", "bind": [0]}]}]})"},
+      {"negative watchdog", R"({
+        "name": "x", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+        "shared_server": true, "admission": {"watchdog_seconds": -1.0},
+        "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "server_query", "bind": [0]}]}]})"},
+      // One server serves every worker, so per-worker restart/snapshot
+      // ops make no sense in shared mode.
+      {"server_restart in shared mode", R"({
+        "name": "x", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+        "shared_server": true,
+        "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "server_restart"}]}]})"},
+      {"server_snapshot in shared mode", R"({
+        "name": "x", "rules": "P(X, Y) :- E(X, Y).\n", "query_pred": "P",
+        "shared_server": true,
+        "edb": [{"relation": "E", "kind": "chain", "n": 8}],
+        "phases": [{"name": "p", "ops": 1,
+                    "mix": [{"op": "server_snapshot"}]}]})"},
+  };
+  for (const Case& c : cases) {
+    auto bad = TimedParse(c.text);
+    ASSERT_FALSE(bad.ok()) << c.what << " accepted";
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument) << c.what;
+  }
+}
+
 TEST(TrafficSpecTest, CommittedSpecsLoad) {
-  for (const char* name : {"smoke.json", "paper_mixed.json", "resident.json"}) {
+  for (const char* name : {"smoke.json", "paper_mixed.json", "resident.json",
+                           "resident_shared.json"}) {
     const std::string path = std::string(RECUR_SPEC_DIR) + "/" + name;
     auto spec = LoadTrafficSpecFile(path);
     ASSERT_TRUE(spec.ok()) << path << ": " << spec.status();

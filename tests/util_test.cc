@@ -33,6 +33,7 @@ TEST(StatusTest, AllConstructorsSetMatchingCode) {
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
 }
 
 TEST(StatusTest, CodeNames) {
@@ -44,6 +45,7 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "Resource exhausted");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "Data loss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, DataLossToString) {
