@@ -6,7 +6,12 @@
 // record per run with {benchmark, workload, threads, wall_seconds,
 // tuples_per_sec} — so CI and the evaluation docs can diff runs without
 // scraping stdout. RECUR_BENCH_JSON_DIR overrides the output directory
-// (default: the current working directory).
+// (default: the current working directory); RECUR_BENCH_SUITE overrides
+// the suite name, so one binary can emit differently named artifacts for
+// filtered runs (e.g. the vectorization ablation writes BENCH_vector.json
+// from the same bench_parallel executable). RECUR_BENCH_APPEND=1 folds the
+// new records into an existing artifact instead of truncating it, so runs
+// of several binaries can share one suite file.
 //
 // Use RECUR_BENCH_MAIN(suite) in place of BENCHMARK_MAIN().
 
@@ -39,8 +44,28 @@ class JsonArtifactReporter : public benchmark::ConsoleReporter {
   void Finalize() override {
     benchmark::ConsoleReporter::Finalize();
     const char* dir = std::getenv("RECUR_BENCH_JSON_DIR");
+    const char* suite_env = std::getenv("RECUR_BENCH_SUITE");
+    const std::string suite =
+        (suite_env != nullptr && suite_env[0] != '\0') ? suite_env : suite_;
     const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
-                             "BENCH_" + suite_ + ".json";
+                             "BENCH_" + suite + ".json";
+    const char* append = std::getenv("RECUR_BENCH_APPEND");
+    if (append != nullptr && append[0] == '1') {
+      // Re-read the records we wrote last time (the format is our own:
+      // one "  {...}" line per record between the bracket lines) and
+      // prepend them, so several binaries can contribute to one artifact.
+      std::ifstream in(path);
+      std::string line;
+      std::vector<std::string> prior;
+      while (std::getline(in, line)) {
+        const size_t open = line.find('{');
+        if (open == std::string::npos) continue;
+        size_t close = line.rfind('}');
+        if (close == std::string::npos || close < open) continue;
+        prior.push_back(line.substr(open, close - open + 1));
+      }
+      records_.insert(records_.begin(), prior.begin(), prior.end());
+    }
     std::ofstream out(path);
     if (!out.good()) {
       std::cerr << "cannot write " << path << "\n";

@@ -51,7 +51,8 @@ std::unique_ptr<Closure> MakeClosure(const ra::Relation& edges) {
 
 /// Runs the fixpoint at state.range(0) threads and verifies the result
 /// cardinality against the single-threaded engine (computed once).
-void RunClosure(benchmark::State& state, Closure* c, bool plan_cache = true) {
+void RunClosure(benchmark::State& state, Closure* c, bool plan_cache = true,
+                size_t batch_rows = 0) {
   static_assert(sizeof(size_t) >= 8, "cardinalities fit");
   eval::FixpointOptions serial;
   auto reference = eval::SemiNaiveEvaluate(c->program, c->edb, serial);
@@ -64,6 +65,7 @@ void RunClosure(benchmark::State& state, Closure* c, bool plan_cache = true) {
   eval::FixpointOptions options;
   options.num_threads = static_cast<int>(state.range(0));
   options.plan_cache = plan_cache;
+  options.executor_batch_rows = batch_rows;
   size_t tuples = 0;
   for (auto _ : state) {
     auto idb = eval::SemiNaiveEvaluate(c->program, c->edb, options);
@@ -184,6 +186,64 @@ void BM_Parallel_TC_RandomGraph_NoPlanCache(benchmark::State& state) {
   RunClosure(state, c.get(), /*plan_cache=*/false);
 }
 BENCHMARK(BM_Parallel_TC_RandomGraph_NoPlanCache)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Vectorization ablation: the same closures with executor_batch_rows=1,
+// which degenerates the batch executor to tuple-at-a-time processing (one
+// lane per register batch — no columnar gathers, no batched hashing, no
+// Bloom-before-probe, no prefetch). Single-threaded only, so the gap to the
+// Arg(1) rows of the vectorized series isolates the batch pipeline's
+// payoff. Run with --benchmark_filter='Vector' and RECUR_BENCH_SUITE=vector
+// to emit the BENCH_vector.json ablation artifact.
+void BM_Parallel_TC_Chain_NoVector(benchmark::State& state) {
+  workload::Generator gen(201);
+  auto c = MakeClosure(gen.Chain(512));
+  RunClosure(state, c.get(), /*plan_cache=*/true, /*batch_rows=*/1);
+}
+BENCHMARK(BM_Parallel_TC_Chain_NoVector)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_Grid_NoVector(benchmark::State& state) {
+  workload::Generator gen(202);
+  auto c = MakeClosure(gen.Grid(40, 40));
+  RunClosure(state, c.get(), /*plan_cache=*/true, /*batch_rows=*/1);
+}
+BENCHMARK(BM_Parallel_TC_Grid_NoVector)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_RandomGraph_NoVector(benchmark::State& state) {
+  workload::Generator gen(203);
+  auto c = MakeClosure(gen.RandomGraph(4000, 4400));
+  RunClosure(state, c.get(), /*plan_cache=*/true, /*batch_rows=*/1);
+}
+BENCHMARK(BM_Parallel_TC_RandomGraph_NoVector)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The vectorized counterparts under Vector-filterable names, so the
+// ablation artifact carries both sides of the comparison without rerunning
+// the whole pipeline suite.
+void BM_Parallel_TC_Chain_Vector(benchmark::State& state) {
+  workload::Generator gen(201);
+  auto c = MakeClosure(gen.Chain(512));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_Chain_Vector)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_Grid_Vector(benchmark::State& state) {
+  workload::Generator gen(202);
+  auto c = MakeClosure(gen.Grid(40, 40));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_Grid_Vector)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_TC_RandomGraph_Vector(benchmark::State& state) {
+  workload::Generator gen(203);
+  auto c = MakeClosure(gen.RandomGraph(4000, 4400));
+  RunClosure(state, c.get());
+}
+BENCHMARK(BM_Parallel_TC_RandomGraph_Vector)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -166,6 +166,7 @@ Result<ra::Relation> StableEvaluator::Answer(
   ConjunctiveOptions conj;
   conj.plan_cache = plan_cache_.get();
   conj.context = ctx.get();
+  conj.batch_rows = options.fixpoint.executor_batch_rows;
 
   // Materialize step relations for non-identity chains.
   std::vector<std::optional<ra::Relation>> steps(n);

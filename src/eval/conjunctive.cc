@@ -49,6 +49,9 @@ void EvalStats::Accumulate(const EvalStats& other) {
   arena_bytes = std::max(arena_bytes, other.arena_bytes);
   plans_executed += other.plans_executed;
   plans_with_joins += other.plans_with_joins;
+  batches += other.batches;
+  bloom_probes += other.bloom_probes;
+  bloom_skips += other.bloom_skips;
 }
 
 Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
@@ -80,6 +83,7 @@ Result<ra::Relation> EvaluateRule(const datalog::Rule& rule,
   exec.bindings = options.bindings;
   exec.context = options.context;
   exec.stats = stats;
+  exec.batch_rows = options.batch_rows;
   auto result = plan::ExecutePlan(*compiled, lookup, exec);
   if (stats != nullptr && options.explain) {
     stats->plans.push_back(plan::ExplainPlan(*compiled));

@@ -43,6 +43,10 @@ struct ConjunctiveOptions {
   /// Append the executed plan's ExplainPlan() rendering to
   /// EvalStats::plans.
   bool explain = false;
+  /// Lanes per executor register batch. 0 -> the executor default
+  /// (plan::kExecutorBatchLanes); 1 degenerates to tuple-at-a-time
+  /// execution (the vectorization-ablation baseline).
+  size_t batch_rows = 0;
 };
 
 /// Per-rule slice of one fixpoint round (only filled in when
@@ -91,6 +95,12 @@ struct EvalStats {
   /// that invariant across the whole corpus.
   size_t plans_executed = 0;
   size_t plans_with_joins = 0;
+  /// Vectorized-executor telemetry: register batches pushed through plan
+  /// operators, index probes that consulted a Bloom filter, and how many
+  /// of those the filter pruned before any bucket access.
+  size_t batches = 0;
+  size_t bloom_probes = 0;
+  size_t bloom_skips = 0;
   std::vector<RoundStats> rounds;
   /// ExplainPlan() renderings, appended per EvaluateRule call when
   /// ConjunctiveOptions::explain is set.

@@ -22,6 +22,8 @@ struct MaintenanceRun {
   plan::PlanCache* plan_cache;
   const ExecutionContext* ctx;
   EvalStats* stats;
+  /// Lanes per executor register batch (0 = vectorized default).
+  size_t batch_rows;
   /// Rounds used so far across all three passes, charged against
   /// ResourceLimits::max_iterations like fixpoint rounds.
   int* rounds_used;
@@ -110,6 +112,7 @@ Status FireDelta(const MaintenanceRun& run, const datalog::Rule& rule,
   conj.override_relation = delta;
   conj.plan_cache = run.plan_cache;
   conj.context = run.ctx;
+  conj.batch_rows = run.batch_rows;
   RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                          EvaluateRule(rule, lookup, conj, run.stats));
   for (ra::TupleRef t : derived.rows()) sink(t);
@@ -217,6 +220,7 @@ Status Rederive(const MaintenanceRun& run, const IdbRelations& cand) {
         ConjunctiveOptions conj;
         conj.plan_cache = run.plan_cache;
         conj.context = run.ctx;
+        conj.batch_rows = run.batch_rows;
         RECUR_ASSIGN_OR_RETURN(
             ra::Relation derived,
             EvaluateRule(rule, run.new_lookup, conj, run.stats));
@@ -324,6 +328,7 @@ Status MaintainDeltas(const datalog::Program& program,
           options.plan_cache != nullptr ? options.plan_cache : &local_cache,
       .ctx = ctx.get(),
       .stats = stats,
+      .batch_rows = options.executor_batch_rows,
       .rounds_used = &rounds_used,
       .old_lookup = {},
       .new_lookup = {},

@@ -44,6 +44,9 @@ struct MaintenanceOptions {
   /// keeps one cache recompiles nothing on steady-state batches. When
   /// null a private per-run cache is used.
   plan::PlanCache* plan_cache = nullptr;
+  /// Lanes per executor register batch. 0 -> the vectorized default; 1
+  /// degenerates to tuple-at-a-time execution (the ablation baseline).
+  size_t executor_batch_rows = 0;
 };
 
 /// Incrementally maintains the resident IDB database `idb` (one relation

@@ -95,6 +95,7 @@ Result<IdbRelations> NaiveEvaluateImpl(const datalog::Program& program,
       ConjunctiveOptions conj;
       conj.plan_cache = &plan_cache;
       conj.context = ctx.get();
+      conj.batch_rows = options.executor_batch_rows;
       RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                              EvaluateRule(rule, lookup, conj, stats));
       size_t added = idb[rule.head().predicate()].InsertAll(derived);

@@ -40,6 +40,11 @@ struct FixpointOptions {
   /// Disable only for ablation: every rule evaluation then replans from
   /// the current cardinalities — see bench_parallel's NoPlanCache series.
   bool plan_cache = true;
+  /// Lanes per executor register batch. 0 -> the vectorized default
+  /// (plan::kExecutorBatchLanes, 1024); 1 degenerates to tuple-at-a-time
+  /// execution — the vectorization ablation (bench_parallel's NoVector
+  /// series).
+  size_t executor_batch_rows = 0;
 };
 
 /// Naive bottom-up fixpoint: re-derives from the full relations every round

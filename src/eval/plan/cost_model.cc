@@ -1,0 +1,44 @@
+#include "eval/plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recur::eval::plan {
+
+namespace {
+constexpr double kMaxCorrection = 16.0;
+}  // namespace
+
+void CostModel::Observe(const RulePlan& plan) {
+  const size_t executions = plan.executions.load(std::memory_order_relaxed);
+  if (executions == 0 || plan.num_counters == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const ComponentPlan& comp : plan.components) {
+    for (const Op& op : comp.ops) {
+      if (op.kind == OpKind::kProject || op.counter_slot < 0) continue;
+      const double actual =
+          static_cast<double>(plan.actual_rows[op.counter_slot].load(
+              std::memory_order_relaxed)) /
+          static_cast<double>(executions);
+      // +1 smoothing on both sides: zero-row operators still teach the
+      // model something without driving the log ratio to -inf.
+      const double ratio = (actual + 1.0) / (op.est_rows + 1.0);
+      Accumulator& acc = corrections_[Key(op.predicate,
+                                          op.probe_cols.size())];
+      acc.log_ratio_sum += std::log(ratio);
+      ++acc.count;
+    }
+  }
+  observations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double CostModel::Correction(SymbolId predicate, size_t probe_width) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = corrections_.find(Key(predicate, probe_width));
+  if (it == corrections_.end() || it->second.count == 0) return 1.0;
+  const double mean = std::exp(it->second.log_ratio_sum /
+                               static_cast<double>(it->second.count));
+  return std::clamp(mean, 1.0 / kMaxCorrection, kMaxCorrection);
+}
+
+}  // namespace recur::eval::plan

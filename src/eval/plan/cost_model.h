@@ -1,0 +1,59 @@
+#ifndef RECUR_EVAL_PLAN_COST_MODEL_H_
+#define RECUR_EVAL_PLAN_COST_MODEL_H_
+
+// CostModel: the planner's measured feedback loop. Every RulePlan already
+// records estimated and actual per-operator cardinalities (rendered by
+// ExplainPlan); when the plan cache retires a plan, the est-vs-actual
+// ratios fold into per-(predicate, probe-width) correction factors, and
+// subsequent planning multiplies its selectivity estimates by the learned
+// correction. Corrections are geometric means in log space, clamped so a
+// few wild observations cannot capsize the ordering.
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+
+#include "eval/plan/plan_ir.h"
+#include "util/symbol_table.h"
+
+namespace recur::eval::plan {
+
+class CostModel {
+ public:
+  /// Folds a retiring plan's per-operator est-vs-actual cardinalities
+  /// into the correction table. Actual counters are accumulated across
+  /// executions, so the plan's execution count divides them back into
+  /// per-execution averages first. Thread-safe.
+  void Observe(const RulePlan& plan);
+
+  /// Multiplicative correction for the planner's estimate of rows an
+  /// access to `predicate` with `probe_width` bound columns passes
+  /// downstream. 1.0 until observations exist; clamped to [1/16, 16].
+  double Correction(SymbolId predicate, size_t probe_width) const;
+
+  /// Number of Observe() calls folded in (a cheap version stamp: plans
+  /// compiled under different calibration states are distinguishable).
+  size_t observations() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Accumulator {
+    double log_ratio_sum = 0;
+    size_t count = 0;
+  };
+
+  static uint64_t Key(SymbolId predicate, size_t probe_width) {
+    return (static_cast<uint64_t>(predicate) << 4) |
+           (probe_width < 15 ? probe_width : 15);
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Accumulator> corrections_;
+  std::atomic<size_t> observations_{0};
+};
+
+}  // namespace recur::eval::plan
+
+#endif  // RECUR_EVAL_PLAN_COST_MODEL_H_

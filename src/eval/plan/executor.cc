@@ -1,6 +1,7 @@
 #include "eval/plan/executor.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "eval/conjunctive.h"
 #include "util/fault_injection.h"
@@ -9,10 +10,37 @@ namespace recur::eval::plan {
 
 namespace {
 
+/// Column-major register batch: lane l of register r lives at
+/// regs[r * capacity + l], so a scan binds one output register for a
+/// whole batch with a single contiguous gather and a filter touches one
+/// column without striding over frames.
+struct RegBatch {
+  size_t capacity = 0;
+  size_t lanes = 0;
+  std::vector<ra::Value> regs;
+
+  void Configure(size_t frame_size, size_t cap) {
+    capacity = cap;
+    lanes = 0;
+    // resize, not assign: stale lane values from a previous component are
+    // never read — every register consulted by a check, head slot, or
+    // projection is written by an upstream op first — and skipping the
+    // re-zero matters when small semi-naive deltas reconfigure batches
+    // every rule call.
+    regs.resize(frame_size * cap);
+  }
+  ra::Value* Col(int reg) {
+    return regs.data() + static_cast<size_t>(reg) * capacity;
+  }
+  const ra::Value* Col(int reg) const {
+    return regs.data() + static_cast<size_t>(reg) * capacity;
+  }
+};
+
 /// One plan execution. Lives for a single ExecutePlan call; accumulates
 /// per-operator counters locally and flushes them into the shared plan's
 /// atomics once at the end, so parallel shard tasks executing one cached
-/// plan pay one atomic add per operator, not one per row.
+/// plan pay one atomic add per operator, not one per row or batch.
 class Runner {
  public:
   Runner(const RulePlan& plan, const PlanRelationLookup& lookup,
@@ -20,36 +48,69 @@ class Runner {
       : plan_(plan),
         lookup_(lookup),
         options_(options),
-        frame_(static_cast<size_t>(plan.frame_size), 0),
+        batch_cap_(options.batch_rows == 0 ? kExecutorBatchLanes
+                                           : options.batch_rows),
         local_rows_(static_cast<size_t>(plan.num_counters), 0),
         local_probes_(static_cast<size_t>(plan.num_counters), 0),
+        local_batches_(static_cast<size_t>(plan.num_counters), 0),
         out_(plan.head_arity) {}
 
   Result<ra::Relation> Run();
 
  private:
-  /// Sinks: what happens to a frame that survives a whole pipeline.
+  /// Sinks: what happens to a lane that survives a whole pipeline.
   enum class Mode { kExistence, kStream };
 
   Status ResolveRelations();
-  /// Runs ops[op_index...]; returns false to abort enumeration (existence
+  /// Seeds batches_[0] with the bound prefix and pushes it through the
+  /// component's pipeline; returns false to abort enumeration (existence
   /// satisfied, or status_ became non-OK).
-  bool RunOps(const ComponentPlan& comp, size_t op_index, Mode mode,
-              ra::Relation* project_target);
-  bool RowPasses(const Op& op, ra::TupleRef row) const;
+  bool RunComponent(const ComponentPlan& comp, Mode mode,
+                    ra::Relation* project_target);
+  /// Consumes batches_[op_index] through ops[op_index...], flushing
+  /// batches_[op_index + 1] downstream as it fills.
+  bool Drive(const ComponentPlan& comp, size_t op_index, Mode mode,
+             ra::Relation* project_target);
+  bool SinkBatch(const RegBatch& batch, Mode mode);
+  bool RowPassesLane(const Op& op, ra::TupleRef row, const RegBatch& batch,
+                     size_t lane) const;
+  /// Row ids of `rel` passing the op's lane-independent (const + intra)
+  /// checks; computed once per (op, relation) and reused across batches —
+  /// relations are immutable for the lifetime of a Runner.
+  const std::vector<int>& ScanIds(const Op& op, const ra::Relation& rel);
   bool EmitHead(const ra::Value* source);
-  /// Operator-batch governance poll.
-  bool Tick();
+  /// Governance poll, due once kExecutorBatchRows candidate rows have
+  /// accumulated since the last poll. Called at batch/lane boundaries.
+  bool MaybePoll();
   void FlushCounters();
+
+  /// Per-depth probe/scan scratch. Drive() recurses into downstream
+  /// operators while still iterating its own candidates, so scratch must
+  /// be owned per op depth — shared buffers would be clobbered mid-loop.
+  struct DepthScratch {
+    std::vector<ra::Value> keys;  // lane-major probe keys
+    std::vector<uint64_t> hashes;
+    std::vector<const std::vector<int>*> cands;
+    std::vector<size_t> lane_order;
+    std::vector<int> sorted_cand;
+    std::vector<int> filtered_ids;
+  };
 
   const RulePlan& plan_;
   const PlanRelationLookup& lookup_;
   const ExecOptions& options_;
-  std::vector<ra::Value> frame_;
-  std::vector<ra::Value> key_;  // probe-key scratch
+  const size_t batch_cap_;
+  std::vector<RegBatch> batches_;                           // by op depth
+  std::vector<DepthScratch> scratch_;                       // by op depth
   std::unordered_map<int, const ra::Relation*> relations_;  // by atom index
+  std::unordered_map<const Op*, std::vector<int>> scan_ids_;
+  std::vector<ra::Value> seed_;      // bound-variable prefix values
+  std::vector<ra::Value> emit_buf_;  // lane-major head rows for bulk insert
   std::vector<size_t> local_rows_;
   std::vector<size_t> local_probes_;
+  std::vector<size_t> local_batches_;
+  size_t local_bloom_probes_ = 0;
+  size_t local_bloom_skips_ = 0;
   size_t local_head_rows_ = 0;
   size_t produced_ = 0;
   size_t rows_since_tick_ = 0;
@@ -80,14 +141,15 @@ Status Runner::ResolveRelations() {
   return Status::OK();
 }
 
-bool Runner::RowPasses(const Op& op, ra::TupleRef row) const {
+bool Runner::RowPassesLane(const Op& op, ra::TupleRef row,
+                           const RegBatch& batch, size_t lane) const {
   // Probe-key columns are re-verified here: multi-column candidates come
   // from a hash bucket and may collide.
   for (const ConstCheck& c : op.const_checks) {
     if (row[c.atom_col] != c.value) return false;
   }
   for (const RegCheck& c : op.reg_checks) {
-    if (row[c.atom_col] != frame_[c.reg]) return false;
+    if (row[c.atom_col] != batch.Col(c.reg)[lane]) return false;
   }
   for (const IntraCheck& c : op.intra_checks) {
     if (row[c.first_col] != row[c.later_col]) return false;
@@ -95,8 +157,43 @@ bool Runner::RowPasses(const Op& op, ra::TupleRef row) const {
   return true;
 }
 
-bool Runner::Tick() {
-  if (++rows_since_tick_ < kExecutorBatchRows) return true;
+const std::vector<int>& Runner::ScanIds(const Op& op,
+                                        const ra::Relation& rel) {
+  auto it = scan_ids_.find(&op);
+  if (it != scan_ids_.end()) return it->second;
+  std::vector<int>& ids = scan_ids_[&op];
+  const size_t n = rel.size();
+  ids.reserve(n);
+  if (op.const_checks.empty() && op.intra_checks.empty()) {
+    ids.resize(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+  ra::RowsView rows = rel.rows();
+  for (size_t r = 0; r < n; ++r) {
+    ra::TupleRef row = rows[r];
+    bool keep = true;
+    for (const ConstCheck& c : op.const_checks) {
+      if (row[c.atom_col] != c.value) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      for (const IntraCheck& c : op.intra_checks) {
+        if (row[c.first_col] != row[c.later_col]) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (keep) ids.push_back(static_cast<int>(r));
+  }
+  return ids;
+}
+
+bool Runner::MaybePoll() {
+  if (rows_since_tick_ < kExecutorBatchRows) return true;
   rows_since_tick_ = 0;
   status_ = util::FaultInjector::Instance().Check("plan.executor.batch");
   if (status_.ok() && options_.context != nullptr) {
@@ -116,60 +213,242 @@ bool Runner::EmitHead(const ra::Value* source) {
   return true;
 }
 
-bool Runner::RunOps(const ComponentPlan& comp, size_t op_index, Mode mode,
-                    ra::Relation* project_target) {
-  if (op_index == comp.ops.size()) {
-    if (mode == Mode::kExistence) {
-      existence_found_ = true;
-      return false;  // one witness is enough
-    }
-    return EmitHead(frame_.data());
+bool Runner::SinkBatch(const RegBatch& batch, Mode mode) {
+  if (mode == Mode::kExistence) {
+    existence_found_ = true;
+    return false;  // one witness is enough
   }
+  // Transpose the surviving lanes into a lane-major head-row buffer and
+  // bulk-insert: one dedup-table growth check, batched row hashing, and
+  // slot prefetch for the whole batch instead of per-row commits.
+  const size_t width = static_cast<size_t>(plan_.head_arity);
+  emit_buf_.resize(batch.lanes * width);
+  for (int i = 0; i < plan_.head_arity; ++i) {
+    const HeadSlot& slot = plan_.head[i];
+    ra::Value* dst = emit_buf_.data() + i;
+    if (slot.col >= 0) {
+      const ra::Value* src = batch.Col(slot.col);
+      for (size_t l = 0; l < batch.lanes; ++l) dst[l * width] = src[l];
+    } else {
+      for (size_t l = 0; l < batch.lanes; ++l) dst[l * width] = slot.constant;
+    }
+  }
+  local_head_rows_ += batch.lanes;
+  produced_ += out_.InsertBatch(emit_buf_.data(), batch.lanes);
+  return true;
+}
+
+bool Runner::Drive(const ComponentPlan& comp, size_t op_index, Mode mode,
+                   ra::Relation* project_target) {
+  RegBatch& cur = batches_[op_index];
+  if (cur.lanes == 0) return true;
+  if (op_index == comp.ops.size()) return SinkBatch(cur, mode);
+
   const Op& op = comp.ops[op_index];
   if (op.kind == OpKind::kProject) {
-    ra::Value* dst = project_target->StageRow();
-    for (int reg : op.project_regs) *dst++ = frame_[reg];
-    project_target->CommitStagedRow();
+    // Pipeline sink of a combined-mode component: materialize the
+    // component's head registers via the bulk-insert kernel;
+    // recombination happens in Run().
+    const size_t width = op.project_regs.size();
+    emit_buf_.resize(cur.lanes * width);
+    for (size_t i = 0; i < width; ++i) {
+      const ra::Value* src = cur.Col(op.project_regs[i]);
+      ra::Value* dst = emit_buf_.data() + i;
+      for (size_t l = 0; l < cur.lanes; ++l) dst[l * width] = src[l];
+    }
+    project_target->InsertBatch(emit_buf_.data(), cur.lanes);
     return true;
   }
 
-  auto it = relations_.find(op.atom_index);
-  if (it == relations_.end()) return true;  // unknown relation: no rows
-  const ra::Relation& rel = *it->second;
+  auto rel_it = relations_.find(op.atom_index);
+  if (rel_it == relations_.end()) return true;  // unknown relation: no rows
+  const ra::Relation& rel = *rel_it->second;
+  if (op.counter_slot >= 0) ++local_batches_[op.counter_slot];
 
-  // On a row that survives the checks: bind outputs, count, descend.
-  auto push = [&](ra::TupleRef row) {
-    if (!Tick()) return false;
-    if (!RowPasses(op, row)) return true;
-    for (const RegOutput& o : op.outputs) frame_[o.reg] = row[o.atom_col];
+  RegBatch& next = batches_[op_index + 1];
+  DepthScratch& scratch = scratch_[op_index];
+  const bool sink_next = op_index + 1 == comp.ops.size();
+
+  // Appends input lane `l` extended with `row`'s outputs to the next
+  // batch, flushing downstream when it fills. Existence pipelines
+  // short-circuit here: the first surviving lane is the witness.
+  auto emit_lane = [&](size_t l, ra::TupleRef row) -> bool {
+    if (sink_next && mode == Mode::kExistence) {
+      existence_found_ = true;
+      return false;
+    }
+    const size_t ol = next.lanes;
+    for (int r = 0; r < plan_.frame_size; ++r) {
+      next.Col(r)[ol] = cur.Col(r)[l];
+    }
+    for (const RegOutput& o : op.outputs) {
+      next.Col(o.reg)[ol] = row[o.atom_col];
+    }
     if (op.counter_slot >= 0) ++local_rows_[op.counter_slot];
-    return RunOps(comp, op_index + 1, mode, project_target);
+    if (++next.lanes == next.capacity) {
+      if (!Drive(comp, op_index + 1, mode, project_target)) return false;
+      next.lanes = 0;
+    }
+    return true;
   };
 
   if (op.probe_cols.empty()) {
-    for (ra::TupleRef row : rel.rows()) {
-      if (!push(row)) return false;
+    // Scan: lane-independent checks are pre-resolved into a cached row-id
+    // selection; the single-input-lane fast path (every component opener)
+    // broadcasts the lane and binds outputs with columnar gathers.
+    const std::vector<int>& base_ids = ScanIds(op, rel);
+    ra::RowsView rows = rel.rows();
+    if (cur.lanes == 1) {
+      const std::vector<int>* ids = &base_ids;
+      if (!op.reg_checks.empty()) {
+        scratch.filtered_ids.clear();
+        for (int id : base_ids) {
+          ra::TupleRef row = rows[static_cast<size_t>(id)];
+          bool keep = true;
+          for (const RegCheck& c : op.reg_checks) {
+            if (row[c.atom_col] != cur.Col(c.reg)[0]) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) scratch.filtered_ids.push_back(id);
+        }
+        ids = &scratch.filtered_ids;
+      }
+      rows_since_tick_ += rel.size();
+      if (sink_next && mode == Mode::kExistence) {
+        if (!ids->empty()) {
+          existence_found_ = true;
+          return false;
+        }
+        return MaybePoll();
+      }
+      size_t pos = 0;
+      while (pos < ids->size()) {
+        const size_t n =
+            std::min(ids->size() - pos, next.capacity - next.lanes);
+        const size_t base = next.lanes;
+        for (int r = 0; r < plan_.frame_size; ++r) {
+          std::fill_n(next.Col(r) + base, n, cur.Col(r)[0]);
+        }
+        for (const RegOutput& o : op.outputs) {
+          rel.GatherColumn(ids->data() + pos, n, o.atom_col,
+                           next.Col(o.reg) + base);
+        }
+        if (op.counter_slot >= 0) local_rows_[op.counter_slot] += n;
+        next.lanes += n;
+        pos += n;
+        if (next.lanes == next.capacity) {
+          if (!Drive(comp, op_index + 1, mode, project_target)) return false;
+          next.lanes = 0;
+        }
+        if (!MaybePoll()) return false;
+      }
+    } else {
+      for (size_t l = 0; l < cur.lanes; ++l) {
+        rows_since_tick_ += base_ids.size();
+        for (int id : base_ids) {
+          ra::TupleRef row = rows[static_cast<size_t>(id)];
+          bool keep = true;
+          for (const RegCheck& c : op.reg_checks) {
+            if (row[c.atom_col] != cur.Col(c.reg)[l]) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep && !emit_lane(l, row)) return false;
+        }
+        if (!MaybePoll()) return false;
+      }
     }
-    return true;
-  }
-  if (op.counter_slot >= 0) ++local_probes_[op.counter_slot];
-  if (op.probe_cols.size() == 1) {
-    const ra::Value v = op.probe_regs[0] >= 0 ? frame_[op.probe_regs[0]]
-                                              : op.probe_consts[0];
-    for (int row_id : rel.RowsWithValue(op.probe_cols[0], v)) {
-      if (!push(rel.rows()[row_id])) return false;
+  } else {
+    // Probe: gather the batch's keys lane-major, then resolve candidates
+    // through the strategy the planner chose.
+    const size_t lanes = cur.lanes;
+    const size_t width = op.probe_cols.size();
+    if (op.counter_slot >= 0) local_probes_[op.counter_slot] += lanes;
+    scratch.keys.resize(lanes * width);
+    for (size_t l = 0; l < lanes; ++l) {
+      for (size_t i = 0; i < width; ++i) {
+        scratch.keys[l * width + i] = op.probe_regs[i] >= 0
+                                          ? cur.Col(op.probe_regs[i])[l]
+                                          : op.probe_consts[i];
+      }
     }
-    return true;
+    ra::RowsView rows = rel.rows();
+    const ra::Relation::SortedIndex* sorted =
+        op.strategy == ProbeStrategy::kSortMerge
+            ? rel.EnsureSortedIndex(op.probe_cols)
+            : nullptr;
+    if (sorted != nullptr) {
+      // Sort-merge: hash the batch, visit lanes in hash order so the
+      // binary searches walk the sorted run near-sequentially.
+      scratch.hashes.resize(lanes);
+      ra::Relation::HashKeysBatch(scratch.keys.data(), lanes, width,
+                                  scratch.hashes.data());
+      scratch.lane_order.resize(lanes);
+      std::iota(scratch.lane_order.begin(), scratch.lane_order.end(), size_t{0});
+      std::sort(scratch.lane_order.begin(), scratch.lane_order.end(),
+                [&](size_t a, size_t b) {
+                  return scratch.hashes[a] < scratch.hashes[b];
+                });
+      for (size_t l : scratch.lane_order) {
+        scratch.sorted_cand.clear();
+        rel.SortedCandidates(*sorted, scratch.hashes[l], &scratch.sorted_cand);
+        rows_since_tick_ += scratch.sorted_cand.size();
+        for (int id : scratch.sorted_cand) {
+          ra::TupleRef row = rows[static_cast<size_t>(id)];
+          if (RowPassesLane(op, row, cur, l) && !emit_lane(l, row)) {
+            return false;
+          }
+        }
+        if (!MaybePoll()) return false;
+      }
+    } else {
+      // Hash: one batched probe — FNV-hash every lane, Bloom-prune,
+      // prefetch surviving buckets, then resolve.
+      scratch.cands.resize(lanes);
+      const size_t skipped = rel.ProbeBatch(op.probe_cols,
+                                            scratch.keys.data(), lanes,
+                                            scratch.cands.data());
+      local_bloom_probes_ += lanes;
+      local_bloom_skips_ += skipped;
+      for (size_t l = 0; l < lanes; ++l) {
+        const std::vector<int>* cand = scratch.cands[l];
+        if (cand == nullptr) continue;
+        rows_since_tick_ += cand->size();
+        for (int id : *cand) {
+          ra::TupleRef row = rows[static_cast<size_t>(id)];
+          if (RowPassesLane(op, row, cur, l) && !emit_lane(l, row)) {
+            return false;
+          }
+        }
+        if (!MaybePoll()) return false;
+      }
+    }
   }
-  key_.resize(op.probe_cols.size());
-  for (size_t i = 0; i < op.probe_cols.size(); ++i) {
-    key_[i] = op.probe_regs[i] >= 0 ? frame_[op.probe_regs[i]]
-                                    : op.probe_consts[i];
-  }
-  for (int row_id : rel.RowsWithKey(op.probe_cols, key_.data())) {
-    if (!push(rel.rows()[row_id])) return false;
+
+  if (next.lanes > 0) {
+    if (!Drive(comp, op_index + 1, mode, project_target)) return false;
+    next.lanes = 0;
   }
   return true;
+}
+
+bool Runner::RunComponent(const ComponentPlan& comp, Mode mode,
+                          ra::Relation* project_target) {
+  const size_t depth = comp.ops.size() + 1;
+  if (batches_.size() < depth) batches_.resize(depth);
+  if (scratch_.size() < depth) scratch_.resize(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    batches_[i].Configure(static_cast<size_t>(plan_.frame_size), batch_cap_);
+  }
+  RegBatch& seed = batches_[0];
+  seed.lanes = 1;
+  for (size_t i = 0; i < seed_.size(); ++i) {
+    seed.Col(static_cast<int>(i))[0] = seed_[i];
+  }
+  return Drive(comp, 0, mode, project_target);
 }
 
 void Runner::FlushCounters() {
@@ -182,29 +461,50 @@ void Runner::FlushCounters() {
       plan_.actual_probes[i].fetch_add(local_probes_[i],
                                        std::memory_order_relaxed);
     }
+    if (local_batches_[i] > 0) {
+      plan_.actual_batches[i].fetch_add(local_batches_[i],
+                                        std::memory_order_relaxed);
+    }
   }
   if (local_head_rows_ > 0) {
     plan_.actual_head_rows.fetch_add(local_head_rows_,
                                      std::memory_order_relaxed);
   }
+  if (local_bloom_probes_ > 0) {
+    plan_.bloom_probes.fetch_add(local_bloom_probes_,
+                                 std::memory_order_relaxed);
+  }
+  if (local_bloom_skips_ > 0) {
+    plan_.bloom_skips.fetch_add(local_bloom_skips_,
+                                std::memory_order_relaxed);
+  }
+  // Completed executions divide the accumulated actuals back into
+  // per-execution averages for drift checks and cost calibration.
+  plan_.executions.fetch_add(1, std::memory_order_relaxed);
   if (options_.stats != nullptr) {
     size_t considered = 0;
     size_t probes = 0;
+    size_t batches = 0;
     for (int i = 0; i < plan_.num_counters; ++i) {
       considered += local_rows_[i];
       probes += local_probes_[i];
+      batches += local_batches_[i];
     }
     options_.stats->tuples_considered += considered;
     options_.stats->join_probes += probes;
     options_.stats->tuples_produced += produced_;
+    options_.stats->batches += batches;
+    options_.stats->bloom_probes += local_bloom_probes_;
+    options_.stats->bloom_skips += local_bloom_skips_;
   }
 }
 
 Result<ra::Relation> Runner::Run() {
   RECUR_RETURN_IF_ERROR(ResolveRelations());
-  // Load the bound prefix into the frame.
+  // Load the bound prefix.
+  seed_.resize(plan_.bound_vars.size());
   for (size_t i = 0; i < plan_.bound_vars.size(); ++i) {
-    frame_[i] = options_.bindings->at(plan_.bound_vars[i]);
+    seed_[i] = options_.bindings->at(plan_.bound_vars[i]);
   }
 
   // A plan that reads a relation nobody knows derives nothing — but a
@@ -222,7 +522,7 @@ Result<ra::Relation> Runner::Run() {
     if (!comp.head_regs.empty()) break;
     ++first_projection;
     existence_found_ = comp.ops.empty();
-    RunOps(comp, 0, Mode::kExistence, nullptr);
+    RunComponent(comp, Mode::kExistence, nullptr);
     if (!status_.ok()) {
       FlushCounters();
       return status_;
@@ -236,7 +536,7 @@ Result<ra::Relation> Runner::Run() {
   if (plan_.streaming) {
     bool streamed = false;
     for (size_t c = first_projection; c < plan_.components.size(); ++c) {
-      RunOps(plan_.components[c], 0, Mode::kStream, nullptr);
+      RunComponent(plan_.components[c], Mode::kStream, nullptr);
       streamed = true;
       if (!status_.ok()) {
         FlushCounters();
@@ -246,7 +546,9 @@ Result<ra::Relation> Runner::Run() {
     if (!streamed) {
       // Head fed entirely by constants and the bound prefix (empty body,
       // or every component an existence check).
-      EmitHead(frame_.data());
+      std::vector<ra::Value> frame(static_cast<size_t>(plan_.frame_size), 0);
+      std::copy(seed_.begin(), seed_.end(), frame.begin());
+      EmitHead(frame.data());
     }
     FlushCounters();
     return std::move(out_);
@@ -258,7 +560,7 @@ Result<ra::Relation> Runner::Run() {
   for (size_t c = first_projection; c < plan_.components.size(); ++c) {
     const ComponentPlan& comp = plan_.components[c];
     ra::Relation part(static_cast<int>(comp.head_regs.size()));
-    RunOps(comp, 0, Mode::kStream, &part);
+    RunComponent(comp, Mode::kStream, &part);
     if (!status_.ok()) {
       FlushCounters();
       return status_;
@@ -273,8 +575,7 @@ Result<ra::Relation> Runner::Run() {
   ra::Relation combined(static_cast<int>(plan_.bound_vars.size()));
   {
     ra::Value* dst = combined.StageRow();
-    std::copy(frame_.begin(),
-              frame_.begin() + plan_.bound_vars.size(), dst);
+    std::copy(seed_.begin(), seed_.end(), dst);
     combined.CommitStagedRow();
   }
   for (const ra::Relation& part : parts) {
@@ -286,7 +587,8 @@ Result<ra::Relation> Runner::Run() {
         dst = std::copy(a.begin(), a.end(), dst);
         std::copy(b.begin(), b.end(), dst);
         next.CommitStagedRow();
-        if (!Tick()) {
+        ++rows_since_tick_;
+        if (!MaybePoll()) {
           FlushCounters();
           return status_;
         }
@@ -296,7 +598,8 @@ Result<ra::Relation> Runner::Run() {
   }
   for (ra::TupleRef row : combined.rows()) {
     EmitHead(row.data());
-    if (!Tick()) {
+    ++rows_since_tick_;
+    if (!MaybePoll()) {
       FlushCounters();
       return status_;
     }
@@ -319,21 +622,41 @@ Result<size_t> FilterRelation(const ra::Relation& in,
                               const ExecutionContext* context,
                               ra::Relation* out) {
   size_t inserted = 0;
-  size_t row_index = 0;
-  // Poll at batch *entry* (including row 0) so an already-cancelled
+  ra::RowsView rows = in.rows();
+  RowBatch batch;
+  batch.relation = &in;
+  // Poll at batch *entry* (including the first) so an already-cancelled
   // context stops the scan before any row is copied.
-  for (ra::TupleRef row : in.rows()) {
-    if (context != nullptr && row_index++ % kExecutorBatchRows == 0) {
+  for (size_t start = 0; start < in.size(); start += kExecutorBatchRows) {
+    if (context != nullptr) {
       RECUR_RETURN_IF_ERROR(context->CheckCancel());
     }
-    bool keep = true;
+    const size_t n = std::min(kExecutorBatchRows, in.size() - start);
+    batch.Clear();
+    batch.row_ids.resize(n);
+    std::iota(batch.row_ids.begin(), batch.row_ids.end(),
+              static_cast<int>(start));
+    batch.selection.resize(n);
+    std::iota(batch.selection.begin(), batch.selection.end(), 0);
+    // Each check refines the selection vector in place — surviving
+    // positions compact to the front; no row is copied until the sink.
     for (const ConstCheck& c : checks) {
-      if (row[c.atom_col] != c.value) {
-        keep = false;
-        break;
+      size_t kept = 0;
+      for (size_t s = 0; s < batch.selection.size(); ++s) {
+        const int pos = batch.selection[s];
+        if (rows[static_cast<size_t>(batch.row_ids[pos])][c.atom_col] ==
+            c.value) {
+          batch.selection[kept++] = pos;
+        }
+      }
+      batch.selection.resize(kept);
+      if (kept == 0) break;
+    }
+    for (int pos : batch.selection) {
+      if (out->Insert(rows[static_cast<size_t>(batch.row_ids[pos])])) {
+        ++inserted;
       }
     }
-    if (keep && out->Insert(row)) ++inserted;
   }
   return inserted;
 }

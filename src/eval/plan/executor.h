@@ -1,14 +1,21 @@
 #ifndef RECUR_EVAL_PLAN_EXECUTOR_H_
 #define RECUR_EVAL_PLAN_EXECUTOR_H_
 
-// Push-based executor for compiled RulePlans. Frames are flat Value
-// register arrays; candidate rows stream out of the arena-backed relation
-// indexes as TupleRef spans — no per-tuple hash maps anywhere on the hot
-// path. Resource-governance polling (cancel/deadline) happens at
-// operator-batch granularity (kExecutorBatchRows candidate rows), so a
-// cancelled evaluation stops mid-rule instead of mid-round.
+// Vectorized push-based executor for compiled RulePlans. Register frames
+// flow between operators in column-major batches of up to batch_rows
+// lanes: scans bind output registers with contiguous columnar gathers,
+// probes hash/Bloom-test/prefetch a whole batch of keys through
+// ra::Relation::ProbeBatch before touching any bucket, and ConstFilter
+// refines selection vectors instead of copying rows. Candidate rows
+// stream out of the arena-backed relation indexes as TupleRef spans — no
+// per-tuple hash maps anywhere on the hot path. Resource-governance
+// polling (cancel/deadline) and the plan.executor.batch fault site fire
+// at batch boundaries once kExecutorBatchRows candidate rows have
+// accumulated, so a cancelled evaluation stops mid-rule instead of
+// mid-round.
 
 #include <unordered_map>
+#include <vector>
 
 #include "eval/execution_context.h"
 #include "eval/plan/plan_ir.h"
@@ -22,8 +29,13 @@ struct EvalStats;
 
 namespace recur::eval::plan {
 
-/// Rows examined between governance polls inside the executor.
+/// Candidate rows examined between governance polls inside the executor.
+/// Independent of the lane count: shrinking batch_rows for the ablation
+/// does not change how often a run polls for cancellation.
 inline constexpr size_t kExecutorBatchRows = 4096;
+
+/// Default lanes per register batch when ExecOptions::batch_rows is 0.
+inline constexpr size_t kExecutorBatchLanes = 1024;
 
 struct ExecOptions {
   /// The delta relation substituted at the plan's delta_index; nullptr
@@ -36,6 +48,9 @@ struct ExecOptions {
   const ExecutionContext* context = nullptr;
   /// Optional stats sink (tuples_considered / join_probes / ...).
   EvalStats* stats = nullptr;
+  /// Lanes per register batch. 0 -> kExecutorBatchLanes; 1 degenerates to
+  /// tuple-at-a-time execution (the vectorization-ablation baseline).
+  size_t batch_rows = 0;
 };
 
 /// Executes `plan` against the relations provided by `lookup`, returning
@@ -46,10 +61,12 @@ Result<ra::Relation> ExecutePlan(const RulePlan& plan,
                                  const PlanRelationLookup& lookup,
                                  const ExecOptions& options);
 
-/// The standalone ConstFilter primitive: copies rows of `in` that satisfy
-/// every check into `out` (same arity), polling `context` per batch.
-/// Returns how many rows were new to `out`. Query::FilterInto and
-/// full-scan constant-selection paths share this one loop.
+/// The standalone ConstFilter primitive: batches `in`'s row ids through a
+/// RowBatch whose selection vector each check refines in place, then
+/// copies the surviving rows into `out` (same arity), polling `context`
+/// at every batch entry. Returns how many rows were new to `out`.
+/// Query::FilterInto and full-scan constant-selection paths share this
+/// one loop.
 Result<size_t> FilterRelation(const ra::Relation& in,
                               const std::vector<ConstCheck>& checks,
                               const ExecutionContext* context,

@@ -24,30 +24,75 @@ bool PlanCache::CardinalitiesDrifted(
   return false;
 }
 
+bool PlanCache::StrategyDrifted(const RulePlan& plan,
+                                const datalog::Rule& rule,
+                                const PlanRelationLookup& lookup,
+                                const PlannerOptions& planner_options) const {
+  if (plan.strategy_signature.empty()) return false;
+  for (const ComponentPlan& comp : plan.components) {
+    size_t probe_ops = 0;
+    for (const Op& op : comp.ops) {
+      if (op.kind == OpKind::kHashJoinProbe) ++probe_ops;
+    }
+    for (const Op& op : comp.ops) {
+      if (op.kind != OpKind::kHashJoinProbe) continue;
+      const ra::Relation* rel =
+          op.atom_index == planner_options.override_index
+              ? planner_options.override_relation
+              : lookup(rule.body()[op.atom_index].predicate());
+      const size_t now = rel ? rel->size() : 0;
+      // Rescale the planned bucket estimate by the cardinality ratio —
+      // an O(1) stand-in for recomputing distinct counts — and check
+      // whether the sort-merge decision would flip under it.
+      const double scaled = op.planned_avg_bucket *
+                            static_cast<double>(now + 1) /
+                            static_cast<double>(op.base_rows + 1);
+      const bool want_sort_merge = planner_options.enable_sort_merge &&
+                                   probe_ops >= 2 &&
+                                   scaled >= kSortMergeSkewThreshold;
+      const bool have_sort_merge = op.strategy == ProbeStrategy::kSortMerge;
+      if (want_sort_merge != have_sort_merge) return true;
+    }
+  }
+  return false;
+}
+
 Result<std::shared_ptr<const RulePlan>> PlanCache::GetOrCompile(
     const datalog::Rule& rule, const PlanRelationLookup& lookup,
     const PlannerOptions& planner_options) {
+  // All compiles through this cache plan with the cache's measured
+  // calibration unless the caller wired an explicit model.
+  PlannerOptions effective = planner_options;
+  if (effective.calibration == nullptr) effective.calibration = &calibration_;
   if (!options_.enabled) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
     }
-    return PlanRule(rule, lookup, planner_options);
+    return PlanRule(rule, lookup, effective);
   }
   const std::string key = PlanKey(rule, planner_options);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = plans_.find(key);
   if (it != plans_.end()) {
-    if (!CardinalitiesDrifted(*it->second, rule, lookup, planner_options)) {
+    const bool drifted =
+        CardinalitiesDrifted(*it->second, rule, lookup, planner_options);
+    const bool strategy_flip =
+        StrategyDrifted(*it->second, rule, lookup, planner_options);
+    if (!drifted && !strategy_flip) {
       ++stats_.hits;
       return it->second;
     }
     ++stats_.invalidations;
+    if (strategy_flip) ++stats_.strategy_invalidations;
+    // Retiring plans teach the cost model their est-vs-actual history,
+    // so the recompile below already plans with the corrected picture.
+    calibration_.Observe(*it->second);
     plans_.erase(it);
   }
   ++stats_.misses;
   RECUR_ASSIGN_OR_RETURN(std::shared_ptr<const RulePlan> plan,
-                         PlanRule(rule, lookup, planner_options));
+                         PlanRule(rule, lookup, effective));
   plans_.emplace(key, plan);
   return plan;
 }

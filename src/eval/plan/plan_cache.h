@@ -3,11 +3,13 @@
 
 // PlanCache: memoizes compiled RulePlans across fixpoint rounds (and, for
 // the compiled evaluator, across queries). Keys are structural — (rule
-// content, delta position, binding signature) — so rules synthesized on
-// the fly still hit. A cached plan is recompiled only when the
-// cardinality of some referenced relation has drifted past a ratio
-// threshold since planning: join order is the only thing cardinalities
-// buy, so small drifts keep the plan and large ones re-derive it.
+// content, delta position, binding signature, physical-strategy mode) —
+// so rules synthesized on the fly still hit. A cached plan is recompiled
+// when the cardinality of some referenced relation has drifted past a
+// ratio threshold since planning, or when the drifted cardinalities would
+// flip a probe operator's physical strategy (hash vs sort-merge). Retired
+// plans feed their est-vs-actual cardinalities into the cache's CostModel,
+// so every recompile plans with better-calibrated selectivities.
 
 #include <memory>
 #include <mutex>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "datalog/rule.h"
+#include "eval/plan/cost_model.h"
 #include "eval/plan/plan_ir.h"
 #include "eval/plan/planner.h"
 #include "util/result.h"
@@ -37,6 +40,9 @@ class PlanCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t invalidations = 0;
+    /// Of the invalidations, how many were triggered (or accompanied) by
+    /// a physical-strategy flip rather than cardinality drift alone.
+    size_t strategy_invalidations = 0;
   };
 
   PlanCache() : options_(Options()) {}
@@ -57,16 +63,24 @@ class PlanCache {
   /// Snapshot of every cached plan (for ExplainPlan surfacing).
   std::vector<std::shared_ptr<const RulePlan>> Plans() const;
 
+  /// The cache's measured est-vs-actual calibration (fed by retiring
+  /// plans; consulted by every compile through this cache).
+  const CostModel& calibration() const { return calibration_; }
+
  private:
   bool CardinalitiesDrifted(const RulePlan& plan,
                             const datalog::Rule& rule,
                             const PlanRelationLookup& lookup,
                             const PlannerOptions& planner_options) const;
+  bool StrategyDrifted(const RulePlan& plan, const datalog::Rule& rule,
+                       const PlanRelationLookup& lookup,
+                       const PlannerOptions& planner_options) const;
 
   const Options options_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const RulePlan>> plans_;
   CacheStats stats_;
+  CostModel calibration_;
 };
 
 }  // namespace recur::eval::plan

@@ -52,6 +52,7 @@ void AppendOp(const RulePlan& plan, const Op& op, const SymbolTable* symbols,
       }
     }
     *out += "]";
+    if (op.strategy == ProbeStrategy::kSortMerge) *out += " sort-merge";
   }
   int residual = static_cast<int>(op.const_checks.size() +
                                   op.reg_checks.size() +
@@ -70,6 +71,9 @@ void AppendOp(const RulePlan& plan, const Op& op, const SymbolTable* symbols,
     size_t probes = plan.actual_probes[op.counter_slot].load(
         std::memory_order_relaxed);
     if (probes > 0) *out += " probes=" + std::to_string(probes);
+    size_t batches = plan.actual_batches[op.counter_slot].load(
+        std::memory_order_relaxed);
+    if (batches > 0) *out += " batches=" + std::to_string(batches);
   }
   *out += "\n";
 }
@@ -115,6 +119,13 @@ std::string ExplainPlan(const RulePlan& plan, const SymbolTable* symbols) {
          std::to_string(
              plan.actual_head_rows.load(std::memory_order_relaxed)) +
          "\n";
+  const size_t bloom_probes =
+      plan.bloom_probes.load(std::memory_order_relaxed);
+  if (bloom_probes > 0) {
+    out += "  bloom probes=" + std::to_string(bloom_probes) + " skipped=" +
+           std::to_string(plan.bloom_skips.load(std::memory_order_relaxed)) +
+           "\n";
+  }
   return out;
 }
 

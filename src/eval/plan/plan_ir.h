@@ -38,6 +38,34 @@ enum class OpKind {
 
 const char* ToString(OpKind kind);
 
+/// Physical access strategy of a probe operator. kHash probes the
+/// relation's bucketed hash index (Bloom-filtered, bucket-prefetched);
+/// kSortMerge probes a sorted (key hash, row) index — chosen by the
+/// planner for skewed multi-join bodies where long hash chains would
+/// scatter cache accesses.
+enum class ProbeStrategy {
+  kHash,
+  kSortMerge,
+};
+
+/// A batch of candidate rows flowing between operators: row ids into
+/// `relation`'s arena plus a selection vector of the positions (indexes
+/// into row_ids) that survive the checks applied so far. ConstFilter
+/// refines `selection` in place instead of copying rows; downstream
+/// operators read only the selected positions, and materialization is
+/// deferred to the pipeline sink.
+struct RowBatch {
+  const ra::Relation* relation = nullptr;
+  std::vector<int> row_ids;
+  std::vector<int> selection;
+
+  void Clear() {
+    row_ids.clear();
+    selection.clear();
+  }
+  size_t selected() const { return selection.size(); }
+};
+
 /// Residual equality checks verified against the candidate atom row. The
 /// probe key columns are re-verified here too: multi-column candidates
 /// come from a hash bucket and may collide.
@@ -91,8 +119,15 @@ struct Op {
   size_t base_rows = 0;
   /// Estimated rows this operator passes downstream per plan execution.
   double est_rows = 0;
-  /// Slot into RulePlan::actual_rows / actual_probes.
+  /// Slot into RulePlan::actual_rows / actual_probes / actual_batches.
   int counter_slot = -1;
+
+  /// Physical access strategy for probe operators (ignored on scans).
+  ProbeStrategy strategy = ProbeStrategy::kHash;
+  /// Expected candidate rows per probe at plan time (base_rows scaled by
+  /// the probe columns' selectivity) — the skew signal behind the
+  /// strategy choice; the plan cache re-derives it on drift checks.
+  double planned_avg_bucket = 0;
 };
 
 /// One connectivity component of the rule body: the access pipeline plus
@@ -144,13 +179,25 @@ struct RulePlan {
   /// cache recompiles when these ratios drift past its threshold.
   std::vector<std::pair<int, size_t>> planned_cardinalities;
 
-  /// Actual rows passed downstream / probes issued, per counter_slot,
-  /// summed over every execution of this plan.
+  /// Actual rows passed downstream / probes issued / batches processed,
+  /// per counter_slot, summed over every execution of this plan.
   std::unique_ptr<std::atomic<size_t>[]> actual_rows;
   std::unique_ptr<std::atomic<size_t>[]> actual_probes;
+  std::unique_ptr<std::atomic<size_t>[]> actual_batches;
   /// Head tuples staged (pre-dedup) across executions. Mutable like the
   /// per-operator counters: executions run against a const shared plan.
   mutable std::atomic<size_t> actual_head_rows{0};
+  /// Completed executions — divides the accumulated actuals back into
+  /// per-execution averages, which is what the cost model calibrates on.
+  mutable std::atomic<size_t> executions{0};
+  /// Bloom-filter telemetry across executions: probes that consulted a
+  /// filter, and how many of those it pruned before any bucket access.
+  mutable std::atomic<size_t> bloom_probes{0};
+  mutable std::atomic<size_t> bloom_skips{0};
+  /// One char per probe operator, in component order: 'h' (hash) or
+  /// 's' (sort-merge). The plan cache invalidates a cached plan whose
+  /// recorded strategies would no longer be chosen.
+  std::string strategy_signature;
   int num_counters = 0;
 };
 

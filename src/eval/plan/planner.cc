@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "eval/plan/cost_model.h"
 #include "graph/components.h"
 
 namespace recur::eval::plan {
 
 namespace {
+
+/// Modelled cost of issuing one index probe (hashing the key, Bloom test,
+/// bucket walk) relative to examining one scanned row. Only the ordering
+/// among candidate atoms matters, not the absolute scale.
+constexpr double kProbeCost = 2.0;
 
 const ra::Relation* ResolveForPlanning(int atom_index, SymbolId predicate,
                                        const PlanRelationLookup& lookup,
@@ -16,17 +22,18 @@ const ra::Relation* ResolveForPlanning(int atom_index, SymbolId predicate,
   return lookup(predicate);
 }
 
-/// Boundness score of an atom: how many argument positions are constants
-/// or already-bound variables. The greedy order maximizes it (sideways
-/// information passing), breaking ties toward the smaller relation.
-int Boundness(const datalog::Atom& atom,
-              const std::unordered_map<SymbolId, int>& regs) {
-  int score = 0;
-  for (const datalog::Term& t : atom.args()) {
-    if (t.IsConstant() || regs.count(t.symbol()) > 0) ++score;
-  }
-  return score;
-}
+/// Cost profile of accessing one candidate atom given the registers bound
+/// so far. `matches` is the calibrated estimate of rows passed downstream
+/// per input row; `avg_bucket` the uncalibrated expected candidates per
+/// probe (the skew signal for the sort-merge strategy); `score` the
+/// greedy objective: per-input-row access work plus rows fed downstream
+/// (the shared est_in factor drops out of the argmin).
+struct AtomCost {
+  double matches = 0;
+  double avg_bucket = 0;
+  int bound_cols = 0;
+  double score = 0;
+};
 
 }  // namespace
 
@@ -106,6 +113,51 @@ Result<std::shared_ptr<const RulePlan>> PlanRule(
   std::unordered_map<SymbolId, std::pair<int, int>> head_var_home;
   int next_counter = 0;
 
+  // Distinct-count memo: the greedy cost loop evaluates every remaining
+  // atom at every step, so each (atom, column) statistic is computed at
+  // most once per planning call.
+  std::unordered_map<int64_t, double> distinct_cache;
+  auto distinct_of = [&](int atom_index, int col) -> double {
+    const int64_t cache_key = (static_cast<int64_t>(atom_index) << 16) | col;
+    auto it = distinct_cache.find(cache_key);
+    if (it != distinct_cache.end()) return it->second;
+    const ra::Relation* rel = ResolveForPlanning(
+        atom_index, body[atom_index].predicate(), lookup, options);
+    double d = 1.0;
+    if (rel != nullptr) {
+      d = static_cast<double>(
+          std::max<size_t>(1, rel->ColumnValues(col).size()));
+    }
+    distinct_cache.emplace(cache_key, d);
+    return d;
+  };
+  auto cost_of = [&](int atom_index,
+                     const std::unordered_map<SymbolId, int>& regs) {
+    const datalog::Atom& atom = body[atom_index];
+    const double n = static_cast<double>(
+        plan->planned_cardinalities[atom_index].second);
+    AtomCost c;
+    double sel = 1.0;
+    for (int col = 0; col < atom.arity(); ++col) {
+      const datalog::Term& t = atom.args()[col];
+      if (t.IsConstant() ||
+          (t.IsVariable() && regs.count(t.symbol()) > 0)) {
+        sel /= distinct_of(atom_index, col);
+        ++c.bound_cols;
+      }
+    }
+    c.avg_bucket = n * sel;
+    double correction = 1.0;
+    if (options.calibration != nullptr) {
+      correction = options.calibration->Correction(
+          atom.predicate(), static_cast<size_t>(c.bound_cols));
+    }
+    c.matches = c.avg_bucket * correction;
+    const double access = c.bound_cols > 0 ? kProbeCost + c.avg_bucket : n;
+    c.score = access + c.matches;
+    return c;
+  };
+
   for (const std::vector<int>& atoms : component_atoms) {
     BuiltComponent bc;
     std::unordered_map<SymbolId, int> regs;
@@ -115,25 +167,36 @@ Result<std::shared_ptr<const RulePlan>> PlanRule(
 
     std::vector<int> remaining = atoms;
     while (!remaining.empty()) {
+      // Greedy minimum-cost pick: access work plus calibrated rows fed
+      // downstream. Ties (identical statistics) break toward more bound
+      // columns, then the smaller relation, then body order — all
+      // deterministic, so one rule always compiles to one plan.
       size_t pick = 0;
       if (options.reorder_atoms) {
-        int best_score = -1;
+        AtomCost best;
         size_t best_card = 0;
+        bool have_best = false;
         for (size_t i = 0; i < remaining.size(); ++i) {
           const int idx = remaining[i];
-          const int score = Boundness(body[idx], regs);
+          const AtomCost c = cost_of(idx, regs);
           const size_t card = plan->planned_cardinalities[idx].second;
-          if (score > best_score ||
-              (score == best_score && card < best_card)) {
-            best_score = score;
+          const bool better =
+              !have_best || c.score < best.score ||
+              (c.score == best.score &&
+               (c.bound_cols > best.bound_cols ||
+                (c.bound_cols == best.bound_cols && card < best_card)));
+          if (better) {
+            best = c;
             best_card = card;
             pick = i;
+            have_best = true;
           }
         }
       }
       const int atom_index = remaining[pick];
       remaining.erase(remaining.begin() + pick);
       const datalog::Atom& atom = body[atom_index];
+      const AtomCost atom_cost = cost_of(atom_index, regs);
 
       Op op;
       op.atom_index = atom_index;
@@ -180,20 +243,13 @@ Result<std::shared_ptr<const RulePlan>> PlanRule(
       if (!op.probe_cols.empty()) plan->has_join = true;
 
       // Estimate: equality selectivity 1/distinct(column) per probe
-      // column (residual intra-atom checks are not modelled).
-      const ra::Relation* rel =
-          ResolveForPlanning(atom_index, atom.predicate(), lookup, options);
-      const size_t n = rel ? rel->size() : 0;
-      op.base_rows = n;
-      double matches = static_cast<double>(n);
-      if (!op.probe_cols.empty() && rel != nullptr) {
-        for (int col : op.probe_cols) {
-          const size_t distinct = rel->ColumnValues(col).size();
-          matches /= static_cast<double>(std::max<size_t>(1, distinct));
-        }
-      }
-      est *= matches;
+      // column, multiplied by the cost model's measured correction for
+      // this (predicate, probe width) — the same AtomCost the greedy
+      // pick ranked on (residual intra-atom checks are not modelled).
+      op.base_rows = plan->planned_cardinalities[atom_index].second;
+      est *= atom_cost.matches;
       op.est_rows = est;
+      op.planned_avg_bucket = atom_cost.avg_bucket;
       op.counter_slot = next_counter++;
       bc.cp.ops.push_back(std::move(op));
     }
@@ -250,6 +306,29 @@ Result<std::shared_ptr<const RulePlan>> PlanRule(
 
   for (int i : order) plan->components.push_back(std::move(built[i].cp));
 
+  // Physical probe strategy. Within a multi-join component (two or more
+  // register-keyed probes) a probe whose planned average bucket is skewed
+  // past the threshold takes the sort-merge access path: long hash chains
+  // scatter cache accesses, while the sorted index serves the same
+  // candidates from one contiguous range. The signature records every
+  // choice so the plan cache can invalidate when drifted cardinalities
+  // would pick differently.
+  for (ComponentPlan& comp : plan->components) {
+    int probe_ops = 0;
+    for (const Op& op : comp.ops) {
+      if (op.kind == OpKind::kHashJoinProbe) ++probe_ops;
+    }
+    for (Op& op : comp.ops) {
+      if (op.kind != OpKind::kHashJoinProbe) continue;
+      if (options.enable_sort_merge && probe_ops >= 2 &&
+          op.planned_avg_bucket >= kSortMergeSkewThreshold) {
+        op.strategy = ProbeStrategy::kSortMerge;
+      }
+      plan->strategy_signature +=
+          op.strategy == ProbeStrategy::kSortMerge ? 's' : 'h';
+    }
+  }
+
   // Head slot mapping. Streaming plans read frame registers directly
   // (pre-bound variables live in the shared register prefix); combined
   // plans read columns of the combined row.
@@ -287,9 +366,12 @@ Result<std::shared_ptr<const RulePlan>> PlanRule(
         std::make_unique<std::atomic<size_t>[]>(next_counter);
     plan->actual_probes =
         std::make_unique<std::atomic<size_t>[]>(next_counter);
+    plan->actual_batches =
+        std::make_unique<std::atomic<size_t>[]>(next_counter);
     for (int i = 0; i < next_counter; ++i) {
       plan->actual_rows[i].store(0, std::memory_order_relaxed);
       plan->actual_probes[i].store(0, std::memory_order_relaxed);
+      plan->actual_batches[i].store(0, std::memory_order_relaxed);
     }
   }
   return std::shared_ptr<const RulePlan>(std::move(plan));
@@ -315,6 +397,9 @@ std::string PlanKey(const datalog::Rule& rule,
   key += "#d";
   key += std::to_string(options.override_index);
   key += options.reorder_atoms ? "#r1" : "#r0";
+  // The physical-strategy mode is part of plan identity: a plan compiled
+  // with sort-merge enabled must not serve a lookup that disabled it.
+  key += options.enable_sort_merge ? "#s1" : "#s0";
   key += "#b";
   if (options.bindings != nullptr) {
     std::vector<SymbolId> vars;

@@ -3,9 +3,13 @@
 
 // RulePlanner: compiles one datalog rule (for one delta position and one
 // bound-variable signature) into a physical RulePlan. Join order is chosen
-// greedily from boundness, then relation cardinality at plan time, so a
-// cached plan embodies the cardinality picture it was compiled against —
-// the PlanCache recompiles when that picture drifts.
+// greedily by estimated cost — access work plus rows fed downstream, with
+// selectivities corrected by the CostModel's measured est-vs-actual
+// calibration — so a cached plan embodies the cardinality picture it was
+// compiled against; the PlanCache recompiles when that picture drifts.
+// Probe operators in multi-join bodies additionally pick a physical
+// strategy: hash probing by default, sort-merge when the planned average
+// bucket is skewed enough that hash chains would scatter cache accesses.
 
 #include <functional>
 #include <memory>
@@ -27,6 +31,13 @@ using PlanRelationLookup = std::function<const ra::Relation*(SymbolId)>;
 
 namespace recur::eval::plan {
 
+class CostModel;
+
+/// Planned candidate rows per probe (base_rows scaled by probe-column
+/// selectivity) at or above which a multi-join body's probe operator
+/// switches from hash probing to the sort-merge access path.
+inline constexpr double kSortMergeSkewThreshold = 8.0;
+
 struct PlannerOptions {
   /// Body position whose relation is replaced by the delta; -1 for none.
   int override_index = -1;
@@ -38,6 +49,12 @@ struct PlannerOptions {
   const std::unordered_map<SymbolId, ra::Value>* bindings = nullptr;
   /// With false, atoms run in body order within each component.
   bool reorder_atoms = true;
+  /// Measured est-vs-actual calibration applied to selectivity estimates;
+  /// null plans from raw statistics (the PlanCache wires its own model in).
+  const CostModel* calibration = nullptr;
+  /// Allow the sort-merge probe strategy for skewed multi-join bodies.
+  /// Part of the plan key: toggling it must not alias cached plans.
+  bool enable_sort_merge = true;
 };
 
 /// Compiles `rule` into a plan. Fails with InvalidArgument when a head

@@ -56,8 +56,9 @@ Status InitializeFullAndDelta(const datalog::Program& program,
 Status FireExitRules(const datalog::Program& program,
                      const RelationLookup& lookup,
                      const std::function<bool(SymbolId)>& is_idb,
-                     plan::PlanCache* plan_cache, IdbRelations* full,
-                     IdbRelations* delta, EvalStats* stats) {
+                     plan::PlanCache* plan_cache, size_t batch_rows,
+                     IdbRelations* full, IdbRelations* delta,
+                     EvalStats* stats) {
   for (const datalog::Rule& rule : program.rules()) {
     if (rule.IsFact()) continue;
     bool has_idb_atom = std::any_of(
@@ -66,6 +67,7 @@ Status FireExitRules(const datalog::Program& program,
     if (has_idb_atom) continue;
     ConjunctiveOptions conj;
     conj.plan_cache = plan_cache;
+    conj.batch_rows = batch_rows;
     RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                            EvaluateRule(rule, lookup, conj, stats));
     for (ra::TupleRef t : derived.rows()) {
@@ -137,8 +139,8 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
   plan::PlanCache plan_cache(
       plan::PlanCache::Options{.enabled = options.plan_cache});
   RECUR_RETURN_IF_ERROR(
-      FireExitRules(program, lookup, is_idb, &plan_cache, &full, &delta,
-                    stats));
+      FireExitRules(program, lookup, is_idb, &plan_cache,
+                    options.executor_batch_rows, &full, &delta, stats));
 
   ContextScope ctx(options.context, options.limits);
   const ResourceLimits& limits = ctx->limits();
@@ -195,6 +197,7 @@ Result<IdbRelations> SerialSemiNaive(const datalog::Program& program,
         conj.override_relation = &d;
         conj.plan_cache = &plan_cache;
         conj.context = ctx.get();
+        conj.batch_rows = options.executor_batch_rows;
         RECUR_ASSIGN_OR_RETURN(ra::Relation derived,
                                EvaluateRule(rule, lookup, conj, stats));
         rr.tuples_derived += derived.size();
@@ -354,8 +357,8 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
   plan::PlanCache plan_cache(
       plan::PlanCache::Options{.enabled = options.plan_cache});
   RECUR_RETURN_IF_ERROR(
-      FireExitRules(program, lookup, is_idb, &plan_cache, &full, &delta,
-                    stats));
+      FireExitRules(program, lookup, is_idb, &plan_cache,
+                    options.executor_batch_rows, &full, &delta, stats));
 
   const int num_shards = options.shard_count > 0
                              ? options.shard_count
@@ -492,6 +495,7 @@ Result<IdbRelations> ParallelSemiNaive(const datalog::Program& program,
         conj.override_relation = task.shard;
         conj.plan_cache = &plan_cache;
         conj.context = ctx.get();
+        conj.batch_rows = options.executor_batch_rows;
         Result<ra::Relation> derived =
             EvaluateRule(*task.rule, lookup, conj,
                          stats != nullptr ? &local : nullptr);

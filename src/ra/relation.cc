@@ -1,6 +1,7 @@
 #include "ra/relation.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "util/fault_injection.h"
@@ -9,7 +10,57 @@ namespace recur::ra {
 
 namespace {
 const std::vector<int> kEmptyRowList;
+
+/// Hash of a single-column key; must agree with HashValueSpan(&v, 1) so
+/// the point and batched probe paths address the same buckets.
+inline uint64_t HashSingle(Value v) { return HashValueMix(kHashSeed, v); }
 }  // namespace
+
+const std::vector<int>* Relation::KeyBuckets::Find(uint64_t hash, Value key,
+                                                   bool exact) const {
+  if (buckets.empty()) return nullptr;
+  const size_t mask = buckets.size() - 1;
+  for (size_t s = hash & mask;; s = (s + 1) & mask) {
+    const Bucket& b = buckets[s];
+    if (b.rows.empty()) return nullptr;
+    if (b.hash == hash && (!exact || b.key == key)) return &b.rows;
+  }
+}
+
+std::vector<int>* Relation::KeyBuckets::FindOrInsert(uint64_t hash, Value key,
+                                                     bool exact) {
+  if (buckets.empty() || (used + 1) * 4 > buckets.size() * 3) Grow();
+  const size_t mask = buckets.size() - 1;
+  for (size_t s = hash & mask;; s = (s + 1) & mask) {
+    Bucket& b = buckets[s];
+    if (b.rows.empty()) {
+      b.hash = hash;
+      b.key = key;
+      ++used;
+      BloomAdd(hash);
+      return &b.rows;
+    }
+    if (b.hash == hash && (!exact || b.key == key)) return &b.rows;
+  }
+}
+
+void Relation::KeyBuckets::Grow() {
+  // Power-of-two bucket array kept at <= 75% load; the Bloom filter is
+  // rebuilt at 8 bits per bucket (~10 bits per key at max load), which
+  // with two probe positions keeps the false-positive rate a few percent.
+  const size_t want = buckets.empty() ? 16 : buckets.size() * 2;
+  std::vector<Bucket> old = std::move(buckets);
+  buckets.assign(want, Bucket{});
+  bloom.assign(std::max<size_t>(8, want / 8), 0);
+  const size_t mask = want - 1;
+  for (Bucket& b : old) {
+    if (b.rows.empty()) continue;
+    size_t s = b.hash & mask;
+    while (!buckets[s].rows.empty()) s = (s + 1) & mask;
+    BloomAdd(b.hash);
+    buckets[s] = std::move(b);
+  }
+}
 
 Relation::Relation(const Relation& other)
     : arity_(other.arity_),
@@ -29,6 +80,8 @@ Relation& Relation::operator=(const Relation& other) {
   indexes_.clear();
   for (auto& slot : multi_indexes_) slot.reset();
   multi_count_.store(0, std::memory_order_relaxed);
+  for (auto& slot : sorted_indexes_) slot.reset();
+  sorted_count_.store(0, std::memory_order_relaxed);
   arity_ = other.arity_;
   indexes_.resize(arity_);
   num_rows_ = other.num_rows_;
@@ -44,11 +97,15 @@ Relation::Relation(Relation&& other) noexcept
       arena_(std::move(other.arena_)),
       slots_(std::move(other.slots_)),
       indexes_(std::move(other.indexes_)),
-      multi_indexes_(std::move(other.multi_indexes_)) {
+      multi_indexes_(std::move(other.multi_indexes_)),
+      sorted_indexes_(std::move(other.sorted_indexes_)) {
   other.num_rows_ = 0;
   multi_count_.store(other.multi_count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   other.multi_count_.store(0, std::memory_order_relaxed);
+  sorted_count_.store(other.sorted_count_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  other.sorted_count_.store(0, std::memory_order_relaxed);
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -65,6 +122,10 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   multi_count_.store(other.multi_count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   other.multi_count_.store(0, std::memory_order_relaxed);
+  sorted_indexes_ = std::move(other.sorted_indexes_);
+  sorted_count_.store(other.sorted_count_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  other.sorted_count_.store(0, std::memory_order_relaxed);
   other.num_rows_ = 0;
   index_rebuilds_.store(
       other.index_rebuilds_.load(std::memory_order_relaxed),
@@ -165,15 +226,62 @@ bool Relation::InsertUnchecked(TupleRef t) {
   return true;
 }
 
+size_t Relation::InsertBatch(const Value* rows, size_t n) {
+  if (n == 0 || arity_ == 0) {
+    // Arity-0 relations hold at most the one empty tuple; fall back to the
+    // point path, which handles that degenerate dedup correctly.
+    size_t added = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (Insert(TupleRef(rows, 0))) ++added;
+    }
+    return added;
+  }
+  // Drop any abandoned staged row so appends land at num_rows_. Appends
+  // below rely on vector::insert's geometric growth — an exact-size
+  // reserve here would force a reallocation per batch.
+  arena_.resize(num_rows_ * arity_);
+  thread_local std::vector<uint64_t> hashes;
+  hashes.resize(n);
+  HashKeysBatch(rows, n, static_cast<size_t>(arity_), hashes.data());
+  if (slots_.empty() || (num_rows_ + n) * 4 > slots_.size() * 3) {
+    GrowSlots(num_rows_ + n);
+  }
+  const size_t mask = slots_.size() - 1;
+  constexpr size_t kAhead = 8;
+  size_t added = 0;
+  for (size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kAhead < n) {
+      __builtin_prefetch(&slots_[hashes[i + kAhead] & mask]);
+    }
+#endif
+    const Value* row = rows + i * static_cast<size_t>(arity_);
+    size_t s = hashes[i] & mask;
+    bool duplicate = false;
+    for (;; s = (s + 1) & mask) {
+      const uint32_t r = slots_[s];
+      if (r == kEmptySlot) break;
+      if (std::equal(row, row + arity_,
+                     arena_.data() + static_cast<size_t>(r) * arity_)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    arena_.insert(arena_.end(), row, row + arity_);
+    slots_[s] = static_cast<uint32_t>(num_rows_);
+    AppendToIndexes(num_rows_);
+    ++num_rows_;
+    ++added;
+  }
+  return added;
+}
+
 size_t Relation::InsertAll(const Relation& other) {
   if (&other == this) return 0;  // every row is already present
   if (other.arity_ != arity_) return 0;
-  size_t added = 0;
   Reserve(num_rows_ + other.num_rows_);
-  for (TupleRef t : other.rows()) {
-    if (Insert(t)) ++added;
-  }
-  return added;
+  return InsertBatch(other.arena_.data(), other.num_rows_);
 }
 
 bool Relation::Contains(TupleRef t) const {
@@ -239,24 +347,47 @@ void Relation::CompactAfterErase(const std::vector<char>& dead,
   slots_.clear();
   if (num_rows_ > 0) GrowSlots(num_rows_);
   for (ColumnIndex& index : indexes_) {
-    index.map.clear();
+    index.table = KeyBuckets();
     index.built.store(false, std::memory_order_relaxed);
   }
   for (auto& slot : multi_indexes_) slot.reset();
   multi_count_.store(0, std::memory_order_relaxed);
+  for (auto& slot : sorted_indexes_) slot.reset();
+  sorted_count_.store(0, std::memory_order_relaxed);
 }
 
 void Relation::AppendToIndexes(size_t row) {
   for (int c = 0; c < arity_; ++c) {
     ColumnIndex& index = indexes_[c];
     if (!index.built.load(std::memory_order_relaxed)) continue;
-    index.map[arena_[row * arity_ + c]].push_back(static_cast<int>(row));
+    const Value v = arena_[row * arity_ + c];
+    index.table.FindOrInsert(HashSingle(v), v, /*exact=*/true)
+        ->push_back(static_cast<int>(row));
   }
   const size_t count = multi_count_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < count; ++i) {
     MultiIndex& index = *multi_indexes_[i];
-    index.map[HashRowKey(row, index.columns)].push_back(
-        static_cast<int>(row));
+    const uint64_t h = HashRowKey(row, index.columns);
+    index.table.FindOrInsert(h, 0, /*exact=*/false)
+        ->push_back(static_cast<int>(row));
+  }
+  const size_t sorted = sorted_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < sorted; ++i) {
+    SortedIndex& index = *sorted_indexes_[i];
+    index.tail.emplace_back(HashRowKey(row, index.columns),
+                            static_cast<int>(row));
+    // Fold the tail back into the sorted run before probes degrade to
+    // linear scans. We are in a mutation (exclusive access), so no
+    // concurrent reader can observe the merge.
+    if (index.tail.size() > 256) {
+      std::sort(index.tail.begin(), index.tail.end());
+      const size_t mid = index.entries.size();
+      index.entries.insert(index.entries.end(), index.tail.begin(),
+                           index.tail.end());
+      std::inplace_merge(index.entries.begin(), index.entries.begin() + mid,
+                         index.entries.end());
+      index.tail.clear();
+    }
   }
 }
 
@@ -284,7 +415,8 @@ const Relation::MultiIndex* Relation::EnsureMultiIndex(
   auto index = std::make_unique<MultiIndex>();
   index->columns = columns;
   for (size_t row = 0; row < num_rows_; ++row) {
-    index->map[HashRowKey(row, columns)].push_back(static_cast<int>(row));
+    index->table.FindOrInsert(HashRowKey(row, columns), 0, /*exact=*/false)
+        ->push_back(static_cast<int>(row));
   }
   multi_indexes_[count] = std::move(index);
   index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
@@ -307,8 +439,10 @@ const std::vector<int>& Relation::RowsWithKey(const std::vector<int>& columns,
     // superset under the verify-equality contract.
     return RowsWithValue(columns[0], key[0]);
   }
-  auto it = index->map.find(HashValueSpan(key, columns.size()));
-  return it == index->map.end() ? kEmptyRowList : it->second;
+  const uint64_t h = HashValueSpan(key, columns.size());
+  if (!index->table.MayContain(h)) return kEmptyRowList;
+  const std::vector<int>* rows = index->table.Find(h, 0, /*exact=*/false);
+  return rows == nullptr ? kEmptyRowList : *rows;
 }
 
 void Relation::EnsureIndex(int column) const {
@@ -317,10 +451,11 @@ void Relation::EnsureIndex(int column) const {
   std::lock_guard<std::mutex> lock(index_mutex_);
   ColumnIndex& mutable_index = indexes_[column];
   if (mutable_index.built.load(std::memory_order_relaxed)) return;
-  mutable_index.map.clear();
+  mutable_index.table = KeyBuckets();
   for (size_t i = 0; i < num_rows_; ++i) {
-    mutable_index.map[arena_[i * arity_ + column]].push_back(
-        static_cast<int>(i));
+    const Value v = arena_[i * arity_ + column];
+    mutable_index.table.FindOrInsert(HashSingle(v), v, /*exact=*/true)
+        ->push_back(static_cast<int>(i));
   }
   index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   mutable_index.built.store(true, std::memory_order_release);
@@ -329,8 +464,147 @@ void Relation::EnsureIndex(int column) const {
 const std::vector<int>& Relation::RowsWithValue(int column, Value v) const {
   if (column < 0 || column >= arity_) return kEmptyRowList;
   EnsureIndex(column);
-  auto it = indexes_[column].map.find(v);
-  return it == indexes_[column].map.end() ? kEmptyRowList : it->second;
+  const KeyBuckets& table = indexes_[column].table;
+  const uint64_t h = HashSingle(v);
+  if (!table.MayContain(h)) return kEmptyRowList;
+  const std::vector<int>* rows = table.Find(h, v, /*exact=*/true);
+  return rows == nullptr ? kEmptyRowList : *rows;
+}
+
+void Relation::HashKeysBatch(const Value* keys, size_t lanes, size_t width,
+                             uint64_t* out) {
+  if (width == 1) {
+    for (size_t l = 0; l < lanes; ++l) out[l] = HashSingle(keys[l]);
+    return;
+  }
+  for (size_t l = 0; l < lanes; ++l) {
+    out[l] = HashValueSpan(keys + l * width, width);
+  }
+}
+
+size_t Relation::ProbeBatch(const std::vector<int>& columns, const Value* keys,
+                            size_t lanes, const std::vector<int>** out) const {
+  for (size_t l = 0; l < lanes; ++l) out[l] = nullptr;
+  const size_t width = columns.size();
+  if (width == 0 || lanes == 0) return 0;
+  for (int c : columns) {
+    if (c < 0 || c >= arity_) return 0;
+  }
+
+  // Resolve the table (building it lazily) and, for wide keys past the
+  // composite-slot cap, fall back to a first-column candidate probe — the
+  // same superset contract as RowsWithKey.
+  const KeyBuckets* table = nullptr;
+  bool exact = false;
+  size_t key_stride = width;
+  const Value* key_base = keys;
+  thread_local std::vector<Value> fallback_keys;
+  if (width == 1) {
+    EnsureIndex(columns[0]);
+    table = &indexes_[columns[0]].table;
+    exact = true;
+  } else {
+    const MultiIndex* index = EnsureMultiIndex(columns);
+    if (index != nullptr) {
+      table = &index->table;
+    } else {
+      // Gather the first key column and probe its single-column index.
+      fallback_keys.resize(lanes);
+      for (size_t l = 0; l < lanes; ++l) fallback_keys[l] = keys[l * width];
+      EnsureIndex(columns[0]);
+      table = &indexes_[columns[0]].table;
+      exact = true;
+      key_stride = 1;
+      key_base = fallback_keys.data();
+    }
+  }
+
+  // Pass 1: batched FNV hashing of the key columns.
+  thread_local std::vector<uint64_t> hashes;
+  hashes.resize(lanes);
+  if (key_stride == 1) {
+    for (size_t l = 0; l < lanes; ++l) hashes[l] = HashSingle(key_base[l]);
+  } else {
+    HashKeysBatch(key_base, lanes, key_stride, hashes.data());
+  }
+
+  // Pass 2: Bloom test every lane; prefetch the home bucket of survivors
+  // so pass 3's probes overlap their memory latency.
+  thread_local std::vector<char> skip;
+  skip.assign(lanes, 0);
+  size_t skipped = 0;
+  for (size_t l = 0; l < lanes; ++l) {
+    if (!table->MayContain(hashes[l])) {
+      skip[l] = 1;
+      ++skipped;
+    } else {
+      table->Prefetch(hashes[l]);
+    }
+  }
+
+  // Pass 3: resolve surviving buckets.
+  for (size_t l = 0; l < lanes; ++l) {
+    if (skip[l]) continue;
+    out[l] = exact ? table->Find(hashes[l], key_base[l * key_stride], true)
+                   : table->Find(hashes[l], 0, false);
+  }
+  return skipped;
+}
+
+void Relation::GatherColumn(const int* row_ids, size_t n, int column,
+                            Value* out) const {
+  const Value* base = arena_.data() + column;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = base[static_cast<size_t>(row_ids[i]) * arity_];
+  }
+}
+
+const Relation::SortedIndex* Relation::EnsureSortedIndex(
+    const std::vector<int>& columns) const {
+  if (columns.empty()) return nullptr;
+  for (int c : columns) {
+    if (c < 0 || c >= arity_) return nullptr;
+  }
+  size_t count = sorted_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    if (sorted_indexes_[i]->columns == columns) {
+      return sorted_indexes_[i].get();
+    }
+  }
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  count = sorted_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) {
+    if (sorted_indexes_[i]->columns == columns) {
+      return sorted_indexes_[i].get();
+    }
+  }
+  if (count == kMaxSortedIndexes) return nullptr;
+  auto index = std::make_unique<SortedIndex>();
+  index->columns = columns;
+  index->entries.reserve(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    index->entries.emplace_back(HashRowKey(row, columns),
+                                static_cast<int>(row));
+  }
+  std::sort(index->entries.begin(), index->entries.end());
+  sorted_indexes_[count] = std::move(index);
+  index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  // Publish after the slot is fully written (see EnsureMultiIndex).
+  sorted_count_.store(count + 1, std::memory_order_release);
+  return sorted_indexes_[count].get();
+}
+
+void Relation::SortedCandidates(const SortedIndex& index, uint64_t key_hash,
+                                std::vector<int>* out) const {
+  auto lo = std::lower_bound(
+      index.entries.begin(), index.entries.end(),
+      std::make_pair(key_hash, std::numeric_limits<int>::min()));
+  for (; lo != index.entries.end() && lo->first == key_hash; ++lo) {
+    out->push_back(lo->second);
+  }
+  for (const auto& [hash, row] : index.tail) {
+    if (hash == key_hash) out->push_back(row);
+  }
 }
 
 ValueSet Relation::ColumnValues(int column) const {
@@ -347,11 +621,13 @@ void Relation::Clear() {
   arena_.clear();
   slots_.clear();
   for (ColumnIndex& index : indexes_) {
-    index.map.clear();
+    index.table = KeyBuckets();
     index.built.store(false, std::memory_order_relaxed);
   }
   for (auto& slot : multi_indexes_) slot.reset();
   multi_count_.store(0, std::memory_order_relaxed);
+  for (auto& slot : sorted_indexes_) slot.reset();
+  sorted_count_.store(0, std::memory_order_relaxed);
 }
 
 std::string Relation::ToString() const {

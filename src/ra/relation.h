@@ -233,6 +233,15 @@ class Relation {
   Value* StageRow();
   bool CommitStagedRow();
 
+  /// Batched checked insert of `n` lane-major rows (`n * arity()` values,
+  /// row i at rows + i*arity()): hashes every row up front, grows the
+  /// dedup table once for the whole batch, and software-prefetches each
+  /// row's home slot a few lanes ahead of its probe so the table's cache
+  /// misses overlap instead of serializing. Semantically identical to n
+  /// checked Insert() calls in order; returns the number of new rows.
+  /// `rows` must not alias this relation's arena.
+  size_t InsertBatch(const Value* rows, size_t n);
+
   /// Inserts every tuple of `other` (arities must match; mismatched
   /// relations are skipped). Returns the number of new tuples.
   size_t InsertAll(const Relation& other);
@@ -277,6 +286,57 @@ class Relation {
   /// concurrent readers can scan a fixed slot array without locking.
   static constexpr size_t kMaxMultiIndexes = 8;
 
+  /// Batched FNV hashing of a lane-major key matrix (`lanes` keys of
+  /// `width` values each): out[l] = HashValueSpan(keys + l*width, width).
+  /// The one hashing kernel the batched executor and the indexes share.
+  static void HashKeysBatch(const Value* keys, size_t lanes, size_t width,
+                            uint64_t* out);
+
+  /// Batched index probe, the executor's join kernel. `keys` is lane-major
+  /// (lanes * columns.size() values); on return out[l] points at the
+  /// candidate row list for lane l, or nullptr when the lane has no
+  /// candidates. Runs in three passes over the batch: FNV-hash every key,
+  /// test the index's Bloom filter (prefetching surviving buckets), then
+  /// resolve the buckets. Exactness matches the point APIs: single-column
+  /// probes return exact row lists, wider probes return hash-candidate
+  /// supersets the caller must verify. Returns the number of lanes the
+  /// Bloom filter pruned without touching a bucket. Same thread-safety
+  /// contract as RowsWithValue/RowsWithKey.
+  size_t ProbeBatch(const std::vector<int>& columns, const Value* keys,
+                    size_t lanes, const std::vector<int>** out) const;
+
+  /// Columnar gather over the strided arena: out[i] = value of row
+  /// row_ids[i] at `column`. Row ids must be in range.
+  void GatherColumn(const int* row_ids, size_t n, int column,
+                    Value* out) const;
+
+  /// A sorted (key hash, row id) index over an ordered column set — the
+  /// sort-merge join access path. Probes binary-search the sorted run and
+  /// scan the small unsorted append tail; AppendToIndexes folds the tail
+  /// back in once it outgrows a threshold (mutation is exclusive, so the
+  /// merge never races a reader). Candidates are a hash superset, like
+  /// RowsWithKey.
+  struct SortedIndex {
+    std::vector<int> columns;
+    std::vector<std::pair<uint64_t, int>> entries;  // sorted by hash
+    std::vector<std::pair<uint64_t, int>> tail;     // unsorted appends
+  };
+
+  /// Distinct sorted indexes per relation before EnsureSortedIndex starts
+  /// returning nullptr (callers fall back to the hash probe path).
+  static constexpr size_t kMaxSortedIndexes = 4;
+
+  /// Finds or lazily builds the sorted index for `columns`; nullptr when
+  /// the slot array is full or a column is out of range. The pointer stays
+  /// valid until the relation is mutated-destructively (erase/compact) or
+  /// destroyed; appends keep it usable.
+  const SortedIndex* EnsureSortedIndex(const std::vector<int>& columns) const;
+
+  /// Appends every candidate row whose key hash equals `key_hash` to
+  /// `out` (superset contract; callers verify equality).
+  void SortedCandidates(const SortedIndex& index, uint64_t key_hash,
+                        std::vector<int>* out) const;
+
   /// The set of distinct values appearing in `column`.
   ValueSet ColumnValues(int column) const;
 
@@ -300,19 +360,70 @@ class Relation {
   std::string ToString() const;
 
  private:
+  /// Open-addressed bucket table shared by every hash-index flavor: a
+  /// power-of-two array of {hash, key, rows} buckets (linear probing; an
+  /// empty rows vector marks a free slot) plus a Bloom filter over the
+  /// key hashes (~10 bits and two probe positions per distinct key).
+  /// Single-column indexes store the raw column value in `key` and
+  /// compare it exactly — RowsWithValue stays exact; composite indexes
+  /// match on the 64-bit FNV key hash alone — RowsWithKey stays a
+  /// candidate superset.
+  struct KeyBuckets {
+    struct Bucket {
+      uint64_t hash = 0;
+      Value key = 0;
+      std::vector<int> rows;
+    };
+    std::vector<Bucket> buckets;
+    std::vector<uint64_t> bloom;  // bit array; word count a power of two
+    size_t used = 0;
+
+    /// Bloom membership test: false means the key is definitely absent
+    /// (an empty table rejects everything).
+    bool MayContain(uint64_t hash) const {
+      if (bloom.empty()) return false;
+      const size_t bits = bloom.size() * 64;
+      const size_t b1 = hash & (bits - 1);
+      const size_t b2 = (hash >> 31) & (bits - 1);
+      return ((bloom[b1 >> 6] >> (b1 & 63)) & 1) != 0 &&
+             ((bloom[b2 >> 6] >> (b2 & 63)) & 1) != 0;
+    }
+    void BloomAdd(uint64_t hash) {
+      const size_t bits = bloom.size() * 64;
+      const size_t b1 = hash & (bits - 1);
+      const size_t b2 = (hash >> 31) & (bits - 1);
+      bloom[b1 >> 6] |= uint64_t{1} << (b1 & 63);
+      bloom[b2 >> 6] |= uint64_t{1} << (b2 & 63);
+    }
+    /// Software-prefetches the home bucket of `hash` so a batched probe
+    /// overlaps the memory latency of one lane with the hashing of the
+    /// next.
+    void Prefetch(uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+      if (!buckets.empty()) {
+        __builtin_prefetch(&buckets[hash & (buckets.size() - 1)]);
+      }
+#endif
+    }
+    const std::vector<int>* Find(uint64_t hash, Value key, bool exact) const;
+    std::vector<int>* FindOrInsert(uint64_t hash, Value key, bool exact);
+    void Grow();
+  };
+
   struct ColumnIndex {
-    std::unordered_map<Value, std::vector<int>> map;
+    KeyBuckets table;
     // Guarded by double-checked locking in EnsureIndex: readers that
-    // observe built==true (acquire) see a fully constructed map.
+    // observe built==true (acquire) see a fully constructed table.
     std::atomic<bool> built{false};
 
     ColumnIndex() = default;
-    ColumnIndex(ColumnIndex&& other) noexcept : map(std::move(other.map)) {
+    ColumnIndex(ColumnIndex&& other) noexcept
+        : table(std::move(other.table)) {
       built.store(other.built.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     }
     ColumnIndex& operator=(ColumnIndex&& other) noexcept {
-      map = std::move(other.map);
+      table = std::move(other.table);
       built.store(other.built.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
       return *this;
@@ -327,7 +438,7 @@ class Relation {
   /// registration.
   struct MultiIndex {
     std::vector<int> columns;
-    std::unordered_map<uint64_t, std::vector<int>> map;
+    KeyBuckets table;
   };
 
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
@@ -380,6 +491,11 @@ class Relation {
   mutable std::array<std::unique_ptr<MultiIndex>, kMaxMultiIndexes>
       multi_indexes_;
   mutable std::atomic<size_t> multi_count_{0};
+  // Sorted (key hash, row) indexes for sort-merge probes; published like
+  // the composite slots.
+  mutable std::array<std::unique_ptr<SortedIndex>, kMaxSortedIndexes>
+      sorted_indexes_;
+  mutable std::atomic<size_t> sorted_count_{0};
   mutable std::mutex index_mutex_;  // serializes lazy index construction
   mutable std::atomic<size_t> index_rebuilds_{0};
 };
